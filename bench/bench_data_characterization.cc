@@ -1,0 +1,71 @@
+// Section 5.2 supplement: the paper characterizes base relations by their
+// directed-graph shape (lists, full binary trees, DAGs, cyclic graphs) and
+// notes that "the results will obviously be different for other queries and
+// data types". This bench runs the same ancestor query across all four data
+// types at comparable tuple counts.
+
+#include "bench_setup.h"
+
+namespace dkb::bench {
+namespace {
+
+struct DataCase {
+  const char* name;
+  workload::EdgeSet edges;
+  std::string root;
+};
+
+void Run() {
+  Banner("Section 5.2 - D/KB data characterization",
+         "SIGMOD'88 D/KB testbed, Section 5.2 (relation types table)",
+         "t_e and iteration counts are shaped by path length and fan-out: "
+         "lists iterate longest, trees/DAGs fan out, cycles still terminate");
+
+  std::vector<DataCase> cases;
+  cases.push_back({"lists (8 x 64)", workload::MakeLists(8, 64), "l0_0"});
+  cases.push_back(
+      {"binary tree (depth 9)", workload::MakeFullBinaryTrees(1, 9), "t0_0"});
+  cases.push_back(
+      {"dag (16 levels x 32)", workload::MakeDag(16, 32, 1, 7), "g0_0"});
+  cases.push_back({"cyclic (dag + 8 cycles)",
+                   workload::MakeCyclicGraph(16, 32, 1, 8, 4, 7), "g0_0"});
+
+  TablePrinter table({"data_type", "tuples", "answers", "iterations",
+                      "t_e_seminaive", "t_e_magic"});
+  for (DataCase& dc : cases) {
+    auto tb = Unwrap(testbed::Testbed::Create(), "create");
+    CheckOk(tb->Consult(workload::AncestorRules()), "consult");
+    CheckOk(tb->DefineBase("parent",
+                           {DataType::kVarchar, DataType::kVarchar}),
+            "define");
+    CheckOk(tb->AddFacts("parent", dc.edges.ToTuples()), "facts");
+    datalog::Atom goal = workload::AncestorQuery(dc.root);
+
+    testbed::QueryOptions semi;
+    testbed::QueryOptions magic;
+    magic.use_magic = true;
+    size_t answers = 0;
+    int64_t iterations = 0;
+    int64_t t_semi = MedianMicros(3, [&]() {
+      auto outcome = Unwrap(tb->Query(goal, semi), "query");
+      answers = outcome.result.rows.size();
+      iterations = outcome.exec.iterations;
+      return outcome.exec.t_total_us;
+    });
+    int64_t t_magic = MedianMicros(3, [&]() {
+      return Unwrap(tb->Query(goal, magic), "magic query").exec.t_total_us;
+    });
+    table.AddRow({dc.name, std::to_string(dc.edges.num_tuples()),
+                  std::to_string(answers), std::to_string(iterations),
+                  FormatUs(t_semi), FormatUs(t_magic)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dkb::bench
+
+int main() {
+  dkb::bench::Run();
+  return 0;
+}

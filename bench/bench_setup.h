@@ -1,0 +1,72 @@
+#ifndef DKB_BENCH_BENCH_SETUP_H_
+#define DKB_BENCH_BENCH_SETUP_H_
+
+#include <memory>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+#include "workload/rule_gen.h"
+
+namespace dkb::bench {
+
+/// A testbed whose Stored DKB holds a committed synthetic rule base
+/// (controls the paper's R_s / R_rs / P_s / P_rs parameters).
+struct StoredRuleBaseFixture {
+  std::unique_ptr<testbed::Testbed> tb;
+  workload::GeneratedRuleBase rulebase;
+};
+
+inline StoredRuleBaseFixture MakeStoredRuleBase(int total_rules,
+                                                int relevant_rules,
+                                                int rules_per_pred = 1,
+                                                bool compiled_storage = true) {
+  StoredRuleBaseFixture fx;
+  testbed::TestbedOptions options;
+  options.stored.compiled_rule_storage = compiled_storage;
+  fx.tb = Unwrap(testbed::Testbed::Create(options), "Testbed::Create");
+  fx.rulebase =
+      workload::MakeRuleBase(total_rules, relevant_rules, rules_per_pred);
+  for (const std::string& base : fx.rulebase.base_preds) {
+    CheckOk(fx.tb->DefineBase(base, {DataType::kVarchar, DataType::kVarchar}),
+            "DefineBase");
+  }
+  for (const datalog::Rule& rule : fx.rulebase.rules) {
+    CheckOk(fx.tb->workspace().AddRule(rule), "AddRule");
+  }
+  Unwrap(fx.tb->UpdateStoredDkb(), "UpdateStoredDkb");
+  fx.tb->ClearWorkspace();
+  return fx;
+}
+
+/// A testbed loaded with the ancestor program and a full binary tree of
+/// `depth` in the parent relation (the paper's Test 4-7 workload).
+/// `index_edb` controls whether the parent relation gets an index on its
+/// first column (the paper's DBMS behaviour varies by configuration).
+inline std::unique_ptr<testbed::Testbed> MakeAncestorTree(
+    int depth, bool index_edb = true) {
+  testbed::TestbedOptions options;
+  options.stored.index_edb_first_column = index_edb;
+  auto tb = Unwrap(testbed::Testbed::Create(options), "Testbed::Create");
+  CheckOk(tb->Consult(workload::AncestorRules()), "Consult");
+  CheckOk(tb->DefineBase("parent", {DataType::kVarchar, DataType::kVarchar}),
+          "DefineBase");
+  auto tree = workload::MakeFullBinaryTrees(1, depth);
+  CheckOk(tb->AddFacts("parent", tree.ToTuples()), "AddFacts");
+  return tb;
+}
+
+/// Goal "?- ancestor('<node>', W)." for tree node `index` of tree 0.
+inline datalog::Atom TreeAncestorGoal(int64_t index) {
+  return workload::AncestorQuery(workload::TreeNodeName(0, index));
+}
+
+/// Leftmost node index at `level` of a binary tree (heap order): 2^level-1.
+inline int64_t LeftmostAtLevel(int level) {
+  return (int64_t{1} << level) - 1;
+}
+
+}  // namespace dkb::bench
+
+#endif  // DKB_BENCH_BENCH_SETUP_H_

@@ -1,0 +1,128 @@
+#ifndef DKB_BENCH_BENCH_UTIL_H_
+#define DKB_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dkb::bench {
+
+/// Aborts the bench with a diagnostic if `status` is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Unwraps a Result<T>, aborting on error.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Median of `reps` runs of a timed body returning elapsed microseconds.
+template <typename F>
+int64_t MedianMicros(int reps, F&& body) {
+  std::vector<int64_t> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) samples.push_back(body());
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Renders microseconds with adaptive units.
+inline std::string FormatUs(int64_t us) {
+  char buf[64];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", us / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+inline std::string FormatPct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+inline std::string FormatF(double v, int digits = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// Column-aligned ASCII table plus machine-readable CSV echo.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%-*s", c ? "  " : "  ", static_cast<int>(widths[c]),
+                    row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    std::printf("  %s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+    // CSV echo for plotting.
+    std::printf("\n  csv,");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s%s", c ? "," : "", headers_[c].c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("  csv,");
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? "," : "", row[c].c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner matching the paper's test numbering.
+inline void Banner(const char* title, const char* paper_ref,
+                   const char* expectation) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("Paper-shape expectation: %s\n", expectation);
+  std::printf("=============================================================\n\n");
+}
+
+}  // namespace dkb::bench
+
+#endif  // DKB_BENCH_BENCH_UTIL_H_

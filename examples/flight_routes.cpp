@@ -1,0 +1,64 @@
+// Flight routing with stratified negation: reachability that avoids
+// embargoed airports, destinations reachable only via an embargoed hub, and
+// the adaptive optimizer deciding per query whether magic sets pay off.
+//
+//   $ ./build/examples/flight_routes
+
+#include <cstdio>
+
+#include "testbed/testbed.h"
+
+int main() {
+  auto tb_or = dkb::testbed::Testbed::Create();
+  if (!tb_or.ok()) return 1;
+  auto tb = std::move(*tb_or);
+
+  dkb::Status s = tb->Consult(R"(
+      % reachable(A, B): some sequence of flights connects A to B.
+      reachable(A, B) :- flight(A, B).
+      reachable(A, B) :- flight(A, C), reachable(C, B).
+
+      % clean(A, B): connects A to B without ever landing at an embargoed
+      % airport (stratified negation over the embargo relation).
+      clean(A, B) :- flight(A, B), not embargoed(B).
+      clean(A, B) :- clean(A, C), flight(C, B), not embargoed(B).
+
+      % tainted(A, B): reachable, but every routing lands somewhere
+      % embargoed.
+      tainted(A, B) :- reachable(A, B), not clean(A, B).
+
+      flight(oslo, berlin).     flight(berlin, cairo).
+      flight(berlin, doha).     flight(cairo, doha).
+      flight(doha, singapore).  flight(cairo, nairobi).
+      flight(nairobi, perth).   flight(oslo, dublin).
+      flight(dublin, boston).   flight(boston, lima).
+
+      embargoed(cairo).
+      embargoed(doha).
+  )");
+  if (!s.ok()) {
+    std::fprintf(stderr, "consult failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto show = [&](const char* goal) {
+    dkb::testbed::QueryOptions opts;
+    opts.adaptive_magic = true;  // let the compiler decide
+    auto outcome = tb->Query(goal, opts);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", goal,
+                   outcome.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n%s", goal, outcome->result.ToString().c_str());
+    std::printf("  [adaptive optimizer: est. selectivity %.2f -> magic %s]\n\n",
+                outcome->compile.estimated_selectivity,
+                outcome->compile.magic_applied ? "on" : "off");
+  };
+
+  show("?- reachable(oslo, W).");
+  show("?- clean(oslo, W).");
+  show("?- tainted(oslo, W).");
+  show("?- clean(X, perth).");
+  return 0;
+}

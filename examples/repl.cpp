@@ -1,0 +1,178 @@
+// Interactive testbed shell — the User Interface component of the paper's
+// Figure 5. Reads Horn clauses, facts, queries, and session commands from
+// stdin; works equally well piped:
+//
+//   $ printf 'parent(a,b).\nanc(X,Y) :- parent(X,Y).\n?- anc(a,W).\n' |
+//       ./build/examples/repl
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "testbed/testbed.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "Enter Horn clauses, facts, or queries; directives start with ':'.\n"
+      "  anc(X,Y) :- parent(X,Y).   add a rule to the Workspace DKB\n"
+      "  parent(john, mary).        add a fact to the extensional DB\n"
+      "  ?- anc(john, W).           compile + execute a D/KB query\n"
+      "  :magic on|off              toggle generalized magic sets\n"
+      "  :strategy naive|seminaive|native\n"
+      "  :rules                     list workspace rules\n"
+      "  :retract <rule>            remove a workspace rule\n"
+      "  :update                    commit workspace rules to the Stored DKB\n"
+      "  :clear                     clear the workspace\n"
+      "  :stats                     show last query's timing breakdown\n"
+      "  :sql <statement>           run raw SQL against the DBMS layer\n"
+      "  :save <path> / :load <path>  persist / restore the whole session\n"
+      "  :help                      this text\n"
+      "  :quit\n");
+}
+
+}  // namespace
+
+int main() {
+  auto tb_or = dkb::testbed::Testbed::Create();
+  if (!tb_or.ok()) {
+    std::fprintf(stderr, "init failed: %s\n",
+                 tb_or.status().ToString().c_str());
+    return 1;
+  }
+  auto tb = std::move(*tb_or);
+  dkb::testbed::QueryOptions options;
+  dkb::testbed::QueryOutcome last;
+  bool have_last = false;
+
+  std::printf("D/KB testbed shell. :help for commands.\n");
+  std::string line;
+  while (true) {
+    std::printf("dkb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string input = dkb::StrTrim(line);
+    if (input.empty() || input[0] == '%') continue;
+
+    if (input[0] == ':') {
+      if (input == ":quit" || input == ":q") break;
+      if (input == ":help") {
+        PrintHelp();
+      } else if (input == ":rules") {
+        for (const auto& rule : tb->workspace().rules()) {
+          std::printf("  %s\n", rule.ToString().c_str());
+        }
+      } else if (input == ":clear") {
+        tb->ClearWorkspace();
+        std::printf("workspace cleared\n");
+      } else if (input == ":update") {
+        auto stats = tb->UpdateStoredDkb();
+        if (!stats.ok()) {
+          std::printf("error: %s\n", stats.status().ToString().c_str());
+        } else {
+          std::printf("stored %lld rules (%lld us)\n",
+                      static_cast<long long>(stats->rules_stored),
+                      static_cast<long long>(stats->total_us()));
+        }
+      } else if (input == ":magic on") {
+        options.use_magic = true;
+        std::printf("magic sets: on\n");
+      } else if (input == ":magic off") {
+        options.use_magic = false;
+        std::printf("magic sets: off\n");
+      } else if (input == ":strategy naive") {
+        options.strategy = dkb::lfp::LfpStrategy::kNaive;
+      } else if (input == ":strategy seminaive") {
+        options.strategy = dkb::lfp::LfpStrategy::kSemiNaive;
+      } else if (input == ":strategy native") {
+        options.strategy = dkb::lfp::LfpStrategy::kNative;
+      } else if (input == ":stats") {
+        if (!have_last) {
+          std::printf("no query yet\n");
+        } else {
+          const auto& c = last.compile;
+          const auto& e = last.exec;
+          std::printf(
+              "compile: %lld us (setup %lld, extract %lld, read %lld, "
+              "opt %lld, eol %lld, sem %lld, gen %lld, comp %lld)\n",
+              static_cast<long long>(c.total_us()),
+              static_cast<long long>(c.t_setup_us),
+              static_cast<long long>(c.t_extract_us),
+              static_cast<long long>(c.t_read_us),
+              static_cast<long long>(c.t_opt_us),
+              static_cast<long long>(c.t_eol_us),
+              static_cast<long long>(c.t_sem_us),
+              static_cast<long long>(c.t_gen_us),
+              static_cast<long long>(c.t_comp_us));
+          std::printf(
+              "execute: %lld us (temp %lld, rhs %lld, term %lld, "
+              "final %lld; %lld iterations)\n",
+              static_cast<long long>(e.t_total_us),
+              static_cast<long long>(e.t_temp_us),
+              static_cast<long long>(e.t_rhs_us),
+              static_cast<long long>(e.t_term_us),
+              static_cast<long long>(e.t_final_us),
+              static_cast<long long>(e.iterations));
+          for (const auto& node : e.nodes) {
+            std::printf("  node %-30s %s %6lld us  %lld iters  %lld tuples\n",
+                        node.label.c_str(),
+                        node.is_clique ? "clique" : "pred  ",
+                        static_cast<long long>(node.t_us),
+                        static_cast<long long>(node.iterations),
+                        static_cast<long long>(node.tuples));
+          }
+        }
+      } else if (dkb::StartsWith(input, ":retract ")) {
+        dkb::Status s = tb->RetractRule(input.substr(9));
+        std::printf("%s\n", s.ok() ? "retracted" : s.ToString().c_str());
+      } else if (dkb::StartsWith(input, ":save ")) {
+        dkb::Status s = tb->SaveSession(dkb::StrTrim(input.substr(6)));
+        std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+      } else if (dkb::StartsWith(input, ":load ")) {
+        auto loaded =
+            dkb::testbed::Testbed::LoadSession(dkb::StrTrim(input.substr(6)));
+        if (!loaded.ok()) {
+          std::printf("error: %s\n", loaded.status().ToString().c_str());
+        } else {
+          tb = std::move(*loaded);
+          std::printf("session restored (%zu workspace rules)\n",
+                      tb->workspace().num_rules());
+        }
+      } else if (dkb::StartsWith(input, ":sql ")) {
+        auto result = tb->db().Execute(input.substr(5));
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          std::printf("%s", result->ToString().c_str());
+        }
+      } else {
+        std::printf("unknown directive (:help for help)\n");
+      }
+      continue;
+    }
+
+    if (dkb::StartsWith(input, "?-")) {
+      auto outcome = tb->Query(input, options);
+      if (!outcome.ok()) {
+        std::printf("error: %s\n", outcome.status().ToString().c_str());
+        continue;
+      }
+      last = std::move(*outcome);
+      have_last = true;
+      std::printf("%s", last.result.ToString().c_str());
+      std::printf("(compile %lld us, execute %lld us)\n",
+                  static_cast<long long>(last.compile.total_us()),
+                  static_cast<long long>(last.exec.t_total_us));
+      continue;
+    }
+
+    dkb::Status s = tb->Consult(input);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "catalog/catalog.h"
+
+#include "common/str_util.h"
+
+namespace dkb {
+
+std::string Catalog::Key(const std::string& name) { return AsciiLower(name); }
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = Key(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return raw;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+Status Catalog::CreateIndex(const std::string& table_name,
+                            const std::string& index_name,
+                            const std::vector<std::string>& column_names,
+                            bool ordered) {
+  DKB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  std::vector<size_t> cols;
+  cols.reserve(column_names.size());
+  for (const std::string& cname : column_names) {
+    auto idx = table->schema().FindColumn(cname);
+    if (!idx.has_value()) {
+      return Status::NotFound("column " + cname + " not in table " +
+                              table_name);
+    }
+    cols.push_back(*idx);
+  }
+  std::unique_ptr<Index> index;
+  if (ordered) {
+    index = std::make_unique<OrderedIndex>(index_name, std::move(cols));
+  } else {
+    index = std::make_unique<HashIndex>(index_name, std::move(cols));
+  }
+  return table->AddIndex(std::move(index));
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace dkb

@@ -1,0 +1,57 @@
+#ifndef DKB_CATALOG_CATALOG_H_
+#define DKB_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dkb {
+
+/// Catalog of tables and their indexes, keyed by case-insensitive name.
+///
+/// Table names beginning with '#' are session-temporary by convention; the
+/// LFP run time library creates and drops them each iteration exactly as the
+/// paper's embedded-SQL programs did with the commercial DBMS.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on name collision.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Drops a table and its indexes. Fails with NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// Looks up a table; NotFound if absent.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Creates an index named `index_name` over `column_names` of `table_name`.
+  /// `ordered` selects OrderedIndex over HashIndex.
+  Status CreateIndex(const std::string& table_name,
+                     const std::string& index_name,
+                     const std::vector<std::string>& column_names,
+                     bool ordered);
+
+  /// Names of all tables, unsorted.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_CATALOG_CATALOG_H_

@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+namespace dkb {
+
+Rng::Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ull) {
+  // Warm up so nearby seeds diverge quickly.
+  Next();
+  Next();
+}
+
+uint64_t Rng::Next() {
+  // splitmix64.
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) / 9007199254740992.0;  // 2^53
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace dkb

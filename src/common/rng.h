@@ -1,0 +1,33 @@
+#ifndef DKB_COMMON_RNG_H_
+#define DKB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dkb {
+
+/// Deterministic splitmix64/xorshift RNG so workload generation is
+/// reproducible across runs and platforms (std::mt19937 distributions are
+/// not guaranteed identical across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_COMMON_RNG_H_

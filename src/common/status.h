@@ -1,0 +1,123 @@
+#ifndef DKB_COMMON_STATUS_H_
+#define DKB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dkb {
+
+/// Error categories used across the testbed. Mirrors the failure surfaces of
+/// the paper's two layers: SQL/DBMS errors and Knowledge Manager errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad SQL, bad Horn clause, ...)
+  kNotFound,          // unknown table / predicate / column
+  kAlreadyExists,     // duplicate table / index name
+  kTypeError,         // type inference or type check failure
+  kSemanticError,     // undefined predicate, arity mismatch, unsafe rule
+  kInternal,          // invariant violation inside the engine
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// Status carries success or an error code plus message. The library does not
+/// throw; every fallible public entry point returns Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status by design: enables
+  /// `return value;` and `return Status::NotFound(...);` in the same function.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define DKB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::dkb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`.
+#define DKB_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  DKB_ASSIGN_OR_RETURN_IMPL(                     \
+      DKB_STATUS_CONCAT(_dkb_result, __LINE__), lhs, rexpr)
+
+#define DKB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define DKB_STATUS_CONCAT_IMPL(x, y) x##y
+#define DKB_STATUS_CONCAT(x, y) DKB_STATUS_CONCAT_IMPL(x, y)
+
+}  // namespace dkb
+
+#endif  // DKB_COMMON_STATUS_H_

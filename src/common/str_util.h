@@ -1,0 +1,33 @@
+#ifndef DKB_COMMON_STR_UTIL_H_
+#define DKB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dkb {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// ASCII lower-casing (SQL keywords and identifiers are case-insensitive).
+std::string AsciiLower(std::string_view s);
+/// ASCII upper-casing.
+std::string AsciiUpper(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string StrTrim(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace dkb
+
+#endif  // DKB_COMMON_STR_UTIL_H_

@@ -1,0 +1,53 @@
+#ifndef DKB_COMMON_TIMER_H_
+#define DKB_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dkb {
+
+/// Monotonic wall-clock stopwatch used for all t_c / t_e / t_u measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (floating point).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a counter across many scopes; used by the
+/// LFP evaluators to attribute time to temp-table management, RHS
+/// evaluation, and termination checking (paper Table 5).
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(int64_t* sink_micros)
+      : sink_(sink_micros), timer_() {}
+  ~ScopedAccumulator() { *sink_ += timer_.ElapsedMicros(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  int64_t* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_COMMON_TIMER_H_

@@ -1,0 +1,49 @@
+#include "common/value.h"
+
+#include <functional>
+
+namespace dkb {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kVarchar:
+      return "VARCHAR";
+    case DataType::kInvalid:
+      return "INVALID";
+  }
+  return "INVALID";
+}
+
+bool Value::operator<(const Value& other) const {
+  // variant's ordering compares alternative index first, which realizes
+  // NULL < int < string, then the contained values.
+  return rep_ < other.rep_;
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (is_int()) return std::hash<int64_t>{}(as_int());
+  return std::hash<std::string>{}(as_string());
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  std::string out = "'";
+  for (char c : as_string()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  return as_string();
+}
+
+}  // namespace dkb

@@ -1,0 +1,79 @@
+#ifndef DKB_COMMON_VALUE_H_
+#define DKB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dkb {
+
+/// Column data types supported by the relational engine. The 1988 testbed's
+/// DBMS exposed `char` and `integer` columns (see the paper's dictionary
+/// schemas); we match that surface.
+enum class DataType : uint8_t {
+  kInvalid = 0,
+  kInteger,  // 64-bit signed
+  kVarchar,  // variable-length string
+};
+
+/// Returns "INTEGER" / "VARCHAR" / "INVALID".
+const char* DataTypeName(DataType type);
+
+/// A single column value: NULL, integer, or string.
+///
+/// Values are ordered and hashable so they can drive index keys, join keys,
+/// and set operations. NULL compares equal to NULL and sorts first; that is
+/// sufficient for the testbed, which never produces NULLs from Datalog
+/// evaluation but allows them in raw SQL tables.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  /// Type of this value; NULL reports kInvalid (untyped).
+  DataType type() const {
+    if (is_int()) return DataType::kInteger;
+    if (is_string()) return DataType::kVarchar;
+    return DataType::kInvalid;
+  }
+
+  /// Requires is_int().
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  /// Requires is_string().
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return rep_ != other.rep_; }
+  /// NULL < integers < strings; within a type, natural order.
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  size_t Hash() const;
+
+  /// SQL-literal rendering: NULL, 42, 'text' (with '' escaping).
+  std::string ToSqlLiteral() const;
+  /// Plain rendering without quotes (for result display).
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, std::string> rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace dkb
+
+#endif  // DKB_COMMON_VALUE_H_

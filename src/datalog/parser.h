@@ -1,0 +1,34 @@
+#ifndef DKB_DATALOG_PARSER_H_
+#define DKB_DATALOG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace dkb::datalog {
+
+/// Parses a Datalog program:
+///
+///   % comment (to end of line)
+///   ancestor(X, Y) :- parent(X, Y).
+///   ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+///   parent(john, mary).
+///   ?- ancestor(john, W).
+///
+/// Variables start with an upper-case letter or '_'; lower-case identifiers
+/// and quoted strings are string constants; digit sequences are integer
+/// constants. Facts must be ground (no variables).
+Result<Program> ParseProgram(const std::string& input);
+
+/// Parses a single clause ("p(X) :- q(X)." or "p(a)."). The trailing '.' is
+/// optional for this entry point.
+Result<Rule> ParseRule(const std::string& input);
+
+/// Parses a single goal atom ("ancestor(john, W)"), with optional leading
+/// "?-" and trailing ".".
+Result<Atom> ParseQuery(const std::string& input);
+
+}  // namespace dkb::datalog
+
+#endif  // DKB_DATALOG_PARSER_H_

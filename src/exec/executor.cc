@@ -1,0 +1,202 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/str_util.h"
+#include "exec/binder.h"
+#include "exec/planner.h"
+
+namespace dkb::exec {
+
+std::string QueryResult::ToString() const {
+  if (schema.num_columns() == 0) {
+    return "(" + std::to_string(rows_affected) + " rows affected)";
+  }
+  std::vector<size_t> widths(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    widths[c] = schema.column(c).name.size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(row[c].ToString());
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  std::string out;
+  auto pad = [](const std::string& s, size_t w) {
+    std::string p = s;
+    p.resize(w, ' ');
+    return p;
+  };
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out += (c ? " | " : "") + pad(schema.column(c).name, widths[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    out += (c ? "-+-" : "") + std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& cells : rendered) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out += (c ? " | " : "") + pad(cells[c], widths[c]);
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+std::string RenderPlan(const PlanNode& root) {
+  std::string out;
+  std::function<void(const PlanNode&, int)> walk = [&](const PlanNode& node,
+                                                       int depth) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += node.Name();
+    out += "\n";
+    for (const PlanNode* child : node.Children()) walk(*child, depth + 1);
+  };
+  walk(root, 0);
+  return out;
+}
+
+Result<QueryResult> Executor::Execute(const sql::Statement& stmt) {
+  ++stats_->statements;
+  switch (stmt.kind) {
+    case sql::StatementKind::kCreateTable:
+      return ExecuteCreateTable(static_cast<const sql::CreateTableStmt&>(stmt));
+    case sql::StatementKind::kDropTable:
+      return ExecuteDropTable(static_cast<const sql::DropTableStmt&>(stmt));
+    case sql::StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(static_cast<const sql::CreateIndexStmt&>(stmt));
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt));
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt));
+    case sql::StatementKind::kSelect:
+      return ExecuteSelect(
+          *static_cast<const sql::SelectStatement&>(stmt).select);
+    case sql::StatementKind::kExplain:
+      return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt));
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<QueryResult> Executor::ExecuteExplain(const sql::ExplainStmt& stmt) {
+  DKB_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                       PlanSelect(*stmt.select, *catalog_, stats_));
+  QueryResult result;
+  result.schema = Schema({Column{"plan", DataType::kVarchar}});
+  std::string rendered = RenderPlan(*plan);
+  for (const std::string& line : StrSplit(rendered, '\n')) {
+    if (!line.empty()) result.rows.push_back(Tuple{Value(line)});
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteCreateTable(
+    const sql::CreateTableStmt& stmt) {
+  if (stmt.if_not_exists && catalog_->HasTable(stmt.table)) {
+    return QueryResult{};
+  }
+  auto created = catalog_->CreateTable(stmt.table, stmt.schema);
+  if (!created.ok()) return created.status();
+  return QueryResult{};
+}
+
+Result<QueryResult> Executor::ExecuteDropTable(const sql::DropTableStmt& stmt) {
+  if (stmt.if_exists && !catalog_->HasTable(stmt.table)) {
+    return QueryResult{};
+  }
+  DKB_RETURN_IF_ERROR(catalog_->DropTable(stmt.table));
+  return QueryResult{};
+}
+
+Result<QueryResult> Executor::ExecuteCreateIndex(
+    const sql::CreateIndexStmt& stmt) {
+  DKB_RETURN_IF_ERROR(
+      catalog_->CreateIndex(stmt.table, stmt.index, stmt.columns,
+                            stmt.ordered));
+  return QueryResult{};
+}
+
+Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt) {
+  DKB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
+  QueryResult result;
+  if (stmt.select != nullptr) {
+    // Materialize the SELECT fully before inserting so that
+    // `INSERT INTO t SELECT ... FROM t ...` cannot chase its own inserts.
+    DKB_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                         PlanSelect(*stmt.select, *catalog_, stats_));
+    if (plan->output_schema().num_columns() !=
+        table->schema().num_columns()) {
+      return Status::InvalidArgument(
+          "INSERT SELECT arity mismatch for table " + stmt.table);
+    }
+    std::vector<Tuple> buffered;
+    DKB_RETURN_IF_ERROR(plan->Open());
+    Tuple row;
+    while (true) {
+      DKB_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+      if (!more) break;
+      buffered.push_back(std::move(row));
+    }
+    plan->Close();
+    for (Tuple& t : buffered) {
+      DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(t));
+      (void)rid;
+    }
+    result.rows_affected = static_cast<int64_t>(buffered.size());
+    return result;
+  }
+  for (const std::vector<Value>& row : stmt.rows) {
+    DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+    (void)rid;
+  }
+  result.rows_affected = static_cast<int64_t>(stmt.rows.size());
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  DKB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
+  QueryResult result;
+  if (stmt.where == nullptr) {
+    result.rows_affected = static_cast<int64_t>(table->num_tuples());
+    table->Clear();
+    return result;
+  }
+  Scope scope;
+  DKB_RETURN_IF_ERROR(scope.AddTable(stmt.table, table));
+  DKB_ASSIGN_OR_RETURN(BoundExprPtr predicate,
+                       BindExpr(*stmt.where, scope, SlotMode::kGlobal));
+  std::vector<RowId> victims;
+  table->Scan([&](RowId rid, const Tuple& t) {
+    if (predicate->EvaluateBool(t)) victims.push_back(rid);
+  });
+  for (RowId rid : victims) table->Delete(rid);
+  result.rows_affected = static_cast<int64_t>(victims.size());
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStmt& stmt) {
+  DKB_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                       PlanSelect(stmt, *catalog_, stats_));
+  QueryResult result;
+  result.schema = plan->output_schema();
+  DKB_RETURN_IF_ERROR(plan->Open());
+  Tuple row;
+  while (true) {
+    DKB_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+    if (!more) break;
+    result.rows.push_back(std::move(row));
+  }
+  plan->Close();
+  return result;
+}
+
+}  // namespace dkb::exec

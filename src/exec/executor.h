@@ -1,0 +1,50 @@
+#ifndef DKB_EXEC_EXECUTOR_H_
+#define DKB_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/plan.h"
+#include "sql/ast.h"
+
+namespace dkb::exec {
+
+/// Materialized result of one statement.
+struct QueryResult {
+  Schema schema;            // empty for DDL/DML
+  std::vector<Tuple> rows;  // SELECT output
+  int64_t rows_affected = 0;
+
+  /// Aligned ASCII table rendering.
+  std::string ToString() const;
+};
+
+/// Indented tree rendering of a physical plan (EXPLAIN).
+std::string RenderPlan(const PlanNode& root);
+
+/// Executes parsed statements against a catalog.
+class Executor {
+ public:
+  Executor(Catalog* catalog, ExecStats* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  Result<QueryResult> Execute(const sql::Statement& stmt);
+
+ private:
+  Result<QueryResult> ExecuteCreateTable(const sql::CreateTableStmt& stmt);
+  Result<QueryResult> ExecuteDropTable(const sql::DropTableStmt& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const sql::CreateIndexStmt& stmt);
+  Result<QueryResult> ExecuteInsert(const sql::InsertStmt& stmt);
+  Result<QueryResult> ExecuteDelete(const sql::DeleteStmt& stmt);
+  Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt);
+  Result<QueryResult> ExecuteExplain(const sql::ExplainStmt& stmt);
+
+  Catalog* catalog_;
+  ExecStats* stats_;
+};
+
+}  // namespace dkb::exec
+
+#endif  // DKB_EXEC_EXECUTOR_H_

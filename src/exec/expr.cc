@@ -1,0 +1,26 @@
+#include "exec/expr.h"
+
+namespace dkb::exec {
+
+bool BoundComparison::EvaluateBool(const Tuple& row) const {
+  Value l = lhs_->Evaluate(row);
+  Value r = rhs_->Evaluate(row);
+  if (l.is_null() || r.is_null()) return false;
+  switch (op_) {
+    case sql::CompareOp::kEq:
+      return l == r;
+    case sql::CompareOp::kNe:
+      return l != r;
+    case sql::CompareOp::kLt:
+      return l < r;
+    case sql::CompareOp::kLe:
+      return l <= r;
+    case sql::CompareOp::kGt:
+      return l > r;
+    case sql::CompareOp::kGe:
+      return l >= r;
+  }
+  return false;
+}
+
+}  // namespace dkb::exec

@@ -1,0 +1,140 @@
+#ifndef DKB_EXEC_EXPR_H_
+#define DKB_EXEC_EXPR_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/value.h"
+#include "sql/ast.h"
+#include "storage/tuple.h"
+
+namespace dkb::exec {
+
+/// Bound (name-resolved) expression evaluated against a flat joined row.
+///
+/// Predicate semantics are two-valued: any comparison involving NULL is
+/// false. The Datalog layer never produces NULLs, so this simplification
+/// does not affect D/KB query results.
+class BoundExpr {
+ public:
+  virtual ~BoundExpr() = default;
+
+  /// Evaluates to a value (column ref / literal).
+  virtual Value Evaluate(const Tuple& row) const = 0;
+
+  /// Evaluates as a predicate.
+  virtual bool EvaluateBool(const Tuple& row) const {
+    Value v = Evaluate(row);
+    return v.is_int() && v.as_int() != 0;
+  }
+
+  /// Largest row slot referenced (for prefix-safety checks); -1 if none.
+  virtual int MaxSlot() const { return -1; }
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+class BoundColumn : public BoundExpr {
+ public:
+  explicit BoundColumn(size_t slot) : slot_(slot) {}
+  Value Evaluate(const Tuple& row) const override { return row[slot_]; }
+  int MaxSlot() const override { return static_cast<int>(slot_); }
+  size_t slot() const { return slot_; }
+
+ private:
+  size_t slot_;
+};
+
+class BoundLiteral : public BoundExpr {
+ public:
+  explicit BoundLiteral(Value value) : value_(std::move(value)) {}
+  Value Evaluate(const Tuple&) const override { return value_; }
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+class BoundComparison : public BoundExpr {
+ public:
+  BoundComparison(sql::CompareOp op, BoundExprPtr lhs, BoundExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Evaluate(const Tuple& row) const override {
+    return Value(static_cast<int64_t>(EvaluateBool(row)));
+  }
+  bool EvaluateBool(const Tuple& row) const override;
+  int MaxSlot() const override {
+    return std::max(lhs_->MaxSlot(), rhs_->MaxSlot());
+  }
+
+ private:
+  sql::CompareOp op_;
+  BoundExprPtr lhs_;
+  BoundExprPtr rhs_;
+};
+
+class BoundLogical : public BoundExpr {
+ public:
+  BoundLogical(sql::LogicalOp op, BoundExprPtr lhs, BoundExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value Evaluate(const Tuple& row) const override {
+    return Value(static_cast<int64_t>(EvaluateBool(row)));
+  }
+  bool EvaluateBool(const Tuple& row) const override {
+    if (op_ == sql::LogicalOp::kAnd) {
+      return lhs_->EvaluateBool(row) && rhs_->EvaluateBool(row);
+    }
+    return lhs_->EvaluateBool(row) || rhs_->EvaluateBool(row);
+  }
+  int MaxSlot() const override {
+    return std::max(lhs_->MaxSlot(), rhs_->MaxSlot());
+  }
+
+ private:
+  sql::LogicalOp op_;
+  BoundExprPtr lhs_;
+  BoundExprPtr rhs_;
+};
+
+class BoundNot : public BoundExpr {
+ public:
+  explicit BoundNot(BoundExprPtr child) : child_(std::move(child)) {}
+  Value Evaluate(const Tuple& row) const override {
+    return Value(static_cast<int64_t>(EvaluateBool(row)));
+  }
+  bool EvaluateBool(const Tuple& row) const override {
+    return !child_->EvaluateBool(row);
+  }
+  int MaxSlot() const override { return child_->MaxSlot(); }
+
+ private:
+  BoundExprPtr child_;
+};
+
+class BoundInList : public BoundExpr {
+ public:
+  BoundInList(BoundExprPtr needle, std::vector<Value> values)
+      : needle_(std::move(needle)),
+        set_(values.begin(), values.end()) {}
+
+  Value Evaluate(const Tuple& row) const override {
+    return Value(static_cast<int64_t>(EvaluateBool(row)));
+  }
+  bool EvaluateBool(const Tuple& row) const override {
+    Value v = needle_->Evaluate(row);
+    if (v.is_null()) return false;
+    return set_.count(v) > 0;
+  }
+  int MaxSlot() const override { return needle_->MaxSlot(); }
+
+ private:
+  BoundExprPtr needle_;
+  std::unordered_set<Value, ValueHash> set_;
+};
+
+}  // namespace dkb::exec
+
+#endif  // DKB_EXEC_EXPR_H_

@@ -1,0 +1,617 @@
+#include "exec/plan.h"
+
+#include <algorithm>
+
+namespace dkb::exec {
+
+namespace {
+
+/// Concatenates the output schemas of two join inputs.
+Schema ConcatSchemas(const Schema& a, const Schema& b) {
+  std::vector<Column> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return Schema(std::move(cols));
+}
+
+Tuple ConcatRows(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SeqScan
+// ---------------------------------------------------------------------------
+
+SeqScanNode::SeqScanNode(const Table* table, BoundExprPtr filter,
+                         ExecStats* stats)
+    : table_(table), filter_(std::move(filter)), stats_(stats) {
+  set_schema(table->schema());
+}
+
+Status SeqScanNode::Open() {
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanNode::Next(Tuple* row) {
+  const size_t n = table_->num_slots();
+  while (cursor_ < n) {
+    RowId rid = cursor_++;
+    if (!table_->IsLive(rid)) continue;
+    const Tuple& t = table_->Get(rid);
+    ++stats_->rows_scanned;
+    if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
+    *row = t;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// IndexScan
+// ---------------------------------------------------------------------------
+
+IndexScanNode::IndexScanNode(const Table* table, const Index* index,
+                             std::vector<Tuple> keys, BoundExprPtr filter,
+                             ExecStats* stats)
+    : table_(table),
+      index_(index),
+      keys_(std::move(keys)),
+      filter_(std::move(filter)),
+      stats_(stats) {
+  set_schema(table->schema());
+}
+
+Status IndexScanNode::Open() {
+  key_pos_ = 0;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexScanNode::Next(Tuple* row) {
+  while (true) {
+    if (buffer_pos_ < buffer_.size()) {
+      RowId rid = buffer_[buffer_pos_++];
+      if (!table_->IsLive(rid)) continue;
+      const Tuple& t = table_->Get(rid);
+      ++stats_->index_rows;
+      if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
+      *row = t;
+      return true;
+    }
+    if (key_pos_ >= keys_.size()) return false;
+    buffer_.clear();
+    buffer_pos_ = 0;
+    ++stats_->index_probes;
+    index_->Probe(keys_[key_pos_++], &buffer_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IndexRangeScan
+// ---------------------------------------------------------------------------
+
+IndexRangeScanNode::IndexRangeScanNode(const Table* table,
+                                       const OrderedIndex* index,
+                                       std::optional<Value> lo,
+                                       std::optional<Value> hi,
+                                       BoundExprPtr filter, ExecStats* stats)
+    : table_(table),
+      index_(index),
+      lo_(std::move(lo)),
+      hi_(std::move(hi)),
+      filter_(std::move(filter)),
+      stats_(stats) {
+  set_schema(table->schema());
+}
+
+Status IndexRangeScanNode::Open() {
+  buffer_.clear();
+  buffer_pos_ = 0;
+  Tuple lo_key;
+  Tuple hi_key;
+  if (lo_.has_value()) lo_key = Tuple{*lo_};
+  if (hi_.has_value()) hi_key = Tuple{*hi_};
+  ++stats_->index_probes;
+  index_->RangeOpt(lo_.has_value() ? &lo_key : nullptr,
+                   hi_.has_value() ? &hi_key : nullptr, &buffer_);
+  return Status::OK();
+}
+
+Result<bool> IndexRangeScanNode::Next(Tuple* row) {
+  while (buffer_pos_ < buffer_.size()) {
+    RowId rid = buffer_[buffer_pos_++];
+    if (!table_->IsLive(rid)) continue;
+    const Tuple& t = table_->Get(rid);
+    ++stats_->index_rows;
+    if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
+    *row = t;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Filter / Project
+// ---------------------------------------------------------------------------
+
+FilterNode::FilterNode(PlanNodePtr child, BoundExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  set_schema(child_->output_schema());
+}
+
+Result<bool> FilterNode::Next(Tuple* row) {
+  while (true) {
+    DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    if (predicate_->EvaluateBool(*row)) return true;
+  }
+}
+
+ProjectNode::ProjectNode(PlanNodePtr child, std::vector<BoundExprPtr> exprs,
+                         Schema schema)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  set_schema(std::move(schema));
+}
+
+Result<bool> ProjectNode::Next(Tuple* row) {
+  Tuple in;
+  DKB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  Tuple out;
+  out.reserve(exprs_.size());
+  for (const auto& e : exprs_) out.push_back(e->Evaluate(in));
+  *row = std::move(out);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// NestedLoopJoin
+// ---------------------------------------------------------------------------
+
+NestedLoopJoinNode::NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
+                                       BoundExprPtr predicate,
+                                       ExecStats* stats)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      predicate_(std::move(predicate)),
+      stats_(stats) {
+  set_schema(ConcatSchemas(outer_->output_schema(), inner_->output_schema()));
+}
+
+Status NestedLoopJoinNode::Open() {
+  outer_valid_ = false;
+  return outer_->Open();
+}
+
+Result<bool> NestedLoopJoinNode::Next(Tuple* row) {
+  while (true) {
+    if (!outer_valid_) {
+      DKB_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
+      if (!more) return false;
+      outer_valid_ = true;
+      DKB_RETURN_IF_ERROR(inner_->Open());
+    }
+    Tuple inner_row;
+    DKB_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
+    if (!more) {
+      outer_valid_ = false;
+      continue;
+    }
+    Tuple combined = ConcatRows(outer_row_, inner_row);
+    if (predicate_ == nullptr || predicate_->EvaluateBool(combined)) {
+      ++stats_->join_output_rows;
+      *row = std::move(combined);
+      return true;
+    }
+  }
+}
+
+void NestedLoopJoinNode::Close() {
+  outer_->Close();
+  inner_->Close();
+}
+
+// ---------------------------------------------------------------------------
+// HashJoin
+// ---------------------------------------------------------------------------
+
+HashJoinNode::HashJoinNode(PlanNodePtr left, PlanNodePtr right,
+                           std::vector<size_t> left_keys,
+                           std::vector<size_t> right_keys,
+                           BoundExprPtr residual, ExecStats* stats)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      stats_(stats) {
+  set_schema(ConcatSchemas(left_->output_schema(), right_->output_schema()));
+}
+
+Status HashJoinNode::Open() {
+  hash_.clear();
+  left_valid_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  DKB_RETURN_IF_ERROR(right_->Open());
+  Tuple row;
+  while (true) {
+    auto more = right_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    Tuple key;
+    key.reserve(right_keys_.size());
+    for (size_t k : right_keys_) key.push_back(row[k]);
+    hash_.emplace(std::move(key), row);
+  }
+  right_->Close();
+  return left_->Open();
+}
+
+Result<bool> HashJoinNode::Next(Tuple* row) {
+  while (true) {
+    if (match_pos_ < matches_.size()) {
+      Tuple combined = ConcatRows(left_row_, *matches_[match_pos_++]);
+      if (residual_ == nullptr || residual_->EvaluateBool(combined)) {
+        ++stats_->join_output_rows;
+        *row = std::move(combined);
+        return true;
+      }
+      continue;
+    }
+    DKB_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+    if (!more) return false;
+    Tuple key;
+    key.reserve(left_keys_.size());
+    for (size_t k : left_keys_) key.push_back(left_row_[k]);
+    matches_.clear();
+    match_pos_ = 0;
+    auto [lo, hi] = hash_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
+  }
+}
+
+void HashJoinNode::Close() {
+  left_->Close();
+  hash_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// IndexNLJoin
+// ---------------------------------------------------------------------------
+
+IndexNLJoinNode::IndexNLJoinNode(PlanNodePtr outer, const Table* inner,
+                                 const Index* index,
+                                 std::vector<size_t> outer_key_slots,
+                                 BoundExprPtr residual, ExecStats* stats)
+    : outer_(std::move(outer)),
+      inner_(inner),
+      index_(index),
+      outer_key_slots_(std::move(outer_key_slots)),
+      residual_(std::move(residual)),
+      stats_(stats) {
+  set_schema(ConcatSchemas(outer_->output_schema(), inner->schema()));
+}
+
+Status IndexNLJoinNode::Open() {
+  outer_valid_ = false;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  return outer_->Open();
+}
+
+Result<bool> IndexNLJoinNode::Next(Tuple* row) {
+  while (true) {
+    if (buffer_pos_ < buffer_.size()) {
+      RowId rid = buffer_[buffer_pos_++];
+      if (!inner_->IsLive(rid)) continue;
+      ++stats_->index_rows;
+      Tuple combined = ConcatRows(outer_row_, inner_->Get(rid));
+      if (residual_ == nullptr || residual_->EvaluateBool(combined)) {
+        ++stats_->join_output_rows;
+        *row = std::move(combined);
+        return true;
+      }
+      continue;
+    }
+    DKB_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
+    if (!more) return false;
+    outer_valid_ = true;
+    Tuple key;
+    key.reserve(outer_key_slots_.size());
+    for (size_t s : outer_key_slots_) key.push_back(outer_row_[s]);
+    buffer_.clear();
+    buffer_pos_ = 0;
+    ++stats_->index_probes;
+    index_->Probe(key, &buffer_);
+  }
+}
+
+void IndexNLJoinNode::Close() { outer_->Close(); }
+
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+DistinctNode::DistinctNode(PlanNodePtr child) : child_(std::move(child)) {
+  set_schema(child_->output_schema());
+}
+
+Status DistinctNode::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctNode::Next(Tuple* row) {
+  while (true) {
+    DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    if (seen_.insert(*row).second) return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SetOp
+// ---------------------------------------------------------------------------
+
+SetOpNode::SetOpNode(PlanNodePtr left, PlanNodePtr right, SetOpKind kind)
+    : left_(std::move(left)), right_(std::move(right)), kind_(kind) {
+  set_schema(left_->output_schema());
+}
+
+Status SetOpNode::Open() {
+  left_done_ = false;
+  right_set_.clear();
+  emitted_.clear();
+  DKB_RETURN_IF_ERROR(left_->Open());
+  if (kind_ == SetOpKind::kExcept || kind_ == SetOpKind::kIntersect) {
+    DKB_RETURN_IF_ERROR(right_->Open());
+    Tuple row;
+    while (true) {
+      auto more = right_->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      right_set_.insert(std::move(row));
+    }
+    right_->Close();
+  }
+  return Status::OK();
+}
+
+Result<bool> SetOpNode::Next(Tuple* row) {
+  if (kind_ == SetOpKind::kUnionAll) {
+    if (!left_done_) {
+      DKB_ASSIGN_OR_RETURN(bool more, left_->Next(row));
+      if (more) return true;
+      left_done_ = true;
+      DKB_RETURN_IF_ERROR(right_->Open());
+    }
+    return right_->Next(row);
+  }
+  if (kind_ == SetOpKind::kUnion) {
+    while (!left_done_) {
+      DKB_ASSIGN_OR_RETURN(bool more, left_->Next(row));
+      if (!more) {
+        left_done_ = true;
+        DKB_RETURN_IF_ERROR(right_->Open());
+        break;
+      }
+      if (emitted_.insert(*row).second) return true;
+    }
+    while (true) {
+      DKB_ASSIGN_OR_RETURN(bool more, right_->Next(row));
+      if (!more) return false;
+      if (emitted_.insert(*row).second) return true;
+    }
+  }
+  // EXCEPT / INTERSECT: stream left against the materialized right set.
+  while (true) {
+    DKB_ASSIGN_OR_RETURN(bool more, left_->Next(row));
+    if (!more) return false;
+    bool in_right = right_set_.count(*row) > 0;
+    bool want = (kind_ == SetOpKind::kIntersect) ? in_right : !in_right;
+    if (want && emitted_.insert(*row).second) return true;
+  }
+}
+
+void SetOpNode::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+// ---------------------------------------------------------------------------
+// Sort / Limit / Count
+// ---------------------------------------------------------------------------
+
+SortNode::SortNode(PlanNodePtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {
+  set_schema(child_->output_schema());
+}
+
+Status SortNode::Open() {
+  rows_.clear();
+  pos_ = 0;
+  DKB_RETURN_IF_ERROR(child_->Open());
+  Tuple row;
+  while (true) {
+    auto more = child_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    rows_.push_back(std::move(row));
+  }
+  child_->Close();
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     for (const SortKey& k : keys_) {
+                       if (a[k.slot] == b[k.slot]) continue;
+                       bool lt = a[k.slot] < b[k.slot];
+                       return k.ascending ? lt : !lt;
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortNode::Next(Tuple* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+void SortNode::Close() { rows_.clear(); }
+
+LimitNode::LimitNode(PlanNodePtr child, size_t limit)
+    : child_(std::move(child)), limit_(limit) {
+  set_schema(child_->output_schema());
+}
+
+Status LimitNode::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitNode::Next(Tuple* row) {
+  if (produced_ >= limit_) return false;
+  DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+  if (!more) return false;
+  ++produced_;
+  return true;
+}
+
+AggregateNode::AggregateNode(PlanNodePtr child,
+                             std::vector<BoundExprPtr> group_keys,
+                             std::vector<AggSpec> specs,
+                             std::vector<OutputRef> outputs, Schema schema)
+    : child_(std::move(child)),
+      group_keys_(std::move(group_keys)),
+      specs_(std::move(specs)),
+      outputs_(std::move(outputs)) {
+  set_schema(std::move(schema));
+}
+
+Status AggregateNode::Open() {
+  groups_.clear();
+  pos_ = 0;
+  std::unordered_map<Tuple, size_t, TupleHash> index;
+  DKB_RETURN_IF_ERROR(child_->Open());
+  Tuple row;
+  while (true) {
+    auto more = child_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    Tuple key;
+    key.reserve(group_keys_.size());
+    for (const auto& k : group_keys_) key.push_back(k->Evaluate(row));
+    auto [it, inserted] = index.emplace(key, groups_.size());
+    if (inserted) {
+      groups_.emplace_back(std::move(key),
+                           std::vector<Acc>(specs_.size()));
+    }
+    std::vector<Acc>& accs = groups_[it->second].second;
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      const AggSpec& spec = specs_[s];
+      Acc& acc = accs[s];
+      if (spec.fn == sql::AggFn::kCountStar) {
+        ++acc.count;
+        continue;
+      }
+      Value v = spec.arg->Evaluate(row);
+      if (v.is_null()) continue;
+      switch (spec.fn) {
+        case sql::AggFn::kCount:
+          ++acc.count;
+          break;
+        case sql::AggFn::kSum:
+          if (!v.is_int()) {
+            return Status::TypeError("SUM over non-integer value " +
+                                     v.ToString());
+          }
+          acc.sum += v.as_int();
+          break;
+        case sql::AggFn::kMin:
+          if (!acc.has_value || v < acc.min) acc.min = v;
+          break;
+        case sql::AggFn::kMax:
+          if (!acc.has_value || acc.max < v) acc.max = v;
+          break;
+        default:
+          return Status::Internal("bad aggregate function");
+      }
+      acc.has_value = true;
+    }
+  }
+  child_->Close();
+  // Global aggregation over an empty input still yields one row.
+  if (group_keys_.empty() && groups_.empty()) {
+    groups_.emplace_back(Tuple{}, std::vector<Acc>(specs_.size()));
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateNode::Next(Tuple* row) {
+  if (pos_ >= groups_.size()) return false;
+  const auto& [key, accs] = groups_[pos_++];
+  Tuple out;
+  out.reserve(outputs_.size());
+  for (const OutputRef& ref : outputs_) {
+    if (!ref.is_agg) {
+      out.push_back(key[ref.index]);
+      continue;
+    }
+    const Acc& acc = accs[ref.index];
+    switch (specs_[ref.index].fn) {
+      case sql::AggFn::kCountStar:
+      case sql::AggFn::kCount:
+        out.push_back(Value(acc.count));
+        break;
+      case sql::AggFn::kSum:
+        out.push_back(Value(acc.sum));
+        break;
+      case sql::AggFn::kMin:
+        out.push_back(acc.has_value ? acc.min : Value::Null());
+        break;
+      case sql::AggFn::kMax:
+        out.push_back(acc.has_value ? acc.max : Value::Null());
+        break;
+      default:
+        return Status::Internal("bad aggregate function");
+    }
+  }
+  *row = std::move(out);
+  return true;
+}
+
+void AggregateNode::Close() { groups_.clear(); }
+
+CountNode::CountNode(PlanNodePtr child, std::string column_name)
+    : child_(std::move(child)) {
+  set_schema(Schema({Column{std::move(column_name), DataType::kInteger}}));
+}
+
+Status CountNode::Open() {
+  emitted_ = false;
+  return child_->Open();
+}
+
+Result<bool> CountNode::Next(Tuple* row) {
+  if (emitted_) return false;
+  int64_t count = 0;
+  Tuple ignored;
+  while (true) {
+    DKB_ASSIGN_OR_RETURN(bool more, child_->Next(&ignored));
+    if (!more) break;
+    ++count;
+  }
+  emitted_ = true;
+  *row = Tuple{Value(count)};
+  return true;
+}
+
+}  // namespace dkb::exec

@@ -1,0 +1,420 @@
+#ifndef DKB_EXEC_PLAN_H_
+#define DKB_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expr.h"
+#include "storage/table.h"
+
+namespace dkb::exec {
+
+/// Counters exposed by Database::stats(); used by tests to assert access-path
+/// choices (e.g. that the relevant-rule extraction query really uses the
+/// index on reachablepreds) and by benches as secondary evidence.
+struct ExecStats {
+  int64_t rows_scanned = 0;      // rows read by sequential scans
+  int64_t index_probes = 0;      // index lookups performed
+  int64_t index_rows = 0;        // rows produced via index lookups
+  int64_t join_output_rows = 0;  // rows emitted by join operators
+  int64_t statements = 0;        // SQL statements executed
+  int64_t statement_cache_hits = 0;  // prepared-statement reuse
+
+  void Reset() { *this = ExecStats{}; }
+};
+
+/// Volcano-style physical operator. Open() may be called repeatedly; each
+/// call resets the operator to produce its output from the beginning (the
+/// nested-loop join relies on this for its inner side).
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  PlanNode() = default;
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  const Schema& output_schema() const { return schema_; }
+
+  virtual Status Open() = 0;
+  /// Produces the next row into *row; returns false at end-of-stream.
+  virtual Result<bool> Next(Tuple* row) = 0;
+  virtual void Close() {}
+
+  /// Operator name for EXPLAIN-style rendering.
+  virtual std::string Name() const = 0;
+
+  /// Child operators, outer/left first (EXPLAIN tree rendering).
+  virtual std::vector<const PlanNode*> Children() const { return {}; }
+
+ protected:
+  void set_schema(Schema schema) { schema_ = std::move(schema); }
+
+ private:
+  Schema schema_;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Full-table scan with optional pushed-down filter.
+class SeqScanNode : public PlanNode {
+ public:
+  SeqScanNode(const Table* table, BoundExprPtr filter, ExecStats* stats);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  std::string Name() const override { return "SeqScan(" + table_->name() + ")"; }
+
+ private:
+  const Table* table_;
+  BoundExprPtr filter_;  // may be null
+  ExecStats* stats_;
+  RowId cursor_ = 0;
+};
+
+/// Index lookup for one or more literal keys (supports `col = lit` and
+/// `col IN (...)` access paths), with optional residual filter.
+class IndexScanNode : public PlanNode {
+ public:
+  IndexScanNode(const Table* table, const Index* index,
+                std::vector<Tuple> keys, BoundExprPtr filter,
+                ExecStats* stats);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  std::string Name() const override {
+    return "IndexScan(" + table_->name() + "." + index_->name() + ")";
+  }
+
+ private:
+  const Table* table_;
+  const Index* index_;
+  std::vector<Tuple> keys_;
+  BoundExprPtr filter_;
+  ExecStats* stats_;
+  size_t key_pos_ = 0;
+  std::vector<RowId> buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+/// Ordered-index range scan for `col OP literal` predicates (OP one of
+/// < <= > >=). Bounds are inclusive; the original comparison is always
+/// applied as part of the residual filter, so exclusive bounds stay exact.
+class IndexRangeScanNode : public PlanNode {
+ public:
+  IndexRangeScanNode(const Table* table, const OrderedIndex* index,
+                     std::optional<Value> lo, std::optional<Value> hi,
+                     BoundExprPtr filter, ExecStats* stats);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  std::string Name() const override {
+    return "IndexRangeScan(" + table_->name() + "." + index_->name() + ")";
+  }
+
+ private:
+  const Table* table_;
+  const OrderedIndex* index_;
+  std::optional<Value> lo_;
+  std::optional<Value> hi_;
+  BoundExprPtr filter_;
+  ExecStats* stats_;
+  std::vector<RowId> buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+/// Filters child rows by a predicate.
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanNodePtr child, BoundExprPtr predicate);
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override { return "Filter"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanNodePtr child_;
+  BoundExprPtr predicate_;
+};
+
+/// Projects child rows through expressions; output schema supplied by the
+/// planner (which knows names and inferred types).
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(PlanNodePtr child, std::vector<BoundExprPtr> exprs,
+              Schema schema);
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override { return "Project"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanNodePtr child_;
+  std::vector<BoundExprPtr> exprs_;
+};
+
+/// Tuple-nested-loop join; inner (right) child is re-Opened per outer row.
+/// Output row = outer columns ++ inner columns.
+class NestedLoopJoinNode : public PlanNode {
+ public:
+  NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
+                     BoundExprPtr predicate, ExecStats* stats);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override;
+  std::string Name() const override { return "NestedLoopJoin"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {outer_.get(), inner_.get()};
+  }
+
+ private:
+  PlanNodePtr outer_;
+  PlanNodePtr inner_;
+  BoundExprPtr predicate_;  // evaluated over combined row; may be null
+  ExecStats* stats_;
+  Tuple outer_row_;
+  bool outer_valid_ = false;
+};
+
+/// Hash equi-join: builds a hash table over the right child, probes with
+/// left-child rows. Output row = left columns ++ right columns.
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(PlanNodePtr left, PlanNodePtr right,
+               std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+               BoundExprPtr residual, ExecStats* stats);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override;
+  std::string Name() const override { return "HashJoin"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanNodePtr left_;
+  PlanNodePtr right_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  BoundExprPtr residual_;  // may be null
+  ExecStats* stats_;
+
+  std::unordered_multimap<Tuple, Tuple, TupleHash> hash_;
+  Tuple left_row_;
+  bool left_valid_ = false;
+  std::vector<const Tuple*> matches_;
+  size_t match_pos_ = 0;
+};
+
+/// Index nested-loop join: probes an index of the inner base table with key
+/// values taken from outer-row slots. Output = outer ++ inner columns.
+class IndexNLJoinNode : public PlanNode {
+ public:
+  IndexNLJoinNode(PlanNodePtr outer, const Table* inner, const Index* index,
+                  std::vector<size_t> outer_key_slots, BoundExprPtr residual,
+                  ExecStats* stats);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override;
+  std::string Name() const override {
+    return "IndexNLJoin(" + inner_->name() + "." + index_->name() + ")";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {outer_.get()};
+  }
+
+ private:
+  PlanNodePtr outer_;
+  const Table* inner_;
+  const Index* index_;
+  std::vector<size_t> outer_key_slots_;  // aligned with index key columns
+  BoundExprPtr residual_;
+  ExecStats* stats_;
+  Tuple outer_row_;
+  bool outer_valid_ = false;
+  std::vector<RowId> buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+/// Removes duplicate rows (hash-based, streaming).
+class DistinctNode : public PlanNode {
+ public:
+  explicit DistinctNode(PlanNodePtr child);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override { return "Distinct"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanNodePtr child_;
+  std::unordered_set<Tuple, TupleHash> seen_;
+};
+
+enum class SetOpKind { kUnion, kUnionAll, kExcept, kIntersect };
+
+/// SQL set operation with set (DISTINCT) semantics except kUnionAll.
+class SetOpNode : public PlanNode {
+ public:
+  SetOpNode(PlanNodePtr left, PlanNodePtr right, SetOpKind kind);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override;
+  std::string Name() const override { return "SetOp"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanNodePtr left_;
+  PlanNodePtr right_;
+  SetOpKind kind_;
+  bool left_done_ = false;
+  std::unordered_set<Tuple, TupleHash> right_set_;
+  std::unordered_set<Tuple, TupleHash> emitted_;
+};
+
+/// Materializing sort; keys are output-column slots.
+class SortNode : public PlanNode {
+ public:
+  struct SortKey {
+    size_t slot;
+    bool ascending;
+  };
+
+  SortNode(PlanNodePtr child, std::vector<SortKey> keys);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override;
+  std::string Name() const override { return "Sort"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanNodePtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Emits at most `limit` rows.
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanNodePtr child, size_t limit);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override { return "Limit"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanNodePtr child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+/// Hash aggregation with optional GROUP BY.
+///
+/// With group keys, one output row per distinct key; without, a single
+/// global row (emitted even on empty input: COUNT = 0, SUM = 0,
+/// MIN/MAX = NULL). COUNT(expr)/SUM/MIN/MAX skip NULL inputs; SUM requires
+/// integer inputs.
+class AggregateNode : public PlanNode {
+ public:
+  struct AggSpec {
+    sql::AggFn fn;
+    BoundExprPtr arg;  // null for COUNT(*)
+  };
+  /// One select-list output: a group key (index into the key list) or an
+  /// aggregate (index into the spec list).
+  struct OutputRef {
+    bool is_agg;
+    size_t index;
+  };
+
+  AggregateNode(PlanNodePtr child, std::vector<BoundExprPtr> group_keys,
+                std::vector<AggSpec> specs, std::vector<OutputRef> outputs,
+                Schema schema);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override;
+  std::string Name() const override { return "Aggregate"; }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  struct Acc {
+    int64_t count = 0;
+    int64_t sum = 0;
+    bool has_value = false;
+    Value min;
+    Value max;
+  };
+
+  PlanNodePtr child_;
+  std::vector<BoundExprPtr> group_keys_;
+  std::vector<AggSpec> specs_;
+  std::vector<OutputRef> outputs_;
+  std::vector<std::pair<Tuple, std::vector<Acc>>> groups_;
+  size_t pos_ = 0;
+};
+
+/// COUNT(*): consumes the child and emits one row [count].
+class CountNode : public PlanNode {
+ public:
+  explicit CountNode(PlanNodePtr child, std::string column_name);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override { return "Count"; }
+
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PlanNodePtr child_;
+  bool emitted_ = false;
+};
+
+}  // namespace dkb::exec
+
+#endif  // DKB_EXEC_PLAN_H_

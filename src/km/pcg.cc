@@ -1,0 +1,82 @@
+#include "km/pcg.h"
+
+#include <deque>
+
+namespace dkb::km {
+
+void Pcg::AddRule(const datalog::Rule& rule) {
+  AddNode(rule.head.predicate);
+  for (const datalog::Atom& atom : rule.body) {
+    if (atom.is_builtin()) continue;  // comparison filters are not predicates
+    AddNode(atom.predicate);
+    adjacency_[rule.head.predicate].insert(atom.predicate);
+  }
+}
+
+void Pcg::AddNode(const std::string& predicate) {
+  adjacency_.try_emplace(predicate);
+}
+
+const std::set<std::string>& Pcg::Successors(
+    const std::string& predicate) const {
+  static const std::set<std::string>* kEmpty = new std::set<std::string>();
+  auto it = adjacency_.find(predicate);
+  if (it == adjacency_.end()) return *kEmpty;
+  return it->second;
+}
+
+std::set<std::string> Pcg::Reachable(const std::string& predicate) const {
+  return ReachableFrom({predicate});
+}
+
+std::set<std::string> Pcg::ReachableFrom(
+    const std::set<std::string>& from) const {
+  std::set<std::string> visited;
+  std::deque<std::string> frontier;
+  for (const std::string& p : from) {
+    for (const std::string& succ : Successors(p)) {
+      if (visited.insert(succ).second) frontier.push_back(succ);
+    }
+  }
+  while (!frontier.empty()) {
+    std::string p = std::move(frontier.front());
+    frontier.pop_front();
+    for (const std::string& succ : Successors(p)) {
+      if (visited.insert(succ).second) frontier.push_back(succ);
+    }
+  }
+  return visited;
+}
+
+std::vector<std::pair<std::string, std::string>> Pcg::TransitiveClosure()
+    const {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& [pred, succs] : adjacency_) {
+    (void)succs;
+    for (const std::string& to : Reachable(pred)) {
+      pairs.emplace_back(pred, to);
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::string> Pcg::Nodes() const {
+  std::vector<std::string> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [pred, succs] : adjacency_) {
+    (void)succs;
+    out.push_back(pred);
+  }
+  return out;
+}
+
+size_t Pcg::num_edges() const {
+  size_t n = 0;
+  for (const auto& [pred, succs] : adjacency_) {
+    (void)pred;
+    n += succs.size();
+  }
+  return n;
+}
+
+}  // namespace dkb::km

@@ -1,0 +1,62 @@
+#ifndef DKB_KM_PCG_H_
+#define DKB_KM_PCG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace dkb::km {
+
+/// Predicate Connection Graph (paper §2.2).
+///
+/// Nodes are predicate names. For every rule `p :- q1, ..., qn` there is a
+/// directed edge p -> qi for each body atom: the predicates *reachable from*
+/// p are exactly the predicates needed to solve p.
+class Pcg {
+ public:
+  Pcg() = default;
+
+  /// Adds edges head -> body-predicate for one rule; registers all
+  /// predicates as nodes (facts register just the head).
+  void AddRule(const datalog::Rule& rule);
+
+  /// Adds an isolated node (used for query predicates and base predicates
+  /// that appear in no rule).
+  void AddNode(const std::string& predicate);
+
+  bool HasNode(const std::string& predicate) const {
+    return adjacency_.count(predicate) > 0;
+  }
+
+  /// Direct successors (body predicates of rules defining `predicate`).
+  const std::set<std::string>& Successors(const std::string& predicate) const;
+
+  /// All predicates reachable from `predicate` (excluding itself unless it
+  /// lies on a cycle through itself).
+  std::set<std::string> Reachable(const std::string& predicate) const;
+
+  /// All predicates reachable from any of `from` (same self-inclusion rule).
+  std::set<std::string> ReachableFrom(const std::set<std::string>& from) const;
+
+  /// The full transitive closure as (from, to) pairs; `to` reachable from
+  /// `from` in one or more steps. This is the content of the paper's
+  /// `reachablepreds` compiled rule-storage relation.
+  std::vector<std::pair<std::string, std::string>> TransitiveClosure() const;
+
+  /// All node names.
+  std::vector<std::string> Nodes() const;
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const;
+
+ private:
+  std::map<std::string, std::set<std::string>> adjacency_;
+};
+
+}  // namespace dkb::km
+
+#endif  // DKB_KM_PCG_H_

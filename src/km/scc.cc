@@ -1,0 +1,101 @@
+#include "km/scc.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dkb::km {
+
+namespace {
+
+/// Iterative Tarjan (explicit stack) so deep rule chains cannot overflow the
+/// call stack; synthetic rule bases in the benches create chains thousands
+/// of predicates long.
+class TarjanState {
+ public:
+  explicit TarjanState(const Pcg& pcg) : pcg_(pcg) {}
+
+  std::vector<std::vector<std::string>> Run() {
+    for (const std::string& node : pcg_.Nodes()) {
+      if (index_.count(node) == 0) Visit(node);
+    }
+    return components_;
+  }
+
+ private:
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator next;
+    std::set<std::string>::const_iterator end;
+  };
+
+  void Visit(const std::string& root) {
+    std::vector<Frame> frames;
+    Push(root, &frames);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next != frame.end) {
+        const std::string& succ = *frame.next++;
+        if (index_.count(succ) == 0) {
+          Push(succ, &frames);
+        } else if (on_stack_.count(succ) > 0) {
+          lowlink_[frame.node] =
+              std::min(lowlink_[frame.node], index_[succ]);
+        }
+        continue;
+      }
+      // Finished all successors of frame.node.
+      std::string node = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink_[frames.back().node] =
+            std::min(lowlink_[frames.back().node], lowlink_[node]);
+      }
+      if (lowlink_[node] == index_[node]) {
+        std::vector<std::string> component;
+        while (true) {
+          std::string top = stack_.back();
+          stack_.pop_back();
+          on_stack_.erase(top);
+          component.push_back(top);
+          if (top == node) break;
+        }
+        std::sort(component.begin(), component.end());
+        components_.push_back(std::move(component));
+      }
+    }
+  }
+
+  void Push(const std::string& node, std::vector<Frame>* frames) {
+    index_[node] = counter_;
+    lowlink_[node] = counter_;
+    ++counter_;
+    stack_.push_back(node);
+    on_stack_.insert(node);
+    const auto& succs = pcg_.Successors(node);
+    frames->push_back(Frame{node, succs.begin(), succs.end()});
+  }
+
+  const Pcg& pcg_;
+  int counter_ = 0;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> lowlink_;
+  std::vector<std::string> stack_;
+  std::set<std::string> on_stack_;
+  std::vector<std::vector<std::string>> components_;
+};
+
+}  // namespace
+
+std::vector<std::vector<std::string>> StronglyConnectedComponents(
+    const Pcg& pcg) {
+  return TarjanState(pcg).Run();
+}
+
+bool IsRecursiveComponent(const Pcg& pcg,
+                          const std::vector<std::string>& component) {
+  if (component.size() > 1) return true;
+  const std::string& p = component[0];
+  return pcg.Successors(p).count(p) > 0;
+}
+
+}  // namespace dkb::km

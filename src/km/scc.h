@@ -1,0 +1,27 @@
+#ifndef DKB_KM_SCC_H_
+#define DKB_KM_SCC_H_
+
+#include <string>
+#include <vector>
+
+#include "km/pcg.h"
+
+namespace dkb::km {
+
+/// Tarjan's strongly-connected-components over a PCG.
+///
+/// Components are returned in reverse topological order of the condensation
+/// with respect to the PCG's head->body edges: a component appears *before*
+/// every component that depends on it. That is exactly the paper's
+/// evaluation order (callees first).
+std::vector<std::vector<std::string>> StronglyConnectedComponents(
+    const Pcg& pcg);
+
+/// True if `component` is recursive: more than one predicate, or a single
+/// predicate with a self-loop in the PCG.
+bool IsRecursiveComponent(const Pcg& pcg,
+                          const std::vector<std::string>& component);
+
+}  // namespace dkb::km
+
+#endif  // DKB_KM_SCC_H_

@@ -1,0 +1,455 @@
+#include "km/stored_dkb.h"
+
+#include "datalog/parser.h"
+#include "km/naming.h"
+
+namespace dkb::km {
+
+namespace {
+
+/// Renders a value set as SQL string literals for an IN list.
+std::string QuoteList(const std::set<std::string>& values) {
+  std::string out;
+  for (const std::string& v : values) {
+    if (!out.empty()) out += ", ";
+    out += Value(v).ToSqlLiteral();
+  }
+  return out;
+}
+
+const char* TypeToDict(DataType t) {
+  return t == DataType::kInteger ? "integer" : "char";
+}
+
+Result<DataType> DictToType(const std::string& s) {
+  if (s == "integer") return DataType::kInteger;
+  if (s == "char") return DataType::kVarchar;
+  return Status::Internal("unknown dictionary type '" + s + "'");
+}
+
+}  // namespace
+
+StoredDkb::StoredDkb(Database* db, Options options)
+    : db_(db), options_(options) {}
+
+Status StoredDkb::Initialize() {
+  DKB_RETURN_IF_ERROR(db_->ExecuteAll(
+      "CREATE TABLE idbrel (predname VARCHAR, arity INT);"
+      "CREATE TABLE idbcol (predname VARCHAR, colnum INT, coltype VARCHAR);"
+      "CREATE TABLE rulesource (headpredname VARCHAR, ruleid INT,"
+      "                         ruletext VARCHAR);"
+      "CREATE TABLE reachablepreds (frompredname VARCHAR,"
+      "                             topredname VARCHAR);"
+      "CREATE TABLE edbrel (predname VARCHAR, arity INT);"
+      "CREATE TABLE edbcol (predname VARCHAR, colnum INT, coltype VARCHAR);"
+      "CREATE INDEX rulesource_head_ix ON rulesource (headpredname);"
+      "CREATE INDEX reachable_from_ix ON reachablepreds (frompredname);"
+      "CREATE INDEX reachable_to_ix ON reachablepreds (topredname);"
+      "CREATE INDEX idbrel_ix ON idbrel (predname);"
+      "CREATE INDEX idbcol_ix ON idbcol (predname);"
+      "CREATE INDEX edbrel_ix ON edbrel (predname);"
+      "CREATE INDEX edbcol_ix ON edbcol (predname);"));
+  return Status::OK();
+}
+
+Status StoredDkb::RestoreFromDatabase() {
+  for (const char* required : {"edbrel", "rulesource", "reachablepreds"}) {
+    if (!db_->catalog().HasTable(required)) {
+      return Status::InvalidArgument(
+          std::string("database is missing stored-DKB relation ") + required);
+    }
+  }
+  base_preds_.clear();
+  DKB_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                       db_->QueryRows("SELECT predname FROM edbrel"));
+  for (const Tuple& row : rows) base_preds_.insert(row[0].as_string());
+  DKB_ASSIGN_OR_RETURN(std::vector<Tuple> ids,
+                       db_->QueryRows("SELECT ruleid FROM rulesource"));
+  next_rule_id_ = 1;
+  for (const Tuple& row : ids) {
+    next_rule_id_ = std::max(next_rule_id_, row[0].as_int() + 1);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Extensional database
+// ---------------------------------------------------------------------------
+
+Status StoredDkb::DefineBasePredicate(const std::string& pred,
+                                      const PredicateTypes& types) {
+  if (HasBasePredicate(pred)) {
+    return Status::AlreadyExists("base predicate " + pred +
+                                 " already defined");
+  }
+  std::string ddl = "CREATE TABLE " + EdbTableName(pred) + " (";
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) ddl += ", ";
+    ddl += IdbColumnName(i);
+    ddl += types[i] == DataType::kInteger ? " INT" : " VARCHAR";
+  }
+  ddl += ")";
+  DKB_RETURN_IF_ERROR(db_->Execute(ddl).status());
+  if (options_.index_edb_first_column && !types.empty()) {
+    DKB_RETURN_IF_ERROR(
+        db_->Execute("CREATE INDEX " + EdbTableName(pred) + "_c0_ix ON " +
+                     EdbTableName(pred) + " (c0)")
+            .status());
+  }
+  DKB_RETURN_IF_ERROR(
+      db_->Execute("INSERT INTO edbrel VALUES (" +
+                   Value(pred).ToSqlLiteral() + ", " +
+                   std::to_string(types.size()) + ")")
+          .status());
+  for (size_t i = 0; i < types.size(); ++i) {
+    DKB_RETURN_IF_ERROR(
+        db_->Execute("INSERT INTO edbcol VALUES (" +
+                     Value(pred).ToSqlLiteral() + ", " + std::to_string(i) +
+                     ", '" + TypeToDict(types[i]) + "')")
+            .status());
+  }
+  base_preds_.insert(pred);
+  return Status::OK();
+}
+
+bool StoredDkb::HasBasePredicate(const std::string& pred) const {
+  return base_preds_.count(pred) > 0;
+}
+
+Status StoredDkb::InsertFacts(const std::string& pred,
+                              const std::vector<Tuple>& tuples) {
+  if (!HasBasePredicate(pred)) {
+    return Status::NotFound("base predicate " + pred + " is not defined");
+  }
+  DKB_ASSIGN_OR_RETURN(Table * table,
+                       db_->catalog().GetTable(EdbTableName(pred)));
+  for (const Tuple& t : tuples) {
+    DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(t));
+    (void)rid;
+  }
+  return Status::OK();
+}
+
+Status StoredDkb::ClearFacts(const std::string& pred) {
+  if (!HasBasePredicate(pred)) {
+    return Status::NotFound("base predicate " + pred + " is not defined");
+  }
+  DKB_ASSIGN_OR_RETURN(Table * table,
+                       db_->catalog().GetTable(EdbTableName(pred)));
+  table->Clear();
+  return Status::OK();
+}
+
+Result<std::map<std::string, PredicateTypes>> StoredDkb::ReadEdbDictionary(
+    const std::set<std::string>& preds) {
+  std::map<std::string, PredicateTypes> out;
+  if (preds.empty()) return out;
+  // Single dictionary join, exactly as the testbed issues it (Test 2).
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows(
+          "SELECT edbrel.predname, edbcol.colnum, edbcol.coltype "
+          "FROM edbrel, edbcol WHERE edbrel.predname = edbcol.predname "
+          "AND edbrel.predname IN (" +
+          QuoteList(preds) + ") ORDER BY 1, 2"));
+  for (const Tuple& row : rows) {
+    DKB_ASSIGN_OR_RETURN(DataType t, DictToType(row[2].as_string()));
+    out[row[0].as_string()].push_back(t);
+  }
+  return out;
+}
+
+Result<std::map<std::string, PredicateTypes>> StoredDkb::ReadIdbDictionary(
+    const std::set<std::string>& preds) {
+  std::map<std::string, PredicateTypes> out;
+  if (preds.empty()) return out;
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows(
+          "SELECT idbrel.predname, idbcol.colnum, idbcol.coltype "
+          "FROM idbrel, idbcol WHERE idbrel.predname = idbcol.predname "
+          "AND idbrel.predname IN (" +
+          QuoteList(preds) + ") ORDER BY 1, 2"));
+  for (const Tuple& row : rows) {
+    DKB_ASSIGN_OR_RETURN(DataType t, DictToType(row[2].as_string()));
+    out[row[0].as_string()].push_back(t);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Intensional database
+// ---------------------------------------------------------------------------
+
+Result<std::vector<datalog::Rule>> StoredDkb::ExtractRelevantRules(
+    const std::set<std::string>& preds) {
+  std::vector<datalog::Rule> rules;
+  std::set<std::string> seen_texts;
+  auto add_rows = [&](const std::vector<Tuple>& rows) -> Status {
+    for (const Tuple& row : rows) {
+      const std::string& text = row[0].as_string();
+      if (!seen_texts.insert(text).second) continue;
+      DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(text));
+      rules.push_back(std::move(rule));
+    }
+    return Status::OK();
+  };
+
+  if (preds.empty()) return rules;
+
+  if (options_.compiled_rule_storage) {
+    // The paper's extraction query (§4.1): rules whose head is one of the
+    // query predicates or reachable from one, in a single indexed join.
+    std::string in_list = QuoteList(preds);
+    DKB_ASSIGN_OR_RETURN(
+        std::vector<Tuple> rows,
+        db_->QueryRows(
+            "SELECT DISTINCT rulesource.ruletext "
+            "FROM reachablepreds, rulesource "
+            "WHERE reachablepreds.topredname = rulesource.headpredname "
+            "AND reachablepreds.frompredname IN (" + in_list + ") "
+            "UNION "
+            "SELECT ruletext FROM rulesource WHERE headpredname IN (" +
+            in_list + ")"));
+    DKB_RETURN_IF_ERROR(add_rows(rows));
+    return rules;
+  }
+
+  // Without the compiled form the transitive closure must be walked at
+  // extraction time: one rulesource query per frontier level.
+  std::set<std::string> visited = preds;
+  std::set<std::string> frontier = preds;
+  while (!frontier.empty()) {
+    DKB_ASSIGN_OR_RETURN(
+        std::vector<Tuple> rows,
+        db_->QueryRows("SELECT ruletext FROM rulesource "
+                       "WHERE headpredname IN (" +
+                       QuoteList(frontier) + ")"));
+    size_t before = rules.size();
+    DKB_RETURN_IF_ERROR(add_rows(rows));
+    frontier.clear();
+    for (size_t i = before; i < rules.size(); ++i) {
+      for (const datalog::Atom& atom : rules[i].body) {
+        if (visited.insert(atom.predicate).second) {
+          frontier.insert(atom.predicate);
+        }
+      }
+    }
+  }
+  return rules;
+}
+
+Result<bool> StoredDkb::StoreRuleSource(const datalog::Rule& rule) {
+  std::string text = rule.ToString();
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> existing,
+      db_->QueryRows("SELECT ruletext FROM rulesource WHERE headpredname = " +
+                     Value(rule.head.predicate).ToSqlLiteral()));
+  for (const Tuple& row : existing) {
+    if (row[0].as_string() == text) return false;
+  }
+  DKB_RETURN_IF_ERROR(
+      db_->Execute("INSERT INTO rulesource VALUES (" +
+                   Value(rule.head.predicate).ToSqlLiteral() + ", " +
+                   std::to_string(next_rule_id_++) + ", " +
+                   Value(text).ToSqlLiteral() + ")")
+          .status());
+  return true;
+}
+
+Result<std::vector<datalog::Rule>> StoredDkb::AllStoredRules() {
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows("SELECT ruletext FROM rulesource ORDER BY 1"));
+  std::vector<datalog::Rule> rules;
+  rules.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    DKB_ASSIGN_OR_RETURN(datalog::Rule rule,
+                         datalog::ParseRule(row[0].as_string()));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Result<int64_t> StoredDkb::NumStoredRules() {
+  return db_->QueryCount("SELECT COUNT(*) FROM rulesource");
+}
+
+Status StoredDkb::UpsertIdbDictionary(const std::string& pred,
+                                      const PredicateTypes& types) {
+  std::string lit = Value(pred).ToSqlLiteral();
+  DKB_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM idbrel WHERE predname = " + lit).status());
+  DKB_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM idbcol WHERE predname = " + lit).status());
+  DKB_RETURN_IF_ERROR(db_->Execute("INSERT INTO idbrel VALUES (" + lit +
+                                   ", " + std::to_string(types.size()) + ")")
+                          .status());
+  if (types.empty()) return Status::OK();
+  std::string sql = "INSERT INTO idbcol VALUES ";
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += "(" + lit + ", " + std::to_string(i) + ", '" +
+           TypeToDict(types[i]) + "')";
+  }
+  return db_->Execute(sql).status();
+}
+
+Status StoredDkb::UpsertIdbDictionaryBatch(
+    const std::map<std::string, PredicateTypes>& preds) {
+  if (preds.empty()) return Status::OK();
+  std::set<std::string> names;
+  for (const auto& [pred, sig] : preds) {
+    (void)sig;
+    names.insert(pred);
+  }
+  std::string in_list = QuoteList(names);
+  DKB_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM idbrel WHERE predname IN (" + in_list + ")")
+          .status());
+  DKB_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM idbcol WHERE predname IN (" + in_list + ")")
+          .status());
+  std::string rel_sql = "INSERT INTO idbrel VALUES ";
+  std::string col_sql = "INSERT INTO idbcol VALUES ";
+  bool first_rel = true;
+  bool first_col = true;
+  for (const auto& [pred, sig] : preds) {
+    std::string lit = Value(pred).ToSqlLiteral();
+    if (!first_rel) rel_sql += ", ";
+    first_rel = false;
+    rel_sql += "(" + lit + ", " + std::to_string(sig.size()) + ")";
+    for (size_t i = 0; i < sig.size(); ++i) {
+      if (!first_col) col_sql += ", ";
+      first_col = false;
+      col_sql += "(" + lit + ", " + std::to_string(i) + ", '" +
+                 TypeToDict(sig[i]) + "')";
+    }
+  }
+  DKB_RETURN_IF_ERROR(db_->Execute(rel_sql).status());
+  if (!first_col) DKB_RETURN_IF_ERROR(db_->Execute(col_sql).status());
+  return Status::OK();
+}
+
+Status StoredDkb::MergeReachableBatch(
+    const std::map<std::string, std::set<std::string>>& pairs) {
+  if (pairs.empty()) return Status::OK();
+  std::set<std::string> froms;
+  for (const auto& [from, tos] : pairs) {
+    (void)tos;
+    froms.insert(from);
+  }
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows("SELECT frompredname, topredname FROM reachablepreds "
+                     "WHERE frompredname IN (" +
+                     QuoteList(froms) + ")"));
+  std::set<std::pair<std::string, std::string>> existing;
+  for (const Tuple& row : rows) {
+    existing.emplace(row[0].as_string(), row[1].as_string());
+  }
+  std::string sql = "INSERT INTO reachablepreds VALUES ";
+  bool first = true;
+  for (const auto& [from, tos] : pairs) {
+    for (const std::string& to : tos) {
+      if (existing.count({from, to}) > 0) continue;
+      if (!first) sql += ", ";
+      first = false;
+      sql += "(" + Value(from).ToSqlLiteral() + ", " +
+             Value(to).ToSqlLiteral() + ")";
+    }
+  }
+  if (first) return Status::OK();  // nothing new
+  return db_->Execute(sql).status();
+}
+
+namespace {
+
+/// Multi-row INSERT for reachablepreds pairs (one statement per call).
+std::string ReachableInsertSql(const std::string& from_literal,
+                               const std::set<std::string>& to) {
+  std::string sql = "INSERT INTO reachablepreds VALUES ";
+  bool first = true;
+  for (const std::string& t : to) {
+    if (!first) sql += ", ";
+    first = false;
+    sql += "(" + from_literal + ", " + Value(t).ToSqlLiteral() + ")";
+  }
+  return sql;
+}
+
+}  // namespace
+
+Status StoredDkb::ReplaceReachable(const std::string& from,
+                                   const std::set<std::string>& to) {
+  std::string lit = Value(from).ToSqlLiteral();
+  DKB_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM reachablepreds WHERE frompredname = " + lit)
+          .status());
+  if (to.empty()) return Status::OK();
+  return db_->Execute(ReachableInsertSql(lit, to)).status();
+}
+
+Status StoredDkb::MergeReachable(const std::string& from,
+                                 const std::set<std::string>& to) {
+  std::string lit = Value(from).ToSqlLiteral();
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows(
+          "SELECT topredname FROM reachablepreds WHERE frompredname = " +
+          lit));
+  std::set<std::string> existing;
+  for (const Tuple& row : rows) existing.insert(row[0].as_string());
+  std::set<std::string> missing;
+  for (const std::string& t : to) {
+    if (existing.count(t) == 0) missing.insert(t);
+  }
+  if (missing.empty()) return Status::OK();
+  return db_->Execute(ReachableInsertSql(lit, missing)).status();
+}
+
+Result<std::set<std::string>> StoredDkb::StoredUpstream(
+    const std::set<std::string>& preds) {
+  std::set<std::string> out;
+  if (preds.empty()) return out;
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows(
+          "SELECT DISTINCT frompredname FROM reachablepreds "
+          "WHERE topredname IN (" +
+          QuoteList(preds) + ")"));
+  for (const Tuple& row : rows) out.insert(row[0].as_string());
+  return out;
+}
+
+Result<std::vector<datalog::Rule>> StoredDkb::RulesForHeads(
+    const std::set<std::string>& preds) {
+  std::vector<datalog::Rule> rules;
+  if (preds.empty()) return rules;
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows("SELECT ruletext FROM rulesource WHERE headpredname IN (" +
+                     QuoteList(preds) + ")"));
+  for (const Tuple& row : rows) {
+    DKB_ASSIGN_OR_RETURN(datalog::Rule rule,
+                         datalog::ParseRule(row[0].as_string()));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Result<std::set<std::string>> StoredDkb::StoredReachable(
+    const std::set<std::string>& preds) {
+  std::set<std::string> out;
+  if (preds.empty()) return out;
+  DKB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      db_->QueryRows(
+          "SELECT DISTINCT topredname FROM reachablepreds "
+          "WHERE frompredname IN (" +
+          QuoteList(preds) + ")"));
+  for (const Tuple& row : rows) out.insert(row[0].as_string());
+  return out;
+}
+
+}  // namespace dkb::km

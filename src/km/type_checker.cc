@@ -1,0 +1,211 @@
+#include "km/type_checker.h"
+
+namespace dkb::km {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Rule;
+using datalog::Term;
+
+/// Working signature: kInvalid marks a not-yet-inferred column.
+using WorkTypes = std::vector<DataType>;
+
+Status ArityError(const Atom& atom, size_t expected) {
+  return Status::SemanticError(
+      "predicate " + atom.predicate + " used with arity " +
+      std::to_string(atom.arity()) + " but declared/used elsewhere with " +
+      std::to_string(expected));
+}
+
+}  // namespace
+
+Result<TypeCheckResult> TypeCheck(
+    const std::vector<Rule>& rules,
+    const std::map<std::string, PredicateTypes>& base_types) {
+  // Gather derived predicates and check arity consistency of every atom.
+  std::map<std::string, size_t> arity;
+  std::set<std::string> derived;
+  for (const Rule& rule : rules) derived.insert(rule.head.predicate);
+
+  auto check_arity = [&](const Atom& atom) -> Status {
+    auto base_it = base_types.find(atom.predicate);
+    if (base_it != base_types.end()) {
+      if (atom.arity() != base_it->second.size()) {
+        return ArityError(atom, base_it->second.size());
+      }
+      return Status::OK();
+    }
+    auto [it, inserted] = arity.emplace(atom.predicate, atom.arity());
+    if (!inserted && it->second != atom.arity()) {
+      return ArityError(atom, it->second);
+    }
+    return Status::OK();
+  };
+
+  for (const Rule& rule : rules) {
+    if (rule.head.is_builtin()) {
+      return Status::SemanticError("built-in comparison used as rule head: " +
+                                   rule.ToString());
+    }
+    DKB_RETURN_IF_ERROR(check_arity(rule.head));
+    for (const Atom& atom : rule.body) {
+      if (atom.is_builtin()) {
+        if (atom.arity() != 2) {
+          return Status::SemanticError("built-in comparison needs exactly "
+                                       "two arguments: " +
+                                       atom.ToString());
+        }
+        continue;  // filters: no arity map, no definedness
+      }
+      DKB_RETURN_IF_ERROR(check_arity(atom));
+      // Definedness: body predicates must be base or derived.
+      if (base_types.count(atom.predicate) == 0 &&
+          derived.count(atom.predicate) == 0) {
+        return Status::SemanticError("predicate " + atom.predicate +
+                                     " in rule " + rule.ToString() +
+                                     " is neither a base predicate nor "
+                                     "defined by any rule");
+      }
+    }
+    // Safety: head variables and variables of negated atoms must appear in
+    // a *positive* body atom (range restriction; negation-as-failure over a
+    // finite positive binding set).
+    std::set<std::string> positive_vars;
+    for (const Atom& atom : rule.body) {
+      if (atom.negated || atom.is_builtin()) continue;
+      for (const Term& bt : atom.args) {
+        if (bt.is_variable()) positive_vars.insert(bt.var);
+      }
+    }
+    for (const Term& t : rule.head.args) {
+      if (t.is_variable() && positive_vars.count(t.var) == 0) {
+        return Status::SemanticError(
+            "unsafe rule (head variable " + t.var +
+            " not bound in a positive body atom): " + rule.ToString());
+      }
+    }
+    for (const Atom& atom : rule.body) {
+      if (!atom.negated && !atom.is_builtin()) continue;
+      const char* what = atom.negated ? "negated atom" : "comparison";
+      for (const Term& bt : atom.args) {
+        if (bt.is_variable() && positive_vars.count(bt.var) == 0) {
+          return Status::SemanticError(
+              std::string("unsafe rule (variable ") + bt.var + " of " +
+              what + " not bound in a positive body atom): " +
+              rule.ToString());
+        }
+      }
+    }
+  }
+
+  // Fixpoint type propagation.
+  std::map<std::string, WorkTypes> types;
+  for (const std::string& p : derived) {
+    types[p] = WorkTypes(arity[p], DataType::kInvalid);
+  }
+
+  auto type_of_atom_arg = [&](const Atom& atom, size_t i) -> DataType {
+    auto base_it = base_types.find(atom.predicate);
+    if (base_it != base_types.end()) return base_it->second[i];
+    return types[atom.predicate][i];
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules) {
+      // Infer variable types from body occurrences.
+      std::map<std::string, DataType> var_types;
+      // Built-in comparisons constrain after regular atoms are processed.
+      std::vector<const Atom*> builtins;
+      for (const Atom& atom : rule.body) {
+        if (atom.is_builtin()) {
+          builtins.push_back(&atom);
+          continue;
+        }
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          const Term& t = atom.args[i];
+          DataType slot = type_of_atom_arg(atom, i);
+          if (t.is_constant()) {
+            DataType ct = t.value.type();
+            if (slot != DataType::kInvalid && ct != DataType::kInvalid &&
+                slot != ct) {
+              return Status::TypeError(
+                  "constant " + t.ToString() + " of type " +
+                  DataTypeName(ct) + " used at " + DataTypeName(slot) +
+                  " position of " + atom.predicate + " in rule " +
+                  rule.ToString());
+            }
+            continue;
+          }
+          if (slot == DataType::kInvalid) continue;
+          auto [it, inserted] = var_types.emplace(t.var, slot);
+          if (!inserted && it->second != slot) {
+            return Status::TypeError("variable " + t.var +
+                                     " used at conflicting types " +
+                                     DataTypeName(it->second) + " and " +
+                                     DataTypeName(slot) + " in rule " +
+                                     rule.ToString());
+          }
+        }
+      }
+      // Built-in comparisons must compare like-typed operands.
+      for (const Atom* b : builtins) {
+        auto type_of = [&](const Term& t) -> DataType {
+          if (t.is_constant()) return t.value.type();
+          auto it = var_types.find(t.var);
+          return it != var_types.end() ? it->second : DataType::kInvalid;
+        };
+        DataType lt = type_of(b->args[0]);
+        DataType rt = type_of(b->args[1]);
+        if (lt != DataType::kInvalid && rt != DataType::kInvalid &&
+            lt != rt) {
+          return Status::TypeError("comparison " + b->ToString() +
+                                   " mixes " + DataTypeName(lt) + " and " +
+                                   DataTypeName(rt) + " in rule " +
+                                   rule.ToString());
+        }
+      }
+
+      // Propagate to the head.
+      WorkTypes& head_types = types[rule.head.predicate];
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        const Term& t = rule.head.args[i];
+        DataType inferred = DataType::kInvalid;
+        if (t.is_constant()) {
+          inferred = t.value.type();
+        } else {
+          auto it = var_types.find(t.var);
+          if (it != var_types.end()) inferred = it->second;
+        }
+        if (inferred == DataType::kInvalid) continue;
+        if (head_types[i] == DataType::kInvalid) {
+          head_types[i] = inferred;
+          changed = true;
+        } else if (head_types[i] != inferred) {
+          return Status::TypeError(
+              "rules defining " + rule.head.predicate +
+              " infer conflicting types for column " + std::to_string(i) +
+              ": " + DataTypeName(head_types[i]) + " vs " +
+              DataTypeName(inferred) + " (rule " + rule.ToString() + ")");
+        }
+      }
+    }
+  }
+
+  // Every column must have been determined.
+  TypeCheckResult result;
+  for (auto& [pred, sig] : types) {
+    for (size_t i = 0; i < sig.size(); ++i) {
+      if (sig[i] == DataType::kInvalid) {
+        return Status::TypeError("could not infer type of column " +
+                                 std::to_string(i) + " of predicate " + pred);
+      }
+    }
+    result.derived_types.emplace(pred, sig);
+  }
+  return result;
+}
+
+}  // namespace dkb::km

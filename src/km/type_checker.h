@@ -1,0 +1,46 @@
+#ifndef DKB_KM_TYPE_CHECKER_H_
+#define DKB_KM_TYPE_CHECKER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/ast.h"
+
+namespace dkb::km {
+
+/// Column-type signature of a predicate.
+using PredicateTypes = std::vector<DataType>;
+
+/// Result of the Semantic Checker (paper §3.2.4): inferred column types for
+/// every derived predicate.
+struct TypeCheckResult {
+  std::map<std::string, PredicateTypes> derived_types;
+};
+
+/// Runs both semantic checks of the paper over the relevant rule set:
+///
+///  1. Definedness — every predicate appearing in a body is either a base
+///     predicate (key of `base_types`) or defined by some rule in `rules`.
+///  2. Type inference + consistency — infers the column types of every
+///     derived predicate by propagating base-predicate types through rule
+///     bodies to heads (to a fixpoint, so recursion and mutual recursion
+///     work), checking that
+///       * the same arity is used everywhere for a predicate,
+///       * a variable is used at positions of a single type within a rule,
+///       * all rules defining a predicate infer identical column types,
+///       * every head variable appears in the body (range restriction),
+///       * every column's type is determined (no type-less predicate).
+///
+/// Rules with empty bodies and constant heads (seed facts injected by the
+/// magic rewrite) contribute their constants' types directly.
+Result<TypeCheckResult> TypeCheck(
+    const std::vector<datalog::Rule>& rules,
+    const std::map<std::string, PredicateTypes>& base_types);
+
+}  // namespace dkb::km
+
+#endif  // DKB_KM_TYPE_CHECKER_H_

@@ -1,0 +1,50 @@
+#ifndef DKB_KM_UPDATE_H_
+#define DKB_KM_UPDATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "km/stored_dkb.h"
+#include "km/workspace.h"
+
+namespace dkb::km {
+
+/// Per-update timing breakdown (paper §5.3.2, Table 8).
+struct UpdateStats {
+  int64_t t_extract_us = 0;    // extract rules relevant to the update
+  int64_t t_tc_us = 0;         // incremental transitive closure of the PCG
+  int64_t t_typecheck_us = 0;  // semantic/type check of the composite
+  int64_t t_dict_us = 0;       // idbrel / idbcol / reachablepreds updates
+  int64_t t_store_us = 0;      // rulesource inserts (source form)
+
+  int64_t rules_stored = 0;    // new rulesource rows
+  int64_t closure_edges = 0;   // |TC| of the composite PCG (the paper's R_c)
+  int64_t composite_rules = 0;
+
+  int64_t total_us() const {
+    return t_extract_us + t_tc_us + t_typecheck_us + t_dict_us + t_store_us;
+  }
+};
+
+/// Stored D/KB update processor (paper §4.3): commits the Workspace rules
+/// into the Stored DKB, incrementally maintaining the compiled rule-storage
+/// structures.
+///
+/// With compiled_rule_storage enabled, the transitive closure is recomputed
+/// only over the *composite* PCG (workspace rules plus the stored rules
+/// relevant to them) — not over the whole stored rule base. Without it,
+/// only the source form is stored (the fast-update configuration of
+/// Fig 15).
+class UpdateProcessor {
+ public:
+  explicit UpdateProcessor(StoredDkb* stored) : stored_(stored) {}
+
+  Result<UpdateStats> Update(const Workspace& workspace);
+
+ private:
+  StoredDkb* stored_;
+};
+
+}  // namespace dkb::km
+
+#endif  // DKB_KM_UPDATE_H_

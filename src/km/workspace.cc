@@ -1,0 +1,52 @@
+#include "km/workspace.h"
+
+#include <algorithm>
+
+namespace dkb::km {
+
+Status Workspace::AddRule(datalog::Rule rule) {
+  if (rule.is_fact()) {
+    return Status::InvalidArgument(
+        "facts belong in the extensional database, not the workspace: " +
+        rule.ToString());
+  }
+  if (std::find(rules_.begin(), rules_.end(), rule) != rules_.end()) {
+    return Status::OK();  // idempotent
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+bool Workspace::RemoveRule(const datalog::Rule& rule) {
+  auto it = std::find(rules_.begin(), rules_.end(), rule);
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+std::vector<datalog::Rule> Workspace::RulesFor(const std::string& pred) const {
+  std::vector<datalog::Rule> out;
+  for (const datalog::Rule& rule : rules_) {
+    if (rule.head.predicate == pred) out.push_back(rule);
+  }
+  return out;
+}
+
+std::set<std::string> Workspace::HeadPredicates() const {
+  std::set<std::string> out;
+  for (const datalog::Rule& rule : rules_) out.insert(rule.head.predicate);
+  return out;
+}
+
+std::set<std::string> Workspace::UndefinedBodyPredicates() const {
+  std::set<std::string> heads = HeadPredicates();
+  std::set<std::string> out;
+  for (const datalog::Rule& rule : rules_) {
+    for (const datalog::Atom& atom : rule.body) {
+      if (heads.count(atom.predicate) == 0) out.insert(atom.predicate);
+    }
+  }
+  return out;
+}
+
+}  // namespace dkb::km

@@ -1,0 +1,51 @@
+#ifndef DKB_KM_WORKSPACE_H_
+#define DKB_KM_WORKSPACE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace dkb::km {
+
+/// Workspace D/KB Manager (paper §3.2.2): the memory-resident rule
+/// environment the user edits before committing to the Stored D/KB.
+///
+/// Workspace rules may refer to predicates defined in the Stored D/KB and
+/// vice versa; the query compiler resolves the union.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  /// Adds a rule; duplicate clauses (structural equality) are ignored.
+  /// Facts are rejected — ground facts belong in the extensional database.
+  Status AddRule(datalog::Rule rule);
+
+  /// Removes a rule by structural equality; false if absent.
+  bool RemoveRule(const datalog::Rule& rule);
+
+  void Clear() { rules_.clear(); }
+
+  const std::vector<datalog::Rule>& rules() const { return rules_; }
+  size_t num_rules() const { return rules_.size(); }
+
+  /// Rules whose head predicate is `pred`.
+  std::vector<datalog::Rule> RulesFor(const std::string& pred) const;
+
+  /// Predicates defined by at least one workspace rule.
+  std::set<std::string> HeadPredicates() const;
+
+  /// Predicates appearing in rule bodies but defined by no workspace rule
+  /// (they must be base predicates or Stored-D/KB derived predicates).
+  std::set<std::string> UndefinedBodyPredicates() const;
+
+ private:
+  std::vector<datalog::Rule> rules_;
+};
+
+}  // namespace dkb::km
+
+#endif  // DKB_KM_WORKSPACE_H_

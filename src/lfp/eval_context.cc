@@ -1,0 +1,109 @@
+#include "lfp/eval_context.h"
+
+#include "common/timer.h"
+
+namespace dkb::lfp {
+
+Status EvalContext::Temp(const std::string& sql) {
+  ScopedAccumulator acc(&stats_->t_temp_us);
+  return db_->Execute(sql).status();
+}
+
+Status EvalContext::Rhs(const std::string& sql) {
+  ScopedAccumulator acc(&stats_->t_rhs_us);
+  return db_->Execute(sql).status();
+}
+
+Status EvalContext::Term(const std::string& sql) {
+  ScopedAccumulator acc(&stats_->t_term_us);
+  return db_->Execute(sql).status();
+}
+
+Result<int64_t> EvalContext::TermCount(const std::string& count_sql) {
+  ScopedAccumulator acc(&stats_->t_term_us);
+  return db_->QueryCount(count_sql);
+}
+
+Status EvalContext::CreateLike(const std::string& name,
+                               const km::PredicateBinding& binding) {
+  // A failed earlier run may have leaked the temp table; recreate cleanly.
+  DKB_RETURN_IF_ERROR(Drop(name));
+  std::string ddl = "CREATE TABLE " + name + " (";
+  for (size_t i = 0; i < binding.columns.size(); ++i) {
+    if (i > 0) ddl += ", ";
+    ddl += binding.columns[i];
+    ddl += binding.types[i] == DataType::kInteger ? " INT" : " VARCHAR";
+  }
+  ddl += ")";
+  return Temp(ddl);
+}
+
+Status EvalContext::CreateWithSchema(const std::string& name,
+                                     const Schema& schema) {
+  DKB_RETURN_IF_ERROR(Drop(name));
+  std::string ddl = "CREATE TABLE " + name + " (";
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) ddl += ", ";
+    ddl += schema.column(i).name;
+    ddl += schema.column(i).type == DataType::kInteger ? " INT" : " VARCHAR";
+  }
+  ddl += ")";
+  return Temp(ddl);
+}
+
+Status EvalContext::EvalRuleInto(const datalog::Rule& rule,
+                                 const km::BindingResolver& resolver,
+                                 const std::string& target,
+                                 const std::string& bind_prefix) {
+  DKB_ASSIGN_OR_RETURN(
+      km::RuleSqlProgram program,
+      km::RuleToSqlProgram(rule, resolver, target, bind_prefix));
+  for (const auto& bind : program.bind_tables) {
+    DKB_RETURN_IF_ERROR(CreateWithSchema(bind.name, bind.schema));
+  }
+  Status status = Status::OK();
+  for (const std::string& sql : program.statements) {
+    status = Rhs(sql);
+    if (!status.ok()) break;
+  }
+  for (const auto& bind : program.bind_tables) {
+    Status drop = Drop(bind.name);
+    if (status.ok()) status = drop;
+  }
+  return status;
+}
+
+Status EvalContext::Clear(const std::string& name) {
+  return Temp("DELETE FROM " + name);
+}
+
+Status EvalContext::Copy(const std::string& dst, const std::string& src) {
+  return Temp("INSERT INTO " + dst + " SELECT * FROM " + src);
+}
+
+Status EvalContext::Drop(const std::string& name) {
+  return Temp("DROP TABLE IF EXISTS " + name);
+}
+
+Result<int64_t> EvalContext::Count(const std::string& name) {
+  return db_->QueryCount("SELECT COUNT(*) FROM " + name);
+}
+
+std::string EvalContext::SeedInsertSql(const datalog::Rule& seed,
+                                       const km::PredicateBinding& binding) {
+  std::string sql = "INSERT INTO " + binding.table + " VALUES (";
+  for (size_t i = 0; i < seed.head.args.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += seed.head.args[i].value.ToSqlLiteral();
+  }
+  sql += ")";
+  return sql;
+}
+
+std::string EvalContext::InsertNewSql(const std::string& table,
+                                      const std::string& select) {
+  return "INSERT INTO " + table + " (" + select + ") EXCEPT (SELECT * FROM " +
+         table + ")";
+}
+
+}  // namespace dkb::lfp

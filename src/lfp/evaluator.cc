@@ -1,0 +1,138 @@
+#include "lfp/evaluator.h"
+
+#include "common/timer.h"
+#include "lfp/eval_context.h"
+#include "lfp/naive.h"
+#include "lfp/native_lfp.h"
+#include "lfp/seminaive.h"
+
+namespace dkb::lfp {
+
+namespace {
+
+/// Evaluates a non-recursive node: one INSERT-new per rule (or the
+/// binding-table pipeline for rules with negated atoms).
+Status EvaluateFlatNode(EvalContext* ctx, const km::QueryProgram& program,
+                        const km::ProgramNode& node) {
+  km::BindingResolver canonical =
+      [&program](const datalog::Atom& atom,
+                 size_t) -> Result<km::RelationBinding> {
+    auto it = program.bindings.find(atom.predicate);
+    if (it == program.bindings.end()) {
+      return Status::Internal("no binding for " + atom.predicate);
+    }
+    return it->second.AsRelation();
+  };
+  size_t rule_index = 0;
+  for (const km::CompiledRule& cr : node.exit_rules) {
+    const km::PredicateBinding& b =
+        program.bindings.at(cr.rule.head.predicate);
+    if (cr.rule.body.empty()) {
+      DKB_RETURN_IF_ERROR(ctx->Rhs(EvalContext::SeedInsertSql(cr.rule, b)));
+    } else if (!cr.select_sql.empty()) {
+      DKB_RETURN_IF_ERROR(
+          ctx->Rhs(EvalContext::InsertNewSql(b.table, cr.select_sql)));
+    } else {
+      DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(
+          cr.rule, canonical, b.table,
+          "#flat" + std::to_string(rule_index)));
+    }
+    ++rule_index;
+  }
+  return Status::OK();
+}
+
+Status RunNodes(EvalContext* ctx, const km::QueryProgram& program,
+                LfpStrategy strategy) {
+  for (const km::ProgramNode& node : program.nodes) {
+    WallTimer node_timer;
+    int64_t iterations = 0;
+    if (!node.is_clique) {
+      DKB_RETURN_IF_ERROR(EvaluateFlatNode(ctx, program, node));
+    } else if (strategy == LfpStrategy::kNaive) {
+      DKB_ASSIGN_OR_RETURN(iterations,
+                           EvaluateCliqueNaive(ctx, program, node));
+    } else {
+      DKB_ASSIGN_OR_RETURN(iterations,
+                           EvaluateCliqueSemiNaive(ctx, program, node));
+    }
+    NodeStats ns;
+    ns.is_clique = node.is_clique;
+    ns.iterations = iterations;
+    for (const std::string& p : node.predicates) {
+      if (!ns.label.empty()) ns.label += ",";
+      ns.label += p;
+      DKB_ASSIGN_OR_RETURN(int64_t n,
+                           ctx->Count(program.bindings.at(p).table));
+      ns.tuples += n;
+    }
+    ns.t_us = node_timer.ElapsedMicros();
+    ctx->stats()->nodes.push_back(std::move(ns));
+    ctx->stats()->iterations += iterations;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* StrategyName(LfpStrategy strategy) {
+  switch (strategy) {
+    case LfpStrategy::kNaive:
+      return "naive";
+    case LfpStrategy::kSemiNaive:
+      return "semi-naive";
+    case LfpStrategy::kNative:
+      return "native-lfp";
+    case LfpStrategy::kNativeTc:
+      return "native-lfp+tc";
+  }
+  return "unknown";
+}
+
+Result<QueryResult> ExecuteProgram(Database* db,
+                                   const km::QueryProgram& program,
+                                   LfpStrategy strategy,
+                                   ExecutionStats* stats) {
+  ExecutionStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExecutionStats{};
+
+  if (strategy == LfpStrategy::kNative ||
+      strategy == LfpStrategy::kNativeTc) {
+    return ExecuteProgramNative(db, program, stats,
+                                strategy == LfpStrategy::kNativeTc);
+  }
+
+  WallTimer total;
+  EvalContext ctx(db, stats);
+  for (const std::string& sql : program.drop_statements) {
+    DKB_RETURN_IF_ERROR(ctx.Temp(sql));
+  }
+  for (const std::string& sql : program.create_statements) {
+    DKB_RETURN_IF_ERROR(ctx.Temp(sql));
+  }
+
+  Status status = RunNodes(&ctx, program, strategy);
+
+  Result<QueryResult> answer = Status::Internal("unreachable");
+  if (status.ok()) {
+    ScopedAccumulator acc(&stats->t_final_us);
+    answer = db->Execute(program.final_select);
+  } else {
+    answer = status;
+  }
+
+  // Cleanup, win or lose: leftover idb_/temp tables would break the next
+  // query's CREATE statements.
+  for (const std::string& sql : program.drop_statements) {
+    Status drop = ctx.Temp(sql);
+    (void)drop;
+  }
+  if (answer.ok()) {
+    stats->answer_tuples = static_cast<int64_t>(answer->rows.size());
+  }
+  stats->t_total_us = total.ElapsedMicros();
+  return answer;
+}
+
+}  // namespace dkb::lfp

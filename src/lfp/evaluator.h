@@ -1,0 +1,56 @@
+#ifndef DKB_LFP_EVALUATOR_H_
+#define DKB_LFP_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "km/codegen.h"
+#include "rdbms/database.h"
+
+namespace dkb::lfp {
+
+/// Least-fixed-point evaluation strategy.
+enum class LfpStrategy {
+  kNaive,      // full recomputation per iteration (paper §3.3)
+  kSemiNaive,  // differential evaluation (Balbin-Ramamohanarao)
+  kNative,     // in-engine LFP operator: in-memory deltas, no table copies,
+               // early-exit termination (paper conclusion #6 ablation)
+  kNativeTc,   // kNative plus recognition of transitive-closure cliques,
+               // evaluated by a specialized BFS operator (conclusion #8)
+};
+
+const char* StrategyName(LfpStrategy strategy);
+
+/// Per-node timing recorded during execution; the Fig 14 bench uses the
+/// labels to separate magic-rule cliques from modified-rule cliques.
+struct NodeStats {
+  std::string label;  // predicates defined by the node, comma-joined
+  bool is_clique = false;
+  int64_t t_us = 0;
+  int64_t iterations = 0;
+  int64_t tuples = 0;  // total tuples in the node's relations afterwards
+};
+
+/// D/KB query execution breakdown (paper §5.3.1.2, Tables 5-6).
+struct ExecutionStats {
+  int64_t t_temp_us = 0;   // temp-table create/drop/clear + table copies
+  int64_t t_rhs_us = 0;    // evaluating rule bodies (or their differentials)
+  int64_t t_term_us = 0;   // termination checks (set difference + count)
+  int64_t t_final_us = 0;  // final answer retrieval
+  int64_t t_total_us = 0;
+  int64_t iterations = 0;  // summed over all cliques
+  int64_t answer_tuples = 0;
+  std::vector<NodeStats> nodes;
+};
+
+/// Runs the generated query program against the DBMS and returns the answer
+/// relation (the run time library of paper §3.3). IDB tables are created at
+/// the start and dropped afterwards, win or lose.
+Result<QueryResult> ExecuteProgram(Database* db,
+                                   const km::QueryProgram& program,
+                                   LfpStrategy strategy,
+                                   ExecutionStats* stats);
+
+}  // namespace dkb::lfp
+
+#endif  // DKB_LFP_EVALUATOR_H_

@@ -1,0 +1,110 @@
+#include "lfp/naive.h"
+
+#include <set>
+
+#include "km/naming.h"
+#include "km/rule_sql.h"
+
+namespace dkb::lfp {
+
+Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
+                                    const km::QueryProgram& program,
+                                    const km::ProgramNode& node) {
+  const std::set<std::string> members(node.predicates.begin(),
+                                      node.predicates.end());
+
+  // Canonical resolver: every predicate reads its stored relation. During
+  // an iteration the member relations hold the previous iteration's value.
+  km::BindingResolver canonical =
+      [&program](const datalog::Atom& atom,
+                 size_t) -> Result<km::RelationBinding> {
+    auto it = program.bindings.find(atom.predicate);
+    if (it == program.bindings.end()) {
+      return Status::Internal("no binding for " + atom.predicate);
+    }
+    return it->second.AsRelation();
+  };
+
+  // Temp tables: #p_new (recomputed value) and #p_diff (termination check).
+  for (const std::string& p : node.predicates) {
+    const km::PredicateBinding& b = program.bindings.at(p);
+    DKB_RETURN_IF_ERROR(ctx->CreateLike(km::NewTableName(p), b));
+    DKB_RETURN_IF_ERROR(ctx->CreateLike(km::DiffTableName(p), b));
+  }
+
+  // Evaluates one exit rule into `target` (seed insert, precompiled
+  // select, or binding-table pipeline for negated rules).
+  auto eval_exit = [&](const km::CompiledRule& cr, const std::string& target,
+                       size_t index) -> Status {
+    if (cr.rule.body.empty()) {
+      const km::PredicateBinding& b =
+          program.bindings.at(cr.rule.head.predicate);
+      km::PredicateBinding tmp = b;
+      tmp.table = target;
+      return ctx->Rhs(EvalContext::SeedInsertSql(cr.rule, tmp));
+    }
+    if (!cr.select_sql.empty()) {
+      return ctx->Rhs(EvalContext::InsertNewSql(target, cr.select_sql));
+    }
+    return ctx->EvalRuleInto(cr.rule, canonical, target,
+                             "#nx" + std::to_string(index));
+  };
+
+  // p^(0): exit rules into the base relations.
+  for (size_t i = 0; i < node.exit_rules.size(); ++i) {
+    const km::PredicateBinding& b =
+        program.bindings.at(node.exit_rules[i].rule.head.predicate);
+    DKB_RETURN_IF_ERROR(eval_exit(node.exit_rules[i], b.table, i));
+  }
+
+  int64_t iterations = 0;
+  while (true) {
+    ++iterations;
+    // Recompute every member relation from scratch into #p_new.
+    for (const std::string& p : node.predicates) {
+      DKB_RETURN_IF_ERROR(ctx->Clear(km::NewTableName(p)));
+    }
+    for (size_t i = 0; i < node.exit_rules.size(); ++i) {
+      DKB_RETURN_IF_ERROR(eval_exit(
+          node.exit_rules[i],
+          km::NewTableName(node.exit_rules[i].rule.head.predicate), i));
+    }
+    for (size_t ri = 0; ri < node.recursive_rules.size(); ++ri) {
+      const datalog::Rule& rule = node.recursive_rules[ri];
+      DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(
+          rule, canonical, km::NewTableName(rule.head.predicate),
+          "#nr" + std::to_string(ri)));
+    }
+
+    // Termination: full set difference #p_new - idb_p, then count.
+    bool changed = false;
+    for (const std::string& p : node.predicates) {
+      const km::PredicateBinding& b = program.bindings.at(p);
+      DKB_RETURN_IF_ERROR(ctx->Clear(km::DiffTableName(p)));
+      DKB_RETURN_IF_ERROR(
+          ctx->Term("INSERT INTO " + km::DiffTableName(p) +
+                    " (SELECT * FROM " + km::NewTableName(p) +
+                    ") EXCEPT (SELECT * FROM " + b.table + ")"));
+      DKB_ASSIGN_OR_RETURN(int64_t cnt,
+                           ctx->TermCount("SELECT COUNT(*) FROM " +
+                                          km::DiffTableName(p)));
+      if (cnt > 0) changed = true;
+    }
+    if (!changed) break;
+
+    // Table copy: idb_p := #p_new.
+    for (const std::string& p : node.predicates) {
+      const km::PredicateBinding& b = program.bindings.at(p);
+      DKB_RETURN_IF_ERROR(ctx->Clear(b.table));
+      DKB_RETURN_IF_ERROR(ctx->Copy(b.table, km::NewTableName(p)));
+    }
+  }
+
+  for (const std::string& p : node.predicates) {
+    DKB_RETURN_IF_ERROR(ctx->Drop(km::NewTableName(p)));
+    DKB_RETURN_IF_ERROR(ctx->Drop(km::DiffTableName(p)));
+  }
+  return iterations;
+}
+
+}  // namespace dkb::lfp

@@ -1,0 +1,31 @@
+#ifndef DKB_LFP_NATIVE_LFP_H_
+#define DKB_LFP_NATIVE_LFP_H_
+
+#include "km/codegen.h"
+#include "lfp/evaluator.h"
+
+namespace dkb::lfp {
+
+/// In-engine generalized LFP operator (paper conclusion #6 ablation).
+///
+/// Instead of driving the DBMS through per-statement SQL, this evaluator
+/// pulls the input relations into memory once, runs semi-naive iteration
+/// with hash-indexed joins, swaps delta sets by pointer (no table copies),
+/// checks termination by delta emptiness (no full set difference), and
+/// writes the final relations back into the IDB tables so the answer query
+/// and any downstream consumers see identical state.
+///
+/// Time attribution: relation load/store -> t_temp, join evaluation ->
+/// t_rhs, (trivial) termination checks -> t_term.
+///
+/// With `use_tc_operator`, cliques matching the transitive-closure shape
+/// are evaluated by the specialized BFS operator instead of generic
+/// semi-naive iteration (paper conclusion #8).
+Result<QueryResult> ExecuteProgramNative(Database* db,
+                                         const km::QueryProgram& program,
+                                         ExecutionStats* stats,
+                                         bool use_tc_operator = false);
+
+}  // namespace dkb::lfp
+
+#endif  // DKB_LFP_NATIVE_LFP_H_

@@ -1,0 +1,141 @@
+#include "lfp/seminaive.h"
+
+#include <set>
+
+#include "km/naming.h"
+#include "km/rule_sql.h"
+
+namespace dkb::lfp {
+
+Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
+                                        const km::QueryProgram& program,
+                                        const km::ProgramNode& node) {
+  const std::set<std::string> members(node.predicates.begin(),
+                                      node.predicates.end());
+
+  // Temp tables per member: delta, prev (value before the last delta was
+  // merged), new (variant union), diff (new delta / termination check).
+  for (const std::string& p : node.predicates) {
+    const km::PredicateBinding& b = program.bindings.at(p);
+    DKB_RETURN_IF_ERROR(ctx->CreateLike(km::DeltaTableName(p), b));
+    DKB_RETURN_IF_ERROR(ctx->CreateLike(km::PrevTableName(p), b));
+    DKB_RETURN_IF_ERROR(ctx->CreateLike(km::NewTableName(p), b));
+    DKB_RETURN_IF_ERROR(ctx->CreateLike(km::DiffTableName(p), b));
+  }
+
+  // Canonical resolver for exit rules with negated atoms.
+  km::BindingResolver canonical =
+      [&program](const datalog::Atom& atom,
+                 size_t) -> Result<km::RelationBinding> {
+    auto it = program.bindings.find(atom.predicate);
+    if (it == program.bindings.end()) {
+      return Status::Internal("no binding for " + atom.predicate);
+    }
+    return it->second.AsRelation();
+  };
+
+  // p^(0): exit rules.
+  for (size_t i = 0; i < node.exit_rules.size(); ++i) {
+    const km::CompiledRule& cr = node.exit_rules[i];
+    const km::PredicateBinding& b =
+        program.bindings.at(cr.rule.head.predicate);
+    if (cr.rule.body.empty()) {
+      DKB_RETURN_IF_ERROR(ctx->Rhs(EvalContext::SeedInsertSql(cr.rule, b)));
+    } else if (!cr.select_sql.empty()) {
+      DKB_RETURN_IF_ERROR(
+          ctx->Rhs(EvalContext::InsertNewSql(b.table, cr.select_sql)));
+    } else {
+      DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(cr.rule, canonical, b.table,
+                                            "#sx" + std::to_string(i)));
+    }
+  }
+  // delta^(0) = p^(0); prev = p^(-1) = empty.
+  for (const std::string& p : node.predicates) {
+    DKB_RETURN_IF_ERROR(
+        ctx->Copy(km::DeltaTableName(p), program.bindings.at(p).table));
+  }
+
+  int64_t iterations = 0;
+  while (true) {
+    ++iterations;
+    for (const std::string& p : node.predicates) {
+      DKB_RETURN_IF_ERROR(ctx->Clear(km::NewTableName(p)));
+    }
+
+    // Differential variants of each recursive rule. Negated atoms are
+    // never clique members (stratification), so they are unaffected by the
+    // delta substitution.
+    size_t rule_counter = 0;
+    for (const datalog::Rule& rule : node.recursive_rules) {
+      ++rule_counter;
+      std::vector<size_t> member_positions;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (!rule.body[i].negated &&
+            members.count(rule.body[i].predicate) > 0) {
+          member_positions.push_back(i);
+        }
+      }
+      for (size_t delta_pos : member_positions) {
+        km::BindingResolver resolver =
+            [&program, &members, delta_pos](
+                const datalog::Atom& atom,
+                size_t body_index) -> Result<km::RelationBinding> {
+          auto it = program.bindings.find(atom.predicate);
+          if (it == program.bindings.end()) {
+            return Status::Internal("no binding for " + atom.predicate);
+          }
+          km::RelationBinding binding = it->second.AsRelation();
+          if (members.count(atom.predicate) == 0) return binding;
+          if (body_index == delta_pos) {
+            binding.table = km::DeltaTableName(atom.predicate);
+          } else if (body_index > delta_pos) {
+            binding.table = km::PrevTableName(atom.predicate);
+          }
+          // body_index < delta_pos keeps the current full relation.
+          return binding;
+        };
+        DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(
+            rule, resolver, km::NewTableName(rule.head.predicate),
+            "#sr" + std::to_string(rule_counter) + "_" +
+                std::to_string(delta_pos)));
+      }
+    }
+
+    // New delta + termination check: diff = new - accumulated.
+    bool changed = false;
+    for (const std::string& p : node.predicates) {
+      const km::PredicateBinding& b = program.bindings.at(p);
+      DKB_RETURN_IF_ERROR(ctx->Clear(km::DiffTableName(p)));
+      DKB_RETURN_IF_ERROR(
+          ctx->Term("INSERT INTO " + km::DiffTableName(p) +
+                    " (SELECT * FROM " + km::NewTableName(p) +
+                    ") EXCEPT (SELECT * FROM " + b.table + ")"));
+      DKB_ASSIGN_OR_RETURN(int64_t cnt,
+                           ctx->TermCount("SELECT COUNT(*) FROM " +
+                                          km::DiffTableName(p)));
+      if (cnt > 0) changed = true;
+    }
+    if (!changed) break;
+
+    // prev := full; full += diff; delta := diff.
+    for (const std::string& p : node.predicates) {
+      const km::PredicateBinding& b = program.bindings.at(p);
+      DKB_RETURN_IF_ERROR(ctx->Clear(km::PrevTableName(p)));
+      DKB_RETURN_IF_ERROR(ctx->Copy(km::PrevTableName(p), b.table));
+      DKB_RETURN_IF_ERROR(ctx->Copy(b.table, km::DiffTableName(p)));
+      DKB_RETURN_IF_ERROR(ctx->Clear(km::DeltaTableName(p)));
+      DKB_RETURN_IF_ERROR(
+          ctx->Copy(km::DeltaTableName(p), km::DiffTableName(p)));
+    }
+  }
+
+  for (const std::string& p : node.predicates) {
+    DKB_RETURN_IF_ERROR(ctx->Drop(km::DeltaTableName(p)));
+    DKB_RETURN_IF_ERROR(ctx->Drop(km::PrevTableName(p)));
+    DKB_RETURN_IF_ERROR(ctx->Drop(km::NewTableName(p)));
+    DKB_RETURN_IF_ERROR(ctx->Drop(km::DiffTableName(p)));
+  }
+  return iterations;
+}
+
+}  // namespace dkb::lfp

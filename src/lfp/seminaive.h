@@ -1,0 +1,27 @@
+#ifndef DKB_LFP_SEMINAIVE_H_
+#define DKB_LFP_SEMINAIVE_H_
+
+#include "km/codegen.h"
+#include "lfp/eval_context.h"
+
+namespace dkb::lfp {
+
+/// Semi-naive LFP evaluation of one clique using the differential approach
+/// (paper §3.3/§4(i)): each iteration evaluates, for every recursive rule
+/// and every occurrence i of a clique predicate in its body, the variant
+///
+///   prefix(j < i) -> current full relation
+///   occurrence i  -> last delta
+///   suffix(j > i) -> previous full relation
+///
+/// unions the variants, subtracts the accumulated relation to obtain the
+/// new delta, and terminates when all deltas are empty.
+///
+/// Returns the number of iterations.
+Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
+                                        const km::QueryProgram& program,
+                                        const km::ProgramNode& node);
+
+}  // namespace dkb::lfp
+
+#endif  // DKB_LFP_SEMINAIVE_H_

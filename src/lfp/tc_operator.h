@@ -1,0 +1,40 @@
+#ifndef DKB_LFP_TC_OPERATOR_H_
+#define DKB_LFP_TC_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "km/codegen.h"
+#include "storage/tuple.h"
+
+namespace dkb::lfp {
+
+/// Shape of a clique recognized as a plain transitive closure
+/// (paper conclusion #8: the DBMS interface should offer special LFP
+/// operators like transitive closure that can be executed better than the
+/// general operator).
+///
+/// Recognized cliques: a single binary predicate p whose exit rules are all
+///   p(X, Y) :- e(X, Y).
+/// over one edge relation e, and whose recursive rules are each one of
+///   p(X, Y) :- e(X, Z), p(Z, Y).      (right-linear)
+///   p(X, Y) :- p(X, Z), e(Z, Y).      (left-linear)
+///   p(X, Y) :- p(X, Z), p(Z, Y).      (non-linear)
+/// with the same e. All such programs compute p = e+.
+struct TcShape {
+  std::string predicate;       // p
+  std::string edge_predicate;  // e
+};
+
+/// Returns true (filling *shape) if `node` is a transitive-closure clique.
+bool MatchesTransitiveClosure(const km::ProgramNode& node, TcShape* shape);
+
+/// Computes e+ directly: builds an adjacency list over `edges` and runs one
+/// breadth-first traversal per source node — no joins, no deltas, no
+/// termination checks. Appends (src, dst) pairs to `out`.
+void ComputeTransitiveClosure(const std::vector<Tuple>& edges,
+                              std::vector<Tuple>* out);
+
+}  // namespace dkb::lfp
+
+#endif  // DKB_LFP_TC_OPERATOR_H_

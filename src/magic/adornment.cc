@@ -1,0 +1,37 @@
+#include "magic/adornment.h"
+
+#include "common/str_util.h"
+
+namespace dkb::magic {
+
+Adornment AdornAtom(const datalog::Atom& atom,
+                    const std::set<std::string>& bound_vars) {
+  Adornment a;
+  a.reserve(atom.args.size());
+  for (const datalog::Term& t : atom.args) {
+    if (t.is_constant() || bound_vars.count(t.var) > 0) {
+      a += 'b';
+    } else {
+      a += 'f';
+    }
+  }
+  return a;
+}
+
+bool HasBound(const Adornment& a) {
+  return a.find('b') != std::string::npos;
+}
+
+std::string AdornedName(const std::string& pred, const Adornment& a) {
+  return pred + "__" + a;
+}
+
+std::string MagicName(const std::string& pred, const Adornment& a) {
+  return "m_" + AdornedName(pred, a);
+}
+
+bool IsMagicPredicateName(const std::string& pred) {
+  return StartsWith(pred, "m_");
+}
+
+}  // namespace dkb::magic

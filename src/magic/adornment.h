@@ -1,0 +1,36 @@
+#ifndef DKB_MAGIC_ADORNMENT_H_
+#define DKB_MAGIC_ADORNMENT_H_
+
+#include <set>
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace dkb::magic {
+
+/// An adornment is a string over {'b','f'}, one character per argument
+/// position: 'b' = bound at call time, 'f' = free.
+using Adornment = std::string;
+
+/// Adornment of an atom given the set of currently-bound variables:
+/// constants and bound variables are 'b', the rest 'f'.
+Adornment AdornAtom(const datalog::Atom& atom,
+                    const std::set<std::string>& bound_vars);
+
+/// True if `a` contains at least one 'b'.
+bool HasBound(const Adornment& a);
+
+/// Name of the adorned version of `pred`, e.g. anc + "bf" -> "anc__bf".
+std::string AdornedName(const std::string& pred, const Adornment& a);
+
+/// Name of the magic predicate for `pred` adorned with `a`,
+/// e.g. "m_anc__bf".
+std::string MagicName(const std::string& pred, const Adornment& a);
+
+/// True if `pred` looks like a magic predicate (names the Fig 14 bench uses
+/// to attribute clique time to the magic vs modified LFP computations).
+bool IsMagicPredicateName(const std::string& pred);
+
+}  // namespace dkb::magic
+
+#endif  // DKB_MAGIC_ADORNMENT_H_

@@ -1,0 +1,65 @@
+#ifndef DKB_MAGIC_MAGIC_SETS_H_
+#define DKB_MAGIC_MAGIC_SETS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace dkb::magic {
+
+/// Which information-passing rewrite to apply (paper §2.5 lists both).
+enum class MagicVariant {
+  kGeneralized,    // magic rules re-join the rule prefix each time
+  kSupplementary,  // prefix joins are materialized once in sup_i predicates
+                   // shared by the magic rules and the modified rule
+};
+
+/// Output of the generalized magic sets rewrite (Beeri & Ramakrishnan; the
+/// paper's Optimizer, §3.2.5).
+struct MagicRewrite {
+  /// Adorned ("modified") rules, magic rules, and the magic seed fact.
+  std::vector<datalog::Rule> rules;
+  /// The query rewritten onto the adorned predicate.
+  datalog::Atom adorned_query;
+  /// False when the rewrite is the identity (no bound argument in the query
+  /// or query over a base predicate): `rules` then holds the input rules
+  /// and `adorned_query` the input query.
+  bool rewritten = false;
+  /// Predicates introduced as magic predicates / adorned (modified-rule)
+  /// predicates; used to attribute evaluation time (paper Fig 14).
+  std::set<std::string> magic_predicates;
+  std::set<std::string> adorned_predicates;
+  /// Materialized prefix-join predicates (supplementary variant only).
+  std::set<std::string> supplementary_predicates;
+};
+
+/// Applies the generalized magic sets transformation with a left-to-right
+/// sideways-information-passing strategy (full SIPS: every evaluated body
+/// atom binds all of its variables for the atoms to its right).
+///
+/// `derived` is the set of predicates defined by `rules`; every other
+/// predicate in a body is a base predicate. Body atoms whose adornment is
+/// all-free map to an adorned predicate with no magic guard (their full
+/// relation is computed, as in the standard transformation).
+///
+/// With MagicVariant::kSupplementary, guarded rules with more than one body
+/// atom additionally materialize supplementary predicates:
+///
+///   sup_r_1(V1) :- m_p(..), B1'.        magic rule for B2: m_q(..) :- sup_r_1.
+///   sup_r_i(Vi) :- sup_r_{i-1}, Bi'.    ...
+///   p'(..)      :- sup_r_{n-1}, Bn'.
+///
+/// where Vi keeps every variable bound so far that is still needed by a
+/// later atom or the head. If a supplementary predicate would be nullary
+/// the rewrite falls back to the generalized scheme for that rule.
+Result<MagicRewrite> ApplyGeneralizedMagicSets(
+    const std::vector<datalog::Rule>& rules, const datalog::Atom& query,
+    const std::set<std::string>& derived,
+    MagicVariant variant = MagicVariant::kGeneralized);
+
+}  // namespace dkb::magic
+
+#endif  // DKB_MAGIC_MAGIC_SETS_H_

@@ -1,0 +1,72 @@
+#include "rdbms/database.h"
+
+#include "sql/parser.h"
+
+namespace dkb {
+
+Result<const sql::Statement*> Database::Prepare(const std::string& sql) {
+  if (!statement_cache_enabled_) {
+    DKB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+    // Keep exactly one uncached statement alive for the caller.
+    uncached_ = std::move(stmt);
+    return static_cast<const sql::Statement*>(uncached_.get());
+  }
+  auto it = statement_cache_.find(sql);
+  if (it != statement_cache_.end()) {
+    ++stats_.statement_cache_hits;
+    return static_cast<const sql::Statement*>(it->second.get());
+  }
+  DKB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  // Unbounded growth guard: rule programs reuse a modest set of texts, but
+  // bulk INSERT VALUES strings are one-shot — evict wholesale when large.
+  if (statement_cache_.size() >= 4096) statement_cache_.clear();
+  const sql::Statement* raw = stmt.get();
+  statement_cache_.emplace(sql, std::move(stmt));
+  return raw;
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  DKB_ASSIGN_OR_RETURN(const sql::Statement* stmt, Prepare(sql));
+  exec::Executor executor(&catalog_, &stats_);
+  auto result = executor.Execute(*stmt);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  result.status().message() + " [while executing: " + sql +
+                      "]");
+  }
+  return result;
+}
+
+Status Database::ExecuteAll(const std::string& script) {
+  DKB_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                       sql::ParseScript(script));
+  exec::Executor executor(&catalog_, &stats_);
+  for (const sql::StatementPtr& stmt : stmts) {
+    auto result = executor.Execute(*stmt);
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Database::QueryCount(const std::string& sql) {
+  DKB_ASSIGN_OR_RETURN(Value v, QueryScalar(sql));
+  if (!v.is_int()) {
+    return Status::TypeError("QueryCount expects an integer result");
+  }
+  return v.as_int();
+}
+
+Result<std::vector<Tuple>> Database::QueryRows(const std::string& sql) {
+  DKB_ASSIGN_OR_RETURN(QueryResult result, Execute(sql));
+  return std::move(result.rows);
+}
+
+Result<Value> Database::QueryScalar(const std::string& sql) {
+  DKB_ASSIGN_OR_RETURN(QueryResult result, Execute(sql));
+  if (result.rows.empty() || result.rows[0].empty()) {
+    return Status::NotFound("scalar query returned no rows: " + sql);
+  }
+  return result.rows[0][0];
+}
+
+}  // namespace dkb

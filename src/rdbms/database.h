@@ -1,0 +1,74 @@
+#ifndef DKB_RDBMS_DATABASE_H_
+#define DKB_RDBMS_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/executor.h"
+
+namespace dkb {
+
+using exec::ExecStats;
+using exec::QueryResult;
+
+/// The relational DBMS layer of the testbed.
+///
+/// Stands in for the commercial SQL DBMS of the paper: it stores both the
+/// extensional database (fact relations) and the intensional database
+/// (rule-storage relations), and executes the SQL programs produced by the
+/// Knowledge Manager. The string-SQL `Execute` entry point models the
+/// embedded-SQL interface whose per-statement overhead the paper measures.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and executes a single SQL statement.
+  ///
+  /// Parsed statements are cached by text (the analogue of the embedded-SQL
+  /// preprocessor in the paper's DBMS: the run time library re-executes the
+  /// same statement text every LFP iteration). Planning/binding always runs
+  /// fresh against the current catalog, so DDL needs no invalidation.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Disables/enables the prepared-statement cache (ablations).
+  void set_statement_cache_enabled(bool enabled) {
+    statement_cache_enabled_ = enabled;
+    if (!enabled) statement_cache_.clear();
+  }
+  bool statement_cache_enabled() const { return statement_cache_enabled_; }
+
+  /// Executes a ';'-separated script, stopping at the first error.
+  Status ExecuteAll(const std::string& script);
+
+  /// Convenience wrappers for the embedded-SQL idioms the run time library
+  /// uses constantly.
+  Result<int64_t> QueryCount(const std::string& sql);
+  Result<std::vector<Tuple>> QueryRows(const std::string& sql);
+  /// Single-value convenience: first column of first row; error if empty.
+  Result<Value> QueryScalar(const std::string& sql);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  ExecStats& stats() { return stats_; }
+
+ private:
+  /// Returns the parsed form of `sql`, from cache when possible.
+  Result<const sql::Statement*> Prepare(const std::string& sql);
+
+  Catalog catalog_;
+  ExecStats stats_;
+  bool statement_cache_enabled_ = true;
+  std::unordered_map<std::string, sql::StatementPtr> statement_cache_;
+  sql::StatementPtr uncached_;  // last statement parsed with the cache off
+};
+
+}  // namespace dkb
+
+#endif  // DKB_RDBMS_DATABASE_H_

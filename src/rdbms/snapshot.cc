@@ -1,0 +1,223 @@
+#include "rdbms/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace dkb {
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::InvalidArgument("dangling escape in snapshot string");
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        return Status::InvalidArgument("unknown escape in snapshot string");
+    }
+  }
+  return out;
+}
+
+void AppendField(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += 'N';
+  } else if (v.is_int()) {
+    *out += 'I';
+    *out += std::to_string(v.as_int());
+  } else {
+    *out += 'S';
+    EscapeInto(v.as_string(), out);
+  }
+}
+
+Result<Value> ParseField(const std::string& field) {
+  if (field.empty()) {
+    return Status::InvalidArgument("empty snapshot field");
+  }
+  switch (field[0]) {
+    case 'N':
+      return Value::Null();
+    case 'I':
+      return Value(static_cast<int64_t>(std::stoll(field.substr(1))));
+    case 'S': {
+      DKB_ASSIGN_OR_RETURN(std::string s, Unescape(field.substr(1)));
+      return Value(std::move(s));
+    }
+    default:
+      return Status::InvalidArgument("bad snapshot field tag '" +
+                                     std::string(1, field[0]) + "'");
+  }
+}
+
+}  // namespace
+
+std::string SerializeDatabase(const Database& db) {
+  std::string out = "DKBSNAP 1\n";
+  std::vector<std::string> names = db.catalog().TableNames();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const Table* table = *db.catalog().GetTable(name);
+    out += "TABLE " + name + "\n";
+    out += "SCHEMA ";
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      if (c > 0) out += ",";
+      out += table->schema().column(c).name;
+      out += ":";
+      out += DataTypeName(table->schema().column(c).type);
+    }
+    out += "\n";
+    for (const auto& index : table->indexes()) {
+      out += "INDEX " + index->name() + " ";
+      out += index->kind() == IndexKind::kOrdered ? "ordered" : "hash";
+      for (size_t i = 0; i < index->key_columns().size(); ++i) {
+        out += (i == 0) ? " " : ",";
+        out += table->schema().column(index->key_columns()[i]).name;
+      }
+      out += "\n";
+    }
+    table->Scan([&out](RowId, const Tuple& row) {
+      out += "ROW ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += '\t';
+        AppendField(row[i], &out);
+      }
+      out += "\n";
+    });
+    out += "ENDTABLE\n";
+  }
+  out += "END\n";
+  return out;
+}
+
+Status DeserializeDatabase(Database* db, const std::string& text) {
+  if (db->catalog().num_tables() != 0) {
+    return Status::InvalidArgument(
+        "snapshot must be loaded into an empty database");
+  }
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "DKBSNAP 1") {
+    return Status::InvalidArgument("bad snapshot header");
+  }
+  Table* table = nullptr;
+  while (std::getline(in, line)) {
+    if (line == "END") return Status::OK();
+    if (line == "ENDTABLE") {
+      table = nullptr;
+      continue;
+    }
+    if (StartsWith(line, "TABLE ")) {
+      // Schema line must follow.
+      std::string name = line.substr(6);
+      std::string schema_line;
+      if (!std::getline(in, schema_line) ||
+          !StartsWith(schema_line, "SCHEMA ")) {
+        return Status::InvalidArgument("TABLE without SCHEMA in snapshot");
+      }
+      std::vector<Column> columns;
+      for (const std::string& col : StrSplit(schema_line.substr(7), ',')) {
+        std::vector<std::string> parts = StrSplit(col, ':');
+        if (parts.size() != 2) {
+          return Status::InvalidArgument("bad SCHEMA entry '" + col + "'");
+        }
+        DataType type = parts[1] == "INTEGER" ? DataType::kInteger
+                                              : DataType::kVarchar;
+        columns.push_back(Column{parts[0], type});
+      }
+      DKB_ASSIGN_OR_RETURN(table,
+                           db->catalog().CreateTable(name, Schema(columns)));
+      continue;
+    }
+    if (StartsWith(line, "INDEX ")) {
+      if (table == nullptr) {
+        return Status::InvalidArgument("INDEX outside TABLE in snapshot");
+      }
+      std::vector<std::string> parts = StrSplit(line.substr(6), ' ');
+      if (parts.size() != 3) {
+        return Status::InvalidArgument("bad INDEX line '" + line + "'");
+      }
+      DKB_RETURN_IF_ERROR(db->catalog().CreateIndex(
+          table->name(), parts[0], StrSplit(parts[2], ','),
+          parts[1] == "ordered"));
+      continue;
+    }
+    if (StartsWith(line, "ROW ")) {
+      if (table == nullptr) {
+        return Status::InvalidArgument("ROW outside TABLE in snapshot");
+      }
+      Tuple row;
+      for (const std::string& field : StrSplit(line.substr(4), '\t')) {
+        DKB_ASSIGN_OR_RETURN(Value v, ParseField(field));
+        row.push_back(std::move(v));
+      }
+      DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+      (void)rid;
+      continue;
+    }
+    if (line.empty()) continue;
+    return Status::InvalidArgument("unrecognized snapshot line '" + line +
+                                   "'");
+  }
+  return Status::InvalidArgument("snapshot missing END marker");
+}
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << SerializeDatabase(db);
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Status LoadDatabase(Database* db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open snapshot " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeDatabase(db, buffer.str());
+}
+
+}  // namespace dkb

@@ -1,0 +1,36 @@
+#ifndef DKB_RDBMS_SNAPSHOT_H_
+#define DKB_RDBMS_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rdbms/database.h"
+
+namespace dkb {
+
+/// Text snapshot of a whole database: every table's schema, indexes, and
+/// rows. The format is line-oriented and versioned:
+///
+///   DKBSNAP 1
+///   TABLE <name>
+///   SCHEMA <col>:<INTEGER|VARCHAR>[,...]
+///   INDEX <name> <hash|ordered> <col>[,<col>...]
+///   ROW <field>\t<field>...        field = N | I<digits> | S<escaped>
+///   ENDTABLE
+///   ...
+///   END
+///
+/// Strings escape backslash, tab and newline (\\, \t, \n).
+Status SaveDatabase(const Database& db, const std::string& path);
+
+/// Loads a snapshot into an *empty* database (fails on a non-empty one so
+/// a stale handle cannot silently merge two states).
+Status LoadDatabase(Database* db, const std::string& path);
+
+/// In-memory round-trip used by tests and the save/load implementation.
+std::string SerializeDatabase(const Database& db);
+Status DeserializeDatabase(Database* db, const std::string& text);
+
+}  // namespace dkb
+
+#endif  // DKB_RDBMS_SNAPSHOT_H_

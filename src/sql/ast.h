@@ -1,0 +1,251 @@
+#ifndef DKB_SQL_AST_H_
+#define DKB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace dkb::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions (unbound; names are resolved by the binder).
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kComparison,
+  kLogical,
+  kNot,
+  kInList,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Returns "=", "<>", ... for `op`.
+const char* CompareOpName(CompareOp op);
+
+struct Expr {
+  virtual ~Expr() = default;
+  explicit Expr(ExprKind kind) : kind(kind) {}
+  ExprKind kind;
+
+  /// Renders back to SQL text (used by tests and the code generator).
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string table, std::string column)
+      : Expr(ExprKind::kColumnRef),
+        table(std::move(table)),
+        column(std::move(column)) {}
+  std::string table;  // may be empty (unqualified)
+  std::string column;
+  std::string ToString() const override {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value(std::move(value)) {}
+  Value value;
+  std::string ToString() const override { return value.ToSqlLiteral(); }
+};
+
+struct ComparisonExpr : Expr {
+  ComparisonExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kComparison),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  CompareOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::string ToString() const override {
+    return lhs->ToString() + " " + CompareOpName(op) + " " + rhs->ToString();
+  }
+};
+
+enum class LogicalOp { kAnd, kOr };
+
+struct LogicalExpr : Expr {
+  LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kLogical),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  LogicalOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::string ToString() const override {
+    const char* name = (op == LogicalOp::kAnd) ? " AND " : " OR ";
+    return "(" + lhs->ToString() + name + rhs->ToString() + ")";
+  }
+};
+
+struct NotExpr : Expr {
+  explicit NotExpr(ExprPtr child)
+      : Expr(ExprKind::kNot), child(std::move(child)) {}
+  ExprPtr child;
+  std::string ToString() const override {
+    return "NOT (" + child->ToString() + ")";
+  }
+};
+
+/// `expr IN (lit, lit, ...)` — used heavily by the Stored DKB Manager's
+/// relevant-rule extraction queries.
+struct InListExpr : Expr {
+  InListExpr(ExprPtr needle, std::vector<Value> values)
+      : Expr(ExprKind::kInList),
+        needle(std::move(needle)),
+        values(std::move(values)) {}
+  ExprPtr needle;
+  std::vector<Value> values;
+  std::string ToString() const override;
+};
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty => use table name
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// Aggregate function applied by a select item (kNone = plain expression).
+enum class AggFn { kNone, kCountStar, kCount, kSum, kMin, kMax };
+
+/// Returns "COUNT", "SUM", ... ("" for kNone).
+const char* AggFnName(AggFn fn);
+
+struct SelectItem {
+  // Exactly one of the following shapes:
+  //   star:              SELECT *
+  //   agg == kCountStar: SELECT COUNT(*)
+  //   agg != kNone:      SELECT SUM(expr) / MIN / MAX / COUNT(expr)
+  //   expr:              SELECT a.x AS name
+  bool star = false;
+  AggFn agg = AggFn::kNone;
+  ExprPtr expr;       // aggregate argument when agg != kNone/kCountStar
+  std::string alias;  // optional output name
+};
+
+struct SelectCore;
+struct SelectStmt;
+
+enum class SetOp { kNone, kUnion, kUnionAll, kExcept, kIntersect };
+
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  /// GROUP BY expressions (column references). Non-aggregate select items
+  /// must be among them.
+  std::vector<ExprPtr> group_by;
+  /// HAVING condition over the aggregate output columns (by output name or
+  /// alias); may be null.
+  ExprPtr having;
+  // When non-null this core is a parenthesized sub-select and the fields
+  // above are unused.
+  std::unique_ptr<SelectStmt> sub_select;
+};
+
+struct OrderByItem {
+  std::string column;  // output column name or 1-based ordinal as digits
+  bool ascending = true;
+};
+
+/// A chain of select cores combined left-to-right by set operators:
+///   cores[0] ops[0] cores[1] ops[1] cores[2] ...
+struct SelectStmt {
+  std::vector<std::unique_ptr<SelectCore>> cores;
+  std::vector<SetOp> ops;  // size == cores.size() - 1
+  std::vector<OrderByItem> order_by;
+  std::optional<size_t> limit;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kCreateTable,
+  kDropTable,
+  kCreateIndex,
+  kInsert,
+  kDelete,
+  kSelect,
+  kExplain,
+};
+
+struct Statement {
+  virtual ~Statement() = default;
+  explicit Statement(StatementKind kind) : kind(kind) {}
+  StatementKind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct CreateTableStmt : Statement {
+  CreateTableStmt() : Statement(StatementKind::kCreateTable) {}
+  std::string table;
+  Schema schema;
+  bool if_not_exists = false;
+};
+
+struct DropTableStmt : Statement {
+  DropTableStmt() : Statement(StatementKind::kDropTable) {}
+  std::string table;
+  bool if_exists = false;
+};
+
+struct CreateIndexStmt : Statement {
+  CreateIndexStmt() : Statement(StatementKind::kCreateIndex) {}
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+  bool ordered = false;  // CREATE ORDERED INDEX => B-tree stand-in
+};
+
+struct InsertStmt : Statement {
+  InsertStmt() : Statement(StatementKind::kInsert) {}
+  std::string table;
+  // Either literal rows...
+  std::vector<std::vector<Value>> rows;
+  // ...or INSERT INTO t SELECT ...
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct DeleteStmt : Statement {
+  DeleteStmt() : Statement(StatementKind::kDelete) {}
+  std::string table;
+  ExprPtr where;  // null => delete all
+};
+
+struct SelectStatement : Statement {
+  SelectStatement() : Statement(StatementKind::kSelect) {}
+  std::unique_ptr<SelectStmt> select;
+};
+
+/// EXPLAIN SELECT ...: renders the chosen physical plan without running it.
+struct ExplainStmt : Statement {
+  ExplainStmt() : Statement(StatementKind::kExplain) {}
+  std::unique_ptr<SelectStmt> select;
+};
+
+}  // namespace dkb::sql
+
+#endif  // DKB_SQL_AST_H_

@@ -1,0 +1,134 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace dkb::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "DISTINCT", "FROM",      "WHERE",  "AND",    "OR",
+      "NOT",    "INSERT",   "INTO",      "VALUES", "DELETE", "CREATE",
+      "DROP",   "TABLE",    "INDEX",     "ON",     "AS",     "UNION",
+      "ALL",    "EXCEPT",   "INTERSECT", "ORDER",  "BY",     "ASC",
+      "DESC",   "COUNT",    "IN",        "NULL",   "INT",    "INTEGER",
+      "VARCHAR", "CHAR",    "ORDERED",   "EXISTS", "IF",     "LIMIT",
+      "EXPLAIN", "GROUP",  "SUM",       "MIN",    "MAX",    "HAVING",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      ++i;  // consume start char (may be '#')
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = AsciiUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      tok.type = TokenType::kInteger;
+      tok.text = input.substr(start, i - start);
+      tok.int_value = std::stoll(tok.text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = (i + 1 < n) ? input.substr(i, 2) : std::string();
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+      tok.type = TokenType::kSymbol;
+      tok.text = two;
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::string("(),.*=<>;").find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dkb::sql

@@ -1,0 +1,42 @@
+#ifndef DKB_SQL_LEXER_H_
+#define DKB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dkb::sql {
+
+enum class TokenType {
+  kIdentifier,   // table / column names (also '#'-prefixed temp names)
+  kKeyword,      // upper-cased SQL keyword
+  kInteger,      // integer literal
+  kString,       // 'quoted' string literal, quotes stripped, '' unescaped
+  kSymbol,       // punctuation: ( ) , . * = <> != < <= > >= ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // keyword text is upper-cased; identifiers keep case
+  int64_t int_value = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; anything identifier-shaped that is not a
+/// keyword stays an identifier.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace dkb::sql
+
+#endif  // DKB_SQL_LEXER_H_

@@ -1,0 +1,63 @@
+#ifndef DKB_SQL_PARSER_H_
+#define DKB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace dkb::sql {
+
+/// Parses one SQL statement (a trailing ';' is allowed).
+Result<StatementPtr> ParseStatement(const std::string& input);
+
+/// Parses a ';'-separated script into a statement list.
+Result<std::vector<StatementPtr>> ParseScript(const std::string& input);
+
+/// Recursive-descent parser over the token stream. Exposed as a class so the
+/// tests can exercise sub-grammars directly.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementPtr> ParseSingleStatement();
+  Result<std::vector<StatementPtr>> ParseStatements();
+
+  /// Grammar entry points (public for tests).
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt();
+  Result<ExprPtr> ParseCondition();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool MatchKeyword(const char* kw);
+  bool MatchSymbol(const char* sym);
+  Status ExpectKeyword(const char* kw);
+  Status ExpectSymbol(const char* sym);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseDrop();
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseDelete();
+
+  Result<std::unique_ptr<SelectCore>> ParseSelectCore();
+  Result<SelectItem> ParseSelectItem();
+  Result<ExprPtr> ParseAndChain();
+  Result<ExprPtr> ParseNotExpr();
+  Result<ExprPtr> ParsePrimaryCondition();
+  Result<ExprPtr> ParseOperand();
+  Result<Value> ParseLiteralValue();
+  Result<DataType> ParseType();
+  Result<std::string> ParseIdentifier(const char* what);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dkb::sql
+
+#endif  // DKB_SQL_PARSER_H_

@@ -1,0 +1,62 @@
+#include "storage/index.h"
+
+namespace dkb {
+
+Tuple Index::MakeKey(const Tuple& row) const {
+  Tuple key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+void HashIndex::Insert(const Tuple& key, RowId rid) {
+  map_.emplace(key, rid);
+}
+
+void HashIndex::Erase(const Tuple& key, RowId rid) {
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void HashIndex::Probe(const Tuple& key, std::vector<RowId>* out) const {
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+}
+
+void OrderedIndex::Insert(const Tuple& key, RowId rid) {
+  map_.emplace(key, rid);
+}
+
+void OrderedIndex::Erase(const Tuple& key, RowId rid) {
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void OrderedIndex::Probe(const Tuple& key, std::vector<RowId>* out) const {
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+}
+
+void OrderedIndex::Range(const Tuple& lo, const Tuple& hi,
+                         std::vector<RowId>* out) const {
+  RangeOpt(&lo, &hi, out);
+}
+
+void OrderedIndex::RangeOpt(const Tuple* lo, const Tuple* hi,
+                            std::vector<RowId>* out) const {
+  auto it = (lo != nullptr) ? map_.lower_bound(*lo) : map_.begin();
+  auto end = (hi != nullptr) ? map_.upper_bound(*hi) : map_.end();
+  for (; it != end; ++it) out->push_back(it->second);
+}
+
+}  // namespace dkb

@@ -1,0 +1,97 @@
+#ifndef DKB_STORAGE_INDEX_H_
+#define DKB_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace dkb {
+
+/// Stable identifier of a row within a Table (slot number).
+using RowId = uint64_t;
+
+enum class IndexKind {
+  kHash,     // equality probes only
+  kOrdered,  // equality probes + range scans (B-tree stand-in)
+};
+
+/// Secondary index over a subset of a table's columns.
+///
+/// Keys are projected sub-tuples; the index maps key -> row ids. Both kinds
+/// allow duplicates (the testbed's `rulesource.headpredname` etc. are
+/// non-unique). The paper's DBMS placed indexes on the rule-storage
+/// relations' join columns; these classes provide the same effect.
+class Index {
+ public:
+  Index(std::string name, std::vector<size_t> key_columns)
+      : name_(std::move(name)), key_columns_(std::move(key_columns)) {}
+  virtual ~Index() = default;
+
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// Extracts this index's key from a full table tuple.
+  Tuple MakeKey(const Tuple& row) const;
+
+  virtual IndexKind kind() const = 0;
+  virtual void Insert(const Tuple& key, RowId rid) = 0;
+  virtual void Erase(const Tuple& key, RowId rid) = 0;
+  /// Appends all row ids whose key equals `key` to `out`.
+  virtual void Probe(const Tuple& key, std::vector<RowId>* out) const = 0;
+  virtual size_t num_entries() const = 0;
+
+ private:
+  std::string name_;
+  std::vector<size_t> key_columns_;
+};
+
+/// Hash index: O(1) expected equality probe.
+class HashIndex : public Index {
+ public:
+  HashIndex(std::string name, std::vector<size_t> key_columns)
+      : Index(std::move(name), std::move(key_columns)) {}
+
+  IndexKind kind() const override { return IndexKind::kHash; }
+  void Insert(const Tuple& key, RowId rid) override;
+  void Erase(const Tuple& key, RowId rid) override;
+  void Probe(const Tuple& key, std::vector<RowId>* out) const override;
+  size_t num_entries() const override { return map_.size(); }
+
+ private:
+  std::unordered_multimap<Tuple, RowId, TupleHash> map_;
+};
+
+/// Ordered index: logarithmic probe plus range scans; stands in for the
+/// commercial DBMS's B-tree.
+class OrderedIndex : public Index {
+ public:
+  OrderedIndex(std::string name, std::vector<size_t> key_columns)
+      : Index(std::move(name), std::move(key_columns)) {}
+
+  IndexKind kind() const override { return IndexKind::kOrdered; }
+  void Insert(const Tuple& key, RowId rid) override;
+  void Erase(const Tuple& key, RowId rid) override;
+  void Probe(const Tuple& key, std::vector<RowId>* out) const override;
+  size_t num_entries() const override { return map_.size(); }
+
+  /// Appends row ids with lo <= key <= hi (lexicographic on the key tuple).
+  void Range(const Tuple& lo, const Tuple& hi, std::vector<RowId>* out) const;
+
+  /// Range scan with optional bounds (nullptr = unbounded); inclusive.
+  void RangeOpt(const Tuple* lo, const Tuple* hi,
+                std::vector<RowId>* out) const;
+
+ private:
+  std::multimap<Tuple, RowId> map_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_STORAGE_INDEX_H_

@@ -1,0 +1,48 @@
+#ifndef DKB_STORAGE_SCHEMA_H_
+#define DKB_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dkb {
+
+/// One column of a relation: name plus type.
+struct Column {
+  std::string name;
+  DataType type = DataType::kInvalid;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns describing a relation's tuples.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (case-insensitive), or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// "name TYPE, name TYPE, ..." rendering used in error messages.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_STORAGE_SCHEMA_H_

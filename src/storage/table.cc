@@ -1,0 +1,94 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace dkb {
+
+Status Table::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " does not match " +
+        name_ + " schema arity " + std::to_string(schema_.num_columns()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_null()) continue;
+    if (tuple[i].type() != schema_.column(i).type) {
+      return Status::TypeError("column " + schema_.column(i).name + " of " +
+                               name_ + " expects " +
+                               DataTypeName(schema_.column(i).type) +
+                               " but got " + DataTypeName(tuple[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(const Tuple& tuple) {
+  DKB_RETURN_IF_ERROR(ValidateTuple(tuple));
+  return InsertUnchecked(tuple);
+}
+
+RowId Table::InsertUnchecked(Tuple tuple) {
+  RowId rid = rows_.size();
+  for (auto& index : indexes_) {
+    index->Insert(index->MakeKey(tuple), rid);
+  }
+  rows_.push_back(Slot{std::move(tuple), false});
+  ++live_count_;
+  return rid;
+}
+
+bool Table::Delete(RowId rid) {
+  if (!IsLive(rid)) return false;
+  for (auto& index : indexes_) {
+    index->Erase(index->MakeKey(rows_[rid].tuple), rid);
+  }
+  rows_[rid].deleted = true;
+  --live_count_;
+  return true;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  live_count_ = 0;
+  // Rebuild empty indexes preserving their definitions.
+  for (auto& index : indexes_) {
+    std::unique_ptr<Index> fresh;
+    if (index->kind() == IndexKind::kHash) {
+      fresh = std::make_unique<HashIndex>(index->name(), index->key_columns());
+    } else {
+      fresh =
+          std::make_unique<OrderedIndex>(index->name(), index->key_columns());
+    }
+    index = std::move(fresh);
+  }
+}
+
+Status Table::AddIndex(std::unique_ptr<Index> index) {
+  for (const auto& existing : indexes_) {
+    if (existing->name() == index->name()) {
+      return Status::AlreadyExists("index " + index->name() +
+                                   " already exists on " + name_);
+    }
+  }
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (!rows_[rid].deleted) {
+      index->Insert(index->MakeKey(rows_[rid].tuple), rid);
+    }
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const Index* Table::FindIndexOn(
+    const std::vector<size_t>& key_columns) const {
+  std::vector<size_t> want = key_columns;
+  std::sort(want.begin(), want.end());
+  for (const auto& index : indexes_) {
+    std::vector<size_t> have = index->key_columns();
+    std::sort(have.begin(), have.end());
+    if (have == want) return index.get();
+  }
+  return nullptr;
+}
+
+}  // namespace dkb

@@ -1,0 +1,95 @@
+#ifndef DKB_STORAGE_TABLE_H_
+#define DKB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace dkb {
+
+/// Heap table: slotted in-memory store with tombstone deletes and attached
+/// secondary indexes that are maintained on every mutation.
+///
+/// Row ids are stable for the lifetime of the table (slots are never
+/// compacted), which lets indexes reference rows directly.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live (non-deleted) tuples.
+  size_t num_tuples() const { return live_count_; }
+  /// Total slots including tombstones; valid RowIds are < num_slots().
+  size_t num_slots() const { return rows_.size(); }
+
+  /// Appends a tuple. The tuple must match the schema arity; values must be
+  /// of the declared types (or NULL). Updates all indexes.
+  Result<RowId> Insert(const Tuple& tuple);
+
+  /// Appends without validation; caller guarantees schema conformance.
+  /// Used on hot bulk-load paths (workload generators, LFP deltas).
+  RowId InsertUnchecked(Tuple tuple);
+
+  /// Tombstones the row if live; returns false if already deleted.
+  bool Delete(RowId rid);
+
+  /// Removes every live tuple (indexes cleared too).
+  void Clear();
+
+  bool IsLive(RowId rid) const {
+    return rid < rows_.size() && !rows_[rid].deleted;
+  }
+
+  /// Requires IsLive(rid).
+  const Tuple& Get(RowId rid) const { return rows_[rid].tuple; }
+
+  /// Invokes fn(rid, tuple) for every live row, in slot order.
+  template <typename Fn>
+  void Scan(Fn&& fn) const {
+    for (RowId rid = 0; rid < rows_.size(); ++rid) {
+      if (!rows_[rid].deleted) fn(rid, rows_[rid].tuple);
+    }
+  }
+
+  /// Attaches a new index and bulk-builds it over existing rows.
+  /// Returns error if an index with the same name exists.
+  Status AddIndex(std::unique_ptr<Index> index);
+
+  /// Index whose key columns exactly equal `key_columns`, or one whose key
+  /// columns are a prefix-permutation match; nullptr if none. Used by the
+  /// planner for index-scan and index-join selection.
+  const Index* FindIndexOn(const std::vector<size_t>& key_columns) const;
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  struct Slot {
+    Tuple tuple;
+    bool deleted = false;
+  };
+
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Slot> rows_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_STORAGE_TABLE_H_

@@ -1,0 +1,23 @@
+#include "storage/tuple.h"
+
+namespace dkb {
+
+size_t HashTuple(const Tuple& t) {
+  size_t h = 0x345678u;
+  for (const Value& v : t) {
+    h ^= v.Hash() + 0x9e3779b9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dkb

@@ -1,0 +1,26 @@
+#ifndef DKB_STORAGE_TUPLE_H_
+#define DKB_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dkb {
+
+/// A row: fixed-length vector of values.
+using Tuple = std::vector<Value>;
+
+/// Combines the hashes of all values (order-sensitive).
+size_t HashTuple(const Tuple& t);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+
+/// "(v1, v2, ...)" rendering for diagnostics and result display.
+std::string TupleToString(const Tuple& t);
+
+}  // namespace dkb
+
+#endif  // DKB_STORAGE_TUPLE_H_

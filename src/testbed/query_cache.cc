@@ -1,0 +1,46 @@
+#include "testbed/query_cache.h"
+
+namespace dkb::testbed {
+
+std::string QueryCache::MakeKey(const datalog::Atom& goal, bool use_magic,
+                                bool adaptive_magic) {
+  if (adaptive_magic) return goal.ToString() + "#adaptive";
+  return goal.ToString() + (use_magic ? "#magic" : "#plain");
+}
+
+const km::CompiledQuery* QueryCache::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.compiled;
+}
+
+void QueryCache::Insert(const std::string& key, km::CompiledQuery compiled,
+                        std::set<std::string> dependencies) {
+  entries_[key] = Entry{std::move(compiled), std::move(dependencies)};
+}
+
+void QueryCache::InvalidateOn(const std::set<std::string>& updated_preds) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool hit = false;
+    for (const std::string& p : updated_preds) {
+      if (it->second.dependencies.count(p) > 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      ++stats_.invalidated;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryCache::Clear() { entries_.clear(); }
+
+}  // namespace dkb::testbed

@@ -1,0 +1,64 @@
+#ifndef DKB_TESTBED_QUERY_CACHE_H_
+#define DKB_TESTBED_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "km/codegen.h"
+#include "km/compiler.h"
+
+namespace dkb::testbed {
+
+/// Precompiled-query store (paper conclusion #3).
+///
+/// Compilation dominates short D/KB interactions, so frequently-issued
+/// queries are worth precompiling. The price the paper identifies is
+/// bookkeeping: each cached program records the predicates it depends on,
+/// and rule-base updates invalidate every program whose dependency set
+/// intersects the updated predicates.
+class QueryCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidated = 0;  // entries dropped by updates
+  };
+
+  /// Cache key: the query text plus the option bits that change the
+  /// compiled program.
+  static std::string MakeKey(const datalog::Atom& goal, bool use_magic,
+                             bool adaptive_magic = false);
+
+  /// Returns the cached program or nullptr.
+  const km::CompiledQuery* Lookup(const std::string& key);
+
+  /// Stores a compiled program. `dependencies` must cover every predicate
+  /// whose rules or schema the program depends on (the compiler's relevant
+  /// predicate set plus base predicates).
+  void Insert(const std::string& key, km::CompiledQuery compiled,
+              std::set<std::string> dependencies);
+
+  /// Drops every entry depending on any of `updated_preds`.
+  void InvalidateOn(const std::set<std::string>& updated_preds);
+
+  /// Drops everything (workspace edits change rule visibility wholesale).
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    km::CompiledQuery compiled;
+    std::set<std::string> dependencies;
+  };
+
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace dkb::testbed
+
+#endif  // DKB_TESTBED_QUERY_CACHE_H_

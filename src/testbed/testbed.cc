@@ -1,0 +1,210 @@
+#include "testbed/testbed.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "datalog/parser.h"
+#include "rdbms/snapshot.h"
+
+namespace dkb::testbed {
+
+Testbed::Testbed(TestbedOptions options)
+    : stored_(std::make_unique<km::StoredDkb>(&db_, options.stored)) {}
+
+Result<std::unique_ptr<Testbed>> Testbed::Create(TestbedOptions options) {
+  std::unique_ptr<Testbed> testbed(new Testbed(options));
+  DKB_RETURN_IF_ERROR(testbed->stored_->Initialize());
+  return testbed;
+}
+
+Status Testbed::Consult(const std::string& program_text) {
+  DKB_ASSIGN_OR_RETURN(datalog::Program program,
+                       datalog::ParseProgram(program_text));
+  if (!program.queries.empty()) {
+    return Status::InvalidArgument(
+        "consulted text contains a query; use Query() instead");
+  }
+  cache_.InvalidateOn(HeadsOf(program.rules));
+  for (datalog::Rule& rule : program.rules) {
+    DKB_RETURN_IF_ERROR(workspace_.AddRule(std::move(rule)));
+  }
+  // Group facts per predicate, auto-defining base predicates.
+  std::map<std::string, std::vector<Tuple>> facts;
+  std::map<std::string, km::PredicateTypes> types;
+  for (const datalog::Rule& fact : program.facts) {
+    const datalog::Atom& head = fact.head;
+    km::PredicateTypes sig;
+    Tuple row;
+    for (const datalog::Term& t : head.args) {
+      sig.push_back(t.value.type());
+      row.push_back(t.value);
+    }
+    auto [it, inserted] = types.emplace(head.predicate, sig);
+    if (!inserted && it->second != sig) {
+      return Status::TypeError("facts for " + head.predicate +
+                               " have inconsistent column types");
+    }
+    facts[head.predicate].push_back(std::move(row));
+  }
+  for (auto& [pred, rows] : facts) {
+    if (!stored_->HasBasePredicate(pred)) {
+      DKB_RETURN_IF_ERROR(stored_->DefineBasePredicate(pred, types[pred]));
+    }
+    DKB_RETURN_IF_ERROR(stored_->InsertFacts(pred, rows));
+  }
+  return Status::OK();
+}
+
+std::set<std::string> Testbed::HeadsOf(
+    const std::vector<datalog::Rule>& rules) {
+  std::set<std::string> heads;
+  for (const datalog::Rule& rule : rules) heads.insert(rule.head.predicate);
+  return heads;
+}
+
+Status Testbed::AddRule(const std::string& rule_text) {
+  DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
+  cache_.InvalidateOn({rule.head.predicate});
+  return workspace_.AddRule(std::move(rule));
+}
+
+Status Testbed::RetractRule(const std::string& rule_text) {
+  DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
+  if (!workspace_.RemoveRule(rule)) {
+    return Status::NotFound("no such workspace rule: " + rule.ToString());
+  }
+  cache_.InvalidateOn({rule.head.predicate});
+  return Status::OK();
+}
+
+Status Testbed::DefineBase(const std::string& pred,
+                           const km::PredicateTypes& types) {
+  return stored_->DefineBasePredicate(pred, types);
+}
+
+Status Testbed::AddFacts(const std::string& pred,
+                         const std::vector<Tuple>& rows) {
+  return stored_->InsertFacts(pred, rows);
+}
+
+Result<QueryOutcome> Testbed::Query(const std::string& goal_text,
+                                    const QueryOptions& options) {
+  DKB_ASSIGN_OR_RETURN(datalog::Atom goal, datalog::ParseQuery(goal_text));
+  return Query(goal, options);
+}
+
+Result<QueryOutcome> Testbed::Query(const datalog::Atom& goal,
+                                    const QueryOptions& options) {
+  QueryOutcome outcome;
+  std::string key = QueryCache::MakeKey(goal, options.use_magic,
+                                        options.adaptive_magic);
+  if (options.supplementary) key += "#sup";
+  if (options.use_cache) {
+    const km::CompiledQuery* cached = cache_.Lookup(key);
+    if (cached != nullptr) {
+      outcome.compiled = *cached;
+      outcome.from_cache = true;
+    }
+  }
+  if (!outcome.from_cache) {
+    DKB_ASSIGN_OR_RETURN(outcome.compiled,
+                         CompileOnly(goal, options, &outcome.compile));
+    if (options.use_cache) {
+      // Dependency set: every predicate the relevant rules mention plus the
+      // query predicate itself.
+      std::set<std::string> deps = {goal.predicate};
+      for (const datalog::Rule& rule : outcome.compiled.relevant_rules) {
+        deps.insert(rule.head.predicate);
+        for (const datalog::Atom& atom : rule.body) {
+          deps.insert(atom.predicate);
+        }
+      }
+      cache_.Insert(key, outcome.compiled, std::move(deps));
+    }
+  }
+  DKB_ASSIGN_OR_RETURN(outcome.result,
+                       lfp::ExecuteProgram(&db_, outcome.compiled.program,
+                                           options.strategy, &outcome.exec));
+  return outcome;
+}
+
+Result<km::CompiledQuery> Testbed::CompileOnly(const datalog::Atom& goal,
+                                               const QueryOptions& options,
+                                               km::CompilationStats* stats) {
+  km::QueryCompiler compiler(&workspace_, stored_.get());
+  km::CompilerOptions copts;
+  copts.magic_mode = options.adaptive_magic ? km::MagicMode::kAdaptive
+                     : options.use_magic   ? km::MagicMode::kOn
+                                           : km::MagicMode::kOff;
+  copts.magic_variant = options.supplementary
+                            ? magic::MagicVariant::kSupplementary
+                            : magic::MagicVariant::kGeneralized;
+  return compiler.Compile(goal, copts, stats);
+}
+
+Status Testbed::SaveSession(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << SerializeDatabase(db_);
+  out << "WORKSPACE\n";
+  for (const datalog::Rule& rule : workspace_.rules()) {
+    out << rule.ToString() << "\n";
+  }
+  out << "ENDWORKSPACE\n";
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Testbed>> Testbed::LoadSession(
+    const std::string& path, TestbedOptions options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open session snapshot " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  // Split the database snapshot (terminated by a lone "END" line) from the
+  // workspace section.
+  size_t split;
+  if (StartsWith(text, "END\n")) {
+    split = 4;
+  } else {
+    size_t marker = text.find("\nEND\n");
+    if (marker == std::string::npos) {
+      return Status::InvalidArgument("session snapshot missing END marker");
+    }
+    split = marker + 5;
+  }
+
+  std::unique_ptr<Testbed> tb(new Testbed(options));
+  DKB_RETURN_IF_ERROR(DeserializeDatabase(&tb->db_, text.substr(0, split)));
+  DKB_RETURN_IF_ERROR(tb->stored_->RestoreFromDatabase());
+
+  std::istringstream rest(text.substr(split));
+  std::string line;
+  bool in_workspace = false;
+  while (std::getline(rest, line)) {
+    if (line == "WORKSPACE") {
+      in_workspace = true;
+      continue;
+    }
+    if (line == "ENDWORKSPACE") break;
+    if (!in_workspace || line.empty()) continue;
+    DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(line));
+    DKB_RETURN_IF_ERROR(tb->workspace_.AddRule(std::move(rule)));
+  }
+  return tb;
+}
+
+Result<km::UpdateStats> Testbed::UpdateStoredDkb() {
+  cache_.InvalidateOn(HeadsOf(workspace_.rules()));
+  km::UpdateProcessor processor(stored_.get());
+  return processor.Update(workspace_);
+}
+
+}  // namespace dkb::testbed

@@ -1,0 +1,134 @@
+#ifndef DKB_TESTBED_TESTBED_H_
+#define DKB_TESTBED_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "km/compiler.h"
+#include "km/stored_dkb.h"
+#include "km/update.h"
+#include "km/workspace.h"
+#include "lfp/evaluator.h"
+#include "rdbms/database.h"
+#include "testbed/query_cache.h"
+
+namespace dkb::testbed {
+
+/// Configuration of a testbed instance (paper Table 1's architecture
+/// parameters).
+struct TestbedOptions {
+  km::StoredDkb::Options stored;
+};
+
+/// Per-query knobs: optimization strategy and LFP evaluation method.
+struct QueryOptions {
+  bool use_magic = false;
+  /// With use_magic: materialize prefix joins in supplementary predicates
+  /// (the supplementary magic sets variant of paper §2.5).
+  bool supplementary = false;
+  /// Overrides use_magic: let the compiler decide per query from a bounded
+  /// selectivity estimate (paper conclusion #4's dynamic strategy).
+  bool adaptive_magic = false;
+  lfp::LfpStrategy strategy = lfp::LfpStrategy::kSemiNaive;
+  /// Reuse precompiled programs for repeated queries (paper conclusion #3).
+  /// Cached entries are invalidated when rules defining any predicate the
+  /// program depends on change.
+  bool use_cache = false;
+};
+
+/// Everything a D/KB query session produces: the answers plus the paper's
+/// two headline measures, t_c (compilation) and t_e (execution), broken
+/// into their components.
+struct QueryOutcome {
+  QueryResult result;
+  km::CompilationStats compile;  // all zeros on a precompiled-cache hit
+  lfp::ExecutionStats exec;
+  km::CompiledQuery compiled;
+  bool from_cache = false;
+};
+
+/// The D/KBMS testbed facade (paper Fig 5): a Workspace DKB, a Stored DKB
+/// living inside the relational DBMS, the query compiler, and the run time
+/// library, wired together behind the session operations a user performs.
+class Testbed {
+ public:
+  /// Builds a testbed with freshly initialized Stored-DKB relations.
+  static Result<std::unique_ptr<Testbed>> Create(
+      TestbedOptions options = TestbedOptions{});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Loads a Datalog program: proper rules go to the Workspace DKB, ground
+  /// facts to the extensional database (base predicates are auto-defined
+  /// from the types of the first fact's constants). Queries in the text are
+  /// rejected — use Query().
+  Status Consult(const std::string& program_text);
+
+  /// Adds a single rule ("anc(X,Y) :- par(X,Y).") to the workspace.
+  Status AddRule(const std::string& rule_text);
+
+  /// Removes a workspace rule by structural equality (the paper's workspace
+  /// editing loop). Rules already committed to the Stored DKB are
+  /// unaffected. Returns NotFound if no such workspace rule exists.
+  Status RetractRule(const std::string& rule_text);
+
+  /// Declares a base predicate with explicit column types.
+  Status DefineBase(const std::string& pred,
+                    const km::PredicateTypes& types);
+
+  /// Bulk-loads facts for a base predicate.
+  Status AddFacts(const std::string& pred, const std::vector<Tuple>& rows);
+
+  /// Compiles and executes a D/KB query ("?- anc(john, X)." or just
+  /// "anc(john, X)").
+  Result<QueryOutcome> Query(const std::string& goal_text,
+                             const QueryOptions& options = QueryOptions{});
+  Result<QueryOutcome> Query(const datalog::Atom& goal,
+                             const QueryOptions& options = QueryOptions{});
+
+  /// Compiles without executing (used by the compilation benches).
+  Result<km::CompiledQuery> CompileOnly(const datalog::Atom& goal,
+                                        const QueryOptions& options,
+                                        km::CompilationStats* stats);
+
+  /// Commits the Workspace rules into the Stored DKB (paper §4.3).
+  Result<km::UpdateStats> UpdateStoredDkb();
+
+  /// Persists the whole session — the DBMS state (facts, stored rules,
+  /// dictionaries, compiled rule storage) plus the workspace rules — to a
+  /// snapshot file.
+  Status SaveSession(const std::string& path);
+
+  /// Restores a session saved with SaveSession. `options` must describe
+  /// the same storage configuration the snapshot was created with.
+  static Result<std::unique_ptr<Testbed>> LoadSession(
+      const std::string& path, TestbedOptions options = TestbedOptions{});
+
+  void ClearWorkspace() {
+    workspace_.Clear();
+    cache_.Clear();
+  }
+
+  Database& db() { return db_; }
+  km::Workspace& workspace() { return workspace_; }
+  km::StoredDkb& stored() { return *stored_; }
+  const QueryCache& query_cache() const { return cache_; }
+
+ private:
+  explicit Testbed(TestbedOptions options);
+
+  /// Predicates whose programs must be invalidated when `rules` are added.
+  static std::set<std::string> HeadsOf(
+      const std::vector<datalog::Rule>& rules);
+
+  Database db_;
+  km::Workspace workspace_;
+  std::unique_ptr<km::StoredDkb> stored_;
+  QueryCache cache_;
+};
+
+}  // namespace dkb::testbed
+
+#endif  // DKB_TESTBED_TESTBED_H_

@@ -1,0 +1,108 @@
+#include "workload/data_gen.h"
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace dkb::workload {
+
+std::vector<Tuple> EdgeSet::ToTuples() const {
+  std::vector<Tuple> out;
+  out.reserve(edges.size());
+  for (const auto& [src, dst] : edges) {
+    out.push_back(Tuple{Value(src), Value(dst)});
+  }
+  return out;
+}
+
+EdgeSet MakeLists(int num_lists, int length) {
+  EdgeSet out;
+  for (int l = 0; l < num_lists; ++l) {
+    std::string prefix = "l" + std::to_string(l) + "_";
+    out.roots.push_back(prefix + "0");
+    for (int i = 0; i + 1 < length; ++i) {
+      out.edges.emplace_back(prefix + std::to_string(i),
+                             prefix + std::to_string(i + 1));
+    }
+    out.num_nodes += length;
+  }
+  return out;
+}
+
+std::string TreeNodeName(int tree, int64_t index) {
+  return "t" + std::to_string(tree) + "_" + std::to_string(index);
+}
+
+EdgeSet MakeFullBinaryTrees(int num_trees, int depth) {
+  EdgeSet out;
+  const int64_t nodes = (int64_t{1} << depth) - 1;  // 2^d - 1
+  for (int t = 0; t < num_trees; ++t) {
+    out.roots.push_back(TreeNodeName(t, 0));
+    for (int64_t i = 0; i < nodes; ++i) {
+      int64_t left = 2 * i + 1;
+      int64_t right = 2 * i + 2;
+      if (left < nodes) {
+        out.edges.emplace_back(TreeNodeName(t, i), TreeNodeName(t, left));
+      }
+      if (right < nodes) {
+        out.edges.emplace_back(TreeNodeName(t, i), TreeNodeName(t, right));
+      }
+    }
+    out.num_nodes += nodes;
+  }
+  return out;
+}
+
+namespace {
+
+std::string DagNodeName(int level, int pos) {
+  return "g" + std::to_string(level) + "_" + std::to_string(pos);
+}
+
+}  // namespace
+
+EdgeSet MakeDag(int levels, int width, int fan_in, uint64_t seed) {
+  EdgeSet out;
+  Rng rng(seed);
+  out.num_nodes = static_cast<int64_t>(levels) * width;
+  for (int p = 0; p < width; ++p) out.roots.push_back(DagNodeName(0, p));
+  for (int level = 1; level < levels; ++level) {
+    for (int p = 0; p < width; ++p) {
+      std::set<int> sources;
+      int k = std::min(fan_in, width);
+      while (static_cast<int>(sources.size()) < k) {
+        sources.insert(static_cast<int>(rng.Uniform(0, width - 1)));
+      }
+      for (int s : sources) {
+        out.edges.emplace_back(DagNodeName(level - 1, s),
+                               DagNodeName(level, p));
+      }
+    }
+  }
+  return out;
+}
+
+EdgeSet MakeCyclicGraph(int levels, int width, int fan_in, int num_cycles,
+                        int cycle_length, uint64_t seed) {
+  EdgeSet out = MakeDag(levels, width, fan_in, seed);
+  Rng rng(seed ^ 0xC1C1E5ull);
+  for (int c = 0; c < num_cycles; ++c) {
+    // Back edge from a node `cycle_length` levels down to an ancestor level.
+    int hi = levels - 1;
+    int span = std::min(cycle_length, hi);
+    if (span < 1) break;
+    int from_level = static_cast<int>(rng.Uniform(span, hi));
+    int to_level = from_level - span;
+    out.edges.emplace_back(
+        DagNodeName(from_level, static_cast<int>(rng.Uniform(0, width - 1))),
+        DagNodeName(to_level, static_cast<int>(rng.Uniform(0, width - 1))));
+  }
+  return out;
+}
+
+int64_t SubtreeSize(int tree_depth, int level) {
+  if (level >= tree_depth) return 0;
+  return (int64_t{1} << (tree_depth - level)) - 1;
+}
+
+}  // namespace dkb::workload

@@ -1,0 +1,55 @@
+#ifndef DKB_WORKLOAD_DATA_GEN_H_
+#define DKB_WORKLOAD_DATA_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace dkb::workload {
+
+/// A generated binary relation in its directed-graph representation
+/// (paper §5.2): domain elements are nodes, tuples are edges.
+struct EdgeSet {
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::vector<std::string> roots;  // zero-fan-in entry points
+  int64_t num_nodes = 0;
+
+  size_t num_tuples() const { return edges.size(); }
+  /// Edges as 2-column VARCHAR tuples for bulk loading.
+  std::vector<Tuple> ToTuples() const;
+};
+
+/// `num_lists` disjoint lists of length `length` nodes each:
+/// approximately num_lists * (length - 1) tuples.
+EdgeSet MakeLists(int num_lists, int length);
+
+/// `num_trees` full binary trees of depth `depth` (depth 1 = a single
+/// node): per tree 2^depth - 1 nodes and 2^depth - 2 tuples, matching the
+/// paper's n(2^d - 2) characterization.
+EdgeSet MakeFullBinaryTrees(int num_trees, int depth);
+
+/// Node label of position `index` (heap order, 0 = root) in tree `tree` of
+/// a MakeFullBinaryTrees result; lets benches aim queries at sub-trees of a
+/// chosen size (the D_rel parameter).
+std::string TreeNodeName(int tree, int64_t index);
+
+/// Layered directed acyclic graph: `levels` levels of `width` nodes;
+/// each non-root node receives `fan_in` edges from distinct random nodes of
+/// the previous level. Path length (paper's parameter) equals `levels`.
+EdgeSet MakeDag(int levels, int width, int fan_in, uint64_t seed);
+
+/// Cyclic graph: the layered DAG plus `num_cycles` back edges, each closing
+/// a cycle of average length `cycle_length` levels.
+EdgeSet MakeCyclicGraph(int levels, int width, int fan_in, int num_cycles,
+                        int cycle_length, uint64_t seed);
+
+/// Number of nodes in the full binary subtree of depth `depth` rooted at
+/// level `level` of a depth-`tree_depth` tree: 2^(tree_depth - level) - 1.
+int64_t SubtreeSize(int tree_depth, int level);
+
+}  // namespace dkb::workload
+
+#endif  // DKB_WORKLOAD_DATA_GEN_H_

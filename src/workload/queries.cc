@@ -1,0 +1,28 @@
+#include "workload/queries.h"
+
+namespace dkb::workload {
+
+std::string AncestorRules() {
+  return "ancestor(X, Y) :- parent(X, Y).\n"
+         "ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).\n";
+}
+
+std::string AncestorRulesNonLinear() {
+  return "ancestor(X, Y) :- parent(X, Y).\n"
+         "ancestor(X, Y) :- ancestor(X, Z), ancestor(Z, Y).\n";
+}
+
+std::string SameGenerationRules() {
+  return "sg(X, Y) :- flat(X, Y).\n"
+         "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n";
+}
+
+datalog::Atom AncestorQuery(const std::string& root) {
+  datalog::Atom goal;
+  goal.predicate = "ancestor";
+  goal.args = {datalog::Term::Constant(Value(root)),
+               datalog::Term::Variable("W")};
+  return goal;
+}
+
+}  // namespace dkb::workload

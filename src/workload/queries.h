@@ -1,0 +1,30 @@
+#ifndef DKB_WORKLOAD_QUERIES_H_
+#define DKB_WORKLOAD_QUERIES_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace dkb::workload {
+
+/// The paper's ancestor program (right-linear form):
+///   ancestor(X,Y) :- parent(X,Y).
+///   ancestor(X,Y) :- parent(X,Z), ancestor(Z,Y).
+std::string AncestorRules();
+
+/// Non-linear (quadratic) ancestor:
+///   ancestor(X,Y) :- parent(X,Y).
+///   ancestor(X,Y) :- ancestor(X,Z), ancestor(Z,Y).
+std::string AncestorRulesNonLinear();
+
+/// Classic same-generation:
+///   sg(X,Y) :- flat(X,Y).
+///   sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+std::string SameGenerationRules();
+
+/// "?- ancestor('<root>', W)." goal atom.
+datalog::Atom AncestorQuery(const std::string& root);
+
+}  // namespace dkb::workload
+
+#endif  // DKB_WORKLOAD_QUERIES_H_

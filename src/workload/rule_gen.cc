@@ -1,0 +1,79 @@
+#include "workload/rule_gen.h"
+
+namespace dkb::workload {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Rule;
+using datalog::Term;
+
+Atom BinaryAtom(const std::string& pred) {
+  Atom atom;
+  atom.predicate = pred;
+  atom.args = {Term::Variable("X"), Term::Variable("Y")};
+  return atom;
+}
+
+Rule BridgeRule(const std::string& head, const std::string& body) {
+  Rule rule;
+  rule.head = BinaryAtom(head);
+  rule.body = {BinaryAtom(body)};
+  return rule;
+}
+
+/// Emits one chain family of `num_rules` rules rooted at `<prefix>_p0`.
+/// Returns the number of derived predicates created.
+int MakeFamily(const std::string& prefix, int num_rules, int rules_per_pred,
+               std::vector<Rule>* rules, std::set<std::string>* base_preds) {
+  if (num_rules <= 0) return 0;
+  int num_preds = (num_rules + rules_per_pred - 1) / rules_per_pred;
+  int emitted = 0;
+  for (int j = 0; j < num_preds; ++j) {
+    std::string pred = prefix + "_p" + std::to_string(j);
+    int budget = std::min(rules_per_pred, num_rules - emitted);
+    for (int k = 0; k < budget; ++k) {
+      std::string body;
+      if (k == 0 && j + 1 < num_preds) {
+        body = prefix + "_p" + std::to_string(j + 1);  // chain link
+      } else {
+        body = prefix + "_b" + std::to_string(j) + "_" + std::to_string(k);
+        base_preds->insert(body);
+      }
+      rules->push_back(BridgeRule(pred, body));
+      ++emitted;
+    }
+  }
+  return num_preds;
+}
+
+}  // namespace
+
+GeneratedRuleBase MakeRuleBase(int total_rules, int relevant_rules,
+                               int rules_per_pred) {
+  GeneratedRuleBase out;
+  if (rules_per_pred < 1) rules_per_pred = 1;
+  if (relevant_rules > total_rules) relevant_rules = total_rules;
+
+  // Relevant family, rooted at the query predicate.
+  out.relevant_derived_preds = MakeFamily("q", relevant_rules, rules_per_pred,
+                                          &out.rules, &out.base_preds);
+  out.query_pred = "q_p0";
+  out.relevant = out.rules;
+
+  // Disconnected filler families pad the rule base to R_s.
+  int remaining = total_rules - relevant_rules;
+  int family = 0;
+  out.total_derived_preds = out.relevant_derived_preds;
+  while (remaining > 0) {
+    int chunk = std::min(remaining, std::max(relevant_rules, 8));
+    out.total_derived_preds +=
+        MakeFamily("f" + std::to_string(family), chunk, rules_per_pred,
+                   &out.rules, &out.base_preds);
+    remaining -= chunk;
+    ++family;
+  }
+  return out;
+}
+
+}  // namespace dkb::workload

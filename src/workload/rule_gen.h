@@ -1,0 +1,37 @@
+#ifndef DKB_WORKLOAD_RULE_GEN_H_
+#define DKB_WORKLOAD_RULE_GEN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace dkb::workload {
+
+/// A synthetic rule base controlling the paper's compilation/update
+/// parameters: R_s (total stored rules), R_rs (rules relevant to the
+/// query), P_s / P_rs (total / relevant derived predicates).
+struct GeneratedRuleBase {
+  std::vector<datalog::Rule> rules;     // all rules, |rules| == R_s
+  std::vector<datalog::Rule> relevant;  // the R_rs rules the query reaches
+  std::set<std::string> base_preds;     // referenced base predicates (arity 2)
+  std::string query_pred;               // head of the relevant chain
+  int relevant_derived_preds = 0;       // P_rs
+  int total_derived_preds = 0;          // P_s
+};
+
+/// Builds a non-recursive rule base of exactly `total_rules` rules in which
+/// exactly `relevant_rules` are reachable from `query_pred`.
+///
+/// Structure: the relevant portion is a chain of derived predicates hanging
+/// under the query predicate, each predicate defined by `rules_per_pred`
+/// rules (one chains to the next predicate, the rest rewrite to fresh base
+/// predicates); the filler portion repeats the same pattern in disconnected
+/// families. `rules_per_pred` therefore sets the R_rs : P_rs ratio.
+GeneratedRuleBase MakeRuleBase(int total_rules, int relevant_rules,
+                               int rules_per_pred = 1);
+
+}  // namespace dkb::workload
+
+#endif  // DKB_WORKLOAD_RULE_GEN_H_

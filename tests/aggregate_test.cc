@@ -1,0 +1,162 @@
+// SQL aggregation: COUNT/SUM/MIN/MAX with and without GROUP BY.
+
+#include <gtest/gtest.h>
+
+#include "rdbms/database.h"
+
+namespace dkb {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteAll(
+                      "CREATE TABLE emp (dept VARCHAR, name VARCHAR,"
+                      "                  salary INT);"
+                      "INSERT INTO emp VALUES"
+                      "  ('eng', 'ada', 120), ('eng', 'bob', 100),"
+                      "  ('eng', 'cyd', 140), ('ops', 'dan', 80),"
+                      "  ('ops', 'eve', 90), ('hr', 'fay', 70)")
+                    .ok());
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregateTest, GlobalAggregates) {
+  QueryResult r = Query(
+      "SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary),"
+      " MIN(name) FROM emp");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{6}));
+  EXPECT_EQ(r.rows[0][1], Value(int64_t{600}));
+  EXPECT_EQ(r.rows[0][2], Value(int64_t{70}));
+  EXPECT_EQ(r.rows[0][3], Value(int64_t{140}));
+  EXPECT_EQ(r.rows[0][4], Value("ada"));
+  EXPECT_EQ(r.schema.column(0).name, "count");
+  EXPECT_EQ(r.schema.column(1).name, "sum_salary");
+}
+
+TEST_F(AggregateTest, GroupBy) {
+  QueryResult r = Query(
+      "SELECT dept, COUNT(*) AS n, SUM(salary) AS total FROM emp "
+      "GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0], Value("eng"));
+  EXPECT_EQ(r.rows[0][1], Value(int64_t{3}));
+  EXPECT_EQ(r.rows[0][2], Value(int64_t{360}));
+  EXPECT_EQ(r.rows[1][0], Value("hr"));
+  EXPECT_EQ(r.rows[1][1], Value(int64_t{1}));
+  EXPECT_EQ(r.rows[2][0], Value("ops"));
+  EXPECT_EQ(r.rows[2][2], Value(int64_t{170}));
+  EXPECT_EQ(r.schema.column(1).name, "n");
+}
+
+TEST_F(AggregateTest, GroupByWithWhere) {
+  QueryResult r = Query(
+      "SELECT dept, MAX(salary) FROM emp WHERE salary >= 90 "
+      "GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 2u);  // hr filtered out entirely
+  EXPECT_EQ(r.rows[0][0], Value("eng"));
+  EXPECT_EQ(r.rows[1][0], Value("ops"));
+  EXPECT_EQ(r.rows[1][1], Value(int64_t{90}));
+}
+
+TEST_F(AggregateTest, GroupByOverJoin) {
+  ASSERT_TRUE(db_.ExecuteAll(
+                    "CREATE TABLE loc (dept VARCHAR, city VARCHAR);"
+                    "INSERT INTO loc VALUES ('eng', 'osaka'),"
+                    " ('ops', 'lima'), ('hr', 'oslo')")
+                  .ok());
+  QueryResult r = Query(
+      "SELECT loc.city, COUNT(*) FROM emp, loc "
+      "WHERE emp.dept = loc.dept GROUP BY loc.city ORDER BY 1");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[1][0], Value("osaka"));
+  EXPECT_EQ(r.rows[1][1], Value(int64_t{3}));
+}
+
+TEST_F(AggregateTest, EmptyInputGlobalVsGrouped) {
+  ASSERT_TRUE(db_.Execute("DELETE FROM emp").ok());
+  QueryResult global = Query(
+      "SELECT COUNT(*), SUM(salary), MIN(salary) FROM emp");
+  ASSERT_EQ(global.rows.size(), 1u);
+  EXPECT_EQ(global.rows[0][0], Value(int64_t{0}));
+  EXPECT_EQ(global.rows[0][1], Value(int64_t{0}));
+  EXPECT_TRUE(global.rows[0][2].is_null());
+  QueryResult grouped =
+      Query("SELECT dept, COUNT(*) FROM emp GROUP BY dept");
+  EXPECT_TRUE(grouped.rows.empty());
+}
+
+TEST_F(AggregateTest, CountSkipsNulls) {
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO emp VALUES ('eng', NULL, NULL)").ok());
+  QueryResult r = Query("SELECT COUNT(*), COUNT(name), COUNT(salary) "
+                        "FROM emp");
+  EXPECT_EQ(r.rows[0][0], Value(int64_t{7}));
+  EXPECT_EQ(r.rows[0][1], Value(int64_t{6}));
+  EXPECT_EQ(r.rows[0][2], Value(int64_t{6}));
+}
+
+TEST_F(AggregateTest, ErrorsAreDiagnosed) {
+  // Non-grouped select item.
+  EXPECT_FALSE(db_.Execute("SELECT name, COUNT(*) FROM emp GROUP BY dept")
+                   .ok());
+  // SUM over a string column.
+  EXPECT_FALSE(db_.Execute("SELECT SUM(name) FROM emp").ok());
+  // Star with aggregation.
+  EXPECT_FALSE(db_.Execute("SELECT *, COUNT(*) FROM emp").ok());
+}
+
+TEST_F(AggregateTest, Having) {
+  QueryResult r = Query(
+      "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept "
+      "HAVING n >= 2 ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value("eng"));
+  EXPECT_EQ(r.rows[1][0], Value("ops"));
+}
+
+TEST_F(AggregateTest, HavingOnDefaultAggregateName) {
+  QueryResult r = Query(
+      "SELECT dept, SUM(salary) FROM emp GROUP BY dept "
+      "HAVING sum_salary > 200");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value("eng"));
+}
+
+TEST_F(AggregateTest, HavingErrors) {
+  // HAVING without aggregation.
+  EXPECT_FALSE(db_.Execute("SELECT name FROM emp HAVING name = 'ada'").ok());
+  // Unknown output column.
+  EXPECT_FALSE(db_.Execute("SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+                           "HAVING bogus > 1")
+                   .ok());
+}
+
+TEST_F(AggregateTest, ExplainShowsAggregate) {
+  QueryResult r =
+      Query("EXPLAIN SELECT dept, COUNT(*) FROM emp GROUP BY dept");
+  std::string plan;
+  for (const Tuple& row : r.rows) plan += row[0].as_string() + "\n";
+  EXPECT_NE(plan.find("Aggregate"), std::string::npos) << plan;
+}
+
+TEST_F(AggregateTest, AggregateFeedsSetOpsAndOrderBy) {
+  QueryResult r = Query(
+      "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+      "UNION SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+      "ORDER BY 2 DESC LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value("eng"));
+}
+
+}  // namespace
+}  // namespace dkb

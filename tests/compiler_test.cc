@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+#include "km/compiler.h"
+#include "testbed/testbed.h"
+#include "workload/queries.h"
+
+namespace dkb::km {
+namespace {
+
+datalog::Atom Goal(const std::string& text) {
+  auto atom = datalog::ParseQuery(text);
+  EXPECT_TRUE(atom.ok());
+  return *atom;
+}
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto tb = testbed::Testbed::Create();
+    ASSERT_TRUE(tb.ok());
+    tb_ = std::move(*tb);
+  }
+
+  Result<CompiledQuery> Compile(const std::string& goal,
+                                bool magic = false) {
+    testbed::QueryOptions opts;
+    opts.use_magic = magic;
+    return tb_->CompileOnly(Goal(goal), opts, &stats_);
+  }
+
+  std::unique_ptr<testbed::Testbed> tb_;
+  CompilationStats stats_;
+};
+
+TEST_F(CompilerTest, ProgramStructureForAncestor) {
+  ASSERT_TRUE(tb_->Consult(workload::AncestorRules() + "parent(a, b).\n")
+                  .ok());
+  auto compiled = Compile("?- ancestor(a, W).");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const QueryProgram& program = compiled->program;
+  // One clique node for ancestor.
+  ASSERT_EQ(program.nodes.size(), 1u);
+  EXPECT_TRUE(program.nodes[0].is_clique);
+  EXPECT_EQ(program.nodes[0].predicates,
+            (std::vector<std::string>{"ancestor"}));
+  EXPECT_EQ(program.nodes[0].exit_rules.size(), 1u);
+  EXPECT_EQ(program.nodes[0].recursive_rules.size(), 1u);
+  // Bindings for both predicates; correct table names.
+  EXPECT_EQ(program.bindings.at("ancestor").table, "idb_ancestor");
+  EXPECT_EQ(program.bindings.at("parent").table, "edb_parent");
+  EXPECT_TRUE(program.bindings.at("parent").is_base);
+  // One CREATE + one DROP for the derived table.
+  ASSERT_EQ(program.create_statements.size(), 1u);
+  EXPECT_NE(program.create_statements[0].find("CREATE TABLE idb_ancestor"),
+            std::string::npos);
+  // Final select filters the bound argument and names the variable.
+  EXPECT_EQ(program.final_select,
+            "SELECT DISTINCT c1 AS W FROM idb_ancestor WHERE c0 = 'a'");
+  EXPECT_EQ(program.answer_columns, (std::vector<std::string>{"W"}));
+  EXPECT_FALSE(program.boolean_query);
+}
+
+TEST_F(CompilerTest, BooleanQueryUsesCount) {
+  ASSERT_TRUE(tb_->Consult(workload::AncestorRules() + "parent(a, b).\n")
+                  .ok());
+  auto compiled = Compile("?- ancestor(a, b).");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->program.boolean_query);
+  EXPECT_NE(compiled->program.final_select.find("SELECT COUNT(*)"),
+            std::string::npos);
+}
+
+TEST_F(CompilerTest, RepeatedQueryVariableBecomesEquality) {
+  ASSERT_TRUE(tb_->Consult(workload::AncestorRules() + "parent(a, b).\n")
+                  .ok());
+  auto compiled = Compile("?- ancestor(X, X).");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_NE(compiled->program.final_select.find("c1 = c0"),
+            std::string::npos);
+  EXPECT_EQ(compiled->program.answer_columns.size(), 1u);
+}
+
+TEST_F(CompilerTest, MagicCompilationProducesTwoCliques) {
+  ASSERT_TRUE(tb_->Consult(workload::AncestorRules() + "parent(a, b).\n")
+                  .ok());
+  auto compiled = Compile("?- ancestor(a, W).", /*magic=*/true);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(stats_.magic_applied);
+  const QueryProgram& program = compiled->program;
+  EXPECT_EQ(program.query.predicate, "ancestor__bf");
+  int cliques = 0;
+  for (const auto& node : program.nodes) {
+    if (node.is_clique) ++cliques;
+  }
+  EXPECT_EQ(cliques, 2);  // m_ancestor__bf clique, then ancestor__bf
+  // The magic clique must be ordered before the modified clique.
+  EXPECT_EQ(program.nodes.front().predicates[0], "m_ancestor__bf");
+}
+
+TEST_F(CompilerTest, QueryOverBasePredicateSkipsEvaluation) {
+  ASSERT_TRUE(tb_->Consult("parent(a, b).\n").ok());
+  auto compiled = Compile("?- parent(a, X).");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->program.nodes.empty());
+  EXPECT_NE(compiled->program.final_select.find("edb_parent"),
+            std::string::npos);
+}
+
+TEST_F(CompilerTest, WorkspaceStoredAlternatingClosure) {
+  // Exercises the §4.2 steps 1.3-1.5 loop: extraction from the Stored DKB
+  // surfaces a predicate (c) for which the *workspace* holds an additional
+  // rule, which must be pulled in by the next round of the closure.
+  ASSERT_TRUE(tb_->Consult("parent(x, y).\nparent2(x, z).\n").ok());
+  ASSERT_TRUE(tb_->AddRule("c(X,Y) :- parent(X,Y).").ok());
+  ASSERT_TRUE(tb_->AddRule("b(X,Y) :- c(X,Y).").ok());
+  ASSERT_TRUE(tb_->UpdateStoredDkb().ok());
+  tb_->ClearWorkspace();
+  // New session: a depends on stored b; c gains a new workspace rule.
+  ASSERT_TRUE(tb_->AddRule("a(X,Y) :- b(X,Y).").ok());
+  ASSERT_TRUE(tb_->AddRule("c(X,Y) :- parent2(X,Y).").ok());
+
+  auto compiled = Compile("?- a(x, W).");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(stats_.rules_relevant, 4);  // a(ws), b(st), c(st), c(ws)
+  EXPECT_EQ(stats_.rules_extracted_stored, 2);
+  for (const char* p : {"a", "b", "c"}) {
+    EXPECT_EQ(compiled->program.bindings.count(p), 1u) << p;
+  }
+  // And the workspace c-rule's contribution reaches the answers.
+  auto outcome = tb_->Query("?- a(x, W).");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.rows.size(), 2u);  // y via parent, z via parent2
+}
+
+TEST_F(CompilerTest, IrrelevantRulesAreNotCompiled) {
+  ASSERT_TRUE(tb_->Consult("parent(a, b).\n"
+                           "wanted(X,Y) :- parent(X,Y).\n"
+                           "unrelated(X,Y) :- parent(X,Y).\n")
+                  .ok());
+  auto compiled = Compile("?- wanted(a, W).");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(stats_.rules_relevant, 1);
+  EXPECT_EQ(compiled->program.bindings.count("unrelated"), 0u);
+}
+
+TEST_F(CompilerTest, ArityMismatchInQueryFails) {
+  ASSERT_TRUE(tb_->Consult(workload::AncestorRules() + "parent(a, b).\n")
+                  .ok());
+  auto compiled = Compile("?- ancestor(a, b, c).");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(CompilerTest, QueryConstantTypeMismatchFails) {
+  ASSERT_TRUE(tb_->Consult(workload::AncestorRules() + "parent(a, b).\n")
+                  .ok());
+  auto compiled = Compile("?- ancestor(42, W).");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(CompilerTest, UnknownQueryPredicateFails) {
+  auto compiled = Compile("?- ghost(a, W).");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(CompilerTest, AllSqlTextsParse) {
+  ASSERT_TRUE(tb_->Consult(workload::SameGenerationRules() +
+                           "flat(g, g).\nup(a, g).\ndown(g, a).\n")
+                  .ok());
+  auto compiled = Compile("?- sg(a, W).", /*magic=*/true);
+  ASSERT_TRUE(compiled.ok());
+  // t_comp parsed every generated text without error; double-check here.
+  for (const std::string& sql : compiled->program.AllSqlTexts()) {
+    EXPECT_FALSE(sql.empty());
+  }
+  EXPECT_GT(stats_.t_comp_us, 0);
+}
+
+TEST_F(CompilerTest, NonCompiledStorageCompilesIdentically) {
+  testbed::TestbedOptions options;
+  options.stored.compiled_rule_storage = false;
+  auto tb2_or = testbed::Testbed::Create(options);
+  ASSERT_TRUE(tb2_or.ok());
+  auto tb2 = std::move(*tb2_or);
+  const std::string program =
+      "a(X,Y) :- b(X,Y).\nb(X,Y) :- parent(X,Y).\nparent(x, y).\n";
+  ASSERT_TRUE(tb2->Consult(program).ok());
+  ASSERT_TRUE(tb2->UpdateStoredDkb().ok());
+  tb2->ClearWorkspace();
+  testbed::QueryOptions opts;
+  CompilationStats stats;
+  auto compiled = tb2->CompileOnly(Goal("?- a(x, W)."), opts, &stats);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(stats.rules_relevant, 2);
+}
+
+}  // namespace
+}  // namespace dkb::km

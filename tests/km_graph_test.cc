@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+#include "km/eval_graph.h"
+#include "km/pcg.h"
+#include "km/scc.h"
+
+namespace dkb::km {
+namespace {
+
+std::vector<datalog::Rule> Rules(const std::string& text) {
+  auto program = datalog::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program->rules;
+}
+
+// The paper's Figure 1 rule set (predicates renamed for clarity):
+//   R1: p(X,Y) :- p1(X,Z), q(Z,Y).      (p,q mutually recursive via R6)
+//   R2: p(X,Y) :- b1(Y).                -- simplified to binary safe form
+// We use a faithful-but-safe variant with the same graph structure.
+const char* kFigure1 =
+    "p(X, Y)  :- p1(X, Z), q(Z, Y).\n"
+    "p(X, Y)  :- b1(X, Y).\n"
+    "p1(X, Y) :- b2(X, Z), p1(Z, Y).\n"
+    "p1(X, Y) :- b2(X, Y).\n"
+    "p2(X, Y) :- b1(X, Z), p2(Z, Y).\n"
+    "p2(X, Y) :- b3(X, Y).\n"
+    "q(X, Y)  :- p(X, Z), p2(Z, Y).\n";
+
+TEST(PcgTest, EdgesHeadToBody) {
+  Pcg pcg;
+  for (const auto& rule : Rules("a(X,Y) :- b(X,Z), c(Z,Y).")) {
+    pcg.AddRule(rule);
+  }
+  EXPECT_TRUE(pcg.HasNode("a"));
+  EXPECT_EQ(pcg.Successors("a").size(), 2u);
+  EXPECT_EQ(pcg.Successors("b").size(), 0u);
+  EXPECT_EQ(pcg.num_edges(), 2u);
+}
+
+TEST(PcgTest, ReachabilityTransitive) {
+  Pcg pcg;
+  for (const auto& rule :
+       Rules("a(X,Y) :- b(X,Y).\n b(X,Y) :- c(X,Y).\n c(X,Y) :- d(X,Y).\n")) {
+    pcg.AddRule(rule);
+  }
+  auto reach = pcg.Reachable("a");
+  EXPECT_EQ(reach, (std::set<std::string>{"b", "c", "d"}));
+  EXPECT_TRUE(pcg.Reachable("d").empty());
+}
+
+TEST(PcgTest, SelfLoopReachesItself) {
+  Pcg pcg;
+  for (const auto& rule : Rules("a(X,Y) :- a(X,Z), e(Z,Y).\n")) {
+    pcg.AddRule(rule);
+  }
+  EXPECT_EQ(pcg.Reachable("a").count("a"), 1u);
+}
+
+TEST(PcgTest, TransitiveClosurePairs) {
+  Pcg pcg;
+  for (const auto& rule : Rules("a(X,Y) :- b(X,Y).\n b(X,Y) :- c(X,Y).\n")) {
+    pcg.AddRule(rule);
+  }
+  auto pairs = pcg.TransitiveClosure();
+  // a->b, a->c, b->c.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(PcgTest, Figure1Reachability) {
+  Pcg pcg;
+  for (const auto& rule : Rules(kFigure1)) pcg.AddRule(rule);
+  auto reach = pcg.Reachable("p");
+  // From p everything but p itself... p is on a cycle with q, so p too.
+  EXPECT_EQ(reach.count("q"), 1u);
+  EXPECT_EQ(reach.count("p"), 1u);
+  EXPECT_EQ(reach.count("p1"), 1u);
+  EXPECT_EQ(reach.count("p2"), 1u);
+  EXPECT_EQ(reach.count("b1"), 1u);
+  EXPECT_EQ(reach.count("b2"), 1u);
+  EXPECT_EQ(reach.count("b3"), 1u);
+  // p2 does not reach p.
+  EXPECT_EQ(pcg.Reachable("p2").count("p"), 0u);
+}
+
+TEST(SccTest, Figure1Cliques) {
+  Pcg pcg;
+  for (const auto& rule : Rules(kFigure1)) pcg.AddRule(rule);
+  auto components = StronglyConnectedComponents(pcg);
+  // Expected SCCs: {p,q}, {p1}, {p2}, and singleton base nodes.
+  std::vector<std::vector<std::string>> recursive;
+  for (const auto& c : components) {
+    if (IsRecursiveComponent(pcg, c)) recursive.push_back(c);
+  }
+  ASSERT_EQ(recursive.size(), 3u);
+  // p,q mutually recursive.
+  bool found_pq = false;
+  for (const auto& c : recursive) {
+    if (c.size() == 2) {
+      EXPECT_EQ(c, (std::vector<std::string>{"p", "q"}));
+      found_pq = true;
+    }
+  }
+  EXPECT_TRUE(found_pq);
+}
+
+TEST(SccTest, CalleesBeforeCallers) {
+  Pcg pcg;
+  for (const auto& rule : Rules(kFigure1)) pcg.AddRule(rule);
+  auto components = StronglyConnectedComponents(pcg);
+  auto position = [&](const std::string& pred) {
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (std::count(components[i].begin(), components[i].end(), pred) > 0) {
+        return i;
+      }
+    }
+    ADD_FAILURE() << pred << " not found";
+    return size_t{0};
+  };
+  // p1 and p2 must be evaluated before the {p,q} clique.
+  EXPECT_LT(position("p1"), position("p"));
+  EXPECT_LT(position("p2"), position("q"));
+  EXPECT_LT(position("b2"), position("p1"));
+}
+
+TEST(SccTest, DeepChainDoesNotOverflow) {
+  // 20000-long dependency chain exercises the iterative Tarjan.
+  Pcg pcg;
+  datalog::Rule rule;
+  for (int i = 0; i < 20000; ++i) {
+    auto r = datalog::ParseRule("p" + std::to_string(i) + "(X,Y) :- p" +
+                                std::to_string(i + 1) + "(X,Y).");
+    ASSERT_TRUE(r.ok());
+    pcg.AddRule(*r);
+  }
+  auto components = StronglyConnectedComponents(pcg);
+  EXPECT_EQ(components.size(), 20001u);
+}
+
+TEST(EvalGraphTest, Figure1EvaluationOrder) {
+  auto rules = Rules(kFigure1);
+  std::set<std::string> derived = {"p", "q", "p1", "p2"};
+  auto order = BuildEvaluationOrder(rules, derived);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  // Three nodes, all cliques.
+  ASSERT_EQ(order->nodes.size(), 3u);
+  for (const auto& node : order->nodes) {
+    EXPECT_EQ(node.kind, EvalNode::Kind::kClique);
+  }
+  // The p,q clique must come last and have the right rule split.
+  const EvalNode& last = order->nodes.back();
+  EXPECT_EQ(last.clique.predicates, (std::vector<std::string>{"p", "q"}));
+  EXPECT_EQ(last.clique.recursive_rules.size(), 2u);  // R1 and R6
+  EXPECT_EQ(last.clique.exit_rules.size(), 1u);       // p :- b1
+  EXPECT_EQ(order->base_predicates,
+            (std::set<std::string>{"b1", "b2", "b3"}));
+}
+
+TEST(EvalGraphTest, NonRecursivePredicateNode) {
+  auto rules = Rules("v(X,Y) :- e(X,Y).\n v(X,Y) :- f(X,Y).\n");
+  auto order = BuildEvaluationOrder(rules, {"v"});
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->nodes.size(), 1u);
+  EXPECT_EQ(order->nodes[0].kind, EvalNode::Kind::kPredicate);
+  EXPECT_EQ(order->nodes[0].predicate, "v");
+  EXPECT_EQ(order->nodes[0].rules.size(), 2u);
+}
+
+TEST(EvalGraphTest, MissingDefinitionIsSemanticError) {
+  auto rules = Rules("v(X,Y) :- e(X,Y).\n");
+  auto order = BuildEvaluationOrder(rules, {"v", "ghost"});
+  ASSERT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(EvalGraphTest, NonLinearSelfRecursionIsClique) {
+  auto rules = Rules(
+      "anc(X,Y) :- par(X,Y).\n"
+      "anc(X,Y) :- anc(X,Z), anc(Z,Y).\n");
+  auto order = BuildEvaluationOrder(rules, {"anc"});
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->nodes.size(), 1u);
+  EXPECT_EQ(order->nodes[0].kind, EvalNode::Kind::kClique);
+  EXPECT_EQ(order->nodes[0].clique.exit_rules.size(), 1u);
+  EXPECT_EQ(order->nodes[0].clique.recursive_rules.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dkb::km

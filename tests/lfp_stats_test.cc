@@ -1,0 +1,154 @@
+// Tests for the run time library's instrumentation and iteration behaviour:
+// the counters behind the paper's Tables 5/8 and Figures 12-14.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testbed/testbed.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace dkb::lfp {
+namespace {
+
+std::unique_ptr<testbed::Testbed> ListTestbed(int length) {
+  auto tb_or = testbed::Testbed::Create();
+  EXPECT_TRUE(tb_or.ok());
+  auto tb = std::move(*tb_or);
+  EXPECT_TRUE(tb->Consult(workload::AncestorRules()).ok());
+  EXPECT_TRUE(
+      tb->DefineBase("parent", {DataType::kVarchar, DataType::kVarchar})
+          .ok());
+  auto lists = workload::MakeLists(1, length);
+  EXPECT_TRUE(tb->AddFacts("parent", lists.ToTuples()).ok());
+  return tb;
+}
+
+testbed::QueryOutcome RunQuery(testbed::Testbed* tb, const std::string& goal,
+                          LfpStrategy strategy, bool magic = false) {
+  testbed::QueryOptions opts;
+  opts.strategy = strategy;
+  opts.use_magic = magic;
+  auto outcome = tb->Query(goal, opts);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return outcome.ok() ? std::move(*outcome) : testbed::QueryOutcome{};
+}
+
+TEST(LfpStatsTest, IterationCountMatchesChainDepth) {
+  // A right-linear ancestor over a 12-node chain (11 edges): iteration k
+  // derives the paths of length k+1, so the longest path arrives at
+  // iteration 10 and iteration 11 finds an empty delta and stops.
+  auto tb = ListTestbed(12);
+  auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).",
+                     LfpStrategy::kSemiNaive);
+  EXPECT_EQ(outcome.result.rows.size(), 66u);  // 11+10+...+1
+  EXPECT_EQ(outcome.exec.iterations, 11);
+}
+
+TEST(LfpStatsTest, NaiveAndSemiNaiveSameIterationCount) {
+  auto tb = ListTestbed(9);
+  auto semi = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kSemiNaive);
+  auto naive = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kNaive);
+  EXPECT_EQ(semi.exec.iterations, naive.exec.iterations);
+}
+
+TEST(LfpStatsTest, NonLinearRuleConvergesInLogIterations) {
+  // anc(X,Y) :- anc(X,Z), anc(Z,Y) doubles path length per iteration:
+  // a 16-node chain closes in ~log2(15)+2 iterations, far fewer than 15.
+  auto tb_or = testbed::Testbed::Create();
+  ASSERT_TRUE(tb_or.ok());
+  auto tb = std::move(*tb_or);
+  ASSERT_TRUE(tb->Consult(workload::AncestorRulesNonLinear()).ok());
+  ASSERT_TRUE(
+      tb->DefineBase("parent", {DataType::kVarchar, DataType::kVarchar})
+          .ok());
+  ASSERT_TRUE(
+      tb->AddFacts("parent", workload::MakeLists(1, 16).ToTuples()).ok());
+  auto outcome =
+      RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kSemiNaive);
+  EXPECT_EQ(outcome.result.rows.size(), 120u);  // C(16,2)
+  EXPECT_LE(outcome.exec.iterations, 6);
+  EXPECT_GE(outcome.exec.iterations, 4);
+}
+
+TEST(LfpStatsTest, TimingBucketsArePopulated) {
+  auto tb = ListTestbed(30);
+  for (auto strategy : {LfpStrategy::kNaive, LfpStrategy::kSemiNaive}) {
+    auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).", strategy);
+    EXPECT_GT(outcome.exec.t_temp_us, 0) << StrategyName(strategy);
+    EXPECT_GT(outcome.exec.t_rhs_us, 0) << StrategyName(strategy);
+    EXPECT_GT(outcome.exec.t_term_us, 0) << StrategyName(strategy);
+    EXPECT_GE(outcome.exec.t_total_us,
+              outcome.exec.t_rhs_us + outcome.exec.t_term_us);
+  }
+}
+
+TEST(LfpStatsTest, NaiveDoesMoreRhsWorkThanSemiNaive) {
+  auto tb = ListTestbed(40);
+  auto naive = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kNaive);
+  auto semi = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kSemiNaive);
+  EXPECT_GT(naive.exec.t_rhs_us + naive.exec.t_term_us,
+            semi.exec.t_rhs_us + semi.exec.t_term_us);
+}
+
+TEST(LfpStatsTest, NodeStatsLabelAndTuples) {
+  auto tb = ListTestbed(5);
+  auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).",
+                     LfpStrategy::kSemiNaive);
+  ASSERT_EQ(outcome.exec.nodes.size(), 1u);
+  const NodeStats& ns = outcome.exec.nodes[0];
+  EXPECT_EQ(ns.label, "ancestor");
+  EXPECT_TRUE(ns.is_clique);
+  EXPECT_EQ(ns.tuples, 10);  // closure of a 5-node chain
+  EXPECT_GT(ns.t_us, 0);
+}
+
+TEST(LfpStatsTest, MagicProgramReportsMagicAndModifiedNodes) {
+  auto tb = ListTestbed(8);
+  auto outcome = RunQuery(tb.get(), "?- ancestor('l0_0', W).",
+                     LfpStrategy::kSemiNaive, /*magic=*/true);
+  ASSERT_EQ(outcome.exec.nodes.size(), 2u);
+  EXPECT_EQ(outcome.exec.nodes[0].label, "m_ancestor__bf");
+  EXPECT_EQ(outcome.exec.nodes[1].label, "ancestor__bf");
+  // Magic set: the whole chain is reachable from the head -> 8 nodes.
+  EXPECT_EQ(outcome.exec.nodes[0].tuples, 8);
+  EXPECT_EQ(outcome.result.rows.size(), 7u);
+}
+
+TEST(LfpStatsTest, AnswerTuplesTracked) {
+  auto tb = ListTestbed(6);
+  auto outcome = RunQuery(tb.get(), "?- ancestor('l0_0', W).",
+                     LfpStrategy::kSemiNaive);
+  EXPECT_EQ(outcome.exec.answer_tuples, 5);
+}
+
+TEST(LfpStatsTest, NativeSkipsSqlBuckets) {
+  auto tb = ListTestbed(20);
+  auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kNative);
+  // Native attributes load/store to t_temp and joins to t_rhs; its
+  // termination checks are near-free.
+  EXPECT_GT(outcome.exec.t_rhs_us, 0);
+  EXPECT_LT(outcome.exec.t_term_us, outcome.exec.t_rhs_us + 1);
+}
+
+TEST(LfpStatsTest, MutualRecursionIterationsCoupled) {
+  auto tb_or = testbed::Testbed::Create();
+  ASSERT_TRUE(tb_or.ok());
+  auto tb = std::move(*tb_or);
+  ASSERT_TRUE(tb->Consult(
+                    "odd(X, Y) :- edge(X, Y).\n"
+                    "odd(X, Y) :- edge(X, Z), even(Z, Y).\n"
+                    "even(X, Y) :- edge(X, Z), odd(Z, Y).\n"
+                    "edge(n0, n1).\nedge(n1, n2).\nedge(n2, n3).\n"
+                    "edge(n3, n4).\n")
+                  .ok());
+  auto outcome = RunQuery(tb.get(), "?- odd(n0, Y).", LfpStrategy::kSemiNaive);
+  ASSERT_EQ(outcome.exec.nodes.size(), 1u);
+  // odd and even evaluate together in one clique.
+  EXPECT_EQ(outcome.exec.nodes[0].label, "even,odd");
+  EXPECT_EQ(outcome.result.rows.size(), 2u);  // n1, n3
+}
+
+}  // namespace
+}  // namespace dkb::lfp

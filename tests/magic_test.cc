@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+#include "magic/adornment.h"
+#include "magic/magic_sets.h"
+
+namespace dkb::magic {
+namespace {
+
+std::vector<datalog::Rule> Rules(const std::string& text) {
+  auto program = datalog::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program->rules;
+}
+
+datalog::Atom Goal(const std::string& text) {
+  auto atom = datalog::ParseQuery(text);
+  EXPECT_TRUE(atom.ok()) << atom.status().ToString();
+  return *atom;
+}
+
+bool HasRule(const MagicRewrite& rewrite, const std::string& text) {
+  auto rule = datalog::ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return std::find(rewrite.rules.begin(), rewrite.rules.end(), *rule) !=
+         rewrite.rules.end();
+}
+
+TEST(AdornmentTest, AdornAtom) {
+  auto atom = Goal("p(a, X, Y)");
+  EXPECT_EQ(AdornAtom(atom, {}), "bff");
+  EXPECT_EQ(AdornAtom(atom, {"X"}), "bbf");
+  EXPECT_EQ(AdornAtom(atom, {"X", "Y"}), "bbb");
+}
+
+TEST(AdornmentTest, Names) {
+  EXPECT_EQ(AdornedName("anc", "bf"), "anc__bf");
+  EXPECT_EQ(MagicName("anc", "bf"), "m_anc__bf");
+  EXPECT_TRUE(IsMagicPredicateName("m_anc__bf"));
+  EXPECT_FALSE(IsMagicPredicateName("anc__bf"));
+  EXPECT_TRUE(HasBound("bf"));
+  EXPECT_FALSE(HasBound("fff"));
+}
+
+TEST(MagicSetsTest, RightLinearAncestorBf) {
+  auto rules = Rules(
+      "anc(X,Y) :- par(X,Y).\n"
+      "anc(X,Y) :- par(X,Z), anc(Z,Y).\n");
+  auto rewrite =
+      ApplyGeneralizedMagicSets(rules, Goal("anc(john, W)"), {"anc"});
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  EXPECT_TRUE(rewrite->rewritten);
+  EXPECT_EQ(rewrite->adorned_query.predicate, "anc__bf");
+  // The classic result:
+  //   magic seed          m_anc__bf(john).
+  //   magic rule          m_anc__bf(Z) :- m_anc__bf(X), par(X,Z).
+  //   modified exit       anc__bf(X,Y) :- m_anc__bf(X), par(X,Y).
+  //   modified recursive  anc__bf(X,Y) :- m_anc__bf(X), par(X,Z),
+  //                                       anc__bf(Z,Y).
+  EXPECT_EQ(rewrite->rules.size(), 4u);
+  EXPECT_TRUE(HasRule(*rewrite, "m_anc__bf(john)."));
+  EXPECT_TRUE(HasRule(*rewrite, "m_anc__bf(Z) :- m_anc__bf(X), par(X, Z)."));
+  EXPECT_TRUE(
+      HasRule(*rewrite, "anc__bf(X, Y) :- m_anc__bf(X), par(X, Y)."));
+  EXPECT_TRUE(HasRule(
+      *rewrite,
+      "anc__bf(X, Y) :- m_anc__bf(X), par(X, Z), anc__bf(Z, Y)."));
+  EXPECT_EQ(rewrite->magic_predicates,
+            (std::set<std::string>{"m_anc__bf"}));
+  EXPECT_EQ(rewrite->adorned_predicates,
+            (std::set<std::string>{"anc__bf"}));
+}
+
+TEST(MagicSetsTest, AllFreeQueryIsIdentity) {
+  auto rules = Rules("anc(X,Y) :- par(X,Y).\n");
+  auto rewrite = ApplyGeneralizedMagicSets(rules, Goal("anc(X, Y)"), {"anc"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_FALSE(rewrite->rewritten);
+  EXPECT_EQ(rewrite->rules.size(), rules.size());
+  EXPECT_EQ(rewrite->adorned_query.predicate, "anc");
+}
+
+TEST(MagicSetsTest, BasePredicateQueryIsIdentity) {
+  auto rewrite = ApplyGeneralizedMagicSets({}, Goal("par(john, X)"), {});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_FALSE(rewrite->rewritten);
+}
+
+TEST(MagicSetsTest, SameGenerationBf) {
+  auto rules = Rules(
+      "sg(X,Y) :- flat(X,Y).\n"
+      "sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).\n");
+  auto rewrite = ApplyGeneralizedMagicSets(rules, Goal("sg(a, W)"), {"sg"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->rewritten);
+  EXPECT_TRUE(HasRule(*rewrite, "m_sg__bf(a)."));
+  EXPECT_TRUE(HasRule(*rewrite, "m_sg__bf(U) :- m_sg__bf(X), up(X, U)."));
+  EXPECT_TRUE(HasRule(*rewrite,
+                      "sg__bf(X, Y) :- m_sg__bf(X), up(X, U), sg__bf(U, V), "
+                      "down(V, Y)."));
+}
+
+TEST(MagicSetsTest, SecondArgumentBound) {
+  auto rules = Rules(
+      "anc(X,Y) :- par(X,Y).\n"
+      "anc(X,Y) :- par(X,Z), anc(Z,Y).\n");
+  auto rewrite =
+      ApplyGeneralizedMagicSets(rules, Goal("anc(W, mary)"), {"anc"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->rewritten);
+  EXPECT_EQ(rewrite->adorned_query.predicate, "anc__fb");
+  EXPECT_TRUE(HasRule(*rewrite, "m_anc__fb(mary)."));
+  // With Y bound and left-to-right SIPS, the recursive call sees Y bound:
+  // m_anc__fb(Y) :- m_anc__fb(Y). is degenerate but harmless; the key rule:
+  EXPECT_TRUE(
+      HasRule(*rewrite, "anc__fb(X, Y) :- m_anc__fb(Y), par(X, Y)."));
+}
+
+TEST(MagicSetsTest, MultiLevelPropagation) {
+  // top calls mid with its first arg bound; mid calls bot likewise.
+  auto rules = Rules(
+      "top(X,Y) :- mid(X,Y).\n"
+      "mid(X,Y) :- bot(X,Y).\n"
+      "bot(X,Y) :- e(X,Y).\n");
+  auto rewrite = ApplyGeneralizedMagicSets(rules, Goal("top(a, W)"),
+                                           {"top", "mid", "bot"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(HasRule(*rewrite, "m_mid__bf(X) :- m_top__bf(X)."));
+  EXPECT_TRUE(HasRule(*rewrite, "m_bot__bf(X) :- m_mid__bf(X)."));
+  EXPECT_TRUE(HasRule(*rewrite, "bot__bf(X, Y) :- m_bot__bf(X), e(X, Y)."));
+}
+
+TEST(MagicSetsTest, BothArgumentsBound) {
+  auto rules = Rules(
+      "anc(X,Y) :- par(X,Y).\n"
+      "anc(X,Y) :- par(X,Z), anc(Z,Y).\n");
+  auto rewrite =
+      ApplyGeneralizedMagicSets(rules, Goal("anc(john, mary)"), {"anc"});
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_TRUE(rewrite->rewritten);
+  EXPECT_EQ(rewrite->adorned_query.predicate, "anc__bb");
+  EXPECT_TRUE(HasRule(*rewrite, "m_anc__bb(john, mary)."));
+  // Recursive call: Z bound via par, Y bound from head.
+  EXPECT_TRUE(HasRule(
+      *rewrite, "m_anc__bb(Z, Y) :- m_anc__bb(X, Y), par(X, Z)."));
+}
+
+TEST(MagicSetsTest, AllFreeBodyAtomGetsUnguardedAdornedCopy) {
+  // q is called with no bound arguments: its adorned version q__ff must be
+  // defined (computing the full q) with no magic guard.
+  auto rules = Rules(
+      "p(X,Y) :- e(X,Y).\n"
+      "q(X,Y) :- e(X,Y).\n"
+      "p(X,Y) :- q(Y2, Y), e(X, Y2).\n");
+  auto rewrite =
+      ApplyGeneralizedMagicSets(rules, Goal("p(a, W)"), {"p", "q"});
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  EXPECT_TRUE(HasRule(*rewrite, "q__ff(X, Y) :- e(X, Y)."));
+  EXPECT_EQ(rewrite->magic_predicates.count("m_q__ff"), 0u);
+}
+
+}  // namespace
+}  // namespace dkb::magic

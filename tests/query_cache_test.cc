@@ -1,0 +1,93 @@
+// Direct unit tests of the precompiled-query store (conclusion #3).
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "testbed/query_cache.h"
+
+namespace dkb::testbed {
+namespace {
+
+datalog::Atom Goal(const std::string& text) {
+  auto atom = datalog::ParseQuery(text);
+  EXPECT_TRUE(atom.ok());
+  return *atom;
+}
+
+km::CompiledQuery MakeCompiled(const std::string& marker) {
+  km::CompiledQuery compiled;
+  compiled.original_query.predicate = marker;
+  return compiled;
+}
+
+TEST(QueryCacheTest, KeyEncodesGoalAndOptions) {
+  datalog::Atom goal = Goal("anc(a, W)");
+  EXPECT_NE(QueryCache::MakeKey(goal, false), QueryCache::MakeKey(goal, true));
+  EXPECT_NE(QueryCache::MakeKey(goal, false),
+            QueryCache::MakeKey(goal, false, /*adaptive_magic=*/true));
+  EXPECT_NE(QueryCache::MakeKey(Goal("anc(a, W)"), false),
+            QueryCache::MakeKey(Goal("anc(b, W)"), false));
+  EXPECT_EQ(QueryCache::MakeKey(goal, false),
+            QueryCache::MakeKey(Goal("anc(a, W)"), false));
+}
+
+TEST(QueryCacheTest, LookupMissThenHit) {
+  QueryCache cache;
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  cache.Insert("k", MakeCompiled("p"), {"p", "e"});
+  const km::CompiledQuery* hit = cache.Lookup("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->original_query.predicate, "p");
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(QueryCacheTest, InvalidateByDependency) {
+  QueryCache cache;
+  cache.Insert("k1", MakeCompiled("p"), {"p", "e"});
+  cache.Insert("k2", MakeCompiled("q"), {"q", "e"});
+  cache.Insert("k3", MakeCompiled("r"), {"r", "f"});
+  cache.InvalidateOn({"e"});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidated, 2);
+  EXPECT_EQ(cache.Lookup("k1"), nullptr);
+  EXPECT_NE(cache.Lookup("k3"), nullptr);
+}
+
+TEST(QueryCacheTest, InvalidateOnUnrelatedPredicateKeepsAll) {
+  QueryCache cache;
+  cache.Insert("k1", MakeCompiled("p"), {"p"});
+  cache.InvalidateOn({"zzz"});
+  EXPECT_EQ(cache.size(), 1u);
+  cache.InvalidateOn({});
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, InsertOverwritesSameKey) {
+  QueryCache cache;
+  cache.Insert("k", MakeCompiled("old"), {"a"});
+  cache.Insert("k", MakeCompiled("new"), {"b"});
+  EXPECT_EQ(cache.size(), 1u);
+  const km::CompiledQuery* hit = cache.Lookup("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->original_query.predicate, "new");
+  // Dependencies were replaced too: invalidating on the old set is a no-op.
+  cache.InvalidateOn({"a"});
+  EXPECT_EQ(cache.size(), 1u);
+  cache.InvalidateOn({"b"});
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryCacheTest, ClearResetsEntriesNotStats) {
+  QueryCache cache;
+  cache.Insert("k", MakeCompiled("p"), {"p"});
+  ASSERT_NE(cache.Lookup("k"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+}  // namespace
+}  // namespace dkb::testbed

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "rdbms/snapshot.h"
+#include "testbed/testbed.h"
+#include "workload/queries.h"
+
+namespace dkb {
+namespace {
+
+std::set<std::string> AnswerSet(const QueryResult& result) {
+  std::set<std::string> out;
+  for (const Tuple& row : result.rows) {
+    std::string key;
+    for (const Value& v : row) key += v.ToString() + "|";
+    out.insert(key);
+  }
+  return out;
+}
+
+TEST(SnapshotTest, DatabaseRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteAll(
+                    "CREATE TABLE t (x INT, name VARCHAR);"
+                    "CREATE INDEX x_ix ON t (x);"
+                    "CREATE ORDERED INDEX n_ix ON t (name);"
+                    "INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, NULL)")
+                  .ok());
+  std::string text = SerializeDatabase(db);
+
+  Database restored;
+  ASSERT_TRUE(DeserializeDatabase(&restored, text).ok());
+  auto rows = restored.QueryRows("SELECT * FROM t ORDER BY x");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][1], Value("one"));
+  EXPECT_TRUE((*rows)[2][1].is_null());
+  // Indexes were restored and are usable.
+  restored.stats().Reset();
+  auto hit = restored.QueryRows("SELECT * FROM t WHERE x = 2");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->size(), 1u);
+  EXPECT_EQ(restored.stats().rows_scanned, 0);
+  EXPECT_EQ(restored.stats().index_probes, 1);
+}
+
+TEST(SnapshotTest, EscapingSurvivesHostileStrings) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteAll("CREATE TABLE t (s VARCHAR)").ok());
+  Table* table = *db.catalog().GetTable("t");
+  std::string hostile = "tab\tnewline\nback\\slash END\nROW S";
+  table->InsertUnchecked({Value(hostile)});
+  Database restored;
+  ASSERT_TRUE(DeserializeDatabase(&restored, SerializeDatabase(db)).ok());
+  auto rows = restored.QueryRows("SELECT * FROM t");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value(hostile));
+}
+
+TEST(SnapshotTest, LoadIntoNonEmptyDatabaseFails) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteAll("CREATE TABLE t (x INT)").ok());
+  Database other;
+  ASSERT_TRUE(other.ExecuteAll("CREATE TABLE u (y INT)").ok());
+  auto status = DeserializeDatabase(&other, SerializeDatabase(db));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(SnapshotTest, CorruptSnapshotsRejected) {
+  Database db;
+  EXPECT_FALSE(DeserializeDatabase(&db, "not a snapshot").ok());
+  Database db2;
+  EXPECT_FALSE(DeserializeDatabase(&db2, "DKBSNAP 1\nTABLE t\n").ok());
+  Database db3;
+  EXPECT_FALSE(
+      DeserializeDatabase(&db3, "DKBSNAP 1\nROW I1\nEND\n").ok());
+}
+
+TEST(SnapshotTest, SessionRoundTripAnswersMatch) {
+  std::string path = ::testing::TempDir() + "/dkb_session_snapshot.dkb";
+
+  std::set<std::string> expected;
+  {
+    auto tb_or = testbed::Testbed::Create();
+    ASSERT_TRUE(tb_or.ok());
+    auto tb = std::move(*tb_or);
+    ASSERT_TRUE(tb->Consult(workload::AncestorRules() +
+                            "parent(a, b).\nparent(b, c).\nparent(b, d).\n")
+                    .ok());
+    // Some rules stored, one left in the workspace.
+    ASSERT_TRUE(tb->UpdateStoredDkb().ok());
+    tb->ClearWorkspace();
+    ASSERT_TRUE(tb->AddRule("kin(X, Y) :- ancestor(X, Y).").ok());
+    auto outcome = tb->Query("?- kin(a, W).");
+    ASSERT_TRUE(outcome.ok());
+    expected = AnswerSet(outcome->result);
+    ASSERT_TRUE(tb->SaveSession(path).ok());
+  }
+
+  auto restored_or = testbed::Testbed::LoadSession(path);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  auto restored = std::move(*restored_or);
+  // Workspace rule survived.
+  EXPECT_EQ(restored->workspace().num_rules(), 1u);
+  auto outcome = restored->Query("?- kin(a, W).");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(AnswerSet(outcome->result), expected);
+  // The restored session is fully usable: new facts, new commits.
+  ASSERT_TRUE(restored->AddFacts("parent", {{Value("d"), Value("e")}}).ok());
+  ASSERT_TRUE(restored->UpdateStoredDkb().ok());
+  auto after = restored->Query("?- kin(a, W).");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->result.rows.size(), expected.size() + 1);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RestoredStoredDkbKeepsRuleIdsUnique) {
+  std::string path = ::testing::TempDir() + "/dkb_ruleid_snapshot.dkb";
+  {
+    auto tb_or = testbed::Testbed::Create();
+    ASSERT_TRUE(tb_or.ok());
+    auto tb = std::move(*tb_or);
+    ASSERT_TRUE(tb->Consult("p(X,Y) :- e(X,Y).\nq(X,Y) :- e(X,Y).\n"
+                            "e(a, b).\n")
+                    .ok());
+    ASSERT_TRUE(tb->UpdateStoredDkb().ok());
+    ASSERT_TRUE(tb->SaveSession(path).ok());
+  }
+  auto tb_or = testbed::Testbed::LoadSession(path);
+  ASSERT_TRUE(tb_or.ok());
+  auto tb = std::move(*tb_or);
+  tb->ClearWorkspace();
+  ASSERT_TRUE(tb->AddRule("r(X,Y) :- e(X,Y).").ok());
+  ASSERT_TRUE(tb->UpdateStoredDkb().ok());
+  // Three distinct rule ids.
+  auto ids = tb->db().QueryRows("SELECT DISTINCT ruleid FROM rulesource");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadMissingFileFails) {
+  auto result = testbed::Testbed::LoadSession("/nonexistent/nope.dkb");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dkb

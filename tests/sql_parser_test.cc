@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace dkb::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto toks = Tokenize("select Foo FROM bar");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 5u);  // incl. end
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*toks)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[1].text, "Foo");
+  EXPECT_TRUE((*toks)[2].IsKeyword("FROM"));
+}
+
+TEST(LexerTest, TempTableNames) {
+  auto toks = Tokenize("#delta_anc");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[0].text, "#delta_anc");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = Tokenize("'o''neil'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "o'neil");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto toks = Tokenize("'oops");
+  EXPECT_FALSE(toks.ok());
+}
+
+TEST(LexerTest, NumbersIncludingNegative) {
+  auto toks = Tokenize("42 -17");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  EXPECT_EQ((*toks)[1].int_value, -17);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto toks = Tokenize("a <> b <= c >= d != e");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[1].IsSymbol("<>"));
+  EXPECT_TRUE((*toks)[3].IsSymbol("<="));
+  EXPECT_TRUE((*toks)[5].IsSymbol(">="));
+  EXPECT_TRUE((*toks)[7].IsSymbol("!="));
+}
+
+TEST(LexerTest, LineComments) {
+  auto toks = Tokenize("select -- this is a comment\n x");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);
+  EXPECT_EQ((*toks)[1].text, "x");
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("select @foo").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser: DDL
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE parent (par VARCHAR, child VARCHAR, age INT)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->kind, StatementKind::kCreateTable);
+  auto& ct = static_cast<CreateTableStmt&>(**stmt);
+  EXPECT_EQ(ct.table, "parent");
+  ASSERT_EQ(ct.schema.num_columns(), 3u);
+  EXPECT_EQ(ct.schema.column(0).name, "par");
+  EXPECT_EQ(ct.schema.column(0).type, DataType::kVarchar);
+  EXPECT_EQ(ct.schema.column(2).type, DataType::kInteger);
+  EXPECT_FALSE(ct.if_not_exists);
+}
+
+TEST(ParserTest, CreateTableIfNotExists) {
+  auto stmt = ParseStatement("CREATE TABLE IF NOT EXISTS t (x INT)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(static_cast<CreateTableStmt&>(**stmt).if_not_exists);
+}
+
+TEST(ParserTest, CharWithLength) {
+  auto stmt = ParseStatement("CREATE TABLE t (name CHAR(20))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(static_cast<CreateTableStmt&>(**stmt).schema.column(0).type,
+            DataType::kVarchar);
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = ParseStatement("DROP TABLE t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, StatementKind::kDropTable);
+  auto stmt2 = ParseStatement("DROP TABLE IF EXISTS t");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_TRUE(static_cast<DropTableStmt&>(**stmt2).if_exists);
+}
+
+TEST(ParserTest, CreateIndex) {
+  auto stmt = ParseStatement("CREATE INDEX ix ON rulesource (headpredname)");
+  ASSERT_TRUE(stmt.ok());
+  auto& ci = static_cast<CreateIndexStmt&>(**stmt);
+  EXPECT_EQ(ci.index, "ix");
+  EXPECT_EQ(ci.table, "rulesource");
+  ASSERT_EQ(ci.columns.size(), 1u);
+  EXPECT_FALSE(ci.ordered);
+}
+
+TEST(ParserTest, CreateOrderedIndex) {
+  auto stmt = ParseStatement("CREATE ORDERED INDEX ix ON t (a, b)");
+  ASSERT_TRUE(stmt.ok());
+  auto& ci = static_cast<CreateIndexStmt&>(**stmt);
+  EXPECT_TRUE(ci.ordered);
+  EXPECT_EQ(ci.columns.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser: DML
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, InsertValues) {
+  auto stmt =
+      ParseStatement("INSERT INTO parent VALUES ('a','b'), ('c', NULL)");
+  ASSERT_TRUE(stmt.ok());
+  auto& ins = static_cast<InsertStmt&>(**stmt);
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[0][0], Value("a"));
+  EXPECT_TRUE(ins.rows[1][1].is_null());
+  EXPECT_EQ(ins.select, nullptr);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = ParseStatement("INSERT INTO anc SELECT src, dst FROM parent");
+  ASSERT_TRUE(stmt.ok());
+  auto& ins = static_cast<InsertStmt&>(**stmt);
+  EXPECT_TRUE(ins.rows.empty());
+  ASSERT_NE(ins.select, nullptr);
+}
+
+TEST(ParserTest, DeleteAllAndWhere) {
+  auto all = ParseStatement("DELETE FROM t");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(static_cast<DeleteStmt&>(**all).where, nullptr);
+  auto where = ParseStatement("DELETE FROM t WHERE x = 3");
+  ASSERT_TRUE(where.ok());
+  EXPECT_NE(static_cast<DeleteStmt&>(**where).where, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Parser: SELECT
+// ---------------------------------------------------------------------------
+
+const SelectStmt& AsSelect(const StatementPtr& stmt) {
+  return *static_cast<const SelectStatement&>(*stmt).select;
+}
+
+TEST(ParserTest, SelectStarWithAliases) {
+  auto stmt = ParseStatement("SELECT * FROM parent p, anc AS a WHERE p.dst = a.src");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.cores.size(), 1u);
+  const SelectCore& core = *sel.cores[0];
+  ASSERT_EQ(core.from.size(), 2u);
+  EXPECT_EQ(core.from[0].alias, "p");
+  EXPECT_EQ(core.from[1].alias, "a");
+  EXPECT_TRUE(core.items[0].star);
+  ASSERT_NE(core.where, nullptr);
+}
+
+TEST(ParserTest, SelectDistinctColumns) {
+  auto stmt = ParseStatement("SELECT DISTINCT a.x AS col, 5 FROM t a");
+  ASSERT_TRUE(stmt.ok());
+  const SelectCore& core = *AsSelect(*stmt).cores[0];
+  EXPECT_TRUE(core.distinct);
+  ASSERT_EQ(core.items.size(), 2u);
+  EXPECT_EQ(core.items[0].alias, "col");
+  EXPECT_EQ(core.items[1].expr->kind, ExprKind::kLiteral);
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = ParseStatement("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).cores[0]->items[0].agg, AggFn::kCountStar);
+}
+
+TEST(ParserTest, AggregatesAndGroupBy) {
+  auto stmt = ParseStatement(
+      "SELECT dept, COUNT(*) AS n, SUM(salary), MIN(age), MAX(age), "
+      "COUNT(bonus) FROM emp GROUP BY dept, site");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectCore& core = *AsSelect(*stmt).cores[0];
+  ASSERT_EQ(core.items.size(), 6u);
+  EXPECT_EQ(core.items[0].agg, AggFn::kNone);
+  EXPECT_EQ(core.items[1].agg, AggFn::kCountStar);
+  EXPECT_EQ(core.items[1].alias, "n");
+  EXPECT_EQ(core.items[2].agg, AggFn::kSum);
+  EXPECT_EQ(core.items[3].agg, AggFn::kMin);
+  EXPECT_EQ(core.items[4].agg, AggFn::kMax);
+  EXPECT_EQ(core.items[5].agg, AggFn::kCount);
+  ASSERT_EQ(core.group_by.size(), 2u);
+  EXPECT_EQ(core.group_by[0]->kind, ExprKind::kColumnRef);
+}
+
+TEST(ParserTest, WherePrecedenceAndOverOr) {
+  auto stmt = ParseStatement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  const auto& where = *AsSelect(*stmt).cores[0]->where;
+  ASSERT_EQ(where.kind, ExprKind::kLogical);
+  EXPECT_EQ(static_cast<const LogicalExpr&>(where).op, LogicalOp::kOr);
+}
+
+TEST(ParserTest, InList) {
+  auto stmt = ParseStatement(
+      "SELECT * FROM reachablepreds WHERE topredname IN ('p', 'q')");
+  ASSERT_TRUE(stmt.ok());
+  const auto& where = *AsSelect(*stmt).cores[0]->where;
+  ASSERT_EQ(where.kind, ExprKind::kInList);
+  EXPECT_EQ(static_cast<const InListExpr&>(where).values.size(), 2u);
+}
+
+TEST(ParserTest, NotAndParens) {
+  auto stmt =
+      ParseStatement("SELECT * FROM t WHERE NOT (a = 1 AND b = 2)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).cores[0]->where->kind, ExprKind::kNot);
+}
+
+TEST(ParserTest, SetOperations) {
+  auto stmt = ParseStatement(
+      "SELECT x FROM a UNION SELECT x FROM b EXCEPT SELECT x FROM c");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.cores.size(), 3u);
+  EXPECT_EQ(sel.ops[0], SetOp::kUnion);
+  EXPECT_EQ(sel.ops[1], SetOp::kExcept);
+}
+
+TEST(ParserTest, UnionAll) {
+  auto stmt = ParseStatement("SELECT x FROM a UNION ALL SELECT x FROM b");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(AsSelect(*stmt).ops[0], SetOp::kUnionAll);
+}
+
+TEST(ParserTest, ParenthesizedSelectInSetOp) {
+  auto stmt = ParseStatement(
+      "(SELECT x FROM a) EXCEPT (SELECT x FROM b UNION SELECT x FROM c)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.cores.size(), 2u);
+  EXPECT_NE(sel.cores[0]->sub_select, nullptr);
+  EXPECT_NE(sel.cores[1]->sub_select, nullptr);
+  EXPECT_EQ(sel.cores[1]->sub_select->cores.size(), 2u);
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto stmt = ParseStatement(
+      "SELECT a, b FROM t ORDER BY a DESC, 2 ASC LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& sel = AsSelect(*stmt);
+  ASSERT_EQ(sel.order_by.size(), 2u);
+  EXPECT_EQ(sel.order_by[0].column, "a");
+  EXPECT_FALSE(sel.order_by[0].ascending);
+  EXPECT_EQ(sel.order_by[1].column, "2");
+  EXPECT_TRUE(sel.order_by[1].ascending);
+  ASSERT_TRUE(sel.limit.has_value());
+  EXPECT_EQ(*sel.limit, 10u);
+}
+
+TEST(ParserTest, ScriptWithSemicolons) {
+  auto stmts = ParseScript(
+      "CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT * FROM t;");
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser: errors
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ErrorsAreDiagnosed) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (x BOGUS)").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t WHERE a =").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("DELETE t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t extra garbage").ok());
+}
+
+TEST(ParserTest, SingleStatementRejectsMultiple) {
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t; SELECT * FROM u").ok());
+}
+
+TEST(ParserTest, ExprToStringRoundTrips) {
+  auto stmt = ParseStatement(
+      "SELECT * FROM t WHERE a.x = 'v' AND (b.y < 3 OR b.y IN (1, 2))");
+  ASSERT_TRUE(stmt.ok());
+  std::string rendered = AsSelect(*stmt).cores[0]->where->ToString();
+  EXPECT_NE(rendered.find("a.x = 'v'"), std::string::npos);
+  EXPECT_NE(rendered.find("b.y IN (1, 2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dkb::sql

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace dkb {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"src", DataType::kVarchar}, {"dst", DataType::kVarchar}});
+}
+
+Tuple Row(const char* a, const char* b) { return {Value(a), Value(b)}; }
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.FindColumn("src").value(), 0u);
+  EXPECT_EQ(s.FindColumn("SRC").value(), 0u);
+  EXPECT_EQ(s.FindColumn("dst").value(), 1u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TwoColSchema().ToString(), "src VARCHAR, dst VARCHAR");
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, InsertAndScan) {
+  Table t("parent", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Row("a", "b")).ok());
+  ASSERT_TRUE(t.Insert(Row("b", "c")).ok());
+  EXPECT_EQ(t.num_tuples(), 2u);
+  int count = 0;
+  t.Scan([&](RowId, const Tuple& row) {
+    EXPECT_EQ(row.size(), 2u);
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TableTest, InsertRejectsWrongArity) {
+  Table t("parent", TwoColSchema());
+  auto r = t.Insert({Value("a")});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertRejectsWrongType) {
+  Table t("parent", TwoColSchema());
+  auto r = t.Insert({Value("a"), Value(static_cast<int64_t>(1))});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TableTest, NullAllowedInAnyColumn) {
+  Table t("parent", TwoColSchema());
+  EXPECT_TRUE(t.Insert({Value::Null(), Value("x")}).ok());
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table t("parent", TwoColSchema());
+  RowId r0 = *t.Insert(Row("a", "b"));
+  RowId r1 = *t.Insert(Row("b", "c"));
+  EXPECT_TRUE(t.Delete(r0));
+  EXPECT_FALSE(t.Delete(r0));  // second delete is a no-op
+  EXPECT_EQ(t.num_tuples(), 1u);
+  EXPECT_FALSE(t.IsLive(r0));
+  EXPECT_TRUE(t.IsLive(r1));
+  int count = 0;
+  t.Scan([&](RowId, const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(TableTest, ClearEmptiesTableAndIndexes) {
+  Table t("parent", TwoColSchema());
+  ASSERT_TRUE(
+      t.AddIndex(std::make_unique<HashIndex>("ix", std::vector<size_t>{0}))
+          .ok());
+  t.Insert(Row("a", "b"));
+  t.Insert(Row("a", "c"));
+  t.Clear();
+  EXPECT_EQ(t.num_tuples(), 0u);
+  EXPECT_EQ(t.indexes().size(), 1u);
+  EXPECT_EQ(t.indexes()[0]->num_entries(), 0u);
+  // Index definition survives: new inserts are indexed.
+  t.Insert(Row("x", "y"));
+  EXPECT_EQ(t.indexes()[0]->num_entries(), 1u);
+}
+
+TEST(TableTest, IndexMaintainedOnInsertAndDelete) {
+  Table t("parent", TwoColSchema());
+  ASSERT_TRUE(
+      t.AddIndex(std::make_unique<HashIndex>("ix", std::vector<size_t>{0}))
+          .ok());
+  RowId r0 = *t.Insert(Row("a", "b"));
+  RowId r1 = *t.Insert(Row("a", "c"));
+  t.Insert(Row("b", "d"));
+  const Index* ix = t.indexes()[0].get();
+  std::vector<RowId> hits;
+  ix->Probe({Value("a")}, &hits);
+  EXPECT_EQ(hits.size(), 2u);
+  t.Delete(r0);
+  hits.clear();
+  ix->Probe({Value("a")}, &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], r1);
+}
+
+TEST(TableTest, AddIndexBackfillsExistingRows) {
+  Table t("parent", TwoColSchema());
+  t.Insert(Row("a", "b"));
+  t.Insert(Row("c", "d"));
+  ASSERT_TRUE(
+      t.AddIndex(std::make_unique<HashIndex>("ix", std::vector<size_t>{1}))
+          .ok());
+  std::vector<RowId> hits;
+  t.indexes()[0]->Probe({Value("d")}, &hits);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TableTest, DuplicateIndexNameRejected) {
+  Table t("parent", TwoColSchema());
+  ASSERT_TRUE(
+      t.AddIndex(std::make_unique<HashIndex>("ix", std::vector<size_t>{0}))
+          .ok());
+  auto s =
+      t.AddIndex(std::make_unique<HashIndex>("ix", std::vector<size_t>{1}));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, FindIndexOnMatchesColumnSet) {
+  Table t("r", Schema({{"a", DataType::kInteger},
+                       {"b", DataType::kInteger},
+                       {"c", DataType::kInteger}}));
+  ASSERT_TRUE(
+      t.AddIndex(std::make_unique<HashIndex>("ab", std::vector<size_t>{0, 1}))
+          .ok());
+  EXPECT_NE(t.FindIndexOn({0, 1}), nullptr);
+  EXPECT_NE(t.FindIndexOn({1, 0}), nullptr);  // set match
+  EXPECT_EQ(t.FindIndexOn({0}), nullptr);
+  EXPECT_EQ(t.FindIndexOn({0, 2}), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Indexes
+// ---------------------------------------------------------------------------
+
+TEST(IndexTest, HashIndexDuplicates) {
+  HashIndex ix("ix", {0});
+  ix.Insert({Value("k")}, 1);
+  ix.Insert({Value("k")}, 2);
+  ix.Insert({Value("j")}, 3);
+  std::vector<RowId> hits;
+  ix.Probe({Value("k")}, &hits);
+  EXPECT_EQ(hits.size(), 2u);
+  ix.Erase({Value("k")}, 1);
+  hits.clear();
+  ix.Probe({Value("k")}, &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+}
+
+TEST(IndexTest, OrderedIndexRange) {
+  OrderedIndex ix("ix", {0});
+  for (int64_t i = 0; i < 10; ++i) ix.Insert({Value(i)}, i);
+  std::vector<RowId> hits;
+  ix.Range({Value(static_cast<int64_t>(3))},
+           {Value(static_cast<int64_t>(6))}, &hits);
+  EXPECT_EQ(hits.size(), 4u);  // 3,4,5,6
+}
+
+TEST(IndexTest, MakeKeyProjectsColumns) {
+  HashIndex ix("ix", {2, 0});
+  Tuple row = {Value("a"), Value("b"), Value("c")};
+  Tuple key = ix.MakeKey(row);
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key[0], Value("c"));
+  EXPECT_EQ(key[1], Value("a"));
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_TRUE(cat.HasTable("t"));
+  EXPECT_TRUE(cat.HasTable("T"));  // case-insensitive
+  auto t = cat.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "t");
+  ASSERT_TRUE(cat.DropTable("T").ok());
+  EXPECT_FALSE(cat.HasTable("t"));
+}
+
+TEST(CatalogTest, DuplicateCreateFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TwoColSchema()).ok());
+  auto r = cat.CreateTable("T", TwoColSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DropMissingFails) {
+  Catalog cat;
+  EXPECT_EQ(cat.DropTable("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, CreateIndexValidatesColumns) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_TRUE(cat.CreateIndex("t", "ix", {"src"}, /*ordered=*/false).ok());
+  EXPECT_EQ(cat.CreateIndex("t", "ix2", {"bogus"}, false).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cat.CreateIndex("missing", "ix3", {"src"}, false).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TableNames) {
+  Catalog cat;
+  cat.CreateTable("a", TwoColSchema());
+  cat.CreateTable("b", TwoColSchema());
+  auto names = cat.TableNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dkb

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datalog/parser.h"
+#include "km/eval_graph.h"
+#include "lfp/tc_operator.h"
+#include "testbed/testbed.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace dkb::lfp {
+namespace {
+
+km::ProgramNode MakeNode(const std::string& rules_text) {
+  auto program = datalog::ParseProgram(rules_text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  std::set<std::string> derived;
+  for (const auto& rule : program->rules) derived.insert(rule.head.predicate);
+  auto order = km::BuildEvaluationOrder(program->rules, derived);
+  EXPECT_TRUE(order.ok()) << order.status().ToString();
+  km::ProgramNode node;
+  const km::EvalNode& en = order->nodes.back();
+  node.is_clique = en.kind == km::EvalNode::Kind::kClique;
+  if (node.is_clique) {
+    node.predicates = en.clique.predicates;
+    node.recursive_rules = en.clique.recursive_rules;
+    for (const auto& rule : en.clique.exit_rules) {
+      node.exit_rules.push_back(km::CompiledRule{rule, ""});
+    }
+  } else {
+    node.predicates = {en.predicate};
+    for (const auto& rule : en.rules) {
+      node.exit_rules.push_back(km::CompiledRule{rule, ""});
+    }
+  }
+  return node;
+}
+
+TEST(TcDetectTest, RightLinearMatches) {
+  TcShape shape;
+  EXPECT_TRUE(MatchesTransitiveClosure(
+      MakeNode("anc(X,Y) :- par(X,Y).\n"
+               "anc(X,Y) :- par(X,Z), anc(Z,Y).\n"),
+      &shape));
+  EXPECT_EQ(shape.predicate, "anc");
+  EXPECT_EQ(shape.edge_predicate, "par");
+}
+
+TEST(TcDetectTest, LeftLinearMatches) {
+  TcShape shape;
+  EXPECT_TRUE(MatchesTransitiveClosure(
+      MakeNode("anc(X,Y) :- par(X,Y).\n"
+               "anc(X,Y) :- anc(X,Z), par(Z,Y).\n"),
+      &shape));
+}
+
+TEST(TcDetectTest, NonLinearMatches) {
+  TcShape shape;
+  EXPECT_TRUE(MatchesTransitiveClosure(
+      MakeNode("anc(X,Y) :- par(X,Y).\n"
+               "anc(X,Y) :- anc(X,Z), anc(Z,Y).\n"),
+      &shape));
+}
+
+TEST(TcDetectTest, RejectsDifferentEdgeRelations) {
+  TcShape shape;
+  EXPECT_FALSE(MatchesTransitiveClosure(
+      MakeNode("anc(X,Y) :- par(X,Y).\n"
+               "anc(X,Y) :- step(X,Z), anc(Z,Y).\n"),
+      &shape));
+}
+
+TEST(TcDetectTest, RejectsExtraBodyAtoms) {
+  TcShape shape;
+  EXPECT_FALSE(MatchesTransitiveClosure(
+      MakeNode("anc(X,Y) :- par(X,Y).\n"
+               "anc(X,Y) :- par(X,Z), anc(Z,Y), ok(Y).\n"),
+      &shape));
+}
+
+TEST(TcDetectTest, RejectsSameGeneration) {
+  TcShape shape;
+  EXPECT_FALSE(MatchesTransitiveClosure(
+      MakeNode("sg(X,Y) :- flat(X,Y).\n"
+               "sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).\n"),
+      &shape));
+}
+
+TEST(TcDetectTest, RejectsNonRecursiveNode) {
+  TcShape shape;
+  EXPECT_FALSE(
+      MatchesTransitiveClosure(MakeNode("v(X,Y) :- e(X,Y).\n"), &shape));
+}
+
+TEST(TcDetectTest, RejectsSwappedHeadVars) {
+  TcShape shape;
+  EXPECT_FALSE(MatchesTransitiveClosure(
+      MakeNode("anc(X,Y) :- par(X,Y).\n"
+               "anc(X,Y) :- par(Y,Z), anc(Z,X).\n"),
+      &shape));
+}
+
+TEST(TcComputeTest, ChainClosure) {
+  std::vector<Tuple> edges = {{Value("a"), Value("b")},
+                              {Value("b"), Value("c")},
+                              {Value("c"), Value("d")}};
+  std::vector<Tuple> out;
+  ComputeTransitiveClosure(edges, &out);
+  EXPECT_EQ(out.size(), 6u);  // ab ac ad bc bd cd
+}
+
+TEST(TcComputeTest, CycleClosure) {
+  std::vector<Tuple> edges = {{Value("a"), Value("b")},
+                              {Value("b"), Value("a")}};
+  std::vector<Tuple> out;
+  ComputeTransitiveClosure(edges, &out);
+  std::set<std::string> pairs;
+  for (const Tuple& t : out) {
+    pairs.insert(t[0].ToString() + t[1].ToString());
+  }
+  EXPECT_EQ(pairs, (std::set<std::string>{"ab", "aa", "ba", "bb"}));
+}
+
+TEST(TcComputeTest, EmptyEdges) {
+  std::vector<Tuple> out;
+  ComputeTransitiveClosure({}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// End-to-end: the kNativeTc strategy must agree with the others and flag a
+// single pass.
+TEST(TcEndToEndTest, AgreesWithGeneralStrategies) {
+  auto tb = testbed::Testbed::Create();
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE((*tb)->Consult(workload::AncestorRules()).ok());
+  ASSERT_TRUE((*tb)
+                  ->DefineBase("parent",
+                               {DataType::kVarchar, DataType::kVarchar})
+                  .ok());
+  auto dag = workload::MakeDag(6, 4, 2, 123);
+  ASSERT_TRUE((*tb)->AddFacts("parent", dag.ToTuples()).ok());
+
+  auto answers = [&](LfpStrategy strategy) {
+    testbed::QueryOptions opts;
+    opts.strategy = strategy;
+    auto outcome = (*tb)->Query("?- ancestor('g0_0', W).", opts);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    std::set<std::string> out;
+    if (outcome.ok()) {
+      for (const Tuple& row : outcome->result.rows) {
+        out.insert(row[0].ToString());
+      }
+    }
+    return out;
+  };
+  auto reference = answers(LfpStrategy::kSemiNaive);
+  EXPECT_EQ(answers(LfpStrategy::kNativeTc), reference);
+  EXPECT_GT(reference.size(), 3u);
+
+  // The TC path reports a single pass for the ancestor clique.
+  testbed::QueryOptions tc;
+  tc.strategy = LfpStrategy::kNativeTc;
+  auto outcome = (*tb)->Query("?- ancestor('g0_0', W).", tc);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->exec.iterations, 1);
+}
+
+TEST(TcEndToEndTest, FallsBackOnNonTcCliques) {
+  auto tb = testbed::Testbed::Create();
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE((*tb)->Consult(workload::SameGenerationRules() +
+                             "up(a, g).\nup(b, g).\n"
+                             "flat(g, g).\n"
+                             "down(g, a).\ndown(g, b).\n")
+                  .ok());
+  testbed::QueryOptions tc;
+  tc.strategy = LfpStrategy::kNativeTc;
+  auto outcome = (*tb)->Query("?- sg(a, Y).", tc);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  std::set<std::string> out;
+  for (const Tuple& row : outcome->result.rows) out.insert(row[0].ToString());
+  EXPECT_EQ(out, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(TcEndToEndTest, MagicRewrittenCliqueNotMisdetected) {
+  // With magic sets the modified rules carry a guard atom, so the TC
+  // operator must not fire; results must still be correct.
+  auto tb = testbed::Testbed::Create();
+  ASSERT_TRUE(tb.ok());
+  ASSERT_TRUE((*tb)->Consult(workload::AncestorRules() +
+                             "parent(a, b).\nparent(b, c).\n")
+                  .ok());
+  testbed::QueryOptions opts;
+  opts.strategy = LfpStrategy::kNativeTc;
+  opts.use_magic = true;
+  auto outcome = (*tb)->Query("?- ancestor(a, W).", opts);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dkb::lfp

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "km/type_checker.h"
+
+namespace dkb::km {
+namespace {
+
+std::vector<datalog::Rule> Rules(const std::string& text) {
+  auto program = datalog::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  std::vector<datalog::Rule> out = program->rules;
+  for (const datalog::Rule& f : program->facts) out.push_back(f);
+  return out;
+}
+
+const std::map<std::string, PredicateTypes> kBase = {
+    {"parent", {DataType::kVarchar, DataType::kVarchar}},
+    {"weight", {DataType::kVarchar, DataType::kInteger}},
+};
+
+TEST(TypeCheckTest, SimpleProjection) {
+  auto result = TypeCheck(Rules("p(Y, X) :- parent(X, Y).\n"), kBase);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->derived_types.at("p"),
+            (PredicateTypes{DataType::kVarchar, DataType::kVarchar}));
+}
+
+TEST(TypeCheckTest, MixedTypesPropagate) {
+  auto result = TypeCheck(Rules("wp(X, W) :- weight(X, W).\n"), kBase);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->derived_types.at("wp"),
+            (PredicateTypes{DataType::kVarchar, DataType::kInteger}));
+}
+
+TEST(TypeCheckTest, ConstantsInHead) {
+  auto result =
+      TypeCheck(Rules("tagged(fixed, 7, X) :- parent(X, Y2).\n"), kBase);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->derived_types.at("tagged"),
+            (PredicateTypes{DataType::kVarchar, DataType::kInteger,
+                            DataType::kVarchar}));
+}
+
+TEST(TypeCheckTest, RecursivePredicateReachesFixpoint) {
+  auto result = TypeCheck(Rules("anc(X,Y) :- parent(X,Y).\n"
+                                "anc(X,Y) :- parent(X,Z), anc(Z,Y).\n"),
+                          kBase);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->derived_types.at("anc"),
+            (PredicateTypes{DataType::kVarchar, DataType::kVarchar}));
+}
+
+TEST(TypeCheckTest, MutualRecursionReachesFixpoint) {
+  auto result = TypeCheck(Rules("a(X,Y) :- parent(X,Y).\n"
+                                "a(X,Y) :- b(X,Y).\n"
+                                "b(X,Y) :- a(X,Z), parent(Z,Y).\n"),
+                          kBase);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->derived_types.at("b"),
+            (PredicateTypes{DataType::kVarchar, DataType::kVarchar}));
+}
+
+TEST(TypeCheckTest, SeedFactTypesItsPredicate) {
+  auto result = TypeCheck(Rules("m_anc(alice).\n"
+                                "anc(X,Y) :- m_anc(X), parent(X,Y).\n"),
+                          kBase);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->derived_types.at("m_anc"),
+            (PredicateTypes{DataType::kVarchar}));
+}
+
+TEST(TypeCheckTest, UndefinedBodyPredicateIsSemanticError) {
+  auto result = TypeCheck(Rules("p(X,Y) :- ghost(X,Y).\n"), kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(TypeCheckTest, UnsafeHeadVariableIsSemanticError) {
+  auto result = TypeCheck(Rules("p(X, Q) :- parent(X, Y2).\n"), kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(TypeCheckTest, ConflictingRuleTypesIsTypeError) {
+  auto result = TypeCheck(Rules("p(X, Y) :- parent(X, Y).\n"
+                                "p(X, W) :- weight(X, W).\n"),
+                          kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, VariableAtConflictingTypesIsTypeError) {
+  auto result =
+      TypeCheck(Rules("p(X) :- parent(X, V), weight(Y2, V).\n"), kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, ConstantAtWrongPositionIsTypeError) {
+  auto result = TypeCheck(Rules("p(X) :- weight(X, notanumber).\n"), kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, ArityMismatchAcrossUsesIsSemanticError) {
+  auto result = TypeCheck(Rules("p(X, Y) :- q(X, Y).\n"
+                                "q(X, Y) :- parent(X, Y).\n"
+                                "r(X) :- q(X, Y2, Z2), parent(Y2, Z2).\n"),
+                          kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(TypeCheckTest, BaseArityMismatchIsSemanticError) {
+  auto result = TypeCheck(Rules("p(X) :- parent(X).\n"), kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(TypeCheckTest, UnderivableTypeIsTypeError) {
+  // p defined only in terms of itself: column types cannot be inferred.
+  auto result = TypeCheck(Rules("p(X, Y) :- p(Y, X).\n"), kBase);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TypeCheckTest, EmptyRuleSetIsFine) {
+  auto result = TypeCheck({}, kBase);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->derived_types.empty());
+}
+
+}  // namespace
+}  // namespace dkb::km

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "km/eval_graph.h"
+#include "km/pcg.h"
+#include "workload/data_gen.h"
+#include "workload/rule_gen.h"
+
+namespace dkb::workload {
+namespace {
+
+TEST(DataGenTest, ListsSizing) {
+  EdgeSet lists = MakeLists(3, 10);
+  EXPECT_EQ(lists.num_tuples(), 3u * 9u);  // n * (l - 1)
+  EXPECT_EQ(lists.roots.size(), 3u);
+  EXPECT_EQ(lists.num_nodes, 30);
+}
+
+TEST(DataGenTest, ListsAreChains) {
+  EdgeSet lists = MakeLists(1, 5);
+  std::map<std::string, int> out_degree;
+  std::map<std::string, int> in_degree;
+  for (const auto& [a, b] : lists.edges) {
+    ++out_degree[a];
+    ++in_degree[b];
+  }
+  for (const auto& [node, d] : out_degree) EXPECT_EQ(d, 1) << node;
+  for (const auto& [node, d] : in_degree) EXPECT_EQ(d, 1) << node;
+  EXPECT_EQ(in_degree.count(lists.roots[0]), 0u);
+}
+
+TEST(DataGenTest, FullBinaryTreeSizing) {
+  // Paper: n trees of depth d have n * (2^d - 2) tuples.
+  for (int d : {2, 3, 6}) {
+    EdgeSet trees = MakeFullBinaryTrees(2, d);
+    EXPECT_EQ(trees.num_tuples(),
+              static_cast<size_t>(2 * ((1 << d) - 2)))
+        << "depth " << d;
+    EXPECT_EQ(trees.num_nodes, 2 * ((1 << d) - 1));
+  }
+}
+
+TEST(DataGenTest, TreeInternalNodesHaveTwoChildren) {
+  EdgeSet tree = MakeFullBinaryTrees(1, 4);
+  std::map<std::string, int> out_degree;
+  for (const auto& [a, b] : tree.edges) {
+    (void)b;
+    ++out_degree[a];
+  }
+  for (const auto& [node, d] : out_degree) EXPECT_EQ(d, 2) << node;
+  // 7 internal nodes in a depth-4 tree (15 nodes).
+  EXPECT_EQ(out_degree.size(), 7u);
+}
+
+TEST(DataGenTest, SubtreeSize) {
+  EXPECT_EQ(SubtreeSize(8, 0), 255);
+  EXPECT_EQ(SubtreeSize(8, 1), 127);
+  EXPECT_EQ(SubtreeSize(8, 7), 1);
+  EXPECT_EQ(SubtreeSize(8, 8), 0);
+}
+
+TEST(DataGenTest, DagProperties) {
+  EdgeSet dag = MakeDag(6, 5, 2, 99);
+  EXPECT_EQ(dag.num_nodes, 30);
+  EXPECT_EQ(dag.num_tuples(), 5u * 5u * 2u);  // (levels-1) * width * fan_in
+  EXPECT_EQ(dag.roots.size(), 5u);
+  // Acyclic by construction: every edge goes level i -> i+1.
+  for (const auto& [a, b] : dag.edges) {
+    int la = std::stoi(a.substr(1, a.find('_') - 1));
+    int lb = std::stoi(b.substr(1, b.find('_') - 1));
+    EXPECT_EQ(lb, la + 1);
+  }
+}
+
+TEST(DataGenTest, DagDeterministicBySeed) {
+  EdgeSet a = MakeDag(4, 3, 2, 7);
+  EdgeSet b = MakeDag(4, 3, 2, 7);
+  EdgeSet c = MakeDag(4, 3, 2, 8);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(DataGenTest, CyclicGraphAddsBackEdges) {
+  EdgeSet dag = MakeDag(6, 4, 2, 11);
+  EdgeSet cyc = MakeCyclicGraph(6, 4, 2, 3, 2, 11);
+  EXPECT_EQ(cyc.num_tuples(), dag.num_tuples() + 3);
+  // Back edges go to strictly earlier levels.
+  for (size_t i = dag.num_tuples(); i < cyc.num_tuples(); ++i) {
+    const auto& [a, b] = cyc.edges[i];
+    int la = std::stoi(a.substr(1, a.find('_') - 1));
+    int lb = std::stoi(b.substr(1, b.find('_') - 1));
+    EXPECT_LT(lb, la);
+  }
+}
+
+TEST(DataGenTest, ToTuples) {
+  EdgeSet lists = MakeLists(1, 3);
+  auto tuples = lists.ToTuples();
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0][0], Value("l0_0"));
+  EXPECT_EQ(tuples[0][1], Value("l0_1"));
+}
+
+TEST(RuleGenTest, ExactCounts) {
+  GeneratedRuleBase rb = MakeRuleBase(50, 7);
+  EXPECT_EQ(rb.rules.size(), 50u);
+  EXPECT_EQ(rb.relevant.size(), 7u);
+  EXPECT_EQ(rb.query_pred, "q_p0");
+  EXPECT_EQ(rb.relevant_derived_preds, 7);  // chain, 1 rule per pred
+}
+
+TEST(RuleGenTest, RulesPerPredControlsPredCount) {
+  GeneratedRuleBase rb = MakeRuleBase(40, 12, /*rules_per_pred=*/3);
+  EXPECT_EQ(rb.relevant.size(), 12u);
+  EXPECT_EQ(rb.relevant_derived_preds, 4);  // ceil(12/3)
+}
+
+TEST(RuleGenTest, RelevantSetMatchesReachability) {
+  GeneratedRuleBase rb = MakeRuleBase(60, 9);
+  km::Pcg pcg;
+  for (const auto& rule : rb.rules) pcg.AddRule(rule);
+  auto reach = pcg.Reachable(rb.query_pred);
+  reach.insert(rb.query_pred);
+  size_t relevant = 0;
+  for (const auto& rule : rb.rules) {
+    if (reach.count(rule.head.predicate) > 0) ++relevant;
+  }
+  EXPECT_EQ(relevant, 9u);
+}
+
+TEST(RuleGenTest, EveryDerivedPredicateHasRules) {
+  GeneratedRuleBase rb = MakeRuleBase(30, 5, 2);
+  std::set<std::string> derived;
+  for (const auto& rule : rb.rules) derived.insert(rule.head.predicate);
+  auto order = km::BuildEvaluationOrder(rb.rules, derived);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  // Rule bases are non-recursive: all nodes are plain predicates.
+  for (const auto& node : order->nodes) {
+    EXPECT_EQ(node.kind, km::EvalNode::Kind::kPredicate);
+  }
+}
+
+TEST(RuleGenTest, RelevantClampedToTotal) {
+  GeneratedRuleBase rb = MakeRuleBase(5, 10);
+  EXPECT_EQ(rb.rules.size(), 5u);
+  EXPECT_EQ(rb.relevant.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dkb::workload
