@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_native_lfp.dir/bench_ablation_native_lfp.cc.o"
+  "CMakeFiles/bench_ablation_native_lfp.dir/bench_ablation_native_lfp.cc.o.d"
+  "bench_ablation_native_lfp"
+  "bench_ablation_native_lfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_native_lfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

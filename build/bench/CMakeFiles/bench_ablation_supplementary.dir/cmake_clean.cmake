@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_supplementary.dir/bench_ablation_supplementary.cc.o"
+  "CMakeFiles/bench_ablation_supplementary.dir/bench_ablation_supplementary.cc.o.d"
+  "bench_ablation_supplementary"
+  "bench_ablation_supplementary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_supplementary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

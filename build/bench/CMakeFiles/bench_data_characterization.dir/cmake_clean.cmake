@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_characterization.dir/bench_data_characterization.cc.o"
+  "CMakeFiles/bench_data_characterization.dir/bench_data_characterization.cc.o.d"
+  "bench_data_characterization"
+  "bench_data_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_extract.dir/bench_fig07_extract.cc.o"
+  "CMakeFiles/bench_fig07_extract.dir/bench_fig07_extract.cc.o.d"
+  "bench_fig07_extract"
+  "bench_fig07_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

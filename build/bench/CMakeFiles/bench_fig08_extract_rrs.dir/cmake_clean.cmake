@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_extract_rrs.dir/bench_fig08_extract_rrs.cc.o"
+  "CMakeFiles/bench_fig08_extract_rrs.dir/bench_fig08_extract_rrs.cc.o.d"
+  "bench_fig08_extract_rrs"
+  "bench_fig08_extract_rrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_extract_rrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dict_read_prs.dir/bench_fig10_dict_read_prs.cc.o"
+  "CMakeFiles/bench_fig10_dict_read_prs.dir/bench_fig10_dict_read_prs.cc.o.d"
+  "bench_fig10_dict_read_prs"
+  "bench_fig10_dict_read_prs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dict_read_prs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_relevant_facts.dir/bench_fig11_relevant_facts.cc.o"
+  "CMakeFiles/bench_fig11_relevant_facts.dir/bench_fig11_relevant_facts.cc.o.d"
+  "bench_fig11_relevant_facts"
+  "bench_fig11_relevant_facts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_relevant_facts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_naive_vs_seminaive.dir/bench_fig12_naive_vs_seminaive.cc.o"
+  "CMakeFiles/bench_fig12_naive_vs_seminaive.dir/bench_fig12_naive_vs_seminaive.cc.o.d"
+  "bench_fig12_naive_vs_seminaive"
+  "bench_fig12_naive_vs_seminaive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_naive_vs_seminaive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/dkb_catalog.dir/catalog/catalog.cc.o.d"
+  "libdkb_catalog.a"
+  "libdkb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_common.dir/common/rng.cc.o"
+  "CMakeFiles/dkb_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dkb_common.dir/common/status.cc.o"
+  "CMakeFiles/dkb_common.dir/common/status.cc.o.d"
+  "CMakeFiles/dkb_common.dir/common/str_util.cc.o"
+  "CMakeFiles/dkb_common.dir/common/str_util.cc.o.d"
+  "CMakeFiles/dkb_common.dir/common/value.cc.o"
+  "CMakeFiles/dkb_common.dir/common/value.cc.o.d"
+  "libdkb_common.a"
+  "libdkb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_datalog.dir/datalog/ast.cc.o"
+  "CMakeFiles/dkb_datalog.dir/datalog/ast.cc.o.d"
+  "CMakeFiles/dkb_datalog.dir/datalog/parser.cc.o"
+  "CMakeFiles/dkb_datalog.dir/datalog/parser.cc.o.d"
+  "libdkb_datalog.a"
+  "libdkb_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdkb_datalog.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/binder.cc" "src/CMakeFiles/dkb_exec.dir/exec/binder.cc.o" "gcc" "src/CMakeFiles/dkb_exec.dir/exec/binder.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/dkb_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/dkb_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/dkb_exec.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/dkb_exec.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/CMakeFiles/dkb_exec.dir/exec/plan.cc.o" "gcc" "src/CMakeFiles/dkb_exec.dir/exec/plan.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/CMakeFiles/dkb_exec.dir/exec/planner.cc.o" "gcc" "src/CMakeFiles/dkb_exec.dir/exec/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dkb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_exec.dir/exec/binder.cc.o"
+  "CMakeFiles/dkb_exec.dir/exec/binder.cc.o.d"
+  "CMakeFiles/dkb_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/dkb_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/dkb_exec.dir/exec/expr.cc.o"
+  "CMakeFiles/dkb_exec.dir/exec/expr.cc.o.d"
+  "CMakeFiles/dkb_exec.dir/exec/plan.cc.o"
+  "CMakeFiles/dkb_exec.dir/exec/plan.cc.o.d"
+  "CMakeFiles/dkb_exec.dir/exec/planner.cc.o"
+  "CMakeFiles/dkb_exec.dir/exec/planner.cc.o.d"
+  "libdkb_exec.a"
+  "libdkb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

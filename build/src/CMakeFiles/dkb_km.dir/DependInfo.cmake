@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/km/codegen.cc" "src/CMakeFiles/dkb_km.dir/km/codegen.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/codegen.cc.o.d"
+  "/root/repo/src/km/compiler.cc" "src/CMakeFiles/dkb_km.dir/km/compiler.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/compiler.cc.o.d"
+  "/root/repo/src/km/eval_graph.cc" "src/CMakeFiles/dkb_km.dir/km/eval_graph.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/eval_graph.cc.o.d"
+  "/root/repo/src/km/pcg.cc" "src/CMakeFiles/dkb_km.dir/km/pcg.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/pcg.cc.o.d"
+  "/root/repo/src/km/rule_sql.cc" "src/CMakeFiles/dkb_km.dir/km/rule_sql.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/rule_sql.cc.o.d"
+  "/root/repo/src/km/scc.cc" "src/CMakeFiles/dkb_km.dir/km/scc.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/scc.cc.o.d"
+  "/root/repo/src/km/stored_dkb.cc" "src/CMakeFiles/dkb_km.dir/km/stored_dkb.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/stored_dkb.cc.o.d"
+  "/root/repo/src/km/type_checker.cc" "src/CMakeFiles/dkb_km.dir/km/type_checker.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/type_checker.cc.o.d"
+  "/root/repo/src/km/update.cc" "src/CMakeFiles/dkb_km.dir/km/update.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/update.cc.o.d"
+  "/root/repo/src/km/workspace.cc" "src/CMakeFiles/dkb_km.dir/km/workspace.cc.o" "gcc" "src/CMakeFiles/dkb_km.dir/km/workspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dkb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_magic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

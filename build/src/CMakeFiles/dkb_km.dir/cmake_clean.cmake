@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_km.dir/km/codegen.cc.o"
+  "CMakeFiles/dkb_km.dir/km/codegen.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/compiler.cc.o"
+  "CMakeFiles/dkb_km.dir/km/compiler.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/eval_graph.cc.o"
+  "CMakeFiles/dkb_km.dir/km/eval_graph.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/pcg.cc.o"
+  "CMakeFiles/dkb_km.dir/km/pcg.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/rule_sql.cc.o"
+  "CMakeFiles/dkb_km.dir/km/rule_sql.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/scc.cc.o"
+  "CMakeFiles/dkb_km.dir/km/scc.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/stored_dkb.cc.o"
+  "CMakeFiles/dkb_km.dir/km/stored_dkb.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/type_checker.cc.o"
+  "CMakeFiles/dkb_km.dir/km/type_checker.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/update.cc.o"
+  "CMakeFiles/dkb_km.dir/km/update.cc.o.d"
+  "CMakeFiles/dkb_km.dir/km/workspace.cc.o"
+  "CMakeFiles/dkb_km.dir/km/workspace.cc.o.d"
+  "libdkb_km.a"
+  "libdkb_km.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_km.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfp/eval_context.cc" "src/CMakeFiles/dkb_lfp.dir/lfp/eval_context.cc.o" "gcc" "src/CMakeFiles/dkb_lfp.dir/lfp/eval_context.cc.o.d"
+  "/root/repo/src/lfp/evaluator.cc" "src/CMakeFiles/dkb_lfp.dir/lfp/evaluator.cc.o" "gcc" "src/CMakeFiles/dkb_lfp.dir/lfp/evaluator.cc.o.d"
+  "/root/repo/src/lfp/naive.cc" "src/CMakeFiles/dkb_lfp.dir/lfp/naive.cc.o" "gcc" "src/CMakeFiles/dkb_lfp.dir/lfp/naive.cc.o.d"
+  "/root/repo/src/lfp/native_lfp.cc" "src/CMakeFiles/dkb_lfp.dir/lfp/native_lfp.cc.o" "gcc" "src/CMakeFiles/dkb_lfp.dir/lfp/native_lfp.cc.o.d"
+  "/root/repo/src/lfp/seminaive.cc" "src/CMakeFiles/dkb_lfp.dir/lfp/seminaive.cc.o" "gcc" "src/CMakeFiles/dkb_lfp.dir/lfp/seminaive.cc.o.d"
+  "/root/repo/src/lfp/tc_operator.cc" "src/CMakeFiles/dkb_lfp.dir/lfp/tc_operator.cc.o" "gcc" "src/CMakeFiles/dkb_lfp.dir/lfp/tc_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dkb_km.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_magic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_lfp.dir/lfp/eval_context.cc.o"
+  "CMakeFiles/dkb_lfp.dir/lfp/eval_context.cc.o.d"
+  "CMakeFiles/dkb_lfp.dir/lfp/evaluator.cc.o"
+  "CMakeFiles/dkb_lfp.dir/lfp/evaluator.cc.o.d"
+  "CMakeFiles/dkb_lfp.dir/lfp/naive.cc.o"
+  "CMakeFiles/dkb_lfp.dir/lfp/naive.cc.o.d"
+  "CMakeFiles/dkb_lfp.dir/lfp/native_lfp.cc.o"
+  "CMakeFiles/dkb_lfp.dir/lfp/native_lfp.cc.o.d"
+  "CMakeFiles/dkb_lfp.dir/lfp/seminaive.cc.o"
+  "CMakeFiles/dkb_lfp.dir/lfp/seminaive.cc.o.d"
+  "CMakeFiles/dkb_lfp.dir/lfp/tc_operator.cc.o"
+  "CMakeFiles/dkb_lfp.dir/lfp/tc_operator.cc.o.d"
+  "libdkb_lfp.a"
+  "libdkb_lfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_lfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

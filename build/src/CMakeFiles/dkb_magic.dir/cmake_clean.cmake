@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_magic.dir/magic/adornment.cc.o"
+  "CMakeFiles/dkb_magic.dir/magic/adornment.cc.o.d"
+  "CMakeFiles/dkb_magic.dir/magic/magic_sets.cc.o"
+  "CMakeFiles/dkb_magic.dir/magic/magic_sets.cc.o.d"
+  "libdkb_magic.a"
+  "libdkb_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

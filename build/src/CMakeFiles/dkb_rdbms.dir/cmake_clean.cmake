@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_rdbms.dir/rdbms/database.cc.o"
+  "CMakeFiles/dkb_rdbms.dir/rdbms/database.cc.o.d"
+  "CMakeFiles/dkb_rdbms.dir/rdbms/snapshot.cc.o"
+  "CMakeFiles/dkb_rdbms.dir/rdbms/snapshot.cc.o.d"
+  "libdkb_rdbms.a"
+  "libdkb_rdbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_rdbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

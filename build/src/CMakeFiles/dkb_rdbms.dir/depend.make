@@ -1,0 +1,2 @@
+# Empty dependencies file for dkb_rdbms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/dkb_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/dkb_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/dkb_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/dkb_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/dkb_sql.dir/sql/parser.cc.o.d"
+  "libdkb_sql.a"
+  "libdkb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

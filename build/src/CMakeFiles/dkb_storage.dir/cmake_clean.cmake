@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_storage.dir/storage/index.cc.o"
+  "CMakeFiles/dkb_storage.dir/storage/index.cc.o.d"
+  "CMakeFiles/dkb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/dkb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/dkb_storage.dir/storage/table.cc.o"
+  "CMakeFiles/dkb_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/dkb_storage.dir/storage/tuple.cc.o"
+  "CMakeFiles/dkb_storage.dir/storage/tuple.cc.o.d"
+  "libdkb_storage.a"
+  "libdkb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_testbed.dir/testbed/query_cache.cc.o"
+  "CMakeFiles/dkb_testbed.dir/testbed/query_cache.cc.o.d"
+  "CMakeFiles/dkb_testbed.dir/testbed/testbed.cc.o"
+  "CMakeFiles/dkb_testbed.dir/testbed/testbed.cc.o.d"
+  "libdkb_testbed.a"
+  "libdkb_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkb_workload.dir/workload/data_gen.cc.o"
+  "CMakeFiles/dkb_workload.dir/workload/data_gen.cc.o.d"
+  "CMakeFiles/dkb_workload.dir/workload/queries.cc.o"
+  "CMakeFiles/dkb_workload.dir/workload/queries.cc.o.d"
+  "CMakeFiles/dkb_workload.dir/workload/rule_gen.cc.o"
+  "CMakeFiles/dkb_workload.dir/workload/rule_gen.cc.o.d"
+  "libdkb_workload.a"
+  "libdkb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_types_sweep_test.dir/data_types_sweep_test.cc.o"
+  "CMakeFiles/data_types_sweep_test.dir/data_types_sweep_test.cc.o.d"
+  "data_types_sweep_test"
+  "data_types_sweep_test.pdb"
+  "data_types_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_types_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/km_graph_test.dir/km_graph_test.cc.o"
+  "CMakeFiles/km_graph_test.dir/km_graph_test.cc.o.d"
+  "km_graph_test"
+  "km_graph_test.pdb"
+  "km_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/km_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

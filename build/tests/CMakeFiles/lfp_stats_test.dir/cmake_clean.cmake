@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_stats_test.dir/lfp_stats_test.cc.o"
+  "CMakeFiles/lfp_stats_test.dir/lfp_stats_test.cc.o.d"
+  "lfp_stats_test"
+  "lfp_stats_test.pdb"
+  "lfp_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precompile_adaptive_test.dir/precompile_adaptive_test.cc.o"
+  "CMakeFiles/precompile_adaptive_test.dir/precompile_adaptive_test.cc.o.d"
+  "precompile_adaptive_test"
+  "precompile_adaptive_test.pdb"
+  "precompile_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precompile_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_test.dir/rdbms_test.cc.o"
+  "CMakeFiles/rdbms_test.dir/rdbms_test.cc.o.d"
+  "rdbms_test"
+  "rdbms_test.pdb"
+  "rdbms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_sql_test.dir/rule_sql_test.cc.o"
+  "CMakeFiles/rule_sql_test.dir/rule_sql_test.cc.o.d"
+  "rule_sql_test"
+  "rule_sql_test.pdb"
+  "rule_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/storage_test.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dkb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_lfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_km.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_magic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dkb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stored_dkb_test.dir/stored_dkb_test.cc.o"
+  "CMakeFiles/stored_dkb_test.dir/stored_dkb_test.cc.o.d"
+  "stored_dkb_test"
+  "stored_dkb_test.pdb"
+  "stored_dkb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stored_dkb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

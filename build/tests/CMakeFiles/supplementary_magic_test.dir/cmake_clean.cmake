@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplementary_magic_test.dir/supplementary_magic_test.cc.o"
+  "CMakeFiles/supplementary_magic_test.dir/supplementary_magic_test.cc.o.d"
+  "supplementary_magic_test"
+  "supplementary_magic_test.pdb"
+  "supplementary_magic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplementary_magic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/rdbms_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/km_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/type_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/magic_test[1]_include.cmake")
+include("/root/repo/build/tests/stored_dkb_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/negation_test[1]_include.cmake")
+include("/root/repo/build/tests/precompile_adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/tc_operator_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/lfp_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/supplementary_magic_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/builtin_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/data_types_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/query_cache_test[1]_include.cmake")
