@@ -36,8 +36,7 @@ class WallTimer {
 /// evaluation, and termination checking (paper Table 5).
 class ScopedAccumulator {
  public:
-  explicit ScopedAccumulator(int64_t* sink_micros)
-      : sink_(sink_micros), timer_() {}
+  explicit ScopedAccumulator(int64_t* sink_micros) : sink_(sink_micros) {}
   ~ScopedAccumulator() { *sink_ += timer_.ElapsedMicros(); }
 
   ScopedAccumulator(const ScopedAccumulator&) = delete;

@@ -76,11 +76,23 @@ struct Atom {
   std::string ToString() const;
 };
 
+/// Source location of a clause within the program text it was parsed from.
+/// Default-constructed (line 0) for rules built programmatically; ignored by
+/// structural equality so spans never affect rule identity.
+struct SourceSpan {
+  int line = 0;        // 1-based line of the clause's first token
+  size_t begin = 0;    // byte offset of the first token
+  size_t end = 0;      // byte offset one past the final '.'
+
+  bool valid() const { return line > 0; }
+};
+
 /// A Horn clause: head :- body. A fact is a clause with an empty body and a
 /// variable-free head.
 struct Rule {
   Atom head;
   std::vector<Atom> body;
+  SourceSpan span;  // where the clause came from; not part of identity
 
   bool is_fact() const;
 

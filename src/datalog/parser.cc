@@ -1,6 +1,8 @@
 #include "datalog/parser.h"
 
 #include <cctype>
+#include <cstdint>
+#include <limits>
 
 namespace dkb::datalog {
 
@@ -16,6 +18,7 @@ class ClauseParser {
     Program program;
     SkipSpace();
     while (!AtEnd()) {
+      size_t clause_begin = pos_;
       if (Match("?-")) {
         DKB_ASSIGN_OR_RETURN(Atom goal, ParseAtom());
         DKB_RETURN_IF_ERROR(ExpectChar('.'));
@@ -23,6 +26,7 @@ class ClauseParser {
       } else {
         DKB_ASSIGN_OR_RETURN(Rule rule, ParseClause());
         DKB_RETURN_IF_ERROR(ExpectChar('.'));
+        rule.span = SpanFrom(clause_begin);
         DKB_RETURN_IF_ERROR(Classify(std::move(rule), &program));
       }
       SkipSpace();
@@ -32,8 +36,10 @@ class ClauseParser {
 
   Result<Rule> ParseSingleRule() {
     SkipSpace();
+    size_t clause_begin = pos_;
     DKB_ASSIGN_OR_RETURN(Rule rule, ParseClause());
     MatchChar('.');
+    rule.span = SpanFrom(clause_begin);
     SkipSpace();
     if (!AtEnd()) return Error("unexpected trailing input");
     return rule;
@@ -180,11 +186,29 @@ class ClauseParser {
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '-' && pos_ + 1 < in_.size() &&
          std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
-      size_t start = pos_;
-      if (c == '-') ++pos_;
-      while (!AtEnd() && std::isdigit(Byte())) ++pos_;
-      return Term::Constant(
-          Value(static_cast<int64_t>(std::stoll(in_.substr(start, pos_ - start)))));
+      // Accumulate with an overflow check instead of std::stoll: the
+      // library is no-throw by contract, and stoll throws on out-of-range
+      // literals.
+      const bool negative = c == '-';
+      if (negative) ++pos_;
+      const uint64_t max_magnitude =
+          static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) +
+          (negative ? 1 : 0);
+      uint64_t magnitude = 0;
+      while (!AtEnd() && std::isdigit(Byte())) {
+        const uint64_t digit = Byte() - '0';
+        if (magnitude > max_magnitude / 10 ||
+            (magnitude == max_magnitude / 10 &&
+             digit > max_magnitude % 10)) {
+          return Error("integer literal out of range");
+        }
+        magnitude = magnitude * 10 + digit;
+        ++pos_;
+      }
+      const int64_t value =
+          negative ? static_cast<int64_t>(-magnitude)
+                   : static_cast<int64_t>(magnitude);
+      return Term::Constant(Value(value));
     }
     if (c == '\'' || c == '"') {
       char quote = c;
@@ -245,6 +269,19 @@ class ClauseParser {
       return Error(std::string("expected '") + c + "'");
     }
     return Status::OK();
+  }
+
+  /// Span from `begin` to the current position; line computed on demand
+  /// (program texts are small, so the rescan is cheap).
+  SourceSpan SpanFrom(size_t begin) const {
+    SourceSpan span;
+    span.begin = begin;
+    span.end = pos_;
+    span.line = 1;
+    for (size_t i = 0; i < begin && i < in_.size(); ++i) {
+      if (in_[i] == '\n') ++span.line;
+    }
+    return span;
   }
 
   Status Error(const std::string& message) const {

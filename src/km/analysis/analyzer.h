@@ -1,0 +1,93 @@
+#ifndef DKB_KM_ANALYSIS_ANALYZER_H_
+#define DKB_KM_ANALYSIS_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "km/analysis/diagnostics.h"
+#include "km/analysis/stratify.h"
+
+namespace dkb::km::analysis {
+
+/// Per-predicate cardinality annotation for downstream planners
+/// (`exec/planner` consumes EDB sizes through the catalog; these annotations
+/// extend the same information to derived predicates at compile time).
+struct PredicateCardinality {
+  size_t arity = 0;
+  bool is_base = false;
+  int64_t base_tuples = -1;  // EDB tuple count when known, else -1
+  int num_rules = 0;         // surviving rules defining the predicate
+  double est_tuples = 0.0;   // coarse size estimate (see analyzer.cc)
+};
+
+/// Pass toggles. Everything is on by default; the compiler and the lint
+/// tool both run the full pipeline.
+struct AnalyzerOptions {
+  bool prune_duplicates = true;
+  bool prune_unsatisfiable = true;
+  bool prune_dead = true;          // requires a goal
+  bool check_definedness = true;
+  bool compute_adornments = true;  // requires a goal
+  bool compute_cardinality = true;
+};
+
+/// Input program: the rule set plus what is known about the extensional
+/// database. `goal` enables the goal-directed passes (dead-rule
+/// elimination, adornment dataflow); without it only goal-independent
+/// passes run.
+struct AnalyzerInput {
+  std::vector<datalog::Rule> rules;
+  const datalog::Atom* goal = nullptr;
+  std::set<std::string> base_predicates;
+  std::map<std::string, int64_t> base_cardinalities;  // optional EDB sizes
+};
+
+/// Everything the analysis pipeline produces: the pruned rule set that is
+/// safe to hand to the optimizer/code generator, structured diagnostics,
+/// the stratification, the achievable adornment set, and cardinality
+/// annotations.
+struct AnalysisResult {
+  std::vector<datalog::Rule> rules;  // surviving rules, original order
+  DiagnosticEngine engine;
+  Stratification strata;
+  /// Achievable (predicate, adornment) pairs under a left-to-right SIP from
+  /// the goal; empty when no goal was supplied. Mirrors the dataflow of the
+  /// magic-sets rewrite, so it is exactly the set of adorned predicates the
+  /// rewrite may generate — the compiler feeds it back as a filter.
+  std::set<std::pair<std::string, std::string>> adornments;
+  std::map<std::string, PredicateCardinality> cardinality;
+  /// True when every definition of the goal predicate was pruned: the query
+  /// provably has no answers via rules (it may still be a base predicate).
+  bool goal_provably_empty = false;
+
+  const std::vector<Diagnostic>& diagnostics() const {
+    return engine.diagnostics();
+  }
+  bool ok() const { return !engine.HasErrors(); }
+};
+
+/// Runs the multi-pass static analysis pipeline:
+///
+///   1. duplicate-rule elimination        (DKB-W005, rule dropped)
+///   2. unsatisfiable-body elimination    (DKB-W004, rule dropped;
+///      constant-folds built-in comparisons and propagates provably-empty
+///      predicates)
+///   3. definedness                       (DKB-E002)
+///   4. stratification                    (DKB-E001; strata computed)
+///   5. dead-rule elimination             (DKB-W003, rule dropped)
+///   6. adornment dataflow                (DKB-W006; achievable set)
+///   7. cardinality annotations
+///
+/// The function never fails: errors are reported as diagnostics and the
+/// caller decides (the compiler aborts on errors, the lint tool prints
+/// them all).
+AnalysisResult AnalyzeProgram(const AnalyzerInput& input,
+                              const AnalyzerOptions& options = {});
+
+}  // namespace dkb::km::analysis
+
+#endif  // DKB_KM_ANALYSIS_ANALYZER_H_

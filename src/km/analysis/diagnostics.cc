@@ -1,0 +1,155 @@
+#include "km/analysis/diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dkb::km::analysis {
+
+namespace {
+
+/// JSON string escaping for the small character set our messages use.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityName(severity) << "[" << code << "]";
+  if (rule_line > 0) os << " line " << rule_line;
+  os << ": " << message;
+  if (!rule_text.empty()) os << " (rule: " << rule_text << ")";
+  return os.str();
+}
+
+std::string Diagnostic::ToJson() const {
+  std::ostringstream os;
+  os << "{\"code\": \"" << JsonEscape(code) << "\", \"severity\": \""
+     << SeverityName(severity) << "\", \"predicate\": \""
+     << JsonEscape(predicate) << "\", \"line\": " << rule_line
+     << ", \"rule\": \"" << JsonEscape(rule_text) << "\", \"message\": \""
+     << JsonEscape(message) << "\"}";
+  return os.str();
+}
+
+void DiagnosticEngine::ReportRule(const char* code, Severity severity,
+                                  const datalog::Rule& rule,
+                                  std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.predicate = rule.head.predicate;
+  d.rule_line = rule.span.line;
+  d.rule_text = rule.ToString();
+  d.message = std::move(message);
+  Report(std::move(d));
+}
+
+bool DiagnosticEngine::HasErrors() const {
+  return CountSeverity(Severity::kError) > 0;
+}
+
+size_t DiagnosticEngine::CountSeverity(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticEngine::FirstError() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) return d.ToString();
+  }
+  return "";
+}
+
+std::string RenderHuman(const std::vector<Diagnostic>& diagnostics,
+                        const std::string& source_name) {
+  std::ostringstream os;
+  size_t errors = 0, warnings = 0, notes = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (!source_name.empty()) os << source_name << ": ";
+    os << d.ToString() << "\n";
+    switch (d.severity) {
+      case Severity::kError:
+        ++errors;
+        break;
+      case Severity::kWarning:
+        ++warnings;
+        break;
+      case Severity::kNote:
+        ++notes;
+        break;
+    }
+  }
+  if (!source_name.empty()) os << source_name << ": ";
+  if (diagnostics.empty()) {
+    os << "no diagnostics\n";
+  } else {
+    os << errors << " error(s), " << warnings << " warning(s), " << notes
+       << " note(s)\n";
+  }
+  return os.str();
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& source_name) {
+  std::ostringstream os;
+  os << "{\"source\": \"" << JsonEscape(source_name)
+     << "\", \"diagnostics\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << diagnostics[i].ToJson();
+  }
+  size_t errors = 0, warnings = 0, notes = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+    if (d.severity == Severity::kNote) ++notes;
+  }
+  os << "], \"errors\": " << errors << ", \"warnings\": " << warnings
+     << ", \"notes\": " << notes << "}\n";
+  return os.str();
+}
+
+}  // namespace dkb::km::analysis

@@ -1,0 +1,82 @@
+#ifndef DKB_KM_ANALYSIS_DIAGNOSTICS_H_
+#define DKB_KM_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace dkb::km::analysis {
+
+/// Diagnostic severity. Errors make the program unfit for compilation
+/// (unstratified negation, undefined predicates); warnings describe rules
+/// the analyzer prunes or constructs it cannot optimize; notes are
+/// informational annotations.
+enum class Severity { kNote, kWarning, kError };
+
+/// "note" / "warning" / "error".
+const char* SeverityName(Severity severity);
+
+/// Stable diagnostic codes. The numeric part is permanent; the trailing
+/// slug is descriptive. Tools (and tests) match on the full string.
+inline constexpr char kCodeUnstratified[] = "DKB-E001-unstratified-negation";
+inline constexpr char kCodeUndefinedPredicate[] =
+    "DKB-E002-undefined-predicate";
+inline constexpr char kCodeDeadRule[] = "DKB-W003-dead-rule";
+inline constexpr char kCodeUnsatisfiableBody[] =
+    "DKB-W004-unsatisfiable-body";
+inline constexpr char kCodeDuplicateRule[] = "DKB-W005-duplicate-rule";
+inline constexpr char kCodeInconsistentAdornment[] =
+    "DKB-W006-inconsistent-adornment";
+
+/// One structured finding of the static analyzer.
+struct Diagnostic {
+  std::string code;       // stable code, e.g. kCodeDeadRule
+  Severity severity = Severity::kWarning;
+  std::string predicate;  // subject predicate ("" when not predicate-bound)
+  int rule_line = 0;      // 1-based source line of the rule; 0 = unknown
+  std::string rule_text;  // rendered rule ("" when not rule-bound)
+  std::string message;    // human-readable explanation
+
+  /// "warning[DKB-W003-dead-rule] line 4: message (rule: p(X) :- q(X).)"
+  std::string ToString() const;
+  /// One JSON object (stable key order, no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Collects diagnostics across analysis passes and renders them.
+class DiagnosticEngine {
+ public:
+  void Report(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+
+  /// Convenience: build and report a rule-bound diagnostic.
+  void ReportRule(const char* code, Severity severity,
+                  const datalog::Rule& rule, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool HasErrors() const;
+  size_t CountSeverity(Severity severity) const;
+
+  /// First error-severity diagnostic message; "" if none.
+  std::string FirstError() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Human-readable rendering, one line per diagnostic plus a summary line
+/// ("2 warning(s), 1 error(s)" or "no diagnostics"). `source_name` prefixes
+/// every line when non-empty (the lint CLI passes the file name).
+std::string RenderHuman(const std::vector<Diagnostic>& diagnostics,
+                        const std::string& source_name = "");
+
+/// JSON rendering: {"source": ..., "diagnostics": [...], "errors": N,
+/// "warnings": N, "notes": N}.
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& source_name = "");
+
+}  // namespace dkb::km::analysis
+
+#endif  // DKB_KM_ANALYSIS_DIAGNOSTICS_H_

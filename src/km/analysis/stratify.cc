@@ -1,0 +1,83 @@
+#include "km/analysis/stratify.h"
+
+#include <algorithm>
+#include <set>
+
+#include "km/pcg.h"
+#include "km/scc.h"
+
+namespace dkb::km::analysis {
+
+Stratification ComputeStratification(
+    const std::vector<datalog::Rule>& rules) {
+  Stratification out;
+
+  Pcg pcg;
+  for (const datalog::Rule& rule : rules) pcg.AddRule(rule);
+
+  // Tarjan returns components callees-first, so every component's
+  // dependencies are already labelled when we reach it.
+  std::vector<std::vector<std::string>> components =
+      StronglyConnectedComponents(pcg);
+  std::map<std::string, size_t> component_of;
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (const std::string& p : components[i]) component_of[p] = i;
+  }
+
+  // Violations: a rule whose head and negated body predicate share a
+  // component.
+  for (const datalog::Rule& rule : rules) {
+    size_t head_comp = component_of[rule.head.predicate];
+    for (const datalog::Atom& atom : rule.body) {
+      if (!atom.negated) continue;
+      auto it = component_of.find(atom.predicate);
+      if (it != component_of.end() && it->second == head_comp) {
+        out.violations.push_back({rule, atom.predicate});
+      }
+    }
+  }
+
+  // Strata: stratum(head) >= stratum(positive dep), and
+  // stratum(head) >= stratum(negated dep) + 1. Components are processed in
+  // dependency order, so one sweep per component suffices (rules inside a
+  // violating component self-tighten at most once; the labelling is then
+  // merely best-effort).
+  std::vector<int> component_stratum(components.size(), 0);
+  std::map<std::string, std::vector<const datalog::Rule*>> rules_by_head;
+  for (const datalog::Rule& rule : rules) {
+    rules_by_head[rule.head.predicate].push_back(&rule);
+  }
+  for (size_t i = 0; i < components.size(); ++i) {
+    int stratum = 0;
+    for (const std::string& p : components[i]) {
+      for (const datalog::Rule* rule : rules_by_head[p]) {
+        for (const datalog::Atom& atom : rule->body) {
+          if (atom.is_builtin()) continue;
+          size_t dep = component_of[atom.predicate];
+          if (dep == i) continue;  // same clique: same stratum
+          int need = component_stratum[dep] + (atom.negated ? 1 : 0);
+          stratum = std::max(stratum, need);
+        }
+      }
+    }
+    component_stratum[i] = stratum;
+    for (const std::string& p : components[i]) {
+      out.stratum[p] = stratum;
+      out.num_strata = std::max(out.num_strata, stratum + 1);
+    }
+  }
+
+  return out;
+}
+
+Status CheckStratified(const std::vector<datalog::Rule>& rules) {
+  Stratification s = ComputeStratification(rules);
+  if (s.stratified()) return Status::OK();
+  const StratificationViolation& v = s.violations.front();
+  return Status::SemanticError(
+      "program is not stratified: " + v.negated +
+      " is negated inside its own recursive clique (rule " +
+      v.rule.ToString() + ")");
+}
+
+}  // namespace dkb::km::analysis

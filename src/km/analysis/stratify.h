@@ -1,0 +1,46 @@
+#ifndef DKB_KM_ANALYSIS_STRATIFY_H_
+#define DKB_KM_ANALYSIS_STRATIFY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace dkb::km::analysis {
+
+/// One stratification violation: a negated dependency inside a recursive
+/// clique (negation through recursion has no stratified model).
+struct StratificationViolation {
+  datalog::Rule rule;       // the offending rule
+  std::string negated;      // the predicate negated inside its own clique
+};
+
+/// Result of stratification analysis over a rule set.
+struct Stratification {
+  /// Stratum index per predicate appearing in the rules (heads and body
+  /// predicates; base predicates sit in stratum 0). A predicate's rules may
+  /// be evaluated once all strata below it are complete.
+  std::map<std::string, int> stratum;
+  /// 1 + max stratum (0 for an empty program).
+  int num_strata = 0;
+  /// Negation cycles; empty iff the program is stratified.
+  std::vector<StratificationViolation> violations;
+
+  bool stratified() const { return violations.empty(); }
+};
+
+/// Computes strata and negation-cycle violations over `rules` using the
+/// SCC condensation of the predicate connection graph. Never fails: an
+/// unstratified program is reported through `violations` (its stratum
+/// numbers are then a best-effort labelling).
+Stratification ComputeStratification(const std::vector<datalog::Rule>& rules);
+
+/// Status-typed wrapper used by the compilation pipeline: SemanticError
+/// naming the first violation ("program is not stratified: ...") or OK.
+Status CheckStratified(const std::vector<datalog::Rule>& rules);
+
+}  // namespace dkb::km::analysis
+
+#endif  // DKB_KM_ANALYSIS_STRATIFY_H_

@@ -187,6 +187,56 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
     (void)idb_dict;
   }
 
+  // Static analysis (t_analyze): prune duplicate/unsatisfiable/dead rules,
+  // verify stratification, and compute the achievable adornment set that
+  // bounds the magic rewrite. The pruned rule set is what gets compiled.
+  magic::AdornmentFilter adornment_filter;
+  bool have_adornment_filter = false;
+  if (options.analyze) {
+    ScopedAccumulator acc(&stats->t_analyze_us);
+    analysis::AnalyzerInput input;
+    input.rules = relevant;
+    input.goal = &query;
+    input.base_predicates = base_preds;
+    for (const std::string& pred : base_preds) {
+      auto table = stored_->db()->catalog().GetTable(EdbTableName(pred));
+      if (table.ok()) {
+        input.base_cardinalities[pred] =
+            static_cast<int64_t>((*table)->num_tuples());
+      }
+    }
+    analysis::AnalysisResult analyzed = analysis::AnalyzeProgram(input);
+    if (analyzed.engine.HasErrors()) {
+      return Status::SemanticError(analyzed.engine.FirstError());
+    }
+    // Adopt the pruned rule set only when it is self-contained: pruning
+    // must not leave the goal without a definition (a provably-empty query
+    // still compiles and returns no rows, as before) or orphan a predicate
+    // that surviving rules still reference (e.g. only negatively).
+    bool adopt = !analyzed.goal_provably_empty;
+    if (adopt) {
+      std::set<std::string> surviving = HeadsOf(analyzed.rules);
+      for (const Rule& rule : analyzed.rules) {
+        for (const Atom& atom : rule.body) {
+          if (atom.is_builtin()) continue;
+          if (surviving.count(atom.predicate) == 0 &&
+              base_preds.count(atom.predicate) == 0) {
+            adopt = false;
+          }
+        }
+      }
+    }
+    if (adopt) {
+      stats->rules_pruned =
+          static_cast<int64_t>(relevant.size() - analyzed.rules.size());
+      relevant = analyzed.rules;
+      derived = HeadsOf(relevant);
+      adornment_filter.allowed = analyzed.adornments;
+      have_adornment_filter = true;
+    }
+    out.analysis = std::move(analyzed);
+  }
+
   // Optimization (t_opt): generalized magic sets, optionally gated by the
   // dynamic selectivity estimate.
   std::vector<Rule> eval_rules = std::move(relevant);
@@ -205,8 +255,9 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
     ScopedAccumulator acc(&stats->t_opt_us);
     DKB_ASSIGN_OR_RETURN(
         magic::MagicRewrite rewrite,
-        magic::ApplyGeneralizedMagicSets(eval_rules, query, derived,
-                                         options.magic_variant));
+        magic::ApplyGeneralizedMagicSets(
+            eval_rules, query, derived, options.magic_variant,
+            have_adornment_filter ? &adornment_filter : nullptr));
     stats->magic_applied = rewrite.rewritten;
     eval_rules = std::move(rewrite.rules);
     effective_query = rewrite.adorned_query;

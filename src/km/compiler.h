@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "datalog/ast.h"
+#include "km/analysis/analyzer.h"
 #include "km/codegen.h"
 #include "km/stored_dkb.h"
 #include "km/workspace.h"
@@ -17,6 +18,7 @@ struct CompilationStats {
   int64_t t_setup_us = 0;    // query data structures, PCG, reachability
   int64_t t_extract_us = 0;  // relevant-rule extraction from the Stored DKB
   int64_t t_read_us = 0;     // data dictionary reads
+  int64_t t_analyze_us = 0;  // static analysis (pruning, strata, adornments)
   int64_t t_opt_us = 0;      // magic sets rewrite (0 when disabled)
   int64_t t_eol_us = 0;      // cliques + evaluation order list
   int64_t t_sem_us = 0;      // semantic checks / type inference
@@ -27,13 +29,14 @@ struct CompilationStats {
   int64_t rules_relevant = 0;          // |R| after closure
   int64_t rules_extracted_stored = 0;  // rules pulled from the Stored DKB
   int64_t preds_relevant = 0;          // |P| derived predicates
+  int64_t rules_pruned = 0;            // rules dropped by static analysis
 
   bool magic_applied = false;          // rewrite actually changed the rules
   double estimated_selectivity = -1.0;  // adaptive mode only; -1 = not run
 
   int64_t total_us() const {
-    return t_setup_us + t_extract_us + t_read_us + t_opt_us + t_eol_us +
-           t_sem_us + t_gen_us + t_comp_us;
+    return t_setup_us + t_extract_us + t_read_us + t_analyze_us + t_opt_us +
+           t_eol_us + t_sem_us + t_gen_us + t_comp_us;
   }
 };
 
@@ -55,6 +58,11 @@ struct CompilerOptions {
   magic::MagicVariant magic_variant = magic::MagicVariant::kGeneralized;
   /// Adaptive mode: apply magic when est. D_rel/D_tot < this threshold.
   double adaptive_threshold = 0.6;
+  /// Run the static analyzer (km/analysis) before optimization: prune
+  /// duplicate/unsatisfiable/dead rules and bound the magic rewrite to the
+  /// achievable adornment set. On by default; off reproduces the
+  /// pre-analysis pipeline (ablation).
+  bool analyze = true;
 };
 
 /// The result of D/KB query compilation: the object program plus the rule
@@ -63,6 +71,10 @@ struct CompiledQuery {
   datalog::Atom original_query;
   QueryProgram program;
   std::vector<datalog::Rule> relevant_rules;  // pre-rewrite relevant rules
+  /// Static-analysis output over the relevant rules: diagnostics, strata,
+  /// achievable adornments, cardinality annotations, and the pruned rule
+  /// set that was actually compiled (analysis.rules).
+  analysis::AnalysisResult analysis;
 };
 
 /// D/KB query compiler implementing the processing algorithm of paper §4.2:

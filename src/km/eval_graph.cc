@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "km/analysis/stratify.h"
 #include "km/scc.h"
 
 namespace dkb::km {
@@ -15,6 +16,11 @@ Result<EvaluationOrder> BuildEvaluationOrder(
     const std::vector<datalog::Rule>& rules,
     const std::set<std::string>& derived) {
   EvaluationOrder order;
+
+  // Stratification is checked up front by the shared analysis pass (the
+  // static analyzer reports it as DKB-E001 earlier in the pipeline; this
+  // call is the backstop for direct BuildEvaluationOrder users).
+  DKB_RETURN_IF_ERROR(analysis::CheckStratified(rules));
 
   Pcg pcg;
   std::map<std::string, std::vector<const datalog::Rule*>> rules_by_head;
@@ -63,16 +69,7 @@ Result<EvaluationOrder> BuildEvaluationOrder(
         for (const datalog::Rule* rule : rules_by_head[p]) {
           bool recursive = false;
           for (const datalog::Atom& atom : rule->body) {
-            if (members.count(atom.predicate) > 0) {
-              // Stratification: no recursion through negation.
-              if (atom.negated) {
-                return Status::SemanticError(
-                    "program is not stratified: " + atom.predicate +
-                    " is negated inside its own recursive clique (rule " +
-                    rule->ToString() + ")");
-              }
-              recursive = true;
-            }
+            if (members.count(atom.predicate) > 0) recursive = true;
           }
           if (recursive) {
             node.clique.recursive_rules.push_back(*rule);

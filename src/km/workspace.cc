@@ -49,4 +49,12 @@ std::set<std::string> Workspace::UndefinedBodyPredicates() const {
   return out;
 }
 
+std::vector<analysis::Diagnostic> Workspace::Lint(
+    const std::set<std::string>& base_predicates) const {
+  analysis::AnalyzerInput input;
+  input.rules = rules_;
+  input.base_predicates = base_predicates;
+  return analysis::AnalyzeProgram(input).diagnostics();
+}
+
 }  // namespace dkb::km

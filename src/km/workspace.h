@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "datalog/ast.h"
+#include "km/analysis/analyzer.h"
 
 namespace dkb::km {
 
@@ -41,6 +42,15 @@ class Workspace {
   /// Predicates appearing in rule bodies but defined by no workspace rule
   /// (they must be base predicates or Stored-D/KB derived predicates).
   std::set<std::string> UndefinedBodyPredicates() const;
+
+  /// Runs the goal-independent static-analysis passes (duplicate rules,
+  /// unsatisfiable bodies, definedness, stratification) over the workspace
+  /// rules. `base_predicates` lists the predicates known to be defined
+  /// outside the workspace (EDB relations, Stored-D/KB heads). The
+  /// workspace itself is not modified; pruning decisions stay with the
+  /// compiler.
+  std::vector<analysis::Diagnostic> Lint(
+      const std::set<std::string>& base_predicates) const;
 
  private:
   std::vector<datalog::Rule> rules_;

@@ -114,13 +114,15 @@ bool EmitSupplementaryRule(const Rule& original, const Atom& magic_guard,
 
 Result<MagicRewrite> ApplyGeneralizedMagicSets(
     const std::vector<Rule>& rules, const Atom& query,
-    const std::set<std::string>& derived, MagicVariant variant) {
+    const std::set<std::string>& derived, MagicVariant variant,
+    const AdornmentFilter* filter) {
   MagicRewrite out;
 
   // Identity cases: base-predicate query, no constant in the query to pass
-  // sideways, or stratified negation in the rule set (magic sets with
-  // negation requires the stratification-preserving variants, which this
-  // testbed does not implement — documented in DESIGN.md).
+  // sideways, a query adornment outside the analyzer-supplied filter, or
+  // stratified negation in the rule set (magic sets with negation requires
+  // the stratification-preserving variants, which this testbed does not
+  // implement — documented in DESIGN.md).
   Adornment query_adornment = AdornAtom(query, /*bound_vars=*/{});
   bool has_negation = false;
   for (const Rule& rule : rules) {
@@ -129,7 +131,9 @@ Result<MagicRewrite> ApplyGeneralizedMagicSets(
     }
   }
   if (derived.count(query.predicate) == 0 || !HasBound(query_adornment) ||
-      has_negation) {
+      has_negation ||
+      (filter != nullptr &&
+       !filter->Allows(query.predicate, query_adornment))) {
     out.rules = rules;
     out.adorned_query = query;
     out.rewritten = false;
@@ -194,15 +198,20 @@ Result<MagicRewrite> ApplyGeneralizedMagicSets(
           continue;
         }
         Adornment body_ad = AdornAtom(atom, bound_vars);
-        if (done.insert({atom.predicate, body_ad}).second) {
+        // Unreachable adornments (per the static analyzer's dataflow) are
+        // never expanded: no worklist visit and no magic rule for them.
+        const bool expand =
+            filter == nullptr || filter->Allows(atom.predicate, body_ad);
+        if (expand && done.insert({atom.predicate, body_ad}).second) {
           worklist.emplace_back(atom.predicate, body_ad);
         }
         Atom adorned_atom;
         adorned_atom.predicate = AdornedName(atom.predicate, body_ad);
         adorned_atom.args = atom.args;
         adorned_body.push_back(std::move(adorned_atom));
-        body_adornments.push_back(HasBound(body_ad) ? body_ad
-                                                    : Adornment());
+        body_adornments.push_back(expand && HasBound(body_ad)
+                                      ? body_ad
+                                      : Adornment());
         AddVars(atom, &bound_vars);
       }
 

@@ -3,12 +3,32 @@
 
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "datalog/ast.h"
+#include "magic/adornment.h"
 
 namespace dkb::magic {
+
+/// Restricts the rewrite to a precomputed achievable adornment set — the
+/// static analyzer's adornment-dataflow result (km/analysis). When given,
+/// the rewrite refuses to expand any (predicate, adornment) pair outside
+/// `allowed`: no worklist visit, no magic rules, no modified rules for it.
+///
+/// Invariant: `allowed` must be a superset of the adornments reachable from
+/// the query over the rewritten rule set (the analyzer guarantees this by
+/// running the identical left-to-right SIP dataflow over the same rules);
+/// otherwise the output program would reference undefined adorned
+/// predicates.
+struct AdornmentFilter {
+  std::set<std::pair<std::string, Adornment>> allowed;
+
+  bool Allows(const std::string& pred, const Adornment& a) const {
+    return allowed.count({pred, a}) > 0;
+  }
+};
 
 /// Which information-passing rewrite to apply (paper §2.5 lists both).
 enum class MagicVariant {
@@ -55,10 +75,15 @@ struct MagicRewrite {
 /// where Vi keeps every variable bound so far that is still needed by a
 /// later atom or the head. If a supplementary predicate would be nullary
 /// the rewrite falls back to the generalized scheme for that rule.
+///
+/// `filter`, when non-null, bounds the adornments the rewrite may generate
+/// (see AdornmentFilter); a query whose own adornment is filtered out
+/// degrades to the identity rewrite.
 Result<MagicRewrite> ApplyGeneralizedMagicSets(
     const std::vector<datalog::Rule>& rules, const datalog::Atom& query,
     const std::set<std::string>& derived,
-    MagicVariant variant = MagicVariant::kGeneralized);
+    MagicVariant variant = MagicVariant::kGeneralized,
+    const AdornmentFilter* filter = nullptr);
 
 }  // namespace dkb::magic
 

@@ -1,5 +1,6 @@
 #include "testbed/testbed.h"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -142,6 +143,30 @@ Result<km::CompiledQuery> Testbed::CompileOnly(const datalog::Atom& goal,
                             ? magic::MagicVariant::kSupplementary
                             : magic::MagicVariant::kGeneralized;
   return compiler.Compile(goal, copts, stats);
+}
+
+Result<std::vector<km::analysis::Diagnostic>> Testbed::LintWorkspace() {
+  // Pull in the stored rules the workspace depends on so mixed
+  // workspace/stored programs analyze as the compiler would see them.
+  std::set<std::string> undefined = workspace_.UndefinedBodyPredicates();
+  DKB_ASSIGN_OR_RETURN(std::vector<datalog::Rule> stored_rules,
+                       stored_->ExtractRelevantRules(undefined));
+  km::analysis::AnalyzerInput input;
+  input.rules = workspace_.rules();
+  for (datalog::Rule& rule : stored_rules) {
+    if (std::find(input.rules.begin(), input.rules.end(), rule) ==
+        input.rules.end()) {
+      input.rules.push_back(std::move(rule));
+    }
+  }
+  for (const datalog::Rule& rule : input.rules) {
+    for (const datalog::Atom& atom : rule.body) {
+      if (!atom.is_builtin() && stored_->HasBasePredicate(atom.predicate)) {
+        input.base_predicates.insert(atom.predicate);
+      }
+    }
+  }
+  return km::analysis::AnalyzeProgram(input).diagnostics();
 }
 
 Status Testbed::SaveSession(const std::string& path) {

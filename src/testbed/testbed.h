@@ -93,6 +93,12 @@ class Testbed {
                                         const QueryOptions& options,
                                         km::CompilationStats* stats);
 
+  /// Runs the goal-independent static-analysis passes over the workspace
+  /// rules merged with the stored rules they depend on; base predicates are
+  /// resolved against the Stored D/KB. Nothing is modified — this is the
+  /// interactive `dkb_lint` surface of the session.
+  Result<std::vector<km::analysis::Diagnostic>> LintWorkspace();
+
   /// Commits the Workspace rules into the Stored DKB (paper §4.3).
   Result<km::UpdateStats> UpdateStoredDkb();
 

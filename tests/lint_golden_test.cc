@@ -1,0 +1,176 @@
+// Golden-output tests for the dkb_lint diagnostic rendering: each of the
+// analyzer's diagnostic codes is triggered by a minimal program and the
+// rendered human/JSON output is compared byte-for-byte against the
+// expected text. Any change to message wording or format shows up here.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "km/analysis/analyzer.h"
+#include "km/analysis/diagnostics.h"
+
+namespace dkb::km::analysis {
+namespace {
+
+// Mirrors dkb_lint's program setup: facts define base predicates, the
+// program's query (if any) drives the goal-directed passes.
+std::string LintHuman(const std::string& text) {
+  auto program = datalog::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  AnalyzerInput input;
+  input.rules = program->rules;
+  for (const datalog::Rule& fact : program->facts) {
+    input.base_predicates.insert(fact.head.predicate);
+  }
+  for (const datalog::Rule& rule : program->rules) {
+    input.base_predicates.erase(rule.head.predicate);
+  }
+  datalog::Atom goal;
+  if (!program->queries.empty()) {
+    goal = program->queries[0];
+    input.goal = &goal;
+  }
+  AnalysisResult result = AnalyzeProgram(input);
+  return RenderHuman(result.diagnostics(), "test.dkb");
+}
+
+std::string LintJson(const std::string& text) {
+  auto program = datalog::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  AnalyzerInput input;
+  input.rules = program->rules;
+  for (const datalog::Rule& fact : program->facts) {
+    input.base_predicates.insert(fact.head.predicate);
+  }
+  for (const datalog::Rule& rule : program->rules) {
+    input.base_predicates.erase(rule.head.predicate);
+  }
+  datalog::Atom goal;
+  if (!program->queries.empty()) {
+    goal = program->queries[0];
+    input.goal = &goal;
+  }
+  AnalysisResult result = AnalyzeProgram(input);
+  return RenderJson(result.diagnostics(), "test.dkb");
+}
+
+TEST(LintGoldenTest, CleanProgram) {
+  EXPECT_EQ(LintHuman("ancestor(X, Y) :- parent(X, Y).\n"
+                      "parent(a, b).\n"
+                      "?- ancestor(a, W).\n"),
+            "test.dkb: no diagnostics\n");
+}
+
+TEST(LintGoldenTest, UnstratifiedNegation) {
+  EXPECT_EQ(
+      LintHuman("win(X) :- edge(X, Y), not win(Y).\n"
+                "edge(a, b).\n"
+                "edge(b, a).\n"
+                "?- win(a).\n"),
+      "test.dkb: error[DKB-E001-unstratified-negation] line 1: program is "
+      "not stratified: win is negated inside its own recursive clique "
+      "(rule: win(X) :- edge(X, Y), not win(Y).)\n"
+      "test.dkb: 1 error(s), 0 warning(s), 0 note(s)\n");
+}
+
+TEST(LintGoldenTest, DeadRule) {
+  EXPECT_EQ(
+      LintHuman("ancestor(X, Y) :- parent(X, Y).\n"
+                "orphan(X) :- island(X).\n"
+                "parent(a, b).\n"
+                "island(z).\n"
+                "?- ancestor(a, W).\n"),
+      "test.dkb: warning[DKB-W003-dead-rule] line 2: rule is dead: orphan "
+      "is unreachable from the query goal ancestor(a, W); dropped "
+      "(rule: orphan(X) :- island(X).)\n"
+      "test.dkb: 0 error(s), 1 warning(s), 0 note(s)\n");
+}
+
+TEST(LintGoldenTest, UnsatisfiableBody) {
+  EXPECT_EQ(
+      LintHuman("big(X) :- num(X), X < 3, X > 5.\n"
+                "num(1).\n"
+                "?- big(W).\n"),
+      "test.dkb: warning[DKB-W004-unsatisfiable-body] line 1: body is "
+      "unsatisfiable: integer constraints on X are contradictory (empty "
+      "interval [6, 2]); dropped (rule: big(X) :- num(X), X < 3, X > 5.)\n"
+      "test.dkb: 0 error(s), 1 warning(s), 0 note(s)\n");
+}
+
+TEST(LintGoldenTest, InconsistentAdornment) {
+  // The goal binds its argument, but helper is only ever called with every
+  // argument free: its magic predicate would be unbound.
+  EXPECT_EQ(
+      LintHuman("needs_helper(X) :- helper(Y), pair(X, Y).\n"
+                "helper(Y) :- item(Y).\n"
+                "item(a).\n"
+                "pair(b, a).\n"
+                "?- needs_helper(b).\n"),
+      "test.dkb: warning[DKB-W006-inconsistent-adornment]: predicate "
+      "helper is reached with the all-free adornment f although the query "
+      "is bound; the magic rewrite cannot restrict it (its magic predicate "
+      "would be unbound) and will compute its full extension\n"
+      "test.dkb: 0 error(s), 1 warning(s), 0 note(s)\n");
+}
+
+TEST(LintGoldenTest, DuplicateRule) {
+  EXPECT_EQ(
+      LintHuman("path(X, Y) :- edge(X, Y).\n"
+                "path(X, Y) :- edge(X, Y).\n"
+                "edge(a, b).\n"
+                "?- path(a, W).\n"),
+      "test.dkb: warning[DKB-W005-duplicate-rule] line 2: rule duplicates "
+      "an earlier rule at line 1; dropped "
+      "(rule: path(X, Y) :- edge(X, Y).)\n"
+      "test.dkb: 0 error(s), 1 warning(s), 0 note(s)\n");
+}
+
+TEST(LintGoldenTest, UndefinedPredicate) {
+  EXPECT_EQ(
+      LintHuman("foo(X) :- missing(X).\n"
+                "?- foo(W).\n"),
+      "test.dkb: error[DKB-E002-undefined-predicate] line 1: predicate "
+      "missing is neither defined by a rule nor a known base predicate "
+      "(rule: foo(X) :- missing(X).)\n"
+      "test.dkb: 1 error(s), 0 warning(s), 0 note(s)\n");
+}
+
+TEST(LintGoldenTest, JsonClean) {
+  EXPECT_EQ(LintJson("ancestor(X, Y) :- parent(X, Y).\n"
+                     "parent(a, b).\n"
+                     "?- ancestor(a, W).\n"),
+            "{\"source\": \"test.dkb\", \"diagnostics\": [], "
+            "\"errors\": 0, \"warnings\": 0, \"notes\": 0}\n");
+}
+
+TEST(LintGoldenTest, JsonUnsatisfiableBody) {
+  EXPECT_EQ(
+      LintJson("big(X) :- num(X), X < 3, X > 5.\n"
+               "num(1).\n"
+               "?- big(W).\n"),
+      "{\"source\": \"test.dkb\", \"diagnostics\": [{\"code\": "
+      "\"DKB-W004-unsatisfiable-body\", \"severity\": \"warning\", "
+      "\"predicate\": \"big\", \"line\": 1, \"rule\": "
+      "\"big(X) :- num(X), X < 3, X > 5.\", \"message\": \"body is "
+      "unsatisfiable: integer constraints on X are contradictory (empty "
+      "interval [6, 2]); dropped\"}], "
+      "\"errors\": 0, \"warnings\": 1, \"notes\": 0}\n");
+}
+
+// Every diagnostic code produced by the analyzer is distinct and stable —
+// the codes are part of the tool's public contract.
+TEST(LintGoldenTest, CodesAreStable) {
+  EXPECT_STREQ(kCodeUnstratified, "DKB-E001-unstratified-negation");
+  EXPECT_STREQ(kCodeUndefinedPredicate, "DKB-E002-undefined-predicate");
+  EXPECT_STREQ(kCodeDeadRule, "DKB-W003-dead-rule");
+  EXPECT_STREQ(kCodeUnsatisfiableBody, "DKB-W004-unsatisfiable-body");
+  EXPECT_STREQ(kCodeDuplicateRule, "DKB-W005-duplicate-rule");
+  EXPECT_STREQ(kCodeInconsistentAdornment, "DKB-W006-inconsistent-adornment");
+}
+
+}  // namespace
+}  // namespace dkb::km::analysis

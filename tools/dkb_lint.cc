@@ -1,0 +1,245 @@
+// dkb_lint — standalone static analyzer for D/KB rule programs.
+//
+// Reads Datalog program files (rules, facts, ?- queries) and runs the
+// km/analysis pipeline over them, printing structured diagnostics:
+//
+//   $ dkb_lint examples/programs/ancestor.dkb
+//   examples/programs/ancestor.dkb: no diagnostics
+//
+//   $ dkb_lint --json bad.dkb
+//   {"source": "bad.dkb", "diagnostics": [{"code": "DKB-W003-dead-rule", ...
+//
+// Base predicates are taken from the facts in each program file and from an
+// optional schema file (--schema) whose clauses declare one base predicate
+// each, e.g. `parent(varchar, varchar).`. Queries in the program drive the
+// goal-directed passes (dead-rule elimination, adornment dataflow); without
+// queries only the goal-independent passes run.
+//
+// Exit status: 0 clean or warnings only; 1 diagnostics at error severity
+// (or any warning with --werror, or any diagnostic with --expect-clean);
+// 2 usage or parse failure.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+#include "km/analysis/analyzer.h"
+#include "km/analysis/diagnostics.h"
+
+namespace {
+
+using dkb::km::analysis::AnalysisResult;
+using dkb::km::analysis::AnalyzerInput;
+using dkb::km::analysis::AnalyzerOptions;
+using dkb::km::analysis::Diagnostic;
+using dkb::km::analysis::Severity;
+
+struct CliOptions {
+  bool json = false;
+  bool werror = false;
+  bool expect_clean = false;
+  bool no_goal = false;
+  std::string schema_path;
+  std::vector<std::string> files;
+};
+
+int Usage() {
+  std::cerr
+      << "usage: dkb_lint [--json] [--werror] [--expect-clean] [--no-goal]\n"
+      << "                [--schema FILE] <program.dkb>...\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Diagnostics for one program file, or nullopt-equivalent via `ok=false`
+/// when the file cannot be read or parsed (message holds the reason).
+struct FileResult {
+  bool ok = false;
+  std::string failure;
+  std::vector<Diagnostic> diagnostics;
+};
+
+std::string DiagnosticKey(const Diagnostic& d) {
+  return d.code + "|" + std::to_string(d.rule_line) + "|" + d.predicate +
+         "|" + d.message;
+}
+
+FileResult LintFile(const std::string& path, const CliOptions& cli,
+                    const std::set<std::string>& schema_preds) {
+  FileResult out;
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    out.failure = "cannot read " + path;
+    return out;
+  }
+  auto program = dkb::datalog::ParseProgram(text);
+  if (!program.ok()) {
+    out.failure = "parse error: " + program.status().ToString();
+    return out;
+  }
+  out.ok = true;
+
+  AnalyzerInput input;
+  input.rules = program->rules;
+  input.base_predicates = schema_preds;
+  for (const dkb::datalog::Rule& fact : program->facts) {
+    const std::string& pred = fact.head.predicate;
+    input.base_predicates.insert(pred);
+    input.base_cardinalities[pred] += 1;
+  }
+  // A predicate defined by rules is derived even if it also has facts
+  // (EDB and IDB namespaces are disjoint in the testbed).
+  for (const dkb::datalog::Rule& rule : program->rules) {
+    input.base_predicates.erase(rule.head.predicate);
+    input.base_cardinalities.erase(rule.head.predicate);
+  }
+
+  std::vector<dkb::datalog::Atom> goals;
+  if (!cli.no_goal) goals = program->queries;
+
+  if (goals.empty()) {
+    out.diagnostics = dkb::km::analysis::AnalyzeProgram(input).diagnostics();
+    return out;
+  }
+
+  // Goal-independent diagnostics once; goal-directed diagnostics per query.
+  // A rule is dead only if it is dead under EVERY query of the file;
+  // adornment warnings are unioned (any query that cannot pass bindings
+  // into a predicate is worth knowing about).
+  AnalyzerOptions base_options;
+  base_options.prune_dead = false;
+  base_options.compute_adornments = false;
+  out.diagnostics =
+      dkb::km::analysis::AnalyzeProgram(input, base_options).diagnostics();
+
+  std::map<std::string, Diagnostic> dead_candidates;  // key -> diagnostic
+  std::set<std::string> seen_keys;
+  for (const Diagnostic& d : out.diagnostics) seen_keys.insert(DiagnosticKey(d));
+  bool first_goal = true;
+  for (const dkb::datalog::Atom& goal : goals) {
+    AnalyzerInput goal_input = input;
+    goal_input.goal = &goal;
+    AnalysisResult result = dkb::km::analysis::AnalyzeProgram(goal_input);
+    std::set<std::string> round_dead;
+    for (const Diagnostic& d : result.diagnostics()) {
+      if (d.code == dkb::km::analysis::kCodeDeadRule) {
+        // Keyed on the rule itself, not the goal-specific message.
+        std::string key = std::to_string(d.rule_line) + "|" + d.rule_text;
+        round_dead.insert(key);
+        if (first_goal) dead_candidates.emplace(key, d);
+        continue;
+      }
+      if (seen_keys.insert(DiagnosticKey(d)).second) {
+        out.diagnostics.push_back(d);
+      }
+    }
+    if (first_goal) {
+      first_goal = false;
+    } else {
+      for (auto it = dead_candidates.begin(); it != dead_candidates.end();) {
+        if (round_dead.count(it->first) == 0) {
+          it = dead_candidates.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (auto& [key, diagnostic] : dead_candidates) {
+    (void)key;
+    out.diagnostics.push_back(std::move(diagnostic));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      cli.json = true;
+    } else if (arg == "--werror") {
+      cli.werror = true;
+    } else if (arg == "--expect-clean") {
+      cli.expect_clean = true;
+    } else if (arg == "--no-goal") {
+      cli.no_goal = true;
+    } else if (arg == "--schema") {
+      if (i + 1 >= argc) return Usage();
+      cli.schema_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return Usage();
+    } else {
+      cli.files.push_back(arg);
+    }
+  }
+  if (cli.files.empty()) return Usage();
+
+  // Schema file: every clause head declares a base predicate; argument
+  // constants name column types (accepted for forward compatibility — the
+  // analyzer only needs the predicate names today).
+  std::set<std::string> schema_preds;
+  if (!cli.schema_path.empty()) {
+    std::string text;
+    if (!ReadFile(cli.schema_path, &text)) {
+      std::cerr << "cannot read schema " << cli.schema_path << "\n";
+      return 2;
+    }
+    auto schema = dkb::datalog::ParseProgram(text);
+    if (!schema.ok()) {
+      std::cerr << "schema parse error: " << schema.status().ToString()
+                << "\n";
+      return 2;
+    }
+    for (const dkb::datalog::Rule& fact : schema->facts) {
+      schema_preds.insert(fact.head.predicate);
+    }
+    for (const dkb::datalog::Rule& rule : schema->rules) {
+      schema_preds.insert(rule.head.predicate);
+    }
+  }
+
+  int exit_code = 0;
+  for (const std::string& path : cli.files) {
+    FileResult result = LintFile(path, cli, schema_preds);
+    if (!result.ok) {
+      std::cerr << path << ": " << result.failure << "\n";
+      exit_code = 2;
+      continue;
+    }
+    if (cli.json) {
+      std::cout << dkb::km::analysis::RenderJson(result.diagnostics, path);
+    } else {
+      std::cout << dkb::km::analysis::RenderHuman(result.diagnostics, path);
+    }
+    bool errors = false, warnings = false;
+    for (const Diagnostic& d : result.diagnostics) {
+      if (d.severity == Severity::kError) errors = true;
+      if (d.severity == Severity::kWarning) warnings = true;
+    }
+    bool fail = errors || (cli.werror && warnings) ||
+                (cli.expect_clean && !result.diagnostics.empty());
+    if (fail && exit_code == 0) exit_code = 1;
+  }
+  return exit_code;
+}
