@@ -21,12 +21,13 @@ void Run() {
     auto tb = MakeAncestorTree(depth);
     datalog::Atom goal = TreeAncestorGoal(0);
 
-    testbed::QueryOptions sql;
-    sql.strategy = lfp::LfpStrategy::kSemiNaive;
-    testbed::QueryOptions native;
-    native.strategy = lfp::LfpStrategy::kNative;
-    testbed::QueryOptions tc;
-    tc.strategy = lfp::LfpStrategy::kNativeTc;
+    testbed::QueryOptions sql = testbed::QueryOptions::SemiNaive();
+    testbed::QueryOptions native =
+        testbed::QueryOptions::SemiNaive().WithStrategy(
+            lfp::LfpStrategy::kNative);
+    testbed::QueryOptions tc =
+        testbed::QueryOptions::SemiNaive().WithStrategy(
+            lfp::LfpStrategy::kNativeTc);
 
     lfp::ExecutionStats sql_stats;
     int64_t t_sql = MedianMicros(kReps, [&]() {

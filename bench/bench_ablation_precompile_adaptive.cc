@@ -25,8 +25,8 @@ void RunPrecompile() {
     goal.predicate = fx.rulebase.query_pred;
     goal.args = {datalog::Term::Constant(Value("k")),
                  datalog::Term::Variable("W")};
-    testbed::QueryOptions opts;
-    opts.use_cache = true;
+    testbed::QueryOptions opts =
+        testbed::QueryOptions::SemiNaive().WithCache();
     auto first = Unwrap(fx.tb->Query(goal, opts), "first query");
     int64_t t_first = first.compile.total_us() + first.exec.t_total_us;
     int64_t t_cached = MedianMicros(9, [&]() {
@@ -60,9 +60,10 @@ void RunAdaptive() {
   for (int level : {0, 1, 2, 4, 6, 8}) {
     datalog::Atom goal = TreeAncestorGoal(LeftmostAtLevel(level));
     auto timed = [&](bool magic, bool adaptive, bool* chose) {
-      testbed::QueryOptions opts;
-      opts.use_magic = magic;
-      opts.adaptive_magic = adaptive;
+      testbed::QueryOptions opts =
+          adaptive ? testbed::QueryOptions::Adaptive()
+          : magic  ? testbed::QueryOptions::Magic()
+                   : testbed::QueryOptions::SemiNaive();
       return MedianMicros(kReps, [&]() {
         auto outcome = Unwrap(tb->Query(goal, opts), "query");
         if (chose != nullptr) *chose = outcome.compile.magic_applied;

@@ -48,9 +48,10 @@ void Run() {
     std::string goal = "?- sg('" + leaf + "', W).";
 
     auto timed = [&](bool magic, bool sup, size_t* answers) {
-      testbed::QueryOptions opts;
-      opts.use_magic = magic;
-      opts.supplementary = sup;
+      testbed::QueryOptions opts =
+          sup   ? testbed::QueryOptions::SupplementaryMagic()
+          : magic ? testbed::QueryOptions::Magic()
+                  : testbed::QueryOptions::SemiNaive();
       return MedianMicros(kReps, [&]() {
         auto outcome = Unwrap(tb->Query(goal, opts), "query");
         if (answers != nullptr) *answers = outcome.result.rows.size();

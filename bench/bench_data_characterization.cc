@@ -41,9 +41,8 @@ void Run() {
     CheckOk(tb->AddFacts("parent", dc.edges.ToTuples()), "facts");
     datalog::Atom goal = workload::AncestorQuery(dc.root);
 
-    testbed::QueryOptions semi;
-    testbed::QueryOptions magic;
-    magic.use_magic = true;
+    testbed::QueryOptions semi = testbed::QueryOptions::SemiNaive();
+    testbed::QueryOptions magic = testbed::QueryOptions::Magic();
     size_t answers = 0;
     int64_t iterations = 0;
     int64_t t_semi = MedianMicros(3, [&]() {

@@ -21,10 +21,8 @@ void Run() {
                       "t_e_seminaive", "naive/seminaive"});
   for (int level : {0, 1, 2, 3, 4}) {
     datalog::Atom goal = TreeAncestorGoal(LeftmostAtLevel(level));
-    testbed::QueryOptions naive;
-    naive.strategy = lfp::LfpStrategy::kNaive;
-    testbed::QueryOptions semi;
-    semi.strategy = lfp::LfpStrategy::kSemiNaive;
+    testbed::QueryOptions naive = testbed::QueryOptions::Naive();
+    testbed::QueryOptions semi = testbed::QueryOptions::SemiNaive();
     int64_t tn = MedianMicros(kReps, [&]() {
       return Unwrap(tb->Query(goal, naive), "naive").exec.t_total_us;
     });

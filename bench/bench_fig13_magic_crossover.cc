@@ -27,9 +27,10 @@ void Run() {
     for (int level : {0, 1, 2, 3, 5, 7, 9}) {
       datalog::Atom goal = TreeAncestorGoal(LeftmostAtLevel(level));
       auto timed = [&](lfp::LfpStrategy strategy, bool magic) {
-        testbed::QueryOptions opts;
-        opts.strategy = strategy;
-        opts.use_magic = magic;
+        testbed::QueryOptions opts =
+            (magic ? testbed::QueryOptions::Magic()
+                   : testbed::QueryOptions::SemiNaive())
+                .WithStrategy(strategy);
         return MedianMicros(kReps, [&]() {
           return Unwrap(tb->Query(goal, opts), "Query").exec.t_total_us;
         });

@@ -25,8 +25,7 @@ void Run() {
                       "modified_tuples"});
   for (int level : {1, 2, 3, 4, 5, 7, 9}) {
     datalog::Atom goal = TreeAncestorGoal(LeftmostAtLevel(level));
-    testbed::QueryOptions opts;
-    opts.use_magic = true;
+    testbed::QueryOptions opts = testbed::QueryOptions::Magic();
 
     int64_t t_magic = 0;
     int64_t t_modified = 0;

@@ -25,8 +25,8 @@ void Run() {
   for (auto [strategy, sink] :
        {std::pair{lfp::LfpStrategy::kNaive, &naive_stats},
         std::pair{lfp::LfpStrategy::kSemiNaive, &semi_stats}}) {
-    testbed::QueryOptions opts;
-    opts.strategy = strategy;
+    testbed::QueryOptions opts =
+        testbed::QueryOptions::SemiNaive().WithStrategy(strategy);
     std::vector<lfp::ExecutionStats> runs;
     for (int i = 0; i < kReps; ++i) {
       runs.push_back(Unwrap(tb->Query(goal, opts), "Query").exec);

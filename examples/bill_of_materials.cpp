@@ -60,8 +60,7 @@ int main() {
   if (!wheel.ok()) return 1;
   std::printf("Parts of 'wheel':\n%s\n", wheel->result.ToString().c_str());
 
-  dkb::testbed::QueryOptions magic;
-  magic.use_magic = true;
+  dkb::testbed::QueryOptions magic = dkb::testbed::QueryOptions::Magic();
   auto plants = tb->Query("?- builds(Plant, bike).", magic);
   if (!plants.ok()) {
     std::fprintf(stderr, "builds query failed: %s\n",

@@ -42,8 +42,8 @@ int main() {
   }
 
   auto show = [&](const char* goal) {
-    dkb::testbed::QueryOptions opts;
-    opts.adaptive_magic = true;  // let the compiler decide
+    // Let the compiler decide whether magic sets pay off.
+    dkb::testbed::QueryOptions opts = dkb::testbed::QueryOptions::Adaptive();
     auto outcome = tb->Query(goal, opts);
     if (!outcome.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", goal,

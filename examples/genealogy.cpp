@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
         std::tuple{"semi-naive + magic sets", LfpStrategy::kSemiNaive, true},
         std::tuple{"native LFP operator", LfpStrategy::kNative, false},
         std::tuple{"native LFP + magic sets", LfpStrategy::kNative, true}}) {
-    QueryOptions opts;
-    opts.strategy = strategy;
-    opts.use_magic = magic;
+    QueryOptions opts = (magic ? QueryOptions::Magic()
+                               : QueryOptions::SemiNaive())
+                            .WithStrategy(strategy);
     auto outcome = tb->Query(goal, opts);
     if (!outcome.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", label,

@@ -68,8 +68,7 @@ int main() {
               static_cast<long long>(e.t_term_us));
 
   // 5. Re-run with the generalized magic sets optimization.
-  dkb::testbed::QueryOptions magic;
-  magic.use_magic = true;
+  dkb::testbed::QueryOptions magic = dkb::testbed::QueryOptions::Magic();
   auto optimized = (*tb)->Query("?- ancestor(isaac, W).", magic);
   if (optimized.ok()) {
     std::printf("with magic sets: %lld us execution, same %zu answers\n",

@@ -56,9 +56,8 @@ int main(int argc, char** argv) {
   std::string goal = "?- sg('" + who + "', Peer).";
   std::printf("query: %s\n\n", goal.c_str());
 
-  dkb::testbed::QueryOptions plain;
-  dkb::testbed::QueryOptions magic;
-  magic.use_magic = true;
+  dkb::testbed::QueryOptions plain = dkb::testbed::QueryOptions::SemiNaive();
+  dkb::testbed::QueryOptions magic = dkb::testbed::QueryOptions::Magic();
   auto unopt = tb->Query(goal, plain);
   auto opt = tb->Query(goal, magic);
   if (!unopt.ok() || !opt.ok()) {

@@ -1,5 +1,7 @@
 #include "catalog/catalog.h"
 
+#include <mutex>
+
 #include "common/str_util.h"
 
 namespace dkb {
@@ -8,6 +10,7 @@ std::string Catalog::Key(const std::string& name) { return AsciiLower(name); }
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   std::string key = Key(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
@@ -18,6 +21,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
@@ -27,6 +31,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
@@ -35,6 +40,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return tables_.count(Key(name)) > 0;
 }
 
@@ -63,6 +69,7 @@ Status Catalog::CreateIndex(const std::string& table_name,
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());

@@ -2,6 +2,7 @@
 #define DKB_CATALOG_CATALOG_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,11 @@ namespace dkb {
 /// Table names beginning with '#' are session-temporary by convention; the
 /// LFP run time library creates and drops them each iteration exactly as the
 /// paper's embedded-SQL programs did with the commercial DBMS.
+///
+/// The name map is guarded by a reader-writer lock so concurrent sessions can
+/// resolve tables while another session creates or drops its own temporaries.
+/// The lock covers only the map — Table contents are protected by the
+/// session-level reader-writer protocol (writers are serialized by Testbed).
 class Catalog {
  public:
   Catalog() = default;
@@ -44,11 +50,15 @@ class Catalog {
   /// Names of all tables, unsorted.
   std::vector<std::string> TableNames() const;
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tables_.size();
+  }
 
  private:
   static std::string Key(const std::string& name);
 
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
 };
 

@@ -1,0 +1,136 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace dkb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || queue_head_ < queue_.size(); });
+      if (queue_head_ < queue_.size()) {
+        task = std::move(queue_[queue_head_]);
+        ++queue_head_;
+        if (queue_head_ == queue_.size()) {
+          queue_.clear();
+          queue_head_ = 0;
+        }
+      } else if (shutdown_) {
+        return;
+      }
+    }
+    if (task) task();
+  }
+}
+
+void ThreadPool::ParallelForRanges(
+    size_t begin, size_t end,
+    const std::function<void(size_t slot, size_t lo, size_t hi)>& body,
+    size_t min_chunk) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  min_chunk = std::max<size_t>(min_chunk, 1);
+  const size_t max_participants = threads_.size() + 1;
+  size_t num_chunks = std::min(total / min_chunk, 4 * max_participants);
+  if (num_chunks <= 1 || threads_.empty()) {
+    body(0, begin, end);
+    return;
+  }
+  const size_t chunk = (total + num_chunks - 1) / num_chunks;
+
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  const size_t helper_count = std::min(threads_.size(), num_chunks - 1);
+
+  auto run_chunks = [shared, begin, end, chunk, num_chunks, &body](size_t slot) {
+    while (true) {
+      size_t c = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      size_t lo = begin + c * chunk;
+      size_t hi = std::min(end, lo + chunk);
+      if (lo < hi) body(slot, lo, hi);
+      size_t finished = shared->done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (finished == num_chunks) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers capture `shared` by value; they may outlive this frame only
+  // until their first cursor read, after which they exit immediately.
+  for (size_t h = 0; h < helper_count; ++h) {
+    size_t slot = h + 1;
+    Submit([run_chunks, slot] { run_chunks(slot); });
+  }
+  run_chunks(0);
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] {
+    return shared->done.load(std::memory_order_acquire) >= num_chunks;
+  });
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body,
+                             size_t min_chunk) {
+  ParallelForRanges(
+      begin, end,
+      [&body](size_t, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      },
+      min_chunk);
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = [] {
+    size_t n = 0;
+    if (const char* env = std::getenv("DKB_THREADS")) {
+      n = static_cast<size_t>(std::max(0, std::atoi(env)));
+    } else {
+      unsigned hw = std::thread::hardware_concurrency();
+      n = hw > 1 ? hw - 1 : 0;
+    }
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+}  // namespace dkb

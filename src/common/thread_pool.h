@@ -1,0 +1,72 @@
+#ifndef DKB_COMMON_THREAD_POOL_H_
+#define DKB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dkb {
+
+/// Fixed-size worker pool for intra-query and inter-session parallelism.
+///
+/// The pool is deliberately simple: a shared FIFO of std::function tasks.
+/// What makes it safe for the engine's nested uses (a parallel LFP wavefront
+/// whose nodes run parallel joins) is that ParallelFor never *waits* on pool
+/// workers: the calling thread claims chunks from the same atomic cursor the
+/// workers do, so the loop completes even if every worker is busy elsewhere.
+/// A pool of size 0 degrades to fully inline execution.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task; it runs on some worker eventually. Fire-and-forget —
+  /// callers that need completion should use ParallelFor.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [begin, end), splitting the range into
+  /// contiguous chunks claimed by the caller plus up to num_threads()
+  /// helpers. Blocks until every index has been processed, but the caller
+  /// always participates, so nested ParallelFor calls cannot deadlock.
+  /// `min_chunk` bounds scheduling overhead: no chunk is smaller than it
+  /// (the last chunk excepted).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body,
+                   size_t min_chunk = 1);
+
+  /// Like ParallelFor but hands each helper a contiguous [lo, hi) range;
+  /// `worker_slot` identifies the participant (0 = caller) so per-worker
+  /// output buffers can be merged deterministically by slot order.
+  void ParallelForRanges(
+      size_t begin, size_t end,
+      const std::function<void(size_t slot, size_t lo, size_t hi)>& body,
+      size_t min_chunk = 1);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> queue_;  // FIFO via index
+  size_t queue_head_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide pool shared by the executor, the LFP evaluators, and the
+/// session layer. Sized from DKB_THREADS when set, otherwise
+/// hardware_concurrency - 1 (the caller is itself a participant).
+ThreadPool& GlobalThreadPool();
+
+}  // namespace dkb
+
+#endif  // DKB_COMMON_THREAD_POOL_H_

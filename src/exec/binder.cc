@@ -54,7 +54,8 @@ Result<Scope::ResolvedColumn> Scope::Resolve(const std::string& qualifier,
 namespace {
 
 Result<BoundExprPtr> BindImpl(const sql::Expr& expr, const Scope& scope,
-                              SlotMode mode, size_t local_binding) {
+                              SlotMode mode, size_t local_binding,
+                              const std::vector<Value>* params) {
   switch (expr.kind) {
     case sql::ExprKind::kColumnRef: {
       const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
@@ -73,34 +74,42 @@ Result<BoundExprPtr> BindImpl(const sql::Expr& expr, const Scope& scope,
       const auto& lit = static_cast<const sql::LiteralExpr&>(expr);
       return BoundExprPtr(std::make_unique<BoundLiteral>(lit.value));
     }
+    case sql::ExprKind::kParam: {
+      const auto& p = static_cast<const sql::ParamExpr&>(expr);
+      if (params == nullptr || p.index >= params->size()) {
+        return Status::InvalidArgument(
+            "parameter ?" + std::to_string(p.index + 1) + " is not bound");
+      }
+      return BoundExprPtr(std::make_unique<BoundLiteral>((*params)[p.index]));
+    }
     case sql::ExprKind::kComparison: {
       const auto& cmp = static_cast<const sql::ComparisonExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr lhs,
-                           BindImpl(*cmp.lhs, scope, mode, local_binding));
+                           BindImpl(*cmp.lhs, scope, mode, local_binding, params));
       DKB_ASSIGN_OR_RETURN(BoundExprPtr rhs,
-                           BindImpl(*cmp.rhs, scope, mode, local_binding));
+                           BindImpl(*cmp.rhs, scope, mode, local_binding, params));
       return BoundExprPtr(std::make_unique<BoundComparison>(
           cmp.op, std::move(lhs), std::move(rhs)));
     }
     case sql::ExprKind::kLogical: {
       const auto& log = static_cast<const sql::LogicalExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr lhs,
-                           BindImpl(*log.lhs, scope, mode, local_binding));
+                           BindImpl(*log.lhs, scope, mode, local_binding, params));
       DKB_ASSIGN_OR_RETURN(BoundExprPtr rhs,
-                           BindImpl(*log.rhs, scope, mode, local_binding));
+                           BindImpl(*log.rhs, scope, mode, local_binding, params));
       return BoundExprPtr(std::make_unique<BoundLogical>(
           log.op, std::move(lhs), std::move(rhs)));
     }
     case sql::ExprKind::kNot: {
       const auto& n = static_cast<const sql::NotExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr child,
-                           BindImpl(*n.child, scope, mode, local_binding));
+                           BindImpl(*n.child, scope, mode, local_binding, params));
       return BoundExprPtr(std::make_unique<BoundNot>(std::move(child)));
     }
     case sql::ExprKind::kInList: {
       const auto& in = static_cast<const sql::InListExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr needle,
-                           BindImpl(*in.needle, scope, mode, local_binding));
+                           BindImpl(*in.needle, scope, mode, local_binding, params));
       return BoundExprPtr(
           std::make_unique<BoundInList>(std::move(needle), in.values));
     }
@@ -119,6 +128,7 @@ Status CollectBindings(const sql::Expr& expr, const Scope& scope,
       return Status::OK();
     }
     case sql::ExprKind::kLiteral:
+    case sql::ExprKind::kParam:
       return Status::OK();
     case sql::ExprKind::kComparison: {
       const auto& cmp = static_cast<const sql::ComparisonExpr&>(expr);
@@ -145,8 +155,21 @@ Status CollectBindings(const sql::Expr& expr, const Scope& scope,
 }  // namespace
 
 Result<BoundExprPtr> BindExpr(const sql::Expr& expr, const Scope& scope,
-                              SlotMode mode, size_t local_binding) {
-  return BindImpl(expr, scope, mode, local_binding);
+                              SlotMode mode, size_t local_binding,
+                              const std::vector<Value>* params) {
+  return BindImpl(expr, scope, mode, local_binding, params);
+}
+
+const Value* ConstOperand(const sql::Expr& expr,
+                          const std::vector<Value>* params) {
+  if (expr.kind == sql::ExprKind::kLiteral) {
+    return &static_cast<const sql::LiteralExpr&>(expr).value;
+  }
+  if (expr.kind == sql::ExprKind::kParam && params != nullptr) {
+    const auto& p = static_cast<const sql::ParamExpr&>(expr);
+    if (p.index < params->size()) return &(*params)[p.index];
+  }
+  return nullptr;
 }
 
 Result<std::set<size_t>> ReferencedBindings(const sql::Expr& expr,
@@ -157,7 +180,8 @@ Result<std::set<size_t>> ReferencedBindings(const sql::Expr& expr,
 }
 
 Result<BoundExprPtr> BindAgainstSchema(const sql::Expr& expr,
-                                       const Schema& schema) {
+                                       const Schema& schema,
+                                       const std::vector<Value>* params) {
   switch (expr.kind) {
     case sql::ExprKind::kColumnRef: {
       const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
@@ -177,34 +201,41 @@ Result<BoundExprPtr> BindAgainstSchema(const sql::Expr& expr,
       const auto& lit = static_cast<const sql::LiteralExpr&>(expr);
       return BoundExprPtr(std::make_unique<BoundLiteral>(lit.value));
     }
+    case sql::ExprKind::kParam: {
+      const Value* v = ConstOperand(expr, params);
+      if (v == nullptr) {
+        return Status::InvalidArgument("parameter is not bound");
+      }
+      return BoundExprPtr(std::make_unique<BoundLiteral>(*v));
+    }
     case sql::ExprKind::kComparison: {
       const auto& cmp = static_cast<const sql::ComparisonExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr lhs,
-                           BindAgainstSchema(*cmp.lhs, schema));
+                           BindAgainstSchema(*cmp.lhs, schema, params));
       DKB_ASSIGN_OR_RETURN(BoundExprPtr rhs,
-                           BindAgainstSchema(*cmp.rhs, schema));
+                           BindAgainstSchema(*cmp.rhs, schema, params));
       return BoundExprPtr(std::make_unique<BoundComparison>(
           cmp.op, std::move(lhs), std::move(rhs)));
     }
     case sql::ExprKind::kLogical: {
       const auto& log = static_cast<const sql::LogicalExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr lhs,
-                           BindAgainstSchema(*log.lhs, schema));
+                           BindAgainstSchema(*log.lhs, schema, params));
       DKB_ASSIGN_OR_RETURN(BoundExprPtr rhs,
-                           BindAgainstSchema(*log.rhs, schema));
+                           BindAgainstSchema(*log.rhs, schema, params));
       return BoundExprPtr(std::make_unique<BoundLogical>(
           log.op, std::move(lhs), std::move(rhs)));
     }
     case sql::ExprKind::kNot: {
       const auto& n = static_cast<const sql::NotExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr child,
-                           BindAgainstSchema(*n.child, schema));
+                           BindAgainstSchema(*n.child, schema, params));
       return BoundExprPtr(std::make_unique<BoundNot>(std::move(child)));
     }
     case sql::ExprKind::kInList: {
       const auto& in = static_cast<const sql::InListExpr&>(expr);
       DKB_ASSIGN_OR_RETURN(BoundExprPtr needle,
-                           BindAgainstSchema(*in.needle, schema));
+                           BindAgainstSchema(*in.needle, schema, params));
       return BoundExprPtr(
           std::make_unique<BoundInList>(std::move(needle), in.values));
     }

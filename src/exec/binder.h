@@ -55,9 +55,12 @@ enum class SlotMode {
 };
 
 /// Binds `expr` against `scope`. In kTableLocal mode `local_binding` selects
-/// which table the expression must be local to.
+/// which table the expression must be local to. `params` supplies values for
+/// `?` placeholders (they bind as literals); an expression containing a
+/// parameter with no bound value fails with InvalidArgument.
 Result<BoundExprPtr> BindExpr(const sql::Expr& expr, const Scope& scope,
-                              SlotMode mode, size_t local_binding = 0);
+                              SlotMode mode, size_t local_binding = 0,
+                              const std::vector<Value>* params = nullptr);
 
 /// Collects the set of binding indices referenced by `expr`.
 Result<std::set<size_t>> ReferencedBindings(const sql::Expr& expr,
@@ -70,7 +73,14 @@ void SplitConjuncts(const sql::Expr* expr, std::vector<const sql::Expr*>* out);
 /// output column positions); used for HAVING. Column references must be
 /// unqualified output names or aliases.
 Result<BoundExprPtr> BindAgainstSchema(const sql::Expr& expr,
-                                       const Schema& schema);
+                                       const Schema& schema,
+                                       const std::vector<Value>* params =
+                                           nullptr);
+
+/// Resolves an expression that must be constant at plan time: a literal, or a
+/// `?` parameter with a bound value. Returns nullptr otherwise.
+const Value* ConstOperand(const sql::Expr& expr,
+                          const std::vector<Value>* params);
 
 }  // namespace dkb::exec
 

@@ -65,8 +65,15 @@ std::string RenderPlan(const PlanNode& root) {
   return out;
 }
 
-Result<QueryResult> Executor::Execute(const sql::Statement& stmt) {
-  ++stats_->statements;
+Result<QueryResult> Executor::Execute(const sql::Statement& stmt,
+                                      const std::vector<Value>* params) {
+  StatAdd(stats_->statements);
+  const size_t bound = (params == nullptr) ? 0 : params->size();
+  if (stmt.param_count > bound) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(stmt.param_count) +
+        " parameter(s) but only " + std::to_string(bound) + " bound");
+  }
   switch (stmt.kind) {
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(static_cast<const sql::CreateTableStmt&>(stmt));
@@ -75,12 +82,12 @@ Result<QueryResult> Executor::Execute(const sql::Statement& stmt) {
     case sql::StatementKind::kCreateIndex:
       return ExecuteCreateIndex(static_cast<const sql::CreateIndexStmt&>(stmt));
     case sql::StatementKind::kInsert:
-      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt));
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt), params);
     case sql::StatementKind::kDelete:
-      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt));
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt), params);
     case sql::StatementKind::kSelect:
       return ExecuteSelect(
-          *static_cast<const sql::SelectStatement&>(stmt).select);
+          *static_cast<const sql::SelectStatement&>(stmt).select, params);
     case sql::StatementKind::kExplain:
       return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt));
   }
@@ -125,14 +132,15 @@ Result<QueryResult> Executor::ExecuteCreateIndex(
   return QueryResult{};
 }
 
-Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt) {
+Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt,
+                                            const std::vector<Value>* params) {
   DKB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
   QueryResult result;
   if (stmt.select != nullptr) {
     // Materialize the SELECT fully before inserting so that
     // `INSERT INTO t SELECT ... FROM t ...` cannot chase its own inserts.
     DKB_ASSIGN_OR_RETURN(PlanNodePtr plan,
-                         PlanSelect(*stmt.select, *catalog_, stats_));
+                         PlanSelect(*stmt.select, *catalog_, stats_, params));
     if (plan->output_schema().num_columns() !=
         table->schema().num_columns()) {
       return Status::InvalidArgument(
@@ -154,6 +162,19 @@ Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt) {
     result.rows_affected = static_cast<int64_t>(buffered.size());
     return result;
   }
+  if (!stmt.param_cells.empty()) {
+    // Substitute bound values into a copy of the VALUES matrix.
+    std::vector<std::vector<Value>> rows = stmt.rows;
+    for (const sql::InsertStmt::ParamCell& cell : stmt.param_cells) {
+      rows[cell.row][cell.col] = (*params)[cell.param];
+    }
+    for (const std::vector<Value>& row : rows) {
+      DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+      (void)rid;
+    }
+    result.rows_affected = static_cast<int64_t>(rows.size());
+    return result;
+  }
   for (const std::vector<Value>& row : stmt.rows) {
     DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
     (void)rid;
@@ -162,7 +183,8 @@ Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt) {
   return result;
 }
 
-Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
+Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStmt& stmt,
+                                            const std::vector<Value>* params) {
   DKB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
   QueryResult result;
   if (stmt.where == nullptr) {
@@ -172,8 +194,9 @@ Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   }
   Scope scope;
   DKB_RETURN_IF_ERROR(scope.AddTable(stmt.table, table));
-  DKB_ASSIGN_OR_RETURN(BoundExprPtr predicate,
-                       BindExpr(*stmt.where, scope, SlotMode::kGlobal));
+  DKB_ASSIGN_OR_RETURN(
+      BoundExprPtr predicate,
+      BindExpr(*stmt.where, scope, SlotMode::kGlobal, 0, params));
   std::vector<RowId> victims;
   table->Scan([&](RowId rid, const Tuple& t) {
     if (predicate->EvaluateBool(t)) victims.push_back(rid);
@@ -183,9 +206,10 @@ Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
   return result;
 }
 
-Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStmt& stmt) {
+Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStmt& stmt,
+                                            const std::vector<Value>* params) {
   DKB_ASSIGN_OR_RETURN(PlanNodePtr plan,
-                       PlanSelect(stmt, *catalog_, stats_));
+                       PlanSelect(stmt, *catalog_, stats_, params));
   QueryResult result;
   result.schema = plan->output_schema();
   DKB_RETURN_IF_ERROR(plan->Open());

@@ -30,15 +30,21 @@ class Executor {
   Executor(Catalog* catalog, ExecStats* stats)
       : catalog_(catalog), stats_(stats) {}
 
-  Result<QueryResult> Execute(const sql::Statement& stmt);
+  /// `params` supplies values for the statement's `?` placeholders; required
+  /// (and checked) when stmt.param_count > 0.
+  Result<QueryResult> Execute(const sql::Statement& stmt,
+                              const std::vector<Value>* params = nullptr);
 
  private:
   Result<QueryResult> ExecuteCreateTable(const sql::CreateTableStmt& stmt);
   Result<QueryResult> ExecuteDropTable(const sql::DropTableStmt& stmt);
   Result<QueryResult> ExecuteCreateIndex(const sql::CreateIndexStmt& stmt);
-  Result<QueryResult> ExecuteInsert(const sql::InsertStmt& stmt);
-  Result<QueryResult> ExecuteDelete(const sql::DeleteStmt& stmt);
-  Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt);
+  Result<QueryResult> ExecuteInsert(const sql::InsertStmt& stmt,
+                                    const std::vector<Value>* params);
+  Result<QueryResult> ExecuteDelete(const sql::DeleteStmt& stmt,
+                                    const std::vector<Value>* params);
+  Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                    const std::vector<Value>* params);
   Result<QueryResult> ExecuteExplain(const sql::ExplainStmt& stmt);
 
   Catalog* catalog_;

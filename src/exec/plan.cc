@@ -1,8 +1,16 @@
 #include "exec/plan.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/thread_pool.h"
 
 namespace dkb::exec {
+
+ParallelTuning& GetParallelTuning() {
+  static ParallelTuning tuning;
+  return tuning;
+}
 
 namespace {
 
@@ -35,21 +43,70 @@ SeqScanNode::SeqScanNode(const Table* table, BoundExprPtr filter,
 
 Status SeqScanNode::Open() {
   cursor_ = 0;
+  pos_ = 0;
+  rows_.clear();
+  materialized_ = false;
+
+  const ParallelTuning& tuning = GetParallelTuning();
+  const size_t n = table_->num_slots();
+  ThreadPool& pool = GlobalThreadPool();
+  if (n < tuning.seq_scan_min_rows || pool.num_threads() == 0) {
+    return Status::OK();
+  }
+
+  // Morsel path: each morsel filters its row range into a private buffer;
+  // buffers concatenate in morsel order, preserving the serial row order.
+  materialized_ = true;
+  const size_t morsel = std::max<size_t>(tuning.morsel_rows, 1);
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  std::vector<std::vector<Tuple>> buffers(num_morsels);
+  std::atomic<int64_t> scanned{0};
+  pool.ParallelFor(0, num_morsels, [&](size_t m) {
+    const size_t lo = m * morsel;
+    const size_t hi = std::min(n, lo + morsel);
+    std::vector<Tuple>& buf = buffers[m];
+    int64_t local = 0;
+    for (RowId rid = lo; rid < hi; ++rid) {
+      if (!table_->IsLive(rid)) continue;
+      const Tuple& t = table_->Get(rid);
+      ++local;
+      if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
+      buf.push_back(t);
+    }
+    scanned.fetch_add(local, std::memory_order_relaxed);
+  });
+  StatAdd(stats_->rows_scanned, scanned.load(std::memory_order_relaxed));
+  size_t total = 0;
+  for (const auto& buf : buffers) total += buf.size();
+  rows_.reserve(total);
+  for (auto& buf : buffers) {
+    for (Tuple& t : buf) rows_.push_back(std::move(t));
+  }
   return Status::OK();
 }
 
 Result<bool> SeqScanNode::Next(Tuple* row) {
+  if (materialized_) {
+    if (pos_ >= rows_.size()) return false;
+    *row = rows_[pos_++];
+    return true;
+  }
   const size_t n = table_->num_slots();
   while (cursor_ < n) {
     RowId rid = cursor_++;
     if (!table_->IsLive(rid)) continue;
     const Tuple& t = table_->Get(rid);
-    ++stats_->rows_scanned;
+    StatAdd(stats_->rows_scanned);
     if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
     *row = t;
     return true;
   }
   return false;
+}
+
+void SeqScanNode::Close() {
+  rows_.clear();
+  materialized_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -80,7 +137,7 @@ Result<bool> IndexScanNode::Next(Tuple* row) {
       RowId rid = buffer_[buffer_pos_++];
       if (!table_->IsLive(rid)) continue;
       const Tuple& t = table_->Get(rid);
-      ++stats_->index_rows;
+      StatAdd(stats_->index_rows);
       if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
       *row = t;
       return true;
@@ -88,7 +145,7 @@ Result<bool> IndexScanNode::Next(Tuple* row) {
     if (key_pos_ >= keys_.size()) return false;
     buffer_.clear();
     buffer_pos_ = 0;
-    ++stats_->index_probes;
+    StatAdd(stats_->index_probes);
     index_->Probe(keys_[key_pos_++], &buffer_);
   }
 }
@@ -118,7 +175,7 @@ Status IndexRangeScanNode::Open() {
   Tuple hi_key;
   if (lo_.has_value()) lo_key = Tuple{*lo_};
   if (hi_.has_value()) hi_key = Tuple{*hi_};
-  ++stats_->index_probes;
+  StatAdd(stats_->index_probes);
   index_->RangeOpt(lo_.has_value() ? &lo_key : nullptr,
                    hi_.has_value() ? &hi_key : nullptr, &buffer_);
   return Status::OK();
@@ -129,7 +186,7 @@ Result<bool> IndexRangeScanNode::Next(Tuple* row) {
     RowId rid = buffer_[buffer_pos_++];
     if (!table_->IsLive(rid)) continue;
     const Tuple& t = table_->Get(rid);
-    ++stats_->index_rows;
+    StatAdd(stats_->index_rows);
     if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
     *row = t;
     return true;
@@ -206,7 +263,7 @@ Result<bool> NestedLoopJoinNode::Next(Tuple* row) {
     }
     Tuple combined = ConcatRows(outer_row_, inner_row);
     if (predicate_ == nullptr || predicate_->EvaluateBool(combined)) {
-      ++stats_->join_output_rows;
+      StatAdd(stats_->join_output_rows);
       *row = std::move(combined);
       return true;
     }
@@ -236,22 +293,54 @@ HashJoinNode::HashJoinNode(PlanNodePtr left, PlanNodePtr right,
 }
 
 Status HashJoinNode::Open() {
-  hash_.clear();
+  parts_.clear();
   left_valid_ = false;
   matches_.clear();
   match_pos_ = 0;
+
+  // Drain the build side (materialized: build keys must outlive the probe).
   DKB_RETURN_IF_ERROR(right_->Open());
+  std::vector<Tuple> build;
   Tuple row;
   while (true) {
     auto more = right_->Next(&row);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    Tuple key;
-    key.reserve(right_keys_.size());
-    for (size_t k : right_keys_) key.push_back(row[k]);
-    hash_.emplace(std::move(key), row);
+    build.push_back(std::move(row));
   }
   right_->Close();
+
+  auto key_of = [this](const Tuple& r) {
+    Tuple key;
+    key.reserve(right_keys_.size());
+    for (size_t k : right_keys_) key.push_back(r[k]);
+    return key;
+  };
+
+  ThreadPool& pool = GlobalThreadPool();
+  const ParallelTuning& tuning = GetParallelTuning();
+  if (build.size() < tuning.hash_build_min_rows || pool.num_threads() == 0) {
+    parts_.resize(1);
+    for (Tuple& r : build) parts_[0].emplace(key_of(r), std::move(r));
+    return left_->Open();
+  }
+
+  // Parallel partitioned build: hash every key, then let each partition
+  // insert its own rows — disjoint ownership, no locks.
+  const size_t num_parts = 2 * (pool.num_threads() + 1);
+  std::vector<size_t> hashes(build.size());
+  pool.ParallelFor(
+      0, build.size(),
+      [&](size_t i) { hashes[i] = TupleHash{}(key_of(build[i])); },
+      /*min_chunk=*/1024);
+  parts_.resize(num_parts);
+  pool.ParallelFor(0, num_parts, [&](size_t p) {
+    auto& part = parts_[p];
+    for (size_t i = 0; i < build.size(); ++i) {
+      if (hashes[i] % num_parts != p) continue;
+      part.emplace(key_of(build[i]), build[i]);
+    }
+  });
   return left_->Open();
 }
 
@@ -260,7 +349,7 @@ Result<bool> HashJoinNode::Next(Tuple* row) {
     if (match_pos_ < matches_.size()) {
       Tuple combined = ConcatRows(left_row_, *matches_[match_pos_++]);
       if (residual_ == nullptr || residual_->EvaluateBool(combined)) {
-        ++stats_->join_output_rows;
+        StatAdd(stats_->join_output_rows);
         *row = std::move(combined);
         return true;
       }
@@ -273,14 +362,17 @@ Result<bool> HashJoinNode::Next(Tuple* row) {
     for (size_t k : left_keys_) key.push_back(left_row_[k]);
     matches_.clear();
     match_pos_ = 0;
-    auto [lo, hi] = hash_.equal_range(key);
+    const auto& part = parts_.size() == 1
+                           ? parts_[0]
+                           : parts_[TupleHash{}(key) % parts_.size()];
+    auto [lo, hi] = part.equal_range(key);
     for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
   }
 }
 
 void HashJoinNode::Close() {
   left_->Close();
-  hash_.clear();
+  parts_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -312,10 +404,10 @@ Result<bool> IndexNLJoinNode::Next(Tuple* row) {
     if (buffer_pos_ < buffer_.size()) {
       RowId rid = buffer_[buffer_pos_++];
       if (!inner_->IsLive(rid)) continue;
-      ++stats_->index_rows;
+      StatAdd(stats_->index_rows);
       Tuple combined = ConcatRows(outer_row_, inner_->Get(rid));
       if (residual_ == nullptr || residual_->EvaluateBool(combined)) {
-        ++stats_->join_output_rows;
+        StatAdd(stats_->join_output_rows);
         *row = std::move(combined);
         return true;
       }
@@ -329,7 +421,7 @@ Result<bool> IndexNLJoinNode::Next(Tuple* row) {
     for (size_t s : outer_key_slots_) key.push_back(outer_row_[s]);
     buffer_.clear();
     buffer_pos_ = 0;
-    ++stats_->index_probes;
+    StatAdd(stats_->index_probes);
     index_->Probe(key, &buffer_);
   }
 }

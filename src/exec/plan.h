@@ -1,6 +1,7 @@
 #ifndef DKB_EXEC_PLAN_H_
 #define DKB_EXEC_PLAN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -18,16 +19,48 @@ namespace dkb::exec {
 /// Counters exposed by Database::stats(); used by tests to assert access-path
 /// choices (e.g. that the relevant-rule extraction query really uses the
 /// index on reachablepreds) and by benches as secondary evidence.
+///
+/// Counters are atomics so concurrent sessions and morsel workers can bump
+/// them without a data race; increments are relaxed (counts need not be
+/// ordered against anything, only eventually summed correctly).
 struct ExecStats {
-  int64_t rows_scanned = 0;      // rows read by sequential scans
-  int64_t index_probes = 0;      // index lookups performed
-  int64_t index_rows = 0;        // rows produced via index lookups
-  int64_t join_output_rows = 0;  // rows emitted by join operators
-  int64_t statements = 0;        // SQL statements executed
-  int64_t statement_cache_hits = 0;  // prepared-statement reuse
+  std::atomic<int64_t> rows_scanned{0};      // rows read by sequential scans
+  std::atomic<int64_t> index_probes{0};      // index lookups performed
+  std::atomic<int64_t> index_rows{0};        // rows produced via index lookups
+  std::atomic<int64_t> join_output_rows{0};  // rows emitted by join operators
+  std::atomic<int64_t> statements{0};        // SQL statements executed
+  std::atomic<int64_t> statement_cache_hits{0};  // prepared-statement reuse
 
-  void Reset() { *this = ExecStats{}; }
+  void Reset() {
+    rows_scanned.store(0, std::memory_order_relaxed);
+    index_probes.store(0, std::memory_order_relaxed);
+    index_rows.store(0, std::memory_order_relaxed);
+    join_output_rows.store(0, std::memory_order_relaxed);
+    statements.store(0, std::memory_order_relaxed);
+    statement_cache_hits.store(0, std::memory_order_relaxed);
+  }
 };
+
+/// Relaxed counter bump; the idiom for all ExecStats updates.
+inline void StatAdd(std::atomic<int64_t>& counter, int64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Morsel-parallelism thresholds. Inputs below the threshold run the serial
+/// code path (identical to the pre-parallel engine); at or above it the
+/// operator fans work out over GlobalThreadPool. Process-wide and mutable so
+/// benches and tests can force either path.
+struct ParallelTuning {
+  /// Minimum table slots before a sequential scan splits into row-range
+  /// morsels.
+  size_t seq_scan_min_rows = 8192;
+  /// Minimum build-side rows before a hash join hash-partitions its build.
+  size_t hash_build_min_rows = 8192;
+  /// Rows per scan morsel.
+  size_t morsel_rows = 4096;
+};
+
+ParallelTuning& GetParallelTuning();
 
 /// Volcano-style physical operator. Open() may be called repeatedly; each
 /// call resets the operator to produce its output from the beginning (the
@@ -63,12 +96,18 @@ class PlanNode {
 using PlanNodePtr = std::unique_ptr<PlanNode>;
 
 /// Full-table scan with optional pushed-down filter.
+///
+/// Tables with at least ParallelTuning::seq_scan_min_rows slots are scanned
+/// as row-range morsels on GlobalThreadPool at Open time; per-morsel outputs
+/// are concatenated in row order, so results are identical to the serial
+/// path (which smaller tables still take, streaming row-at-a-time).
 class SeqScanNode : public PlanNode {
  public:
   SeqScanNode(const Table* table, BoundExprPtr filter, ExecStats* stats);
 
   Status Open() override;
   Result<bool> Next(Tuple* row) override;
+  void Close() override;
   std::string Name() const override { return "SeqScan(" + table_->name() + ")"; }
 
  private:
@@ -76,6 +115,9 @@ class SeqScanNode : public PlanNode {
   BoundExprPtr filter_;  // may be null
   ExecStats* stats_;
   RowId cursor_ = 0;
+  bool materialized_ = false;     // parallel path: rows_ holds the output
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
 };
 
 /// Index lookup for one or more literal keys (supports `col = lit` and
@@ -196,6 +238,12 @@ class NestedLoopJoinNode : public PlanNode {
 
 /// Hash equi-join: builds a hash table over the right child, probes with
 /// left-child rows. Output row = left columns ++ right columns.
+///
+/// Builds of at least ParallelTuning::hash_build_min_rows rows are
+/// hash-partitioned: key hashes are computed in parallel, then each of P
+/// partitions fills its own table concurrently (every row lands in exactly
+/// one partition, chosen by hash % P, so no partition sees another's keys).
+/// Probes address the owning partition directly.
 class HashJoinNode : public PlanNode {
  public:
   HashJoinNode(PlanNodePtr left, PlanNodePtr right,
@@ -219,7 +267,8 @@ class HashJoinNode : public PlanNode {
   BoundExprPtr residual_;  // may be null
   ExecStats* stats_;
 
-  std::unordered_multimap<Tuple, Tuple, TupleHash> hash_;
+  // Partitioned build; size 1 on the serial path.
+  std::vector<std::unordered_multimap<Tuple, Tuple, TupleHash>> parts_;
   Tuple left_row_;
   bool left_valid_ = false;
   std::vector<const Tuple*> matches_;

@@ -44,8 +44,9 @@ BoundExprPtr AndCombine(std::vector<BoundExprPtr> exprs) {
 
 class Planner {
  public:
-  Planner(const Catalog& catalog, ExecStats* stats)
-      : catalog_(catalog), stats_(stats) {}
+  Planner(const Catalog& catalog, ExecStats* stats,
+          const std::vector<Value>* params)
+      : catalog_(catalog), stats_(stats), params_(params) {}
 
   Result<PlanNodePtr> PlanStmt(const sql::SelectStmt& stmt);
 
@@ -62,6 +63,7 @@ class Planner {
 
   const Catalog& catalog_;
   ExecStats* stats_;
+  const std::vector<Value>* params_;  // bound `?` values; may be null
 };
 
 Result<ConjunctInfo> Planner::Classify(const sql::Expr* expr,
@@ -87,11 +89,13 @@ Result<ConjunctInfo> Planner::Classify(const sql::Expr* expr,
       } else if (lhs_col != rhs_col) {
         const auto& c = static_cast<const sql::ColumnRefExpr&>(
             lhs_col ? *cmp.lhs : *cmp.rhs);
-        const auto& v = static_cast<const sql::LiteralExpr&>(
-            lhs_col ? *cmp.rhs : *cmp.lhs);
-        DKB_ASSIGN_OR_RETURN(info.col, scope.Resolve(c.table, c.column));
-        info.lit = v.value;
-        info.is_col_eq_lit = true;
+        const Value* v =
+            ConstOperand(lhs_col ? *cmp.rhs : *cmp.lhs, params_);
+        if (v != nullptr) {
+          DKB_ASSIGN_OR_RETURN(info.col, scope.Resolve(c.table, c.column));
+          info.lit = *v;
+          info.is_col_eq_lit = true;
+        }
       }
     } else if (cmp.op == sql::CompareOp::kLt ||
                cmp.op == sql::CompareOp::kLe ||
@@ -99,13 +103,15 @@ Result<ConjunctInfo> Planner::Classify(const sql::Expr* expr,
                cmp.op == sql::CompareOp::kGe) {
       const bool lhs_col = cmp.lhs->kind == sql::ExprKind::kColumnRef;
       const bool rhs_col = cmp.rhs->kind == sql::ExprKind::kColumnRef;
-      if (lhs_col != rhs_col) {
+      const Value* v = (lhs_col != rhs_col)
+                           ? ConstOperand(lhs_col ? *cmp.rhs : *cmp.lhs,
+                                          params_)
+                           : nullptr;
+      if (v != nullptr) {
         const auto& c = static_cast<const sql::ColumnRefExpr&>(
             lhs_col ? *cmp.lhs : *cmp.rhs);
-        const auto& v = static_cast<const sql::LiteralExpr&>(
-            lhs_col ? *cmp.rhs : *cmp.lhs);
         DKB_ASSIGN_OR_RETURN(info.col, scope.Resolve(c.table, c.column));
-        info.lit = v.value;
+        info.lit = *v;
         info.is_col_range = true;
         // Normalize to "col OP literal".
         if (lhs_col) {
@@ -181,7 +187,7 @@ Result<PlanNodePtr> Planner::PlanAccessPath(
     if (ci->used || ci == sarg) continue;
     DKB_ASSIGN_OR_RETURN(
         BoundExprPtr bound,
-        BindExpr(*ci->expr, scope, SlotMode::kTableLocal, binding));
+        BindExpr(*ci->expr, scope, SlotMode::kTableLocal, binding, params_));
     residual.push_back(std::move(bound));
     ci->used = true;
   }
@@ -295,7 +301,7 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
       for (ConjunctInfo* ci : cis) {
         if (ci->used) continue;
         DKB_ASSIGN_OR_RETURN(BoundExprPtr b,
-                             BindExpr(*ci->expr, scope, SlotMode::kGlobal));
+                             BindExpr(*ci->expr, scope, SlotMode::kGlobal, 0, params_));
         bound.push_back(std::move(b));
         ci->used = true;
       }
@@ -382,7 +388,7 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
     for (ConjunctInfo& ci : conjuncts) {
       if (ci.used) continue;
       DKB_ASSIGN_OR_RETURN(BoundExprPtr b,
-                           BindExpr(*ci.expr, scope, SlotMode::kGlobal));
+                           BindExpr(*ci.expr, scope, SlotMode::kGlobal, 0, params_));
       leftover.push_back(std::move(b));
       ci.used = true;
     }
@@ -402,7 +408,7 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
     if (core.having != nullptr) {
       DKB_ASSIGN_OR_RETURN(
           BoundExprPtr predicate,
-          BindAgainstSchema(*core.having, plan->output_schema()));
+          BindAgainstSchema(*core.having, plan->output_schema(), params_));
       plan = std::make_unique<FilterNode>(std::move(plan),
                                           std::move(predicate));
     }
@@ -429,7 +435,7 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
       continue;
     }
     DKB_ASSIGN_OR_RETURN(BoundExprPtr bound,
-                         BindExpr(*item.expr, scope, SlotMode::kGlobal));
+                         BindExpr(*item.expr, scope, SlotMode::kGlobal, 0, params_));
     Column col;
     if (!item.alias.empty()) {
       col.name = item.alias;
@@ -442,10 +448,8 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
       const auto& ref = static_cast<const sql::ColumnRefExpr&>(*item.expr);
       DKB_ASSIGN_OR_RETURN(auto rc, scope.Resolve(ref.table, ref.column));
       col.type = rc.type;
-    } else if (item.expr->kind == sql::ExprKind::kLiteral) {
-      const auto& lit = static_cast<const sql::LiteralExpr&>(*item.expr);
-      col.type = lit.value.is_string() ? DataType::kVarchar
-                                       : DataType::kInteger;
+    } else if (const Value* cv = ConstOperand(*item.expr, params_)) {
+      col.type = cv->is_string() ? DataType::kVarchar : DataType::kInteger;
     } else {
       col.type = DataType::kInteger;  // boolean-ish expressions
     }
@@ -515,7 +519,7 @@ Result<PlanNodePtr> Planner::PlanAggregate(PlanNodePtr child,
     std::string arg_name;
     if (item.agg != sql::AggFn::kCountStar) {
       DKB_ASSIGN_OR_RETURN(spec.arg,
-                           BindExpr(*item.expr, scope, SlotMode::kGlobal));
+                           BindExpr(*item.expr, scope, SlotMode::kGlobal, 0, params_));
       if (item.expr->kind == sql::ExprKind::kColumnRef) {
         const auto& ref = static_cast<const sql::ColumnRefExpr&>(*item.expr);
         DKB_ASSIGN_OR_RETURN(auto rc, scope.Resolve(ref.table, ref.column));
@@ -620,8 +624,9 @@ Result<PlanNodePtr> Planner::PlanStmt(const sql::SelectStmt& stmt) {
 }  // namespace
 
 Result<PlanNodePtr> PlanSelect(const sql::SelectStmt& stmt,
-                               const Catalog& catalog, ExecStats* stats) {
-  Planner planner(catalog, stats);
+                               const Catalog& catalog, ExecStats* stats,
+                               const std::vector<Value>* params) {
+  Planner planner(catalog, stats, params);
   return planner.PlanStmt(stmt);
 }
 

@@ -2,6 +2,7 @@
 #define DKB_EXEC_PLANNER_H_
 
 #include <memory>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
@@ -20,8 +21,12 @@ namespace dkb::exec {
 ///  * join method: index nested-loop when the inner table has an index on
 ///    the equi-join columns, otherwise hash join on equi predicates,
 ///    otherwise tuple nested-loop.
+/// `params` supplies bound values for `?` placeholders; they participate in
+/// access-path selection exactly like literals (a fresh plan is built per
+/// execution, so a parameterized key predicate still gets an index scan).
 Result<PlanNodePtr> PlanSelect(const sql::SelectStmt& stmt,
-                               const Catalog& catalog, ExecStats* stats);
+                               const Catalog& catalog, ExecStats* stats,
+                               const std::vector<Value>* params = nullptr);
 
 }  // namespace dkb::exec
 

@@ -240,20 +240,26 @@ Result<std::vector<datalog::Rule>> StoredDkb::ExtractRelevantRules(
 }
 
 Result<bool> StoredDkb::StoreRuleSource(const datalog::Rule& rule) {
+  // The dictionary lookup and insert run once per rule in every
+  // UpdateStoredDkb, so they are kept as bound prepared statements instead
+  // of re-deriving SQL text (and re-parsing it) from each rule.
+  if (!select_rule_by_head_.valid()) {
+    DKB_ASSIGN_OR_RETURN(
+        select_rule_by_head_,
+        db_->Prepare("SELECT ruletext FROM rulesource WHERE headpredname = ?"));
+    DKB_ASSIGN_OR_RETURN(insert_rule_,
+                         db_->Prepare("INSERT INTO rulesource VALUES (?, ?, ?)"));
+  }
   std::string text = rule.ToString();
-  DKB_ASSIGN_OR_RETURN(
-      std::vector<Tuple> existing,
-      db_->QueryRows("SELECT ruletext FROM rulesource WHERE headpredname = " +
-                     Value(rule.head.predicate).ToSqlLiteral()));
-  for (const Tuple& row : existing) {
+  DKB_RETURN_IF_ERROR(select_rule_by_head_.Bind(0, Value(rule.head.predicate)));
+  DKB_ASSIGN_OR_RETURN(QueryResult existing, select_rule_by_head_.Execute());
+  for (const Tuple& row : existing.rows) {
     if (row[0].as_string() == text) return false;
   }
-  DKB_RETURN_IF_ERROR(
-      db_->Execute("INSERT INTO rulesource VALUES (" +
-                   Value(rule.head.predicate).ToSqlLiteral() + ", " +
-                   std::to_string(next_rule_id_++) + ", " +
-                   Value(text).ToSqlLiteral() + ")")
-          .status());
+  DKB_RETURN_IF_ERROR(insert_rule_.Bind(0, Value(rule.head.predicate)));
+  DKB_RETURN_IF_ERROR(insert_rule_.Bind(1, Value(next_rule_id_++)));
+  DKB_RETURN_IF_ERROR(insert_rule_.Bind(2, Value(std::move(text))));
+  DKB_RETURN_IF_ERROR(insert_rule_.Execute().status());
   return true;
 }
 

@@ -153,6 +153,10 @@ class StoredDkb {
   Options options_;
   int64_t next_rule_id_ = 1;
   std::set<std::string> base_preds_;  // cache of EDB dictionary keys
+  // Dictionary-access statements reused across every StoreRuleSource call
+  // (prepared lazily on first use; the rulesource schema never changes).
+  PreparedStatement select_rule_by_head_;
+  PreparedStatement insert_rule_;
 };
 
 }  // namespace dkb::km

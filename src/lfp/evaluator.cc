@@ -1,5 +1,9 @@
 #include "lfp/evaluator.h"
 
+#include <map>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "lfp/eval_context.h"
 #include "lfp/naive.h"
@@ -13,7 +17,7 @@ namespace {
 /// Evaluates a non-recursive node: one INSERT-new per rule (or the
 /// binding-table pipeline for rules with negated atoms).
 Status EvaluateFlatNode(EvalContext* ctx, const km::QueryProgram& program,
-                        const km::ProgramNode& node) {
+                        const km::ProgramNode& node, size_t node_index) {
   km::BindingResolver canonical =
       [&program](const datalog::Atom& atom,
                  size_t) -> Result<km::RelationBinding> {
@@ -35,40 +39,133 @@ Status EvaluateFlatNode(EvalContext* ctx, const km::QueryProgram& program,
     } else {
       DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(
           cr.rule, canonical, b.table,
-          "#flat" + std::to_string(rule_index)));
+          "#n" + std::to_string(node_index) + "flat" +
+              std::to_string(rule_index)));
     }
     ++rule_index;
   }
   return Status::OK();
 }
 
+/// Evaluates one node end to end, appending its NodeStats to ctx's stats.
+Status RunOneNode(EvalContext* ctx, const km::QueryProgram& program,
+                  const km::ProgramNode& node, size_t node_index,
+                  LfpStrategy strategy) {
+  WallTimer node_timer;
+  int64_t iterations = 0;
+  if (!node.is_clique) {
+    DKB_RETURN_IF_ERROR(EvaluateFlatNode(ctx, program, node, node_index));
+  } else if (strategy == LfpStrategy::kNaive) {
+    DKB_ASSIGN_OR_RETURN(
+        iterations, EvaluateCliqueNaive(ctx, program, node, node_index));
+  } else {
+    DKB_ASSIGN_OR_RETURN(
+        iterations, EvaluateCliqueSemiNaive(ctx, program, node, node_index));
+  }
+  NodeStats ns;
+  ns.is_clique = node.is_clique;
+  ns.iterations = iterations;
+  for (const std::string& p : node.predicates) {
+    if (!ns.label.empty()) ns.label += ",";
+    ns.label += p;
+    DKB_ASSIGN_OR_RETURN(int64_t n,
+                         ctx->Count(program.bindings.at(p).table));
+    ns.tuples += n;
+  }
+  ns.t_us = node_timer.ElapsedMicros();
+  ctx->stats()->nodes.push_back(std::move(ns));
+  ctx->stats()->iterations += iterations;
+  return Status::OK();
+}
+
 Status RunNodes(EvalContext* ctx, const km::QueryProgram& program,
                 LfpStrategy strategy) {
-  for (const km::ProgramNode& node : program.nodes) {
-    WallTimer node_timer;
-    int64_t iterations = 0;
-    if (!node.is_clique) {
-      DKB_RETURN_IF_ERROR(EvaluateFlatNode(ctx, program, node));
-    } else if (strategy == LfpStrategy::kNaive) {
-      DKB_ASSIGN_OR_RETURN(iterations,
-                           EvaluateCliqueNaive(ctx, program, node));
-    } else {
-      DKB_ASSIGN_OR_RETURN(iterations,
-                           EvaluateCliqueSemiNaive(ctx, program, node));
+  for (size_t i = 0; i < program.nodes.size(); ++i) {
+    DKB_RETURN_IF_ERROR(
+        RunOneNode(ctx, program, program.nodes[i], i, strategy));
+  }
+  return Status::OK();
+}
+
+/// Topological-wavefront scheduler: node j waits on node i iff a rule of j
+/// mentions a predicate i defines. Independent nodes of a wave evaluate
+/// concurrently — they touch disjoint IDB/temp tables, and the shared
+/// DBMS plumbing (catalog map, statement cache, counters) is thread-safe.
+/// Per-node stats accumulate into private ExecutionStats and merge in
+/// program order, so the reported breakdown is deterministic.
+Status RunNodesParallel(Database* db, const km::QueryProgram& program,
+                        LfpStrategy strategy, ThreadPool* pool,
+                        ExecutionStats* stats) {
+  const size_t n = program.nodes.size();
+  std::map<std::string, size_t> defined_by;
+  for (size_t i = 0; i < n; ++i) {
+    for (const std::string& p : program.nodes[i].predicates) {
+      defined_by[p] = i;
     }
-    NodeStats ns;
-    ns.is_clique = node.is_clique;
-    ns.iterations = iterations;
-    for (const std::string& p : node.predicates) {
-      if (!ns.label.empty()) ns.label += ",";
-      ns.label += p;
-      DKB_ASSIGN_OR_RETURN(int64_t n,
-                           ctx->Count(program.bindings.at(p).table));
-      ns.tuples += n;
+  }
+  std::vector<std::vector<size_t>> deps(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto add_dep = [&](const std::string& pred) {
+      auto it = defined_by.find(pred);
+      if (it != defined_by.end() && it->second != i) {
+        deps[i].push_back(it->second);
+      }
+    };
+    for (const km::CompiledRule& cr : program.nodes[i].exit_rules) {
+      for (const datalog::Atom& atom : cr.rule.body) {
+        add_dep(atom.predicate);
+      }
     }
-    ns.t_us = node_timer.ElapsedMicros();
-    ctx->stats()->nodes.push_back(std::move(ns));
-    ctx->stats()->iterations += iterations;
+    for (const datalog::Rule& rule : program.nodes[i].recursive_rules) {
+      for (const datalog::Atom& atom : rule.body) {
+        add_dep(atom.predicate);
+      }
+    }
+  }
+
+  std::vector<ExecutionStats> locals(n);
+  std::vector<Status> results(n, Status::OK());
+  std::vector<bool> done(n, false);
+  size_t completed = 0;
+  while (completed < n) {
+    std::vector<size_t> wave;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      bool ready = true;
+      for (size_t d : deps[i]) {
+        if (!done[d]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) wave.push_back(i);
+    }
+    if (wave.empty()) {
+      return Status::Internal("cyclic dependency between program nodes");
+    }
+    pool->ParallelFor(0, wave.size(), [&](size_t w) {
+      size_t i = wave[w];
+      EvalContext node_ctx(db, &locals[i]);
+      results[i] =
+          RunOneNode(&node_ctx, program, program.nodes[i], i, strategy);
+    });
+    for (size_t i : wave) {
+      done[i] = true;
+      ++completed;
+    }
+    for (size_t i : wave) {
+      if (!results[i].ok()) return results[i];
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    stats->t_temp_us += locals[i].t_temp_us;
+    stats->t_rhs_us += locals[i].t_rhs_us;
+    stats->t_term_us += locals[i].t_term_us;
+    stats->iterations += locals[i].iterations;
+    for (NodeStats& ns : locals[i].nodes) {
+      stats->nodes.push_back(std::move(ns));
+    }
   }
   return Status::OK();
 }
@@ -91,17 +188,26 @@ const char* StrategyName(LfpStrategy strategy) {
 
 Result<QueryResult> ExecuteProgram(Database* db,
                                    const km::QueryProgram& program,
-                                   LfpStrategy strategy,
+                                   const EvalOptions& options,
                                    ExecutionStats* stats) {
   ExecutionStats local;
   if (stats == nullptr) stats = &local;
   *stats = ExecutionStats{};
 
-  if (strategy == LfpStrategy::kNative ||
-      strategy == LfpStrategy::kNativeTc) {
+  if (options.strategy == LfpStrategy::kNative ||
+      options.strategy == LfpStrategy::kNativeTc) {
     return ExecuteProgramNative(db, program, stats,
-                                strategy == LfpStrategy::kNativeTc);
+                                options.strategy == LfpStrategy::kNativeTc);
   }
+
+  // Resolve the parallelism knob to a wavefront worker count.
+  size_t workers = 1;
+  if (options.parallelism == 0) {
+    workers = GlobalThreadPool().num_threads() + 1;
+  } else if (options.parallelism > 1) {
+    workers = static_cast<size_t>(options.parallelism);
+  }
+  const bool parallel = workers > 1 && program.nodes.size() > 1;
 
   WallTimer total;
   EvalContext ctx(db, stats);
@@ -112,7 +218,17 @@ Result<QueryResult> ExecuteProgram(Database* db,
     DKB_RETURN_IF_ERROR(ctx.Temp(sql));
   }
 
-  Status status = RunNodes(&ctx, program, strategy);
+  Status status;
+  if (parallel && options.parallelism == 0) {
+    status = RunNodesParallel(db, program, options.strategy,
+                              &GlobalThreadPool(), stats);
+  } else if (parallel) {
+    ThreadPool wave_pool(workers - 1);
+    status =
+        RunNodesParallel(db, program, options.strategy, &wave_pool, stats);
+  } else {
+    status = RunNodes(&ctx, program, options.strategy);
+  }
 
   Result<QueryResult> answer = Status::Internal("unreachable");
   if (status.ok()) {
@@ -133,6 +249,15 @@ Result<QueryResult> ExecuteProgram(Database* db,
   }
   stats->t_total_us = total.ElapsedMicros();
   return answer;
+}
+
+Result<QueryResult> ExecuteProgram(Database* db,
+                                   const km::QueryProgram& program,
+                                   LfpStrategy strategy,
+                                   ExecutionStats* stats) {
+  EvalOptions options;
+  options.strategy = strategy;
+  return ExecuteProgram(db, program, options, stats);
 }
 
 }  // namespace dkb::lfp

@@ -21,6 +21,18 @@ enum class LfpStrategy {
 
 const char* StrategyName(LfpStrategy strategy);
 
+/// How to run a query program's node list (paper Fig 6's object program).
+struct EvalOptions {
+  LfpStrategy strategy = LfpStrategy::kSemiNaive;
+  /// Maximum number of mutually independent nodes (rule-graph cliques or
+  /// flat rule groups) evaluated concurrently: 1 = serial (default),
+  /// 0 = size to the global worker pool, N > 1 = at most N at a time.
+  /// Nodes are scheduled in topological wavefronts over the predicate
+  /// dependency graph, and each node's semi-naive iteration stays
+  /// sequential, so the fixed point reached is identical to a serial run.
+  int parallelism = 1;
+};
+
 /// Per-node timing recorded during execution; the Fig 14 bench uses the
 /// labels to separate magic-rule cliques from modified-rule cliques.
 struct NodeStats {
@@ -45,7 +57,15 @@ struct ExecutionStats {
 
 /// Runs the generated query program against the DBMS and returns the answer
 /// relation (the run time library of paper §3.3). IDB tables are created at
-/// the start and dropped afterwards, win or lose.
+/// the start and dropped afterwards, win or lose. With parallelism enabled,
+/// per-node stats are still reported in program order and the t_* buckets
+/// sum the per-node work (CPU-time-like accounting, not wall clock).
+Result<QueryResult> ExecuteProgram(Database* db,
+                                   const km::QueryProgram& program,
+                                   const EvalOptions& options,
+                                   ExecutionStats* stats);
+
+/// Back-compat entry point: serial evaluation with `strategy`.
 Result<QueryResult> ExecuteProgram(Database* db,
                                    const km::QueryProgram& program,
                                    LfpStrategy strategy,

@@ -9,9 +9,11 @@ namespace dkb::lfp {
 
 Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
                                     const km::QueryProgram& program,
-                                    const km::ProgramNode& node) {
+                                    const km::ProgramNode& node,
+                                    size_t node_index) {
   const std::set<std::string> members(node.predicates.begin(),
                                       node.predicates.end());
+  const std::string np = "#n" + std::to_string(node_index);
 
   // Canonical resolver: every predicate reads its stored relation. During
   // an iteration the member relations hold the previous iteration's value.
@@ -47,7 +49,7 @@ Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
       return ctx->Rhs(EvalContext::InsertNewSql(target, cr.select_sql));
     }
     return ctx->EvalRuleInto(cr.rule, canonical, target,
-                             "#nx" + std::to_string(index));
+                             np + "nx" + std::to_string(index));
   };
 
   // p^(0): exit rules into the base relations.
@@ -73,7 +75,7 @@ Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
       const datalog::Rule& rule = node.recursive_rules[ri];
       DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(
           rule, canonical, km::NewTableName(rule.head.predicate),
-          "#nr" + std::to_string(ri)));
+          np + "nr" + std::to_string(ri)));
     }
 
     // Termination: full set difference #p_new - idb_p, then count.

@@ -11,10 +11,12 @@ namespace dkb::lfp {
 /// relations, checks termination with a full set difference, and copies the
 /// new relations over the old ones.
 ///
-/// Returns the number of iterations.
+/// Returns the number of iterations. `node_index` namespaces the binding
+/// pipeline's temp tables so independent nodes can evaluate concurrently.
 Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
                                     const km::QueryProgram& program,
-                                    const km::ProgramNode& node);
+                                    const km::ProgramNode& node,
+                                    size_t node_index = 0);
 
 }  // namespace dkb::lfp
 

@@ -1,5 +1,6 @@
 #include "lfp/seminaive.h"
 
+#include <map>
 #include <set>
 
 #include "km/naming.h"
@@ -9,9 +10,11 @@ namespace dkb::lfp {
 
 Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
                                         const km::QueryProgram& program,
-                                        const km::ProgramNode& node) {
+                                        const km::ProgramNode& node,
+                                        size_t node_index) {
   const std::set<std::string> members(node.predicates.begin(),
                                       node.predicates.end());
+  const std::string np = "#n" + std::to_string(node_index);
 
   // Temp tables per member: delta, prev (value before the last delta was
   // merged), new (variant union), diff (new delta / termination check).
@@ -46,13 +49,30 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
           ctx->Rhs(EvalContext::InsertNewSql(b.table, cr.select_sql)));
     } else {
       DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(cr.rule, canonical, b.table,
-                                            "#sx" + std::to_string(i)));
+                                            np + "sx" + std::to_string(i)));
     }
   }
   // delta^(0) = p^(0); prev = p^(-1) = empty.
   for (const std::string& p : node.predicates) {
     DKB_RETURN_IF_ERROR(
         ctx->Copy(km::DeltaTableName(p), program.bindings.at(p).table));
+  }
+
+  // The termination pair (diff insert + count) runs every iteration with
+  // identical text: prepare once, execute per iteration (the explicit form
+  // of the embedded-SQL preprocessing the paper's DBMS did behind sprintf).
+  std::map<std::string, PreparedStatement> diff_insert;
+  std::map<std::string, PreparedStatement> diff_count;
+  for (const std::string& p : node.predicates) {
+    const km::PredicateBinding& b = program.bindings.at(p);
+    DKB_ASSIGN_OR_RETURN(
+        diff_insert[p],
+        ctx->db()->Prepare("INSERT INTO " + km::DiffTableName(p) +
+                           " (SELECT * FROM " + km::NewTableName(p) +
+                           ") EXCEPT (SELECT * FROM " + b.table + ")"));
+    DKB_ASSIGN_OR_RETURN(diff_count[p],
+                         ctx->db()->Prepare("SELECT COUNT(*) FROM " +
+                                            km::DiffTableName(p)));
   }
 
   int64_t iterations = 0;
@@ -96,7 +116,7 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
         };
         DKB_RETURN_IF_ERROR(ctx->EvalRuleInto(
             rule, resolver, km::NewTableName(rule.head.predicate),
-            "#sr" + std::to_string(rule_counter) + "_" +
+            np + "sr" + std::to_string(rule_counter) + "_" +
                 std::to_string(delta_pos)));
       }
     }
@@ -104,15 +124,10 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
     // New delta + termination check: diff = new - accumulated.
     bool changed = false;
     for (const std::string& p : node.predicates) {
-      const km::PredicateBinding& b = program.bindings.at(p);
       DKB_RETURN_IF_ERROR(ctx->Clear(km::DiffTableName(p)));
-      DKB_RETURN_IF_ERROR(
-          ctx->Term("INSERT INTO " + km::DiffTableName(p) +
-                    " (SELECT * FROM " + km::NewTableName(p) +
-                    ") EXCEPT (SELECT * FROM " + b.table + ")"));
+      DKB_RETURN_IF_ERROR(ctx->TermPrepared(&diff_insert.at(p)));
       DKB_ASSIGN_OR_RETURN(int64_t cnt,
-                           ctx->TermCount("SELECT COUNT(*) FROM " +
-                                          km::DiffTableName(p)));
+                           ctx->TermCountPrepared(&diff_count.at(p)));
       if (cnt > 0) changed = true;
     }
     if (!changed) break;

@@ -17,10 +17,12 @@ namespace dkb::lfp {
 /// unions the variants, subtracts the accumulated relation to obtain the
 /// new delta, and terminates when all deltas are empty.
 ///
-/// Returns the number of iterations.
+/// Returns the number of iterations. `node_index` namespaces the binding
+/// pipeline's temp tables so independent nodes can evaluate concurrently.
 Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
                                         const km::QueryProgram& program,
-                                        const km::ProgramNode& node);
+                                        const km::ProgramNode& node,
+                                        size_t node_index = 0);
 
 }  // namespace dkb::lfp
 

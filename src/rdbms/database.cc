@@ -1,40 +1,122 @@
 #include "rdbms/database.h"
 
+#include <algorithm>
+
 #include "sql/parser.h"
 
 namespace dkb {
 
-Result<const sql::Statement*> Database::Prepare(const std::string& sql) {
-  if (!statement_cache_enabled_) {
-    DKB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
-    // Keep exactly one uncached statement alive for the caller.
-    uncached_ = std::move(stmt);
-    return static_cast<const sql::Statement*>(uncached_.get());
-  }
-  auto it = statement_cache_.find(sql);
-  if (it != statement_cache_.end()) {
-    ++stats_.statement_cache_hits;
-    return static_cast<const sql::Statement*>(it->second.get());
-  }
-  DKB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
-  // Unbounded growth guard: rule programs reuse a modest set of texts, but
-  // bulk INSERT VALUES strings are one-shot — evict wholesale when large.
-  if (statement_cache_.size() >= 4096) statement_cache_.clear();
-  const sql::Statement* raw = stmt.get();
-  statement_cache_.emplace(sql, std::move(stmt));
-  return raw;
+// ---------------------------------------------------------------------------
+// PreparedStatement
+// ---------------------------------------------------------------------------
+
+PreparedStatement::PreparedStatement(
+    Database* db, std::shared_ptr<const sql::Statement> stmt)
+    : db_(db),
+      stmt_(std::move(stmt)),
+      params_(stmt_->param_count),
+      bound_(stmt_->param_count, false) {}
+
+size_t PreparedStatement::param_count() const {
+  return stmt_ == nullptr ? 0 : stmt_->param_count;
 }
 
-Result<QueryResult> Database::Execute(const std::string& sql) {
-  DKB_ASSIGN_OR_RETURN(const sql::Statement* stmt, Prepare(sql));
+Status PreparedStatement::Bind(size_t index, Value value) {
+  if (stmt_ == nullptr) {
+    return Status::InvalidArgument("Bind on an invalid PreparedStatement");
+  }
+  if (index >= params_.size()) {
+    return Status::InvalidArgument(
+        "parameter index " + std::to_string(index) + " out of range (" +
+        std::to_string(params_.size()) + " parameter(s))");
+  }
+  params_[index] = std::move(value);
+  bound_[index] = true;
+  return Status::OK();
+}
+
+void PreparedStatement::ClearBindings() {
+  std::fill(params_.begin(), params_.end(), Value::Null());
+  std::fill(bound_.begin(), bound_.end(), false);
+}
+
+Result<QueryResult> PreparedStatement::Execute() {
+  if (stmt_ == nullptr) {
+    return Status::InvalidArgument("Execute on an invalid PreparedStatement");
+  }
+  for (size_t i = 0; i < bound_.size(); ++i) {
+    if (!bound_[i]) {
+      return Status::InvalidArgument("parameter ?" + std::to_string(i + 1) +
+                                     " is not bound");
+    }
+  }
+  return db_->ExecuteParsed(*stmt_, params_.empty() ? nullptr : &params_,
+                            "<prepared statement>");
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const sql::Statement>> Database::ParseCached(
+    const std::string& sql) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (statement_cache_enabled_) {
+      auto it = statement_cache_.find(sql);
+      if (it != statement_cache_.end()) {
+        exec::StatAdd(stats_.statement_cache_hits);
+        return it->second;
+      }
+    }
+  }
+  DKB_ASSIGN_OR_RETURN(sql::StatementPtr parsed, sql::ParseStatement(sql));
+  std::shared_ptr<const sql::Statement> stmt(std::move(parsed));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (statement_cache_enabled_) {
+    // Unbounded growth guard: rule programs reuse a modest set of texts, but
+    // bulk INSERT VALUES strings are one-shot — evict wholesale when large.
+    // Shared ownership keeps outstanding PreparedStatements valid.
+    if (statement_cache_.size() >= 4096) statement_cache_.clear();
+    statement_cache_.emplace(sql, stmt);
+  }
+  return stmt;
+}
+
+void Database::set_statement_cache_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  statement_cache_enabled_ = enabled;
+  if (!enabled) statement_cache_.clear();
+}
+
+bool Database::statement_cache_enabled() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return statement_cache_enabled_;
+}
+
+Result<QueryResult> Database::ExecuteParsed(const sql::Statement& stmt,
+                                            const std::vector<Value>* params,
+                                            const std::string& text) {
   exec::Executor executor(&catalog_, &stats_);
-  auto result = executor.Execute(*stmt);
+  auto result = executor.Execute(stmt, params);
   if (!result.ok()) {
     return Status(result.status().code(),
-                  result.status().message() + " [while executing: " + sql +
+                  result.status().message() + " [while executing: " + text +
                       "]");
   }
   return result;
+}
+
+Result<PreparedStatement> Database::Prepare(const std::string& sql) {
+  DKB_ASSIGN_OR_RETURN(std::shared_ptr<const sql::Statement> stmt,
+                       ParseCached(sql));
+  return PreparedStatement(this, std::move(stmt));
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  DKB_ASSIGN_OR_RETURN(std::shared_ptr<const sql::Statement> stmt,
+                       ParseCached(sql));
+  return ExecuteParsed(*stmt, nullptr, sql);
 }
 
 Status Database::ExecuteAll(const std::string& script) {

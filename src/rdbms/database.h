@@ -2,6 +2,7 @@
 #define DKB_RDBMS_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,13 +16,62 @@ namespace dkb {
 using exec::ExecStats;
 using exec::QueryResult;
 
+class Database;
+
+/// Bindable, repeatedly executable statement handle returned by
+/// Database::Prepare — the embedded-SQL preprocessor of the paper's DBMS,
+/// done right: parse once, then Bind/Execute each LFP iteration instead of
+/// sprintf'ing constants into statement text.
+///
+/// Parameter indexes are 0-based in textual order of the `?` placeholders.
+/// Every parameter must be bound before Execute; bindings persist across
+/// executions until rebound or ClearBindings.
+///
+/// The handle shares ownership of the parsed statement, so it stays valid
+/// even if the Database evicts its statement cache. A handle is tied to the
+/// Database that prepared it and must not outlive it.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;  // invalid; assign from Database::Prepare
+
+  bool valid() const { return stmt_ != nullptr; }
+  size_t param_count() const;
+
+  /// Binds parameter `index` (0-based) to `value`.
+  Status Bind(size_t index, Value value);
+
+  /// Forgets all bindings (parameters must be re-bound before Execute).
+  void ClearBindings();
+
+  /// Plans and runs the statement with the current bindings. Planning is
+  /// fresh per call, so bound values drive access-path selection like
+  /// literals and DDL needs no invalidation.
+  Result<QueryResult> Execute();
+
+ private:
+  friend class Database;
+  PreparedStatement(Database* db,
+                    std::shared_ptr<const sql::Statement> stmt);
+
+  Database* db_ = nullptr;
+  std::shared_ptr<const sql::Statement> stmt_;
+  std::vector<Value> params_;
+  std::vector<bool> bound_;
+};
+
 /// The relational DBMS layer of the testbed.
 ///
 /// Stands in for the commercial SQL DBMS of the paper: it stores both the
 /// extensional database (fact relations) and the intensional database
 /// (rule-storage relations), and executes the SQL programs produced by the
-/// Knowledge Manager. The string-SQL `Execute` entry point models the
-/// embedded-SQL interface whose per-statement overhead the paper measures.
+/// Knowledge Manager. `Prepare` returns an explicit PreparedStatement handle;
+/// the string-SQL `Execute` entry point is a thin wrapper over it that models
+/// the per-statement overhead the paper measures.
+///
+/// Thread safety: Prepare/Execute may be called from concurrent readers (the
+/// parsed-statement cache is mutex-guarded and hands out shared ownership);
+/// statements that write table data must be serialized externally — the
+/// session layer's reader-writer protocol does exactly that.
 class Database {
  public:
   Database() = default;
@@ -29,20 +79,17 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Parses and executes a single SQL statement.
-  ///
-  /// Parsed statements are cached by text (the analogue of the embedded-SQL
-  /// preprocessor in the paper's DBMS: the run time library re-executes the
-  /// same statement text every LFP iteration). Planning/binding always runs
-  /// fresh against the current catalog, so DDL needs no invalidation.
+  /// Parses `sql` (one statement, `?` placeholders allowed) into a bindable
+  /// handle. Parsed forms are cached by text, so preparing the same text
+  /// repeatedly is cheap.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Parses and executes a single parameterless SQL statement.
   Result<QueryResult> Execute(const std::string& sql);
 
-  /// Disables/enables the prepared-statement cache (ablations).
-  void set_statement_cache_enabled(bool enabled) {
-    statement_cache_enabled_ = enabled;
-    if (!enabled) statement_cache_.clear();
-  }
-  bool statement_cache_enabled() const { return statement_cache_enabled_; }
+  /// Disables/enables the parsed-statement cache (ablations).
+  void set_statement_cache_enabled(bool enabled);
+  bool statement_cache_enabled() const;
 
   /// Executes a ';'-separated script, stopping at the first error.
   Status ExecuteAll(const std::string& script);
@@ -59,14 +106,23 @@ class Database {
   ExecStats& stats() { return stats_; }
 
  private:
+  friend class PreparedStatement;
+
   /// Returns the parsed form of `sql`, from cache when possible.
-  Result<const sql::Statement*> Prepare(const std::string& sql);
+  Result<std::shared_ptr<const sql::Statement>> ParseCached(
+      const std::string& sql);
+
+  /// Runs a parsed statement with optional bound parameter values.
+  Result<QueryResult> ExecuteParsed(const sql::Statement& stmt,
+                                    const std::vector<Value>* params,
+                                    const std::string& text);
 
   Catalog catalog_;
   ExecStats stats_;
+  mutable std::mutex cache_mu_;
   bool statement_cache_enabled_ = true;
-  std::unordered_map<std::string, sql::StatementPtr> statement_cache_;
-  sql::StatementPtr uncached_;  // last statement parsed with the cache off
+  std::unordered_map<std::string, std::shared_ptr<const sql::Statement>>
+      statement_cache_;
 };
 
 }  // namespace dkb

@@ -220,4 +220,10 @@ Status LoadDatabase(Database* db, const std::string& path) {
   return DeserializeDatabase(db, buffer.str());
 }
 
+Status CloneDatabase(const Database& src, Database* dst) {
+  // The text round-trip reuses the exhaustively tested snapshot format;
+  // cloning is off the query path (it happens once per epoch change).
+  return DeserializeDatabase(dst, SerializeDatabase(src));
+}
+
 }  // namespace dkb

@@ -31,6 +31,11 @@ Status LoadDatabase(Database* db, const std::string& path);
 std::string SerializeDatabase(const Database& db);
 Status DeserializeDatabase(Database* db, const std::string& text);
 
+/// Deep-copies `src` into the *empty* database `dst` (schemas, indexes,
+/// rows). This is the copy-on-write step behind Testbed sessions: each
+/// session clones the shared DBMS state and evaluates against its copy.
+Status CloneDatabase(const Database& src, Database* dst);
+
 }  // namespace dkb
 
 #endif  // DKB_RDBMS_SNAPSHOT_H_

@@ -18,6 +18,7 @@ namespace dkb::sql {
 enum class ExprKind {
   kColumnRef,
   kLiteral,
+  kParam,
   kComparison,
   kLogical,
   kNot,
@@ -57,6 +58,15 @@ struct LiteralExpr : Expr {
       : Expr(ExprKind::kLiteral), value(std::move(value)) {}
   Value value;
   std::string ToString() const override { return value.ToSqlLiteral(); }
+};
+
+/// `?` placeholder, numbered left-to-right within one statement. Values are
+/// supplied at execution time through PreparedStatement::Bind; the binder
+/// rejects statements executed with unbound parameters.
+struct ParamExpr : Expr {
+  explicit ParamExpr(size_t index) : Expr(ExprKind::kParam), index(index) {}
+  size_t index;
+  std::string ToString() const override { return "?"; }
 };
 
 struct ComparisonExpr : Expr {
@@ -195,6 +205,8 @@ struct Statement {
   virtual ~Statement() = default;
   explicit Statement(StatementKind kind) : kind(kind) {}
   StatementKind kind;
+  /// Number of `?` placeholders; all must be bound before execution.
+  size_t param_count = 0;
 };
 
 using StatementPtr = std::unique_ptr<Statement>;
@@ -227,6 +239,14 @@ struct InsertStmt : Statement {
   std::vector<std::vector<Value>> rows;
   // ...or INSERT INTO t SELECT ...
   std::unique_ptr<SelectStmt> select;
+  /// `?` placeholders inside VALUES rows: rows[row][col] holds NULL until the
+  /// executor substitutes the bound value for parameter #param.
+  struct ParamCell {
+    size_t row;
+    size_t col;
+    size_t param;
+  };
+  std::vector<ParamCell> param_cells;
 };
 
 struct DeleteStmt : Statement {

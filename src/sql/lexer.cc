@@ -113,7 +113,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       tokens.push_back(std::move(tok));
       continue;
     }
-    if (std::string("(),.*=<>;").find(c) != std::string::npos) {
+    if (std::string("(),.*=<>;?").find(c) != std::string::npos) {
       tok.type = TokenType::kSymbol;
       tok.text = std::string(1, c);
       ++i;

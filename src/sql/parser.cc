@@ -87,6 +87,7 @@ Result<std::vector<StatementPtr>> Parser::ParseStatements() {
   std::vector<StatementPtr> out;
   while (Peek().type != TokenType::kEnd) {
     if (MatchSymbol(";")) continue;
+    param_count_ = 0;
     StatementPtr stmt;
     if (Peek().IsKeyword("CREATE")) {
       DKB_ASSIGN_OR_RETURN(stmt, ParseCreate());
@@ -107,6 +108,7 @@ Result<std::vector<StatementPtr>> Parser::ParseStatements() {
     } else {
       return ErrorHere("expected statement");
     }
+    stmt->param_count = param_count_;
     out.push_back(std::move(stmt));
     if (!MatchSymbol(";")) break;
   }
@@ -214,6 +216,13 @@ Result<StatementPtr> Parser::ParseInsert() {
       DKB_RETURN_IF_ERROR(ExpectSymbol("("));
       std::vector<Value> row;
       do {
+        if (Peek().IsSymbol("?")) {
+          Advance();
+          stmt->param_cells.push_back(sql::InsertStmt::ParamCell{
+              stmt->rows.size(), row.size(), param_count_++});
+          row.push_back(Value::Null());
+          continue;
+        }
         DKB_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
         row.push_back(std::move(v));
       } while (MatchSymbol(","));
@@ -452,6 +461,10 @@ Result<ExprPtr> Parser::ParseOperand() {
       tok.IsKeyword("NULL")) {
     DKB_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
     return ExprPtr(std::make_unique<LiteralExpr>(std::move(v)));
+  }
+  if (tok.IsSymbol("?")) {
+    Advance();
+    return ExprPtr(std::make_unique<ParamExpr>(param_count_++));
   }
   return ErrorHere("expected column reference or literal");
 }

@@ -56,6 +56,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t param_count_ = 0;  // `?` placeholders seen in the current statement
 };
 
 }  // namespace dkb::sql

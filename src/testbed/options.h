@@ -1,0 +1,102 @@
+#ifndef DKB_TESTBED_OPTIONS_H_
+#define DKB_TESTBED_OPTIONS_H_
+
+#include "km/stored_dkb.h"
+#include "lfp/evaluator.h"
+
+namespace dkb::testbed {
+
+/// Configuration of a testbed instance (paper Table 1's architecture
+/// parameters).
+struct TestbedOptions {
+  km::StoredDkb::Options stored;
+
+  /// Rule storage without the compiled form (paper Fig 15's ablation).
+  static TestbedOptions SourceOnlyRules() {
+    TestbedOptions o;
+    o.stored.compiled_rule_storage = false;
+    return o;
+  }
+
+  TestbedOptions& WithEdbIndex(bool on) {
+    stored.index_edb_first_column = on;
+    return *this;
+  }
+  TestbedOptions& WithCompiledRuleStorage(bool on) {
+    stored.compiled_rule_storage = on;
+    return *this;
+  }
+};
+
+/// Per-query knobs: optimization strategy and LFP evaluation method.
+///
+/// The named presets cover the paper's strategy matrix; the fluent
+/// With* modifiers layer the orthogonal knobs (evaluation strategy,
+/// precompiled-program cache, LFP parallelism) on top:
+///
+///   tb->Query(goal, QueryOptions::Magic().WithCache());
+///   tb->Query(goal, QueryOptions::SemiNaive().WithParallelism(4));
+struct QueryOptions {
+  bool use_magic = false;
+  /// With use_magic: materialize prefix joins in supplementary predicates
+  /// (the supplementary magic sets variant of paper §2.5).
+  bool supplementary = false;
+  /// Overrides use_magic: let the compiler decide per query from a bounded
+  /// selectivity estimate (paper conclusion #4's dynamic strategy).
+  bool adaptive_magic = false;
+  lfp::LfpStrategy strategy = lfp::LfpStrategy::kSemiNaive;
+  /// Reuse precompiled programs for repeated queries (paper conclusion #3).
+  /// Cached entries are invalidated when rules defining any predicate the
+  /// program depends on change.
+  bool use_cache = false;
+  /// Number of rule-graph cliques (SCCs) the LFP run time may evaluate
+  /// concurrently: 1 = serial (the default), 0 = size to the global worker
+  /// pool, N > 1 = at most N at a time. Only mutually independent cliques
+  /// run together, so answers are identical to a serial run.
+  int lfp_parallelism = 1;
+
+  /// Naive LFP evaluation, no magic rewrite (paper §3.3 baseline).
+  static QueryOptions Naive() {
+    QueryOptions o;
+    o.strategy = lfp::LfpStrategy::kNaive;
+    return o;
+  }
+  /// Semi-naive differential evaluation (the testbed default).
+  static QueryOptions SemiNaive() { return QueryOptions{}; }
+  /// Generalized magic sets rewrite + semi-naive (paper §2.5).
+  static QueryOptions Magic() {
+    QueryOptions o;
+    o.use_magic = true;
+    return o;
+  }
+  /// Supplementary magic sets variant (materialized prefix joins).
+  static QueryOptions SupplementaryMagic() {
+    QueryOptions o;
+    o.use_magic = true;
+    o.supplementary = true;
+    return o;
+  }
+  /// Per-query compiler choice between magic and plain (conclusion #4).
+  static QueryOptions Adaptive() {
+    QueryOptions o;
+    o.adaptive_magic = true;
+    return o;
+  }
+
+  QueryOptions& WithStrategy(lfp::LfpStrategy s) {
+    strategy = s;
+    return *this;
+  }
+  QueryOptions& WithCache(bool on = true) {
+    use_cache = on;
+    return *this;
+  }
+  QueryOptions& WithParallelism(int n) {
+    lfp_parallelism = n;
+    return *this;
+  }
+};
+
+}  // namespace dkb::testbed
+
+#endif  // DKB_TESTBED_OPTIONS_H_

@@ -1,5 +1,7 @@
 #include "testbed/query_cache.h"
 
+#include <mutex>
+
 namespace dkb::testbed {
 
 std::string QueryCache::MakeKey(const datalog::Atom& goal, bool use_magic,
@@ -9,6 +11,7 @@ std::string QueryCache::MakeKey(const datalog::Atom& goal, bool use_magic,
 }
 
 const km::CompiledQuery* QueryCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -20,10 +23,12 @@ const km::CompiledQuery* QueryCache::Lookup(const std::string& key) {
 
 void QueryCache::Insert(const std::string& key, km::CompiledQuery compiled,
                         std::set<std::string> dependencies) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_[key] = Entry{std::move(compiled), std::move(dependencies)};
 }
 
 void QueryCache::InvalidateOn(const std::set<std::string>& updated_preds) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool hit = false;
     for (const std::string& p : updated_preds) {
@@ -41,6 +46,9 @@ void QueryCache::InvalidateOn(const std::set<std::string>& updated_preds) {
   }
 }
 
-void QueryCache::Clear() { entries_.clear(); }
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
 
 }  // namespace dkb::testbed

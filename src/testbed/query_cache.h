@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -31,7 +32,10 @@ class QueryCache {
   static std::string MakeKey(const datalog::Atom& goal, bool use_magic,
                              bool adaptive_magic = false);
 
-  /// Returns the cached program or nullptr.
+  /// Returns the cached program or nullptr. The pointer stays valid until
+  /// the next Insert/InvalidateOn/Clear; callers that mutate the cache
+  /// concurrently (the testbed does so only under its writer lock) must
+  /// copy before releasing their lock.
   const km::CompiledQuery* Lookup(const std::string& key);
 
   /// Stores a compiled program. `dependencies` must cover every predicate
@@ -46,8 +50,14 @@ class QueryCache {
   /// Drops everything (workspace edits change rule visibility wholesale).
   void Clear();
 
-  const Stats& stats() const { return stats_; }
-  size_t size() const { return entries_.size(); }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
@@ -55,6 +65,10 @@ class QueryCache {
     std::set<std::string> dependencies;
   };
 
+  /// Guards the map and counters so concurrent lookups (hit bookkeeping
+  /// mutates stats_) stay race-free; entry lifetime is the caller's
+  /// responsibility per Lookup's contract.
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   Stats stats_;
 };

@@ -1,0 +1,43 @@
+#include "testbed/session.h"
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "datalog/parser.h"
+#include "rdbms/snapshot.h"
+
+namespace dkb::testbed {
+
+Session::Session(Testbed* testbed)
+    : testbed_(testbed), options_(testbed->options_) {}
+
+Status Session::Refresh() {
+  std::shared_lock<std::shared_mutex> lock(testbed_->mu_);
+  uint64_t current = testbed_->epoch();
+  if (db_ != nullptr && current == epoch_) return Status::OK();
+  auto db = std::make_unique<Database>();
+  DKB_RETURN_IF_ERROR(CloneDatabase(testbed_->db_, db.get()));
+  auto stored = std::make_unique<km::StoredDkb>(db.get(), options_.stored);
+  DKB_RETURN_IF_ERROR(stored->RestoreFromDatabase());
+  workspace_ = testbed_->workspace_;
+  db_ = std::move(db);
+  stored_ = std::move(stored);
+  cache_.Clear();
+  epoch_ = current;
+  return Status::OK();
+}
+
+Result<QueryOutcome> Session::Query(const std::string& goal_text,
+                                    const QueryOptions& options) {
+  DKB_ASSIGN_OR_RETURN(datalog::Atom goal, datalog::ParseQuery(goal_text));
+  return Query(goal, options);
+}
+
+Result<QueryOutcome> Session::Query(const datalog::Atom& goal,
+                                    const QueryOptions& options) {
+  DKB_RETURN_IF_ERROR(Refresh());
+  return Testbed::QueryImpl(db_.get(), &workspace_, stored_.get(), &cache_,
+                            goal, options);
+}
+
+}  // namespace dkb::testbed

@@ -1,0 +1,74 @@
+#ifndef DKB_TESTBED_SESSION_H_
+#define DKB_TESTBED_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "km/stored_dkb.h"
+#include "km/workspace.h"
+#include "rdbms/database.h"
+#include "testbed/options.h"
+#include "testbed/query_cache.h"
+#include "testbed/testbed.h"
+
+namespace dkb::testbed {
+
+/// A concurrent read-only query session over a Testbed.
+///
+/// The paper's testbed is single-user; Session adds the multi-user story
+/// under a reader-writer protocol: any number of sessions may Query()
+/// concurrently with each other, while the testbed's mutating operations
+/// (Consult, AddFacts, UpdateStoredDkb, ...) serialize against them.
+///
+/// Each session owns a copy-on-write snapshot of the testbed state — a full
+/// clone of the DBMS (facts, dictionaries, rule storage) plus the workspace
+/// rules. LFP evaluation creates and drops temp tables, so a private clone
+/// is what makes concurrent queries possible at all. The clone is taken
+/// lazily: every Query() first compares the session's epoch against the
+/// testbed's (which each committed write bumps) and re-clones only when
+/// stale. Between writes, repeated queries pay nothing.
+///
+/// A Session must not outlive the Testbed that opened it. Sessions are not
+/// themselves thread-safe; use one Session per thread.
+class Session {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Compiles and executes a query against this session's snapshot.
+  /// Refreshes the snapshot first if the testbed has changed since the
+  /// last call. Safe to call while other sessions query concurrently.
+  Result<QueryOutcome> Query(const std::string& goal_text,
+                             const QueryOptions& options = QueryOptions{});
+  Result<QueryOutcome> Query(const datalog::Atom& goal,
+                             const QueryOptions& options = QueryOptions{});
+
+  /// The testbed epoch this session's snapshot was cloned at.
+  uint64_t epoch() const { return epoch_; }
+
+  /// This session's private precompiled-program cache (cleared whenever
+  /// the snapshot refreshes).
+  const QueryCache& query_cache() const { return cache_; }
+
+ private:
+  friend class Testbed;
+  explicit Session(Testbed* testbed);
+
+  /// Re-clones the testbed state if its epoch moved past ours. Takes the
+  /// testbed's lock in shared mode, so clones never observe a half-applied
+  /// write and writers are excluded only for the duration of the copy.
+  Status Refresh();
+
+  Testbed* testbed_;
+  TestbedOptions options_;
+  uint64_t epoch_ = 0;  // 0 = never cloned; real epochs start at 1
+  std::unique_ptr<Database> db_;
+  km::Workspace workspace_;
+  std::unique_ptr<km::StoredDkb> stored_;
+  QueryCache cache_;
+};
+
+}  // namespace dkb::testbed
+
+#endif  // DKB_TESTBED_SESSION_H_

@@ -3,16 +3,37 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <functional>
 #include <sstream>
 
 #include "common/str_util.h"
 #include "datalog/parser.h"
 #include "rdbms/snapshot.h"
+#include "testbed/session.h"
 
 namespace dkb::testbed {
 
+namespace {
+
+/// Bumps the epoch when the enclosing writer scope exits, success or not:
+/// a failed write may still have partially applied, and a conservative
+/// refresh in open sessions is always correct.
+class EpochBump {
+ public:
+  explicit EpochBump(std::function<void()> bump) : bump_(std::move(bump)) {}
+  ~EpochBump() { bump_(); }
+
+ private:
+  std::function<void()> bump_;
+};
+
+}  // namespace
+
 Testbed::Testbed(TestbedOptions options)
-    : stored_(std::make_unique<km::StoredDkb>(&db_, options.stored)) {}
+    : options_(options),
+      stored_(std::make_unique<km::StoredDkb>(&db_, options.stored)) {}
 
 Result<std::unique_ptr<Testbed>> Testbed::Create(TestbedOptions options) {
   std::unique_ptr<Testbed> testbed(new Testbed(options));
@@ -23,6 +44,8 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(TestbedOptions options) {
 Status Testbed::Consult(const std::string& program_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Program program,
                        datalog::ParseProgram(program_text));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EpochBump bump([this]() { BumpEpoch(); });
   if (!program.queries.empty()) {
     return Status::InvalidArgument(
         "consulted text contains a query; use Query() instead");
@@ -67,12 +90,16 @@ std::set<std::string> Testbed::HeadsOf(
 
 Status Testbed::AddRule(const std::string& rule_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EpochBump bump([this]() { BumpEpoch(); });
   cache_.InvalidateOn({rule.head.predicate});
   return workspace_.AddRule(std::move(rule));
 }
 
 Status Testbed::RetractRule(const std::string& rule_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EpochBump bump([this]() { BumpEpoch(); });
   if (!workspace_.RemoveRule(rule)) {
     return Status::NotFound("no such workspace rule: " + rule.ToString());
   }
@@ -82,12 +109,23 @@ Status Testbed::RetractRule(const std::string& rule_text) {
 
 Status Testbed::DefineBase(const std::string& pred,
                            const km::PredicateTypes& types) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EpochBump bump([this]() { BumpEpoch(); });
   return stored_->DefineBasePredicate(pred, types);
 }
 
 Status Testbed::AddFacts(const std::string& pred,
                          const std::vector<Tuple>& rows) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EpochBump bump([this]() { BumpEpoch(); });
   return stored_->InsertFacts(pred, rows);
+}
+
+void Testbed::ClearWorkspace() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EpochBump bump([this]() { BumpEpoch(); });
+  workspace_.Clear();
+  cache_.Clear();
 }
 
 Result<QueryOutcome> Testbed::Query(const std::string& goal_text,
@@ -98,20 +136,34 @@ Result<QueryOutcome> Testbed::Query(const std::string& goal_text,
 
 Result<QueryOutcome> Testbed::Query(const datalog::Atom& goal,
                                     const QueryOptions& options) {
+  // Exclusive even though a query is logically a read: LFP evaluation
+  // creates and drops temp tables in db_. Concurrency comes from sessions,
+  // which run QueryImpl against private clones under the shared side.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return QueryImpl(&db_, &workspace_, stored_.get(), &cache_, goal, options);
+}
+
+Result<QueryOutcome> Testbed::QueryImpl(Database* db,
+                                        km::Workspace* workspace,
+                                        km::StoredDkb* stored,
+                                        QueryCache* cache,
+                                        const datalog::Atom& goal,
+                                        const QueryOptions& options) {
   QueryOutcome outcome;
   std::string key = QueryCache::MakeKey(goal, options.use_magic,
                                         options.adaptive_magic);
   if (options.supplementary) key += "#sup";
   if (options.use_cache) {
-    const km::CompiledQuery* cached = cache_.Lookup(key);
+    const km::CompiledQuery* cached = cache->Lookup(key);
     if (cached != nullptr) {
       outcome.compiled = *cached;
       outcome.from_cache = true;
     }
   }
   if (!outcome.from_cache) {
-    DKB_ASSIGN_OR_RETURN(outcome.compiled,
-                         CompileOnly(goal, options, &outcome.compile));
+    DKB_ASSIGN_OR_RETURN(
+        outcome.compiled,
+        CompileImpl(workspace, stored, goal, options, &outcome.compile));
     if (options.use_cache) {
       // Dependency set: every predicate the relevant rules mention plus the
       // query predicate itself.
@@ -122,19 +174,33 @@ Result<QueryOutcome> Testbed::Query(const datalog::Atom& goal,
           deps.insert(atom.predicate);
         }
       }
-      cache_.Insert(key, outcome.compiled, std::move(deps));
+      cache->Insert(key, outcome.compiled, std::move(deps));
     }
   }
+  lfp::EvalOptions eopts;
+  eopts.strategy = options.strategy;
+  eopts.parallelism = options.lfp_parallelism;
   DKB_ASSIGN_OR_RETURN(outcome.result,
-                       lfp::ExecuteProgram(&db_, outcome.compiled.program,
-                                           options.strategy, &outcome.exec));
+                       lfp::ExecuteProgram(db, outcome.compiled.program,
+                                           eopts, &outcome.exec));
   return outcome;
 }
 
 Result<km::CompiledQuery> Testbed::CompileOnly(const datalog::Atom& goal,
                                                const QueryOptions& options,
                                                km::CompilationStats* stats) {
-  km::QueryCompiler compiler(&workspace_, stored_.get());
+  // Exclusive: rule extraction lazily maintains the reachability
+  // dictionaries inside the DBMS.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return CompileImpl(&workspace_, stored_.get(), goal, options, stats);
+}
+
+Result<km::CompiledQuery> Testbed::CompileImpl(km::Workspace* workspace,
+                                               km::StoredDkb* stored,
+                                               const datalog::Atom& goal,
+                                               const QueryOptions& options,
+                                               km::CompilationStats* stats) {
+  km::QueryCompiler compiler(workspace, stored);
   km::CompilerOptions copts;
   copts.magic_mode = options.adaptive_magic ? km::MagicMode::kAdaptive
                      : options.use_magic   ? km::MagicMode::kOn
@@ -145,7 +211,14 @@ Result<km::CompiledQuery> Testbed::CompileOnly(const datalog::Atom& goal,
   return compiler.Compile(goal, copts, stats);
 }
 
+Result<std::unique_ptr<Session>> Testbed::OpenSession() {
+  std::unique_ptr<Session> session(new Session(this));
+  DKB_RETURN_IF_ERROR(session->Refresh());
+  return session;
+}
+
 Result<std::vector<km::analysis::Diagnostic>> Testbed::LintWorkspace() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Pull in the stored rules the workspace depends on so mixed
   // workspace/stored programs analyze as the compiler would see them.
   std::set<std::string> undefined = workspace_.UndefinedBodyPredicates();
@@ -170,6 +243,7 @@ Result<std::vector<km::analysis::Diagnostic>> Testbed::LintWorkspace() {
 }
 
 Status Testbed::SaveSession(const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::InvalidArgument("cannot open " + path + " for writing");
@@ -227,6 +301,8 @@ Result<std::unique_ptr<Testbed>> Testbed::LoadSession(
 }
 
 Result<km::UpdateStats> Testbed::UpdateStoredDkb() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EpochBump bump([this]() { BumpEpoch(); });
   cache_.InvalidateOn(HeadsOf(workspace_.rules()));
   km::UpdateProcessor processor(stored_.get());
   return processor.Update(workspace_);

@@ -1,7 +1,10 @@
 #ifndef DKB_TESTBED_TESTBED_H_
 #define DKB_TESTBED_TESTBED_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,31 +14,12 @@
 #include "km/workspace.h"
 #include "lfp/evaluator.h"
 #include "rdbms/database.h"
+#include "testbed/options.h"
 #include "testbed/query_cache.h"
 
 namespace dkb::testbed {
 
-/// Configuration of a testbed instance (paper Table 1's architecture
-/// parameters).
-struct TestbedOptions {
-  km::StoredDkb::Options stored;
-};
-
-/// Per-query knobs: optimization strategy and LFP evaluation method.
-struct QueryOptions {
-  bool use_magic = false;
-  /// With use_magic: materialize prefix joins in supplementary predicates
-  /// (the supplementary magic sets variant of paper §2.5).
-  bool supplementary = false;
-  /// Overrides use_magic: let the compiler decide per query from a bounded
-  /// selectivity estimate (paper conclusion #4's dynamic strategy).
-  bool adaptive_magic = false;
-  lfp::LfpStrategy strategy = lfp::LfpStrategy::kSemiNaive;
-  /// Reuse precompiled programs for repeated queries (paper conclusion #3).
-  /// Cached entries are invalidated when rules defining any predicate the
-  /// program depends on change.
-  bool use_cache = false;
-};
+class Session;
 
 /// Everything a D/KB query session produces: the answers plus the paper's
 /// two headline measures, t_c (compilation) and t_e (execution), broken
@@ -112,10 +96,19 @@ class Testbed {
   static Result<std::unique_ptr<Testbed>> LoadSession(
       const std::string& path, TestbedOptions options = TestbedOptions{});
 
-  void ClearWorkspace() {
-    workspace_.Clear();
-    cache_.Clear();
+  /// Opens a concurrent read-only query session holding a copy-on-write
+  /// snapshot of the current state (see testbed/session.h). Any number of
+  /// sessions may Query() in parallel; the testbed's mutating operations
+  /// take the writer side of the lock and bump the epoch, making open
+  /// sessions refresh their snapshot on their next query.
+  Result<std::unique_ptr<Session>> OpenSession();
+
+  /// Monotonic state version: bumped by every committed write.
+  uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
   }
+
+  void ClearWorkspace();
 
   Database& db() { return db_; }
   km::Workspace& workspace() { return workspace_; }
@@ -123,12 +116,41 @@ class Testbed {
   const QueryCache& query_cache() const { return cache_; }
 
  private:
+  friend class Session;
+
   explicit Testbed(TestbedOptions options);
 
   /// Predicates whose programs must be invalidated when `rules` are added.
   static std::set<std::string> HeadsOf(
       const std::vector<datalog::Rule>& rules);
 
+  /// The compile-then-evaluate pipeline shared by Testbed::Query (against
+  /// the testbed's own state, under the writer lock) and Session::Query
+  /// (against the session's private snapshot, with no lock at all).
+  static Result<QueryOutcome> QueryImpl(Database* db,
+                                        km::Workspace* workspace,
+                                        km::StoredDkb* stored,
+                                        QueryCache* cache,
+                                        const datalog::Atom& goal,
+                                        const QueryOptions& options);
+  static Result<km::CompiledQuery> CompileImpl(km::Workspace* workspace,
+                                               km::StoredDkb* stored,
+                                               const datalog::Atom& goal,
+                                               const QueryOptions& options,
+                                               km::CompilationStats* stats);
+
+  /// Marks a committed write: bump under the writer lock so session clones
+  /// (shared lock) always pair an epoch with the state it describes.
+  void BumpEpoch() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  TestbedOptions options_;
+  /// Reader-writer protocol: sessions clone under shared locks; every
+  /// mutating testbed operation (including Query, which creates and drops
+  /// LFP temp tables in db_) holds the lock exclusively.
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> epoch_{1};
   Database db_;
   km::Workspace workspace_;
   std::unique_ptr<km::StoredDkb> stored_;

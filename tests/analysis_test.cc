@@ -382,8 +382,8 @@ class AnalysisCompilerTest : public ::testing::Test {
 
   Result<CompiledQuery> Compile(const std::string& goal,
                                 bool magic = false) {
-    testbed::QueryOptions opts;
-    opts.use_magic = magic;
+    testbed::QueryOptions opts = magic ? testbed::QueryOptions::Magic()
+                                       : testbed::QueryOptions::SemiNaive();
     return tb_->CompileOnly(Goal(goal), opts, &stats_);
   }
 
@@ -476,8 +476,7 @@ TEST_F(AnalysisCompilerTest, MagicPathAlsoPrunes) {
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
   EXPECT_TRUE(stats_.magic_applied);
   EXPECT_EQ(stats_.rules_pruned, 1);
-  testbed::QueryOptions opts;
-  opts.use_magic = true;
+  testbed::QueryOptions opts = testbed::QueryOptions::Magic();
   auto outcome = tb_->Query(Goal("?- ancestor(a, W)."), opts);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->result.rows.size(), 2u);

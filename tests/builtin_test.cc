@@ -122,9 +122,10 @@ class BuiltinE2eTest : public ::testing::TestWithParam<LfpStrategy> {
   }
 
   QueryResult Query(const std::string& goal, bool magic = false) {
-    testbed::QueryOptions opts;
-    opts.strategy = GetParam();
-    opts.use_magic = magic;
+    testbed::QueryOptions opts =
+        (magic ? testbed::QueryOptions::Magic()
+               : testbed::QueryOptions::SemiNaive())
+            .WithStrategy(GetParam());
     auto outcome = tb_->Query(goal, opts);
     EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
     return outcome.ok() ? std::move(outcome->result) : QueryResult{};

@@ -26,8 +26,8 @@ class CompilerTest : public ::testing::Test {
 
   Result<CompiledQuery> Compile(const std::string& goal,
                                 bool magic = false) {
-    testbed::QueryOptions opts;
-    opts.use_magic = magic;
+    testbed::QueryOptions opts = magic ? testbed::QueryOptions::Magic()
+                                       : testbed::QueryOptions::SemiNaive();
     return tb_->CompileOnly(Goal(goal), opts, &stats_);
   }
 

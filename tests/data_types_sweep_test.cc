@@ -81,9 +81,10 @@ TEST_P(DataShapeSweepTest, StrategiesAgree) {
     for (auto strategy : {LfpStrategy::kSemiNaive, LfpStrategy::kNaive,
                           LfpStrategy::kNative, LfpStrategy::kNativeTc}) {
       for (bool magic : {false, true}) {
-        testbed::QueryOptions opts;
-        opts.strategy = strategy;
-        opts.use_magic = magic;
+        testbed::QueryOptions opts =
+            (magic ? testbed::QueryOptions::Magic()
+                   : testbed::QueryOptions::SemiNaive())
+                .WithStrategy(strategy);
         auto outcome =
             tb->Query(workload::AncestorQuery(root), opts);
         ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();

@@ -27,9 +27,10 @@ std::unique_ptr<testbed::Testbed> ListTestbed(int length) {
 
 testbed::QueryOutcome RunQuery(testbed::Testbed* tb, const std::string& goal,
                           LfpStrategy strategy, bool magic = false) {
-  testbed::QueryOptions opts;
-  opts.strategy = strategy;
-  opts.use_magic = magic;
+  testbed::QueryOptions opts =
+      (magic ? testbed::QueryOptions::Magic()
+             : testbed::QueryOptions::SemiNaive())
+          .WithStrategy(strategy);
   auto outcome = tb->Query(goal, opts);
   EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
   return outcome.ok() ? std::move(*outcome) : testbed::QueryOutcome{};

@@ -206,8 +206,8 @@ class NegationE2eTest : public ::testing::TestWithParam<LfpStrategy> {
   }
 
   QueryResult Query(const std::string& goal) {
-    testbed::QueryOptions opts;
-    opts.strategy = GetParam();
+    testbed::QueryOptions opts =
+        testbed::QueryOptions::SemiNaive().WithStrategy(GetParam());
     auto outcome = tb_->Query(goal, opts);
     EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
     return outcome.ok() ? std::move(outcome->result) : QueryResult{};
@@ -319,8 +319,7 @@ TEST(NegationE2eSingleTest, MagicFallsBackToIdentityWithNegation) {
                      "blocked(c).\n"
                      "e(a, b).\ne(b, c).\ne(b, d).\n")
                   .ok());
-  testbed::QueryOptions magic;
-  magic.use_magic = true;
+  testbed::QueryOptions magic = testbed::QueryOptions::Magic();
   auto outcome = (*tb)->Query("?- safe(a, W).", magic);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_EQ(AnswerSet(outcome->result),
@@ -349,8 +348,8 @@ TEST(NegationE2eSingleTest, StrategiesAgreeOnLargerWorkload) {
   std::set<std::string> reference;
   for (auto strategy : {LfpStrategy::kNaive, LfpStrategy::kSemiNaive,
                         LfpStrategy::kNative}) {
-    testbed::QueryOptions opts;
-    opts.strategy = strategy;
+    testbed::QueryOptions opts =
+        testbed::QueryOptions::SemiNaive().WithStrategy(strategy);
     auto outcome = (*tb)->Query("?- safe(n0, W).", opts);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     auto answers = AnswerSet(outcome->result);

@@ -34,8 +34,7 @@ class PrecompileTest : public ::testing::Test {
 };
 
 TEST_F(PrecompileTest, SecondQueryHitsCache) {
-  QueryOptions opts;
-  opts.use_cache = true;
+  QueryOptions opts = QueryOptions::SemiNaive().WithCache();
   auto first = tb_->Query("?- ancestor(a, W).", opts);
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->from_cache);
@@ -49,10 +48,8 @@ TEST_F(PrecompileTest, SecondQueryHitsCache) {
 }
 
 TEST_F(PrecompileTest, DifferentGoalsAndOptionsMiss) {
-  QueryOptions plain;
-  plain.use_cache = true;
-  QueryOptions magic = plain;
-  magic.use_magic = true;
+  QueryOptions plain = QueryOptions::SemiNaive().WithCache();
+  QueryOptions magic = QueryOptions::Magic().WithCache();
   ASSERT_TRUE(tb_->Query("?- ancestor(a, W).", plain).ok());
   auto other_goal = tb_->Query("?- ancestor(b, W).", plain);
   ASSERT_TRUE(other_goal.ok());
@@ -70,8 +67,7 @@ TEST_F(PrecompileTest, CacheDisabledByDefault) {
 }
 
 TEST_F(PrecompileTest, AddRuleInvalidatesDependentEntries) {
-  QueryOptions opts;
-  opts.use_cache = true;
+  QueryOptions opts = QueryOptions::SemiNaive().WithCache();
   ASSERT_TRUE(tb_->Query("?- ancestor(a, W).", opts).ok());
   ASSERT_EQ(tb_->query_cache().size(), 1u);
   // New ancestor rule: the cached program is stale and must recompile.
@@ -88,8 +84,7 @@ TEST_F(PrecompileTest, AddRuleInvalidatesDependentEntries) {
 }
 
 TEST_F(PrecompileTest, UnrelatedRuleKeepsEntry) {
-  QueryOptions opts;
-  opts.use_cache = true;
+  QueryOptions opts = QueryOptions::SemiNaive().WithCache();
   ASSERT_TRUE(tb_->Query("?- ancestor(a, W).", opts).ok());
   ASSERT_TRUE(tb_->AddRule("unrelated(X, Y) :- parent(X, Y).").ok());
   EXPECT_EQ(tb_->query_cache().size(), 1u);
@@ -103,8 +98,7 @@ TEST_F(PrecompileTest, InvalidationOnBodyPredicateDependency) {
   // `parent`-reachable predicates it uses changes. Here: add a rule whose
   // head is `parent` itself (now derived+base is illegal, so use a derived
   // wrapper instead).
-  QueryOptions opts;
-  opts.use_cache = true;
+  QueryOptions opts = QueryOptions::SemiNaive().WithCache();
   ASSERT_TRUE(tb_->Consult("fam(X, Y) :- parent(X, Y).\n"
                            "closure(X, Y) :- fam(X, Y).\n"
                            "closure(X, Y) :- fam(X, Z), closure(Z, Y).\n")
@@ -117,16 +111,14 @@ TEST_F(PrecompileTest, InvalidationOnBodyPredicateDependency) {
 }
 
 TEST_F(PrecompileTest, ClearWorkspaceClearsCache) {
-  QueryOptions opts;
-  opts.use_cache = true;
+  QueryOptions opts = QueryOptions::SemiNaive().WithCache();
   ASSERT_TRUE(tb_->Query("?- ancestor(a, W).", opts).ok());
   tb_->ClearWorkspace();
   EXPECT_EQ(tb_->query_cache().size(), 0u);
 }
 
 TEST_F(PrecompileTest, FactsDoNotInvalidate) {
-  QueryOptions opts;
-  opts.use_cache = true;
+  QueryOptions opts = QueryOptions::SemiNaive().WithCache();
   ASSERT_TRUE(tb_->Query("?- ancestor(a, W).", opts).ok());
   ASSERT_TRUE(tb_->AddFacts("parent", {{Value("d"), Value("e")}}).ok());
   auto after = tb_->Query("?- ancestor(a, W).", opts);
@@ -159,8 +151,7 @@ class AdaptiveTest : public ::testing::Test {
 };
 
 TEST_F(AdaptiveTest, LowSelectivityQueryGetsMagic) {
-  QueryOptions opts;
-  opts.adaptive_magic = true;
+  QueryOptions opts = QueryOptions::Adaptive();
   // Deep sub-tree: a tiny fraction of the data is relevant.
   auto outcome =
       tb_->Query("?- ancestor('" + workload::TreeNodeName(0, 255) + "', W).",
@@ -172,8 +163,7 @@ TEST_F(AdaptiveTest, LowSelectivityQueryGetsMagic) {
 }
 
 TEST_F(AdaptiveTest, HighSelectivityQuerySkipsMagic) {
-  QueryOptions opts;
-  opts.adaptive_magic = true;
+  QueryOptions opts = QueryOptions::Adaptive();
   // Root query: everything is relevant.
   auto outcome = tb_->Query(
       "?- ancestor('" + workload::TreeNodeName(0, 0) + "', W).", opts);
@@ -183,8 +173,7 @@ TEST_F(AdaptiveTest, HighSelectivityQuerySkipsMagic) {
 }
 
 TEST_F(AdaptiveTest, AllFreeQuerySkipsMagic) {
-  QueryOptions opts;
-  opts.adaptive_magic = true;
+  QueryOptions opts = QueryOptions::Adaptive();
   auto outcome = tb_->Query("?- ancestor(X, Y).", opts);
   ASSERT_TRUE(outcome.ok());
   EXPECT_FALSE(outcome->compile.magic_applied);
@@ -192,10 +181,8 @@ TEST_F(AdaptiveTest, AllFreeQuerySkipsMagic) {
 }
 
 TEST_F(AdaptiveTest, AdaptiveMatchesExplicitResults) {
-  QueryOptions adaptive;
-  adaptive.adaptive_magic = true;
-  QueryOptions magic;
-  magic.use_magic = true;
+  QueryOptions adaptive = QueryOptions::Adaptive();
+  QueryOptions magic = QueryOptions::Magic();
   std::string goal =
       "?- ancestor('" + workload::TreeNodeName(0, 31) + "', W).";
   auto a = tb_->Query(goal, adaptive);
@@ -205,8 +192,7 @@ TEST_F(AdaptiveTest, AdaptiveMatchesExplicitResults) {
 }
 
 TEST_F(AdaptiveTest, EstimatorCountsTowardOptimizationTime) {
-  QueryOptions opts;
-  opts.adaptive_magic = true;
+  QueryOptions opts = QueryOptions::Adaptive();
   auto outcome = tb_->Query(
       "?- ancestor('" + workload::TreeNodeName(0, 127) + "', W).", opts);
   ASSERT_TRUE(outcome.ok());

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rdbms/database.h"
+
+namespace dkb {
+namespace {
+
+class PreparedStatementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE t (id INTEGER, name VARCHAR)");
+    Exec("INSERT INTO t VALUES (1, 'ann'), (2, 'bob'), (3, 'cid')");
+  }
+
+  void Exec(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  Database db_;
+};
+
+TEST_F(PreparedStatementTest, BindAndExecuteSelect) {
+  auto ps = db_.Prepare("SELECT name FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  EXPECT_TRUE(ps->valid());
+  EXPECT_EQ(ps->param_count(), 1u);
+
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(2))).ok());
+  auto r = ps->Execute();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "bob");
+}
+
+TEST_F(PreparedStatementTest, RebindAndReexecute) {
+  auto ps = db_.Prepare("SELECT COUNT(*) FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  for (int id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(ps->Bind(0, Value(int64_t(id))).ok());
+    auto r = ps->Execute();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows[0][0].as_int(), 1);
+  }
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(99))).ok());
+  auto r = ps->Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), 0);
+}
+
+TEST_F(PreparedStatementTest, UnboundParameterIsAnError) {
+  auto ps = db_.Prepare("SELECT * FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok());
+  auto r = ps->Execute();
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("not bound"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(PreparedStatementTest, ClearBindingsRequiresRebind) {
+  auto ps = db_.Prepare("SELECT * FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok());
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(1))).ok());
+  ASSERT_TRUE(ps->Execute().ok());
+  ps->ClearBindings();
+  EXPECT_FALSE(ps->Execute().ok());
+}
+
+TEST_F(PreparedStatementTest, BindIndexOutOfRange) {
+  auto ps = db_.Prepare("SELECT * FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok());
+  EXPECT_FALSE(ps->Bind(1, Value(int64_t(1))).ok());
+}
+
+TEST_F(PreparedStatementTest, MultipleParametersBindInTextualOrder) {
+  auto ps = db_.Prepare("SELECT name FROM t WHERE id >= ? AND id <= ?");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  EXPECT_EQ(ps->param_count(), 2u);
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(2))).ok());
+  ASSERT_TRUE(ps->Bind(1, Value(int64_t(3))).ok());
+  auto r = ps->Execute();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(PreparedStatementTest, InsertWithParameters) {
+  auto ps = db_.Prepare("INSERT INTO t VALUES (?, ?)");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(4))).ok());
+  ASSERT_TRUE(ps->Bind(1, Value("dee")).ok());
+  ASSERT_TRUE(ps->Execute().ok());
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(5))).ok());
+  ASSERT_TRUE(ps->Bind(1, Value("eli")).ok());
+  ASSERT_TRUE(ps->Execute().ok());
+
+  auto n = db_.QueryCount("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5);
+  auto name = db_.QueryScalar("SELECT name FROM t WHERE id = 5");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->as_string(), "eli");
+}
+
+TEST_F(PreparedStatementTest, DeleteWithParameter) {
+  auto ps = db_.Prepare("DELETE FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(2))).ok());
+  ASSERT_TRUE(ps->Execute().ok());
+  auto n = db_.QueryCount("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+}
+
+TEST_F(PreparedStatementTest, HandleSurvivesCacheEviction) {
+  auto ps = db_.Prepare("SELECT COUNT(*) FROM t WHERE id = ?");
+  ASSERT_TRUE(ps.ok());
+  // Toggling the statement cache clears the cached parse trees; the handle
+  // shares ownership and must keep working.
+  db_.set_statement_cache_enabled(false);
+  db_.set_statement_cache_enabled(true);
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(1))).ok());
+  auto r = ps->Execute();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+}
+
+TEST_F(PreparedStatementTest, PrepareTwiceHitsStatementCache) {
+  int64_t before = db_.stats().statement_cache_hits;
+  auto a = db_.Prepare("SELECT * FROM t WHERE id = ?");
+  auto b = db_.Prepare("SELECT * FROM t WHERE id = ?");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(db_.stats().statement_cache_hits, before + 1);
+}
+
+TEST_F(PreparedStatementTest, ParamDrivesIndexSelection) {
+  // A bound parameter on an indexed column should use the index access
+  // path, exactly as a literal would.
+  Exec("CREATE TABLE big (k INTEGER, v INTEGER)");
+  std::string values;
+  for (int i = 0; i < 200; ++i) {
+    values += (i ? ", (" : "(") + std::to_string(i) + ", " +
+              std::to_string(i * 10) + ")";
+  }
+  Exec("INSERT INTO big VALUES " + values);
+  Exec("CREATE INDEX big_k ON big (k)");
+
+  auto ps = db_.Prepare("SELECT v FROM big WHERE k = ?");
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  int64_t probes_before = db_.stats().index_probes;
+  ASSERT_TRUE(ps->Bind(0, Value(int64_t(77))).ok());
+  auto r = ps->Execute();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 770);
+  EXPECT_GT(db_.stats().index_probes, probes_before)
+      << "bound parameter did not take the index access path";
+}
+
+TEST_F(PreparedStatementTest, InvalidDefaultConstructedHandle) {
+  PreparedStatement ps;
+  EXPECT_FALSE(ps.valid());
+  EXPECT_EQ(ps.param_count(), 0u);
+  EXPECT_FALSE(ps.Bind(0, Value(int64_t(1))).ok());
+  EXPECT_FALSE(ps.Execute().ok());
+}
+
+TEST_F(PreparedStatementTest, ConcurrentReadersShareStatementCache) {
+  constexpr int kThreads = 4;
+  constexpr int kReps = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kReps; ++i) {
+        auto ps = db_.Prepare("SELECT COUNT(*) FROM t WHERE id = ?");
+        if (!ps.ok() || !ps->Bind(0, Value(int64_t(1 + (i % 3)))).ok()) {
+          ++failures[t];
+          continue;
+        }
+        auto r = ps->Execute();
+        if (!r.ok() || r->rows[0][0].as_int() != 1) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+}
+
+}  // namespace
+}  // namespace dkb

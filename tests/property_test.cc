@@ -124,10 +124,11 @@ TEST_P(DifferentialTest, AllEvaluatorsAgree) {
                         LfpStrategy::kNative, LfpStrategy::kNativeTc}) {
     for (Config config :
          {Config{false, false}, Config{true, false}, Config{true, true}}) {
-      testbed::QueryOptions opts;
-      opts.strategy = strategy;
-      opts.use_magic = config.magic;
-      opts.supplementary = config.supplementary;
+      testbed::QueryOptions opts =
+          (config.supplementary ? testbed::QueryOptions::SupplementaryMagic()
+           : config.magic       ? testbed::QueryOptions::Magic()
+                                : testbed::QueryOptions::SemiNaive())
+              .WithStrategy(strategy);
       auto outcome = (*tb)->Query(gen.query, opts);
       ASSERT_TRUE(outcome.ok())
           << lfp::StrategyName(strategy) << " magic=" << config.magic
@@ -145,9 +146,8 @@ TEST_P(DifferentialTest, AllEvaluatorsAgree) {
     }
   }
   // Adaptive and cached paths agree too.
-  testbed::QueryOptions adaptive;
-  adaptive.adaptive_magic = true;
-  adaptive.use_cache = true;
+  testbed::QueryOptions adaptive =
+      testbed::QueryOptions::Adaptive().WithCache();
   auto first = (*tb)->Query(gen.query, adaptive);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_EQ(AnswerSet(first->result), reference);

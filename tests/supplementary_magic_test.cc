@@ -118,11 +118,9 @@ TEST(SupplementaryTest, SameGenerationAnswersMatch) {
   ASSERT_TRUE(tb->AddFacts("flat", {{Value("t0_0"), Value("t0_0")}}).ok());
 
   std::string goal = "?- sg('t0_31', W).";
-  testbed::QueryOptions plain;
-  testbed::QueryOptions magic;
-  magic.use_magic = true;
-  testbed::QueryOptions sup = magic;
-  sup.supplementary = true;
+  testbed::QueryOptions plain = testbed::QueryOptions::SemiNaive();
+  testbed::QueryOptions magic = testbed::QueryOptions::Magic();
+  testbed::QueryOptions sup = testbed::QueryOptions::SupplementaryMagic();
 
   auto p = tb->Query(goal, plain);
   auto m = tb->Query(goal, magic);
@@ -147,14 +145,12 @@ TEST(SupplementaryTest, AllStrategiesAgreeOnAncestor) {
       tb->AddFacts("parent",
                    workload::MakeFullBinaryTrees(1, 6).ToTuples())
           .ok());
-  testbed::QueryOptions sup;
-  sup.use_magic = true;
-  sup.supplementary = true;
+  testbed::QueryOptions sup = testbed::QueryOptions::SupplementaryMagic();
   std::set<std::string> reference;
   for (auto strategy :
        {lfp::LfpStrategy::kSemiNaive, lfp::LfpStrategy::kNaive,
         lfp::LfpStrategy::kNative}) {
-    sup.strategy = strategy;
+    sup.WithStrategy(strategy);
     auto outcome = tb->Query("?- ancestor('t0_1', W).", sup);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     auto answers = AnswerSet(outcome->result);
@@ -179,9 +175,7 @@ TEST(SupplementaryTest, ThreeDerivedAtomsChain) {
                     "tri(X,Y) :- hop(X,A), hop(A, B), hop(B, Y).\n"
                     "e(n1, n2).\ne(n2, n3).\ne(n3, n4).\ne(n4, n5).\n")
                   .ok());
-  testbed::QueryOptions sup;
-  sup.use_magic = true;
-  sup.supplementary = true;
+  testbed::QueryOptions sup = testbed::QueryOptions::SupplementaryMagic();
   auto with_sup = tb->Query("?- tri(n1, W).", sup);
   auto without = tb->Query("?- tri(n1, W).");
   ASSERT_TRUE(with_sup.ok()) << with_sup.status().ToString();

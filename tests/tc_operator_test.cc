@@ -143,8 +143,8 @@ TEST(TcEndToEndTest, AgreesWithGeneralStrategies) {
   ASSERT_TRUE((*tb)->AddFacts("parent", dag.ToTuples()).ok());
 
   auto answers = [&](LfpStrategy strategy) {
-    testbed::QueryOptions opts;
-    opts.strategy = strategy;
+    testbed::QueryOptions opts =
+        testbed::QueryOptions::SemiNaive().WithStrategy(strategy);
     auto outcome = (*tb)->Query("?- ancestor('g0_0', W).", opts);
     EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
     std::set<std::string> out;
@@ -160,8 +160,8 @@ TEST(TcEndToEndTest, AgreesWithGeneralStrategies) {
   EXPECT_GT(reference.size(), 3u);
 
   // The TC path reports a single pass for the ancestor clique.
-  testbed::QueryOptions tc;
-  tc.strategy = LfpStrategy::kNativeTc;
+  testbed::QueryOptions tc =
+      testbed::QueryOptions::SemiNaive().WithStrategy(LfpStrategy::kNativeTc);
   auto outcome = (*tb)->Query("?- ancestor('g0_0', W).", tc);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->exec.iterations, 1);
@@ -175,8 +175,8 @@ TEST(TcEndToEndTest, FallsBackOnNonTcCliques) {
                              "flat(g, g).\n"
                              "down(g, a).\ndown(g, b).\n")
                   .ok());
-  testbed::QueryOptions tc;
-  tc.strategy = LfpStrategy::kNativeTc;
+  testbed::QueryOptions tc =
+      testbed::QueryOptions::SemiNaive().WithStrategy(LfpStrategy::kNativeTc);
   auto outcome = (*tb)->Query("?- sg(a, Y).", tc);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   std::set<std::string> out;
@@ -192,9 +192,8 @@ TEST(TcEndToEndTest, MagicRewrittenCliqueNotMisdetected) {
   ASSERT_TRUE((*tb)->Consult(workload::AncestorRules() +
                              "parent(a, b).\nparent(b, c).\n")
                   .ok());
-  testbed::QueryOptions opts;
-  opts.strategy = LfpStrategy::kNativeTc;
-  opts.use_magic = true;
+  testbed::QueryOptions opts =
+      testbed::QueryOptions::Magic().WithStrategy(LfpStrategy::kNativeTc);
   auto outcome = (*tb)->Query("?- ancestor(a, W).", opts);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->result.rows.size(), 2u);

@@ -95,12 +95,10 @@ TEST_F(TestbedTest, StrategiesAgreeOnTree) {
                   .ok());
   ASSERT_TRUE(tb_->AddFacts("parent", tree.ToTuples()).ok());
 
-  QueryOptions semi;
-  semi.strategy = LfpStrategy::kSemiNaive;
-  QueryOptions naive;
-  naive.strategy = LfpStrategy::kNaive;
-  QueryOptions native;
-  native.strategy = LfpStrategy::kNative;
+  QueryOptions semi = QueryOptions::SemiNaive();
+  QueryOptions naive = QueryOptions::Naive();
+  QueryOptions native =
+      QueryOptions::SemiNaive().WithStrategy(LfpStrategy::kNative);
 
   QueryResult a = Query("?- ancestor('t0_0', W).", semi);
   QueryResult b = Query("?- ancestor('t0_0', W).", naive);
@@ -120,10 +118,8 @@ TEST_F(TestbedTest, MagicAgreesWithUnoptimized) {
 
   for (auto strategy : {LfpStrategy::kSemiNaive, LfpStrategy::kNaive,
                         LfpStrategy::kNative}) {
-    QueryOptions plain;
-    plain.strategy = strategy;
-    QueryOptions magic = plain;
-    magic.use_magic = true;
+    QueryOptions plain = QueryOptions::SemiNaive().WithStrategy(strategy);
+    QueryOptions magic = QueryOptions::Magic().WithStrategy(strategy);
     // Query rooted at an interior node: magic restricts to the subtree.
     QueryResult p = Query("?- ancestor('t0_1', W).", plain);
     QueryResult m = Query("?- ancestor('t0_1', W).", magic);
@@ -142,8 +138,7 @@ TEST_F(TestbedTest, MagicTouchesOnlyRelevantFacts) {
   ASSERT_TRUE(tb_->AddFacts("parent", tree.ToTuples()).ok());
 
   // Deep subtree: few relevant facts.
-  QueryOptions magic;
-  magic.use_magic = true;
+  QueryOptions magic = QueryOptions::Magic();
   auto outcome = tb_->Query("?- ancestor('t0_120', W).", magic);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_EQ(outcome->result.rows.size(), 2u);  // two children, depth 8 leaf-1
@@ -166,8 +161,7 @@ TEST_F(TestbedTest, SameGeneration) {
   // a is same-generation with a and b (via grandparent g) .
   EXPECT_EQ(AnswerSet(r), (std::set<std::string>{"a|", "b|"}));
   // And with magic:
-  QueryOptions magic;
-  magic.use_magic = true;
+  QueryOptions magic = QueryOptions::Magic();
   QueryResult m = Query("?- sg(a, Y).", magic);
   EXPECT_EQ(AnswerSet(m), AnswerSet(r));
 }
@@ -200,8 +194,7 @@ TEST_F(TestbedTest, NonLinearAncestorAgreesWithLinear) {
   ASSERT_TRUE(tb_->AddFacts("parent", data.ToTuples()).ok());
   for (auto strategy :
        {LfpStrategy::kSemiNaive, LfpStrategy::kNaive, LfpStrategy::kNative}) {
-    QueryOptions opts;
-    opts.strategy = strategy;
+    QueryOptions opts = QueryOptions::SemiNaive().WithStrategy(strategy);
     QueryResult linear = Query("?- ancestor('l0_0', W).", opts);
     QueryResult quad = Query("?- anc2('l0_0', W).", opts);
     EXPECT_EQ(AnswerSet(linear), AnswerSet(quad))
@@ -215,8 +208,7 @@ TEST_F(TestbedTest, CyclicDataTerminates) {
           "parent(a, b).\nparent(b, c).\nparent(c, a).\n");
   for (auto strategy :
        {LfpStrategy::kSemiNaive, LfpStrategy::kNaive, LfpStrategy::kNative}) {
-    QueryOptions opts;
-    opts.strategy = strategy;
+    QueryOptions opts = QueryOptions::SemiNaive().WithStrategy(strategy);
     QueryResult r = Query("?- ancestor(a, W).", opts);
     EXPECT_EQ(AnswerSet(r), (std::set<std::string>{"a|", "b|", "c|"}));
   }
@@ -230,8 +222,7 @@ TEST_F(TestbedTest, DagData) {
       tb_->DefineBase("parent", {DataType::kVarchar, DataType::kVarchar})
           .ok());
   ASSERT_TRUE(tb_->AddFacts("parent", dag.ToTuples()).ok());
-  QueryOptions magic;
-  magic.use_magic = true;
+  QueryOptions magic = QueryOptions::Magic();
   QueryResult plain = Query("?- ancestor('g0_0', W).");
   QueryResult optimized = Query("?- ancestor('g0_0', W).", magic);
   EXPECT_EQ(AnswerSet(plain), AnswerSet(optimized));
@@ -286,8 +277,7 @@ TEST_F(TestbedTest, RepeatedQueriesDoNotLeakTables) {
   size_t tables_before = tb_->db().catalog().num_tables();
   for (int i = 0; i < 3; ++i) {
     Query("?- ancestor(a, W).");
-    QueryOptions magic;
-    magic.use_magic = true;
+    QueryOptions magic = QueryOptions::Magic();
     Query("?- ancestor(a, W).", magic);
   }
   EXPECT_EQ(tb_->db().catalog().num_tables(), tables_before);

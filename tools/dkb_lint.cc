@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "datalog/ast.h"
 #include "datalog/parser.h"
 #include "km/analysis/analyzer.h"
@@ -219,9 +220,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Files are analyzed in parallel (each is independent); output is
+  // emitted afterwards in argument order so results stay deterministic.
+  std::vector<FileResult> results(cli.files.size());
+  dkb::GlobalThreadPool().ParallelFor(
+      0, cli.files.size(),
+      [&](size_t i) { results[i] = LintFile(cli.files[i], cli, schema_preds); },
+      /*min_chunk=*/1);
+
   int exit_code = 0;
-  for (const std::string& path : cli.files) {
-    FileResult result = LintFile(path, cli, schema_preds);
+  for (size_t i = 0; i < cli.files.size(); ++i) {
+    const std::string& path = cli.files[i];
+    FileResult& result = results[i];
     if (!result.ok) {
       std::cerr << path << ": " << result.failure << "\n";
       exit_code = 2;
