@@ -32,14 +32,14 @@ void Run() {
     lfp::ExecutionStats sql_stats;
     int64_t t_sql = MedianMicros(kReps, [&]() {
       auto outcome = Unwrap(tb->Query(goal, sql), "sql query");
-      sql_stats = outcome.exec;
-      return outcome.exec.t_total_us;
+      sql_stats = outcome.report.exec;
+      return outcome.report.exec.t_total_us;
     });
     int64_t t_native = MedianMicros(kReps, [&]() {
-      return Unwrap(tb->Query(goal, native), "native query").exec.t_total_us;
+      return Unwrap(tb->Query(goal, native), "native query").report.exec.t_total_us;
     });
     int64_t t_tc = MedianMicros(kReps, [&]() {
-      return Unwrap(tb->Query(goal, tc), "tc query").exec.t_total_us;
+      return Unwrap(tb->Query(goal, tc), "tc query").report.exec.t_total_us;
     });
     double temp_share =
         static_cast<double>(sql_stats.t_temp_us) /

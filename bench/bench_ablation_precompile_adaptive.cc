@@ -28,13 +28,13 @@ void RunPrecompile() {
     testbed::QueryOptions opts =
         testbed::QueryOptions::SemiNaive().WithCache();
     auto first = Unwrap(fx.tb->Query(goal, opts), "first query");
-    int64_t t_first = first.compile.total_us() + first.exec.t_total_us;
+    int64_t t_first = first.report.compile.total_us() + first.report.exec.t_total_us;
     int64_t t_cached = MedianMicros(9, [&]() {
       auto outcome = Unwrap(fx.tb->Query(goal, opts), "cached query");
-      return outcome.compile.total_us() + outcome.exec.t_total_us;
+      return outcome.report.compile.total_us() + outcome.report.exec.t_total_us;
     });
     table.AddRow({std::to_string(rrs), FormatUs(t_first),
-                  FormatUs(t_cached), FormatUs(first.compile.total_us()),
+                  FormatUs(t_cached), FormatUs(first.report.compile.total_us()),
                   FormatF(static_cast<double>(t_first) /
                               std::max<int64_t>(1, t_cached),
                           2)});
@@ -66,9 +66,9 @@ void RunAdaptive() {
                    : testbed::QueryOptions::SemiNaive();
       return MedianMicros(kReps, [&]() {
         auto outcome = Unwrap(tb->Query(goal, opts), "query");
-        if (chose != nullptr) *chose = outcome.compile.magic_applied;
+        if (chose != nullptr) *chose = outcome.report.compile.magic_applied;
         // Include compilation: the adaptive estimate is a compile-time cost.
-        return outcome.compile.total_us() + outcome.exec.t_total_us;
+        return outcome.report.compile.total_us() + outcome.report.exec.t_total_us;
       });
     };
     bool chose = false;

@@ -55,7 +55,7 @@ void Run() {
       return MedianMicros(kReps, [&]() {
         auto outcome = Unwrap(tb->Query(goal, opts), "query");
         if (answers != nullptr) *answers = outcome.result.rows.size();
-        return outcome.exec.t_total_us;
+        return outcome.report.exec.t_total_us;
       });
     };
     size_t answers = 0;

@@ -18,9 +18,14 @@ namespace dkb::bench {
 namespace {
 
 constexpr int kTreeDepth = 7;
-constexpr int kRepsPerThread = 10;
 constexpr int kCliques = 4;
 constexpr int kChainLength = 24;
+
+/// --smoke: tiny rep counts, then validate that the emitted JSON parses
+/// (CI runs this mode; plotting scripts consume the real runs).
+bool g_smoke = false;
+
+int RepsPerThread() { return g_smoke ? 2 : 10; }
 
 /// Queries per second with `threads` sessions querying concurrently.
 double MeasureQps(testbed::Testbed* tb, const datalog::Atom& goal,
@@ -37,7 +42,7 @@ double MeasureQps(testbed::Testbed* tb, const datalog::Atom& goal,
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t]() {
-      for (int i = 0; i < kRepsPerThread; ++i) {
+      for (int i = 0; i < RepsPerThread(); ++i) {
         auto r = sessions[t]->Query(goal);
         if (!r.ok()) failures.fetch_add(1);
       }
@@ -50,7 +55,7 @@ double MeasureQps(testbed::Testbed* tb, const datalog::Atom& goal,
                  failures.load());
     std::exit(1);
   }
-  return static_cast<double>(threads) * kRepsPerThread * 1e6 /
+  return static_cast<double>(threads) * RepsPerThread() * 1e6 /
          static_cast<double>(us);
 }
 
@@ -106,13 +111,14 @@ void Run() {
   auto serial_opts = testbed::QueryOptions::SemiNaive().WithParallelism(1);
   auto parallel_opts =
       testbed::QueryOptions::SemiNaive().WithParallelism(kCliques);
-  int64_t t_serial = MedianMicros(3, [&]() {
+  const int lfp_reps = g_smoke ? 1 : 3;
+  int64_t t_serial = MedianMicros(lfp_reps, [&]() {
     return Unwrap(multi->Query("all(X, Y)", serial_opts), "serial LFP")
-        .exec.t_total_us;
+        .report.exec.t_total_us;
   });
-  int64_t t_parallel = MedianMicros(3, [&]() {
+  int64_t t_parallel = MedianMicros(lfp_reps, [&]() {
     return Unwrap(multi->Query("all(X, Y)", parallel_opts), "parallel LFP")
-        .exec.t_total_us;
+        .report.exec.t_total_us;
   });
 
   TablePrinter lfp({"lfp_mode", "t_e", "speedup"});
@@ -122,38 +128,46 @@ void Run() {
               FormatF(static_cast<double>(t_serial) / t_parallel, 2)});
   lfp.Print();
 
-  FILE* out = std::fopen("BENCH_parallel.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "FATAL: cannot write BENCH_parallel.json\n");
+  BenchJson json("concurrency");
+  json.Add("workload",
+           "ancestor tree depth " + std::to_string(kTreeDepth) +
+               ", bound root");
+  json.Add("smoke", g_smoke);
+  json.Add("reps_per_thread", static_cast<int64_t>(RepsPerThread()));
+  std::string qps_json = "[";
+  for (size_t i = 0; i < qps_rows.size(); ++i) {
+    if (i > 0) qps_json += ", ";
+    qps_json += "{\"threads\": " + std::to_string(qps_rows[i].first) +
+                ", \"qps\": " + FormatF(qps_rows[i].second, 2) + "}";
+  }
+  qps_json += "]";
+  json.AddRaw("qps", qps_json);
+  json.AddRaw("lfp",
+              "{\"cliques\": " + std::to_string(kCliques) +
+                  ", \"serial_us\": " + std::to_string(t_serial) +
+                  ", \"parallel_us\": " + std::to_string(t_parallel) +
+                  ", \"speedup\": " +
+                  FormatF(static_cast<double>(t_serial) / t_parallel, 3) +
+                  "}");
+  CheckOk(json.WriteFile("BENCH_parallel.json"), "write BENCH_parallel.json");
+  std::printf("\n  wrote BENCH_parallel.json\n");
+
+  std::string error;
+  if (!JsonValidator::Validate(json.Render(), &error)) {
+    std::fprintf(stderr, "FATAL: BENCH_parallel.json does not parse: %s\n",
+                 error.c_str());
     std::exit(1);
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"workload\": \"ancestor tree depth %d, bound root\",\n",
-               kTreeDepth);
-  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
-  std::fprintf(out, "  \"pool_threads\": %zu,\n",
-               GlobalThreadPool().num_threads());
-  std::fprintf(out, "  \"reps_per_thread\": %d,\n", kRepsPerThread);
-  std::fprintf(out, "  \"qps\": [");
-  for (size_t i = 0; i < qps_rows.size(); ++i) {
-    std::fprintf(out, "%s{\"threads\": %d, \"qps\": %.2f}", i ? ", " : "",
-                 qps_rows[i].first, qps_rows[i].second);
-  }
-  std::fprintf(out, "],\n");
-  std::fprintf(out, "  \"lfp\": {\"cliques\": %d, \"serial_us\": %lld, "
-                    "\"parallel_us\": %lld, \"speedup\": %.3f}\n",
-               kCliques, static_cast<long long>(t_serial),
-               static_cast<long long>(t_parallel),
-               static_cast<double>(t_serial) / t_parallel);
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("\n  wrote BENCH_parallel.json\n");
+  if (g_smoke) std::printf("  smoke: BENCH JSON validated\n");
 }
 
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") dkb::bench::g_smoke = true;
+  }
   dkb::bench::Run();
   return 0;
 }

@@ -48,11 +48,11 @@ void Run() {
     int64_t t_semi = MedianMicros(3, [&]() {
       auto outcome = Unwrap(tb->Query(goal, semi), "query");
       answers = outcome.result.rows.size();
-      iterations = outcome.exec.iterations;
-      return outcome.exec.t_total_us;
+      iterations = outcome.report.exec.iterations;
+      return outcome.report.exec.t_total_us;
     });
     int64_t t_magic = MedianMicros(3, [&]() {
-      return Unwrap(tb->Query(goal, magic), "magic query").exec.t_total_us;
+      return Unwrap(tb->Query(goal, magic), "magic query").report.exec.t_total_us;
     });
     table.AddRow({dc.name, std::to_string(dc.edges.num_tuples()),
                   std::to_string(answers), std::to_string(iterations),

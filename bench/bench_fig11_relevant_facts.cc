@@ -14,7 +14,7 @@ int64_t TimeQuery(testbed::Testbed* tb, const datalog::Atom& goal,
   return MedianMicros(reps, [&]() {
     auto outcome = Unwrap(tb->Query(goal, opts), "Query");
     if (answers != nullptr) *answers = outcome.result.rows.size();
-    return outcome.exec.t_total_us;
+    return outcome.report.exec.t_total_us;
   });
 }
 

@@ -24,10 +24,10 @@ void Run() {
     testbed::QueryOptions naive = testbed::QueryOptions::Naive();
     testbed::QueryOptions semi = testbed::QueryOptions::SemiNaive();
     int64_t tn = MedianMicros(kReps, [&]() {
-      return Unwrap(tb->Query(goal, naive), "naive").exec.t_total_us;
+      return Unwrap(tb->Query(goal, naive), "naive").report.exec.t_total_us;
     });
     int64_t ts = MedianMicros(kReps, [&]() {
-      return Unwrap(tb->Query(goal, semi), "semi").exec.t_total_us;
+      return Unwrap(tb->Query(goal, semi), "semi").report.exec.t_total_us;
     });
     double drel = static_cast<double>(workload::SubtreeSize(kDepth, level));
     table.AddRow({std::to_string(level), FormatF(drel / dtot, 4),

@@ -32,7 +32,7 @@ void Run() {
                    : testbed::QueryOptions::SemiNaive())
                 .WithStrategy(strategy);
         return MedianMicros(kReps, [&]() {
-          return Unwrap(tb->Query(goal, opts), "Query").exec.t_total_us;
+          return Unwrap(tb->Query(goal, opts), "Query").report.exec.t_total_us;
         });
       };
       int64_t sp = timed(lfp::LfpStrategy::kSemiNaive, false);

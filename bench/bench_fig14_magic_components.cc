@@ -34,7 +34,7 @@ void Run() {
     MedianMicros(kReps, [&]() {
       auto outcome = Unwrap(tb->Query(goal, opts), "Query");
       t_magic = t_modified = n_magic = n_modified = 0;
-      for (const lfp::NodeStats& ns : outcome.exec.nodes) {
+      for (const lfp::NodeStats& ns : outcome.report.exec.nodes) {
         // A node's label is its predicate list; magic cliques contain only
         // magic predicates.
         bool is_magic = magic::IsMagicPredicateName(ns.label);
@@ -46,7 +46,7 @@ void Run() {
           n_modified += ns.tuples;
         }
       }
-      return outcome.exec.t_total_us;
+      return outcome.report.exec.t_total_us;
     });
     double sel = workload::SubtreeSize(kDepth, level) / dtot;
     table.AddRow({std::to_string(level), FormatPct(sel), FormatUs(t_magic),

@@ -29,7 +29,7 @@ void Run() {
         testbed::QueryOptions::SemiNaive().WithStrategy(strategy);
     std::vector<lfp::ExecutionStats> runs;
     for (int i = 0; i < kReps; ++i) {
-      runs.push_back(Unwrap(tb->Query(goal, opts), "Query").exec);
+      runs.push_back(Unwrap(tb->Query(goal, opts), "Query").report.exec);
     }
     std::sort(runs.begin(), runs.end(),
               [](const lfp::ExecutionStats& a, const lfp::ExecutionStats& b) {

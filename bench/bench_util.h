@@ -2,14 +2,29 @@
 #define DKB_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+
+#ifndef DKB_GIT_DESCRIBE
+#define DKB_GIT_DESCRIBE "unknown"
+#endif
 
 namespace dkb::bench {
+
+/// Schema version of BENCH_*.json files. Bump when the header or the shape
+/// of bench-specific fields changes incompatibly, so cross-PR comparison
+/// scripts can refuse to mix generations.
+constexpr int kBenchJsonSchemaVersion = 2;
 
 /// Aborts the bench with a diagnostic if `status` is not OK.
 inline void CheckOk(const Status& status, const char* what) {
@@ -111,6 +126,203 @@ class TablePrinter {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Builds a BENCH_*.json object with a schema-versioned header identifying
+/// the machine and build, so result files are comparable across PRs. All
+/// string values go through JsonEscape — no hand-rolled printf JSON.
+///
+///   BenchJson json("concurrency");
+///   json.Add("workload", "ancestor tree depth 7");
+///   json.AddRaw("qps", "[{...}]");       // pre-rendered JSON value
+///   CheckOk(json.WriteFile("BENCH_parallel.json"), "write json");
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench_name) {
+    Add("schema_version", static_cast<int64_t>(kBenchJsonSchemaVersion));
+    Add("bench", bench_name);
+    Add("hardware_threads",
+        static_cast<int64_t>(std::thread::hardware_concurrency()));
+    Add("pool_threads",
+        static_cast<int64_t>(GlobalThreadPool().num_threads()));
+    const char* env = std::getenv("DKB_THREADS");
+    Add("dkb_threads_env", env == nullptr ? "" : env);
+    Add("git_describe", DKB_GIT_DESCRIBE);
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    AddRaw(key, "\"" + JsonEscape(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, int64_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, double value) {
+    AddRaw(key, FormatF(value, 4));
+  }
+  void Add(const std::string& key, bool value) {
+    AddRaw(key, value ? "true" : "false");
+  }
+  /// Attaches an already-rendered JSON value (object/array/number).
+  void AddRaw(const std::string& key, const std::string& json) {
+    fields_.emplace_back(key, json);
+  }
+
+  std::string Render() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += "  \"" + JsonEscape(fields_[i].first) +
+             "\": " + fields_[i].second;
+      out += i + 1 < fields_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  Status WriteFile(const std::string& path) const {
+    FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      return Status::Internal("cannot open " + path + " for writing");
+    }
+    std::string text = Render();
+    size_t written = std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    if (written != text.size()) {
+      return Status::Internal("short write to " + path);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Minimal JSON syntax checker (objects, arrays, strings with escapes,
+/// numbers, booleans, null). Used by bench smoke modes to validate that the
+/// BENCH_*.json they just wrote actually parses — printf-era escaping bugs
+/// are caught in CI rather than by downstream plotting scripts.
+class JsonValidator {
+ public:
+  static bool Validate(const std::string& text, std::string* error) {
+    JsonValidator v(text);
+    v.SkipWs();
+    if (!v.Value()) {
+      if (error != nullptr) {
+        *error = "JSON syntax error near offset " + std::to_string(v.pos_);
+      }
+      return false;
+    }
+    v.SkipWs();
+    if (v.pos_ != text.size()) {
+      if (error != nullptr) {
+        *error = "trailing garbage at offset " + std::to_string(v.pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* word) {
+    size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) return false;
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Eat('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Object() {
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool Array() {
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
 };
 
 /// Section banner matching the paper's test numbering.

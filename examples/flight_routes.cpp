@@ -52,8 +52,8 @@ int main() {
     }
     std::printf("%s\n%s", goal, outcome->result.ToString().c_str());
     std::printf("  [adaptive optimizer: est. selectivity %.2f -> magic %s]\n\n",
-                outcome->compile.estimated_selectivity,
-                outcome->compile.magic_applied ? "on" : "off");
+                outcome->report.compile.estimated_selectivity,
+                outcome->report.compile.magic_applied ? "on" : "off");
   };
 
   show("?- reachable(oslo, W).");

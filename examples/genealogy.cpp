@@ -15,8 +15,8 @@ namespace {
 
 void Report(const char* label, const dkb::testbed::QueryOutcome& outcome) {
   std::printf("  %-28s %8.2f ms   %5zu answers   %lld iterations\n", label,
-              outcome.exec.t_total_us / 1000.0, outcome.result.rows.size(),
-              static_cast<long long>(outcome.exec.iterations));
+              outcome.report.exec.t_total_us / 1000.0, outcome.result.rows.size(),
+              static_cast<long long>(outcome.report.exec.iterations));
 }
 
 }  // namespace

@@ -50,8 +50,8 @@ int main() {
               outcome->result.ToString().c_str());
 
   // 4. The testbed's raison d'etre: instrumentation.
-  const auto& c = outcome->compile;
-  const auto& e = outcome->exec;
+  const auto& c = outcome->report.compile;
+  const auto& e = outcome->report.exec;
   std::printf("compilation: %lld us  (extract %lld, dict read %lld, "
               "eval-order %lld, codegen %lld)\n",
               static_cast<long long>(c.total_us()),
@@ -72,7 +72,7 @@ int main() {
   auto optimized = (*tb)->Query("?- ancestor(isaac, W).", magic);
   if (optimized.ok()) {
     std::printf("with magic sets: %lld us execution, same %zu answers\n",
-                static_cast<long long>(optimized->exec.t_total_us),
+                static_cast<long long>(optimized->report.exec.t_total_us),
                 optimized->result.rows.size());
   }
   return 0;

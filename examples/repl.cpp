@@ -92,8 +92,8 @@ int main() {
         if (!have_last) {
           std::printf("no query yet\n");
         } else {
-          const auto& c = last.compile;
-          const auto& e = last.exec;
+          const auto& c = last.report.compile;
+          const auto& e = last.report.exec;
           std::printf(
               "compile: %lld us (setup %lld, extract %lld, read %lld, "
               "opt %lld, eol %lld, sem %lld, gen %lld, comp %lld)\n",
@@ -163,8 +163,8 @@ int main() {
       have_last = true;
       std::printf("%s", last.result.ToString().c_str());
       std::printf("(compile %lld us, execute %lld us)\n",
-                  static_cast<long long>(last.compile.total_us()),
-                  static_cast<long long>(last.exec.t_total_us));
+                  static_cast<long long>(last.report.compile.total_us()),
+                  static_cast<long long>(last.report.exec.t_total_us));
       continue;
     }
 

@@ -70,10 +70,10 @@ int main(int argc, char** argv) {
               unopt->result.rows.size(),
               static_cast<long long>(int64_t{1} << (depth - 1)));
   std::printf("without magic sets: %8.2f ms\n",
-              unopt->exec.t_total_us / 1000.0);
+              unopt->report.exec.t_total_us / 1000.0);
   std::printf("with magic sets:    %8.2f ms  (%.1fx)\n",
-              opt->exec.t_total_us / 1000.0,
-              static_cast<double>(unopt->exec.t_total_us) /
-                  std::max<int64_t>(1, opt->exec.t_total_us));
+              opt->report.exec.t_total_us / 1000.0,
+              static_cast<double>(unopt->report.exec.t_total_us) /
+                  std::max<int64_t>(1, opt->report.exec.t_total_us));
   return 0;
 }

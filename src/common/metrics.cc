@@ -1,0 +1,135 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace dkb::metrics {
+
+namespace {
+
+// Index of the power-of-two bucket holding `v`: 0 for v <= 0, else
+// 1 + floor(log2(v)) clamped to the last bucket.
+int BucketIndex(int64_t v) {
+  if (v <= 0) return 0;
+  int idx = 1;
+  uint64_t u = static_cast<uint64_t>(v);
+  while (u > 1 && idx < Histogram::kBuckets - 1) {
+    u >>= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+// Upper bound of bucket i (inclusive): 0, 1, 2, 4, 8, ...
+int64_t BucketUpper(int i) {
+  if (i <= 0) return 0;
+  return int64_t{1} << (i - 1);
+}
+
+}  // namespace
+
+void Histogram::Observe(int64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t Histogram::ApproxQuantile(double q) const {
+  int64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpper(i);
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(c->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(g->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    char mean_buf[48];
+    std::snprintf(mean_buf, sizeof(mean_buf), "%.3f", h->mean());
+    out += "\"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h->count()) + ", \"sum\": " +
+           std::to_string(h->sum()) + ", \"mean\": " + mean_buf +
+           ", \"max\": " + std::to_string(h->max()) + ", \"p50\": " +
+           std::to_string(h->ApproxQuantile(0.5)) + ", \"p99\": " +
+           std::to_string(h->ApproxQuantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace dkb::metrics

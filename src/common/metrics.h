@@ -1,0 +1,104 @@
+#ifndef DKB_COMMON_METRICS_H_
+#define DKB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dkb::metrics {
+
+/// Monotonic counter. Updates are relaxed atomics: increments from any
+/// thread are cheap and eventually summed correctly; nothing orders
+/// against them.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (pool sizes, cache entry counts).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two bucketed histogram of non-negative int64 samples
+/// (microsecond latencies, cardinalities). Bucket i counts samples in
+/// [2^(i-1), 2^i); bucket 0 counts zeros. Relaxed atomics throughout: a
+/// snapshot taken while writers are active is approximate, which is fine
+/// for observability.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Observe(int64_t v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Upper bound of the bucket containing quantile `q` in [0, 1]
+  /// (approximate: within 2x of the true value).
+  int64_t ApproxQuantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Process-wide registry of named metrics.
+///
+/// Naming scheme (see DESIGN.md "Observability"): dot-separated lowercase
+/// path `dkb.<layer>.<what>`, with `_us` suffix for time histograms, e.g.
+/// dkb.query.count, dkb.query.total_us, dkb.storage.rows_inserted.
+///
+/// Lookup takes a mutex; hot call sites should cache the returned
+/// reference (entries are never removed, so references stay valid for the
+/// registry's lifetime):
+///
+///   static metrics::Counter& c =
+///       metrics::GlobalMetrics().counter("dkb.sql.statements");
+///   c.Add();
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One JSON object with every registered metric, sorted by name:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count": .., "sum": .., "mean": .., "max": .., "p50": .., "p99": ..}}}.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every metric (tests and bench warmup isolation); the set of
+  /// registered names is unchanged.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry every layer reports into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace dkb::metrics
+
+#endif  // DKB_COMMON_METRICS_H_

@@ -28,6 +28,11 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// True if `s` begins with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// control characters). Shared by every JSON emitter in the tree so escaping
+/// bugs are fixed in one place.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace dkb
 
 #endif  // DKB_COMMON_STR_UTIL_H_

@@ -1,0 +1,164 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace dkb::trace {
+
+TraceSpan::TraceSpan(const TraceContext* ctx, std::string name)
+    : ctx_(ctx),
+      name_(std::move(name)),
+      tid_(TraceContext::CurrentThreadId()),
+      start_us_(ctx->NowUs()) {}
+
+TraceSpan* TraceSpan::AddChild(std::string name) {
+  auto child = std::make_unique<TraceSpan>(ctx_, std::move(name));
+  TraceSpan* raw = child.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  children_.push_back(std::move(child));
+  return raw;
+}
+
+void TraceSpan::Adopt(std::unique_ptr<TraceSpan> child) {
+  if (child == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  children_.push_back(std::move(child));
+}
+
+void TraceSpan::Tag(std::string key, std::string value) {
+  tags_.push_back({std::move(key), std::move(value), /*is_number=*/false});
+}
+
+void TraceSpan::Tag(std::string key, int64_t value) {
+  tags_.push_back(
+      {std::move(key), std::to_string(value), /*is_number=*/true});
+}
+
+void TraceSpan::Tag(std::string key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  tags_.push_back({std::move(key), buf, /*is_number=*/true});
+}
+
+void TraceSpan::End() {
+  if (end_us_ < 0) end_us_ = ctx_->NowUs();
+}
+
+TraceContext::TraceContext(std::string root_name)
+    : epoch_(std::chrono::steady_clock::now()) {
+  // The root is created after epoch_, so its start offset is ~0.
+  root_ = std::make_unique<TraceSpan>(this, std::move(root_name));
+}
+
+int64_t TraceContext::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint32_t TraceContext::CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace {
+
+void RenderTextRec(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld us",
+                static_cast<long long>(span.duration_us()));
+  *out += span.name() + "  " + buf;
+  for (const TraceTag& tag : span.tags()) {
+    *out += "  " + tag.key + "=" + tag.value;
+  }
+  *out += "\n";
+  for (const auto& child : span.children()) {
+    RenderTextRec(*child, depth + 1, out);
+  }
+}
+
+void RenderJsonRec(const TraceSpan& span, std::string* out) {
+  *out += "{\"name\": \"" + JsonEscape(span.name()) + "\"";
+  *out += ", \"start_us\": " + std::to_string(span.start_us());
+  *out += ", \"dur_us\": " + std::to_string(span.duration_us());
+  *out += ", \"tid\": " + std::to_string(span.tid());
+  if (!span.tags().empty()) {
+    *out += ", \"tags\": {";
+    for (size_t i = 0; i < span.tags().size(); ++i) {
+      const TraceTag& tag = span.tags()[i];
+      if (i > 0) *out += ", ";
+      *out += "\"" + JsonEscape(tag.key) + "\": ";
+      if (tag.is_number) {
+        *out += tag.value;
+      } else {
+        *out += "\"" + JsonEscape(tag.value) + "\"";
+      }
+    }
+    *out += "}";
+  }
+  if (!span.children().empty()) {
+    *out += ", \"children\": [";
+    for (size_t i = 0; i < span.children().size(); ++i) {
+      if (i > 0) *out += ", ";
+      RenderJsonRec(*span.children()[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+void RenderChromeRec(const TraceSpan& span, bool* first, std::string* out) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += "    {\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+          std::to_string(span.tid()) + ", \"name\": \"" +
+          JsonEscape(span.name()) + "\", \"ts\": " +
+          std::to_string(span.start_us()) + ", \"dur\": " +
+          std::to_string(span.duration_us());
+  if (!span.tags().empty()) {
+    *out += ", \"args\": {";
+    for (size_t i = 0; i < span.tags().size(); ++i) {
+      const TraceTag& tag = span.tags()[i];
+      if (i > 0) *out += ", ";
+      *out += "\"" + JsonEscape(tag.key) + "\": ";
+      if (tag.is_number) {
+        *out += tag.value;
+      } else {
+        *out += "\"" + JsonEscape(tag.value) + "\"";
+      }
+    }
+    *out += "}";
+  }
+  *out += "}";
+  for (const auto& child : span.children()) {
+    RenderChromeRec(*child, first, out);
+  }
+}
+
+}  // namespace
+
+std::string TraceContext::RenderText() const {
+  std::string out;
+  RenderTextRec(*root_, 0, &out);
+  return out;
+}
+
+std::string TraceContext::RenderJson() const {
+  std::string out;
+  RenderJsonRec(*root_, &out);
+  return out;
+}
+
+std::string TraceContext::RenderChromeTrace() const {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  RenderChromeRec(*root_, &first, &out);
+  out += "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+}  // namespace dkb::trace

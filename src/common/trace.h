@@ -1,0 +1,155 @@
+#ifndef DKB_COMMON_TRACE_H_
+#define DKB_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dkb::trace {
+
+class TraceContext;
+
+/// One key=value annotation on a span. Values are stored as strings;
+/// numeric tags are rendered without quotes in JSON (is_number).
+struct TraceTag {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+};
+
+/// One timed region of query processing, forming a tree: the root covers
+/// the whole query, children cover phases (compile.setup, execute,
+/// node:anc, iteration, ...). Times are microsecond offsets from the
+/// owning TraceContext's epoch (steady clock), so spans from different
+/// threads share one timeline.
+///
+/// Thread safety: AddChild/Adopt lock the span, so pool threads may attach
+/// children to a shared parent concurrently. Tags and End are owner-thread
+/// operations (each span is written by the thread that created it).
+/// Readers (rendering) must run after execution has settled.
+class TraceSpan {
+ public:
+  TraceSpan(const TraceContext* ctx, std::string name);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  const std::string& name() const { return name_; }
+  int64_t start_us() const { return start_us_; }
+  /// End offset; equals start_us() until End() is called.
+  int64_t end_us() const { return end_us_ < 0 ? start_us_ : end_us_; }
+  int64_t duration_us() const { return end_us() - start_us_; }
+  uint32_t tid() const { return tid_; }
+  /// The context owning this span's timeline (for Detach from deep layers).
+  const TraceContext* context() const { return ctx_; }
+  const std::vector<TraceTag>& tags() const { return tags_; }
+  const std::vector<std::unique_ptr<TraceSpan>>& children() const {
+    return children_;
+  }
+
+  /// Starts a child span now and returns it (owned by this span).
+  TraceSpan* AddChild(std::string name);
+
+  /// Attaches an already-built span subtree (created via
+  /// TraceContext::Detach) as the last child. Used by the parallel LFP
+  /// scheduler to merge per-node spans in program order regardless of the
+  /// order pool threads finished in.
+  void Adopt(std::unique_ptr<TraceSpan> child);
+
+  void Tag(std::string key, std::string value);
+  void Tag(std::string key, int64_t value);
+  void Tag(std::string key, double value);
+
+  /// Stamps the end time; idempotent (the first call wins).
+  void End();
+
+ private:
+  const TraceContext* ctx_;
+  std::string name_;
+  uint32_t tid_;
+  int64_t start_us_;
+  int64_t end_us_ = -1;
+  std::vector<TraceTag> tags_;
+  mutable std::mutex mu_;  // guards children_
+  std::vector<std::unique_ptr<TraceSpan>> children_;
+};
+
+/// Owns one span tree and the steady-clock epoch its offsets are measured
+/// from. A null TraceContext* (tracing disabled, the default) costs a
+/// single pointer test at every instrumentation site.
+class TraceContext {
+ public:
+  explicit TraceContext(std::string root_name);
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  TraceSpan* root() { return root_.get(); }
+  const TraceSpan* root() const { return root_.get(); }
+
+  /// Microseconds since this context was created (steady clock).
+  int64_t NowUs() const;
+
+  /// Starts a parentless span on this context's timeline; attach it later
+  /// with TraceSpan::Adopt.
+  std::unique_ptr<TraceSpan> Detach(std::string name) const {
+    return std::make_unique<TraceSpan>(this, std::move(name));
+  }
+
+  /// Small sequential id for the calling thread (stable per thread,
+  /// process-wide; the main thread that first traces is usually 0).
+  static uint32_t CurrentThreadId();
+
+  /// Indented tree rendering: name, duration, tags.
+  std::string RenderText() const;
+
+  /// Nested-object JSON: {"name": ..., "start_us": ..., "dur_us": ...,
+  /// "tid": ..., "tags": {...}, "children": [...]}.
+  std::string RenderJson() const;
+
+  /// Chrome trace-event JSON (load in chrome://tracing or Perfetto):
+  /// {"traceEvents": [{"ph": "X", "name": ..., "ts": ..., "dur": ...}]}.
+  std::string RenderChromeTrace() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<TraceSpan> root_;
+};
+
+/// Null-safe span start: no-op (returns nullptr) when `parent` is null,
+/// which is how disabled tracing propagates through the layers.
+inline TraceSpan* StartSpan(TraceSpan* parent, std::string name) {
+  return parent == nullptr ? nullptr : parent->AddChild(std::move(name));
+}
+
+/// RAII guard ending a (possibly null) span on scope exit.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSpan* parent, std::string name)
+      : span_(StartSpan(parent, std::move(name))) {}
+  explicit ScopedSpan(TraceSpan* span) : span_(span) {}
+  ~ScopedSpan() {
+    if (span_ != nullptr) span_->End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  TraceSpan* get() const { return span_; }
+
+  template <typename V>
+  void Tag(std::string key, V value) {
+    if (span_ != nullptr) span_->Tag(std::move(key), std::move(value));
+  }
+
+ private:
+  TraceSpan* span_;
+};
+
+}  // namespace dkb::trace
+
+#endif  // DKB_COMMON_TRACE_H_

@@ -52,12 +52,19 @@ std::string QueryResult::ToString() const {
   return out;
 }
 
-std::string RenderPlan(const PlanNode& root) {
+std::string RenderPlan(const PlanNode& root, bool with_stats) {
   std::string out;
   std::function<void(const PlanNode&, int)> walk = [&](const PlanNode& node,
                                                        int depth) {
     out.append(static_cast<size_t>(depth) * 2, ' ');
     out += node.Name();
+    if (with_stats && node.profile() != nullptr) {
+      const PlanNode::Profile& p = *node.profile();
+      out += "  (rows=" + std::to_string(p.rows_out) +
+             ", time=" + std::to_string(p.open_us + p.next_us) + "us";
+      if (p.morsels > 0) out += ", morsels=" + std::to_string(p.morsels);
+      out += ")";
+    }
     out += "\n";
     for (const PlanNode* child : node.Children()) walk(*child, depth + 1);
   };
@@ -97,9 +104,21 @@ Result<QueryResult> Executor::Execute(const sql::Statement& stmt,
 Result<QueryResult> Executor::ExecuteExplain(const sql::ExplainStmt& stmt) {
   DKB_ASSIGN_OR_RETURN(PlanNodePtr plan,
                        PlanSelect(*stmt.select, *catalog_, stats_));
+  if (stmt.analyze) {
+    // EXPLAIN ANALYZE: run the query for real (discarding its rows) with
+    // per-operator profiling on, then render the annotated plan.
+    plan->EnableProfiling();
+    DKB_RETURN_IF_ERROR(plan->Open());
+    Tuple row;
+    while (true) {
+      DKB_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+      if (!more) break;
+    }
+    plan->Close();
+  }
   QueryResult result;
   result.schema = Schema({Column{"plan", DataType::kVarchar}});
-  std::string rendered = RenderPlan(*plan);
+  std::string rendered = RenderPlan(*plan, /*with_stats=*/stmt.analyze);
   for (const std::string& line : StrSplit(rendered, '\n')) {
     if (!line.empty()) result.rows.push_back(Tuple{Value(line)});
   }

@@ -21,8 +21,10 @@ struct QueryResult {
   std::string ToString() const;
 };
 
-/// Indented tree rendering of a physical plan (EXPLAIN).
-std::string RenderPlan(const PlanNode& root);
+/// Indented tree rendering of a physical plan (EXPLAIN). With `with_stats`,
+/// operators that carry a Profile (EnableProfiling + execution) are
+/// annotated with rows, time, and morsel counts (EXPLAIN ANALYZE).
+std::string RenderPlan(const PlanNode& root, bool with_stats = false);
 
 /// Executes parsed statements against a catalog.
 class Executor {

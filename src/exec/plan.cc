@@ -12,6 +12,15 @@ ParallelTuning& GetParallelTuning() {
   return tuning;
 }
 
+void PlanNode::EnableProfiling() {
+  if (profile_ == nullptr) profile_ = std::make_unique<Profile>();
+  // Children() exposes const pointers for EXPLAIN rendering; profiling
+  // mutates bookkeeping only, never operator results.
+  for (const PlanNode* child : Children()) {
+    const_cast<PlanNode*>(child)->EnableProfiling();
+  }
+}
+
 namespace {
 
 /// Concatenates the output schemas of two join inputs.
@@ -41,7 +50,7 @@ SeqScanNode::SeqScanNode(const Table* table, BoundExprPtr filter,
   set_schema(table->schema());
 }
 
-Status SeqScanNode::Open() {
+Status SeqScanNode::OpenImpl() {
   cursor_ = 0;
   pos_ = 0;
   rows_.clear();
@@ -59,6 +68,8 @@ Status SeqScanNode::Open() {
   materialized_ = true;
   const size_t morsel = std::max<size_t>(tuning.morsel_rows, 1);
   const size_t num_morsels = (n + morsel - 1) / morsel;
+  StatAdd(stats_->morsels, static_cast<int64_t>(num_morsels));
+  CountMorsels(static_cast<int64_t>(num_morsels));
   std::vector<std::vector<Tuple>> buffers(num_morsels);
   std::atomic<int64_t> scanned{0};
   pool.ParallelFor(0, num_morsels, [&](size_t m) {
@@ -85,7 +96,7 @@ Status SeqScanNode::Open() {
   return Status::OK();
 }
 
-Result<bool> SeqScanNode::Next(Tuple* row) {
+Result<bool> SeqScanNode::NextImpl(Tuple* row) {
   if (materialized_) {
     if (pos_ >= rows_.size()) return false;
     *row = rows_[pos_++];
@@ -104,7 +115,7 @@ Result<bool> SeqScanNode::Next(Tuple* row) {
   return false;
 }
 
-void SeqScanNode::Close() {
+void SeqScanNode::CloseImpl() {
   rows_.clear();
   materialized_ = false;
 }
@@ -124,14 +135,14 @@ IndexScanNode::IndexScanNode(const Table* table, const Index* index,
   set_schema(table->schema());
 }
 
-Status IndexScanNode::Open() {
+Status IndexScanNode::OpenImpl() {
   key_pos_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> IndexScanNode::Next(Tuple* row) {
+Result<bool> IndexScanNode::NextImpl(Tuple* row) {
   while (true) {
     if (buffer_pos_ < buffer_.size()) {
       RowId rid = buffer_[buffer_pos_++];
@@ -168,7 +179,7 @@ IndexRangeScanNode::IndexRangeScanNode(const Table* table,
   set_schema(table->schema());
 }
 
-Status IndexRangeScanNode::Open() {
+Status IndexRangeScanNode::OpenImpl() {
   buffer_.clear();
   buffer_pos_ = 0;
   Tuple lo_key;
@@ -181,7 +192,7 @@ Status IndexRangeScanNode::Open() {
   return Status::OK();
 }
 
-Result<bool> IndexRangeScanNode::Next(Tuple* row) {
+Result<bool> IndexRangeScanNode::NextImpl(Tuple* row) {
   while (buffer_pos_ < buffer_.size()) {
     RowId rid = buffer_[buffer_pos_++];
     if (!table_->IsLive(rid)) continue;
@@ -203,7 +214,7 @@ FilterNode::FilterNode(PlanNodePtr child, BoundExprPtr predicate)
   set_schema(child_->output_schema());
 }
 
-Result<bool> FilterNode::Next(Tuple* row) {
+Result<bool> FilterNode::NextImpl(Tuple* row) {
   while (true) {
     DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
@@ -217,7 +228,7 @@ ProjectNode::ProjectNode(PlanNodePtr child, std::vector<BoundExprPtr> exprs,
   set_schema(std::move(schema));
 }
 
-Result<bool> ProjectNode::Next(Tuple* row) {
+Result<bool> ProjectNode::NextImpl(Tuple* row) {
   Tuple in;
   DKB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
@@ -242,12 +253,12 @@ NestedLoopJoinNode::NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
   set_schema(ConcatSchemas(outer_->output_schema(), inner_->output_schema()));
 }
 
-Status NestedLoopJoinNode::Open() {
+Status NestedLoopJoinNode::OpenImpl() {
   outer_valid_ = false;
   return outer_->Open();
 }
 
-Result<bool> NestedLoopJoinNode::Next(Tuple* row) {
+Result<bool> NestedLoopJoinNode::NextImpl(Tuple* row) {
   while (true) {
     if (!outer_valid_) {
       DKB_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
@@ -270,7 +281,7 @@ Result<bool> NestedLoopJoinNode::Next(Tuple* row) {
   }
 }
 
-void NestedLoopJoinNode::Close() {
+void NestedLoopJoinNode::CloseImpl() {
   outer_->Close();
   inner_->Close();
 }
@@ -292,7 +303,7 @@ HashJoinNode::HashJoinNode(PlanNodePtr left, PlanNodePtr right,
   set_schema(ConcatSchemas(left_->output_schema(), right_->output_schema()));
 }
 
-Status HashJoinNode::Open() {
+Status HashJoinNode::OpenImpl() {
   parts_.clear();
   left_valid_ = false;
   matches_.clear();
@@ -328,6 +339,8 @@ Status HashJoinNode::Open() {
   // Parallel partitioned build: hash every key, then let each partition
   // insert its own rows — disjoint ownership, no locks.
   const size_t num_parts = 2 * (pool.num_threads() + 1);
+  StatAdd(stats_->morsels, static_cast<int64_t>(num_parts));
+  CountMorsels(static_cast<int64_t>(num_parts));
   std::vector<size_t> hashes(build.size());
   pool.ParallelFor(
       0, build.size(),
@@ -344,7 +357,7 @@ Status HashJoinNode::Open() {
   return left_->Open();
 }
 
-Result<bool> HashJoinNode::Next(Tuple* row) {
+Result<bool> HashJoinNode::NextImpl(Tuple* row) {
   while (true) {
     if (match_pos_ < matches_.size()) {
       Tuple combined = ConcatRows(left_row_, *matches_[match_pos_++]);
@@ -370,7 +383,7 @@ Result<bool> HashJoinNode::Next(Tuple* row) {
   }
 }
 
-void HashJoinNode::Close() {
+void HashJoinNode::CloseImpl() {
   left_->Close();
   parts_.clear();
 }
@@ -392,14 +405,14 @@ IndexNLJoinNode::IndexNLJoinNode(PlanNodePtr outer, const Table* inner,
   set_schema(ConcatSchemas(outer_->output_schema(), inner->schema()));
 }
 
-Status IndexNLJoinNode::Open() {
+Status IndexNLJoinNode::OpenImpl() {
   outer_valid_ = false;
   buffer_.clear();
   buffer_pos_ = 0;
   return outer_->Open();
 }
 
-Result<bool> IndexNLJoinNode::Next(Tuple* row) {
+Result<bool> IndexNLJoinNode::NextImpl(Tuple* row) {
   while (true) {
     if (buffer_pos_ < buffer_.size()) {
       RowId rid = buffer_[buffer_pos_++];
@@ -426,7 +439,7 @@ Result<bool> IndexNLJoinNode::Next(Tuple* row) {
   }
 }
 
-void IndexNLJoinNode::Close() { outer_->Close(); }
+void IndexNLJoinNode::CloseImpl() { outer_->Close(); }
 
 // ---------------------------------------------------------------------------
 // Distinct
@@ -436,12 +449,12 @@ DistinctNode::DistinctNode(PlanNodePtr child) : child_(std::move(child)) {
   set_schema(child_->output_schema());
 }
 
-Status DistinctNode::Open() {
+Status DistinctNode::OpenImpl() {
   seen_.clear();
   return child_->Open();
 }
 
-Result<bool> DistinctNode::Next(Tuple* row) {
+Result<bool> DistinctNode::NextImpl(Tuple* row) {
   while (true) {
     DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
@@ -458,7 +471,7 @@ SetOpNode::SetOpNode(PlanNodePtr left, PlanNodePtr right, SetOpKind kind)
   set_schema(left_->output_schema());
 }
 
-Status SetOpNode::Open() {
+Status SetOpNode::OpenImpl() {
   left_done_ = false;
   right_set_.clear();
   emitted_.clear();
@@ -477,7 +490,7 @@ Status SetOpNode::Open() {
   return Status::OK();
 }
 
-Result<bool> SetOpNode::Next(Tuple* row) {
+Result<bool> SetOpNode::NextImpl(Tuple* row) {
   if (kind_ == SetOpKind::kUnionAll) {
     if (!left_done_) {
       DKB_ASSIGN_OR_RETURN(bool more, left_->Next(row));
@@ -513,7 +526,7 @@ Result<bool> SetOpNode::Next(Tuple* row) {
   }
 }
 
-void SetOpNode::Close() {
+void SetOpNode::CloseImpl() {
   left_->Close();
   right_->Close();
 }
@@ -527,7 +540,7 @@ SortNode::SortNode(PlanNodePtr child, std::vector<SortKey> keys)
   set_schema(child_->output_schema());
 }
 
-Status SortNode::Open() {
+Status SortNode::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   DKB_RETURN_IF_ERROR(child_->Open());
@@ -551,25 +564,25 @@ Status SortNode::Open() {
   return Status::OK();
 }
 
-Result<bool> SortNode::Next(Tuple* row) {
+Result<bool> SortNode::NextImpl(Tuple* row) {
   if (pos_ >= rows_.size()) return false;
   *row = rows_[pos_++];
   return true;
 }
 
-void SortNode::Close() { rows_.clear(); }
+void SortNode::CloseImpl() { rows_.clear(); }
 
 LimitNode::LimitNode(PlanNodePtr child, size_t limit)
     : child_(std::move(child)), limit_(limit) {
   set_schema(child_->output_schema());
 }
 
-Status LimitNode::Open() {
+Status LimitNode::OpenImpl() {
   produced_ = 0;
   return child_->Open();
 }
 
-Result<bool> LimitNode::Next(Tuple* row) {
+Result<bool> LimitNode::NextImpl(Tuple* row) {
   if (produced_ >= limit_) return false;
   DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
   if (!more) return false;
@@ -588,7 +601,7 @@ AggregateNode::AggregateNode(PlanNodePtr child,
   set_schema(std::move(schema));
 }
 
-Status AggregateNode::Open() {
+Status AggregateNode::OpenImpl() {
   groups_.clear();
   pos_ = 0;
   std::unordered_map<Tuple, size_t, TupleHash> index;
@@ -647,7 +660,7 @@ Status AggregateNode::Open() {
   return Status::OK();
 }
 
-Result<bool> AggregateNode::Next(Tuple* row) {
+Result<bool> AggregateNode::NextImpl(Tuple* row) {
   if (pos_ >= groups_.size()) return false;
   const auto& [key, accs] = groups_[pos_++];
   Tuple out;
@@ -680,19 +693,19 @@ Result<bool> AggregateNode::Next(Tuple* row) {
   return true;
 }
 
-void AggregateNode::Close() { groups_.clear(); }
+void AggregateNode::CloseImpl() { groups_.clear(); }
 
 CountNode::CountNode(PlanNodePtr child, std::string column_name)
     : child_(std::move(child)) {
   set_schema(Schema({Column{std::move(column_name), DataType::kInteger}}));
 }
 
-Status CountNode::Open() {
+Status CountNode::OpenImpl() {
   emitted_ = false;
   return child_->Open();
 }
 
-Result<bool> CountNode::Next(Tuple* row) {
+Result<bool> CountNode::NextImpl(Tuple* row) {
   if (emitted_) return false;
   int64_t count = 0;
   Tuple ignored;

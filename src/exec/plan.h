@@ -2,6 +2,7 @@
 #define DKB_EXEC_PLAN_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -30,6 +31,7 @@ struct ExecStats {
   std::atomic<int64_t> join_output_rows{0};  // rows emitted by join operators
   std::atomic<int64_t> statements{0};        // SQL statements executed
   std::atomic<int64_t> statement_cache_hits{0};  // prepared-statement reuse
+  std::atomic<int64_t> morsels{0};           // parallel morsels dispatched
 
   void Reset() {
     rows_scanned.store(0, std::memory_order_relaxed);
@@ -38,6 +40,44 @@ struct ExecStats {
     join_output_rows.store(0, std::memory_order_relaxed);
     statements.store(0, std::memory_order_relaxed);
     statement_cache_hits.store(0, std::memory_order_relaxed);
+    morsels.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Point-in-time copy of ExecStats, so callers can compute the counter
+/// deltas attributable to one query (snapshot before, subtract after).
+struct ExecStatsSnapshot {
+  int64_t rows_scanned = 0;
+  int64_t index_probes = 0;
+  int64_t index_rows = 0;
+  int64_t join_output_rows = 0;
+  int64_t statements = 0;
+  int64_t statement_cache_hits = 0;
+  int64_t morsels = 0;
+
+  static ExecStatsSnapshot Take(const ExecStats& s) {
+    ExecStatsSnapshot snap;
+    snap.rows_scanned = s.rows_scanned.load(std::memory_order_relaxed);
+    snap.index_probes = s.index_probes.load(std::memory_order_relaxed);
+    snap.index_rows = s.index_rows.load(std::memory_order_relaxed);
+    snap.join_output_rows = s.join_output_rows.load(std::memory_order_relaxed);
+    snap.statements = s.statements.load(std::memory_order_relaxed);
+    snap.statement_cache_hits =
+        s.statement_cache_hits.load(std::memory_order_relaxed);
+    snap.morsels = s.morsels.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  ExecStatsSnapshot operator-(const ExecStatsSnapshot& rhs) const {
+    ExecStatsSnapshot d;
+    d.rows_scanned = rows_scanned - rhs.rows_scanned;
+    d.index_probes = index_probes - rhs.index_probes;
+    d.index_rows = index_rows - rhs.index_rows;
+    d.join_output_rows = join_output_rows - rhs.join_output_rows;
+    d.statements = statements - rhs.statements;
+    d.statement_cache_hits = statement_cache_hits - rhs.statement_cache_hits;
+    d.morsels = morsels - rhs.morsels;
+    return d;
   }
 };
 
@@ -65,8 +105,22 @@ ParallelTuning& GetParallelTuning();
 /// Volcano-style physical operator. Open() may be called repeatedly; each
 /// call resets the operator to produce its output from the beginning (the
 /// nested-loop join relies on this for its inner side).
+///
+/// Open/Next/Close are non-virtual wrappers over the per-operator
+/// OpenImpl/NextImpl/CloseImpl. With profiling off (the default) each
+/// wrapper costs a single predictable null test; after EnableProfiling()
+/// they accumulate per-operator wall time and output cardinality into
+/// profile(), which EXPLAIN ANALYZE renders alongside the plan tree.
 class PlanNode {
  public:
+  /// Per-operator runtime statistics, filled only after EnableProfiling().
+  struct Profile {
+    int64_t open_us = 0;   // time inside OpenImpl, cumulative over re-opens
+    int64_t next_us = 0;   // time inside NextImpl, summed over all calls
+    int64_t rows_out = 0;  // rows produced by this operator
+    int64_t morsels = 0;   // parallel morsels dispatched by this operator
+  };
+
   virtual ~PlanNode() = default;
 
   PlanNode() = default;
@@ -75,10 +129,32 @@ class PlanNode {
 
   const Schema& output_schema() const { return schema_; }
 
-  virtual Status Open() = 0;
+  Status Open() {
+    if (profile_ == nullptr) return OpenImpl();
+    auto t0 = std::chrono::steady_clock::now();
+    Status s = OpenImpl();
+    profile_->open_us += ElapsedUs(t0);
+    return s;
+  }
+
   /// Produces the next row into *row; returns false at end-of-stream.
-  virtual Result<bool> Next(Tuple* row) = 0;
-  virtual void Close() {}
+  Result<bool> Next(Tuple* row) {
+    if (profile_ == nullptr) return NextImpl(row);
+    auto t0 = std::chrono::steady_clock::now();
+    Result<bool> r = NextImpl(row);
+    profile_->next_us += ElapsedUs(t0);
+    if (r.ok() && *r) ++profile_->rows_out;
+    return r;
+  }
+
+  void Close() { CloseImpl(); }
+
+  /// Allocates a Profile for this operator and every descendant; the
+  /// wrappers start accumulating into it from the next call on.
+  void EnableProfiling();
+
+  /// Null until EnableProfiling() has been called.
+  const Profile* profile() const { return profile_.get(); }
 
   /// Operator name for EXPLAIN-style rendering.
   virtual std::string Name() const = 0;
@@ -87,10 +163,26 @@ class PlanNode {
   virtual std::vector<const PlanNode*> Children() const { return {}; }
 
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Tuple* row) = 0;
+  virtual void CloseImpl() {}
+
   void set_schema(Schema schema) { schema_ = std::move(schema); }
 
+  /// Morsel accounting for operators that fan work out to the pool.
+  void CountMorsels(int64_t n) {
+    if (profile_ != nullptr) profile_->morsels += n;
+  }
+
  private:
+  static int64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
   Schema schema_;
+  std::unique_ptr<Profile> profile_;
 };
 
 using PlanNodePtr = std::unique_ptr<PlanNode>;
@@ -105,9 +197,9 @@ class SeqScanNode : public PlanNode {
  public:
   SeqScanNode(const Table* table, BoundExprPtr filter, ExecStats* stats);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override;
   std::string Name() const override { return "SeqScan(" + table_->name() + ")"; }
 
  private:
@@ -128,8 +220,8 @@ class IndexScanNode : public PlanNode {
                 std::vector<Tuple> keys, BoundExprPtr filter,
                 ExecStats* stats);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
   std::string Name() const override {
     return "IndexScan(" + table_->name() + "." + index_->name() + ")";
   }
@@ -154,8 +246,8 @@ class IndexRangeScanNode : public PlanNode {
                      std::optional<Value> lo, std::optional<Value> hi,
                      BoundExprPtr filter, ExecStats* stats);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
   std::string Name() const override {
     return "IndexRangeScan(" + table_->name() + "." + index_->name() + ")";
   }
@@ -176,9 +268,9 @@ class FilterNode : public PlanNode {
  public:
   FilterNode(PlanNodePtr child, BoundExprPtr predicate);
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Filter"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -197,9 +289,9 @@ class ProjectNode : public PlanNode {
   ProjectNode(PlanNodePtr child, std::vector<BoundExprPtr> exprs,
               Schema schema);
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Project"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -218,9 +310,9 @@ class NestedLoopJoinNode : public PlanNode {
   NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
                      BoundExprPtr predicate, ExecStats* stats);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override;
   std::string Name() const override { return "NestedLoopJoin"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -250,9 +342,9 @@ class HashJoinNode : public PlanNode {
                std::vector<size_t> left_keys, std::vector<size_t> right_keys,
                BoundExprPtr residual, ExecStats* stats);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override;
   std::string Name() const override { return "HashJoin"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -283,9 +375,9 @@ class IndexNLJoinNode : public PlanNode {
                   std::vector<size_t> outer_key_slots, BoundExprPtr residual,
                   ExecStats* stats);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override;
   std::string Name() const override {
     return "IndexNLJoin(" + inner_->name() + "." + index_->name() + ")";
   }
@@ -312,9 +404,9 @@ class DistinctNode : public PlanNode {
  public:
   explicit DistinctNode(PlanNodePtr child);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Distinct"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -333,9 +425,9 @@ class SetOpNode : public PlanNode {
  public:
   SetOpNode(PlanNodePtr left, PlanNodePtr right, SetOpKind kind);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override;
   std::string Name() const override { return "SetOp"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -361,9 +453,9 @@ class SortNode : public PlanNode {
 
   SortNode(PlanNodePtr child, std::vector<SortKey> keys);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override;
   std::string Name() const override { return "Sort"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -382,9 +474,9 @@ class LimitNode : public PlanNode {
  public:
   LimitNode(PlanNodePtr child, size_t limit);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Limit"; }
 
   std::vector<const PlanNode*> Children() const override {
@@ -420,9 +512,9 @@ class AggregateNode : public PlanNode {
                 std::vector<AggSpec> specs, std::vector<OutputRef> outputs,
                 Schema schema);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override;
   std::string Name() const override { return "Aggregate"; }
   std::vector<const PlanNode*> Children() const override {
     return {child_.get()};
@@ -450,9 +542,9 @@ class CountNode : public PlanNode {
  public:
   explicit CountNode(PlanNodePtr child, std::string column_name);
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Count"; }
 
   std::vector<const PlanNode*> Children() const override {

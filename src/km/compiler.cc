@@ -103,6 +103,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   std::set<std::string> reachable;  // P: query predicate + all reachable
   {
     ScopedAccumulator acc(&stats->t_setup_us);
+    trace::ScopedSpan phase_span(options.span, "setup");
     Pcg ws_pcg;
     ws_pcg.AddNode(query.predicate);
     for (const Rule& rule : workspace_->rules()) ws_pcg.AddRule(rule);
@@ -117,6 +118,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   // Workspace closure until the relevant sets stop growing.
   {
     ScopedAccumulator acc(&stats->t_extract_us);
+    trace::ScopedSpan phase_span(options.span, "extract");
     while (true) {
       size_t before = relevant.size();
       DKB_ASSIGN_OR_RETURN(std::vector<Rule> extracted,
@@ -166,6 +168,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   std::set<std::string> base_preds;
   {
     ScopedAccumulator acc(&stats->t_read_us);
+    trace::ScopedSpan phase_span(options.span, "read");
     for (const std::string& p : reachable) {
       if (derived.count(p) == 0) base_preds.insert(p);
     }
@@ -194,6 +197,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   bool have_adornment_filter = false;
   if (options.analyze) {
     ScopedAccumulator acc(&stats->t_analyze_us);
+    trace::ScopedSpan phase_span(options.span, "analyze");
     analysis::AnalyzerInput input;
     input.rules = relevant;
     input.goal = &query;
@@ -244,6 +248,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   bool apply_magic = options.magic_mode == MagicMode::kOn;
   if (options.magic_mode == MagicMode::kAdaptive) {
     ScopedAccumulator acc(&stats->t_opt_us);
+    trace::ScopedSpan phase_span(options.span, "opt");
     DKB_ASSIGN_OR_RETURN(
         double selectivity,
         EstimateSelectivity(query, base_preds, base_types, stored_,
@@ -253,6 +258,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   }
   if (apply_magic) {
     ScopedAccumulator acc(&stats->t_opt_us);
+    trace::ScopedSpan phase_span(options.span, "opt");
     DKB_ASSIGN_OR_RETURN(
         magic::MagicRewrite rewrite,
         magic::ApplyGeneralizedMagicSets(
@@ -268,6 +274,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   EvaluationOrder order;
   {
     ScopedAccumulator acc(&stats->t_eol_us);
+    trace::ScopedSpan phase_span(options.span, "eol");
     DKB_ASSIGN_OR_RETURN(order, BuildEvaluationOrder(eval_rules, derived));
   }
 
@@ -275,12 +282,14 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   TypeCheckResult types;
   {
     ScopedAccumulator acc(&stats->t_sem_us);
+    trace::ScopedSpan phase_span(options.span, "sem");
     DKB_ASSIGN_OR_RETURN(types, TypeCheck(eval_rules, base_types));
   }
 
   // Code generation (t_gen).
   {
     ScopedAccumulator acc(&stats->t_gen_us);
+    trace::ScopedSpan phase_span(options.span, "gen");
     DKB_ASSIGN_OR_RETURN(
         out.program, GenerateProgram(order, types.derived_types, base_types,
                                      effective_query));
@@ -290,6 +299,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   // of compiling the emitted C fragment against the run time library.
   {
     ScopedAccumulator acc(&stats->t_comp_us);
+    trace::ScopedSpan phase_span(options.span, "comp");
     for (const std::string& sql : out.program.AllSqlTexts()) {
       DKB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
       (void)stmt;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "datalog/ast.h"
 #include "km/analysis/analyzer.h"
 #include "km/codegen.h"
@@ -63,6 +64,10 @@ struct CompilerOptions {
   /// achievable adornment set. On by default; off reproduces the
   /// pre-analysis pipeline (ablation).
   bool analyze = true;
+  /// Parent trace span for this compilation; when set, each Table 4 phase
+  /// (setup, extract, read, ...) becomes a child span. Null (the default)
+  /// disables tracing at the cost of a pointer test per phase.
+  trace::TraceSpan* span = nullptr;
 };
 
 /// The result of D/KB query compilation: the object program plus the rule

@@ -2,7 +2,9 @@
 #define DKB_LFP_EVAL_CONTEXT_H_
 
 #include <string>
+#include <vector>
 
+#include "common/trace.h"
 #include "km/codegen.h"
 #include "lfp/evaluator.h"
 #include "rdbms/database.h"
@@ -19,6 +21,15 @@ class EvalContext {
 
   Database* db() { return db_; }
   ExecutionStats* stats() { return stats_; }
+
+  /// Trace span of the node currently being evaluated; the clique
+  /// evaluators hang per-iteration spans off it. Null = tracing off.
+  trace::TraceSpan* span() const { return span_; }
+  void set_span(trace::TraceSpan* span) { span_ = span; }
+
+  /// Per-iteration new-tuple counts recorded by the clique evaluators,
+  /// harvested into NodeStats::delta_sizes after each node.
+  std::vector<int64_t>& delta_sizes() { return delta_sizes_; }
 
   /// Temp-table management: CREATE/DROP/DELETE-all and table copies.
   Status Temp(const std::string& sql);
@@ -74,6 +85,8 @@ class EvalContext {
  private:
   Database* db_;
   ExecutionStats* stats_;
+  trace::TraceSpan* span_ = nullptr;
+  std::vector<int64_t> delta_sizes_;
 };
 
 }  // namespace dkb::lfp

@@ -47,11 +47,26 @@ Status EvaluateFlatNode(EvalContext* ctx, const km::QueryProgram& program,
   return Status::OK();
 }
 
+/// Predicates defined by a node, comma-joined (NodeStats label and trace
+/// span names).
+std::string NodeLabel(const km::ProgramNode& node) {
+  std::string label;
+  for (const std::string& p : node.predicates) {
+    if (!label.empty()) label += ",";
+    label += p;
+  }
+  return label;
+}
+
 /// Evaluates one node end to end, appending its NodeStats to ctx's stats.
+/// `node_span` (may be null) becomes the node's trace span: the clique
+/// evaluators hang per-iteration children off it via ctx->span().
 Status RunOneNode(EvalContext* ctx, const km::QueryProgram& program,
                   const km::ProgramNode& node, size_t node_index,
-                  LfpStrategy strategy) {
+                  LfpStrategy strategy, trace::TraceSpan* node_span) {
   WallTimer node_timer;
+  ctx->set_span(node_span);
+  ctx->delta_sizes().clear();
   int64_t iterations = 0;
   if (!node.is_clique) {
     DKB_RETURN_IF_ERROR(EvaluateFlatNode(ctx, program, node, node_index));
@@ -63,26 +78,35 @@ Status RunOneNode(EvalContext* ctx, const km::QueryProgram& program,
         iterations, EvaluateCliqueSemiNaive(ctx, program, node, node_index));
   }
   NodeStats ns;
+  ns.label = NodeLabel(node);
   ns.is_clique = node.is_clique;
   ns.iterations = iterations;
+  ns.delta_sizes = std::move(ctx->delta_sizes());
+  ctx->delta_sizes().clear();
+  ctx->set_span(nullptr);
   for (const std::string& p : node.predicates) {
-    if (!ns.label.empty()) ns.label += ",";
-    ns.label += p;
     DKB_ASSIGN_OR_RETURN(int64_t n,
                          ctx->Count(program.bindings.at(p).table));
     ns.tuples += n;
   }
   ns.t_us = node_timer.ElapsedMicros();
+  if (node_span != nullptr) {
+    node_span->Tag("iterations", iterations);
+    node_span->Tag("tuples", ns.tuples);
+    node_span->End();
+  }
   ctx->stats()->nodes.push_back(std::move(ns));
   ctx->stats()->iterations += iterations;
   return Status::OK();
 }
 
 Status RunNodes(EvalContext* ctx, const km::QueryProgram& program,
-                LfpStrategy strategy) {
+                LfpStrategy strategy, trace::TraceSpan* parent) {
   for (size_t i = 0; i < program.nodes.size(); ++i) {
+    trace::TraceSpan* node_span =
+        trace::StartSpan(parent, "node:" + NodeLabel(program.nodes[i]));
     DKB_RETURN_IF_ERROR(
-        RunOneNode(ctx, program, program.nodes[i], i, strategy));
+        RunOneNode(ctx, program, program.nodes[i], i, strategy, node_span));
   }
   return Status::OK();
 }
@@ -95,7 +119,7 @@ Status RunNodes(EvalContext* ctx, const km::QueryProgram& program,
 /// program order, so the reported breakdown is deterministic.
 Status RunNodesParallel(Database* db, const km::QueryProgram& program,
                         LfpStrategy strategy, ThreadPool* pool,
-                        ExecutionStats* stats) {
+                        ExecutionStats* stats, trace::TraceSpan* parent) {
   const size_t n = program.nodes.size();
   std::map<std::string, size_t> defined_by;
   for (size_t i = 0; i < n; ++i) {
@@ -124,6 +148,10 @@ Status RunNodesParallel(Database* db, const km::QueryProgram& program,
   }
 
   std::vector<ExecutionStats> locals(n);
+  // Per-node spans are detached from the shared context (each pool thread
+  // writes only its own slot) and adopted into `parent` in program order
+  // below, so the span tree is identical run to run.
+  std::vector<std::unique_ptr<trace::TraceSpan>> node_spans(n);
   std::vector<Status> results(n, Status::OK());
   std::vector<bool> done(n, false);
   size_t completed = 0;
@@ -146,8 +174,12 @@ Status RunNodesParallel(Database* db, const km::QueryProgram& program,
     pool->ParallelFor(0, wave.size(), [&](size_t w) {
       size_t i = wave[w];
       EvalContext node_ctx(db, &locals[i]);
-      results[i] =
-          RunOneNode(&node_ctx, program, program.nodes[i], i, strategy);
+      if (parent != nullptr) {
+        node_spans[i] = parent->context()->Detach(
+            "node:" + NodeLabel(program.nodes[i]));
+      }
+      results[i] = RunOneNode(&node_ctx, program, program.nodes[i], i,
+                              strategy, node_spans[i].get());
     });
     for (size_t i : wave) {
       done[i] = true;
@@ -165,6 +197,9 @@ Status RunNodesParallel(Database* db, const km::QueryProgram& program,
     stats->iterations += locals[i].iterations;
     for (NodeStats& ns : locals[i].nodes) {
       stats->nodes.push_back(std::move(ns));
+    }
+    if (parent != nullptr && node_spans[i] != nullptr) {
+      parent->Adopt(std::move(node_spans[i]));
     }
   }
   return Status::OK();
@@ -197,7 +232,8 @@ Result<QueryResult> ExecuteProgram(Database* db,
   if (options.strategy == LfpStrategy::kNative ||
       options.strategy == LfpStrategy::kNativeTc) {
     return ExecuteProgramNative(db, program, stats,
-                                options.strategy == LfpStrategy::kNativeTc);
+                                options.strategy == LfpStrategy::kNativeTc,
+                                options.span);
   }
 
   // Resolve the parallelism knob to a wavefront worker count.
@@ -211,28 +247,32 @@ Result<QueryResult> ExecuteProgram(Database* db,
 
   WallTimer total;
   EvalContext ctx(db, stats);
-  for (const std::string& sql : program.drop_statements) {
-    DKB_RETURN_IF_ERROR(ctx.Temp(sql));
-  }
-  for (const std::string& sql : program.create_statements) {
-    DKB_RETURN_IF_ERROR(ctx.Temp(sql));
+  {
+    trace::ScopedSpan temp_span(options.span, "temp");
+    for (const std::string& sql : program.drop_statements) {
+      DKB_RETURN_IF_ERROR(ctx.Temp(sql));
+    }
+    for (const std::string& sql : program.create_statements) {
+      DKB_RETURN_IF_ERROR(ctx.Temp(sql));
+    }
   }
 
   Status status;
   if (parallel && options.parallelism == 0) {
     status = RunNodesParallel(db, program, options.strategy,
-                              &GlobalThreadPool(), stats);
+                              &GlobalThreadPool(), stats, options.span);
   } else if (parallel) {
     ThreadPool wave_pool(workers - 1);
-    status =
-        RunNodesParallel(db, program, options.strategy, &wave_pool, stats);
+    status = RunNodesParallel(db, program, options.strategy, &wave_pool,
+                              stats, options.span);
   } else {
-    status = RunNodes(&ctx, program, options.strategy);
+    status = RunNodes(&ctx, program, options.strategy, options.span);
   }
 
   Result<QueryResult> answer = Status::Internal("unreachable");
   if (status.ok()) {
     ScopedAccumulator acc(&stats->t_final_us);
+    trace::ScopedSpan final_span(options.span, "final");
     answer = db->Execute(program.final_select);
   } else {
     answer = status;
@@ -240,9 +280,12 @@ Result<QueryResult> ExecuteProgram(Database* db,
 
   // Cleanup, win or lose: leftover idb_/temp tables would break the next
   // query's CREATE statements.
-  for (const std::string& sql : program.drop_statements) {
-    Status drop = ctx.Temp(sql);
-    (void)drop;
+  {
+    trace::ScopedSpan cleanup_span(options.span, "cleanup");
+    for (const std::string& sql : program.drop_statements) {
+      Status drop = ctx.Temp(sql);
+      (void)drop;
+    }
   }
   if (answer.ok()) {
     stats->answer_tuples = static_cast<int64_t>(answer->rows.size());

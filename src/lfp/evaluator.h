@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "km/codegen.h"
 #include "rdbms/database.h"
 
@@ -31,6 +32,12 @@ struct EvalOptions {
   /// dependency graph, and each node's semi-naive iteration stays
   /// sequential, so the fixed point reached is identical to a serial run.
   int parallelism = 1;
+  /// Parent trace span for this execution; when set, temp-table setup,
+  /// every program node (with per-iteration children), and final answer
+  /// retrieval become child spans. Parallel runs detach per-node spans and
+  /// adopt them in program order, so the tree is deterministic. Null (the
+  /// default) disables tracing.
+  trace::TraceSpan* span = nullptr;
 };
 
 /// Per-node timing recorded during execution; the Fig 14 bench uses the
@@ -41,6 +48,10 @@ struct NodeStats {
   int64_t t_us = 0;
   int64_t iterations = 0;
   int64_t tuples = 0;  // total tuples in the node's relations afterwards
+  /// New tuples discovered per LFP iteration, summed over the node's
+  /// predicates (the semi-naive delta cardinality; EXPLAIN ANALYZE shows
+  /// these). Empty for non-clique nodes.
+  std::vector<int64_t> delta_sizes;
 };
 
 /// D/KB query execution breakdown (paper §5.3.1.2, Tables 5-6).

@@ -62,6 +62,8 @@ Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
   int64_t iterations = 0;
   while (true) {
     ++iterations;
+    trace::ScopedSpan iter_span(ctx->span(), "iteration");
+    iter_span.Tag("iter", iterations);
     // Recompute every member relation from scratch into #p_new.
     for (const std::string& p : node.predicates) {
       DKB_RETURN_IF_ERROR(ctx->Clear(km::NewTableName(p)));
@@ -80,6 +82,7 @@ Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
 
     // Termination: full set difference #p_new - idb_p, then count.
     bool changed = false;
+    int64_t delta_total = 0;
     for (const std::string& p : node.predicates) {
       const km::PredicateBinding& b = program.bindings.at(p);
       DKB_RETURN_IF_ERROR(ctx->Clear(km::DiffTableName(p)));
@@ -91,7 +94,10 @@ Result<int64_t> EvaluateCliqueNaive(EvalContext* ctx,
                            ctx->TermCount("SELECT COUNT(*) FROM " +
                                           km::DiffTableName(p)));
       if (cnt > 0) changed = true;
+      delta_total += cnt;
     }
+    ctx->delta_sizes().push_back(delta_total);
+    iter_span.Tag("delta", delta_total);
     if (!changed) break;
 
     // Table copy: idb_p := #p_new.

@@ -187,21 +187,26 @@ std::vector<size_t> JoinOrder(const datalog::Rule& rule,
 class NativeExecutor {
  public:
   NativeExecutor(Database* db, const km::QueryProgram& program,
-                 ExecutionStats* stats, bool use_tc_operator)
+                 ExecutionStats* stats, bool use_tc_operator,
+                 trace::TraceSpan* span)
       : db_(db),
         program_(program),
         stats_(stats),
-        use_tc_operator_(use_tc_operator) {}
+        use_tc_operator_(use_tc_operator),
+        span_(span) {}
 
   Result<QueryResult> Run() {
     WallTimer total;
     // Materialize the IDB tables (empty) so the final select and any
     // outside observer see the same schema as the SQL evaluators.
-    for (const std::string& sql : program_.drop_statements) {
-      DKB_RETURN_IF_ERROR(Temp(sql));
-    }
-    for (const std::string& sql : program_.create_statements) {
-      DKB_RETURN_IF_ERROR(Temp(sql));
+    {
+      trace::ScopedSpan temp_span(span_, "temp");
+      for (const std::string& sql : program_.drop_statements) {
+        DKB_RETURN_IF_ERROR(Temp(sql));
+      }
+      for (const std::string& sql : program_.create_statements) {
+        DKB_RETURN_IF_ERROR(Temp(sql));
+      }
     }
 
     Status status = RunNodes();
@@ -210,13 +215,17 @@ class NativeExecutor {
     Result<QueryResult> answer = Status::Internal("unreachable");
     if (status.ok()) {
       ScopedAccumulator acc(&stats_->t_final_us);
+      trace::ScopedSpan final_span(span_, "final");
       answer = db_->Execute(program_.final_select);
     } else {
       answer = status;
     }
-    for (const std::string& sql : program_.drop_statements) {
-      Status drop = Temp(sql);
-      (void)drop;  // best-effort cleanup
+    {
+      trace::ScopedSpan cleanup_span(span_, "cleanup");
+      for (const std::string& sql : program_.drop_statements) {
+        Status drop = Temp(sql);
+        (void)drop;  // best-effort cleanup
+      }
     }
     if (answer.ok()) {
       stats_->answer_tuples = static_cast<int64_t>(answer->rows.size());
@@ -267,23 +276,35 @@ class NativeExecutor {
     for (const km::ProgramNode& node : program_.nodes) {
       WallTimer node_timer;
       int64_t iterations = 0;
-      DKB_RETURN_IF_ERROR(EvalNode(node, &iterations));
       NodeStats ns;
       for (const std::string& p : node.predicates) {
         if (!ns.label.empty()) ns.label += ",";
         ns.label += p;
+      }
+      trace::TraceSpan* node_span =
+          trace::StartSpan(span_, "node:" + ns.label);
+      DKB_RETURN_IF_ERROR(
+          EvalNode(node, &iterations, node_span, &ns.delta_sizes));
+      for (const std::string& p : node.predicates) {
         ns.tuples += static_cast<int64_t>(relations_.at(p)->size());
       }
       ns.is_clique = node.is_clique;
       ns.iterations = iterations;
       ns.t_us = node_timer.ElapsedMicros();
+      if (node_span != nullptr) {
+        node_span->Tag("iterations", iterations);
+        node_span->Tag("tuples", ns.tuples);
+        node_span->End();
+      }
       stats_->nodes.push_back(std::move(ns));
       stats_->iterations += iterations;
     }
     return Status::OK();
   }
 
-  Status EvalNode(const km::ProgramNode& node, int64_t* iterations) {
+  Status EvalNode(const km::ProgramNode& node, int64_t* iterations,
+                  trace::TraceSpan* node_span,
+                  std::vector<int64_t>* delta_sizes) {
     if (use_tc_operator_) {
       TcShape shape;
       if (MatchesTransitiveClosure(node, &shape)) {
@@ -326,6 +347,8 @@ class NativeExecutor {
 
     while (true) {
       ++*iterations;
+      trace::ScopedSpan iter_span(node_span, "iteration");
+      iter_span.Tag("iter", *iterations);
       std::map<std::string, std::unique_ptr<NativeRelation>> new_delta;
       for (const std::string& p : node.predicates) {
         new_delta[p] = std::make_unique<NativeRelation>();
@@ -354,12 +377,16 @@ class NativeExecutor {
 
       // Termination: all deltas empty.
       bool changed = false;
+      int64_t delta_total = 0;
       {
         ScopedAccumulator acc(&stats_->t_term_us);
         for (const auto& [p, nd] : new_delta) {
           if (!nd->empty()) changed = true;
+          delta_total += static_cast<int64_t>(nd->size());
         }
       }
+      delta_sizes->push_back(delta_total);
+      iter_span.Tag("delta", delta_total);
       if (!changed) break;
 
       // Merge deltas (incremental index extension, no copies) and swap the
@@ -412,6 +439,7 @@ class NativeExecutor {
   const km::QueryProgram& program_;
   ExecutionStats* stats_;
   bool use_tc_operator_;
+  trace::TraceSpan* span_;
   std::map<std::string, std::unique_ptr<NativeRelation>> relations_;
 };
 
@@ -420,8 +448,9 @@ class NativeExecutor {
 Result<QueryResult> ExecuteProgramNative(Database* db,
                                          const km::QueryProgram& program,
                                          ExecutionStats* stats,
-                                         bool use_tc_operator) {
-  NativeExecutor executor(db, program, stats, use_tc_operator);
+                                         bool use_tc_operator,
+                                         trace::TraceSpan* span) {
+  NativeExecutor executor(db, program, stats, use_tc_operator, span);
   return executor.Run();
 }
 

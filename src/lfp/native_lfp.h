@@ -24,7 +24,8 @@ namespace dkb::lfp {
 Result<QueryResult> ExecuteProgramNative(Database* db,
                                          const km::QueryProgram& program,
                                          ExecutionStats* stats,
-                                         bool use_tc_operator = false);
+                                         bool use_tc_operator = false,
+                                         trace::TraceSpan* span = nullptr);
 
 }  // namespace dkb::lfp
 

@@ -78,6 +78,8 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
   int64_t iterations = 0;
   while (true) {
     ++iterations;
+    trace::ScopedSpan iter_span(ctx->span(), "iteration");
+    iter_span.Tag("iter", iterations);
     for (const std::string& p : node.predicates) {
       DKB_RETURN_IF_ERROR(ctx->Clear(km::NewTableName(p)));
     }
@@ -123,13 +125,17 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
 
     // New delta + termination check: diff = new - accumulated.
     bool changed = false;
+    int64_t delta_total = 0;
     for (const std::string& p : node.predicates) {
       DKB_RETURN_IF_ERROR(ctx->Clear(km::DiffTableName(p)));
       DKB_RETURN_IF_ERROR(ctx->TermPrepared(&diff_insert.at(p)));
       DKB_ASSIGN_OR_RETURN(int64_t cnt,
                            ctx->TermCountPrepared(&diff_count.at(p)));
       if (cnt > 0) changed = true;
+      delta_total += cnt;
     }
+    ctx->delta_sizes().push_back(delta_total);
+    iter_span.Tag("delta", delta_total);
     if (!changed) break;
 
     // prev := full; full += diff; delta := diff.

@@ -261,9 +261,12 @@ struct SelectStatement : Statement {
 };
 
 /// EXPLAIN SELECT ...: renders the chosen physical plan without running it.
+/// With ANALYZE, the query is executed and each operator is annotated with
+/// its actual row count and time.
 struct ExplainStmt : Statement {
   ExplainStmt() : Statement(StatementKind::kExplain) {}
   std::unique_ptr<SelectStmt> select;
+  bool analyze = false;
 };
 
 }  // namespace dkb::sql

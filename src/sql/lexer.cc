@@ -18,6 +18,7 @@ const std::unordered_set<std::string>& Keywords() {
       "DESC",   "COUNT",    "IN",        "NULL",   "INT",    "INTEGER",
       "VARCHAR", "CHAR",    "ORDERED",   "EXISTS", "IF",     "LIMIT",
       "EXPLAIN", "GROUP",  "SUM",       "MIN",    "MAX",    "HAVING",
+      "ANALYZE",
   };
   return *kKeywords;
 }

@@ -103,6 +103,7 @@ Result<std::vector<StatementPtr>> Parser::ParseStatements() {
       stmt = std::move(sel);
     } else if (MatchKeyword("EXPLAIN")) {
       auto explain = std::make_unique<ExplainStmt>();
+      explain->analyze = MatchKeyword("ANALYZE");
       DKB_ASSIGN_OR_RETURN(explain->select, ParseSelectStmt());
       stmt = std::move(explain);
     } else {

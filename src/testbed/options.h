@@ -28,6 +28,13 @@ struct TestbedOptions {
   }
 };
 
+/// What a query should produce besides (or instead of) its answers.
+enum class ExplainMode {
+  kNone,     // run normally
+  kPlan,     // compile only; the result rows are the rendered plan
+  kAnalyze,  // run with tracing on; the result rows are the full report
+};
+
 /// Per-query knobs: optimization strategy and LFP evaluation method.
 ///
 /// The named presets cover the paper's strategy matrix; the fluent
@@ -54,6 +61,12 @@ struct QueryOptions {
   /// pool, N > 1 = at most N at a time. Only mutually independent cliques
   /// run together, so answers are identical to a serial run.
   int lfp_parallelism = 1;
+  /// EXPLAIN / EXPLAIN ANALYZE behaviour (see ExplainMode).
+  ExplainMode explain = ExplainMode::kNone;
+  /// Collect the hierarchical span tree into QueryReport::trace without
+  /// changing what the query returns. Off by default: tracing costs one
+  /// pointer test per instrumentation site when disabled.
+  bool collect_trace = false;
 
   /// Naive LFP evaluation, no magic rewrite (paper §3.3 baseline).
   static QueryOptions Naive() {
@@ -93,6 +106,14 @@ struct QueryOptions {
   }
   QueryOptions& WithParallelism(int n) {
     lfp_parallelism = n;
+    return *this;
+  }
+  QueryOptions& WithExplain(ExplainMode mode) {
+    explain = mode;
+    return *this;
+  }
+  QueryOptions& WithTrace(bool on = true) {
+    collect_trace = on;
     return *this;
   }
 };

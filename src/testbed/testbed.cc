@@ -8,7 +8,9 @@
 #include <functional>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/timer.h"
 #include "datalog/parser.h"
 #include "rdbms/snapshot.h"
 #include "testbed/session.h"
@@ -28,6 +30,28 @@ class EpochBump {
  private:
   std::function<void()> bump_;
 };
+
+/// Predicates defined by a program node, comma-joined (plan-summary label;
+/// matches the labels the LFP run time puts on NodeStats and trace spans).
+std::string NodeLabel(const km::ProgramNode& node) {
+  std::string label;
+  for (const std::string& p : node.predicates) {
+    if (!label.empty()) label += ",";
+    label += p;
+  }
+  return label;
+}
+
+/// A QueryResult whose rows are the lines of `text`, one VARCHAR column —
+/// what EXPLAIN / EXPLAIN ANALYZE queries return instead of answers.
+QueryResult TextResult(const std::string& text) {
+  QueryResult result;
+  result.schema = Schema({Column{"explain", DataType::kVarchar}});
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (!line.empty()) result.rows.push_back(Tuple{Value(line)});
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -150,6 +174,22 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
                                         const datalog::Atom& goal,
                                         const QueryOptions& options) {
   QueryOutcome outcome;
+  QueryReport& report = outcome.report;
+
+  // Tracing: EXPLAIN ANALYZE implies a span tree; collect_trace requests
+  // one without changing what the query returns.
+  const bool tracing =
+      options.collect_trace || options.explain == ExplainMode::kAnalyze;
+  trace::TraceSpan* root = nullptr;
+  if (tracing) {
+    report.trace =
+        std::make_unique<trace::TraceContext>("query:" + goal.ToString());
+    root = report.trace->root();
+  }
+  WallTimer total;
+  const exec::ExecStatsSnapshot before =
+      exec::ExecStatsSnapshot::Take(db->stats());
+
   std::string key = QueryCache::MakeKey(goal, options.use_magic,
                                         options.adaptive_magic);
   if (options.supplementary) key += "#sup";
@@ -157,13 +197,15 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
     const km::CompiledQuery* cached = cache->Lookup(key);
     if (cached != nullptr) {
       outcome.compiled = *cached;
-      outcome.from_cache = true;
+      report.from_cache = true;
     }
   }
-  if (!outcome.from_cache) {
+  if (!report.from_cache) {
+    trace::ScopedSpan compile_span(root, "compile");
     DKB_ASSIGN_OR_RETURN(
         outcome.compiled,
-        CompileImpl(workspace, stored, goal, options, &outcome.compile));
+        CompileImpl(workspace, stored, goal, options, &report.compile,
+                    compile_span.get()));
     if (options.use_cache) {
       // Dependency set: every predicate the relevant rules mention plus the
       // query predicate itself.
@@ -177,12 +219,57 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
       cache->Insert(key, outcome.compiled, std::move(deps));
     }
   }
+
+  // Plan summary: the EXPLAIN side of the report, filled whether or not the
+  // query executes.
+  report.plan.query = goal.ToString();
+  report.plan.strategy = lfp::StrategyName(options.strategy);
+  report.plan.magic_applied = report.compile.magic_applied;
+  report.plan.parallelism = options.lfp_parallelism;
+  report.plan.rules_relevant = report.compile.rules_relevant;
+  report.plan.rules_pruned = report.compile.rules_pruned;
+  for (const km::ProgramNode& node : outcome.compiled.program.nodes) {
+    PlanSummary::Node pn;
+    pn.label = NodeLabel(node);
+    pn.is_clique = node.is_clique;
+    pn.exit_rules = static_cast<int64_t>(node.exit_rules.size());
+    pn.recursive_rules = static_cast<int64_t>(node.recursive_rules.size());
+    report.plan.nodes.push_back(std::move(pn));
+  }
+  report.plan.final_select = outcome.compiled.program.final_select;
+
+  if (options.explain == ExplainMode::kPlan) {
+    report.executed = false;
+    report.total_us = total.ElapsedMicros();
+    if (root != nullptr) root->End();
+    outcome.result = TextResult(report.ExplainText());
+    return outcome;
+  }
+
   lfp::EvalOptions eopts;
   eopts.strategy = options.strategy;
   eopts.parallelism = options.lfp_parallelism;
-  DKB_ASSIGN_OR_RETURN(outcome.result,
-                       lfp::ExecuteProgram(db, outcome.compiled.program,
-                                           eopts, &outcome.exec));
+  {
+    trace::ScopedSpan exec_span(root, "execute");
+    eopts.span = exec_span.get();
+    DKB_ASSIGN_OR_RETURN(outcome.result,
+                         lfp::ExecuteProgram(db, outcome.compiled.program,
+                                             eopts, &report.exec));
+  }
+  report.executed = true;
+  report.total_us = total.ElapsedMicros();
+  report.db_delta = exec::ExecStatsSnapshot::Take(db->stats()) - before;
+  if (root != nullptr) root->End();
+
+  metrics::MetricsRegistry& metrics = metrics::GlobalMetrics();
+  metrics.counter("dkb.query.count").Add(1);
+  if (report.from_cache) metrics.counter("dkb.query.cache_hits").Add(1);
+  metrics.counter("dkb.lfp.iterations").Add(report.exec.iterations);
+  metrics.histogram("dkb.query.total_us").Observe(report.total_us);
+
+  if (options.explain == ExplainMode::kAnalyze) {
+    outcome.result = TextResult(report.ExplainText());
+  }
   return outcome;
 }
 
@@ -199,7 +286,8 @@ Result<km::CompiledQuery> Testbed::CompileImpl(km::Workspace* workspace,
                                                km::StoredDkb* stored,
                                                const datalog::Atom& goal,
                                                const QueryOptions& options,
-                                               km::CompilationStats* stats) {
+                                               km::CompilationStats* stats,
+                                               trace::TraceSpan* span) {
   km::QueryCompiler compiler(workspace, stored);
   km::CompilerOptions copts;
   copts.magic_mode = options.adaptive_magic ? km::MagicMode::kAdaptive
@@ -208,6 +296,7 @@ Result<km::CompiledQuery> Testbed::CompileImpl(km::Workspace* workspace,
   copts.magic_variant = options.supplementary
                             ? magic::MagicVariant::kSupplementary
                             : magic::MagicVariant::kGeneralized;
+  copts.span = span;
   return compiler.Compile(goal, copts, stats);
 }
 

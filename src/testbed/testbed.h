@@ -16,20 +16,22 @@
 #include "rdbms/database.h"
 #include "testbed/options.h"
 #include "testbed/query_cache.h"
+#include "testbed/report.h"
 
 namespace dkb::testbed {
 
 class Session;
 
-/// Everything a D/KB query session produces: the answers plus the paper's
-/// two headline measures, t_c (compilation) and t_e (execution), broken
-/// into their components.
+/// Everything a D/KB query session produces: the answers, the compiled
+/// program, and a unified QueryReport carrying the paper's two headline
+/// measures — t_c (compilation) and t_e (execution) — broken into their
+/// components, plus counters and (when requested) the span tree.
+///
+/// Move-only: the report may own a TraceContext.
 struct QueryOutcome {
   QueryResult result;
-  km::CompilationStats compile;  // all zeros on a precompiled-cache hit
-  lfp::ExecutionStats exec;
   km::CompiledQuery compiled;
-  bool from_cache = false;
+  QueryReport report;
 };
 
 /// The D/KBMS testbed facade (paper Fig 5): a Workspace DKB, a Stored DKB
@@ -137,7 +139,8 @@ class Testbed {
                                                km::StoredDkb* stored,
                                                const datalog::Atom& goal,
                                                const QueryOptions& options,
-                                               km::CompilationStats* stats);
+                                               km::CompilationStats* stats,
+                                               trace::TraceSpan* span = nullptr);
 
   /// Marks a committed write: bump under the writer lock so session clones
   /// (shared lock) always pair an epoch with the state it describes.

@@ -1,0 +1,158 @@
+// Golden-output tests for EXPLAIN rendering: the plan section of the D/KB
+// QueryReport and the SQL EXPLAIN operator tree are compared byte-for-byte,
+// so any change to plan rendering shows up here. Timing-bearing sections
+// (which vary run to run) are covered structurally, not byte-for-byte.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "testbed/testbed.h"
+
+namespace dkb {
+namespace {
+
+using testbed::ExplainMode;
+using testbed::QueryOptions;
+using testbed::Testbed;
+
+/// The non-linear same-generation program (the paper's canonical
+/// magic-sets workload; mirrors examples/programs/same_generation.dkb).
+std::unique_ptr<Testbed> MakeSameGeneration() {
+  auto tb_or = Testbed::Create();
+  EXPECT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  auto tb = std::move(tb_or).value();
+  Status consulted = tb->Consult(
+      "sg(X, Y) :- flat(X, Y).\n"
+      "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n"
+      "up(a, e). up(a, f). up(b, f). up(c, g). up(d, h).\n"
+      "flat(e, f). flat(f, g). flat(g, h).\n"
+      "down(e, a). down(f, b). down(g, c). down(h, d).\n");
+  EXPECT_TRUE(consulted.ok()) << consulted.ToString();
+  return tb;
+}
+
+/// The deterministic prefix of an EXPLAIN rendering: everything up to and
+/// including the "  final:" line (strategy, plan nodes, final select).
+/// Lines after it carry timings, which vary run to run.
+std::string PlanSection(const std::string& explain_text) {
+  std::string out;
+  for (const std::string& line : StrSplit(explain_text, '\n')) {
+    out += line + "\n";
+    if (StartsWith(line, "  final:")) break;
+  }
+  return out;
+}
+
+/// Runs an EXPLAIN (plan-only) query and returns the rendered rows joined
+/// by newlines — the text a user of the API sees.
+std::string ExplainRows(Testbed* tb, const std::string& goal,
+                        const QueryOptions& base) {
+  QueryOptions options = base;
+  options.explain = ExplainMode::kPlan;
+  auto outcome = tb->Query(goal, options);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  std::string joined;
+  for (const Tuple& row : outcome->result.rows) {
+    joined += row[0].as_string() + "\n";
+  }
+  return joined;
+}
+
+TEST(ExplainGoldenTest, SemiNaivePlan) {
+  auto tb = MakeSameGeneration();
+  std::string plan =
+      PlanSection(ExplainRows(tb.get(), "sg(a, W)", QueryOptions{}));
+  EXPECT_EQ(plan,
+            "query: sg(a, W)\n"
+            "strategy: semi-naive  magic: off  parallelism: 1  cache: miss\n"
+            "plan: 2 relevant rule(s)\n"
+            "  node sg [clique] exit=1 rec=1\n"
+            "  final: SELECT DISTINCT c1 AS W FROM idb_sg WHERE c0 = 'a'\n");
+}
+
+TEST(ExplainGoldenTest, MagicPlanAddsMagicClique) {
+  auto tb = MakeSameGeneration();
+  std::string plan = PlanSection(
+      ExplainRows(tb.get(), "sg(a, W)", QueryOptions::Magic()));
+  EXPECT_EQ(plan,
+            "query: sg(a, W)\n"
+            "strategy: semi-naive  magic: on  parallelism: 1  cache: miss\n"
+            "plan: 2 relevant rule(s)\n"
+            "  node m_sg__bf [clique] exit=1 rec=1\n"
+            "  node sg__bf [clique] exit=1 rec=1\n"
+            "  final: SELECT DISTINCT c1 AS W FROM idb_sg__bf WHERE c0 = "
+            "'a'\n");
+}
+
+TEST(ExplainGoldenTest, PlanModeDoesNotExecute) {
+  auto tb = MakeSameGeneration();
+  auto outcome = tb->Query(
+      "sg(a, W)", QueryOptions{}.WithExplain(ExplainMode::kPlan));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->report.executed);
+  EXPECT_EQ(outcome->report.exec.iterations, 0);
+  // No answers — the rows are the rendered plan.
+  ASSERT_FALSE(outcome->result.rows.empty());
+  EXPECT_EQ(outcome->result.rows[0][0].as_string(), "query: sg(a, W)");
+}
+
+TEST(ExplainGoldenTest, AnalyzeReportsIterationDeltas) {
+  auto tb = MakeSameGeneration();
+  auto outcome = tb->Query(
+      "sg(a, W)", QueryOptions{}.WithExplain(ExplainMode::kAnalyze));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->report.executed);
+  ASSERT_NE(outcome->report.trace, nullptr);
+  std::string joined;
+  for (const Tuple& row : outcome->result.rows) {
+    joined += row[0].as_string() + "\n";
+  }
+  // Per-iteration delta cardinalities and per-phase timings are in the
+  // rendered report.
+  EXPECT_NE(joined.find("deltas=["), std::string::npos) << joined;
+  EXPECT_NE(joined.find("iteration"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("execute:"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("counters:"), std::string::npos) << joined;
+}
+
+TEST(ExplainGoldenTest, SqlExplainSelect) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteAll("CREATE TABLE t (a INT, b VARCHAR);"
+                            "INSERT INTO t VALUES (1, 'x');"
+                            "INSERT INTO t VALUES (2, 'y');")
+                  .ok());
+  auto result = db.Execute("EXPLAIN SELECT a FROM t WHERE a = 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string joined;
+  for (const Tuple& row : result->rows) {
+    joined += row[0].as_string() + "\n";
+  }
+  // The predicate is evaluated inside the scan, not a separate Filter node.
+  EXPECT_EQ(joined,
+            "Project\n"
+            "  SeqScan(t)\n");
+}
+
+TEST(ExplainGoldenTest, SqlExplainAnalyzeAnnotatesRows) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteAll("CREATE TABLE t (a INT);"
+                            "INSERT INTO t VALUES (1);"
+                            "INSERT INTO t VALUES (2);"
+                            "INSERT INTO t VALUES (3);")
+                  .ok());
+  auto result = db.Execute("EXPLAIN ANALYZE SELECT a FROM t");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->rows.empty());
+  std::string joined;
+  for (const Tuple& row : result->rows) {
+    joined += row[0].as_string() + "\n";
+  }
+  // Every line carries live row counts and timings.
+  EXPECT_NE(joined.find("(rows=3, time="), std::string::npos) << joined;
+}
+
+}  // namespace
+}  // namespace dkb

@@ -44,14 +44,14 @@ TEST(LfpStatsTest, IterationCountMatchesChainDepth) {
   auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).",
                      LfpStrategy::kSemiNaive);
   EXPECT_EQ(outcome.result.rows.size(), 66u);  // 11+10+...+1
-  EXPECT_EQ(outcome.exec.iterations, 11);
+  EXPECT_EQ(outcome.report.exec.iterations, 11);
 }
 
 TEST(LfpStatsTest, NaiveAndSemiNaiveSameIterationCount) {
   auto tb = ListTestbed(9);
   auto semi = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kSemiNaive);
   auto naive = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kNaive);
-  EXPECT_EQ(semi.exec.iterations, naive.exec.iterations);
+  EXPECT_EQ(semi.report.exec.iterations, naive.report.exec.iterations);
 }
 
 TEST(LfpStatsTest, NonLinearRuleConvergesInLogIterations) {
@@ -69,19 +69,19 @@ TEST(LfpStatsTest, NonLinearRuleConvergesInLogIterations) {
   auto outcome =
       RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kSemiNaive);
   EXPECT_EQ(outcome.result.rows.size(), 120u);  // C(16,2)
-  EXPECT_LE(outcome.exec.iterations, 6);
-  EXPECT_GE(outcome.exec.iterations, 4);
+  EXPECT_LE(outcome.report.exec.iterations, 6);
+  EXPECT_GE(outcome.report.exec.iterations, 4);
 }
 
 TEST(LfpStatsTest, TimingBucketsArePopulated) {
   auto tb = ListTestbed(30);
   for (auto strategy : {LfpStrategy::kNaive, LfpStrategy::kSemiNaive}) {
     auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).", strategy);
-    EXPECT_GT(outcome.exec.t_temp_us, 0) << StrategyName(strategy);
-    EXPECT_GT(outcome.exec.t_rhs_us, 0) << StrategyName(strategy);
-    EXPECT_GT(outcome.exec.t_term_us, 0) << StrategyName(strategy);
-    EXPECT_GE(outcome.exec.t_total_us,
-              outcome.exec.t_rhs_us + outcome.exec.t_term_us);
+    EXPECT_GT(outcome.report.exec.t_temp_us, 0) << StrategyName(strategy);
+    EXPECT_GT(outcome.report.exec.t_rhs_us, 0) << StrategyName(strategy);
+    EXPECT_GT(outcome.report.exec.t_term_us, 0) << StrategyName(strategy);
+    EXPECT_GE(outcome.report.exec.t_total_us,
+              outcome.report.exec.t_rhs_us + outcome.report.exec.t_term_us);
   }
 }
 
@@ -89,16 +89,16 @@ TEST(LfpStatsTest, NaiveDoesMoreRhsWorkThanSemiNaive) {
   auto tb = ListTestbed(40);
   auto naive = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kNaive);
   auto semi = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kSemiNaive);
-  EXPECT_GT(naive.exec.t_rhs_us + naive.exec.t_term_us,
-            semi.exec.t_rhs_us + semi.exec.t_term_us);
+  EXPECT_GT(naive.report.exec.t_rhs_us + naive.report.exec.t_term_us,
+            semi.report.exec.t_rhs_us + semi.report.exec.t_term_us);
 }
 
 TEST(LfpStatsTest, NodeStatsLabelAndTuples) {
   auto tb = ListTestbed(5);
   auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).",
                      LfpStrategy::kSemiNaive);
-  ASSERT_EQ(outcome.exec.nodes.size(), 1u);
-  const NodeStats& ns = outcome.exec.nodes[0];
+  ASSERT_EQ(outcome.report.exec.nodes.size(), 1u);
+  const NodeStats& ns = outcome.report.exec.nodes[0];
   EXPECT_EQ(ns.label, "ancestor");
   EXPECT_TRUE(ns.is_clique);
   EXPECT_EQ(ns.tuples, 10);  // closure of a 5-node chain
@@ -109,11 +109,11 @@ TEST(LfpStatsTest, MagicProgramReportsMagicAndModifiedNodes) {
   auto tb = ListTestbed(8);
   auto outcome = RunQuery(tb.get(), "?- ancestor('l0_0', W).",
                      LfpStrategy::kSemiNaive, /*magic=*/true);
-  ASSERT_EQ(outcome.exec.nodes.size(), 2u);
-  EXPECT_EQ(outcome.exec.nodes[0].label, "m_ancestor__bf");
-  EXPECT_EQ(outcome.exec.nodes[1].label, "ancestor__bf");
+  ASSERT_EQ(outcome.report.exec.nodes.size(), 2u);
+  EXPECT_EQ(outcome.report.exec.nodes[0].label, "m_ancestor__bf");
+  EXPECT_EQ(outcome.report.exec.nodes[1].label, "ancestor__bf");
   // Magic set: the whole chain is reachable from the head -> 8 nodes.
-  EXPECT_EQ(outcome.exec.nodes[0].tuples, 8);
+  EXPECT_EQ(outcome.report.exec.nodes[0].tuples, 8);
   EXPECT_EQ(outcome.result.rows.size(), 7u);
 }
 
@@ -121,7 +121,7 @@ TEST(LfpStatsTest, AnswerTuplesTracked) {
   auto tb = ListTestbed(6);
   auto outcome = RunQuery(tb.get(), "?- ancestor('l0_0', W).",
                      LfpStrategy::kSemiNaive);
-  EXPECT_EQ(outcome.exec.answer_tuples, 5);
+  EXPECT_EQ(outcome.report.exec.answer_tuples, 5);
 }
 
 TEST(LfpStatsTest, NativeSkipsSqlBuckets) {
@@ -129,8 +129,8 @@ TEST(LfpStatsTest, NativeSkipsSqlBuckets) {
   auto outcome = RunQuery(tb.get(), "?- ancestor(X, Y).", LfpStrategy::kNative);
   // Native attributes load/store to t_temp and joins to t_rhs; its
   // termination checks are near-free.
-  EXPECT_GT(outcome.exec.t_rhs_us, 0);
-  EXPECT_LT(outcome.exec.t_term_us, outcome.exec.t_rhs_us + 1);
+  EXPECT_GT(outcome.report.exec.t_rhs_us, 0);
+  EXPECT_LT(outcome.report.exec.t_term_us, outcome.report.exec.t_rhs_us + 1);
 }
 
 TEST(LfpStatsTest, MutualRecursionIterationsCoupled) {
@@ -145,9 +145,9 @@ TEST(LfpStatsTest, MutualRecursionIterationsCoupled) {
                     "edge(n3, n4).\n")
                   .ok());
   auto outcome = RunQuery(tb.get(), "?- odd(n0, Y).", LfpStrategy::kSemiNaive);
-  ASSERT_EQ(outcome.exec.nodes.size(), 1u);
+  ASSERT_EQ(outcome.report.exec.nodes.size(), 1u);
   // odd and even evaluate together in one clique.
-  EXPECT_EQ(outcome.exec.nodes[0].label, "even,odd");
+  EXPECT_EQ(outcome.report.exec.nodes[0].label, "even,odd");
   EXPECT_EQ(outcome.result.rows.size(), 2u);  // n1, n3
 }
 

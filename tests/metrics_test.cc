@@ -1,0 +1,124 @@
+// Metrics registry: counters, gauges, power-of-two histograms, and the
+// JSON snapshot.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dkb::metrics {
+namespace {
+
+TEST(MetricsTest, CounterAddsAndResets) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.count");
+  EXPECT_EQ(c.value(), 0);
+  c.Add(3);
+  c.Add(4);
+  EXPECT_EQ(c.value(), 7);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsTest, RegistryReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("same.counter");
+  Counter& b = registry.counter("same.counter");
+  EXPECT_EQ(&a, &b);
+  a.Add(1);
+  EXPECT_EQ(b.value(), 1);
+  // Distinct kinds with distinct names coexist.
+  registry.gauge("same.gauge").Set(5);
+  EXPECT_EQ(registry.gauge("same.gauge").value(), 5);
+}
+
+TEST(MetricsTest, CounterIsThreadSafe) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("concurrent.count");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c]() {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsTest, GaugeSetsAndOverwrites) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("test.gauge");
+  g.Set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.Set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(MetricsTest, HistogramBasicStats) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.hist");
+  for (int64_t v : {1, 2, 4, 8, 100}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 115);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 23.0);
+}
+
+TEST(MetricsTest, HistogramQuantilesAreOrdered) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("quantile.hist");
+  for (int64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  int64_t p50 = h.ApproxQuantile(0.5);
+  int64_t p99 = h.ApproxQuantile(0.99);
+  EXPECT_LE(p50, p99);
+  // Power-of-two buckets: p50 of 1..1000 lands in the bucket holding 500.
+  EXPECT_GE(p50, 256);
+  EXPECT_LE(p50, 1024);
+}
+
+TEST(MetricsTest, HistogramHandlesNonPositive) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("edge.hist");
+  h.Observe(0);
+  h.Observe(-5);
+  h.Observe(1);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.max(), 1);
+}
+
+TEST(MetricsTest, SnapshotJsonContainsAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("dkb.test.count").Add(2);
+  registry.gauge("dkb.test.gauge").Set(9);
+  registry.histogram("dkb.test.hist").Observe(64);
+  std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"dkb.test.count\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dkb.test.gauge\": 9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dkb.test.hist\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, ResetAllClearsEverything) {
+  MetricsRegistry registry;
+  registry.counter("r.count").Add(5);
+  registry.gauge("r.gauge").Set(5);
+  registry.histogram("r.hist").Observe(5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.counter("r.count").value(), 0);
+  EXPECT_EQ(registry.gauge("r.gauge").value(), 0);
+  EXPECT_EQ(registry.histogram("r.hist").count(), 0);
+}
+
+TEST(MetricsTest, GlobalRegistryIsStable) {
+  MetricsRegistry& a = GlobalMetrics();
+  MetricsRegistry& b = GlobalMetrics();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace dkb::metrics

@@ -60,11 +60,11 @@ void ExpectParallelMatchesSerial(Testbed* tb, const std::string& goal,
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
     EXPECT_EQ(SortedRows(serial->result), SortedRows(parallel->result))
         << "parallelism=" << par << " diverged on " << goal;
-    EXPECT_EQ(parallel->exec.nodes.size(), serial->exec.nodes.size());
+    EXPECT_EQ(parallel->report.exec.nodes.size(), serial->report.exec.nodes.size());
     // Node stats merge in program order regardless of completion order.
-    for (size_t i = 0; i < parallel->exec.nodes.size(); ++i) {
-      EXPECT_EQ(parallel->exec.nodes[i].label, serial->exec.nodes[i].label);
-      EXPECT_EQ(parallel->exec.nodes[i].tuples, serial->exec.nodes[i].tuples);
+    for (size_t i = 0; i < parallel->report.exec.nodes.size(); ++i) {
+      EXPECT_EQ(parallel->report.exec.nodes[i].label, serial->report.exec.nodes[i].label);
+      EXPECT_EQ(parallel->report.exec.nodes[i].tuples, serial->report.exec.nodes[i].tuples);
     }
   }
 }

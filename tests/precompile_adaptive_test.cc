@@ -37,11 +37,11 @@ TEST_F(PrecompileTest, SecondQueryHitsCache) {
   QueryOptions opts = QueryOptions::SemiNaive().WithCache();
   auto first = tb_->Query("?- ancestor(a, W).", opts);
   ASSERT_TRUE(first.ok());
-  EXPECT_FALSE(first->from_cache);
+  EXPECT_FALSE(first->report.from_cache);
   auto second = tb_->Query("?- ancestor(a, W).", opts);
   ASSERT_TRUE(second.ok());
-  EXPECT_TRUE(second->from_cache);
-  EXPECT_EQ(second->compile.total_us(), 0);
+  EXPECT_TRUE(second->report.from_cache);
+  EXPECT_EQ(second->report.compile.total_us(), 0);
   EXPECT_EQ(AnswerSet(first->result), AnswerSet(second->result));
   EXPECT_EQ(tb_->query_cache().stats().hits, 1);
   EXPECT_EQ(tb_->query_cache().stats().misses, 1);
@@ -53,10 +53,10 @@ TEST_F(PrecompileTest, DifferentGoalsAndOptionsMiss) {
   ASSERT_TRUE(tb_->Query("?- ancestor(a, W).", plain).ok());
   auto other_goal = tb_->Query("?- ancestor(b, W).", plain);
   ASSERT_TRUE(other_goal.ok());
-  EXPECT_FALSE(other_goal->from_cache);
+  EXPECT_FALSE(other_goal->report.from_cache);
   auto other_opts = tb_->Query("?- ancestor(a, W).", magic);
   ASSERT_TRUE(other_opts.ok());
-  EXPECT_FALSE(other_opts->from_cache);
+  EXPECT_FALSE(other_opts->report.from_cache);
 }
 
 TEST_F(PrecompileTest, CacheDisabledByDefault) {
@@ -78,7 +78,7 @@ TEST_F(PrecompileTest, AddRuleInvalidatesDependentEntries) {
   EXPECT_EQ(tb_->query_cache().stats().invalidated, 1);
   auto after = tb_->Query("?- ancestor(a, W).", opts);
   ASSERT_TRUE(after.ok());
-  EXPECT_FALSE(after->from_cache);
+  EXPECT_FALSE(after->report.from_cache);
   EXPECT_EQ(AnswerSet(after->result),
             (std::set<std::string>{"b|", "c|", "d|", "z|"}));
 }
@@ -90,7 +90,7 @@ TEST_F(PrecompileTest, UnrelatedRuleKeepsEntry) {
   EXPECT_EQ(tb_->query_cache().size(), 1u);
   auto again = tb_->Query("?- ancestor(a, W).", opts);
   ASSERT_TRUE(again.ok());
-  EXPECT_TRUE(again->from_cache);
+  EXPECT_TRUE(again->report.from_cache);
 }
 
 TEST_F(PrecompileTest, InvalidationOnBodyPredicateDependency) {
@@ -123,7 +123,7 @@ TEST_F(PrecompileTest, FactsDoNotInvalidate) {
   ASSERT_TRUE(tb_->AddFacts("parent", {{Value("d"), Value("e")}}).ok());
   auto after = tb_->Query("?- ancestor(a, W).", opts);
   ASSERT_TRUE(after.ok());
-  EXPECT_TRUE(after->from_cache);
+  EXPECT_TRUE(after->report.from_cache);
   // New facts visible despite the cached program.
   EXPECT_EQ(AnswerSet(after->result),
             (std::set<std::string>{"b|", "c|", "d|", "e|"}));
@@ -157,9 +157,9 @@ TEST_F(AdaptiveTest, LowSelectivityQueryGetsMagic) {
       tb_->Query("?- ancestor('" + workload::TreeNodeName(0, 255) + "', W).",
                  opts);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
-  EXPECT_TRUE(outcome->compile.magic_applied);
-  EXPECT_GE(outcome->compile.estimated_selectivity, 0.0);
-  EXPECT_LT(outcome->compile.estimated_selectivity, 0.1);
+  EXPECT_TRUE(outcome->report.compile.magic_applied);
+  EXPECT_GE(outcome->report.compile.estimated_selectivity, 0.0);
+  EXPECT_LT(outcome->report.compile.estimated_selectivity, 0.1);
 }
 
 TEST_F(AdaptiveTest, HighSelectivityQuerySkipsMagic) {
@@ -168,16 +168,16 @@ TEST_F(AdaptiveTest, HighSelectivityQuerySkipsMagic) {
   auto outcome = tb_->Query(
       "?- ancestor('" + workload::TreeNodeName(0, 0) + "', W).", opts);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_FALSE(outcome->compile.magic_applied);
-  EXPECT_GE(outcome->compile.estimated_selectivity, 0.6);
+  EXPECT_FALSE(outcome->report.compile.magic_applied);
+  EXPECT_GE(outcome->report.compile.estimated_selectivity, 0.6);
 }
 
 TEST_F(AdaptiveTest, AllFreeQuerySkipsMagic) {
   QueryOptions opts = QueryOptions::Adaptive();
   auto outcome = tb_->Query("?- ancestor(X, Y).", opts);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_FALSE(outcome->compile.magic_applied);
-  EXPECT_EQ(outcome->compile.estimated_selectivity, 1.0);
+  EXPECT_FALSE(outcome->report.compile.magic_applied);
+  EXPECT_EQ(outcome->report.compile.estimated_selectivity, 1.0);
 }
 
 TEST_F(AdaptiveTest, AdaptiveMatchesExplicitResults) {
@@ -196,7 +196,7 @@ TEST_F(AdaptiveTest, EstimatorCountsTowardOptimizationTime) {
   auto outcome = tb_->Query(
       "?- ancestor('" + workload::TreeNodeName(0, 127) + "', W).", opts);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_GT(outcome->compile.t_opt_us, 0);
+  EXPECT_GT(outcome->report.compile.t_opt_us, 0);
 }
 
 }  // namespace

@@ -153,7 +153,7 @@ TEST_P(DifferentialTest, AllEvaluatorsAgree) {
   EXPECT_EQ(AnswerSet(first->result), reference);
   auto cached = (*tb)->Query(gen.query, adaptive);
   ASSERT_TRUE(cached.ok());
-  EXPECT_TRUE(cached->from_cache);
+  EXPECT_TRUE(cached->report.from_cache);
   EXPECT_EQ(AnswerSet(cached->result), reference);
 }
 
@@ -181,7 +181,7 @@ TEST_P(StoredMigrationTest, WorkspaceAndStoredAnswersMatch) {
   ASSERT_TRUE(from_st.ok()) << from_st.status().ToString();
   EXPECT_EQ(AnswerSet(from_ws->result), AnswerSet(from_st->result));
   // The stored path really extracted rules (workspace is empty).
-  EXPECT_GT(from_st->compile.rules_extracted_stored, 0);
+  EXPECT_GT(from_st->report.compile.rules_extracted_stored, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoredMigrationTest,

@@ -112,7 +112,7 @@ TEST_F(SessionTest, RuleEditsInvalidateSessionCache) {
   ASSERT_TRUE(first.ok());
   auto second = (*session)->Query("ancestor(john, W)", cached);
   ASSERT_TRUE(second.ok());
-  EXPECT_TRUE(second->from_cache);
+  EXPECT_TRUE(second->report.from_cache);
 
   // A rule edit moves the epoch; the session must recompile, not reuse the
   // stale program.
@@ -120,7 +120,7 @@ TEST_F(SessionTest, RuleEditsInvalidateSessionCache) {
   ASSERT_TRUE(s.ok()) << s.ToString();
   auto third = (*session)->Query("ancestor(john, W)", cached);
   ASSERT_TRUE(third.ok()) << third.status().ToString();
-  EXPECT_FALSE(third->from_cache);
+  EXPECT_FALSE(third->report.from_cache);
   EXPECT_EQ(third->result.rows.size(), 4u);  // john himself now included
 }
 

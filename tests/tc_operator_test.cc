@@ -164,7 +164,7 @@ TEST(TcEndToEndTest, AgreesWithGeneralStrategies) {
       testbed::QueryOptions::SemiNaive().WithStrategy(LfpStrategy::kNativeTc);
   auto outcome = (*tb)->Query("?- ancestor('g0_0', W).", tc);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->exec.iterations, 1);
+  EXPECT_EQ(outcome->report.exec.iterations, 1);
 }
 
 TEST(TcEndToEndTest, FallsBackOnNonTcCliques) {

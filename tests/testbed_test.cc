@@ -144,7 +144,7 @@ TEST_F(TestbedTest, MagicTouchesOnlyRelevantFacts) {
   EXPECT_EQ(outcome->result.rows.size(), 2u);  // two children, depth 8 leaf-1
   // The magic program evaluates two cliques: magic then modified.
   int cliques = 0;
-  for (const auto& ns : outcome->exec.nodes) {
+  for (const auto& ns : outcome->report.exec.nodes) {
     if (ns.is_clique) ++cliques;
   }
   EXPECT_EQ(cliques, 2);
@@ -287,11 +287,11 @@ TEST_F(TestbedTest, CompilationStatsPopulated) {
   Consult(workload::AncestorRules() + "parent(a, b).\n");
   auto outcome = tb_->Query("?- ancestor(a, W).");
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->compile.rules_relevant, 2);
-  EXPECT_EQ(outcome->compile.preds_relevant, 1);
-  EXPECT_GE(outcome->compile.total_us(), 0);
-  EXPECT_GT(outcome->exec.t_total_us, 0);
-  EXPECT_GE(outcome->exec.iterations, 1);
+  EXPECT_EQ(outcome->report.compile.rules_relevant, 2);
+  EXPECT_EQ(outcome->report.compile.preds_relevant, 1);
+  EXPECT_GE(outcome->report.compile.total_us(), 0);
+  EXPECT_GT(outcome->report.exec.t_total_us, 0);
+  EXPECT_GE(outcome->report.exec.iterations, 1);
 }
 
 TEST_F(TestbedTest, ConstantInRuleBody) {

@@ -1,0 +1,283 @@
+// dkb_profile — run a .dkb program's queries and emit the QueryReport.
+//
+//   $ dkb_profile examples/programs/same_generation.dkb
+//   query: sg('a', W)
+//   strategy: semi-naive  magic: off  parallelism: 1  cache: miss
+//   ...
+//
+//   $ dkb_profile --format json --magic examples/programs/same_generation.dkb
+//   {"query": "sg('a', W)", "strategy": "semi-naive", ...}
+//
+//   $ dkb_profile --format chrome -o trace.json program.dkb
+//   (load trace.json in chrome://tracing or Perfetto)
+//
+// Rules and facts are consulted into a fresh testbed; every `?-` query in
+// the file (plus any --query goals) runs with tracing enabled, so the
+// report carries the full span tree: per-phase compilation, per-node LFP
+// with per-iteration delta cardinalities, and final answer retrieval.
+//
+// Exit status: 0 success; 1 a query failed; 2 usage or parse failure.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+#include "testbed/testbed.h"
+
+namespace {
+
+using dkb::testbed::ExplainMode;
+using dkb::testbed::QueryOptions;
+using dkb::testbed::Testbed;
+
+enum class Format { kText, kJson, kChrome };
+
+struct CliOptions {
+  Format format = Format::kText;
+  bool plan_only = false;
+  bool metrics = false;
+  bool use_magic = false;
+  bool supplementary = false;
+  bool adaptive = false;
+  int parallelism = 1;
+  std::string strategy = "semi-naive";
+  std::string output_path;
+  std::vector<std::string> extra_queries;
+  std::string program_path;
+};
+
+int Usage() {
+  std::cerr
+      << "usage: dkb_profile [--format text|json|chrome] [-o FILE]\n"
+      << "                   [--query GOAL]... [--plan] [--metrics]\n"
+      << "                   [--magic] [--supplementary] [--adaptive]\n"
+      << "                   [--strategy naive|semi-naive|native|native-tc]\n"
+      << "                   [--parallelism N] <program.dkb>\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool ParseCli(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--format") {
+      if (!next(&value)) return false;
+      if (value == "text") {
+        cli->format = Format::kText;
+      } else if (value == "json") {
+        cli->format = Format::kJson;
+      } else if (value == "chrome") {
+        cli->format = Format::kChrome;
+      } else {
+        return false;
+      }
+    } else if (arg == "-o" || arg == "--output") {
+      if (!next(&cli->output_path)) return false;
+    } else if (arg == "--query") {
+      if (!next(&value)) return false;
+      cli->extra_queries.push_back(value);
+    } else if (arg == "--plan") {
+      cli->plan_only = true;
+    } else if (arg == "--metrics") {
+      cli->metrics = true;
+    } else if (arg == "--magic") {
+      cli->use_magic = true;
+    } else if (arg == "--supplementary") {
+      cli->use_magic = true;
+      cli->supplementary = true;
+    } else if (arg == "--adaptive") {
+      cli->adaptive = true;
+    } else if (arg == "--strategy") {
+      if (!next(&cli->strategy)) return false;
+    } else if (arg == "--parallelism") {
+      if (!next(&value)) return false;
+      cli->parallelism = std::atoi(value.c_str());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    } else if (cli->program_path.empty()) {
+      cli->program_path = arg;
+    } else {
+      return false;  // one program file
+    }
+  }
+  return !cli->program_path.empty();
+}
+
+bool ResolveStrategy(const std::string& name, dkb::lfp::LfpStrategy* out) {
+  if (name == "naive") {
+    *out = dkb::lfp::LfpStrategy::kNaive;
+  } else if (name == "semi-naive") {
+    *out = dkb::lfp::LfpStrategy::kSemiNaive;
+  } else if (name == "native") {
+    *out = dkb::lfp::LfpStrategy::kNative;
+  } else if (name == "native-tc") {
+    *out = dkb::lfp::LfpStrategy::kNativeTc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseCli(argc, argv, &cli)) return Usage();
+
+  std::string text;
+  if (!ReadFile(cli.program_path, &text)) {
+    std::cerr << "cannot read " << cli.program_path << "\n";
+    return 2;
+  }
+  auto program = dkb::datalog::ParseProgram(text);
+  if (!program.ok()) {
+    std::cerr << cli.program_path
+              << ": parse error: " << program.status().ToString() << "\n";
+    return 2;
+  }
+
+  // Consult rules and facts only — Consult() rejects embedded queries, and
+  // the queries are what we run (and profile) below.
+  std::string consult_text;
+  for (const dkb::datalog::Rule& rule : program->rules) {
+    consult_text += rule.ToString() + "\n";
+  }
+  for (const dkb::datalog::Rule& fact : program->facts) {
+    consult_text += fact.ToString() + "\n";
+  }
+
+  std::vector<dkb::datalog::Atom> goals = program->queries;
+  for (const std::string& q : cli.extra_queries) {
+    auto goal = dkb::datalog::ParseQuery(q);
+    if (!goal.ok()) {
+      std::cerr << "bad --query goal '" << q
+                << "': " << goal.status().ToString() << "\n";
+      return 2;
+    }
+    goals.push_back(std::move(goal).value());
+  }
+  if (goals.empty()) {
+    std::cerr << cli.program_path
+              << ": no queries (add a `?- goal.` line or pass --query)\n";
+    return 2;
+  }
+
+  QueryOptions options;
+  options.use_magic = cli.use_magic;
+  options.supplementary = cli.supplementary;
+  options.adaptive_magic = cli.adaptive;
+  options.lfp_parallelism = cli.parallelism;
+  options.explain = cli.plan_only ? ExplainMode::kPlan : ExplainMode::kNone;
+  options.collect_trace = true;
+  if (!ResolveStrategy(cli.strategy, &options.strategy)) {
+    std::cerr << "unknown --strategy: " << cli.strategy << "\n";
+    return Usage();
+  }
+
+  auto tb = Testbed::Create();
+  if (!tb.ok()) {
+    std::cerr << "testbed init failed: " << tb.status().ToString() << "\n";
+    return 1;
+  }
+  if (!consult_text.empty()) {
+    dkb::Status consulted = (*tb)->Consult(consult_text);
+    if (!consulted.ok()) {
+      std::cerr << cli.program_path
+                << ": consult failed: " << consulted.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  std::vector<std::string> rendered;
+  for (const dkb::datalog::Atom& goal : goals) {
+    auto outcome = (*tb)->Query(goal, options);
+    if (!outcome.ok()) {
+      std::cerr << "query " << goal.ToString()
+                << " failed: " << outcome.status().ToString() << "\n";
+      return 1;
+    }
+    const dkb::testbed::QueryReport& report = outcome->report;
+    switch (cli.format) {
+      case Format::kText:
+        rendered.push_back(report.ExplainText());
+        break;
+      case Format::kJson:
+        rendered.push_back(report.ToJson());
+        break;
+      case Format::kChrome:
+        rendered.push_back(report.ChromeTrace());
+        break;
+    }
+  }
+
+  std::string out;
+  if (cli.format == Format::kText) {
+    for (size_t i = 0; i < rendered.size(); ++i) {
+      if (i > 0) out += "\n";
+      out += rendered[i];
+    }
+    if (cli.metrics) {
+      out += "\nmetrics:\n" + dkb::metrics::GlobalMetrics().SnapshotJson() +
+             "\n";
+    }
+  } else {
+    // json/chrome: one object for a single query, else an array. --metrics
+    // wraps the reports in {"reports": ..., "metrics": ...}.
+    std::string body;
+    if (rendered.size() == 1) {
+      body = rendered[0];
+    } else {
+      body = "[";
+      for (size_t i = 0; i < rendered.size(); ++i) {
+        if (i > 0) body += ", ";
+        body += rendered[i];
+      }
+      body += "]";
+    }
+    if (cli.metrics) {
+      out = "{\"reports\": " + body + ", \"metrics\": " +
+            dkb::metrics::GlobalMetrics().SnapshotJson() + "}\n";
+    } else {
+      out = body + "\n";
+    }
+  }
+
+  if (cli.output_path.empty()) {
+    std::cout << out;
+  } else {
+    std::ofstream file(cli.output_path, std::ios::trunc);
+    if (!file) {
+      std::cerr << "cannot open " << cli.output_path << " for writing\n";
+      return 1;
+    }
+    file << out;
+    if (!file.flush()) {
+      std::cerr << "write to " << cli.output_path << " failed\n";
+      return 1;
+    }
+  }
+  return 0;
+}
