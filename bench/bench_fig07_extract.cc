@@ -14,9 +14,9 @@ void Run() {
          "t_extract is insensitive to R_s (indexed reachablepreds join) and "
          "increases with R_rs");
 
-  const int kRs[] = {50, 100, 200, 400, 800};
+  const std::vector<int> kRs = Sweep({50, 100, 200, 400, 800});
   const int kRrs[] = {1, 7, 20};
-  const int kReps = 15;
+  const int kReps = Reps(15);
 
   TablePrinter table({"R_s", "R_rs=1", "R_rs=7", "R_rs=20"});
   for (int rs : kRs) {
@@ -43,7 +43,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

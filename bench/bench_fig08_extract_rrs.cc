@@ -12,9 +12,9 @@ void Run() {
          "t_extract grows with R_rs (extraction-join selectivity), roughly "
          "linearly");
 
-  const int kRs = 400;
-  const int kRrs[] = {1, 2, 5, 10, 20, 40, 80};
-  const int kReps = 15;
+  const int kRs = SmokeSize(400, 100);
+  const std::vector<int> kRrs = Sweep({1, 2, 5, 10, 20, 40, 80});
+  const int kReps = Reps(15);
 
   TablePrinter table({"R_rs", "t_extract", "rules_extracted"});
   for (int rrs : kRrs) {
@@ -38,7 +38,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

@@ -12,9 +12,9 @@ void Run() {
          "t_read is insensitive to P_s (indexed dictionary relations)");
 
   // One rule per predicate, so P_s == R_s and P_rs == R_rs.
-  const int kPs[] = {50, 100, 200, 400, 800};
+  const std::vector<int> kPs = Sweep({50, 100, 200, 400, 800});
   const int kPrs[] = {1, 4, 10};
-  const int kReps = 15;
+  const int kReps = Reps(15);
 
   TablePrinter table({"P_s", "P_rs=1", "P_rs=4", "P_rs=10"});
   for (int ps : kPs) {
@@ -41,7 +41,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

@@ -11,9 +11,9 @@ void Run() {
          "SIGMOD'88 D/KB testbed, Section 5.3.1.1 Test 2, Figure 10",
          "t_read grows with P_rs (dictionary-join selectivity)");
 
-  const int kPs = 400;
-  const int kPrs[] = {1, 2, 4, 8, 16, 32, 64};
-  const int kReps = 15;
+  const int kPs = SmokeSize(400, 100);
+  const std::vector<int> kPrs = Sweep({1, 2, 4, 8, 16, 32, 64});
+  const int kReps = Reps(15);
 
   TablePrinter table({"P_rs", "t_read"});
   for (int prs : kPrs) {
@@ -36,7 +36,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

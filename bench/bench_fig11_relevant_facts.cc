@@ -26,17 +26,17 @@ void Run() {
          "D_rel is fixed");
 
   testbed::QueryOptions opts;  // semi-naive, no magic
-  const int kReps = 5;
+  const int kReps = Reps(5);
 
   // Method 1: fix D_tot (a depth-10 tree), vary D_rel by rooting the query
   // at sub-trees of different levels.
   {
-    const int kDepth = 10;
+    const int kDepth = SmokeSize(10, 6);
     auto tb = MakeAncestorTree(kDepth);
     const double dtot =
         static_cast<double>(workload::SubtreeSize(kDepth, 0));
     TablePrinter table({"query_root_level", "D_rel/D_tot", "answers", "t_e"});
-    for (int level : {0, 1, 2, 4, 6, 8}) {
+    for (int level : Sweep({0, 1, 2, 4, 6, 8})) {
       size_t answers = 0;
       int64_t t = TimeQuery(tb.get(), TreeAncestorGoal(LeftmostAtLevel(level)),
                             opts, kReps, &answers);
@@ -54,7 +54,7 @@ void Run() {
   // Method 2: fix D_rel (a depth-5 sub-tree) and grow the parent relation.
   {
     TablePrinter table({"tree_depth", "D_tot", "D_rel/D_tot", "t_e"});
-    for (int depth : {6, 7, 8, 9, 10, 11}) {
+    for (int depth : Sweep({6, 7, 8, 9, 10, 11})) {
       auto tb = MakeAncestorTree(depth);
       // Query at the leftmost node `depth-5` levels down: its sub-tree has
       // depth 5 (31 nodes) in every tree.
@@ -77,7 +77,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

@@ -12,14 +12,14 @@ void Run() {
          "semi-naive is roughly 2.5-3x faster than naive (redundant "
          "recomputation avoided)");
 
-  const int kDepth = 9;
-  const int kReps = 5;
+  const int kDepth = SmokeSize(9, 6);
+  const int kReps = Reps(5);
   auto tb = MakeAncestorTree(kDepth);
   const double dtot = static_cast<double>(workload::SubtreeSize(kDepth, 0));
 
   TablePrinter table({"query_root_level", "D_rel/D_tot", "t_e_naive",
                       "t_e_seminaive", "naive/seminaive"});
-  for (int level : {0, 1, 2, 3, 4}) {
+  for (int level : Sweep({0, 1, 2, 3, 4})) {
     datalog::Atom goal = TreeAncestorGoal(LeftmostAtLevel(level));
     testbed::QueryOptions naive = testbed::QueryOptions::Naive();
     testbed::QueryOptions semi = testbed::QueryOptions::SemiNaive();
@@ -40,7 +40,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

@@ -18,13 +18,13 @@ void Run() {
          "selectivity and loses past a high-selectivity crossover");
 
   auto run_series = [](int depth, bool index_edb, const char* caption) {
-    const int kReps = 3;
+    const int kReps = Reps(3, 1);
     auto tb = MakeAncestorTree(depth, index_edb);
     const double dtot = static_cast<double>(workload::SubtreeSize(depth, 0));
     TablePrinter table({"level", "selectivity", "semi_plain", "semi_magic",
                         "naive_plain", "naive_magic", "semi_speedup",
                         "naive_speedup"});
-    for (int level : {0, 1, 2, 3, 5, 7, 9}) {
+    for (int level : Sweep({0, 1, 2, 3, 5, 7, 9})) {
       datalog::Atom goal = TreeAncestorGoal(LeftmostAtLevel(level));
       auto timed = [&](lfp::LfpStrategy strategy, bool magic) {
         testbed::QueryOptions opts =
@@ -50,9 +50,9 @@ void Run() {
     std::printf("\n");
   };
 
-  run_series(11, /*index_edb=*/true,
+  run_series(SmokeSize(11, 7), /*index_edb=*/true,
              "Configuration A: indexed parent relation (depth-11 tree)");
-  run_series(10, /*index_edb=*/false,
+  run_series(SmokeSize(10, 6), /*index_edb=*/false,
              "Configuration B: unindexed parent relation (depth-10 tree) - "
              "the magic LFP pays full scans per iteration, exposing the "
              "paper's high-selectivity crossover");
@@ -64,7 +64,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

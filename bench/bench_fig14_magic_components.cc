@@ -15,15 +15,15 @@ void Run() {
          "the modified-rules evaluation is more selectivity-sensitive than "
          "the magic-rules evaluation (it computes D_rel-sized closures)");
 
-  const int kDepth = 11;
-  const int kReps = 3;
+  const int kDepth = SmokeSize(11, 7);
+  const int kReps = Reps(3, 1);
   auto tb = MakeAncestorTree(kDepth);
   const double dtot = static_cast<double>(workload::SubtreeSize(kDepth, 0));
 
   TablePrinter table({"level", "selectivity", "t_magic_clique",
                       "t_modified_clique", "magic_tuples",
                       "modified_tuples"});
-  for (int level : {1, 2, 3, 4, 5, 7, 9}) {
+  for (int level : Sweep({1, 2, 3, 4, 5, 7, 9})) {
     datalog::Atom goal = TreeAncestorGoal(LeftmostAtLevel(level));
     testbed::QueryOptions opts = testbed::QueryOptions::Magic();
 
@@ -59,7 +59,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

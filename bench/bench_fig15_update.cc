@@ -12,7 +12,7 @@ double AvgSingleRuleUpdateUs(bool compiled, int rs) {
   StoredRuleBaseFixture fx =
       MakeStoredRuleBase(rs, /*relevant_rules=*/3, /*rules_per_pred=*/1,
                          compiled);
-  const int kBatch = 40;
+  const int kBatch = Reps(40, 5);
   // Pre-define the base predicates outside the timed region.
   for (int i = 0; i < kBatch; ++i) {
     CheckOk(fx.tb->DefineBase("b_upd" + std::to_string(i),
@@ -40,7 +40,7 @@ void Run() {
 
   TablePrinter table({"R_s", "t_u_compiled_us", "t_u_source_only_us",
                       "ratio"});
-  for (int rs : {9, 25, 50, 100, 189, 400}) {
+  for (int rs : Sweep({9, 25, 50, 100, 189, 400})) {
     double tc = AvgSingleRuleUpdateUs(/*compiled=*/true, rs);
     double ts = AvgSingleRuleUpdateUs(/*compiled=*/false, rs);
     table.AddRow({std::to_string(rs), FormatF(tc, 1), FormatF(ts, 1),
@@ -52,7 +52,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

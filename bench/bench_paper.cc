@@ -1,0 +1,225 @@
+// Aggregate paper-suite runner: executes every bench_fig* / bench_table*
+// binary (plus the concurrency bench), captures their machine-readable
+// "  csv," echo blocks, and merges everything into one BENCH_paper.json.
+//
+// CI runs `bench_paper --smoke` on every push: each child bench shrinks its
+// sweeps under --smoke, so the whole suite finishes in seconds and acts as
+// a perf-smoke + schema-drift gate rather than a measurement. Without
+// --smoke this produces the full paper-scale result file.
+//
+//   bench_paper [--smoke] [--out BENCH_paper.json]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+
+namespace dkb::bench {
+namespace {
+
+/// The paper suite in paper order (Figures 7-15, Tables 4/5/8), then the
+/// concurrency bench whose BENCH_parallel.json is folded into the merged
+/// file. Keep in sync with bench/CMakeLists.txt.
+const char* const kPaperBenches[] = {
+    "bench_fig07_extract",
+    "bench_fig08_extract_rrs",
+    "bench_fig09_dict_read",
+    "bench_fig10_dict_read_prs",
+    "bench_table4_compile_breakdown",
+    "bench_fig11_relevant_facts",
+    "bench_fig12_naive_vs_seminaive",
+    "bench_table5_lfp_breakdown",
+    "bench_fig13_magic_crossover",
+    "bench_fig14_magic_components",
+    "bench_fig15_update",
+    "bench_table8_update_breakdown",
+    "bench_concurrency",
+};
+
+struct CsvTable {
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  // TablePrinter's echo format: "  csv,cell,cell,...". Cells never contain
+  // commas (they are numbers, units, and identifiers).
+  std::vector<std::string> cells;
+  std::string rest = line.substr(std::strlen("  csv,"));
+  size_t start = 0;
+  while (true) {
+    size_t comma = rest.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(rest.substr(start));
+      break;
+    }
+    cells.push_back(rest.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+/// Extracts the csv echo blocks from a bench's stdout. Consecutive csv
+/// lines form one table: first line headers, the rest rows.
+std::vector<CsvTable> ParseCsvBlocks(const std::string& output) {
+  std::vector<CsvTable> tables;
+  bool in_block = false;
+  size_t pos = 0;
+  while (pos <= output.size()) {
+    size_t eol = output.find('\n', pos);
+    std::string line = output.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    if (line.rfind("  csv,", 0) == 0) {
+      if (!in_block) {
+        tables.emplace_back();
+        tables.back().headers = SplitCsvLine(line);
+        in_block = true;
+      } else {
+        tables.back().rows.push_back(SplitCsvLine(line));
+      }
+    } else {
+      in_block = false;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return tables;
+}
+
+std::string TableToJson(const CsvTable& table) {
+  std::string out = "{\"headers\": [";
+  for (size_t i = 0; i < table.headers.size(); ++i) {
+    out += (i ? ", " : "") + ("\"" + JsonEscape(table.headers[i]) + "\"");
+  }
+  out += "], \"rows\": [";
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    out += r ? ", [" : "[";
+    for (size_t c = 0; c < table.rows[r].size(); ++c) {
+      out += (c ? ", " : "") + ("\"" + JsonEscape(table.rows[r][c]) + "\"");
+    }
+    out += "]";
+  }
+  out += "]}";
+  return out;
+}
+
+/// Runs one child bench via popen, returns false on non-zero exit.
+bool RunChild(const std::string& command, std::string* output) {
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "FATAL: popen(%s) failed\n", command.c_str());
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output->append(buf, n);
+  }
+  int rc = pclose(pipe);
+  return rc == 0;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) return "";
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) text.append(buf, n);
+  std::fclose(in);
+  return text;
+}
+
+int RunSuite(const std::string& self_path, const std::string& out_path) {
+  // Children live next to this binary.
+  std::string bin_dir = ".";
+  size_t slash = self_path.find_last_of('/');
+  if (slash != std::string::npos) bin_dir = self_path.substr(0, slash);
+
+  std::string benches_json = "[";
+  int ran = 0;
+  for (const char* name : kPaperBenches) {
+    std::string command = bin_dir + "/" + name;
+    if (SmokeMode()) command += " --smoke";
+    command += " 2>&1";
+    std::printf("[bench_paper] running %s ...\n", name);
+    std::fflush(stdout);
+    std::string output;
+    if (!RunChild(command, &output)) {
+      std::fprintf(stderr, "FATAL: %s failed; output follows\n%s\n", name,
+                   output.c_str());
+      return 1;
+    }
+    std::vector<CsvTable> tables = ParseCsvBlocks(output);
+    if (tables.empty() && std::string(name) != "bench_concurrency") {
+      // Every table bench must echo at least one csv block — an empty
+      // result means the output format drifted and plots would go dark.
+      std::fprintf(stderr, "FATAL: %s emitted no '  csv,' blocks\n", name);
+      return 1;
+    }
+    std::string entry = "{\"bench\": \"" + JsonEscape(name) + "\", ";
+    entry += "\"tables\": [";
+    for (size_t t = 0; t < tables.size(); ++t) {
+      entry += (t ? ", " : "") + TableToJson(tables[t]);
+    }
+    entry += "]}";
+    benches_json += (ran ? ", " : "") + entry;
+    ++ran;
+  }
+  benches_json += "]";
+
+  BenchJson json("paper");
+  json.Add("smoke", SmokeMode());
+  json.Add("benches_run", static_cast<int64_t>(ran));
+  json.AddRaw("benches", benches_json);
+
+  // bench_concurrency writes BENCH_parallel.json into the working
+  // directory; fold it in so one artifact carries the whole suite.
+  std::string parallel = ReadFileOrEmpty("BENCH_parallel.json");
+  if (!parallel.empty()) {
+    std::string error;
+    if (!JsonValidator::Validate(parallel, &error)) {
+      std::fprintf(stderr, "FATAL: BENCH_parallel.json invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    json.AddRaw("parallel", parallel);
+  }
+
+  // Schema gate: the merged file must parse and carry the current schema
+  // version; CI fails on drift before any plotting script sees it.
+  std::string rendered = json.Render();
+  std::string error;
+  if (!JsonValidator::Validate(rendered, &error)) {
+    std::fprintf(stderr, "FATAL: merged JSON invalid: %s\n", error.c_str());
+    return 1;
+  }
+  std::string version_field =
+      "\"schema_version\": " + std::to_string(kBenchJsonSchemaVersion);
+  if (rendered.find(version_field) == std::string::npos) {
+    std::fprintf(stderr, "FATAL: merged JSON missing %s\n",
+                 version_field.c_str());
+    return 1;
+  }
+  CheckOk(json.WriteFile(out_path), "write merged json");
+  std::printf("[bench_paper] %d benches merged into %s (schema_version=%d)\n",
+              ran, out_path.c_str(), kBenchJsonSchemaVersion);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dkb::bench
+
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
+  std::string out_path = "BENCH_paper.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  return dkb::bench::RunSuite(argv[0], out_path);
+}

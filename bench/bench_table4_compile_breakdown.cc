@@ -12,9 +12,9 @@ void Run() {
          "the t_extract share grows sharply with R_rs (25% -> 67% in the "
          "paper as R_rs goes 1 -> 20)");
 
-  const int kRs = 200;
-  const int kRrs[] = {1, 7, 20};
-  const int kReps = 15;
+  const int kRs = SmokeSize(200, 100);
+  const std::vector<int> kRrs = Sweep({1, 7, 20});
+  const int kReps = Reps(15);
 
   TablePrinter table({"R_rs", "t_setup", "t_extract", "t_read", "t_eol",
                       "t_sem", "t_gen", "t_comp", "total",
@@ -52,7 +52,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

@@ -13,8 +13,8 @@ void Run() {
          "RHS evaluation + termination checking dominate (~95% naive, ~85% "
          "semi-naive); naive's RHS/termination work is 2.5-3x semi-naive's");
 
-  const int kDepth = 9;
-  const int kReps = 5;
+  const int kDepth = SmokeSize(9, 6);
+  const int kReps = Reps(5);
   auto tb = MakeAncestorTree(kDepth);
   datalog::Atom goal = TreeAncestorGoal(0);  // whole-tree closure
 
@@ -59,7 +59,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

@@ -8,7 +8,7 @@ namespace dkb::bench {
 namespace {
 
 void RunCase(int r_ws, TablePrinter* table) {
-  const int kRs = 189;
+  const int kRs = SmokeSize(189, 50);
   // The stored rule base; the workspace rules chain onto its relevant
   // family so the update extraction has real work to do.
   StoredRuleBaseFixture fx = MakeStoredRuleBase(kRs, 12);
@@ -43,7 +43,7 @@ void Run() {
 
   TablePrinter table({"R_ws", "R_s", "closure_edges", "extract", "tc",
                       "typecheck", "dict", "store", "total"});
-  RunCase(36, &table);
+  RunCase(SmokeSize(36, 6), &table);
   RunCase(1, &table);
   table.Print();
 }
@@ -51,7 +51,8 @@ void Run() {
 }  // namespace
 }  // namespace dkb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
   dkb::bench::Run();
   return 0;
 }

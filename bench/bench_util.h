@@ -26,6 +26,39 @@ namespace dkb::bench {
 /// scripts can refuse to mix generations.
 constexpr int kBenchJsonSchemaVersion = 2;
 
+/// Process-wide smoke switch. Under --smoke every bench shrinks its sweep
+/// grids and rep counts so the full paper suite (bench_paper) finishes in
+/// seconds — CI runs it on every push to catch bit-rot in the bench code
+/// and drift in the BENCH_*.json schema, not to measure anything.
+inline bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// Parses the flags shared by every bench binary (currently just --smoke).
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") SmokeMode() = true;
+  }
+}
+
+/// Rep count: the full number when measuring, a token count under --smoke.
+inline int Reps(int full, int smoke = 2) { return SmokeMode() ? smoke : full; }
+
+/// Sweep grid: all points when measuring, the first `keep` under --smoke.
+/// Smoke keeps the *small* end of each sweep, so trim-sensitive fixtures
+/// (deep trees, large rule bases) never run at full scale in CI.
+inline std::vector<int> Sweep(std::vector<int> points, size_t keep = 2) {
+  if (SmokeMode() && points.size() > keep) points.resize(keep);
+  return points;
+}
+
+/// Scale knob (tree depth, rule-base size): `full` when measuring, the
+/// explicitly chosen `smoke` value under --smoke.
+inline int SmokeSize(int full, int smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
 /// Aborts the bench with a diagnostic if `status` is not OK.
 inline void CheckOk(const Status& status, const char* what) {
   if (!status.ok()) {

@@ -6,10 +6,12 @@
 //       ./build/examples/repl
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "common/str_util.h"
+#include "testbed/sys_views.h"
 #include "testbed/testbed.h"
 
 namespace {
@@ -28,9 +30,45 @@ void PrintHelp() {
       "  :clear                     clear the workspace\n"
       "  :stats                     show last query's timing breakdown\n"
       "  :sql <statement>           run raw SQL against the DBMS layer\n"
+      "  \\sys (or :sys)             list the sys.* system views\n"
+      "  :slowlog <micros>|off      slow-query log threshold for this shell\n"
       "  :save <path> / :load <path>  persist / restore the whole session\n"
       "  :help                      this text\n"
-      "  :quit\n");
+      "  :quit\n"
+      "System views answer plain SQL, e.g.\n"
+      "  :sql SELECT query, total_us FROM sys.query_log\n");
+}
+
+void PrintSysViews() {
+  std::printf("system views (query with :sql SELECT ... FROM <view>):\n");
+  for (const auto& def : dkb::testbed::SystemViewDefs()) {
+    std::string cols;
+    for (size_t i = 0; i < def.schema.num_columns(); ++i) {
+      if (i > 0) cols += ", ";
+      cols += def.schema.column(i).name;
+    }
+    std::printf("  %-19s %s\n", def.name.c_str(), def.description.c_str());
+    std::printf("  %-19s   (%s)\n", "", cols.c_str());
+  }
+}
+
+void SetSlowLog(dkb::testbed::Testbed* tb, const std::string& arg) {
+  dkb::testbed::SlowQueryLogOptions slow;
+  if (arg == "off") {
+    slow.threshold_us = -1;
+    tb->recorder().SetSlowQueryLog(slow);
+    std::printf("slow-query log: off\n");
+    return;
+  }
+  char* end = nullptr;
+  long long micros = std::strtoll(arg.c_str(), &end, 10);
+  if (end == arg.c_str() || *end != '\0' || micros < 0) {
+    std::printf("usage: :slowlog <micros>|off\n");
+    return;
+  }
+  slow.threshold_us = micros;
+  tb->recorder().SetSlowQueryLog(slow);
+  std::printf("slow-query log: queries over %lld us\n", micros);
 }
 
 }  // namespace
@@ -55,11 +93,19 @@ int main() {
     if (!std::getline(std::cin, line)) break;
     std::string input = dkb::StrTrim(line);
     if (input.empty() || input[0] == '%') continue;
+    if (input == "\\sys") {
+      PrintSysViews();
+      continue;
+    }
 
     if (input[0] == ':') {
       if (input == ":quit" || input == ":q") break;
       if (input == ":help") {
         PrintHelp();
+      } else if (input == ":sys") {
+        PrintSysViews();
+      } else if (dkb::StartsWith(input, ":slowlog ")) {
+        SetSlowLog(tb.get(), dkb::StrTrim(input.substr(9)));
       } else if (input == ":rules") {
         for (const auto& rule : tb->workspace().rules()) {
           std::printf("  %s\n", rule.ToString().c_str());

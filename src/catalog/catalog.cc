@@ -1,5 +1,6 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/str_util.h"
@@ -8,7 +9,14 @@ namespace dkb {
 
 std::string Catalog::Key(const std::string& name) { return AsciiLower(name); }
 
+bool IsSystemTableName(const std::string& name) {
+  return StartsWith(AsciiLower(name), "sys.");
+}
+
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (IsSystemTableName(name)) {
+    return Status::InvalidArgument("schema 'sys' is reserved for system views");
+  }
   std::string key = Key(name);
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(key) > 0) {
@@ -42,6 +50,69 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 bool Catalog::HasTable(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return tables_.count(Key(name)) > 0;
+}
+
+Status Catalog::RegisterVirtualTable(const std::string& name, Schema schema,
+                                     VirtualTableProvider provider) {
+  if (provider == nullptr) {
+    return Status::InvalidArgument("virtual table " + name +
+                                   " needs a provider");
+  }
+  std::string key = Key(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  // Re-registration overwrites: a session clone re-registers the same views
+  // against the shared data sources after every snapshot refresh.
+  virtuals_[key] = VirtualEntry{std::move(schema), std::move(provider)};
+  return Status::OK();
+}
+
+bool Catalog::HasVirtualTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return virtuals_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> Catalog::VirtualTableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(virtuals_.size());
+  for (const auto& [key, entry] : virtuals_) names.push_back(key);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<Schema> Catalog::VirtualTableSchema(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = virtuals_.find(Key(name));
+  if (it == virtuals_.end()) {
+    return Status::NotFound("virtual table " + name + " does not exist");
+  }
+  return it->second.schema;
+}
+
+Result<ScanSource> Catalog::ResolveScanSource(const std::string& name) const {
+  VirtualTableProvider provider;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = tables_.find(Key(name));
+    if (it != tables_.end()) {
+      return ScanSource{it->second.get(), nullptr};
+    }
+    auto vit = virtuals_.find(Key(name));
+    if (vit == virtuals_.end()) {
+      return Status::NotFound("table " + name + " does not exist");
+    }
+    provider = vit->second.provider;
+  }
+  // Materialize outside the catalog lock: providers read recorder/session
+  // state guarded by their own mutexes.
+  DKB_ASSIGN_OR_RETURN(std::shared_ptr<const Table> snapshot, provider());
+  ScanSource source;
+  source.table = snapshot.get();
+  source.owned = std::move(snapshot);
+  return source;
 }
 
 Status Catalog::CreateIndex(const std::string& table_name,

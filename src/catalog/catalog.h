@@ -1,6 +1,7 @@
 #ifndef DKB_CATALOG_CATALOG_H_
 #define DKB_CATALOG_CATALOG_H_
 
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -11,6 +12,20 @@
 #include "storage/table.h"
 
 namespace dkb {
+
+/// Builds a point-in-time materialization of a virtual table. Called once
+/// per query that scans the table (lazily, at plan time); the returned
+/// snapshot is immutable and shared-owned by the plan that scans it.
+using VirtualTableProvider =
+    std::function<Result<std::shared_ptr<const Table>>()>;
+
+/// What a FROM-list name resolves to: a stored table (raw pointer, owned by
+/// the catalog) or a virtual-table snapshot (`owned` keeps it alive for the
+/// duration of the plan).
+struct ScanSource {
+  const Table* table = nullptr;
+  std::shared_ptr<const Table> owned;  // non-null only for virtual tables
+};
 
 /// Catalog of tables and their indexes, keyed by case-insensitive name.
 ///
@@ -29,8 +44,29 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  /// Creates an empty table. Fails with AlreadyExists on name collision.
+  /// Creates an empty table. Fails with AlreadyExists on name collision and
+  /// with InvalidArgument for names in the reserved `sys.` schema.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Registers a read-only virtual table (a system view): its fixed schema
+  /// plus a provider that materializes a snapshot on demand. Virtual tables
+  /// live in their own namespace-by-convention (`sys.<name>`) and are only
+  /// reachable through ResolveScanSource — never through GetTable, and never
+  /// serialized or cloned with the stored tables.
+  Status RegisterVirtualTable(const std::string& name, Schema schema,
+                              VirtualTableProvider provider);
+
+  bool HasVirtualTable(const std::string& name) const;
+
+  /// Registered virtual-table names, sorted.
+  std::vector<std::string> VirtualTableNames() const;
+
+  /// Declared schema of a virtual table; NotFound if absent.
+  Result<Schema> VirtualTableSchema(const std::string& name) const;
+
+  /// Resolves a FROM-list name: stored tables win, then virtual tables
+  /// (whose provider runs here, materializing a fresh snapshot).
+  Result<ScanSource> ResolveScanSource(const std::string& name) const;
 
   /// Drops a table and its indexes. Fails with NotFound if absent.
   Status DropTable(const std::string& name);
@@ -58,9 +94,19 @@ class Catalog {
  private:
   static std::string Key(const std::string& name);
 
+  struct VirtualEntry {
+    Schema schema;
+    VirtualTableProvider provider;
+  };
+
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, VirtualEntry> virtuals_;
 };
+
+/// True for names in the reserved system schema ("sys." prefix,
+/// case-insensitive). DDL/DML against such names is rejected.
+bool IsSystemTableName(const std::string& name);
 
 }  // namespace dkb
 

@@ -120,6 +120,38 @@ std::string MetricsRegistry::SnapshotJson() const {
   return out;
 }
 
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "counter";
+    s.value = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "gauge";
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = "histogram";
+    s.value = h->count();
+    s.sum = h->sum();
+    s.max = h->max();
+    s.p50 = h->ApproxQuantile(0.5);
+    s.p99 = h->ApproxQuantile(0.99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

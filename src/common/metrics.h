@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace dkb::metrics {
 
@@ -74,6 +75,20 @@ class Histogram {
 ///   static metrics::Counter& c =
 ///       metrics::GlobalMetrics().counter("dkb.sql.statements");
 ///   c.Add();
+/// One metric rendered into plain integers, for tabular consumers
+/// (sys.metrics). For counters and gauges only `value` is meaningful; for
+/// histograms `value` carries the sample count and the remaining fields the
+/// aggregate/quantile summary.
+struct MetricSample {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  int64_t value = 0;
+  int64_t sum = 0;
+  int64_t max = 0;
+  int64_t p50 = 0;
+  int64_t p99 = 0;
+};
+
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
@@ -84,6 +99,11 @@ class MetricsRegistry {
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   /// {"count": .., "sum": .., "mean": .., "max": .., "p50": .., "p99": ..}}}.
   std::string SnapshotJson() const;
+
+  /// Every registered metric as a flat row list, counters then gauges then
+  /// histograms, each group sorted by name. Values are read with relaxed
+  /// loads, so a snapshot taken under concurrent writers is approximate.
+  std::vector<MetricSample> Snapshot() const;
 
   /// Zeroes every metric (tests and bench warmup isolation); the set of
   /// registered names is unchanged.
@@ -98,6 +118,18 @@ class MetricsRegistry {
 
 /// The process-wide registry every layer reports into.
 MetricsRegistry& GlobalMetrics();
+
+/// Test helper: zeroes every global metric on construction and again on
+/// destruction, so a test body observes only its own activity and leaves
+/// nothing behind for later tests. Cached `static Counter&` references at
+/// call sites stay valid (the registry itself is never swapped).
+class ScopedMetricsReset {
+ public:
+  ScopedMetricsReset() { GlobalMetrics().ResetAll(); }
+  ~ScopedMetricsReset() { GlobalMetrics().ResetAll(); }
+  ScopedMetricsReset(const ScopedMetricsReset&) = delete;
+  ScopedMetricsReset& operator=(const ScopedMetricsReset&) = delete;
+};
 
 }  // namespace dkb::metrics
 

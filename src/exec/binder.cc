@@ -18,10 +18,19 @@ Status Scope::AddTable(std::string name, const Table* table) {
 
 Result<Scope::ResolvedColumn> Scope::Resolve(const std::string& qualifier,
                                              const std::string& column) const {
+  // A dotted table name ("sys.query_log") may be qualified by its base name
+  // ("query_log.ts_us"): expression grammar only supports one-part
+  // qualifiers, so the schema prefix is dropped for matching.
+  auto matches = [](const std::string& binding, const std::string& q) {
+    if (EqualsIgnoreCase(binding, q)) return true;
+    size_t dot = binding.rfind('.');
+    return dot != std::string::npos &&
+           EqualsIgnoreCase(binding.substr(dot + 1), q);
+  };
   if (!qualifier.empty()) {
     for (size_t bi = 0; bi < bindings_.size(); ++bi) {
       const TableBinding& b = bindings_[bi];
-      if (!EqualsIgnoreCase(b.name, qualifier)) continue;
+      if (!matches(b.name, qualifier)) continue;
       auto ci = b.table->schema().FindColumn(column);
       if (!ci.has_value()) {
         return Status::NotFound("column " + column + " not found in " +

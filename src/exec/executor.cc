@@ -101,6 +101,21 @@ Result<QueryResult> Executor::Execute(const sql::Statement& stmt,
   return Status::Internal("unknown statement kind");
 }
 
+namespace {
+
+/// System views answer SELECTs only; everything that would mutate or
+/// restructure one is rejected up front with a targeted message (GetTable
+/// would otherwise report them as nonexistent).
+Status RejectSystemTable(const std::string& name, const char* op) {
+  if (IsSystemTableName(name)) {
+    return Status::InvalidArgument(std::string(op) + " on system view " +
+                                   name + ": sys.* relations are read-only");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<QueryResult> Executor::ExecuteExplain(const sql::ExplainStmt& stmt) {
   DKB_ASSIGN_OR_RETURN(PlanNodePtr plan,
                        PlanSelect(*stmt.select, *catalog_, stats_));
@@ -136,6 +151,7 @@ Result<QueryResult> Executor::ExecuteCreateTable(
 }
 
 Result<QueryResult> Executor::ExecuteDropTable(const sql::DropTableStmt& stmt) {
+  DKB_RETURN_IF_ERROR(RejectSystemTable(stmt.table, "DROP TABLE"));
   if (stmt.if_exists && !catalog_->HasTable(stmt.table)) {
     return QueryResult{};
   }
@@ -145,6 +161,7 @@ Result<QueryResult> Executor::ExecuteDropTable(const sql::DropTableStmt& stmt) {
 
 Result<QueryResult> Executor::ExecuteCreateIndex(
     const sql::CreateIndexStmt& stmt) {
+  DKB_RETURN_IF_ERROR(RejectSystemTable(stmt.table, "CREATE INDEX"));
   DKB_RETURN_IF_ERROR(
       catalog_->CreateIndex(stmt.table, stmt.index, stmt.columns,
                             stmt.ordered));
@@ -153,6 +170,7 @@ Result<QueryResult> Executor::ExecuteCreateIndex(
 
 Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt,
                                             const std::vector<Value>* params) {
+  DKB_RETURN_IF_ERROR(RejectSystemTable(stmt.table, "INSERT"));
   DKB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
   QueryResult result;
   if (stmt.select != nullptr) {
@@ -204,6 +222,7 @@ Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt,
 
 Result<QueryResult> Executor::ExecuteDelete(const sql::DeleteStmt& stmt,
                                             const std::vector<Value>* params) {
+  DKB_RETURN_IF_ERROR(RejectSystemTable(stmt.table, "DELETE"));
   DKB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(stmt.table));
   QueryResult result;
   if (stmt.where == nullptr) {

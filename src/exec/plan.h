@@ -156,6 +156,14 @@ class PlanNode {
   /// Null until EnableProfiling() has been called.
   const Profile* profile() const { return profile_.get(); }
 
+  /// Shares ownership of a materialized virtual-table snapshot with this
+  /// plan: scan operators reference snapshots by raw pointer, so the
+  /// planner pins each snapshot to the root node to keep it alive for the
+  /// plan's lifetime.
+  void PinSource(std::shared_ptr<const Table> source) {
+    pinned_sources_.push_back(std::move(source));
+  }
+
   /// Operator name for EXPLAIN-style rendering.
   virtual std::string Name() const = 0;
 
@@ -183,6 +191,7 @@ class PlanNode {
 
   Schema schema_;
   std::unique_ptr<Profile> profile_;
+  std::vector<std::shared_ptr<const Table>> pinned_sources_;
 };
 
 using PlanNodePtr = std::unique_ptr<PlanNode>;

@@ -64,6 +64,11 @@ class Planner {
   const Catalog& catalog_;
   ExecStats* stats_;
   const std::vector<Value>* params_;  // bound `?` values; may be null
+
+ public:
+  /// Virtual-table snapshots materialized while planning; the caller pins
+  /// them to the plan root so they outlive planning.
+  std::vector<std::shared_ptr<const Table>> pinned_;
 };
 
 Result<ConjunctInfo> Planner::Classify(const sql::Expr* expr,
@@ -232,8 +237,10 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
 
   Scope scope;
   for (const sql::TableRef& ref : core.from) {
-    DKB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(ref.table));
-    DKB_RETURN_IF_ERROR(scope.AddTable(ref.EffectiveName(), table));
+    DKB_ASSIGN_OR_RETURN(ScanSource source,
+                         catalog_.ResolveScanSource(ref.table));
+    if (source.owned != nullptr) pinned_.push_back(source.owned);
+    DKB_RETURN_IF_ERROR(scope.AddTable(ref.EffectiveName(), source.table));
   }
 
   std::vector<const sql::Expr*> raw_conjuncts;
@@ -627,7 +634,11 @@ Result<PlanNodePtr> PlanSelect(const sql::SelectStmt& stmt,
                                const Catalog& catalog, ExecStats* stats,
                                const std::vector<Value>* params) {
   Planner planner(catalog, stats, params);
-  return planner.PlanStmt(stmt);
+  DKB_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.PlanStmt(stmt));
+  for (std::shared_ptr<const Table>& source : planner.pinned_) {
+    plan->PinSource(std::move(source));
+  }
+  return plan;
 }
 
 }  // namespace dkb::exec

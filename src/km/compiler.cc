@@ -94,6 +94,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
   CompilationStats local;
   if (stats == nullptr) stats = &local;
   *stats = CompilationStats{};
+  stats->query_id = options.query_id;
 
   CompiledQuery out;
   out.original_query = query;

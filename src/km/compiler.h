@@ -16,6 +16,9 @@ namespace dkb::km {
 
 /// Per-compilation timing breakdown (paper §5.3.1.1, Table 4).
 struct CompilationStats {
+  /// Flight-recorder query id this compilation belongs to (copied from
+  /// CompilerOptions::query_id; 0 when no recorder is attached).
+  int64_t query_id = 0;
   int64_t t_setup_us = 0;    // query data structures, PCG, reachability
   int64_t t_extract_us = 0;  // relevant-rule extraction from the Stored DKB
   int64_t t_read_us = 0;     // data dictionary reads
@@ -54,6 +57,9 @@ enum class MagicMode {
 };
 
 struct CompilerOptions {
+  /// Flight-recorder query id to stamp into CompilationStats (observability
+  /// correlation only; does not affect compilation).
+  int64_t query_id = 0;
   MagicMode magic_mode = MagicMode::kOff;
   /// Rewrite flavour when magic is applied (generalized vs supplementary).
   magic::MagicVariant magic_variant = magic::MagicVariant::kGeneralized;

@@ -228,6 +228,7 @@ Result<QueryResult> ExecuteProgram(Database* db,
   ExecutionStats local;
   if (stats == nullptr) stats = &local;
   *stats = ExecutionStats{};
+  stats->query_id = options.query_id;
 
   if (options.strategy == LfpStrategy::kNative ||
       options.strategy == LfpStrategy::kNativeTc) {

@@ -24,6 +24,9 @@ const char* StrategyName(LfpStrategy strategy);
 
 /// How to run a query program's node list (paper Fig 6's object program).
 struct EvalOptions {
+  /// Flight-recorder query id to stamp into ExecutionStats (observability
+  /// correlation only; does not affect evaluation).
+  int64_t query_id = 0;
   LfpStrategy strategy = LfpStrategy::kSemiNaive;
   /// Maximum number of mutually independent nodes (rule-graph cliques or
   /// flat rule groups) evaluated concurrently: 1 = serial (default),
@@ -56,6 +59,8 @@ struct NodeStats {
 
 /// D/KB query execution breakdown (paper §5.3.1.2, Tables 5-6).
 struct ExecutionStats {
+  /// Flight-recorder query id (copied from EvalOptions::query_id).
+  int64_t query_id = 0;
   int64_t t_temp_us = 0;   // temp-table create/drop/clear + table copies
   int64_t t_rhs_us = 0;    // evaluating rule bodies (or their differentials)
   int64_t t_term_us = 0;   // termination checks (set difference + count)

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/str_util.h"
+
 namespace dkb::sql {
 
 Result<StatementPtr> ParseStatement(const std::string& input) {
@@ -65,6 +67,13 @@ Status Parser::ErrorHere(const std::string& message) const {
                                  "' at offset " + std::to_string(tok.offset));
 }
 
+bool Parser::IsBareAggregateName() const {
+  const Token& tok = Peek();
+  if (tok.type != TokenType::kKeyword || Peek(1).IsSymbol("(")) return false;
+  return tok.text == "COUNT" || tok.text == "SUM" || tok.text == "MIN" ||
+         tok.text == "MAX";
+}
+
 Result<std::string> Parser::ParseIdentifier(const char* what) {
   const Token& tok = Peek();
   if (tok.type != TokenType::kIdentifier) {
@@ -72,6 +81,17 @@ Result<std::string> Parser::ParseIdentifier(const char* what) {
   }
   Advance();
   return tok.text;
+}
+
+Result<std::string> Parser::ParseTableName(const char* what) {
+  DKB_ASSIGN_OR_RETURN(std::string name, ParseIdentifier(what));
+  // Dotted two-part names: the '.' must be immediately followed by an
+  // identifier token ("sys.query_log"). One level only.
+  if (Peek().IsSymbol(".") && Peek(1).type == TokenType::kIdentifier) {
+    Advance();  // '.'
+    name += "." + Advance().text;
+  }
+  return name;
 }
 
 Result<StatementPtr> Parser::ParseSingleStatement() {
@@ -147,7 +167,7 @@ Result<StatementPtr> Parser::ParseCreate() {
       DKB_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
       stmt->if_not_exists = true;
     }
-    DKB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    DKB_ASSIGN_OR_RETURN(stmt->table, ParseTableName("table name"));
     DKB_RETURN_IF_ERROR(ExpectSymbol("("));
     std::vector<Column> columns;
     do {
@@ -166,7 +186,7 @@ Result<StatementPtr> Parser::ParseCreate() {
     stmt->ordered = ordered;
     DKB_ASSIGN_OR_RETURN(stmt->index, ParseIdentifier("index name"));
     DKB_RETURN_IF_ERROR(ExpectKeyword("ON"));
-    DKB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    DKB_ASSIGN_OR_RETURN(stmt->table, ParseTableName("table name"));
     DKB_RETURN_IF_ERROR(ExpectSymbol("("));
     do {
       DKB_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column name"));
@@ -186,7 +206,7 @@ Result<StatementPtr> Parser::ParseDrop() {
     DKB_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
     stmt->if_exists = true;
   }
-  DKB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+  DKB_ASSIGN_OR_RETURN(stmt->table, ParseTableName("table name"));
   return StatementPtr(std::move(stmt));
 }
 
@@ -211,7 +231,7 @@ Result<StatementPtr> Parser::ParseInsert() {
   DKB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
   DKB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
   auto stmt = std::make_unique<InsertStmt>();
-  DKB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+  DKB_ASSIGN_OR_RETURN(stmt->table, ParseTableName("table name"));
   if (MatchKeyword("VALUES")) {
     do {
       DKB_RETURN_IF_ERROR(ExpectSymbol("("));
@@ -243,7 +263,7 @@ Result<StatementPtr> Parser::ParseDelete() {
   DKB_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
   DKB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
   auto stmt = std::make_unique<DeleteStmt>();
-  DKB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+  DKB_ASSIGN_OR_RETURN(stmt->table, ParseTableName("table name"));
   if (MatchKeyword("WHERE")) {
     DKB_ASSIGN_OR_RETURN(stmt->where, ParseCondition());
   }
@@ -315,7 +335,7 @@ Result<std::unique_ptr<SelectCore>> Parser::ParseSelectCore() {
   DKB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
   do {
     TableRef ref;
-    DKB_ASSIGN_OR_RETURN(ref.table, ParseIdentifier("table name"));
+    DKB_ASSIGN_OR_RETURN(ref.table, ParseTableName("table name"));
     if (MatchKeyword("AS")) {
       DKB_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier("alias"));
     } else if (Peek().type == TokenType::kIdentifier) {
@@ -346,14 +366,18 @@ Result<SelectItem> Parser::ParseSelectItem() {
     return item;
   }
   AggFn agg = AggFn::kNone;
-  if (Peek().IsKeyword("COUNT")) {
-    agg = AggFn::kCount;
-  } else if (Peek().IsKeyword("SUM")) {
-    agg = AggFn::kSum;
-  } else if (Peek().IsKeyword("MIN")) {
-    agg = AggFn::kMin;
-  } else if (Peek().IsKeyword("MAX")) {
-    agg = AggFn::kMax;
+  // An aggregate keyword only acts as one when a call follows; otherwise it
+  // stays available as a plain column name (e.g. sys.metrics exposes `sum`).
+  if (Peek(1).IsSymbol("(")) {
+    if (Peek().IsKeyword("COUNT")) {
+      agg = AggFn::kCount;
+    } else if (Peek().IsKeyword("SUM")) {
+      agg = AggFn::kSum;
+    } else if (Peek().IsKeyword("MIN")) {
+      agg = AggFn::kMin;
+    } else if (Peek().IsKeyword("MAX")) {
+      agg = AggFn::kMax;
+    }
   }
   if (agg != AggFn::kNone) {
     Advance();
@@ -448,10 +472,16 @@ Result<ExprPtr> Parser::ParsePrimaryCondition() {
 
 Result<ExprPtr> Parser::ParseOperand() {
   const Token& tok = Peek();
-  if (tok.type == TokenType::kIdentifier) {
+  if (tok.type == TokenType::kIdentifier || IsBareAggregateName()) {
+    const bool demoted = tok.type == TokenType::kKeyword;
     Advance();
-    std::string first = tok.text;
+    std::string first = demoted ? AsciiLower(tok.text) : tok.text;
     if (MatchSymbol(".")) {
+      if (IsBareAggregateName()) {
+        std::string col = AsciiLower(Advance().text);
+        return ExprPtr(
+            std::make_unique<ColumnRefExpr>(std::move(first), std::move(col)));
+      }
       DKB_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column name"));
       return ExprPtr(
           std::make_unique<ColumnRefExpr>(std::move(first), std::move(col)));

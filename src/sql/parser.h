@@ -53,6 +53,14 @@ class Parser {
   Result<Value> ParseLiteralValue();
   Result<DataType> ParseType();
   Result<std::string> ParseIdentifier(const char* what);
+  /// True when the next token is an aggregate keyword (COUNT/SUM/MIN/MAX)
+  /// used as a bare name, i.e. not followed by '('. Such tokens demote to
+  /// ordinary lowercase column identifiers (sys.metrics exposes `sum`/`max`).
+  bool IsBareAggregateName() const;
+  /// `[schema.]name` — a plain identifier or a dotted two-part name, joined
+  /// back with '.' (the reserved `sys` schema's views are addressed this
+  /// way: `sys.query_log`).
+  Result<std::string> ParseTableName(const char* what);
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;

@@ -1,0 +1,149 @@
+#include "testbed/flight_recorder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/str_util.h"
+
+namespace dkb::testbed {
+
+namespace {
+
+int64_t NowWallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+QueryLogEntry FlightRecorder::MakeEntry(const QueryReport& report,
+                                        int64_t query_id, int64_t session_id,
+                                        int64_t rows_out) {
+  QueryLogEntry entry;
+  entry.query_id = query_id;
+  entry.session_id = session_id;
+  entry.ts_us = NowWallMicros();
+  entry.query = report.plan.query;
+  entry.strategy = report.plan.strategy;
+  entry.magic = report.plan.magic_applied;
+  entry.from_cache = report.from_cache;
+  entry.executed = report.executed;
+  entry.rows_out = rows_out;
+  entry.iterations = report.exec.iterations;
+  entry.total_us = report.total_us;
+  entry.phases = report.Phases();
+  for (const lfp::NodeStats& node : report.exec.nodes) {
+    for (size_t i = 0; i < node.delta_sizes.size(); ++i) {
+      QueryLogEntry::LfpIteration it;
+      it.node = node.label;
+      it.is_clique = node.is_clique;
+      it.iter = static_cast<int64_t>(i) + 1;
+      it.delta_rows = node.delta_sizes[i];
+      entry.lfp_iterations.push_back(std::move(it));
+    }
+  }
+  if (report.trace != nullptr) entry.trace_json = report.ChromeTrace();
+  return entry;
+}
+
+void FlightRecorder::Record(QueryLogEntry entry) {
+  metrics::GlobalMetrics().counter("dkb.recorder.recorded").Add(1);
+  bool slow = false;
+  std::string record;
+  SlowQueryLogOptions slow_opts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slow = slow_.threshold_us >= 0 && entry.total_us > slow_.threshold_us;
+    if (slow) {
+      record = FormatSlowRecord(entry, slow_.json);
+      slow_opts = slow_;
+    }
+    ring_.push_back(std::move(entry));
+    while (ring_.size() > capacity_) {
+      ring_.pop_front();
+      metrics::GlobalMetrics().counter("dkb.recorder.evicted").Add(1);
+    }
+  }
+  if (!slow) return;
+  // Emit outside the lock: a user-provided sink may be arbitrarily slow.
+  metrics::GlobalMetrics().counter("dkb.slowlog.records").Add(1);
+  if (slow_opts.sink) {
+    slow_opts.sink(record);
+  } else {
+    std::fprintf(stderr, "%s\n", record.c_str());
+  }
+}
+
+std::vector<QueryLogEntry> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryLogEntry>(ring_.begin(), ring_.end());
+}
+
+void FlightRecorder::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+void FlightRecorder::SetSlowQueryLog(SlowQueryLogOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_ = std::move(options);
+}
+
+SlowQueryLogOptions FlightRecorder::slow_query_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+std::string FlightRecorder::FormatSlowRecord(const QueryLogEntry& entry,
+                                             bool json) {
+  if (json) {
+    std::string out = "{\"slow_query\": true";
+    out += ", \"query_id\": " + std::to_string(entry.query_id);
+    out += ", \"session_id\": " + std::to_string(entry.session_id);
+    out += ", \"ts_us\": " + std::to_string(entry.ts_us);
+    out += ", \"total_us\": " + std::to_string(entry.total_us);
+    out += ", \"strategy\": \"" + JsonEscape(entry.strategy) + "\"";
+    out += std::string(", \"magic\": ") + (entry.magic ? "true" : "false");
+    out += std::string(", \"from_cache\": ") +
+           (entry.from_cache ? "true" : "false");
+    out += ", \"rows_out\": " + std::to_string(entry.rows_out);
+    out += ", \"iterations\": " + std::to_string(entry.iterations);
+    out += ", \"query\": \"" + JsonEscape(entry.query) + "\"}";
+    return out;
+  }
+  std::string out = "[dkb slow query]";
+  out += " id=" + std::to_string(entry.query_id);
+  out += " session=" + std::to_string(entry.session_id);
+  out += " total_us=" + std::to_string(entry.total_us);
+  out += " strategy=" + entry.strategy;
+  out += std::string(" magic=") + (entry.magic ? "1" : "0");
+  out += std::string(" cache=") + (entry.from_cache ? "1" : "0");
+  out += " rows=" + std::to_string(entry.rows_out);
+  out += " iterations=" + std::to_string(entry.iterations);
+  out += " query=\"" + entry.query + "\"";
+  return out;
+}
+
+}  // namespace dkb::testbed

@@ -1,0 +1,111 @@
+#ifndef DKB_TESTBED_FLIGHT_RECORDER_H_
+#define DKB_TESTBED_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "testbed/report.h"
+
+namespace dkb::testbed {
+
+/// One completed query as remembered by the flight recorder: the fields a
+/// post-hoc observer needs, flattened out of the QueryReport. Phase timings
+/// keep the paper's Table 4/5 order; per-iteration LFP deltas are kept as
+/// their own sub-records so sys.lfp_iterations can expose one row each.
+struct QueryLogEntry {
+  int64_t query_id = 0;    // monotonic per recorder, assigned at Query()
+  int64_t session_id = 0;  // 0 = the testbed itself, >0 = Session id
+  int64_t ts_us = 0;       // wall-clock micros since Unix epoch, at completion
+  std::string query;       // the goal as written
+  std::string strategy;    // LFP strategy name
+  bool magic = false;      // magic rewrite actually changed the rules
+  bool from_cache = false;
+  bool executed = false;   // false for EXPLAIN (compile-only) queries
+  int64_t rows_out = 0;
+  int64_t iterations = 0;  // summed over all cliques
+  int64_t total_us = 0;
+  std::vector<PhaseTiming> phases;  // Table-4 then Table-5 order
+
+  struct LfpIteration {
+    std::string node;  // predicates defined, comma-joined
+    bool is_clique = false;
+    int64_t iter = 0;  // 1-based iteration number within the node
+    int64_t delta_rows = 0;
+  };
+  std::vector<LfpIteration> lfp_iterations;
+
+  /// Chrome trace-event JSON; empty unless the query ran with tracing.
+  std::string trace_json;
+};
+
+/// Slow-query log configuration. Disabled by default; when a recorded
+/// query's total_us exceeds `threshold_us`, exactly one structured record
+/// (one line, text or JSON) is written to the sink.
+struct SlowQueryLogOptions {
+  int64_t threshold_us = -1;  // < 0 disables the log
+  bool json = false;          // one-line JSON object instead of key=value
+  /// Receives the formatted record (no trailing newline). Null writes the
+  /// record plus '\n' to stderr.
+  std::function<void(const std::string&)> sink;
+};
+
+/// Always-on ring buffer of the last N completed queries (the testbed's
+/// flight recorder). Memory is bounded: the ring holds at most `capacity`
+/// entries and per-query span trees are retained only as their rendered
+/// Chrome-trace JSON, not as live TraceContext objects.
+///
+/// Thread safety: Record/Snapshot/SetCapacity take a short mutex;
+/// NextQueryId is a lone atomic increment. Queries from concurrent sessions
+/// record into the same ring.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  /// Monotonic query-id source; ids start at 1.
+  int64_t NextQueryId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends one completed query, evicting the oldest entry when the ring
+  /// is full, and emits a slow-query record if the entry crossed the
+  /// configured threshold.
+  void Record(QueryLogEntry entry);
+
+  /// Flattens a finished QueryReport into a QueryLogEntry (shared by the
+  /// testbed recording hook and tests).
+  static QueryLogEntry MakeEntry(const QueryReport& report, int64_t query_id,
+                                 int64_t session_id, int64_t rows_out);
+
+  /// Oldest-first copy of the ring.
+  std::vector<QueryLogEntry> Snapshot() const;
+
+  /// Shrinks/grows the ring; excess oldest entries are dropped immediately.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+  size_t size() const;
+  void Clear();
+
+  void SetSlowQueryLog(SlowQueryLogOptions options);
+  SlowQueryLogOptions slow_query_log() const;
+
+  /// The one-line record the slow-query log emits for `entry`.
+  static std::string FormatSlowRecord(const QueryLogEntry& entry, bool json);
+
+ private:
+  std::atomic<int64_t> next_id_{1};
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<QueryLogEntry> ring_;
+  SlowQueryLogOptions slow_;
+};
+
+}  // namespace dkb::testbed
+
+#endif  // DKB_TESTBED_FLIGHT_RECORDER_H_

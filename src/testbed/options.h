@@ -11,6 +11,15 @@ namespace dkb::testbed {
 struct TestbedOptions {
   km::StoredDkb::Options stored;
 
+  /// Flight-recorder ring size: how many completed queries sys.query_log
+  /// remembers. Always on; memory is bounded by this.
+  size_t flight_recorder_capacity = 256;
+  /// Slow-query log: queries whose total time exceeds this emit one
+  /// structured record. Negative disables (the default).
+  int64_t slow_query_threshold_us = -1;
+  /// Slow-query records as one-line JSON instead of key=value text.
+  bool slow_query_log_json = false;
+
   /// Rule storage without the compiled form (paper Fig 15's ablation).
   static TestbedOptions SourceOnlyRules() {
     TestbedOptions o;
@@ -24,6 +33,15 @@ struct TestbedOptions {
   }
   TestbedOptions& WithCompiledRuleStorage(bool on) {
     stored.compiled_rule_storage = on;
+    return *this;
+  }
+  TestbedOptions& WithFlightRecorderCapacity(size_t n) {
+    flight_recorder_capacity = n;
+    return *this;
+  }
+  TestbedOptions& WithSlowQueryThreshold(int64_t micros, bool json = false) {
+    slow_query_threshold_us = micros;
+    slow_query_log_json = json;
     return *this;
   }
 };

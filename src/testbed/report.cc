@@ -108,7 +108,9 @@ std::string QueryReport::ExplainText() const {
 
 std::string QueryReport::ToJson() const {
   std::string out = "{";
-  out += "\"query\": \"" + JsonEscape(plan.query) + "\"";
+  out += "\"query_id\": " + std::to_string(query_id);
+  out += ", \"session_id\": " + std::to_string(session_id);
+  out += ", \"query\": \"" + JsonEscape(plan.query) + "\"";
   out += ", \"strategy\": \"" + JsonEscape(plan.strategy) + "\"";
   out += ", \"magic_applied\": " + std::string(plan.magic_applied ? "true"
                                                                   : "false");

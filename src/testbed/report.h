@@ -49,6 +49,11 @@ struct PlanSummary {
 ///
 /// Move-only (it may own a TraceContext).
 struct QueryReport {
+  /// Flight-recorder identity: the id assigned by FlightRecorder::NextQueryId
+  /// (0 when recording is off) and the session that ran the query (0 = the
+  /// testbed itself). sys.lfp_iterations joins to sys.query_log on query_id.
+  int64_t query_id = 0;
+  int64_t session_id = 0;
   km::CompilationStats compile;  // all zeros on a precompiled-cache hit
   lfp::ExecutionStats exec;      // zeros when only compiled (ExplainMode::kPlan)
   bool from_cache = false;       // compiled program came from the query cache

@@ -11,10 +11,12 @@ namespace dkb::testbed {
 Session::Session(Testbed* testbed)
     : testbed_(testbed), options_(testbed->options_) {}
 
+Session::~Session() { testbed_->UnregisterSession(id_); }
+
 Status Session::Refresh() {
   std::shared_lock<std::shared_mutex> lock(testbed_->mu_);
   uint64_t current = testbed_->epoch();
-  if (db_ != nullptr && current == epoch_) return Status::OK();
+  if (db_ != nullptr && current == epoch()) return Status::OK();
   auto db = std::make_unique<Database>();
   DKB_RETURN_IF_ERROR(CloneDatabase(testbed_->db_, db.get()));
   auto stored = std::make_unique<km::StoredDkb>(db.get(), options_.stored);
@@ -23,7 +25,7 @@ Status Session::Refresh() {
   db_ = std::move(db);
   stored_ = std::move(stored);
   cache_.Clear();
-  epoch_ = current;
+  epoch_.store(current, std::memory_order_release);
   return Status::OK();
 }
 
@@ -35,9 +37,10 @@ Result<QueryOutcome> Session::Query(const std::string& goal_text,
 
 Result<QueryOutcome> Session::Query(const datalog::Atom& goal,
                                     const QueryOptions& options) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   DKB_RETURN_IF_ERROR(Refresh());
   return Testbed::QueryImpl(db_.get(), &workspace_, stored_.get(), &cache_,
-                            goal, options);
+                            goal, options, &testbed_->recorder_, id_);
 }
 
 }  // namespace dkb::testbed

@@ -1,6 +1,7 @@
 #ifndef DKB_TESTBED_SESSION_H_
 #define DKB_TESTBED_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -35,6 +36,7 @@ class Session {
  public:
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+  ~Session();
 
   /// Compiles and executes a query against this session's snapshot.
   /// Refreshes the snapshot first if the testbed has changed since the
@@ -44,8 +46,18 @@ class Session {
   Result<QueryOutcome> Query(const datalog::Atom& goal,
                              const QueryOptions& options = QueryOptions{});
 
-  /// The testbed epoch this session's snapshot was cloned at.
-  uint64_t epoch() const { return epoch_; }
+  /// Registry id of this session; sys.sessions and sys.query_log report
+  /// queries under it (the testbed's own queries use session id 0).
+  int64_t id() const { return id_; }
+
+  /// The testbed epoch this session's snapshot was cloned at. Atomic so
+  /// sys.sessions may observe it from other threads mid-query.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Queries this session has run (successful or not).
+  int64_t queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
 
   /// This session's private precompiled-program cache (cleared whenever
   /// the snapshot refreshes).
@@ -62,7 +74,9 @@ class Session {
 
   Testbed* testbed_;
   TestbedOptions options_;
-  uint64_t epoch_ = 0;  // 0 = never cloned; real epochs start at 1
+  int64_t id_ = 0;
+  std::atomic<uint64_t> epoch_{0};  // 0 = never cloned; real epochs start at 1
+  std::atomic<int64_t> queries_{0};
   std::unique_ptr<Database> db_;
   km::Workspace workspace_;
   std::unique_ptr<km::StoredDkb> stored_;

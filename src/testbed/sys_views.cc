@@ -1,0 +1,222 @@
+#include "testbed/sys_views.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/metrics.h"
+#include "testbed/flight_recorder.h"
+#include "testbed/testbed.h"
+
+namespace dkb::testbed {
+
+namespace {
+
+Value IntVal(int64_t v) { return Value(v); }
+Value BoolVal(bool v) { return Value(static_cast<int64_t>(v ? 1 : 0)); }
+
+Schema QueryLogSchema() {
+  return Schema({
+      {"query_id", DataType::kInteger},
+      {"session_id", DataType::kInteger},
+      {"ts_us", DataType::kInteger},
+      {"query", DataType::kVarchar},
+      {"strategy", DataType::kVarchar},
+      {"magic", DataType::kInteger},
+      {"from_cache", DataType::kInteger},
+      {"executed", DataType::kInteger},
+      {"rows_out", DataType::kInteger},
+      {"iterations", DataType::kInteger},
+      {"total_us", DataType::kInteger},
+      {"t_setup_us", DataType::kInteger},
+      {"t_extract_us", DataType::kInteger},
+      {"t_read_us", DataType::kInteger},
+      {"t_analyze_us", DataType::kInteger},
+      {"t_opt_us", DataType::kInteger},
+      {"t_eol_us", DataType::kInteger},
+      {"t_sem_us", DataType::kInteger},
+      {"t_gen_us", DataType::kInteger},
+      {"t_comp_us", DataType::kInteger},
+      {"t_temp_us", DataType::kInteger},
+      {"t_rhs_us", DataType::kInteger},
+      {"t_term_us", DataType::kInteger},
+      {"t_final_us", DataType::kInteger},
+      {"trace", DataType::kVarchar},
+  });
+}
+
+Schema LfpIterationsSchema() {
+  return Schema({
+      {"query_id", DataType::kInteger},
+      {"node", DataType::kVarchar},
+      {"is_clique", DataType::kInteger},
+      {"iter", DataType::kInteger},
+      {"delta_rows", DataType::kInteger},
+  });
+}
+
+Schema MetricsSchema() {
+  return Schema({
+      {"name", DataType::kVarchar},
+      {"kind", DataType::kVarchar},
+      {"value", DataType::kInteger},
+      {"sum", DataType::kInteger},
+      {"max", DataType::kInteger},
+      {"p50", DataType::kInteger},
+      {"p99", DataType::kInteger},
+  });
+}
+
+Schema SessionsSchema() {
+  return Schema({
+      {"session_id", DataType::kInteger},
+      {"epoch", DataType::kInteger},
+      {"testbed_epoch", DataType::kInteger},
+      {"snapshot_age", DataType::kInteger},
+      {"queries", DataType::kInteger},
+  });
+}
+
+Schema SettingsSchema() {
+  return Schema({
+      {"name", DataType::kVarchar},
+      {"value", DataType::kVarchar},
+  });
+}
+
+/// Materializes `rows` into an anonymous snapshot table for one scan.
+Result<std::shared_ptr<const Table>> Materialize(
+    const std::string& name, const Schema& schema,
+    std::vector<Tuple> rows) {
+  auto table = std::make_shared<Table>(name, schema);
+  for (Tuple& row : rows) table->InsertUnchecked(std::move(row));
+  return std::shared_ptr<const Table>(std::move(table));
+}
+
+Result<std::shared_ptr<const Table>> QueryLogProvider(Testbed* tb) {
+  std::vector<Tuple> rows;
+  for (const QueryLogEntry& e : tb->recorder().Snapshot()) {
+    // Phase columns follow Table 4/5 order; absent phases (compile-only
+    // queries have no execution phases) render as 0.
+    std::map<std::string, int64_t> phase;
+    for (const PhaseTiming& p : e.phases) phase[p.name] = p.micros;
+    auto us = [&phase](const char* name) { return IntVal(phase[name]); };
+    rows.push_back(Tuple{
+        IntVal(e.query_id), IntVal(e.session_id), IntVal(e.ts_us),
+        Value(e.query), Value(e.strategy), BoolVal(e.magic),
+        BoolVal(e.from_cache), BoolVal(e.executed), IntVal(e.rows_out),
+        IntVal(e.iterations), IntVal(e.total_us), us("t_setup"),
+        us("t_extract"), us("t_read"), us("t_analyze"), us("t_opt"),
+        us("t_eol"), us("t_sem"), us("t_gen"), us("t_comp"), us("t_temp"),
+        us("t_rhs"), us("t_term"), us("t_final"), Value(e.trace_json)});
+  }
+  return Materialize("sys.query_log", QueryLogSchema(), std::move(rows));
+}
+
+Result<std::shared_ptr<const Table>> LfpIterationsProvider(Testbed* tb) {
+  std::vector<Tuple> rows;
+  for (const QueryLogEntry& e : tb->recorder().Snapshot()) {
+    for (const QueryLogEntry::LfpIteration& it : e.lfp_iterations) {
+      rows.push_back(Tuple{IntVal(e.query_id), Value(it.node),
+                           BoolVal(it.is_clique), IntVal(it.iter),
+                           IntVal(it.delta_rows)});
+    }
+  }
+  return Materialize("sys.lfp_iterations", LfpIterationsSchema(),
+                     std::move(rows));
+}
+
+Result<std::shared_ptr<const Table>> MetricsProvider() {
+  std::vector<Tuple> rows;
+  for (const metrics::MetricSample& s : metrics::GlobalMetrics().Snapshot()) {
+    rows.push_back(Tuple{Value(s.name), Value(s.kind), IntVal(s.value),
+                         IntVal(s.sum), IntVal(s.max), IntVal(s.p50),
+                         IntVal(s.p99)});
+  }
+  return Materialize("sys.metrics", MetricsSchema(), std::move(rows));
+}
+
+Result<std::shared_ptr<const Table>> SessionsProvider(Testbed* tb) {
+  const int64_t current = static_cast<int64_t>(tb->epoch());
+  std::vector<Tuple> rows;
+  for (const Testbed::SessionInfo& s : tb->SessionSnapshot()) {
+    const int64_t epoch = static_cast<int64_t>(s.epoch);
+    rows.push_back(Tuple{IntVal(s.session_id), IntVal(epoch),
+                         IntVal(current), IntVal(current - epoch),
+                         IntVal(s.queries)});
+  }
+  return Materialize("sys.sessions", SessionsSchema(), std::move(rows));
+}
+
+Result<std::shared_ptr<const Table>> SettingsProvider(Testbed* tb) {
+  const TestbedOptions& opts = tb->options();
+  const QueryOptions defaults;
+  const SlowQueryLogOptions slow = tb->recorder().slow_query_log();
+  const char* threads_env = std::getenv("DKB_THREADS");
+  std::vector<std::pair<std::string, std::string>> settings = {
+      {"default_strategy", lfp::StrategyName(defaults.strategy)},
+      {"default_use_magic", defaults.use_magic ? "on" : "off"},
+      {"default_use_cache", defaults.use_cache ? "on" : "off"},
+      {"default_lfp_parallelism",
+       std::to_string(defaults.lfp_parallelism)},
+      {"edb_first_column_index",
+       opts.stored.index_edb_first_column ? "on" : "off"},
+      {"compiled_rule_storage",
+       opts.stored.compiled_rule_storage ? "on" : "off"},
+      {"flight_recorder_capacity",
+       std::to_string(tb->recorder().capacity())},
+      {"slow_query_threshold_us", std::to_string(slow.threshold_us)},
+      {"slow_query_log_format", slow.json ? "json" : "text"},
+      {"dkb_threads_env", threads_env == nullptr ? "" : threads_env},
+      {"hardware_threads",
+       std::to_string(std::thread::hardware_concurrency())},
+  };
+  std::vector<Tuple> rows;
+  rows.reserve(settings.size());
+  for (auto& [name, value] : settings) {
+    rows.push_back(Tuple{Value(std::move(name)), Value(std::move(value))});
+  }
+  return Materialize("sys.settings", SettingsSchema(), std::move(rows));
+}
+
+}  // namespace
+
+const std::vector<SystemViewDef>& SystemViewDefs() {
+  static const std::vector<SystemViewDef>* defs =
+      new std::vector<SystemViewDef>{
+          {"sys.query_log", QueryLogSchema(),
+           "flight-recorder ring of completed queries (newest last)"},
+          {"sys.lfp_iterations", LfpIterationsSchema(),
+           "per-node per-iteration semi-naive delta cardinalities"},
+          {"sys.metrics", MetricsSchema(),
+           "live snapshot of the global metrics registry"},
+          {"sys.sessions", SessionsSchema(),
+           "open concurrent sessions and snapshot staleness"},
+          {"sys.settings", SettingsSchema(),
+           "effective testbed and query-default configuration"},
+      };
+  return *defs;
+}
+
+Status RegisterSystemViews(Database* db, Testbed* testbed) {
+  Catalog& catalog = db->catalog();
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.query_log", QueryLogSchema(),
+      [testbed]() { return QueryLogProvider(testbed); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.lfp_iterations", LfpIterationsSchema(),
+      [testbed]() { return LfpIterationsProvider(testbed); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.metrics", MetricsSchema(), []() { return MetricsProvider(); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.sessions", SessionsSchema(),
+      [testbed]() { return SessionsProvider(testbed); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.settings", SettingsSchema(),
+      [testbed]() { return SettingsProvider(testbed); }));
+  return Status::OK();
+}
+
+}  // namespace dkb::testbed

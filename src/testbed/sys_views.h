@@ -1,0 +1,38 @@
+#ifndef DKB_TESTBED_SYS_VIEWS_H_
+#define DKB_TESTBED_SYS_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "rdbms/database.h"
+
+namespace dkb::testbed {
+
+class Testbed;
+
+/// Name, schema, and one-line description of a system view (the `\sys`
+/// REPL listing and the schema golden test read these).
+struct SystemViewDef {
+  std::string name;
+  Schema schema;
+  std::string description;
+};
+
+/// The five sys.* views, in a fixed order:
+///   sys.query_log       flight-recorder ring of completed queries
+///   sys.lfp_iterations  per-SCC-node per-iteration delta cardinalities
+///   sys.metrics         live snapshot of the global metrics registry
+///   sys.sessions        open concurrent sessions and snapshot staleness
+///   sys.settings        effective testbed/query configuration
+const std::vector<SystemViewDef>& SystemViewDefs();
+
+/// Registers every sys.* view on `db`'s catalog as a lazily-materialized
+/// virtual table backed by `testbed`'s flight recorder, session registry,
+/// options, and the process-wide metrics registry. Each SELECT sees a fresh
+/// snapshot; the views join and filter like ordinary tables and reject all
+/// writes. `testbed` must outlive the registrations.
+Status RegisterSystemViews(Database* db, Testbed* testbed);
+
+}  // namespace dkb::testbed
+
+#endif  // DKB_TESTBED_SYS_VIEWS_H_

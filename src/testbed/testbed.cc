@@ -14,6 +14,7 @@
 #include "datalog/parser.h"
 #include "rdbms/snapshot.h"
 #include "testbed/session.h"
+#include "testbed/sys_views.h"
 
 namespace dkb::testbed {
 
@@ -57,11 +58,20 @@ QueryResult TextResult(const std::string& text) {
 
 Testbed::Testbed(TestbedOptions options)
     : options_(options),
-      stored_(std::make_unique<km::StoredDkb>(&db_, options.stored)) {}
+      stored_(std::make_unique<km::StoredDkb>(&db_, options.stored)),
+      recorder_(options.flight_recorder_capacity) {
+  if (options.slow_query_threshold_us >= 0) {
+    SlowQueryLogOptions slow;
+    slow.threshold_us = options.slow_query_threshold_us;
+    slow.json = options.slow_query_log_json;
+    recorder_.SetSlowQueryLog(slow);
+  }
+}
 
 Result<std::unique_ptr<Testbed>> Testbed::Create(TestbedOptions options) {
   std::unique_ptr<Testbed> testbed(new Testbed(options));
   DKB_RETURN_IF_ERROR(testbed->stored_->Initialize());
+  DKB_RETURN_IF_ERROR(RegisterSystemViews(&testbed->db_, testbed.get()));
   return testbed;
 }
 
@@ -164,7 +174,8 @@ Result<QueryOutcome> Testbed::Query(const datalog::Atom& goal,
   // creates and drops temp tables in db_. Concurrency comes from sessions,
   // which run QueryImpl against private clones under the shared side.
   std::unique_lock<std::shared_mutex> lock(mu_);
-  return QueryImpl(&db_, &workspace_, stored_.get(), &cache_, goal, options);
+  return QueryImpl(&db_, &workspace_, stored_.get(), &cache_, goal, options,
+                   &recorder_, /*session_id=*/0);
 }
 
 Result<QueryOutcome> Testbed::QueryImpl(Database* db,
@@ -172,9 +183,13 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
                                         km::StoredDkb* stored,
                                         QueryCache* cache,
                                         const datalog::Atom& goal,
-                                        const QueryOptions& options) {
+                                        const QueryOptions& options,
+                                        FlightRecorder* recorder,
+                                        int64_t session_id) {
   QueryOutcome outcome;
   QueryReport& report = outcome.report;
+  report.query_id = recorder == nullptr ? 0 : recorder->NextQueryId();
+  report.session_id = session_id;
 
   // Tracing: EXPLAIN ANALYZE implies a span tree; collect_trace requests
   // one without changing what the query returns.
@@ -205,7 +220,7 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
     DKB_ASSIGN_OR_RETURN(
         outcome.compiled,
         CompileImpl(workspace, stored, goal, options, &report.compile,
-                    compile_span.get()));
+                    compile_span.get(), report.query_id));
     if (options.use_cache) {
       // Dependency set: every predicate the relevant rules mention plus the
       // query predicate itself.
@@ -242,6 +257,10 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
     report.executed = false;
     report.total_us = total.ElapsedMicros();
     if (root != nullptr) root->End();
+    if (recorder != nullptr) {
+      recorder->Record(FlightRecorder::MakeEntry(report, report.query_id,
+                                                 session_id, /*rows_out=*/0));
+    }
     outcome.result = TextResult(report.ExplainText());
     return outcome;
   }
@@ -249,6 +268,7 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
   lfp::EvalOptions eopts;
   eopts.strategy = options.strategy;
   eopts.parallelism = options.lfp_parallelism;
+  eopts.query_id = report.query_id;
   {
     trace::ScopedSpan exec_span(root, "execute");
     eopts.span = exec_span.get();
@@ -266,6 +286,12 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
   if (report.from_cache) metrics.counter("dkb.query.cache_hits").Add(1);
   metrics.counter("dkb.lfp.iterations").Add(report.exec.iterations);
   metrics.histogram("dkb.query.total_us").Observe(report.total_us);
+
+  if (recorder != nullptr) {
+    recorder->Record(FlightRecorder::MakeEntry(
+        report, report.query_id, session_id,
+        static_cast<int64_t>(outcome.result.rows.size())));
+  }
 
   if (options.explain == ExplainMode::kAnalyze) {
     outcome.result = TextResult(report.ExplainText());
@@ -287,9 +313,11 @@ Result<km::CompiledQuery> Testbed::CompileImpl(km::Workspace* workspace,
                                                const datalog::Atom& goal,
                                                const QueryOptions& options,
                                                km::CompilationStats* stats,
-                                               trace::TraceSpan* span) {
+                                               trace::TraceSpan* span,
+                                               int64_t query_id) {
   km::QueryCompiler compiler(workspace, stored);
   km::CompilerOptions copts;
+  copts.query_id = query_id;
   copts.magic_mode = options.adaptive_magic ? km::MagicMode::kAdaptive
                      : options.use_magic   ? km::MagicMode::kOn
                                            : km::MagicMode::kOff;
@@ -303,7 +331,34 @@ Result<km::CompiledQuery> Testbed::CompileImpl(km::Workspace* workspace,
 Result<std::unique_ptr<Session>> Testbed::OpenSession() {
   std::unique_ptr<Session> session(new Session(this));
   DKB_RETURN_IF_ERROR(session->Refresh());
+  session->id_ = RegisterSession(session.get());
   return session;
+}
+
+int64_t Testbed::RegisterSession(Session* session) {
+  int64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_[id] = session;
+  return id;
+}
+
+void Testbed::UnregisterSession(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(session_id);
+}
+
+std::vector<Testbed::SessionInfo> Testbed::SessionSnapshot() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    SessionInfo info;
+    info.session_id = id;
+    info.epoch = session->epoch();
+    info.queries = session->queries();
+    out.push_back(info);
+  }
+  return out;
 }
 
 Result<std::vector<km::analysis::Diagnostic>> Testbed::LintWorkspace() {
@@ -372,6 +427,7 @@ Result<std::unique_ptr<Testbed>> Testbed::LoadSession(
   std::unique_ptr<Testbed> tb(new Testbed(options));
   DKB_RETURN_IF_ERROR(DeserializeDatabase(&tb->db_, text.substr(0, split)));
   DKB_RETURN_IF_ERROR(tb->stored_->RestoreFromDatabase());
+  DKB_RETURN_IF_ERROR(RegisterSystemViews(&tb->db_, tb.get()));
 
   std::istringstream rest(text.substr(split));
   std::string line;

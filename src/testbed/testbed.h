@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "km/workspace.h"
 #include "lfp/evaluator.h"
 #include "rdbms/database.h"
+#include "testbed/flight_recorder.h"
 #include "testbed/options.h"
 #include "testbed/query_cache.h"
 #include "testbed/report.h"
@@ -112,10 +115,23 @@ class Testbed {
 
   void ClearWorkspace();
 
+  /// One row of sys.sessions: an open Session's id, the epoch its snapshot
+  /// was cloned at, and how many queries it has run.
+  struct SessionInfo {
+    int64_t session_id = 0;
+    uint64_t epoch = 0;
+    int64_t queries = 0;
+  };
+  std::vector<SessionInfo> SessionSnapshot() const;
+
   Database& db() { return db_; }
   km::Workspace& workspace() { return workspace_; }
   km::StoredDkb& stored() { return *stored_; }
   const QueryCache& query_cache() const { return cache_; }
+  /// The always-on query flight recorder behind sys.query_log and the
+  /// slow-query log.
+  FlightRecorder& recorder() { return recorder_; }
+  const TestbedOptions& options() const { return options_; }
 
  private:
   friend class Session;
@@ -134,19 +150,28 @@ class Testbed {
                                         km::StoredDkb* stored,
                                         QueryCache* cache,
                                         const datalog::Atom& goal,
-                                        const QueryOptions& options);
+                                        const QueryOptions& options,
+                                        FlightRecorder* recorder,
+                                        int64_t session_id);
   static Result<km::CompiledQuery> CompileImpl(km::Workspace* workspace,
                                                km::StoredDkb* stored,
                                                const datalog::Atom& goal,
                                                const QueryOptions& options,
                                                km::CompilationStats* stats,
-                                               trace::TraceSpan* span = nullptr);
+                                               trace::TraceSpan* span = nullptr,
+                                               int64_t query_id = 0);
 
   /// Marks a committed write: bump under the writer lock so session clones
   /// (shared lock) always pair an epoch with the state it describes.
   void BumpEpoch() {
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
+
+  /// Session registry behind sys.sessions. Sessions register on open and
+  /// unregister in their destructor; the registry mutex is independent of
+  /// mu_ so sys-view providers never contend with running queries.
+  int64_t RegisterSession(Session* session);
+  void UnregisterSession(int64_t session_id);
 
   TestbedOptions options_;
   /// Reader-writer protocol: sessions clone under shared locks; every
@@ -158,6 +183,10 @@ class Testbed {
   km::Workspace workspace_;
   std::unique_ptr<km::StoredDkb> stored_;
   QueryCache cache_;
+  FlightRecorder recorder_;
+  mutable std::mutex sessions_mu_;
+  std::atomic<int64_t> next_session_id_{1};
+  std::map<int64_t, Session*> sessions_;
 };
 
 }  // namespace dkb::testbed

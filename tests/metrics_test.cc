@@ -120,5 +120,42 @@ TEST(MetricsTest, GlobalRegistryIsStable) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(MetricsTest, StructuredSnapshotCoversAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("snap.count").Add(3);
+  registry.gauge("snap.gauge").Set(-2);
+  for (int64_t v = 1; v <= 100; ++v) {
+    registry.histogram("snap.hist").Observe(v);
+  }
+  std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  // Counters first, then gauges, then histograms (each sorted by name).
+  EXPECT_EQ(samples[0].name, "snap.count");
+  EXPECT_EQ(samples[0].kind, "counter");
+  EXPECT_EQ(samples[0].value, 3);
+  EXPECT_EQ(samples[1].name, "snap.gauge");
+  EXPECT_EQ(samples[1].kind, "gauge");
+  EXPECT_EQ(samples[1].value, -2);
+  EXPECT_EQ(samples[2].name, "snap.hist");
+  EXPECT_EQ(samples[2].kind, "histogram");
+  EXPECT_EQ(samples[2].value, 100);  // sample count
+  EXPECT_EQ(samples[2].sum, 5050);
+  EXPECT_EQ(samples[2].max, 100);
+  EXPECT_LE(samples[2].p50, samples[2].p99);
+}
+
+TEST(MetricsTest, ScopedResetIsolatesGlobalState) {
+  GlobalMetrics().counter("scoped.count").Add(7);
+  {
+    ScopedMetricsReset scoped;
+    // Entry reset: earlier activity is invisible inside the scope.
+    EXPECT_EQ(GlobalMetrics().counter("scoped.count").value(), 0);
+    GlobalMetrics().counter("scoped.count").Add(2);
+    EXPECT_EQ(GlobalMetrics().counter("scoped.count").value(), 2);
+  }
+  // Exit reset: nothing leaks to whatever test runs next.
+  EXPECT_EQ(GlobalMetrics().counter("scoped.count").value(), 0);
+}
+
 }  // namespace
 }  // namespace dkb::metrics

@@ -97,6 +97,53 @@ TEST(ParserTest, CharWithLength) {
             DataType::kVarchar);
 }
 
+TEST(ParserTest, DottedTableNames) {
+  // Two-part schema-qualified names parse wherever a table name is legal
+  // (the sys.* system views live behind these).
+  auto select = ParseStatement("SELECT a FROM sys.query_log WHERE a = 1");
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  const auto& sel = static_cast<SelectStatement&>(**select);
+  ASSERT_EQ(sel.select->cores[0]->from.size(), 1u);
+  EXPECT_EQ(sel.select->cores[0]->from[0].table, "sys.query_log");
+
+  auto aliased = ParseStatement("SELECT q.a FROM sys.query_log q");
+  ASSERT_TRUE(aliased.ok()) << aliased.status().ToString();
+  EXPECT_EQ(static_cast<SelectStatement&>(**aliased)
+                .select->cores[0]
+                ->from[0]
+                .alias,
+            "q");
+
+  auto drop = ParseStatement("DROP TABLE sys.query_log");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(static_cast<DropTableStmt&>(**drop).table, "sys.query_log");
+
+  auto insert = ParseStatement("INSERT INTO sys.metrics VALUES (1)");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(static_cast<InsertStmt&>(**insert).table, "sys.metrics");
+
+  // A trailing dot is not a dotted name.
+  EXPECT_FALSE(ParseStatement("SELECT a FROM sys. WHERE a = 1").ok());
+}
+
+TEST(ParserTest, AggregateKeywordsDoubleAsColumnNames) {
+  // SUM/MAX/etc. are only aggregate calls when '(' follows; bare they are
+  // ordinary identifiers (sys.metrics exposes columns named sum and max).
+  auto bare = ParseStatement("SELECT value, sum, max FROM sys.metrics");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  const auto& sel = static_cast<SelectStatement&>(**bare);
+  ASSERT_EQ(sel.select->cores[0]->items.size(), 3u);
+  EXPECT_EQ(sel.select->cores[0]->items[1].agg, AggFn::kNone);
+
+  auto call = ParseStatement("SELECT SUM(v) FROM t");
+  ASSERT_TRUE(call.ok()) << call.status().ToString();
+  EXPECT_EQ(static_cast<SelectStatement&>(**call)
+                .select->cores[0]
+                ->items[0]
+                .agg,
+            AggFn::kSum);
+}
+
 TEST(ParserTest, DropTable) {
   auto stmt = ParseStatement("DROP TABLE t");
   ASSERT_TRUE(stmt.ok());

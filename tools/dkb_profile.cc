@@ -41,6 +41,7 @@ struct CliOptions {
   Format format = Format::kText;
   bool plan_only = false;
   bool metrics = false;
+  std::vector<std::string> sys_views;
   bool use_magic = false;
   bool supplementary = false;
   bool adaptive = false;
@@ -55,6 +56,7 @@ int Usage() {
   std::cerr
       << "usage: dkb_profile [--format text|json|chrome] [-o FILE]\n"
       << "                   [--query GOAL]... [--plan] [--metrics]\n"
+      << "                   [--sys VIEW]...  (dump sys.* views afterwards)\n"
       << "                   [--magic] [--supplementary] [--adaptive]\n"
       << "                   [--strategy naive|semi-naive|native|native-tc]\n"
       << "                   [--parallelism N] <program.dkb>\n";
@@ -99,6 +101,11 @@ bool ParseCli(int argc, char** argv, CliOptions* cli) {
       cli->plan_only = true;
     } else if (arg == "--metrics") {
       cli->metrics = true;
+    } else if (arg == "--sys") {
+      if (!next(&value)) return false;
+      // Accept both "sys.query_log" and the bare "query_log".
+      if (value.rfind("sys.", 0) != 0) value = "sys." + value;
+      cli->sys_views.push_back(value);
     } else if (arg == "--magic") {
       cli->use_magic = true;
     } else if (arg == "--supplementary") {
@@ -263,6 +270,17 @@ int main(int argc, char** argv) {
     } else {
       out = body + "\n";
     }
+  }
+
+  // --sys: dump the requested system views through the normal SQL path,
+  // after the profiled queries so sys.query_log shows them.
+  for (const std::string& view : cli.sys_views) {
+    auto rows = (*tb)->db().Execute("SELECT * FROM " + view);
+    if (!rows.ok()) {
+      std::cerr << view << ": " << rows.status().ToString() << "\n";
+      return 1;
+    }
+    out += "\n" + view + ":\n" + rows->ToString();
   }
 
   if (cli.output_path.empty()) {
