@@ -7,10 +7,21 @@
 // a perf-smoke + schema-drift gate rather than a measurement. Without
 // --smoke this produces the full paper-scale result file.
 //
+// --compare OLD.json diffs the freshly written result file against a prior
+// run: every timed cell (FormatUs units: "N us" / "N.NN ms" / "N.NN s") is
+// matched by bench, table, and the row's non-time cells, and the run fails
+// (exit 1) if any cell slowed down by more than 25% AND by more than the
+// absolute noise floor (--compare-floor-us, default 50000). CI feeds it a
+// baseline produced moments earlier on the same runner (smoke-vs-smoke), so
+// it gates catastrophic slowdowns, not microbenchmark jitter.
+//
 //   bench_paper [--smoke] [--out BENCH_paper.json]
+//               [--compare OLD.json] [--compare-floor-us N]
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -210,16 +221,328 @@ int RunSuite(const std::string& self_path, const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --compare: regression gate against a prior BENCH_paper.json.
+
+/// Minimal JSON value tree for reading BENCH_paper.json back. Only the
+/// shapes BenchJson/TableToJson emit are needed; anything else is a parse
+/// error.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  static bool Parse(const std::string& text, JsonValue* out) {
+    JsonParser p(text);
+    if (!p.Value(out)) return false;
+    p.SkipWs();
+    return p.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool String(std::string* out) {
+    if (!Eat('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u':
+          // Bench cells are ASCII; keep a placeholder rather than decoding.
+          if (pos_ + 4 > text_.size()) return false;
+          pos_ += 4;
+          out->push_back('?');
+          break;
+        default: out->push_back(esc); break;
+      }
+    }
+    return false;
+  }
+  bool Value(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      out->kind = JsonValue::kObject;
+      ++pos_;
+      if (Eat('}')) return true;
+      while (true) {
+        std::string key;
+        SkipWs();
+        if (!String(&key)) return false;
+        if (!Eat(':')) return false;
+        JsonValue v;
+        if (!Value(&v)) return false;
+        out->fields.emplace_back(std::move(key), std::move(v));
+        if (Eat('}')) return true;
+        if (!Eat(',')) return false;
+      }
+    }
+    if (c == '[') {
+      out->kind = JsonValue::kArray;
+      ++pos_;
+      if (Eat(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!Value(&v)) return false;
+        out->items.push_back(std::move(v));
+        if (Eat(']')) return true;
+        if (!Eat(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return String(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    out->kind = JsonValue::kNumber;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Parses a FormatUs cell ("123 us", "1.23 ms", "4.56 s") back to micros.
+bool ParseTimeCell(const std::string& cell, int64_t* us) {
+  char* end = nullptr;
+  double v = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str()) return false;
+  std::string unit = end;
+  while (!unit.empty() && unit.front() == ' ') unit.erase(unit.begin());
+  if (unit == "us") {
+    *us = static_cast<int64_t>(v);
+  } else if (unit == "ms") {
+    *us = static_cast<int64_t>(v * 1e3);
+  } else if (unit == "s") {
+    *us = static_cast<int64_t>(v * 1e6);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// bench name -> its csv tables, read out of a merged BENCH_paper.json.
+bool ExtractBenchTables(const std::string& json_text,
+                        std::map<std::string, std::vector<CsvTable>>* out,
+                        std::string* error) {
+  JsonValue root;
+  if (!JsonParser::Parse(json_text, &root) ||
+      root.kind != JsonValue::kObject) {
+    *error = "not a JSON object";
+    return false;
+  }
+  const JsonValue* benches = root.Find("benches");
+  if (benches == nullptr || benches->kind != JsonValue::kArray) {
+    *error = "missing \"benches\" array";
+    return false;
+  }
+  for (const JsonValue& entry : benches->items) {
+    const JsonValue* name = entry.Find("bench");
+    const JsonValue* tables = entry.Find("tables");
+    if (name == nullptr || name->kind != JsonValue::kString ||
+        tables == nullptr || tables->kind != JsonValue::kArray) {
+      *error = "malformed bench entry";
+      return false;
+    }
+    std::vector<CsvTable>& dst = (*out)[name->string];
+    for (const JsonValue& t : tables->items) {
+      CsvTable table;
+      const JsonValue* headers = t.Find("headers");
+      const JsonValue* rows = t.Find("rows");
+      if (headers == nullptr || rows == nullptr) {
+        *error = "malformed table in " + name->string;
+        return false;
+      }
+      for (const JsonValue& h : headers->items) table.headers.push_back(h.string);
+      for (const JsonValue& r : rows->items) {
+        std::vector<std::string> cells;
+        for (const JsonValue& c : r.items) cells.push_back(c.string);
+        table.rows.push_back(std::move(cells));
+      }
+      dst.push_back(std::move(table));
+    }
+  }
+  return true;
+}
+
+/// Identity of a row across runs: every cell that is not a timing. Sweep
+/// parameters, labels, and counts key the row; timed cells are what we
+/// compare. Duplicate keys get an occurrence suffix.
+std::string RowKey(const std::vector<std::string>& cells) {
+  std::string key;
+  int64_t us;
+  for (const std::string& cell : cells) {
+    if (ParseTimeCell(cell, &us)) continue;
+    key += cell;
+    key += '|';
+  }
+  return key;
+}
+
+/// Diffs `new_path` (just written by this run) against `old_path`. Returns
+/// the number of cells that regressed past both gates; 25% relative AND
+/// `floor_us` absolute, so micro-jitter on sub-millisecond cells never
+/// trips the gate.
+int CompareSuites(const std::string& old_path, const std::string& new_path,
+                  int64_t floor_us) {
+  const std::string old_text = ReadFileOrEmpty(old_path);
+  if (old_text.empty()) {
+    std::fprintf(stderr, "FATAL: --compare %s: unreadable or empty\n",
+                 old_path.c_str());
+    return 1;
+  }
+  const std::string new_text = ReadFileOrEmpty(new_path);
+  std::map<std::string, std::vector<CsvTable>> old_suite, new_suite;
+  std::string error;
+  if (!ExtractBenchTables(old_text, &old_suite, &error)) {
+    std::fprintf(stderr, "FATAL: --compare %s: %s\n", old_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (!ExtractBenchTables(new_text, &new_suite, &error)) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", new_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  std::printf("\n[bench_paper] comparing against %s "
+              "(gate: >25%% slower and >%lld us)\n",
+              old_path.c_str(), static_cast<long long>(floor_us));
+  for (const auto& [bench, new_tables] : new_suite) {
+    auto old_it = old_suite.find(bench);
+    if (old_it == old_suite.end()) continue;  // new bench: nothing to diff
+    const std::vector<CsvTable>& old_tables = old_it->second;
+    for (size_t t = 0; t < new_tables.size() && t < old_tables.size(); ++t) {
+      // Index old rows by their non-time cells (occurrence-disambiguated).
+      std::map<std::string, const std::vector<std::string>*> old_rows;
+      std::map<std::string, int> seen;
+      for (const auto& row : old_tables[t].rows) {
+        std::string key = RowKey(row) + "#" + std::to_string(seen[RowKey(row)]++);
+        old_rows[key] = &row;
+      }
+      seen.clear();
+      for (const auto& row : new_tables[t].rows) {
+        std::string key = RowKey(row) + "#" + std::to_string(seen[RowKey(row)]++);
+        auto match = old_rows.find(key);
+        if (match == old_rows.end()) continue;  // new sweep point
+        const std::vector<std::string>& old_row = *match->second;
+        for (size_t c = 0; c < row.size() && c < old_row.size(); ++c) {
+          int64_t old_us, new_us;
+          if (!ParseTimeCell(old_row[c], &old_us) ||
+              !ParseTimeCell(row[c], &new_us)) {
+            continue;
+          }
+          ++compared;
+          const bool slow = new_us > old_us + old_us / 4 &&
+                            new_us - old_us > floor_us;
+          if (slow) {
+            ++regressions;
+            const std::string col =
+                c < new_tables[t].headers.size() ? new_tables[t].headers[c]
+                                                 : std::to_string(c);
+            std::fprintf(stderr,
+                         "REGRESSION: %s table %zu [%s] %s: %s -> %s\n",
+                         bench.c_str(), t, RowKey(row).c_str(), col.c_str(),
+                         old_row[c].c_str(), row[c].c_str());
+          }
+        }
+      }
+    }
+  }
+  std::printf("[bench_paper] compared %d timed cell(s): %d regression(s)\n",
+              compared, regressions);
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "FATAL: --compare matched no timed cells; baseline stale?\n");
+    return 1;
+  }
+  return regressions > 0 ? 1 : 0;
+}
+
 }  // namespace
 }  // namespace dkb::bench
 
 int main(int argc, char** argv) {
   dkb::bench::ParseBenchArgs(argc, argv);
   std::string out_path = "BENCH_paper.json";
+  std::string compare_path;
+  int64_t compare_floor_us = 50000;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--compare" && i + 1 < argc) {
+      compare_path = argv[++i];
+    } else if (arg == "--compare-floor-us" && i + 1 < argc) {
+      compare_floor_us = std::atoll(argv[++i]);
     }
   }
-  return dkb::bench::RunSuite(argv[0], out_path);
+  int rc = dkb::bench::RunSuite(argv[0], out_path);
+  if (rc != 0) return rc;
+  if (!compare_path.empty()) {
+    return dkb::bench::CompareSuites(compare_path, out_path,
+                                     compare_floor_us);
+  }
+  return 0;
 }

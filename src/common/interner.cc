@@ -1,0 +1,52 @@
+#include "common/interner.h"
+
+#include "common/metrics.h"
+
+namespace dkb {
+
+uint32_t StringDict::Intern(std::string_view s) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+
+  const uint32_t id = size_.load(std::memory_order_relaxed);
+  if (id >= kMaxChunks * kChunkSize) {
+    // Dictionary full (≈67M distinct strings): keep the process alive by
+    // recycling the last slot. Values interned past this point alias, so we
+    // stop handing out new ids instead — callers fall back to the inline
+    // representation via the kInvalidId sentinel.
+    return kInvalidId;
+  }
+  const uint32_t chunk = id >> kChunkBits;
+  EntryRec* slab = chunks_[chunk].load(std::memory_order_relaxed);
+  if (slab == nullptr) {
+    slab = new EntryRec[kChunkSize];
+    chunks_[chunk].store(slab, std::memory_order_release);
+  }
+  EntryRec& entry = slab[id & (kChunkSize - 1)];
+  entry.str.assign(s.data(), s.size());
+  entry.hash = std::hash<std::string>{}(entry.str);
+  ids_.emplace(std::string_view(entry.str), id);
+  // Publish the entry: readers that see size_ > id observe a complete slot.
+  size_.store(id + 1, std::memory_order_release);
+
+  static metrics::Gauge& gauge =
+      metrics::GlobalMetrics().gauge("dkb.common.interner_size");
+  gauge.Set(static_cast<int64_t>(id) + 1);
+  return id;
+}
+
+StringDict& GlobalStringDict() {
+  // Leaked on purpose: interned ids live in Values of arbitrary lifetime
+  // (including other static-duration objects), so the dictionary must
+  // outlive every consumer.
+  static StringDict* dict = new StringDict();
+  return *dict;
+}
+
+}  // namespace dkb

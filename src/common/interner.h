@@ -1,0 +1,83 @@
+#ifndef DKB_COMMON_INTERNER_H_
+#define DKB_COMMON_INTERNER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dkb {
+
+/// Process-wide string dictionary backing Value's interned-VARCHAR
+/// representation (DictRef). Interning maps each distinct string to a dense
+/// uint32 id; ids are stable for the process lifetime and entries are never
+/// removed, so two interned values are equal iff their ids are equal.
+///
+/// Each entry stores the string's content hash (std::hash<std::string> of
+/// the content), so hashing an interned value is an O(1) table lookup that
+/// agrees with hashing the same string un-interned — hash containers can mix
+/// both representations freely.
+///
+/// Thread safety: Intern takes a shared lock on the hit path and an
+/// exclusive lock to insert; Get/HashOf are lock-free. Entries live in
+/// fixed-size chunks whose slots are fully constructed before the entry
+/// count is published (release store), so a reader that obtained an id —
+/// necessarily after its publication — always observes a complete entry via
+/// the acquire load in Get.
+class StringDict {
+ public:
+  /// Sentinel for "not interned"; never returned by Intern.
+  static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+  StringDict() = default;
+  StringDict(const StringDict&) = delete;
+  StringDict& operator=(const StringDict&) = delete;
+
+  /// Returns the id for `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// Content of an interned string; the reference is stable for the
+  /// process lifetime. Requires a valid id previously returned by Intern.
+  const std::string& Get(uint32_t id) const { return Entry(id).str; }
+
+  /// Precomputed std::hash<std::string> of the content (O(1)).
+  size_t HashOf(uint32_t id) const { return Entry(id).hash; }
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+ private:
+  struct EntryRec {
+    std::string str;
+    size_t hash = 0;
+  };
+
+  static constexpr uint32_t kChunkBits = 12;  // 4096 entries per chunk
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kMaxChunks = 1u << 14;  // ~67M strings
+
+  const EntryRec& Entry(uint32_t id) const {
+    // The caller holds an id, which was published by the release store of
+    // size_ in Intern; the acquire load here (or in size()) establishes the
+    // happens-before edge for the entry's contents.
+    return chunks_[id >> kChunkBits].load(std::memory_order_acquire)
+        [id & (kChunkSize - 1)];
+  }
+
+  mutable std::shared_mutex mu_;
+  // Dedup map; keys view into chunk-owned strings (stable addresses).
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  std::array<std::atomic<EntryRec*>, kMaxChunks> chunks_ = {};
+  std::atomic<uint32_t> size_{0};
+};
+
+/// The dictionary every interned Value resolves through.
+StringDict& GlobalStringDict();
+
+}  // namespace dkb
+
+#endif  // DKB_COMMON_INTERNER_H_

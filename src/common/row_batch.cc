@@ -1,0 +1,22 @@
+#include "common/row_batch.h"
+
+#include <string>
+
+namespace dkb {
+
+std::string RowBatch::ToString() const {
+  std::string out = "RowBatch(" + std::to_string(size()) + "/" +
+                    std::to_string(physical_size()) + " rows, " +
+                    std::to_string(num_columns()) + " cols" +
+                    (sel_active_ ? ", selection" : "") + ")";
+  for (size_t i = 0; i < size(); ++i) {
+    out += "\n  ";
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c > 0) out += " | ";
+      out += At(i, c).ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace dkb

@@ -17,14 +17,32 @@ const char* DataTypeName(DataType type) {
 }
 
 bool Value::operator<(const Value& other) const {
-  // variant's ordering compares alternative index first, which realizes
-  // NULL < int < string, then the contained values.
-  return rep_ < other.rep_;
+  const int lr = TypeRank();
+  const int rr = other.TypeRank();
+  if (lr != rr) return lr < rr;
+  switch (lr) {
+    case 0:  // NULL == NULL
+      return false;
+    case 1:
+      return as_int() < other.as_int();
+    default: {
+      // Equal interned ids mean equal strings; skip the content compare.
+      if (is_interned() && other.is_interned() &&
+          interned_id() == other.interned_id()) {
+        return false;
+      }
+      return as_string() < other.as_string();
+    }
+  }
 }
 
 size_t Value::Hash() const {
   if (is_null()) return 0x9e3779b97f4a7c15ull;
   if (is_int()) return std::hash<int64_t>{}(as_int());
+  if (is_interned()) {
+    // Precomputed content hash: agrees with the un-interned branch below.
+    return GlobalStringDict().HashOf(interned_id());
+  }
   return std::hash<std::string>{}(as_string());
 }
 

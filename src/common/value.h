@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
+
+#include "common/interner.h"
 
 namespace dkb {
 
@@ -21,6 +24,15 @@ const char* DataTypeName(DataType type);
 
 /// A single column value: NULL, integer, or string.
 ///
+/// Strings come in two representations with identical observable semantics:
+/// an owned std::string, or an interned reference (dense uint32 id) into the
+/// process-wide StringDict. Interned values copy and hash in O(1) — copying
+/// moves 4 bytes instead of a heap string, equality compares ids when both
+/// sides are interned, and hashing reads the dictionary's precomputed
+/// content hash (which agrees with hashing the same string un-interned, so
+/// hash containers may mix both representations). Comparison, ordering,
+/// rendering, and ToSqlLiteral are representation-blind.
+///
 /// Values are ordered and hashable so they can drive index keys, join keys,
 /// and set operations. NULL compares equal to NULL and sorts first; that is
 /// sufficient for the testbed, which never produces NULLs from Datalog
@@ -35,9 +47,21 @@ class Value {
 
   static Value Null() { return Value(); }
 
+  /// An interned VARCHAR; falls back to the owned representation if the
+  /// dictionary is full.
+  static Value Interned(std::string_view s) {
+    uint32_t id = GlobalStringDict().Intern(s);
+    if (id == StringDict::kInvalidId) return Value(std::string(s));
+    return Value(DictRef{id});
+  }
+
   bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
   bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
-  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(rep_) || is_interned();
+  }
+  /// True only for the interned string representation.
+  bool is_interned() const { return std::holds_alternative<DictRef>(rep_); }
 
   /// Type of this value; NULL reports kInvalid (untyped).
   DataType type() const {
@@ -48,11 +72,40 @@ class Value {
 
   /// Requires is_int().
   int64_t as_int() const { return std::get<int64_t>(rep_); }
-  /// Requires is_string().
-  const std::string& as_string() const { return std::get<std::string>(rep_); }
+  /// Requires is_string(). For interned values the reference points into
+  /// the process-wide dictionary and is stable for the process lifetime.
+  const std::string& as_string() const {
+    if (const auto* ref = std::get_if<DictRef>(&rep_)) {
+      return GlobalStringDict().Get(ref->id);
+    }
+    return std::get<std::string>(rep_);
+  }
+  /// Requires is_interned(): the dictionary id.
+  uint32_t interned_id() const { return std::get<DictRef>(rep_).id; }
 
-  bool operator==(const Value& other) const { return rep_ == other.rep_; }
-  bool operator!=(const Value& other) const { return rep_ != other.rep_; }
+  /// Converts an owned VARCHAR to the interned representation in place
+  /// (no-op for NULL, integers, and already-interned values). Storage does
+  /// this on every insert so scans hand out cheap values.
+  void InternInPlace() {
+    if (const auto* s = std::get_if<std::string>(&rep_)) {
+      uint32_t id = GlobalStringDict().Intern(*s);
+      if (id != StringDict::kInvalidId) rep_ = DictRef{id};
+    }
+  }
+
+  bool operator==(const Value& other) const {
+    if (rep_.index() == other.rep_.index()) {
+      // Same representation: interned compares ids (equal iff same string).
+      return rep_ == other.rep_;
+    }
+    // Mixed representations are equal only if both are strings with the
+    // same content.
+    if (is_string() && other.is_string()) {
+      return as_string() == other.as_string();
+    }
+    return false;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
   /// NULL < integers < strings; within a type, natural order.
   bool operator<(const Value& other) const;
   bool operator<=(const Value& other) const { return !(other < *this); }
@@ -67,7 +120,29 @@ class Value {
   std::string ToString() const;
 
  private:
-  std::variant<std::monostate, int64_t, std::string> rep_;
+  /// Interned-string representation: index into GlobalStringDict.
+  struct DictRef {
+    uint32_t id;
+    bool operator==(const DictRef& o) const { return id == o.id; }
+    bool operator!=(const DictRef& o) const { return id != o.id; }
+    bool operator<(const DictRef& o) const {
+      // Never used for value ordering (Value::operator< resolves content);
+      // defined only so the variant remains ordered.
+      return id < o.id;
+    }
+  };
+
+  explicit Value(DictRef ref) : rep_(ref) {}
+
+  /// Ordering rank of the contained type: NULL < int < string. Both string
+  /// representations share a rank so ordering is representation-blind.
+  int TypeRank() const {
+    if (is_null()) return 0;
+    if (is_int()) return 1;
+    return 2;
+  }
+
+  std::variant<std::monostate, int64_t, std::string, DictRef> rep_;
 };
 
 struct ValueHash {

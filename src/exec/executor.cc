@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 
 #include "common/str_util.h"
@@ -62,6 +63,14 @@ std::string RenderPlan(const PlanNode& root, bool with_stats) {
       const PlanNode::Profile& p = *node.profile();
       out += "  (rows=" + std::to_string(p.rows_out) +
              ", time=" + std::to_string(p.open_us + p.next_us) + "us";
+      if (p.batches > 0) {
+        char ratio[32];
+        std::snprintf(ratio, sizeof(ratio), "%.1f",
+                      static_cast<double>(p.rows_out) /
+                          static_cast<double>(p.batches));
+        out += ", batches=" + std::to_string(p.batches) + ", rows/batch=" +
+               ratio;
+      }
       if (p.morsels > 0) out += ", morsels=" + std::to_string(p.morsels);
       out += ")";
     }
@@ -124,10 +133,11 @@ Result<QueryResult> Executor::ExecuteExplain(const sql::ExplainStmt& stmt) {
     // per-operator profiling on, then render the annotated plan.
     plan->EnableProfiling();
     DKB_RETURN_IF_ERROR(plan->Open());
-    Tuple row;
+    RowBatch batch;
     while (true) {
-      DKB_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+      DKB_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
       if (!more) break;
+      StatAdd(stats_->batches);
     }
     plan->Close();
   }
@@ -183,20 +193,22 @@ Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt,
       return Status::InvalidArgument(
           "INSERT SELECT arity mismatch for table " + stmt.table);
     }
-    std::vector<Tuple> buffered;
+    std::vector<RowBatch> buffered;
+    int64_t buffered_rows = 0;
     DKB_RETURN_IF_ERROR(plan->Open());
-    Tuple row;
     while (true) {
-      DKB_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+      RowBatch batch;
+      DKB_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
       if (!more) break;
-      buffered.push_back(std::move(row));
+      StatAdd(stats_->batches);
+      buffered_rows += static_cast<int64_t>(batch.size());
+      buffered.push_back(std::move(batch));
     }
     plan->Close();
-    for (Tuple& t : buffered) {
-      DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(t));
-      (void)rid;
+    for (const RowBatch& batch : buffered) {
+      DKB_RETURN_IF_ERROR(table->AppendBatch(batch));
     }
-    result.rows_affected = static_cast<int64_t>(buffered.size());
+    result.rows_affected = buffered_rows;
     return result;
   }
   if (!stmt.param_cells.empty()) {
@@ -205,11 +217,11 @@ Result<QueryResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt,
     for (const sql::InsertStmt::ParamCell& cell : stmt.param_cells) {
       rows[cell.row][cell.col] = (*params)[cell.param];
     }
-    for (const std::vector<Value>& row : rows) {
-      DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
+    result.rows_affected = static_cast<int64_t>(rows.size());
+    for (std::vector<Value>& row : rows) {
+      DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(std::move(row)));
       (void)rid;
     }
-    result.rows_affected = static_cast<int64_t>(rows.size());
     return result;
   }
   for (const std::vector<Value>& row : stmt.rows) {
@@ -251,11 +263,16 @@ Result<QueryResult> Executor::ExecuteSelect(const sql::SelectStmt& stmt,
   QueryResult result;
   result.schema = plan->output_schema();
   DKB_RETURN_IF_ERROR(plan->Open());
-  Tuple row;
+  RowBatch batch;
   while (true) {
-    DKB_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+    DKB_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
     if (!more) break;
-    result.rows.push_back(std::move(row));
+    StatAdd(stats_->batches);
+    const size_t n = batch.size();
+    result.rows.reserve(result.rows.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      result.rows.push_back(batch.MaterializeTuple(i));
+    }
   }
   plan->Close();
   return result;

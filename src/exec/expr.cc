@@ -2,11 +2,11 @@
 
 namespace dkb::exec {
 
-bool BoundComparison::EvaluateBool(const Tuple& row) const {
-  Value l = lhs_->Evaluate(row);
-  Value r = rhs_->Evaluate(row);
-  if (l.is_null() || r.is_null()) return false;
-  switch (op_) {
+namespace {
+
+/// Non-virtual comparison kernel shared by the scalar and vector paths.
+inline bool CompareValues(sql::CompareOp op, const Value& l, const Value& r) {
+  switch (op) {
     case sql::CompareOp::kEq:
       return l == r;
     case sql::CompareOp::kNe:
@@ -21,6 +21,100 @@ bool BoundComparison::EvaluateBool(const Tuple& row) const {
       return l >= r;
   }
   return false;
+}
+
+}  // namespace
+
+void BoundExpr::FilterSelection(const RowBatch& batch,
+                                std::vector<uint32_t>* rows) const {
+  // Fallback for node types without a column kernel: one scratch tuple per
+  // row. Every shipped node overrides this; it exists so future expression
+  // types degrade gracefully instead of breaking the batch contract.
+  Tuple scratch;
+  size_t out = 0;
+  for (uint32_t i : *rows) {
+    batch.CopyRowTo(i, &scratch);
+    if (EvaluateBool(scratch)) (*rows)[out++] = i;
+  }
+  rows->resize(out);
+}
+
+void BoundExpr::EvaluateColumn(const RowBatch& batch,
+                               const std::vector<uint32_t>& rows,
+                               std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(rows.size());
+  Tuple scratch;
+  for (uint32_t i : rows) {
+    batch.CopyRowTo(i, &scratch);
+    out->push_back(Evaluate(scratch));
+  }
+}
+
+bool BoundComparison::EvaluateBool(const Tuple& row) const {
+  Value l = lhs_->Evaluate(row);
+  Value r = rhs_->Evaluate(row);
+  if (l.is_null() || r.is_null()) return false;
+  return CompareValues(op_, l, r);
+}
+
+void BoundComparison::FilterSelection(const RowBatch& batch,
+                                      std::vector<uint32_t>* rows) const {
+  std::vector<Value> l, r;
+  lhs_->EvaluateColumn(batch, *rows, &l);
+  rhs_->EvaluateColumn(batch, *rows, &r);
+  size_t out = 0;
+  for (size_t k = 0; k < rows->size(); ++k) {
+    if (!l[k].is_null() && !r[k].is_null() && CompareValues(op_, l[k], r[k])) {
+      (*rows)[out++] = (*rows)[k];
+    }
+  }
+  rows->resize(out);
+}
+
+void BoundLogical::FilterSelection(const RowBatch& batch,
+                                   std::vector<uint32_t>* rows) const {
+  if (op_ == sql::LogicalOp::kAnd) {
+    // Short-circuit vectorized: the rhs only sees lhs survivors.
+    lhs_->FilterSelection(batch, rows);
+    rhs_->FilterSelection(batch, rows);
+    return;
+  }
+  // OR: filter two copies and merge (both remain ascending subsequences of
+  // the input selection, so a two-pointer union preserves order).
+  std::vector<uint32_t> a = *rows;
+  lhs_->FilterSelection(batch, &a);
+  rhs_->FilterSelection(batch, rows);
+  std::vector<uint32_t> merged;
+  merged.reserve(a.size() + rows->size());
+  std::set_union(a.begin(), a.end(), rows->begin(), rows->end(),
+                 std::back_inserter(merged));
+  *rows = std::move(merged);
+}
+
+void BoundNot::FilterSelection(const RowBatch& batch,
+                               std::vector<uint32_t>* rows) const {
+  std::vector<uint32_t> pass = *rows;
+  child_->FilterSelection(batch, &pass);
+  // Keep the complement: rows NOT in the child's survivor set.
+  std::vector<uint32_t> keep;
+  keep.reserve(rows->size() - pass.size());
+  std::set_difference(rows->begin(), rows->end(), pass.begin(), pass.end(),
+                      std::back_inserter(keep));
+  *rows = std::move(keep);
+}
+
+void BoundInList::FilterSelection(const RowBatch& batch,
+                                  std::vector<uint32_t>* rows) const {
+  std::vector<Value> needle;
+  needle_->EvaluateColumn(batch, *rows, &needle);
+  size_t out = 0;
+  for (size_t k = 0; k < rows->size(); ++k) {
+    if (!needle[k].is_null() && set_.count(needle[k]) > 0) {
+      (*rows)[out++] = (*rows)[k];
+    }
+  }
+  rows->resize(out);
 }
 
 }  // namespace dkb::exec

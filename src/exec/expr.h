@@ -1,6 +1,7 @@
 #ifndef DKB_EXEC_EXPR_H_
 #define DKB_EXEC_EXPR_H_
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -16,6 +17,13 @@ namespace dkb::exec {
 /// Predicate semantics are two-valued: any comparison involving NULL is
 /// false. The Datalog layer never produces NULLs, so this simplification
 /// does not affect D/KB query results.
+///
+/// Expressions evaluate batch-at-a-time: FilterSelection narrows a set of
+/// candidate rows and EvaluateColumn materializes one output column, each
+/// costing one virtual call per expression node per batch. The per-row
+/// Evaluate/EvaluateBool entry points remain for point lookups (index key
+/// probes, REPL display) and as the fallback for node types without a
+/// vectorized kernel.
 class BoundExpr {
  public:
   virtual ~BoundExpr() = default;
@@ -29,6 +37,20 @@ class BoundExpr {
     return v.is_int() && v.as_int() != 0;
   }
 
+  /// Vectorized predicate. `rows` holds candidate *logical* row indexes of
+  /// `batch` in ascending order; on return it holds the subset for which
+  /// the predicate is true, order preserved. The base implementation
+  /// materializes a scratch tuple per row (per-row virtual; subclasses
+  /// override with column kernels).
+  virtual void FilterSelection(const RowBatch& batch,
+                               std::vector<uint32_t>* rows) const;
+
+  /// Vectorized evaluation: appends one value per entry of `rows` (logical
+  /// indexes into `batch`) to `*out`, which is cleared first.
+  virtual void EvaluateColumn(const RowBatch& batch,
+                              const std::vector<uint32_t>& rows,
+                              std::vector<Value>* out) const;
+
   /// Largest row slot referenced (for prefix-safety checks); -1 if none.
   virtual int MaxSlot() const { return -1; }
 };
@@ -39,6 +61,13 @@ class BoundColumn : public BoundExpr {
  public:
   explicit BoundColumn(size_t slot) : slot_(slot) {}
   Value Evaluate(const Tuple& row) const override { return row[slot_]; }
+  void EvaluateColumn(const RowBatch& batch,
+                      const std::vector<uint32_t>& rows,
+                      std::vector<Value>* out) const override {
+    out->clear();
+    out->reserve(rows.size());
+    for (uint32_t i : rows) out->push_back(batch.At(i, slot_));
+  }
   int MaxSlot() const override { return static_cast<int>(slot_); }
   size_t slot() const { return slot_; }
 
@@ -48,8 +77,16 @@ class BoundColumn : public BoundExpr {
 
 class BoundLiteral : public BoundExpr {
  public:
-  explicit BoundLiteral(Value value) : value_(std::move(value)) {}
+  explicit BoundLiteral(Value value) : value_(std::move(value)) {
+    // Interned literals make equality probes against stored (interned)
+    // VARCHARs an id compare.
+    value_.InternInPlace();
+  }
   Value Evaluate(const Tuple&) const override { return value_; }
+  void EvaluateColumn(const RowBatch&, const std::vector<uint32_t>& rows,
+                      std::vector<Value>* out) const override {
+    out->assign(rows.size(), value_);
+  }
   const Value& value() const { return value_; }
 
  private:
@@ -65,6 +102,8 @@ class BoundComparison : public BoundExpr {
     return Value(static_cast<int64_t>(EvaluateBool(row)));
   }
   bool EvaluateBool(const Tuple& row) const override;
+  void FilterSelection(const RowBatch& batch,
+                       std::vector<uint32_t>* rows) const override;
   int MaxSlot() const override {
     return std::max(lhs_->MaxSlot(), rhs_->MaxSlot());
   }
@@ -89,6 +128,8 @@ class BoundLogical : public BoundExpr {
     }
     return lhs_->EvaluateBool(row) || rhs_->EvaluateBool(row);
   }
+  void FilterSelection(const RowBatch& batch,
+                       std::vector<uint32_t>* rows) const override;
   int MaxSlot() const override {
     return std::max(lhs_->MaxSlot(), rhs_->MaxSlot());
   }
@@ -108,6 +149,8 @@ class BoundNot : public BoundExpr {
   bool EvaluateBool(const Tuple& row) const override {
     return !child_->EvaluateBool(row);
   }
+  void FilterSelection(const RowBatch& batch,
+                       std::vector<uint32_t>* rows) const override;
   int MaxSlot() const override { return child_->MaxSlot(); }
 
  private:
@@ -117,8 +160,12 @@ class BoundNot : public BoundExpr {
 class BoundInList : public BoundExpr {
  public:
   BoundInList(BoundExprPtr needle, std::vector<Value> values)
-      : needle_(std::move(needle)),
-        set_(values.begin(), values.end()) {}
+      : needle_(std::move(needle)) {
+    for (Value& v : values) {
+      v.InternInPlace();
+      set_.insert(std::move(v));
+    }
+  }
 
   Value Evaluate(const Tuple& row) const override {
     return Value(static_cast<int64_t>(EvaluateBool(row)));
@@ -128,6 +175,8 @@ class BoundInList : public BoundExpr {
     if (v.is_null()) return false;
     return set_.count(v) > 0;
   }
+  void FilterSelection(const RowBatch& batch,
+                       std::vector<uint32_t>* rows) const override;
   int MaxSlot() const override { return needle_->MaxSlot(); }
 
  private:

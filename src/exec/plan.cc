@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numeric>
 
 #include "common/thread_pool.h"
 
@@ -30,12 +31,15 @@ Schema ConcatSchemas(const Schema& a, const Schema& b) {
   return Schema(std::move(cols));
 }
 
-Tuple ConcatRows(const Tuple& a, const Tuple& b) {
-  Tuple out;
-  out.reserve(a.size() + b.size());
-  out.insert(out.end(), a.begin(), a.end());
-  out.insert(out.end(), b.begin(), b.end());
-  return out;
+/// Narrows *batch to the rows passing `filter` by composing a selection
+/// vector (no row copies). No-op for a null filter.
+void ApplyFilterToBatch(const BoundExpr* filter, RowBatch* batch,
+                        std::vector<uint32_t>* scratch) {
+  if (filter == nullptr || batch->size() == 0) return;
+  scratch->resize(batch->size());
+  std::iota(scratch->begin(), scratch->end(), 0u);
+  filter->FilterSelection(*batch, scratch);
+  batch->ComposeSelection(*scratch);
 }
 
 }  // namespace
@@ -63,8 +67,9 @@ Status SeqScanNode::OpenImpl() {
     return Status::OK();
   }
 
-  // Morsel path: each morsel filters its row range into a private buffer;
-  // buffers concatenate in morsel order, preserving the serial row order.
+  // Morsel path: each morsel batch-filters its row range into a private
+  // buffer; buffers concatenate in morsel order, preserving the serial row
+  // order.
   materialized_ = true;
   const size_t morsel = std::max<size_t>(tuning.morsel_rows, 1);
   const size_t num_morsels = (n + morsel - 1) / morsel;
@@ -76,13 +81,19 @@ Status SeqScanNode::OpenImpl() {
     const size_t lo = m * morsel;
     const size_t hi = std::min(n, lo + morsel);
     std::vector<Tuple>& buf = buffers[m];
+    RowBatch batch;
+    batch.Reset(table_->schema().num_columns());
     int64_t local = 0;
     for (RowId rid = lo; rid < hi; ++rid) {
       if (!table_->IsLive(rid)) continue;
-      const Tuple& t = table_->Get(rid);
       ++local;
-      if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
-      buf.push_back(t);
+      batch.AppendRow(table_->Get(rid));
+    }
+    std::vector<uint32_t> sel;
+    ApplyFilterToBatch(filter_.get(), &batch, &sel);
+    buf.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      buf.push_back(batch.MaterializeTuple(i));
     }
     scanned.fetch_add(local, std::memory_order_relaxed);
   });
@@ -96,23 +107,23 @@ Status SeqScanNode::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> SeqScanNode::NextImpl(Tuple* row) {
+Result<bool> SeqScanNode::NextBatchImpl(RowBatch* out) {
   if (materialized_) {
-    if (pos_ >= rows_.size()) return false;
-    *row = rows_[pos_++];
-    return true;
+    out->Reset(output_width());
+    while (pos_ < rows_.size() && !out->full()) {
+      out->AppendRow(std::move(rows_[pos_++]));
+    }
+    return !out->empty();
   }
-  const size_t n = table_->num_slots();
-  while (cursor_ < n) {
-    RowId rid = cursor_++;
-    if (!table_->IsLive(rid)) continue;
-    const Tuple& t = table_->Get(rid);
-    StatAdd(stats_->rows_scanned);
-    if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
-    *row = t;
-    return true;
+  while (true) {
+    cursor_ = table_->ScanBatch(cursor_, out);
+    if (out->physical_size() == 0) return false;
+    StatAdd(stats_->rows_scanned,
+            static_cast<int64_t>(out->physical_size()));
+    ApplyFilterToBatch(filter_.get(), out, &sel_scratch_);
+    if (!out->empty()) return true;
+    // Whole window filtered out; pull the next one.
   }
-  return false;
 }
 
 void SeqScanNode::CloseImpl() {
@@ -142,22 +153,26 @@ Status IndexScanNode::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> IndexScanNode::NextImpl(Tuple* row) {
+Result<bool> IndexScanNode::NextBatchImpl(RowBatch* out) {
   while (true) {
-    if (buffer_pos_ < buffer_.size()) {
-      RowId rid = buffer_[buffer_pos_++];
-      if (!table_->IsLive(rid)) continue;
-      const Tuple& t = table_->Get(rid);
-      StatAdd(stats_->index_rows);
-      if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
-      *row = t;
-      return true;
+    out->Reset(output_width());
+    while (!out->full()) {
+      if (buffer_pos_ < buffer_.size()) {
+        RowId rid = buffer_[buffer_pos_++];
+        if (!table_->IsLive(rid)) continue;
+        StatAdd(stats_->index_rows);
+        out->AppendRow(table_->Get(rid));
+        continue;
+      }
+      if (key_pos_ >= keys_.size()) break;
+      buffer_.clear();
+      buffer_pos_ = 0;
+      StatAdd(stats_->index_probes);
+      index_->Probe(keys_[key_pos_++], &buffer_);
     }
-    if (key_pos_ >= keys_.size()) return false;
-    buffer_.clear();
-    buffer_pos_ = 0;
-    StatAdd(stats_->index_probes);
-    index_->Probe(keys_[key_pos_++], &buffer_);
+    if (out->physical_size() == 0) return false;
+    ApplyFilterToBatch(filter_.get(), out, &sel_scratch_);
+    if (!out->empty()) return true;
   }
 }
 
@@ -192,17 +207,19 @@ Status IndexRangeScanNode::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> IndexRangeScanNode::NextImpl(Tuple* row) {
-  while (buffer_pos_ < buffer_.size()) {
-    RowId rid = buffer_[buffer_pos_++];
-    if (!table_->IsLive(rid)) continue;
-    const Tuple& t = table_->Get(rid);
-    StatAdd(stats_->index_rows);
-    if (filter_ != nullptr && !filter_->EvaluateBool(t)) continue;
-    *row = t;
-    return true;
+Result<bool> IndexRangeScanNode::NextBatchImpl(RowBatch* out) {
+  while (true) {
+    out->Reset(output_width());
+    while (!out->full() && buffer_pos_ < buffer_.size()) {
+      RowId rid = buffer_[buffer_pos_++];
+      if (!table_->IsLive(rid)) continue;
+      StatAdd(stats_->index_rows);
+      out->AppendRow(table_->Get(rid));
+    }
+    if (out->physical_size() == 0) return false;
+    ApplyFilterToBatch(filter_.get(), out, &sel_scratch_);
+    if (!out->empty()) return true;
   }
-  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -214,11 +231,12 @@ FilterNode::FilterNode(PlanNodePtr child, BoundExprPtr predicate)
   set_schema(child_->output_schema());
 }
 
-Result<bool> FilterNode::NextImpl(Tuple* row) {
+Result<bool> FilterNode::NextBatchImpl(RowBatch* out) {
   while (true) {
-    DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    DKB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
     if (!more) return false;
-    if (predicate_->EvaluateBool(*row)) return true;
+    ApplyFilterToBatch(predicate_.get(), out, &sel_scratch_);
+    if (!out->empty()) return true;
   }
 }
 
@@ -228,14 +246,15 @@ ProjectNode::ProjectNode(PlanNodePtr child, std::vector<BoundExprPtr> exprs,
   set_schema(std::move(schema));
 }
 
-Result<bool> ProjectNode::NextImpl(Tuple* row) {
-  Tuple in;
-  DKB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+Result<bool> ProjectNode::NextBatchImpl(RowBatch* out) {
+  out->Reset(exprs_.size());
+  DKB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&in_batch_));
   if (!more) return false;
-  Tuple out;
-  out.reserve(exprs_.size());
-  for (const auto& e : exprs_) out.push_back(e->Evaluate(in));
-  *row = std::move(out);
+  idx_scratch_.resize(in_batch_.size());
+  std::iota(idx_scratch_.begin(), idx_scratch_.end(), 0u);
+  for (size_t c = 0; c < exprs_.size(); ++c) {
+    exprs_[c]->EvaluateColumn(in_batch_, idx_scratch_, &out->column(c));
+  }
   return true;
 }
 
@@ -255,27 +274,36 @@ NestedLoopJoinNode::NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
 
 Status NestedLoopJoinNode::OpenImpl() {
   outer_valid_ = false;
+  outer_done_ = false;
   return outer_->Open();
 }
 
-Result<bool> NestedLoopJoinNode::NextImpl(Tuple* row) {
+Result<bool> NestedLoopJoinNode::NextBatchImpl(RowBatch* out) {
   while (true) {
-    if (!outer_valid_) {
-      DKB_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
-      if (!more) return false;
-      outer_valid_ = true;
-      DKB_RETURN_IF_ERROR(inner_->Open());
+    out->Reset(output_width());
+    while (!out->full() && !outer_done_) {
+      if (!outer_valid_) {
+        DKB_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
+        if (!more) {
+          outer_done_ = true;
+          break;
+        }
+        outer_valid_ = true;
+        DKB_RETURN_IF_ERROR(inner_->Open());
+      }
+      DKB_ASSIGN_OR_RETURN(bool more, inner_->NextBatch(&inner_batch_));
+      if (!more) {
+        outer_valid_ = false;
+        continue;
+      }
+      for (size_t i = 0; i < inner_batch_.size(); ++i) {
+        out->AppendConcat(outer_row_, inner_batch_, i);
+      }
     }
-    Tuple inner_row;
-    DKB_ASSIGN_OR_RETURN(bool more, inner_->Next(&inner_row));
-    if (!more) {
-      outer_valid_ = false;
-      continue;
-    }
-    Tuple combined = ConcatRows(outer_row_, inner_row);
-    if (predicate_ == nullptr || predicate_->EvaluateBool(combined)) {
-      StatAdd(stats_->join_output_rows);
-      *row = std::move(combined);
+    if (out->physical_size() == 0) return false;
+    ApplyFilterToBatch(predicate_.get(), out, &sel_scratch_);
+    if (!out->empty()) {
+      StatAdd(stats_->join_output_rows, static_cast<int64_t>(out->size()));
       return true;
     }
   }
@@ -305,19 +333,23 @@ HashJoinNode::HashJoinNode(PlanNodePtr left, PlanNodePtr right,
 
 Status HashJoinNode::OpenImpl() {
   parts_.clear();
-  left_valid_ = false;
+  left_batch_.Reset(0);
+  left_pos_ = 0;
+  left_done_ = false;
   matches_.clear();
   match_pos_ = 0;
 
   // Drain the build side (materialized: build keys must outlive the probe).
   DKB_RETURN_IF_ERROR(right_->Open());
   std::vector<Tuple> build;
-  Tuple row;
+  RowBatch rb;
   while (true) {
-    auto more = right_->Next(&row);
+    auto more = right_->NextBatch(&rb);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    build.push_back(std::move(row));
+    for (size_t i = 0; i < rb.size(); ++i) {
+      build.push_back(rb.MaterializeTuple(i));
+    }
   }
   right_->Close();
 
@@ -357,29 +389,41 @@ Status HashJoinNode::OpenImpl() {
   return left_->Open();
 }
 
-Result<bool> HashJoinNode::NextImpl(Tuple* row) {
+Result<bool> HashJoinNode::NextBatchImpl(RowBatch* out) {
   while (true) {
-    if (match_pos_ < matches_.size()) {
-      Tuple combined = ConcatRows(left_row_, *matches_[match_pos_++]);
-      if (residual_ == nullptr || residual_->EvaluateBool(combined)) {
-        StatAdd(stats_->join_output_rows);
-        *row = std::move(combined);
-        return true;
+    out->Reset(output_width());
+    while (!out->full()) {
+      if (match_pos_ < matches_.size()) {
+        out->AppendConcat(left_row_, *matches_[match_pos_++]);
+        continue;
       }
-      continue;
+      if (left_pos_ >= left_batch_.size()) {
+        if (left_done_) break;
+        DKB_ASSIGN_OR_RETURN(bool more, left_->NextBatch(&left_batch_));
+        if (!more) {
+          left_done_ = true;
+          break;
+        }
+        left_pos_ = 0;
+        continue;
+      }
+      left_batch_.CopyRowTo(left_pos_++, &left_row_);
+      key_scratch_.clear();
+      for (size_t k : left_keys_) key_scratch_.push_back(left_row_[k]);
+      matches_.clear();
+      match_pos_ = 0;
+      const auto& part =
+          parts_.size() == 1 ? parts_[0]
+                             : parts_[TupleHash{}(key_scratch_) % parts_.size()];
+      auto [lo, hi] = part.equal_range(key_scratch_);
+      for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
     }
-    DKB_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
-    if (!more) return false;
-    Tuple key;
-    key.reserve(left_keys_.size());
-    for (size_t k : left_keys_) key.push_back(left_row_[k]);
-    matches_.clear();
-    match_pos_ = 0;
-    const auto& part = parts_.size() == 1
-                           ? parts_[0]
-                           : parts_[TupleHash{}(key) % parts_.size()];
-    auto [lo, hi] = part.equal_range(key);
-    for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
+    if (out->physical_size() == 0) return false;
+    ApplyFilterToBatch(residual_.get(), out, &sel_scratch_);
+    if (!out->empty()) {
+      StatAdd(stats_->join_output_rows, static_cast<int64_t>(out->size()));
+      return true;
+    }
   }
 }
 
@@ -406,36 +450,49 @@ IndexNLJoinNode::IndexNLJoinNode(PlanNodePtr outer, const Table* inner,
 }
 
 Status IndexNLJoinNode::OpenImpl() {
-  outer_valid_ = false;
+  outer_batch_.Reset(0);
+  outer_pos_ = 0;
+  outer_done_ = false;
   buffer_.clear();
   buffer_pos_ = 0;
   return outer_->Open();
 }
 
-Result<bool> IndexNLJoinNode::NextImpl(Tuple* row) {
+Result<bool> IndexNLJoinNode::NextBatchImpl(RowBatch* out) {
   while (true) {
-    if (buffer_pos_ < buffer_.size()) {
-      RowId rid = buffer_[buffer_pos_++];
-      if (!inner_->IsLive(rid)) continue;
-      StatAdd(stats_->index_rows);
-      Tuple combined = ConcatRows(outer_row_, inner_->Get(rid));
-      if (residual_ == nullptr || residual_->EvaluateBool(combined)) {
-        StatAdd(stats_->join_output_rows);
-        *row = std::move(combined);
-        return true;
+    out->Reset(output_width());
+    while (!out->full()) {
+      if (buffer_pos_ < buffer_.size()) {
+        RowId rid = buffer_[buffer_pos_++];
+        if (!inner_->IsLive(rid)) continue;
+        StatAdd(stats_->index_rows);
+        out->AppendConcat(outer_row_, inner_->Get(rid));
+        continue;
       }
-      continue;
+      if (outer_pos_ >= outer_batch_.size()) {
+        if (outer_done_) break;
+        DKB_ASSIGN_OR_RETURN(bool more, outer_->NextBatch(&outer_batch_));
+        if (!more) {
+          outer_done_ = true;
+          break;
+        }
+        outer_pos_ = 0;
+        continue;
+      }
+      outer_batch_.CopyRowTo(outer_pos_++, &outer_row_);
+      key_scratch_.clear();
+      for (size_t s : outer_key_slots_) key_scratch_.push_back(outer_row_[s]);
+      buffer_.clear();
+      buffer_pos_ = 0;
+      StatAdd(stats_->index_probes);
+      index_->Probe(key_scratch_, &buffer_);
     }
-    DKB_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
-    if (!more) return false;
-    outer_valid_ = true;
-    Tuple key;
-    key.reserve(outer_key_slots_.size());
-    for (size_t s : outer_key_slots_) key.push_back(outer_row_[s]);
-    buffer_.clear();
-    buffer_pos_ = 0;
-    StatAdd(stats_->index_probes);
-    index_->Probe(key, &buffer_);
+    if (out->physical_size() == 0) return false;
+    ApplyFilterToBatch(residual_.get(), out, &sel_scratch_);
+    if (!out->empty()) {
+      StatAdd(stats_->join_output_rows, static_cast<int64_t>(out->size()));
+      return true;
+    }
   }
 }
 
@@ -454,11 +511,21 @@ Status DistinctNode::OpenImpl() {
   return child_->Open();
 }
 
-Result<bool> DistinctNode::NextImpl(Tuple* row) {
+Result<bool> DistinctNode::NextBatchImpl(RowBatch* out) {
   while (true) {
-    DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    DKB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
     if (!more) return false;
-    if (seen_.insert(*row).second) return true;
+    sel_scratch_.clear();
+    const size_t n = out->size();
+    for (size_t i = 0; i < n; ++i) {
+      if (seen_.insert(out->MaterializeTuple(i)).second) {
+        sel_scratch_.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (!sel_scratch_.empty()) {
+      out->ComposeSelection(sel_scratch_);
+      return true;
+    }
   }
 }
 
@@ -478,51 +545,64 @@ Status SetOpNode::OpenImpl() {
   DKB_RETURN_IF_ERROR(left_->Open());
   if (kind_ == SetOpKind::kExcept || kind_ == SetOpKind::kIntersect) {
     DKB_RETURN_IF_ERROR(right_->Open());
-    Tuple row;
+    RowBatch rb;
     while (true) {
-      auto more = right_->Next(&row);
+      auto more = right_->NextBatch(&rb);
       if (!more.ok()) return more.status();
       if (!*more) break;
-      right_set_.insert(std::move(row));
+      for (size_t i = 0; i < rb.size(); ++i) {
+        right_set_.insert(rb.MaterializeTuple(i));
+      }
     }
     right_->Close();
   }
   return Status::OK();
 }
 
-Result<bool> SetOpNode::NextImpl(Tuple* row) {
+void SetOpNode::FilterBatch(RowBatch* batch) {
+  sel_scratch_.clear();
+  const size_t n = batch->size();
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t = batch->MaterializeTuple(i);
+    if (kind_ == SetOpKind::kExcept && right_set_.count(t) > 0) continue;
+    if (kind_ == SetOpKind::kIntersect && right_set_.count(t) == 0) continue;
+    if (emitted_.insert(std::move(t)).second) {
+      sel_scratch_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  batch->ComposeSelection(sel_scratch_);
+}
+
+Result<bool> SetOpNode::NextBatchImpl(RowBatch* out) {
   if (kind_ == SetOpKind::kUnionAll) {
     if (!left_done_) {
-      DKB_ASSIGN_OR_RETURN(bool more, left_->Next(row));
+      DKB_ASSIGN_OR_RETURN(bool more, left_->NextBatch(out));
       if (more) return true;
       left_done_ = true;
       DKB_RETURN_IF_ERROR(right_->Open());
     }
-    return right_->Next(row);
+    return right_->NextBatch(out);
   }
-  if (kind_ == SetOpKind::kUnion) {
-    while (!left_done_) {
-      DKB_ASSIGN_OR_RETURN(bool more, left_->Next(row));
+  // kUnion / kExcept / kIntersect: stream batches through the membership
+  // filter (emitted_ dedup; EXCEPT/INTERSECT also consult right_set_).
+  while (true) {
+    bool more = false;
+    if (!left_done_) {
+      DKB_ASSIGN_OR_RETURN(more, left_->NextBatch(out));
       if (!more) {
         left_done_ = true;
-        DKB_RETURN_IF_ERROR(right_->Open());
-        break;
+        if (kind_ == SetOpKind::kUnion) {
+          DKB_RETURN_IF_ERROR(right_->Open());
+        }
+        continue;
       }
-      if (emitted_.insert(*row).second) return true;
-    }
-    while (true) {
-      DKB_ASSIGN_OR_RETURN(bool more, right_->Next(row));
+    } else {
+      if (kind_ != SetOpKind::kUnion) return false;
+      DKB_ASSIGN_OR_RETURN(more, right_->NextBatch(out));
       if (!more) return false;
-      if (emitted_.insert(*row).second) return true;
     }
-  }
-  // EXCEPT / INTERSECT: stream left against the materialized right set.
-  while (true) {
-    DKB_ASSIGN_OR_RETURN(bool more, left_->Next(row));
-    if (!more) return false;
-    bool in_right = right_set_.count(*row) > 0;
-    bool want = (kind_ == SetOpKind::kIntersect) ? in_right : !in_right;
-    if (want && emitted_.insert(*row).second) return true;
+    FilterBatch(out);
+    if (!out->empty()) return true;
   }
 }
 
@@ -544,12 +624,15 @@ Status SortNode::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   DKB_RETURN_IF_ERROR(child_->Open());
-  Tuple row;
+  RowBatch rb;
   while (true) {
-    auto more = child_->Next(&row);
+    auto more = child_->NextBatch(&rb);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    rows_.push_back(std::move(row));
+    rows_.reserve(rows_.size() + rb.size());
+    for (size_t i = 0; i < rb.size(); ++i) {
+      rows_.push_back(rb.MaterializeTuple(i));
+    }
   }
   child_->Close();
   std::stable_sort(rows_.begin(), rows_.end(),
@@ -564,10 +647,12 @@ Status SortNode::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> SortNode::NextImpl(Tuple* row) {
-  if (pos_ >= rows_.size()) return false;
-  *row = rows_[pos_++];
-  return true;
+Result<bool> SortNode::NextBatchImpl(RowBatch* out) {
+  out->Reset(output_width());
+  while (pos_ < rows_.size() && !out->full()) {
+    out->AppendRow(std::move(rows_[pos_++]));
+  }
+  return !out->empty();
 }
 
 void SortNode::CloseImpl() { rows_.clear(); }
@@ -582,12 +667,13 @@ Status LimitNode::OpenImpl() {
   return child_->Open();
 }
 
-Result<bool> LimitNode::NextImpl(Tuple* row) {
+Result<bool> LimitNode::NextBatchImpl(RowBatch* out) {
   if (produced_ >= limit_) return false;
-  DKB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+  DKB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
   if (!more) return false;
-  ++produced_;
-  return true;
+  out->Truncate(limit_ - produced_);
+  produced_ += out->size();
+  return !out->empty();
 }
 
 AggregateNode::AggregateNode(PlanNodePtr child,
@@ -606,50 +692,69 @@ Status AggregateNode::OpenImpl() {
   pos_ = 0;
   std::unordered_map<Tuple, size_t, TupleHash> index;
   DKB_RETURN_IF_ERROR(child_->Open());
-  Tuple row;
+  RowBatch batch;
+  std::vector<uint32_t> idx;
+  // Per-batch column buffers: group keys and aggregate arguments are
+  // evaluated vectorized; only the accumulator update runs per row.
+  std::vector<std::vector<Value>> key_cols(group_keys_.size());
+  std::vector<std::vector<Value>> arg_cols(specs_.size());
+  Tuple key;
   while (true) {
-    auto more = child_->Next(&row);
+    auto more = child_->NextBatch(&batch);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    Tuple key;
-    key.reserve(group_keys_.size());
-    for (const auto& k : group_keys_) key.push_back(k->Evaluate(row));
-    auto [it, inserted] = index.emplace(key, groups_.size());
-    if (inserted) {
-      groups_.emplace_back(std::move(key),
-                           std::vector<Acc>(specs_.size()));
+    const size_t n = batch.size();
+    idx.resize(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    for (size_t k = 0; k < group_keys_.size(); ++k) {
+      group_keys_[k]->EvaluateColumn(batch, idx, &key_cols[k]);
     }
-    std::vector<Acc>& accs = groups_[it->second].second;
     for (size_t s = 0; s < specs_.size(); ++s) {
-      const AggSpec& spec = specs_[s];
-      Acc& acc = accs[s];
-      if (spec.fn == sql::AggFn::kCountStar) {
-        ++acc.count;
-        continue;
+      if (specs_[s].arg != nullptr) {
+        specs_[s].arg->EvaluateColumn(batch, idx, &arg_cols[s]);
       }
-      Value v = spec.arg->Evaluate(row);
-      if (v.is_null()) continue;
-      switch (spec.fn) {
-        case sql::AggFn::kCount:
+    }
+    for (size_t r = 0; r < n; ++r) {
+      key.clear();
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        key.push_back(key_cols[k][r]);
+      }
+      auto [it, inserted] = index.emplace(key, groups_.size());
+      if (inserted) {
+        groups_.emplace_back(key, std::vector<Acc>(specs_.size()));
+      }
+      std::vector<Acc>& accs = groups_[it->second].second;
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        const AggSpec& spec = specs_[s];
+        Acc& acc = accs[s];
+        if (spec.fn == sql::AggFn::kCountStar) {
           ++acc.count;
-          break;
-        case sql::AggFn::kSum:
-          if (!v.is_int()) {
-            return Status::TypeError("SUM over non-integer value " +
-                                     v.ToString());
-          }
-          acc.sum += v.as_int();
-          break;
-        case sql::AggFn::kMin:
-          if (!acc.has_value || v < acc.min) acc.min = v;
-          break;
-        case sql::AggFn::kMax:
-          if (!acc.has_value || acc.max < v) acc.max = v;
-          break;
-        default:
-          return Status::Internal("bad aggregate function");
+          continue;
+        }
+        const Value& v = arg_cols[s][r];
+        if (v.is_null()) continue;
+        switch (spec.fn) {
+          case sql::AggFn::kCount:
+            ++acc.count;
+            break;
+          case sql::AggFn::kSum:
+            if (!v.is_int()) {
+              return Status::TypeError("SUM over non-integer value " +
+                                       v.ToString());
+            }
+            acc.sum += v.as_int();
+            break;
+          case sql::AggFn::kMin:
+            if (!acc.has_value || v < acc.min) acc.min = v;
+            break;
+          case sql::AggFn::kMax:
+            if (!acc.has_value || acc.max < v) acc.max = v;
+            break;
+          default:
+            return Status::Internal("bad aggregate function");
+        }
+        acc.has_value = true;
       }
-      acc.has_value = true;
     }
   }
   child_->Close();
@@ -660,37 +765,40 @@ Status AggregateNode::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> AggregateNode::NextImpl(Tuple* row) {
-  if (pos_ >= groups_.size()) return false;
-  const auto& [key, accs] = groups_[pos_++];
-  Tuple out;
-  out.reserve(outputs_.size());
-  for (const OutputRef& ref : outputs_) {
-    if (!ref.is_agg) {
-      out.push_back(key[ref.index]);
-      continue;
+Result<bool> AggregateNode::NextBatchImpl(RowBatch* out) {
+  out->Reset(output_width());
+  Tuple row;
+  while (pos_ < groups_.size() && !out->full()) {
+    const auto& [key, accs] = groups_[pos_++];
+    row.clear();
+    row.reserve(outputs_.size());
+    for (const OutputRef& ref : outputs_) {
+      if (!ref.is_agg) {
+        row.push_back(key[ref.index]);
+        continue;
+      }
+      const Acc& acc = accs[ref.index];
+      switch (specs_[ref.index].fn) {
+        case sql::AggFn::kCountStar:
+        case sql::AggFn::kCount:
+          row.push_back(Value(acc.count));
+          break;
+        case sql::AggFn::kSum:
+          row.push_back(Value(acc.sum));
+          break;
+        case sql::AggFn::kMin:
+          row.push_back(acc.has_value ? acc.min : Value::Null());
+          break;
+        case sql::AggFn::kMax:
+          row.push_back(acc.has_value ? acc.max : Value::Null());
+          break;
+        default:
+          return Status::Internal("bad aggregate function");
+      }
     }
-    const Acc& acc = accs[ref.index];
-    switch (specs_[ref.index].fn) {
-      case sql::AggFn::kCountStar:
-      case sql::AggFn::kCount:
-        out.push_back(Value(acc.count));
-        break;
-      case sql::AggFn::kSum:
-        out.push_back(Value(acc.sum));
-        break;
-      case sql::AggFn::kMin:
-        out.push_back(acc.has_value ? acc.min : Value::Null());
-        break;
-      case sql::AggFn::kMax:
-        out.push_back(acc.has_value ? acc.max : Value::Null());
-        break;
-      default:
-        return Status::Internal("bad aggregate function");
-    }
+    out->AppendRow(row);
   }
-  *row = std::move(out);
-  return true;
+  return !out->empty();
 }
 
 void AggregateNode::CloseImpl() { groups_.clear(); }
@@ -705,17 +813,18 @@ Status CountNode::OpenImpl() {
   return child_->Open();
 }
 
-Result<bool> CountNode::NextImpl(Tuple* row) {
+Result<bool> CountNode::NextBatchImpl(RowBatch* out) {
+  out->Reset(1);
   if (emitted_) return false;
   int64_t count = 0;
-  Tuple ignored;
+  RowBatch scratch;
   while (true) {
-    DKB_ASSIGN_OR_RETURN(bool more, child_->Next(&ignored));
+    DKB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&scratch));
     if (!more) break;
-    ++count;
+    count += static_cast<int64_t>(scratch.size());
   }
   emitted_ = true;
-  *row = Tuple{Value(count)};
+  out->AppendRow(Tuple{Value(count)});
   return true;
 }
 

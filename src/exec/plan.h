@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/row_batch.h"
 #include "common/status.h"
 #include "exec/expr.h"
 #include "storage/table.h"
@@ -32,6 +33,7 @@ struct ExecStats {
   std::atomic<int64_t> statements{0};        // SQL statements executed
   std::atomic<int64_t> statement_cache_hits{0};  // prepared-statement reuse
   std::atomic<int64_t> morsels{0};           // parallel morsels dispatched
+  std::atomic<int64_t> batches{0};           // row batches drained at plan roots
 
   void Reset() {
     rows_scanned.store(0, std::memory_order_relaxed);
@@ -41,6 +43,7 @@ struct ExecStats {
     statements.store(0, std::memory_order_relaxed);
     statement_cache_hits.store(0, std::memory_order_relaxed);
     morsels.store(0, std::memory_order_relaxed);
+    batches.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -54,6 +57,7 @@ struct ExecStatsSnapshot {
   int64_t statements = 0;
   int64_t statement_cache_hits = 0;
   int64_t morsels = 0;
+  int64_t batches = 0;
 
   static ExecStatsSnapshot Take(const ExecStats& s) {
     ExecStatsSnapshot snap;
@@ -65,6 +69,7 @@ struct ExecStatsSnapshot {
     snap.statement_cache_hits =
         s.statement_cache_hits.load(std::memory_order_relaxed);
     snap.morsels = s.morsels.load(std::memory_order_relaxed);
+    snap.batches = s.batches.load(std::memory_order_relaxed);
     return snap;
   }
 
@@ -77,6 +82,7 @@ struct ExecStatsSnapshot {
     d.statements = statements - rhs.statements;
     d.statement_cache_hits = statement_cache_hits - rhs.statement_cache_hits;
     d.morsels = morsels - rhs.morsels;
+    d.batches = batches - rhs.batches;
     return d;
   }
 };
@@ -102,22 +108,32 @@ struct ParallelTuning {
 
 ParallelTuning& GetParallelTuning();
 
-/// Volcano-style physical operator. Open() may be called repeatedly; each
-/// call resets the operator to produce its output from the beginning (the
-/// nested-loop join relies on this for its inner side).
+/// Volcano-style physical operator, batch-at-a-time. Open() may be called
+/// repeatedly; each call resets the operator to produce its output from the
+/// beginning (the nested-loop join relies on this for its inner side).
 ///
-/// Open/Next/Close are non-virtual wrappers over the per-operator
-/// OpenImpl/NextImpl/CloseImpl. With profiling off (the default) each
-/// wrapper costs a single predictable null test; after EnableProfiling()
-/// they accumulate per-operator wall time and output cardinality into
-/// profile(), which EXPLAIN ANALYZE renders alongside the plan tree.
+/// The data currency is RowBatch: NextBatch() fills the caller's batch with
+/// up to RowBatch::kCapacity rows (joins may overshoot) and returns true iff
+/// the batch is non-empty; false means end-of-stream. Operators exchange one
+/// virtual call per batch, and predicates/projections run as vectorized
+/// kernels over whole batches, so there are no per-row virtual calls in the
+/// hot loops. The row-at-a-time Next() survives as a non-virtual adapter
+/// that drains an internal batch — for point consumers (REPL display, the
+/// nested-loop join's outer side) and source compatibility.
+///
+/// Open/NextBatch are wrappers over the per-operator OpenImpl/NextBatchImpl.
+/// With profiling off (the default) each wrapper costs a single predictable
+/// null test; after EnableProfiling() they accumulate per-operator wall
+/// time, batch count, and output cardinality into profile(), which EXPLAIN
+/// ANALYZE renders alongside the plan tree.
 class PlanNode {
  public:
   /// Per-operator runtime statistics, filled only after EnableProfiling().
   struct Profile {
     int64_t open_us = 0;   // time inside OpenImpl, cumulative over re-opens
-    int64_t next_us = 0;   // time inside NextImpl, summed over all calls
+    int64_t next_us = 0;   // time inside NextBatchImpl, summed over all calls
     int64_t rows_out = 0;  // rows produced by this operator
+    int64_t batches = 0;   // non-empty batches produced by this operator
     int64_t morsels = 0;   // parallel morsels dispatched by this operator
   };
 
@@ -130,6 +146,8 @@ class PlanNode {
   const Schema& output_schema() const { return schema_; }
 
   Status Open() {
+    adapter_batch_.Reset(0);
+    adapter_pos_ = 0;
     if (profile_ == nullptr) return OpenImpl();
     auto t0 = std::chrono::steady_clock::now();
     Status s = OpenImpl();
@@ -137,14 +155,31 @@ class PlanNode {
     return s;
   }
 
-  /// Produces the next row into *row; returns false at end-of-stream.
-  Result<bool> Next(Tuple* row) {
-    if (profile_ == nullptr) return NextImpl(row);
+  /// Fills *out with the next batch of rows; returns true iff *out is
+  /// non-empty, false at end-of-stream. *out is reset by the callee.
+  Result<bool> NextBatch(RowBatch* out) {
+    if (profile_ == nullptr) return NextBatchImpl(out);
     auto t0 = std::chrono::steady_clock::now();
-    Result<bool> r = NextImpl(row);
+    Result<bool> r = NextBatchImpl(out);
     profile_->next_us += ElapsedUs(t0);
-    if (r.ok() && *r) ++profile_->rows_out;
+    if (r.ok() && *r) {
+      ++profile_->batches;
+      profile_->rows_out += static_cast<int64_t>(out->size());
+    }
     return r;
+  }
+
+  /// Row-at-a-time adapter over NextBatch: produces the next row into *row,
+  /// false at end-of-stream. Non-virtual; the only virtual dispatch is the
+  /// underlying once-per-batch NextBatch call.
+  Result<bool> Next(Tuple* row) {
+    if (adapter_pos_ >= adapter_batch_.size()) {
+      DKB_ASSIGN_OR_RETURN(bool more, NextBatch(&adapter_batch_));
+      adapter_pos_ = 0;
+      if (!more) return false;
+    }
+    adapter_batch_.CopyRowTo(adapter_pos_++, row);
+    return true;
   }
 
   void Close() { CloseImpl(); }
@@ -172,10 +207,13 @@ class PlanNode {
 
  protected:
   virtual Status OpenImpl() = 0;
-  virtual Result<bool> NextImpl(Tuple* row) = 0;
+  virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
   virtual void CloseImpl() {}
 
   void set_schema(Schema schema) { schema_ = std::move(schema); }
+
+  /// Column count for NextBatchImpl's out->Reset().
+  size_t output_width() const { return schema_.num_columns(); }
 
   /// Morsel accounting for operators that fan work out to the pool.
   void CountMorsels(int64_t n) {
@@ -192,22 +230,26 @@ class PlanNode {
   Schema schema_;
   std::unique_ptr<Profile> profile_;
   std::vector<std::shared_ptr<const Table>> pinned_sources_;
+  // Next(Tuple*) adapter state; reset by Open().
+  RowBatch adapter_batch_;
+  size_t adapter_pos_ = 0;
 };
 
 using PlanNodePtr = std::unique_ptr<PlanNode>;
 
-/// Full-table scan with optional pushed-down filter.
+/// Full-table scan with optional pushed-down filter, batched straight off
+/// Table::ScanBatch with the filter applied as a selection vector.
 ///
 /// Tables with at least ParallelTuning::seq_scan_min_rows slots are scanned
-/// as row-range morsels on GlobalThreadPool at Open time; per-morsel outputs
-/// are concatenated in row order, so results are identical to the serial
-/// path (which smaller tables still take, streaming row-at-a-time).
+/// as row-range morsels on GlobalThreadPool at Open time; each morsel
+/// filters its range vectorized into a private buffer and buffers
+/// concatenate in row order, so results are identical to the serial path.
 class SeqScanNode : public PlanNode {
  public:
   SeqScanNode(const Table* table, BoundExprPtr filter, ExecStats* stats);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
   std::string Name() const override { return "SeqScan(" + table_->name() + ")"; }
 
@@ -219,6 +261,7 @@ class SeqScanNode : public PlanNode {
   bool materialized_ = false;     // parallel path: rows_ holds the output
   std::vector<Tuple> rows_;
   size_t pos_ = 0;
+  std::vector<uint32_t> sel_scratch_;
 };
 
 /// Index lookup for one or more literal keys (supports `col = lit` and
@@ -230,7 +273,7 @@ class IndexScanNode : public PlanNode {
                 ExecStats* stats);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Name() const override {
     return "IndexScan(" + table_->name() + "." + index_->name() + ")";
   }
@@ -244,6 +287,7 @@ class IndexScanNode : public PlanNode {
   size_t key_pos_ = 0;
   std::vector<RowId> buffer_;
   size_t buffer_pos_ = 0;
+  std::vector<uint32_t> sel_scratch_;
 };
 
 /// Ordered-index range scan for `col OP literal` predicates (OP one of
@@ -256,7 +300,7 @@ class IndexRangeScanNode : public PlanNode {
                      BoundExprPtr filter, ExecStats* stats);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Name() const override {
     return "IndexRangeScan(" + table_->name() + "." + index_->name() + ")";
   }
@@ -270,15 +314,17 @@ class IndexRangeScanNode : public PlanNode {
   ExecStats* stats_;
   std::vector<RowId> buffer_;
   size_t buffer_pos_ = 0;
+  std::vector<uint32_t> sel_scratch_;
 };
 
-/// Filters child rows by a predicate.
+/// Filters child batches by a predicate, narrowing the selection vector in
+/// place (no row copies).
 class FilterNode : public PlanNode {
  public:
   FilterNode(PlanNodePtr child, BoundExprPtr predicate);
 
   Status OpenImpl() override { return child_->Open(); }
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Filter"; }
 
@@ -289,17 +335,18 @@ class FilterNode : public PlanNode {
  private:
   PlanNodePtr child_;
   BoundExprPtr predicate_;
+  std::vector<uint32_t> sel_scratch_;
 };
 
-/// Projects child rows through expressions; output schema supplied by the
-/// planner (which knows names and inferred types).
+/// Projects child batches through expressions column-at-a-time; output
+/// schema supplied by the planner (which knows names and inferred types).
 class ProjectNode : public PlanNode {
  public:
   ProjectNode(PlanNodePtr child, std::vector<BoundExprPtr> exprs,
               Schema schema);
 
   Status OpenImpl() override { return child_->Open(); }
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Project"; }
 
@@ -310,17 +357,19 @@ class ProjectNode : public PlanNode {
  private:
   PlanNodePtr child_;
   std::vector<BoundExprPtr> exprs_;
+  RowBatch in_batch_;
+  std::vector<uint32_t> idx_scratch_;
 };
 
-/// Tuple-nested-loop join; inner (right) child is re-Opened per outer row.
-/// Output row = outer columns ++ inner columns.
+/// Tuple-nested-loop join; inner (right) child is re-Opened per outer row
+/// and drained batch-at-a-time. Output row = outer columns ++ inner columns.
 class NestedLoopJoinNode : public PlanNode {
  public:
   NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
                      BoundExprPtr predicate, ExecStats* stats);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
   std::string Name() const override { return "NestedLoopJoin"; }
 
@@ -335,10 +384,13 @@ class NestedLoopJoinNode : public PlanNode {
   ExecStats* stats_;
   Tuple outer_row_;
   bool outer_valid_ = false;
+  bool outer_done_ = false;
+  RowBatch inner_batch_;
+  std::vector<uint32_t> sel_scratch_;
 };
 
 /// Hash equi-join: builds a hash table over the right child, probes with
-/// left-child rows. Output row = left columns ++ right columns.
+/// left-child batches. Output row = left columns ++ right columns.
 ///
 /// Builds of at least ParallelTuning::hash_build_min_rows rows are
 /// hash-partitioned: key hashes are computed in parallel, then each of P
@@ -352,7 +404,7 @@ class HashJoinNode : public PlanNode {
                BoundExprPtr residual, ExecStats* stats);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
   std::string Name() const override { return "HashJoin"; }
 
@@ -370,10 +422,14 @@ class HashJoinNode : public PlanNode {
 
   // Partitioned build; size 1 on the serial path.
   std::vector<std::unordered_multimap<Tuple, Tuple, TupleHash>> parts_;
+  RowBatch left_batch_;
+  size_t left_pos_ = 0;
+  bool left_done_ = false;
   Tuple left_row_;
-  bool left_valid_ = false;
+  Tuple key_scratch_;
   std::vector<const Tuple*> matches_;
   size_t match_pos_ = 0;
+  std::vector<uint32_t> sel_scratch_;
 };
 
 /// Index nested-loop join: probes an index of the inner base table with key
@@ -385,7 +441,7 @@ class IndexNLJoinNode : public PlanNode {
                   ExecStats* stats);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
   std::string Name() const override {
     return "IndexNLJoin(" + inner_->name() + "." + index_->name() + ")";
@@ -402,19 +458,24 @@ class IndexNLJoinNode : public PlanNode {
   std::vector<size_t> outer_key_slots_;  // aligned with index key columns
   BoundExprPtr residual_;
   ExecStats* stats_;
+  RowBatch outer_batch_;
+  size_t outer_pos_ = 0;
+  bool outer_done_ = false;
   Tuple outer_row_;
-  bool outer_valid_ = false;
+  Tuple key_scratch_;
   std::vector<RowId> buffer_;
   size_t buffer_pos_ = 0;
+  std::vector<uint32_t> sel_scratch_;
 };
 
-/// Removes duplicate rows (hash-based, streaming).
+/// Removes duplicate rows (hash-based, streaming; survivors selected via
+/// the batch's selection vector).
 class DistinctNode : public PlanNode {
  public:
   explicit DistinctNode(PlanNodePtr child);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Distinct"; }
 
@@ -425,6 +486,7 @@ class DistinctNode : public PlanNode {
  private:
   PlanNodePtr child_;
   std::unordered_set<Tuple, TupleHash> seen_;
+  std::vector<uint32_t> sel_scratch_;
 };
 
 enum class SetOpKind { kUnion, kUnionAll, kExcept, kIntersect };
@@ -435,7 +497,7 @@ class SetOpNode : public PlanNode {
   SetOpNode(PlanNodePtr left, PlanNodePtr right, SetOpKind kind);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
   std::string Name() const override { return "SetOp"; }
 
@@ -444,12 +506,17 @@ class SetOpNode : public PlanNode {
   }
 
  private:
+  /// Keeps only the rows of *batch that pass this set op's membership test
+  /// (dedup against emitted_, EXCEPT/INTERSECT against right_set_).
+  void FilterBatch(RowBatch* batch);
+
   PlanNodePtr left_;
   PlanNodePtr right_;
   SetOpKind kind_;
   bool left_done_ = false;
   std::unordered_set<Tuple, TupleHash> right_set_;
   std::unordered_set<Tuple, TupleHash> emitted_;
+  std::vector<uint32_t> sel_scratch_;
 };
 
 /// Materializing sort; keys are output-column slots.
@@ -463,7 +530,7 @@ class SortNode : public PlanNode {
   SortNode(PlanNodePtr child, std::vector<SortKey> keys);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
   std::string Name() const override { return "Sort"; }
 
@@ -478,13 +545,13 @@ class SortNode : public PlanNode {
   size_t pos_ = 0;
 };
 
-/// Emits at most `limit` rows.
+/// Emits at most `limit` rows (by truncating child batches).
 class LimitNode : public PlanNode {
  public:
   LimitNode(PlanNodePtr child, size_t limit);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Limit"; }
 
@@ -498,7 +565,9 @@ class LimitNode : public PlanNode {
   size_t produced_ = 0;
 };
 
-/// Hash aggregation with optional GROUP BY.
+/// Hash aggregation with optional GROUP BY. Group keys and aggregate
+/// arguments are evaluated column-at-a-time per input batch; only the
+/// accumulator update runs per row (non-virtual).
 ///
 /// With group keys, one output row per distinct key; without, a single
 /// global row (emitted even on empty input: COUNT = 0, SUM = 0,
@@ -522,7 +591,7 @@ class AggregateNode : public PlanNode {
                 Schema schema);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
   std::string Name() const override { return "Aggregate"; }
   std::vector<const PlanNode*> Children() const override {
@@ -552,7 +621,7 @@ class CountNode : public PlanNode {
   explicit CountNode(PlanNodePtr child, std::string column_name);
 
   Status OpenImpl() override;
-  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override { child_->Close(); }
   std::string Name() const override { return "Count"; }
 

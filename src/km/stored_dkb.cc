@@ -123,10 +123,16 @@ Status StoredDkb::InsertFacts(const std::string& pred,
   }
   DKB_ASSIGN_OR_RETURN(Table * table,
                        db_->catalog().GetTable(EdbTableName(pred)));
+  RowBatch batch;
+  batch.Reset(table->schema().num_columns());
   for (const Tuple& t : tuples) {
-    DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(t));
-    (void)rid;
+    batch.AppendRow(t);
+    if (batch.full()) {
+      DKB_RETURN_IF_ERROR(table->AppendBatch(batch));
+      batch.Reset(table->schema().num_columns());
+    }
   }
+  if (!batch.empty()) DKB_RETURN_IF_ERROR(table->AppendBatch(batch));
   return Status::OK();
 }
 

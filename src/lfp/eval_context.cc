@@ -1,5 +1,7 @@
 #include "lfp/eval_context.h"
 
+#include <unordered_set>
+
 #include "common/timer.h"
 
 namespace dkb::lfp {
@@ -94,6 +96,72 @@ Status EvalContext::Clear(const std::string& name) {
 
 Status EvalContext::Copy(const std::string& dst, const std::string& src) {
   return Temp("INSERT INTO " + dst + " SELECT * FROM " + src);
+}
+
+Status EvalContext::ClearTable(const std::string& name) {
+  ScopedAccumulator acc(&stats_->t_temp_us);
+  DKB_ASSIGN_OR_RETURN(Table * table, db_->catalog().GetTable(name));
+  table->Clear();
+  return Status::OK();
+}
+
+Status EvalContext::CopyTable(const std::string& dst, const std::string& src) {
+  ScopedAccumulator acc(&stats_->t_temp_us);
+  DKB_ASSIGN_OR_RETURN(Table * d, db_->catalog().GetTable(dst));
+  DKB_ASSIGN_OR_RETURN(Table * s, db_->catalog().GetTable(src));
+  RowBatch batch;
+  RowId cursor = 0;
+  while (true) {
+    cursor = s->ScanBatch(cursor, &batch);
+    if (batch.empty()) break;
+    DKB_RETURN_IF_ERROR(d->AppendBatch(batch));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> EvalContext::DiffInto(const std::string& diff,
+                                      const std::string& new_table,
+                                      const std::string& full) {
+  ScopedAccumulator acc(&stats_->t_term_us);
+  DKB_ASSIGN_OR_RETURN(Table * dst, db_->catalog().GetTable(diff));
+  DKB_ASSIGN_OR_RETURN(Table * src_new, db_->catalog().GetTable(new_table));
+  DKB_ASSIGN_OR_RETURN(Table * src_full, db_->catalog().GetTable(full));
+
+  // Seed the dedup set with the accumulated relation; stored tuples carry
+  // interned VARCHARs, so hashing and equality are O(1) per value.
+  std::unordered_set<Tuple, TupleHash> seen;
+  seen.reserve(src_full->num_tuples() + src_new->num_tuples());
+  RowBatch batch;
+  RowId cursor = 0;
+  while (true) {
+    cursor = src_full->ScanBatch(cursor, &batch);
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      seen.insert(batch.MaterializeTuple(i));
+    }
+  }
+
+  int64_t appended = 0;
+  RowBatch out;
+  out.Reset(dst->schema().num_columns());
+  cursor = 0;
+  while (true) {
+    cursor = src_new->ScanBatch(cursor, &batch);
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Tuple t = batch.MaterializeTuple(i);
+      if (seen.count(t) > 0) continue;
+      out.AppendRow(t);
+      seen.insert(std::move(t));
+      ++appended;
+      if (out.full()) {
+        DKB_RETURN_IF_ERROR(dst->AppendBatch(out));
+        out.Reset(dst->schema().num_columns());
+      }
+    }
+  }
+  if (!out.empty()) DKB_RETURN_IF_ERROR(dst->AppendBatch(out));
+  return appended;
 }
 
 Status EvalContext::Drop(const std::string& name) {

@@ -68,6 +68,24 @@ class EvalContext {
   /// INSERT INTO `dst` SELECT * FROM `src` (a full table copy).
   Status Copy(const std::string& dst, const std::string& src);
 
+  /// Batch-native variant of Clear: truncates the table directly without a
+  /// SQL round-trip (temp-management bucket).
+  Status ClearTable(const std::string& name);
+
+  /// Batch-native variant of Copy: streams `src` into `dst` with
+  /// Table::ScanBatch/AppendBatch (temp-management bucket).
+  Status CopyTable(const std::string& dst, const std::string& src);
+
+  /// Batch-native semi-naive termination step: appends to `diff` every
+  /// distinct row of `new_table` not already in `full` and returns how many
+  /// were appended. Dedup runs over a hash set keyed on interned values —
+  /// the O(1)-hash replacement for the prepared
+  /// `INSERT INTO diff (SELECT * FROM new) EXCEPT (SELECT * FROM full)`
+  /// + COUNT(*) statement pair (termination bucket).
+  Result<int64_t> DiffInto(const std::string& diff,
+                           const std::string& new_table,
+                           const std::string& full);
+
   Status Drop(const std::string& name);
 
   /// COUNT(*) of a table (not attributed; diagnostics).

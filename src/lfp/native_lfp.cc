@@ -420,16 +420,24 @@ class NativeExecutor {
     return Status::OK();
   }
 
-  /// Writes every derived relation back into its IDB table.
+  /// Writes every derived relation back into its IDB table, a batch at a
+  /// time (Table::AppendBatch interns and maintains indexes per batch).
   Status StoreDerived() {
     ScopedAccumulator acc(&stats_->t_temp_us);
+    RowBatch batch;
     for (const km::ProgramNode& node : program_.nodes) {
       for (const std::string& p : node.predicates) {
         const km::PredicateBinding& b = program_.bindings.at(p);
         DKB_ASSIGN_OR_RETURN(Table * table, db_->catalog().GetTable(b.table));
+        batch.Reset(table->schema().num_columns());
         for (const Tuple& t : relations_.at(p)->rows()) {
-          table->InsertUnchecked(t);
+          batch.AppendRow(t);
+          if (batch.full()) {
+            DKB_RETURN_IF_ERROR(table->AppendBatch(batch));
+            batch.Reset(table->schema().num_columns());
+          }
         }
+        if (!batch.empty()) DKB_RETURN_IF_ERROR(table->AppendBatch(batch));
       }
     }
     return Status::OK();

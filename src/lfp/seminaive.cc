@@ -1,6 +1,5 @@
 #include "lfp/seminaive.h"
 
-#include <map>
 #include <set>
 
 #include "km/naming.h"
@@ -55,25 +54,13 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
   // delta^(0) = p^(0); prev = p^(-1) = empty.
   for (const std::string& p : node.predicates) {
     DKB_RETURN_IF_ERROR(
-        ctx->Copy(km::DeltaTableName(p), program.bindings.at(p).table));
+        ctx->CopyTable(km::DeltaTableName(p), program.bindings.at(p).table));
   }
 
-  // The termination pair (diff insert + count) runs every iteration with
-  // identical text: prepare once, execute per iteration (the explicit form
-  // of the embedded-SQL preprocessing the paper's DBMS did behind sprintf).
-  std::map<std::string, PreparedStatement> diff_insert;
-  std::map<std::string, PreparedStatement> diff_count;
-  for (const std::string& p : node.predicates) {
-    const km::PredicateBinding& b = program.bindings.at(p);
-    DKB_ASSIGN_OR_RETURN(
-        diff_insert[p],
-        ctx->db()->Prepare("INSERT INTO " + km::DiffTableName(p) +
-                           " (SELECT * FROM " + km::NewTableName(p) +
-                           ") EXCEPT (SELECT * FROM " + b.table + ")"));
-    DKB_ASSIGN_OR_RETURN(diff_count[p],
-                         ctx->db()->Prepare("SELECT COUNT(*) FROM " +
-                                            km::DiffTableName(p)));
-  }
+  // The per-iteration termination step (diff := new - full, plus its count)
+  // runs batch-native through EvalContext::DiffInto — a hash-set difference
+  // keyed on interned values — instead of the prepared
+  // INSERT ... EXCEPT + COUNT(*) statement pair of the SQL-driven engine.
 
   int64_t iterations = 0;
   while (true) {
@@ -81,7 +68,7 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
     trace::ScopedSpan iter_span(ctx->span(), "iteration");
     iter_span.Tag("iter", iterations);
     for (const std::string& p : node.predicates) {
-      DKB_RETURN_IF_ERROR(ctx->Clear(km::NewTableName(p)));
+      DKB_RETURN_IF_ERROR(ctx->ClearTable(km::NewTableName(p)));
     }
 
     // Differential variants of each recursive rule. Negated atoms are
@@ -127,10 +114,11 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
     bool changed = false;
     int64_t delta_total = 0;
     for (const std::string& p : node.predicates) {
-      DKB_RETURN_IF_ERROR(ctx->Clear(km::DiffTableName(p)));
-      DKB_RETURN_IF_ERROR(ctx->TermPrepared(&diff_insert.at(p)));
-      DKB_ASSIGN_OR_RETURN(int64_t cnt,
-                           ctx->TermCountPrepared(&diff_count.at(p)));
+      DKB_RETURN_IF_ERROR(ctx->ClearTable(km::DiffTableName(p)));
+      DKB_ASSIGN_OR_RETURN(
+          int64_t cnt,
+          ctx->DiffInto(km::DiffTableName(p), km::NewTableName(p),
+                        program.bindings.at(p).table));
       if (cnt > 0) changed = true;
       delta_total += cnt;
     }
@@ -141,12 +129,12 @@ Result<int64_t> EvaluateCliqueSemiNaive(EvalContext* ctx,
     // prev := full; full += diff; delta := diff.
     for (const std::string& p : node.predicates) {
       const km::PredicateBinding& b = program.bindings.at(p);
-      DKB_RETURN_IF_ERROR(ctx->Clear(km::PrevTableName(p)));
-      DKB_RETURN_IF_ERROR(ctx->Copy(km::PrevTableName(p), b.table));
-      DKB_RETURN_IF_ERROR(ctx->Copy(b.table, km::DiffTableName(p)));
-      DKB_RETURN_IF_ERROR(ctx->Clear(km::DeltaTableName(p)));
+      DKB_RETURN_IF_ERROR(ctx->ClearTable(km::PrevTableName(p)));
+      DKB_RETURN_IF_ERROR(ctx->CopyTable(km::PrevTableName(p), b.table));
+      DKB_RETURN_IF_ERROR(ctx->CopyTable(b.table, km::DiffTableName(p)));
+      DKB_RETURN_IF_ERROR(ctx->ClearTable(km::DeltaTableName(p)));
       DKB_RETURN_IF_ERROR(
-          ctx->Copy(km::DeltaTableName(p), km::DiffTableName(p)));
+          ctx->CopyTable(km::DeltaTableName(p), km::DiffTableName(p)));
     }
   }
 

@@ -138,9 +138,20 @@ Status DeserializeDatabase(Database* db, const std::string& text) {
     return Status::InvalidArgument("bad snapshot header");
   }
   Table* table = nullptr;
+  RowBatch pending;
+  auto flush = [&]() -> Status {
+    if (table == nullptr || pending.empty()) return Status::OK();
+    Status s = table->AppendBatch(pending);
+    pending.Reset(table->schema().num_columns());
+    return s;
+  };
   while (std::getline(in, line)) {
-    if (line == "END") return Status::OK();
+    if (line == "END") {
+      DKB_RETURN_IF_ERROR(flush());
+      return Status::OK();
+    }
     if (line == "ENDTABLE") {
+      DKB_RETURN_IF_ERROR(flush());
       table = nullptr;
       continue;
     }
@@ -164,6 +175,7 @@ Status DeserializeDatabase(Database* db, const std::string& text) {
       }
       DKB_ASSIGN_OR_RETURN(table,
                            db->catalog().CreateTable(name, Schema(columns)));
+      pending.Reset(table->schema().num_columns());
       continue;
     }
     if (StartsWith(line, "INDEX ")) {
@@ -188,8 +200,11 @@ Status DeserializeDatabase(Database* db, const std::string& text) {
         DKB_ASSIGN_OR_RETURN(Value v, ParseField(field));
         row.push_back(std::move(v));
       }
-      DKB_ASSIGN_OR_RETURN(RowId rid, table->Insert(row));
-      (void)rid;
+      if (row.size() != table->schema().num_columns()) {
+        return Status::InvalidArgument("ROW arity mismatch in snapshot");
+      }
+      pending.AppendRow(std::move(row));
+      if (pending.full()) DKB_RETURN_IF_ERROR(flush());
       continue;
     }
     if (line.empty()) continue;

@@ -27,7 +27,15 @@ Result<RowId> Table::Insert(const Tuple& tuple) {
   return InsertUnchecked(tuple);
 }
 
+Result<RowId> Table::Insert(Tuple&& tuple) {
+  DKB_RETURN_IF_ERROR(ValidateTuple(tuple));
+  return InsertUnchecked(std::move(tuple));
+}
+
 RowId Table::InsertUnchecked(Tuple tuple) {
+  // Intern before index maintenance so index keys share the cheap
+  // representation with the stored tuple.
+  for (auto& v : tuple) v.InternInPlace();
   RowId rid = rows_.size();
   for (auto& index : indexes_) {
     index->Insert(index->MakeKey(tuple), rid);
@@ -35,6 +43,43 @@ RowId Table::InsertUnchecked(Tuple tuple) {
   rows_.push_back(Slot{std::move(tuple), false});
   ++live_count_;
   return rid;
+}
+
+Status Table::AppendBatch(const RowBatch& batch) {
+  if (batch.num_columns() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "batch arity " + std::to_string(batch.num_columns()) +
+        " does not match " + name_ + " schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  const size_t n = batch.size();
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    const DataType want = schema_.column(c).type;
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = batch.At(i, c);
+      if (v.is_null()) continue;
+      if (v.type() != want) {
+        return Status::TypeError("column " + schema_.column(c).name + " of " +
+                                 name_ + " expects " + DataTypeName(want) +
+                                 " but got " + DataTypeName(v.type()));
+      }
+    }
+  }
+  rows_.reserve(rows_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    InsertUnchecked(batch.MaterializeTuple(i));
+  }
+  return Status::OK();
+}
+
+RowId Table::ScanBatch(RowId cursor, RowBatch* out) const {
+  out->Reset(schema_.num_columns());
+  while (cursor < rows_.size() && !out->full()) {
+    const Slot& slot = rows_[cursor];
+    if (!slot.deleted) out->AppendRow(slot.tuple);
+    ++cursor;
+  }
+  return cursor;
 }
 
 bool Table::Delete(RowId rid) {

@@ -34,12 +34,25 @@ class Table {
   size_t num_slots() const { return rows_.size(); }
 
   /// Appends a tuple. The tuple must match the schema arity; values must be
-  /// of the declared types (or NULL). Updates all indexes.
+  /// of the declared types (or NULL). Updates all indexes. VARCHAR values
+  /// are interned on the way in, so stored tuples hand out O(1)-copy values.
   Result<RowId> Insert(const Tuple& tuple);
+  /// Move overload for hot paths that give up their tuple.
+  Result<RowId> Insert(Tuple&& tuple);
 
   /// Appends without validation; caller guarantees schema conformance.
   /// Used on hot bulk-load paths (workload generators, LFP deltas).
   RowId InsertUnchecked(Tuple tuple);
+
+  /// Appends every visible row of `batch`. Validates the column count once
+  /// and value types column-wise, then takes the unchecked path per row.
+  Status AppendBatch(const RowBatch& batch);
+
+  /// Fills `out` with up to RowBatch::kCapacity live rows starting at slot
+  /// `cursor` and returns the cursor for the next call. `out` is reset to
+  /// the schema arity; an empty result batch means the scan is exhausted
+  /// (tombstone-only windows are skipped, not surfaced as empty batches).
+  RowId ScanBatch(RowId cursor, RowBatch* out) const;
 
   /// Tombstones the row if live; returns false if already deleted.
   bool Delete(RowId rid);

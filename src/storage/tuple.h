@@ -4,12 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "common/row_batch.h"  // defines Tuple and the RowBatch currency
 #include "common/value.h"
 
 namespace dkb {
-
-/// A row: fixed-length vector of values.
-using Tuple = std::vector<Value>;
 
 /// Combines the hashes of all values (order-sensitive).
 size_t HashTuple(const Tuple& t);

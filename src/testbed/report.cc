@@ -93,6 +93,7 @@ std::string QueryReport::ExplainText() const {
            " statements=" + std::to_string(db_delta.statements) +
            " stmt_cache_hits=" +
            std::to_string(db_delta.statement_cache_hits) +
+           " batches=" + std::to_string(db_delta.batches) +
            " morsels=" + std::to_string(db_delta.morsels) + "\n";
   }
   out += "total: " + std::to_string(total_us) + " us\n";
@@ -170,6 +171,7 @@ std::string QueryReport::ToJson() const {
            ", \"statements\": " + std::to_string(db_delta.statements) +
            ", \"statement_cache_hits\": " +
            std::to_string(db_delta.statement_cache_hits) +
+           ", \"batches\": " + std::to_string(db_delta.batches) +
            ", \"morsels\": " + std::to_string(db_delta.morsels) + "}";
   }
   if (trace != nullptr) {

@@ -43,6 +43,7 @@ Schema QueryLogSchema() {
       {"t_rhs_us", DataType::kInteger},
       {"t_term_us", DataType::kInteger},
       {"t_final_us", DataType::kInteger},
+      {"batches", DataType::kInteger},
       {"trace", DataType::kVarchar},
   });
 }
@@ -86,12 +87,22 @@ Schema SettingsSchema() {
   });
 }
 
-/// Materializes `rows` into an anonymous snapshot table for one scan.
+/// Materializes `rows` into an anonymous snapshot table for one scan,
+/// streaming them through the bulk AppendBatch path.
 Result<std::shared_ptr<const Table>> Materialize(
     const std::string& name, const Schema& schema,
     std::vector<Tuple> rows) {
   auto table = std::make_shared<Table>(name, schema);
-  for (Tuple& row : rows) table->InsertUnchecked(std::move(row));
+  RowBatch batch;
+  batch.Reset(schema.num_columns());
+  for (Tuple& row : rows) {
+    batch.AppendRow(std::move(row));
+    if (batch.full()) {
+      DKB_RETURN_IF_ERROR(table->AppendBatch(batch));
+      batch.Reset(schema.num_columns());
+    }
+  }
+  if (!batch.empty()) DKB_RETURN_IF_ERROR(table->AppendBatch(batch));
   return std::shared_ptr<const Table>(std::move(table));
 }
 
@@ -110,7 +121,8 @@ Result<std::shared_ptr<const Table>> QueryLogProvider(Testbed* tb) {
         IntVal(e.iterations), IntVal(e.total_us), us("t_setup"),
         us("t_extract"), us("t_read"), us("t_analyze"), us("t_opt"),
         us("t_eol"), us("t_sem"), us("t_gen"), us("t_comp"), us("t_temp"),
-        us("t_rhs"), us("t_term"), us("t_final"), Value(e.trace_json)});
+        us("t_rhs"), us("t_term"), us("t_final"), IntVal(e.batches),
+        Value(e.trace_json)});
   }
   return Materialize("sys.query_log", QueryLogSchema(), std::move(rows));
 }

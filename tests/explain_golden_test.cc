@@ -150,8 +150,11 @@ TEST(ExplainGoldenTest, SqlExplainAnalyzeAnnotatesRows) {
   for (const Tuple& row : result->rows) {
     joined += row[0].as_string() + "\n";
   }
-  // Every line carries live row counts and timings.
+  // Every line carries live row counts and timings, and operators that
+  // produced rows report their batch counts.
   EXPECT_NE(joined.find("(rows=3, time="), std::string::npos) << joined;
+  EXPECT_NE(joined.find(", batches=1, rows/batch=3.0"), std::string::npos)
+      << joined;
 }
 
 }  // namespace

@@ -52,7 +52,8 @@ TEST(SysViewsTest, SchemasMatchTheGolden) {
         "from_cache", "executed", "rows_out", "iterations", "total_us",
         "t_setup_us", "t_extract_us", "t_read_us", "t_analyze_us",
         "t_opt_us", "t_eol_us", "t_sem_us", "t_gen_us", "t_comp_us",
-        "t_temp_us", "t_rhs_us", "t_term_us", "t_final_us", "trace"}},
+        "t_temp_us", "t_rhs_us", "t_term_us", "t_final_us", "batches",
+        "trace"}},
       {"sys.lfp_iterations",
        {"query_id", "node", "is_clique", "iter", "delta_rows"}},
       {"sys.metrics", {"name", "kind", "value", "sum", "max", "p50", "p99"}},
