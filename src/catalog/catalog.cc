@@ -1,7 +1,6 @@
 #include "catalog/catalog.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/str_util.h"
 
@@ -18,7 +17,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
     return Status::InvalidArgument("schema 'sys' is reserved for system views");
   }
   std::string key = Key(name);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
@@ -29,7 +28,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
@@ -39,7 +38,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table " + name + " does not exist");
@@ -48,7 +47,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return tables_.count(Key(name)) > 0;
 }
 
@@ -59,7 +58,7 @@ Status Catalog::RegisterVirtualTable(const std::string& name, Schema schema,
                                    " needs a provider");
   }
   std::string key = Key(name);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
@@ -70,12 +69,12 @@ Status Catalog::RegisterVirtualTable(const std::string& name, Schema schema,
 }
 
 bool Catalog::HasVirtualTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return virtuals_.count(Key(name)) > 0;
 }
 
 std::vector<std::string> Catalog::VirtualTableNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(virtuals_.size());
   for (const auto& [key, entry] : virtuals_) names.push_back(key);
@@ -84,7 +83,7 @@ std::vector<std::string> Catalog::VirtualTableNames() const {
 }
 
 Result<Schema> Catalog::VirtualTableSchema(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = virtuals_.find(Key(name));
   if (it == virtuals_.end()) {
     return Status::NotFound("virtual table " + name + " does not exist");
@@ -95,7 +94,7 @@ Result<Schema> Catalog::VirtualTableSchema(const std::string& name) const {
 Result<ScanSource> Catalog::ResolveScanSource(const std::string& name) const {
   VirtualTableProvider provider;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = tables_.find(Key(name));
     if (it != tables_.end()) {
       return ScanSource{it->second.get(), nullptr};
@@ -140,7 +139,7 @@ Status Catalog::CreateIndex(const std::string& table_name,
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());

@@ -3,12 +3,12 @@
 
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/table.h"
 
 namespace dkb {
@@ -46,7 +46,8 @@ class Catalog {
 
   /// Creates an empty table. Fails with AlreadyExists on name collision and
   /// with InvalidArgument for names in the reserved `sys.` schema.
-  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> CreateTable(const std::string& name, Schema schema)
+      DKB_EXCLUDES(mu_);
 
   /// Registers a read-only virtual table (a system view): its fixed schema
   /// plus a provider that materializes a snapshot on demand. Virtual tables
@@ -54,27 +55,30 @@ class Catalog {
   /// reachable through ResolveScanSource — never through GetTable, and never
   /// serialized or cloned with the stored tables.
   Status RegisterVirtualTable(const std::string& name, Schema schema,
-                              VirtualTableProvider provider);
+                              VirtualTableProvider provider)
+      DKB_EXCLUDES(mu_);
 
-  bool HasVirtualTable(const std::string& name) const;
+  bool HasVirtualTable(const std::string& name) const DKB_EXCLUDES(mu_);
 
   /// Registered virtual-table names, sorted.
-  std::vector<std::string> VirtualTableNames() const;
+  std::vector<std::string> VirtualTableNames() const DKB_EXCLUDES(mu_);
 
   /// Declared schema of a virtual table; NotFound if absent.
-  Result<Schema> VirtualTableSchema(const std::string& name) const;
+  Result<Schema> VirtualTableSchema(const std::string& name) const
+      DKB_EXCLUDES(mu_);
 
   /// Resolves a FROM-list name: stored tables win, then virtual tables
   /// (whose provider runs here, materializing a fresh snapshot).
-  Result<ScanSource> ResolveScanSource(const std::string& name) const;
+  Result<ScanSource> ResolveScanSource(const std::string& name) const
+      DKB_EXCLUDES(mu_);
 
   /// Drops a table and its indexes. Fails with NotFound if absent.
-  Status DropTable(const std::string& name);
+  Status DropTable(const std::string& name) DKB_EXCLUDES(mu_);
 
   /// Looks up a table; NotFound if absent.
-  Result<Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetTable(const std::string& name) const DKB_EXCLUDES(mu_);
 
-  bool HasTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const DKB_EXCLUDES(mu_);
 
   /// Creates an index named `index_name` over `column_names` of `table_name`.
   /// `ordered` selects OrderedIndex over HashIndex.
@@ -84,10 +88,10 @@ class Catalog {
                      bool ordered);
 
   /// Names of all tables, unsorted.
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const DKB_EXCLUDES(mu_);
 
-  size_t num_tables() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t num_tables() const DKB_EXCLUDES(mu_) {
+    ReaderLock lock(mu_);
     return tables_.size();
   }
 
@@ -99,9 +103,14 @@ class Catalog {
     VirtualTableProvider provider;
   };
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
-  std::unordered_map<std::string, VirtualEntry> virtuals_;
+  /// Guards the name maps only (see the class comment): Table* handed out
+  /// by GetTable/ResolveScanSource deliberately escape the lock — table
+  /// *contents* are protected by the session-level reader-writer protocol,
+  /// and entries live until DropTable, which the protocol serializes.
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_
+      DKB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, VirtualEntry> virtuals_ DKB_GUARDED_BY(mu_);
 };
 
 /// True for names in the reserved system schema ("sys." prefix,

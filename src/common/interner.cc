@@ -6,11 +6,11 @@ namespace dkb {
 
 uint32_t StringDict::Intern(std::string_view s) {
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     auto it = ids_.find(s);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   auto it = ids_.find(s);
   if (it != ids_.end()) return it->second;
 

@@ -5,10 +5,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/sync.h"
 
 namespace dkb {
 
@@ -38,7 +39,7 @@ class StringDict {
   StringDict& operator=(const StringDict&) = delete;
 
   /// Returns the id for `s`, interning it on first sight.
-  uint32_t Intern(std::string_view s);
+  uint32_t Intern(std::string_view s) DKB_EXCLUDES(mu_);
 
   /// Content of an interned string; the reference is stable for the
   /// process lifetime. Requires a valid id previously returned by Intern.
@@ -68,9 +69,14 @@ class StringDict {
         [id & (kChunkSize - 1)];
   }
 
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   // Dedup map; keys view into chunk-owned strings (stable addresses).
-  std::unordered_map<std::string_view, uint32_t> ids_;
+  std::unordered_map<std::string_view, uint32_t> ids_ DKB_GUARDED_BY(mu_);
+  // Lock-free read path: chunk pointers and the entry count are published
+  // with release stores under the exclusive lock and read with acquire
+  // loads anywhere (see Entry above). They are deliberately NOT guarded by
+  // mu_ — the atomics themselves carry the synchronization, and Get/HashOf
+  // must stay lock-free for the executor's hot paths.
   std::array<std::atomic<EntryRec*>, kMaxChunks> chunks_ = {};
   std::atomic<uint32_t> size_{0};
 };

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dkb::metrics {
 
@@ -91,29 +92,35 @@ struct MetricSample {
 
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) DKB_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) DKB_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) DKB_EXCLUDES(mu_);
 
   /// One JSON object with every registered metric, sorted by name:
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   /// {"count": .., "sum": .., "mean": .., "max": .., "p50": .., "p99": ..}}}.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const DKB_EXCLUDES(mu_);
 
   /// Every registered metric as a flat row list, counters then gauges then
   /// histograms, each group sorted by name. Values are read with relaxed
   /// loads, so a snapshot taken under concurrent writers is approximate.
-  std::vector<MetricSample> Snapshot() const;
+  std::vector<MetricSample> Snapshot() const DKB_EXCLUDES(mu_);
 
   /// Zeroes every metric (tests and bench warmup isolation); the set of
   /// registered names is unchanged.
-  void ResetAll();
+  void ResetAll() DKB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// mu_ guards the name->metric maps only. The metric objects themselves
+  /// are updated with relaxed atomics and are never removed, so references
+  /// handed out by counter()/gauge()/histogram() stay valid and lock-free
+  /// for the registry's lifetime.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DKB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DKB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DKB_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry every layer reports into.

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -28,18 +28,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || queue_head_ < queue_.size(); });
+      MutexLock lock(mu_);
+      while (!HasWorkOrShutdown()) cv_.Wait(lock);
       if (queue_head_ < queue_.size()) {
         task = std::move(queue_[queue_head_]);
         ++queue_head_;
@@ -73,8 +73,10 @@ void ThreadPool::ParallelForRanges(
   struct Shared {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    // The mutex guards no data — done is atomic — it only serializes the
+    // notify against the waiter's check-then-sleep below.
+    Mutex mu;
+    CondVar cv;
   };
   auto shared = std::make_shared<Shared>();
   const size_t helper_count = std::min(threads_.size(), num_chunks - 1);
@@ -88,8 +90,8 @@ void ThreadPool::ParallelForRanges(
       if (lo < hi) body(slot, lo, hi);
       size_t finished = shared->done.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (finished == num_chunks) {
-        std::lock_guard<std::mutex> lock(shared->mu);
-        shared->cv.notify_all();
+        MutexLock lock(shared->mu);
+        shared->cv.NotifyAll();
       }
     }
   };
@@ -102,10 +104,10 @@ void ThreadPool::ParallelForRanges(
   }
   run_chunks(0);
 
-  std::unique_lock<std::mutex> lock(shared->mu);
-  shared->cv.wait(lock, [&] {
-    return shared->done.load(std::memory_order_acquire) >= num_chunks;
-  });
+  MutexLock lock(shared->mu);
+  while (shared->done.load(std::memory_order_acquire) < num_chunks) {
+    shared->cv.Wait(lock);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
@@ -122,7 +124,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 ThreadPool& GlobalThreadPool() {
   static ThreadPool* pool = [] {
     size_t n = 0;
-    if (const char* env = std::getenv("DKB_THREADS")) {
+    // Read once at pool construction, before any worker exists; nothing in
+    // the process calls setenv.
+    if (const char* env = std::getenv("DKB_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
       n = static_cast<size_t>(std::max(0, std::atoi(env)));
     } else {
       unsigned hw = std::thread::hardware_concurrency();

@@ -2,12 +2,12 @@
 #define DKB_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dkb {
 
@@ -19,6 +19,11 @@ namespace dkb {
 /// workers: the calling thread claims chunks from the same atomic cursor the
 /// workers do, so the loop completes even if every worker is busy elsewhere.
 /// A pool of size 0 degrades to fully inline execution.
+///
+/// Lock discipline (machine-checked, see common/sync.h): mu_ guards the task
+/// FIFO and the shutdown flag; cv_ signals "queue non-empty or shutting
+/// down". threads_ is written only during construction and joined in the
+/// destructor, so it needs no lock.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -31,7 +36,7 @@ class ThreadPool {
 
   /// Enqueues a task; it runs on some worker eventually. Fire-and-forget —
   /// callers that need completion should use ParallelFor.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DKB_EXCLUDES(mu_);
 
   /// Runs body(i) for every i in [begin, end), splitting the range into
   /// contiguous chunks claimed by the caller plus up to num_threads()
@@ -52,14 +57,20 @@ class ThreadPool {
       size_t min_chunk = 1);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DKB_EXCLUDES(mu_);
 
-  std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> queue_;  // FIFO via index
-  size_t queue_head_ = 0;
-  bool shutdown_ = false;
+  /// Wait predicate for the worker CV loop: a task is claimable or the pool
+  /// is shutting down.
+  bool HasWorkOrShutdown() const DKB_REQUIRES(mu_) {
+    return shutdown_ || queue_head_ < queue_.size();
+  }
+
+  std::vector<std::thread> threads_;  // const after construction
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<std::function<void()>> queue_ DKB_GUARDED_BY(mu_);
+  size_t queue_head_ DKB_GUARDED_BY(mu_) = 0;  // FIFO via index
+  bool shutdown_ DKB_GUARDED_BY(mu_) = false;
 };
 
 /// Process-wide pool shared by the executor, the LFP evaluators, and the

@@ -24,7 +24,10 @@ namespace dkb::exec {
 ///
 /// Counters are atomics so concurrent sessions and morsel workers can bump
 /// them without a data race; increments are relaxed (counts need not be
-/// ordered against anything, only eventually summed correctly).
+/// ordered against anything, only eventually summed correctly). No mutex is
+/// involved, so none of this is GUARDED_BY anything — the atomics are the
+/// whole synchronization story, and ExecStatsSnapshot reads are likewise
+/// relaxed (a snapshot racing live workers is approximate by design).
 struct ExecStats {
   std::atomic<int64_t> rows_scanned{0};      // rows read by sequential scans
   std::atomic<int64_t> index_probes{0};      // index lookups performed

@@ -61,10 +61,11 @@ Result<QueryResult> PreparedStatement::Execute() {
 Result<std::shared_ptr<const sql::Statement>> Database::ParseCached(
     const std::string& sql) {
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (statement_cache_enabled_) {
-      auto it = statement_cache_.find(sql);
-      if (it != statement_cache_.end()) {
+    MutexLock lock(cache_.mu());
+    const StatementCache& cache = cache_.Ref();
+    if (cache.enabled) {
+      auto it = cache.parsed.find(sql);
+      if (it != cache.parsed.end()) {
         exec::StatAdd(stats_.statement_cache_hits);
         return it->second;
       }
@@ -72,26 +73,28 @@ Result<std::shared_ptr<const sql::Statement>> Database::ParseCached(
   }
   DKB_ASSIGN_OR_RETURN(sql::StatementPtr parsed, sql::ParseStatement(sql));
   std::shared_ptr<const sql::Statement> stmt(std::move(parsed));
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  if (statement_cache_enabled_) {
+  MutexLock lock(cache_.mu());
+  StatementCache& cache = cache_.Ref();
+  if (cache.enabled) {
     // Unbounded growth guard: rule programs reuse a modest set of texts, but
     // bulk INSERT VALUES strings are one-shot — evict wholesale when large.
     // Shared ownership keeps outstanding PreparedStatements valid.
-    if (statement_cache_.size() >= 4096) statement_cache_.clear();
-    statement_cache_.emplace(sql, stmt);
+    if (cache.parsed.size() >= 4096) cache.parsed.clear();
+    cache.parsed.emplace(sql, stmt);
   }
   return stmt;
 }
 
 void Database::set_statement_cache_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  statement_cache_enabled_ = enabled;
-  if (!enabled) statement_cache_.clear();
+  MutexLock lock(cache_.mu());
+  StatementCache& cache = cache_.Ref();
+  cache.enabled = enabled;
+  if (!enabled) cache.parsed.clear();
 }
 
 bool Database::statement_cache_enabled() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return statement_cache_enabled_;
+  MutexLock lock(cache_.mu());
+  return cache_.Ref().enabled;
 }
 
 Result<QueryResult> Database::ExecuteParsed(const sql::Statement& stmt,

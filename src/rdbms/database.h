@@ -2,13 +2,13 @@
 #define DKB_RDBMS_DATABASE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "exec/executor.h"
 
 namespace dkb {
@@ -117,12 +117,19 @@ class Database {
                                     const std::vector<Value>* params,
                                     const std::string& text);
 
+  /// Parsed-statement cache. The enabled flag and the map change together
+  /// (disabling clears the map), so both live under one Guarded lock; the
+  /// cached statements themselves are immutable and handed out by
+  /// shared_ptr, so they need no lock once returned.
+  struct StatementCache {
+    bool enabled = true;
+    std::unordered_map<std::string, std::shared_ptr<const sql::Statement>>
+        parsed;
+  };
+
   Catalog catalog_;
   ExecStats stats_;
-  mutable std::mutex cache_mu_;
-  bool statement_cache_enabled_ = true;
-  std::unordered_map<std::string, std::shared_ptr<const sql::Statement>>
-      statement_cache_;
+  mutable Guarded<StatementCache> cache_;
 };
 
 }  // namespace dkb

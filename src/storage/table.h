@@ -17,6 +17,14 @@ namespace dkb {
 ///
 /// Row ids are stable for the lifetime of the table (slots are never
 /// compacted), which lets indexes reference rows directly.
+///
+/// Thread safety: externally synchronized — the table itself holds no lock.
+/// Mutations (Insert/AppendBatch/Delete/Clear/index maintenance) must be
+/// serialized by the owner, and no reader may overlap them. In this engine
+/// that owner is the session layer's reader-writer protocol on Testbed::mu_
+/// (writers mutate tables; sessions read private clones); morsel workers
+/// only ever read, via ScanBatch over an immutable slot prefix. See
+/// DESIGN.md "Concurrency invariants & static analysis".
 class Table {
  public:
   Table(std::string name, Schema schema)

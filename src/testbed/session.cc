@@ -1,8 +1,6 @@
 #include "testbed/session.h"
 
-#include <mutex>
-#include <shared_mutex>
-
+#include "common/sync.h"
 #include "datalog/parser.h"
 #include "rdbms/snapshot.h"
 
@@ -14,7 +12,7 @@ Session::Session(Testbed* testbed)
 Session::~Session() { testbed_->UnregisterSession(id_); }
 
 Status Session::Refresh() {
-  std::shared_lock<std::shared_mutex> lock(testbed_->mu_);
+  ReaderLock lock(testbed_->mu_);
   uint64_t current = testbed_->epoch();
   if (db_ != nullptr && current == epoch()) return Status::OK();
   auto db = std::make_unique<Database>();

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
-#include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <functional>
+#include <map>
 #include <sstream>
 
 #include "common/metrics.h"
@@ -78,7 +76,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(TestbedOptions options) {
 Status Testbed::Consult(const std::string& program_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Program program,
                        datalog::ParseProgram(program_text));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   EpochBump bump([this]() { BumpEpoch(); });
   if (!program.queries.empty()) {
     return Status::InvalidArgument(
@@ -124,7 +122,7 @@ std::set<std::string> Testbed::HeadsOf(
 
 Status Testbed::AddRule(const std::string& rule_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   EpochBump bump([this]() { BumpEpoch(); });
   cache_.InvalidateOn({rule.head.predicate});
   return workspace_.AddRule(std::move(rule));
@@ -132,7 +130,7 @@ Status Testbed::AddRule(const std::string& rule_text) {
 
 Status Testbed::RetractRule(const std::string& rule_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   EpochBump bump([this]() { BumpEpoch(); });
   if (!workspace_.RemoveRule(rule)) {
     return Status::NotFound("no such workspace rule: " + rule.ToString());
@@ -143,20 +141,20 @@ Status Testbed::RetractRule(const std::string& rule_text) {
 
 Status Testbed::DefineBase(const std::string& pred,
                            const km::PredicateTypes& types) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   EpochBump bump([this]() { BumpEpoch(); });
   return stored_->DefineBasePredicate(pred, types);
 }
 
 Status Testbed::AddFacts(const std::string& pred,
                          const std::vector<Tuple>& rows) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   EpochBump bump([this]() { BumpEpoch(); });
   return stored_->InsertFacts(pred, rows);
 }
 
 void Testbed::ClearWorkspace() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   EpochBump bump([this]() { BumpEpoch(); });
   workspace_.Clear();
   cache_.Clear();
@@ -173,7 +171,7 @@ Result<QueryOutcome> Testbed::Query(const datalog::Atom& goal,
   // Exclusive even though a query is logically a read: LFP evaluation
   // creates and drops temp tables in db_. Concurrency comes from sessions,
   // which run QueryImpl against private clones under the shared side.
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   return QueryImpl(&db_, &workspace_, stored_.get(), &cache_, goal, options,
                    &recorder_, /*session_id=*/0);
 }
@@ -304,7 +302,7 @@ Result<km::CompiledQuery> Testbed::CompileOnly(const datalog::Atom& goal,
                                                km::CompilationStats* stats) {
   // Exclusive: rule extraction lazily maintains the reachability
   // dictionaries inside the DBMS.
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   return CompileImpl(&workspace_, stored_.get(), goal, options, stats);
 }
 
@@ -337,18 +335,18 @@ Result<std::unique_ptr<Session>> Testbed::OpenSession() {
 
 int64_t Testbed::RegisterSession(Session* session) {
   int64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   sessions_[id] = session;
   return id;
 }
 
 void Testbed::UnregisterSession(int64_t session_id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   sessions_.erase(session_id);
 }
 
 std::vector<Testbed::SessionInfo> Testbed::SessionSnapshot() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   std::vector<SessionInfo> out;
   out.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) {
@@ -362,7 +360,7 @@ std::vector<Testbed::SessionInfo> Testbed::SessionSnapshot() const {
 }
 
 Result<std::vector<km::analysis::Diagnostic>> Testbed::LintWorkspace() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   // Pull in the stored rules the workspace depends on so mixed
   // workspace/stored programs analyze as the compiler would see them.
   std::set<std::string> undefined = workspace_.UndefinedBodyPredicates();
@@ -387,7 +385,7 @@ Result<std::vector<km::analysis::Diagnostic>> Testbed::LintWorkspace() {
 }
 
 Status Testbed::SaveSession(const std::string& path) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::InvalidArgument("cannot open " + path + " for writing");
@@ -446,7 +444,7 @@ Result<std::unique_ptr<Testbed>> Testbed::LoadSession(
 }
 
 Result<km::UpdateStats> Testbed::UpdateStoredDkb() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   EpochBump bump([this]() { BumpEpoch(); });
   cache_.InvalidateOn(HeadsOf(workspace_.rules()));
   km::UpdateProcessor processor(stored_.get());

@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 #include "km/compiler.h"
 #include "km/stored_dkb.h"
@@ -53,48 +53,53 @@ class Testbed {
   /// facts to the extensional database (base predicates are auto-defined
   /// from the types of the first fact's constants). Queries in the text are
   /// rejected — use Query().
-  Status Consult(const std::string& program_text);
+  Status Consult(const std::string& program_text) DKB_EXCLUDES(mu_);
 
   /// Adds a single rule ("anc(X,Y) :- par(X,Y).") to the workspace.
-  Status AddRule(const std::string& rule_text);
+  Status AddRule(const std::string& rule_text) DKB_EXCLUDES(mu_);
 
   /// Removes a workspace rule by structural equality (the paper's workspace
   /// editing loop). Rules already committed to the Stored DKB are
   /// unaffected. Returns NotFound if no such workspace rule exists.
-  Status RetractRule(const std::string& rule_text);
+  Status RetractRule(const std::string& rule_text) DKB_EXCLUDES(mu_);
 
   /// Declares a base predicate with explicit column types.
   Status DefineBase(const std::string& pred,
-                    const km::PredicateTypes& types);
+                    const km::PredicateTypes& types) DKB_EXCLUDES(mu_);
 
   /// Bulk-loads facts for a base predicate.
-  Status AddFacts(const std::string& pred, const std::vector<Tuple>& rows);
+  Status AddFacts(const std::string& pred, const std::vector<Tuple>& rows)
+      DKB_EXCLUDES(mu_);
 
   /// Compiles and executes a D/KB query ("?- anc(john, X)." or just
   /// "anc(john, X)").
   Result<QueryOutcome> Query(const std::string& goal_text,
-                             const QueryOptions& options = QueryOptions{});
+                             const QueryOptions& options = QueryOptions{})
+      DKB_EXCLUDES(mu_);
   Result<QueryOutcome> Query(const datalog::Atom& goal,
-                             const QueryOptions& options = QueryOptions{});
+                             const QueryOptions& options = QueryOptions{})
+      DKB_EXCLUDES(mu_);
 
   /// Compiles without executing (used by the compilation benches).
   Result<km::CompiledQuery> CompileOnly(const datalog::Atom& goal,
                                         const QueryOptions& options,
-                                        km::CompilationStats* stats);
+                                        km::CompilationStats* stats)
+      DKB_EXCLUDES(mu_);
 
   /// Runs the goal-independent static-analysis passes over the workspace
   /// rules merged with the stored rules they depend on; base predicates are
   /// resolved against the Stored D/KB. Nothing is modified — this is the
   /// interactive `dkb_lint` surface of the session.
-  Result<std::vector<km::analysis::Diagnostic>> LintWorkspace();
+  Result<std::vector<km::analysis::Diagnostic>> LintWorkspace()
+      DKB_EXCLUDES(mu_);
 
   /// Commits the Workspace rules into the Stored DKB (paper §4.3).
-  Result<km::UpdateStats> UpdateStoredDkb();
+  Result<km::UpdateStats> UpdateStoredDkb() DKB_EXCLUDES(mu_);
 
   /// Persists the whole session — the DBMS state (facts, stored rules,
   /// dictionaries, compiled rule storage) plus the workspace rules — to a
   /// snapshot file.
-  Status SaveSession(const std::string& path);
+  Status SaveSession(const std::string& path) DKB_EXCLUDES(mu_);
 
   /// Restores a session saved with SaveSession. `options` must describe
   /// the same storage configuration the snapshot was created with.
@@ -106,14 +111,14 @@ class Testbed {
   /// sessions may Query() in parallel; the testbed's mutating operations
   /// take the writer side of the lock and bump the epoch, making open
   /// sessions refresh their snapshot on their next query.
-  Result<std::unique_ptr<Session>> OpenSession();
+  Result<std::unique_ptr<Session>> OpenSession() DKB_EXCLUDES(mu_);
 
   /// Monotonic state version: bumped by every committed write.
   uint64_t epoch() const {
     return epoch_.load(std::memory_order_acquire);
   }
 
-  void ClearWorkspace();
+  void ClearWorkspace() DKB_EXCLUDES(mu_);
 
   /// One row of sys.sessions: an open Session's id, the epoch its snapshot
   /// was cloned at, and how many queries it has run.
@@ -122,7 +127,8 @@ class Testbed {
     uint64_t epoch = 0;
     int64_t queries = 0;
   };
-  std::vector<SessionInfo> SessionSnapshot() const;
+  std::vector<SessionInfo> SessionSnapshot() const
+      DKB_EXCLUDES(sessions_mu_);
 
   Database& db() { return db_; }
   km::Workspace& workspace() { return workspace_; }
@@ -170,23 +176,34 @@ class Testbed {
   /// Session registry behind sys.sessions. Sessions register on open and
   /// unregister in their destructor; the registry mutex is independent of
   /// mu_ so sys-view providers never contend with running queries.
-  int64_t RegisterSession(Session* session);
-  void UnregisterSession(int64_t session_id);
+  int64_t RegisterSession(Session* session) DKB_EXCLUDES(sessions_mu_);
+  void UnregisterSession(int64_t session_id) DKB_EXCLUDES(sessions_mu_);
 
   TestbedOptions options_;
   /// Reader-writer protocol: sessions clone under shared locks; every
   /// mutating testbed operation (including Query, which creates and drops
-  /// LFP temp tables in db_) holds the lock exclusively.
-  mutable std::shared_mutex mu_;
+  /// LFP temp tables in db_) holds the lock exclusively. The protected
+  /// state (db_, workspace_, stored_, cache_, recorder_) is not annotated
+  /// GUARDED_BY because the public accessors below deliberately hand out
+  /// references for single-threaded use — the protocol, documented in
+  /// DESIGN.md "Concurrency invariants", is what keeps concurrent sessions
+  /// safe, and the annotated Session/Testbed entry points enforce it.
+  ///
+  /// Lock order: mu_ before sessions_mu_ (Query, holding mu_, may resolve
+  /// sys.sessions, whose provider takes sessions_mu_). The converse never
+  /// happens: registry operations touch nothing under mu_.
+  mutable SharedMutex mu_ DKB_ACQUIRED_BEFORE(sessions_mu_);
   std::atomic<uint64_t> epoch_{1};
   Database db_;
   km::Workspace workspace_;
   std::unique_ptr<km::StoredDkb> stored_;
   QueryCache cache_;
   FlightRecorder recorder_;
-  mutable std::mutex sessions_mu_;
+  /// Guards the open-session registry only; independent of mu_ so
+  /// sys.sessions never contends with running queries.
+  mutable Mutex sessions_mu_;
   std::atomic<int64_t> next_session_id_{1};
-  std::map<int64_t, Session*> sessions_;
+  std::map<int64_t, Session*> sessions_ DKB_GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace dkb::testbed
