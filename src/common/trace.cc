@@ -16,15 +16,23 @@ TraceSpan::TraceSpan(const TraceContext* ctx, std::string name)
 TraceSpan* TraceSpan::AddChild(std::string name) {
   auto child = std::make_unique<TraceSpan>(ctx_, std::move(name));
   TraceSpan* raw = child.get();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   children_.push_back(std::move(child));
   return raw;
 }
 
 void TraceSpan::Adopt(std::unique_ptr<TraceSpan> child) {
   if (child == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   children_.push_back(std::move(child));
+}
+
+std::vector<const TraceSpan*> TraceSpan::children() const {
+  MutexLock lock(mu_);
+  std::vector<const TraceSpan*> out;
+  out.reserve(children_.size());
+  for (const auto& child : children_) out.push_back(child.get());
+  return out;
 }
 
 void TraceSpan::Tag(std::string key, std::string value) {
@@ -43,7 +51,9 @@ void TraceSpan::Tag(std::string key, double value) {
 }
 
 void TraceSpan::End() {
-  if (end_us_ < 0) end_us_ = ctx_->NowUs();
+  int64_t expected = -1;
+  end_us_.compare_exchange_strong(expected, ctx_->NowUs(),
+                                  std::memory_order_relaxed);
 }
 
 TraceContext::TraceContext(std::string root_name)
@@ -100,11 +110,12 @@ void RenderJsonRec(const TraceSpan& span, std::string* out) {
     }
     *out += "}";
   }
-  if (!span.children().empty()) {
+  const std::vector<const TraceSpan*> children = span.children();
+  if (!children.empty()) {
     *out += ", \"children\": [";
-    for (size_t i = 0; i < span.children().size(); ++i) {
+    for (size_t i = 0; i < children.size(); ++i) {
       if (i > 0) *out += ", ";
-      RenderJsonRec(*span.children()[i], out);
+      RenderJsonRec(*children[i], out);
     }
     *out += "]";
   }

@@ -1,13 +1,15 @@
 #ifndef DKB_COMMON_TRACE_H_
 #define DKB_COMMON_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dkb::trace {
 
@@ -28,9 +30,10 @@ struct TraceTag {
 /// threads share one timeline.
 ///
 /// Thread safety: AddChild/Adopt lock the span, so pool threads may attach
-/// children to a shared parent concurrently. Tags and End are owner-thread
-/// operations (each span is written by the thread that created it).
-/// Readers (rendering) must run after execution has settled.
+/// children to a shared parent concurrently; children() hands out a locked
+/// snapshot. End() is an atomic first-write-wins stamp. Tags are
+/// owner-thread operations (each span is written by the thread that created
+/// it); readers (rendering) must run after execution has settled.
 class TraceSpan {
  public:
   TraceSpan(const TraceContext* ctx, std::string name);
@@ -40,25 +43,32 @@ class TraceSpan {
 
   const std::string& name() const { return name_; }
   int64_t start_us() const { return start_us_; }
-  /// End offset; equals start_us() until End() is called.
-  int64_t end_us() const { return end_us_ < 0 ? start_us_ : end_us_; }
+  /// End offset; equals start_us() until End() is called. Atomic so a
+  /// renderer or sys-view reader racing a late End() observes either "not
+  /// ended" or the final stamp, never a torn value.
+  int64_t end_us() const {
+    int64_t e = end_us_.load(std::memory_order_relaxed);
+    return e < 0 ? start_us_ : e;
+  }
   int64_t duration_us() const { return end_us() - start_us_; }
   uint32_t tid() const { return tid_; }
   /// The context owning this span's timeline (for Detach from deep layers).
   const TraceContext* context() const { return ctx_; }
   const std::vector<TraceTag>& tags() const { return tags_; }
-  const std::vector<std::unique_ptr<TraceSpan>>& children() const {
-    return children_;
-  }
+  /// Point-in-time snapshot of the child list, taken under the span lock.
+  /// The pointers stay valid for the span's lifetime (children are owned by
+  /// the span and never removed); the vector itself is a copy, so callers
+  /// never hold a reference into the guarded container.
+  std::vector<const TraceSpan*> children() const DKB_EXCLUDES(mu_);
 
   /// Starts a child span now and returns it (owned by this span).
-  TraceSpan* AddChild(std::string name);
+  TraceSpan* AddChild(std::string name) DKB_EXCLUDES(mu_);
 
   /// Attaches an already-built span subtree (created via
   /// TraceContext::Detach) as the last child. Used by the parallel LFP
   /// scheduler to merge per-node spans in program order regardless of the
   /// order pool threads finished in.
-  void Adopt(std::unique_ptr<TraceSpan> child);
+  void Adopt(std::unique_ptr<TraceSpan> child) DKB_EXCLUDES(mu_);
 
   void Tag(std::string key, std::string value);
   void Tag(std::string key, int64_t value);
@@ -72,10 +82,14 @@ class TraceSpan {
   std::string name_;
   uint32_t tid_;
   int64_t start_us_;
-  int64_t end_us_ = -1;
+  /// -1 until End(); written once (first End() wins, enforced with a CAS).
+  std::atomic<int64_t> end_us_{-1};
+  /// Owner-thread only: tags are written by the thread that created the
+  /// span, before it shares the span; readers run after execution settles.
   std::vector<TraceTag> tags_;
-  mutable std::mutex mu_;  // guards children_
-  std::vector<std::unique_ptr<TraceSpan>> children_;
+  mutable Mutex mu_;
+  /// Pool threads attach children to a shared parent concurrently.
+  std::vector<std::unique_ptr<TraceSpan>> children_ DKB_GUARDED_BY(mu_);
 };
 
 /// Owns one span tree and the steady-clock epoch its offsets are measured

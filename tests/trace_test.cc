@@ -123,7 +123,7 @@ std::vector<std::string> ExecuteChildNames(const testbed::QueryReport& r) {
   EXPECT_NE(r.trace, nullptr);
   const trace::TraceSpan* execute = nullptr;
   for (const auto& child : r.trace->root()->children()) {
-    if (child->name() == "execute") execute = child.get();
+    if (child->name() == "execute") execute = child;
   }
   EXPECT_NE(execute, nullptr) << r.trace->RenderText();
   if (execute == nullptr) return names;
