@@ -1,6 +1,7 @@
 #include "testbed/query_cache.h"
 
-#include <mutex>
+#include <memory>
+#include <utility>
 
 namespace dkb::testbed {
 
@@ -10,25 +11,28 @@ std::string QueryCache::MakeKey(const datalog::Atom& goal, bool use_magic,
   return goal.ToString() + (use_magic ? "#magic" : "#plain");
 }
 
-const km::CompiledQuery* QueryCache::Lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+std::shared_ptr<const km::CompiledQuery> QueryCache::Lookup(
+    const std::string& key) {
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;
   }
   ++stats_.hits;
-  return &it->second.compiled;
+  return it->second.compiled;
 }
 
 void QueryCache::Insert(const std::string& key, km::CompiledQuery compiled,
                         std::set<std::string> dependencies) {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_[key] = Entry{std::move(compiled), std::move(dependencies)};
+  auto program =
+      std::make_shared<const km::CompiledQuery>(std::move(compiled));
+  MutexLock lock(mu_);
+  entries_[key] = Entry{std::move(program), std::move(dependencies)};
 }
 
 void QueryCache::InvalidateOn(const std::set<std::string>& updated_preds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool hit = false;
     for (const std::string& p : updated_preds) {
@@ -47,7 +51,7 @@ void QueryCache::InvalidateOn(const std::set<std::string>& updated_preds) {
 }
 
 void QueryCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 

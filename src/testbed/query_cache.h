@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <set>
 #include <string>
 
+#include "common/sync.h"
 #include "km/codegen.h"
 #include "km/compiler.h"
 
@@ -32,45 +33,47 @@ class QueryCache {
   static std::string MakeKey(const datalog::Atom& goal, bool use_magic,
                              bool adaptive_magic = false);
 
-  /// Returns the cached program or nullptr. The pointer stays valid until
-  /// the next Insert/InvalidateOn/Clear; callers that mutate the cache
-  /// concurrently (the testbed does so only under its writer lock) must
-  /// copy before releasing their lock.
-  const km::CompiledQuery* Lookup(const std::string& key);
+  /// Returns shared ownership of the cached program, or null on a miss.
+  /// The returned program stays valid for as long as the caller holds the
+  /// pointer, even across a concurrent Insert/InvalidateOn/Clear — lookups
+  /// never hand out references into the guarded map.
+  std::shared_ptr<const km::CompiledQuery> Lookup(const std::string& key)
+      DKB_EXCLUDES(mu_);
 
   /// Stores a compiled program. `dependencies` must cover every predicate
   /// whose rules or schema the program depends on (the compiler's relevant
   /// predicate set plus base predicates).
   void Insert(const std::string& key, km::CompiledQuery compiled,
-              std::set<std::string> dependencies);
+              std::set<std::string> dependencies) DKB_EXCLUDES(mu_);
 
   /// Drops every entry depending on any of `updated_preds`.
-  void InvalidateOn(const std::set<std::string>& updated_preds);
+  void InvalidateOn(const std::set<std::string>& updated_preds)
+      DKB_EXCLUDES(mu_);
 
   /// Drops everything (workspace edits change rule visibility wholesale).
-  void Clear();
+  void Clear() DKB_EXCLUDES(mu_);
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Stats stats() const DKB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return stats_;
   }
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const DKB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
  private:
   struct Entry {
-    km::CompiledQuery compiled;
+    std::shared_ptr<const km::CompiledQuery> compiled;
     std::set<std::string> dependencies;
   };
 
   /// Guards the map and counters so concurrent lookups (hit bookkeeping
-  /// mutates stats_) stay race-free; entry lifetime is the caller's
-  /// responsibility per Lookup's contract.
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  Stats stats_;
+  /// mutates stats_) stay race-free. Entry programs are immutable once
+  /// inserted and shared out by shared_ptr, so they need no lock.
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ DKB_GUARDED_BY(mu_);
+  Stats stats_ DKB_GUARDED_BY(mu_);
 };
 
 }  // namespace dkb::testbed

@@ -207,7 +207,7 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
                                         options.adaptive_magic);
   if (options.supplementary) key += "#sup";
   if (options.use_cache) {
-    const km::CompiledQuery* cached = cache->Lookup(key);
+    std::shared_ptr<const km::CompiledQuery> cached = cache->Lookup(key);
     if (cached != nullptr) {
       outcome.compiled = *cached;
       report.from_cache = true;

@@ -35,7 +35,7 @@ TEST(QueryCacheTest, LookupMissThenHit) {
   QueryCache cache;
   EXPECT_EQ(cache.Lookup("k"), nullptr);
   cache.Insert("k", MakeCompiled("p"), {"p", "e"});
-  const km::CompiledQuery* hit = cache.Lookup("k");
+  auto hit = cache.Lookup("k");
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->original_query.predicate, "p");
   EXPECT_EQ(cache.stats().misses, 1);
@@ -68,7 +68,7 @@ TEST(QueryCacheTest, InsertOverwritesSameKey) {
   cache.Insert("k", MakeCompiled("old"), {"a"});
   cache.Insert("k", MakeCompiled("new"), {"b"});
   EXPECT_EQ(cache.size(), 1u);
-  const km::CompiledQuery* hit = cache.Lookup("k");
+  auto hit = cache.Lookup("k");
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->original_query.predicate, "new");
   // Dependencies were replaced too: invalidating on the old set is a no-op.
