@@ -58,8 +58,9 @@ void FlightRecorder::Record(QueryLogEntry entry) {
   bool slow = false;
   std::string record;
   SlowQueryLogOptions slow_opts;
+  int64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     slow = slow_.threshold_us >= 0 && entry.total_us > slow_.threshold_us;
     if (slow) {
       record = FormatSlowRecord(entry, slow_.json);
@@ -68,8 +69,14 @@ void FlightRecorder::Record(QueryLogEntry entry) {
     ring_.push_back(std::move(entry));
     while (ring_.size() > capacity_) {
       ring_.pop_front();
-      metrics::GlobalMetrics().counter("dkb.recorder.evicted").Add(1);
+      ++evicted;
     }
+  }
+  // Metrics registry lookup and counter bump happen after unlock: the
+  // registry has its own lock, and nesting it under mu_ on every eviction
+  // would serialize concurrent recorders for no benefit.
+  if (evicted > 0) {
+    metrics::GlobalMetrics().counter("dkb.recorder.evicted").Add(evicted);
   }
   if (!slow) return;
   // Emit outside the lock: a user-provided sink may be arbitrarily slow.
@@ -82,38 +89,38 @@ void FlightRecorder::Record(QueryLogEntry entry) {
 }
 
 std::vector<QueryLogEntry> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<QueryLogEntry>(ring_.begin(), ring_.end());
 }
 
 void FlightRecorder::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   while (ring_.size() > capacity_) ring_.pop_front();
 }
 
 size_t FlightRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 
 size_t FlightRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
 }
 
 void FlightRecorder::SetSlowQueryLog(SlowQueryLogOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slow_ = std::move(options);
 }
 
 SlowQueryLogOptions FlightRecorder::slow_query_log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slow_;
 }
 

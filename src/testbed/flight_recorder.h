@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "testbed/report.h"
 
 namespace dkb::testbed {
@@ -77,7 +77,7 @@ class FlightRecorder {
   /// Appends one completed query, evicting the oldest entry when the ring
   /// is full, and emits a slow-query record if the entry crossed the
   /// configured threshold.
-  void Record(QueryLogEntry entry);
+  void Record(QueryLogEntry entry) DKB_EXCLUDES(mu_);
 
   /// Flattens a finished QueryReport into a QueryLogEntry (shared by the
   /// testbed recording hook and tests).
@@ -85,26 +85,29 @@ class FlightRecorder {
                                  int64_t session_id, int64_t rows_out);
 
   /// Oldest-first copy of the ring.
-  std::vector<QueryLogEntry> Snapshot() const;
+  std::vector<QueryLogEntry> Snapshot() const DKB_EXCLUDES(mu_);
 
   /// Shrinks/grows the ring; excess oldest entries are dropped immediately.
-  void SetCapacity(size_t capacity);
-  size_t capacity() const;
-  size_t size() const;
-  void Clear();
+  void SetCapacity(size_t capacity) DKB_EXCLUDES(mu_);
+  size_t capacity() const DKB_EXCLUDES(mu_);
+  size_t size() const DKB_EXCLUDES(mu_);
+  void Clear() DKB_EXCLUDES(mu_);
 
-  void SetSlowQueryLog(SlowQueryLogOptions options);
-  SlowQueryLogOptions slow_query_log() const;
+  void SetSlowQueryLog(SlowQueryLogOptions options) DKB_EXCLUDES(mu_);
+  SlowQueryLogOptions slow_query_log() const DKB_EXCLUDES(mu_);
 
   /// The one-line record the slow-query log emits for `entry`.
   static std::string FormatSlowRecord(const QueryLogEntry& entry, bool json);
 
  private:
   std::atomic<int64_t> next_id_{1};
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::deque<QueryLogEntry> ring_;
-  SlowQueryLogOptions slow_;
+  /// Guards the ring, its capacity, and the slow-log options. Held only for
+  /// queue surgery and config copies; slow-log emission and metrics updates
+  /// happen outside it (see Record).
+  mutable Mutex mu_;
+  size_t capacity_ DKB_GUARDED_BY(mu_);
+  std::deque<QueryLogEntry> ring_ DKB_GUARDED_BY(mu_);
+  SlowQueryLogOptions slow_ DKB_GUARDED_BY(mu_);
 };
 
 }  // namespace dkb::testbed
