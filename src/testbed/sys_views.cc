@@ -166,7 +166,11 @@ Result<std::shared_ptr<const Table>> SettingsProvider(Testbed* tb) {
   const TestbedOptions& opts = tb->options();
   const QueryOptions defaults;
   const SlowQueryLogOptions slow = tb->recorder().slow_query_log();
-  const char* threads_env = std::getenv("DKB_THREADS");
+  // Read-only peek at the same variable GlobalThreadPool reads once at
+  // startup; nothing in the process calls setenv, so the mt-unsafe getenv
+  // race cannot occur here.
+  const char* threads_env =
+      std::getenv("DKB_THREADS");  // NOLINT(concurrency-mt-unsafe)
   std::vector<std::pair<std::string, std::string>> settings = {
       {"default_strategy", lfp::StrategyName(defaults.strategy)},
       {"default_use_magic", defaults.use_magic ? "on" : "off"},
