@@ -1,0 +1,356 @@
+// Network layer characterization: round-trip latency and pipelined
+// throughput of the binary wire protocol (dkb_server + RemoteClient).
+// Not a paper figure: the 1988 testbed was a single-process system; this
+// bench characterizes the network extension the same way bench_concurrency
+// characterizes the in-process one. Emits BENCH_net.json (folded into
+// BENCH_paper.json by bench_paper).
+//
+//   bench_net [--smoke] [--connect host:port]
+//             [--connections N] [--pipeline D] [--batch B] [--windows W]
+//
+// Without --connect an in-process dkb::net::Server on a loopback ephemeral
+// port serves the run, so the bench is self-contained; with --connect it
+// drives an already-running dkb_server (CI does this in the release job).
+//
+// Workloads (all on bench-owned bn* predicates, so pointing the bench at a
+// long-lived server does not disturb other clients' predicates):
+//   rtt_seminaive     sequential Query round trips, semi-naive, cold cache
+//   rtt_magic         same goals under the generalized magic sets rewrite
+//   update_interleaved  AddFacts (writer lock) interleaved with queries
+//   sustain_pipelined  the headline: 512 concurrent connections (32 under
+//                      --smoke), each keeping a window of pipelined query
+//                      batches in flight
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/remote_client.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "net/server.h"
+#include "testbed/testbed.h"
+
+namespace dkb::bench {
+namespace {
+
+struct NetCli {
+  std::string connect;  // empty = spawn an in-process server
+  int connections = 0;  // 0 = workload default
+  int pipeline = 0;
+  int batch = 0;
+  int windows = 0;
+};
+
+NetCli g_cli;
+
+int SustainConnections() {
+  if (g_cli.connections > 0) return g_cli.connections;
+  return SmokeSize(512, 32);
+}
+int PipelineDepth() {
+  if (g_cli.pipeline > 0) return g_cli.pipeline;
+  return SmokeSize(8, 4);
+}
+int BatchSize() {
+  if (g_cli.batch > 0) return g_cli.batch;
+  return SmokeSize(4, 2);
+}
+int Windows() {
+  if (g_cli.windows > 0) return g_cli.windows;
+  return SmokeSize(4, 2);
+}
+
+/// See tools/dkb_server.cc: hundreds of client fds need headroom over the
+/// usual 1024 soft limit.
+void RaiseFdLimit(rlim_t want) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur >= want) return;
+  rlimit raised = lim;
+  raised.rlim_cur = want < lim.rlim_max ? want : lim.rlim_max;
+  setrlimit(RLIMIT_NOFILE, &raised);
+}
+
+std::unique_ptr<RemoteClient> MustConnect(const std::string& target) {
+  return Unwrap(RemoteClient::Connect(target), "RemoteClient::Connect");
+}
+
+/// Chain bn0 -> bn1 -> ... with the recursive closure rule, on names no
+/// other workload uses.
+void LoadFixture(const std::string& target, int chain) {
+  auto client = MustConnect(target);
+  std::string program;
+  program += "bnanc(X, Y) :- bnpar(X, Y).\n";
+  program += "bnanc(X, Y) :- bnpar(X, Z), bnanc(Z, Y).\n";
+  for (int i = 0; i < chain; ++i) {
+    program += "bnpar(bn" + std::to_string(i) + ", bn" +
+               std::to_string(i + 1) + ").\n";
+  }
+  CheckOk(client->Consult(program), "consult bench fixture");
+  CheckOk(client->DefineBase("bnupd", {DataType::kVarchar, DataType::kVarchar}),
+          "DefineBase bnupd");
+}
+
+/// Latency summary of one workload, ready for the table and the JSON.
+struct WorkloadStats {
+  std::string name;
+  int connections = 0;
+  int64_t requests = 0;
+  // Heap-held: Histogram's atomics make it immovable, and workloads
+  // are returned by value.
+  std::shared_ptr<metrics::Histogram> latency =
+      std::make_shared<metrics::Histogram>();
+  double qps = 0.0;
+
+  std::string Json() const {
+    std::string out = "{\"workload\": \"" + JsonEscape(name) + "\"";
+    out += ", \"connections\": " + std::to_string(connections);
+    out += ", \"requests\": " + std::to_string(requests);
+    out += ", \"qps\": " + FormatF(qps, 2);
+    out += ", \"latency_us\": {\"count\": " + std::to_string(latency->count());
+    out += ", \"mean\": " + FormatF(latency->mean(), 1);
+    out += ", \"max\": " + std::to_string(latency->max());
+    out += ", \"quantiles\": [";
+    const double qs[] = {0.25, 0.5, 0.75, 0.9, 0.99, 0.999};
+    for (size_t i = 0; i < sizeof(qs) / sizeof(qs[0]); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"q\": " + FormatF(qs[i], 3) +
+             ", \"le_us\": " + std::to_string(latency->ApproxQuantile(qs[i])) +
+             "}";
+    }
+    out += "]}}";
+    return out;
+  }
+};
+
+/// Runs `body(conn_index, client)` on `connections` threads, one fresh
+/// RemoteClient each, and returns the wall time of the whole fan-out.
+template <typename F>
+int64_t FanOut(const std::string& target, int connections, F&& body) {
+  // Connect up front (serially — the handshakes are cheap) so the timed
+  // region measures steady-state traffic, not connection setup.
+  std::vector<std::unique_ptr<RemoteClient>> clients;
+  clients.reserve(connections);
+  for (int c = 0; c < connections; ++c) clients.push_back(MustConnect(target));
+  std::atomic<int> failures{0};
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c]() {
+      if (!body(c, clients[c].get())) failures.fetch_add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  int64_t us = timer.ElapsedMicros();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "FATAL: %d connection worker(s) failed\n",
+                 failures.load());
+    std::exit(1);
+  }
+  return us;
+}
+
+/// Sequential round trips: one Query at a time per connection, cold plan
+/// cache, so each sample is wire overhead + a real compile/execute.
+WorkloadStats RunRtt(const std::string& target, const std::string& name,
+                     const testbed::QueryOptions& options) {
+  WorkloadStats stats;
+  stats.name = name;
+  stats.connections = SmokeSize(8, 4);
+  const int reps = Reps(50, 5);
+  const std::string goal = "bnanc(bn0, W)";
+  int64_t wall_us = FanOut(target, stats.connections, [&](int, RemoteClient* c) {
+    for (int i = 0; i < reps; ++i) {
+      WallTimer t;
+      auto rs = c->Query(goal, options, net::kReportNone);
+      if (!rs.ok()) return false;
+      stats.latency->Observe(t.ElapsedMicros());
+    }
+    return true;
+  });
+  stats.requests = static_cast<int64_t>(stats.connections) * reps;
+  stats.qps = static_cast<double>(stats.requests) * 1e6 / wall_us;
+  return stats;
+}
+
+/// AddFacts (testbed writer lock) interleaved with a query on every
+/// connection: measures how mutations behave under connection concurrency.
+WorkloadStats RunUpdateInterleaved(const std::string& target) {
+  WorkloadStats stats;
+  stats.name = "update_interleaved";
+  stats.connections = SmokeSize(8, 2);
+  const int reps = Reps(25, 3);
+  auto options = testbed::QueryOptions::SemiNaive().WithCache();
+  int64_t wall_us =
+      FanOut(target, stats.connections, [&](int conn, RemoteClient* c) {
+        for (int i = 0; i < reps; ++i) {
+          std::string key =
+              "u" + std::to_string(conn) + "_" + std::to_string(i);
+          WallTimer t;
+          if (!c->AddFacts("bnupd", {{Value(key), Value("v")}}).ok()) {
+            return false;
+          }
+          auto rs = c->Query("bnanc(bn0, W)", options, net::kReportNone);
+          if (!rs.ok()) return false;
+          stats.latency->Observe(t.ElapsedMicros());
+        }
+        return true;
+      });
+  // One AddFacts + one Query per rep.
+  stats.requests = static_cast<int64_t>(stats.connections) * reps * 2;
+  stats.qps = static_cast<double>(stats.requests) * 1e6 / wall_us;
+  return stats;
+}
+
+/// The headline sustain: every connection keeps `PipelineDepth()` query
+/// batches in flight (SendQueryBatch without waiting, then collect), for
+/// `Windows()` rounds. Latency samples are whole-window round trips.
+WorkloadStats RunSustainPipelined(const std::string& target) {
+  WorkloadStats stats;
+  stats.name = "sustain_pipelined";
+  stats.connections = SustainConnections();
+  const int depth = PipelineDepth();
+  const int batch = BatchSize();
+  const int windows = Windows();
+  auto options = testbed::QueryOptions::SemiNaive().WithCache();
+  // A non-recursive single-predicate goal: the sustain row measures how the
+  // wire, the per-connection sessions, and the pipelining scale with
+  // connection count — engine-heavy recursion is the rtt_* rows' job.
+  std::vector<std::string> goals;
+  for (int b = 0; b < batch; ++b) goals.push_back("bnpar(bn0, W)");
+  int64_t wall_us = FanOut(target, stats.connections, [&](int, RemoteClient* c) {
+    for (int w = 0; w < windows; ++w) {
+      WallTimer t;
+      std::vector<uint32_t> in_flight;
+      in_flight.reserve(depth);
+      for (int d = 0; d < depth; ++d) {
+        auto id = c->SendQueryBatch(goals, options, net::kReportNone);
+        if (!id.ok()) return false;
+        in_flight.push_back(*id);
+      }
+      for (uint32_t id : in_flight) {
+        auto sets = c->ReceiveResultSets(id);
+        if (!sets.ok() || sets->size() != goals.size()) return false;
+      }
+      stats.latency->Observe(t.ElapsedMicros());
+    }
+    return true;
+  });
+  stats.requests =
+      static_cast<int64_t>(stats.connections) * windows * depth * batch;
+  stats.qps = static_cast<double>(stats.requests) * 1e6 / wall_us;
+  return stats;
+}
+
+void Run() {
+  Banner("Network - wire round trips and pipelined connection sustain",
+         "extension beyond the single-user SIGMOD'88 testbed",
+         "pipelining amortizes round trips; hundreds of connections sustain "
+         "concurrent pipelined batches without errors");
+
+  RaiseFdLimit(8192);
+
+  // Self-contained by default: an in-process server on an ephemeral
+  // loopback port. --connect points the same traffic at a real dkb_server.
+  std::unique_ptr<testbed::Testbed> own_tb;
+  net::Server own_server;
+  std::string target = g_cli.connect;
+  if (target.empty()) {
+    own_tb = Unwrap(testbed::Testbed::Create(), "Testbed::Create");
+    net::ServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    CheckOk(own_server.Start(own_tb.get(), server_options), "Server::Start");
+    target = "127.0.0.1:" + std::to_string(own_server.port());
+    std::printf("  in-process dkb_server on %s\n", target.c_str());
+  } else {
+    std::printf("  driving external server %s\n", target.c_str());
+  }
+
+  LoadFixture(target, SmokeSize(48, 12));
+
+  std::vector<WorkloadStats> workloads;
+  workloads.push_back(
+      RunRtt(target, "rtt_seminaive", testbed::QueryOptions::SemiNaive()));
+  workloads.push_back(
+      RunRtt(target, "rtt_magic", testbed::QueryOptions::Magic()));
+  workloads.push_back(RunUpdateInterleaved(target));
+  workloads.push_back(RunSustainPipelined(target));
+
+  TablePrinter table({"workload", "conns", "requests", "p50", "p99", "max",
+                      "mean", "qps"});
+  for (const WorkloadStats& w : workloads) {
+    table.AddRow({w.name, std::to_string(w.connections),
+                  std::to_string(w.requests),
+                  FormatUs(w.latency->ApproxQuantile(0.5)),
+                  FormatUs(w.latency->ApproxQuantile(0.99)),
+                  FormatUs(w.latency->max()),
+                  FormatUs(static_cast<int64_t>(w.latency->mean())),
+                  FormatF(w.qps, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\n  (sustain_pipelined: %d connections x %d windows x %d batches "
+      "x %d goals)\n",
+      SustainConnections(), Windows(), PipelineDepth(), BatchSize());
+
+  BenchJson json("net");
+  json.Add("smoke", SmokeMode());
+  json.Add("external_server", !g_cli.connect.empty());
+  json.Add("sustain_connections", static_cast<int64_t>(SustainConnections()));
+  json.Add("pipeline_depth", static_cast<int64_t>(PipelineDepth()));
+  json.Add("batch_size", static_cast<int64_t>(BatchSize()));
+  std::string rows = "[";
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    if (i > 0) rows += ", ";
+    rows += workloads[i].Json();
+  }
+  rows += "]";
+  json.AddRaw("workloads", rows);
+  CheckOk(json.WriteFile("BENCH_net.json"), "write BENCH_net.json");
+  std::printf("  wrote BENCH_net.json\n");
+
+  std::string error;
+  if (!JsonValidator::Validate(json.Render(), &error)) {
+    std::fprintf(stderr, "FATAL: BENCH_net.json does not parse: %s\n",
+                 error.c_str());
+    std::exit(1);
+  }
+  if (SmokeMode()) std::printf("  smoke: BENCH JSON validated\n");
+
+  if (own_tb != nullptr) own_server.Stop();
+}
+
+}  // namespace
+}  // namespace dkb::bench
+
+int main(int argc, char** argv) {
+  dkb::bench::ParseBenchArgs(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_int = [&](int* out) {
+      if (i + 1 < argc) *out = std::atoi(argv[++i]);
+    };
+    if (arg == "--connect" && i + 1 < argc) {
+      dkb::bench::g_cli.connect = argv[++i];
+    } else if (arg == "--connections") {
+      next_int(&dkb::bench::g_cli.connections);
+    } else if (arg == "--pipeline") {
+      next_int(&dkb::bench::g_cli.pipeline);
+    } else if (arg == "--batch") {
+      next_int(&dkb::bench::g_cli.batch);
+    } else if (arg == "--windows") {
+      next_int(&dkb::bench::g_cli.windows);
+    }
+  }
+  dkb::bench::Run();
+  return 0;
+}

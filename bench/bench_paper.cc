@@ -32,8 +32,9 @@ namespace dkb::bench {
 namespace {
 
 /// The paper suite in paper order (Figures 7-15, Tables 4/5/8), then the
-/// concurrency bench whose BENCH_parallel.json is folded into the merged
-/// file. Keep in sync with bench/CMakeLists.txt.
+/// concurrency and network benches whose BENCH_parallel.json /
+/// BENCH_net.json are folded into the merged file. Keep in sync with
+/// bench/CMakeLists.txt.
 const char* const kPaperBenches[] = {
     "bench_fig07_extract",
     "bench_fig08_extract_rrs",
@@ -48,6 +49,7 @@ const char* const kPaperBenches[] = {
     "bench_fig15_update",
     "bench_table8_update_breakdown",
     "bench_concurrency",
+    "bench_net",
 };
 
 struct CsvTable {
@@ -198,6 +200,18 @@ int RunSuite(const std::string& self_path, const std::string& out_path) {
       return 1;
     }
     json.AddRaw("parallel", parallel);
+  }
+
+  // Same for bench_net's latency histograms.
+  std::string net = ReadFileOrEmpty("BENCH_net.json");
+  if (!net.empty()) {
+    std::string error;
+    if (!JsonValidator::Validate(net, &error)) {
+      std::fprintf(stderr, "FATAL: BENCH_net.json invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    json.AddRaw("net", net);
   }
 
   // Schema gate: the merged file must parse and carry the current schema

@@ -4,12 +4,22 @@
 //
 //   $ printf 'parent(a,b).\nanc(X,Y) :- parent(X,Y).\n?- anc(a,W).\n' |
 //       ./build/examples/repl
+//
+// The shell talks through the transport-independent dkb::Client, so the
+// same session can run against a remote dkb_server:
+//
+//   $ repl --connect 127.0.0.1:7070
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "client/client.h"
+#include "client/in_process_client.h"
+#include "client/remote_client.h"
 #include "common/str_util.h"
 #include "testbed/sys_views.h"
 #include "testbed/testbed.h"
@@ -31,8 +41,8 @@ void PrintHelp() {
       "  :stats                     show last query's timing breakdown\n"
       "  :sql <statement>           run raw SQL against the DBMS layer\n"
       "  \\sys (or :sys)             list the sys.* system views\n"
-      "  :slowlog <micros>|off      slow-query log threshold for this shell\n"
-      "  :save <path> / :load <path>  persist / restore the whole session\n"
+      "  :slowlog <micros>|off      slow-query log threshold (local only)\n"
+      "  :save <path> / :load <path>  persist / restore (local only)\n"
       "  :help                      this text\n"
       "  :quit\n"
       "System views answer plain SQL, e.g.\n"
@@ -73,17 +83,45 @@ void SetSlowLog(dkb::testbed::Testbed* tb, const std::string& arg) {
 
 }  // namespace
 
-int main() {
-  auto tb_or = dkb::testbed::Testbed::Create();
-  if (!tb_or.ok()) {
-    std::fprintf(stderr, "init failed: %s\n",
-                 tb_or.status().ToString().c_str());
-    return 1;
+int main(int argc, char** argv) {
+  std::string connect;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      return 2;
+    }
   }
-  auto tb = std::move(*tb_or);
+
+  // Local mode owns a testbed directly (so :save/:load/:slowlog can reach
+  // it); remote mode talks to a dkb_server. All session commands go
+  // through the same dkb::Client either way.
+  std::unique_ptr<dkb::testbed::Testbed> local_tb;
+  std::unique_ptr<dkb::Client> client;
+  if (connect.empty()) {
+    auto tb_or = dkb::testbed::Testbed::Create();
+    if (!tb_or.ok()) {
+      std::fprintf(stderr, "init failed: %s\n",
+                   tb_or.status().ToString().c_str());
+      return 1;
+    }
+    local_tb = std::move(*tb_or);
+    client = std::make_unique<dkb::InProcessClient>(local_tb.get());
+  } else {
+    auto remote = dkb::RemoteClient::Connect(connect);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "connect %s failed: %s\n", connect.c_str(),
+                   remote.status().ToString().c_str());
+      return 1;
+    }
+    client = std::move(*remote);
+    std::printf("connected to %s\n", connect.c_str());
+  }
+
   dkb::testbed::QueryOptions options;
-  dkb::testbed::QueryOutcome last;
-  bool have_last = false;
+  std::string last_report;
 
   std::printf("D/KB testbed shell. :help for commands.\n");
   std::string line;
@@ -105,22 +143,32 @@ int main() {
       } else if (input == ":sys") {
         PrintSysViews();
       } else if (dkb::StartsWith(input, ":slowlog ")) {
-        SetSlowLog(tb.get(), dkb::StrTrim(input.substr(9)));
+        if (local_tb == nullptr) {
+          std::printf(":slowlog is unavailable over --connect\n");
+        } else {
+          SetSlowLog(local_tb.get(), dkb::StrTrim(input.substr(9)));
+        }
       } else if (input == ":rules") {
-        for (const auto& rule : tb->workspace().rules()) {
-          std::printf("  %s\n", rule.ToString().c_str());
+        auto rules = client->ListRules();
+        if (!rules.ok()) {
+          std::printf("error: %s\n", rules.status().ToString().c_str());
+        } else {
+          for (const std::string& rule : *rules) {
+            std::printf("  %s\n", rule.c_str());
+          }
         }
       } else if (input == ":clear") {
-        tb->ClearWorkspace();
-        std::printf("workspace cleared\n");
+        dkb::Status s = client->ClearWorkspace();
+        std::printf("%s\n",
+                    s.ok() ? "workspace cleared" : s.ToString().c_str());
       } else if (input == ":update") {
-        auto stats = tb->UpdateStoredDkb();
+        auto stats = client->UpdateStoredDkb();
         if (!stats.ok()) {
           std::printf("error: %s\n", stats.status().ToString().c_str());
         } else {
           std::printf("stored %lld rules (%lld us)\n",
                       static_cast<long long>(stats->rules_stored),
-                      static_cast<long long>(stats->total_us()));
+                      static_cast<long long>(stats->total_us));
         }
       } else if (input == ":magic on") {
         options.use_magic = true;
@@ -135,63 +183,44 @@ int main() {
       } else if (input == ":strategy native") {
         options.strategy = dkb::lfp::LfpStrategy::kNative;
       } else if (input == ":stats") {
-        if (!have_last) {
+        if (last_report.empty()) {
           std::printf("no query yet\n");
         } else {
-          const auto& c = last.report.compile;
-          const auto& e = last.report.exec;
-          std::printf(
-              "compile: %lld us (setup %lld, extract %lld, read %lld, "
-              "opt %lld, eol %lld, sem %lld, gen %lld, comp %lld)\n",
-              static_cast<long long>(c.total_us()),
-              static_cast<long long>(c.t_setup_us),
-              static_cast<long long>(c.t_extract_us),
-              static_cast<long long>(c.t_read_us),
-              static_cast<long long>(c.t_opt_us),
-              static_cast<long long>(c.t_eol_us),
-              static_cast<long long>(c.t_sem_us),
-              static_cast<long long>(c.t_gen_us),
-              static_cast<long long>(c.t_comp_us));
-          std::printf(
-              "execute: %lld us (temp %lld, rhs %lld, term %lld, "
-              "final %lld; %lld iterations)\n",
-              static_cast<long long>(e.t_total_us),
-              static_cast<long long>(e.t_temp_us),
-              static_cast<long long>(e.t_rhs_us),
-              static_cast<long long>(e.t_term_us),
-              static_cast<long long>(e.t_final_us),
-              static_cast<long long>(e.iterations));
-          for (const auto& node : e.nodes) {
-            std::printf("  node %-30s %s %6lld us  %lld iters  %lld tuples\n",
-                        node.label.c_str(),
-                        node.is_clique ? "clique" : "pred  ",
-                        static_cast<long long>(node.t_us),
-                        static_cast<long long>(node.iterations),
-                        static_cast<long long>(node.tuples));
-          }
+          std::printf("%s", last_report.c_str());
         }
       } else if (dkb::StartsWith(input, ":retract ")) {
-        dkb::Status s = tb->RetractRule(input.substr(9));
+        dkb::Status s = client->RetractRule(input.substr(9));
         std::printf("%s\n", s.ok() ? "retracted" : s.ToString().c_str());
       } else if (dkb::StartsWith(input, ":save ")) {
-        dkb::Status s = tb->SaveSession(dkb::StrTrim(input.substr(6)));
-        std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
-      } else if (dkb::StartsWith(input, ":load ")) {
-        auto loaded =
-            dkb::testbed::Testbed::LoadSession(dkb::StrTrim(input.substr(6)));
-        if (!loaded.ok()) {
-          std::printf("error: %s\n", loaded.status().ToString().c_str());
+        if (local_tb == nullptr) {
+          std::printf(":save is unavailable over --connect\n");
         } else {
-          tb = std::move(*loaded);
-          std::printf("session restored (%zu workspace rules)\n",
-                      tb->workspace().num_rules());
+          dkb::Status s =
+              local_tb->SaveSession(dkb::StrTrim(input.substr(6)));
+          std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+        }
+      } else if (dkb::StartsWith(input, ":load ")) {
+        if (local_tb == nullptr) {
+          std::printf(":load is unavailable over --connect\n");
+        } else {
+          auto loaded = dkb::testbed::Testbed::LoadSession(
+              dkb::StrTrim(input.substr(6)));
+          if (!loaded.ok()) {
+            std::printf("error: %s\n", loaded.status().ToString().c_str());
+          } else {
+            local_tb = std::move(*loaded);
+            client =
+                std::make_unique<dkb::InProcessClient>(local_tb.get());
+            std::printf("session restored (%zu workspace rules)\n",
+                        local_tb->workspace().num_rules());
+          }
         }
       } else if (dkb::StartsWith(input, ":sql ")) {
-        auto result = tb->db().Execute(input.substr(5));
+        auto result = client->ExecuteSql(input.substr(5));
         if (!result.ok()) {
           std::printf("error: %s\n", result.status().ToString().c_str());
         } else {
-          std::printf("%s", result->ToString().c_str());
+          std::printf("%s", dkb::ResultSetToString(*result).c_str());
         }
       } else {
         std::printf("unknown directive (:help for help)\n");
@@ -200,21 +229,23 @@ int main() {
     }
 
     if (dkb::StartsWith(input, "?-")) {
-      auto outcome = tb->Query(input, options);
-      if (!outcome.ok()) {
-        std::printf("error: %s\n", outcome.status().ToString().c_str());
+      // Ask the executing side for the text report so :stats works over
+      // any transport.
+      auto rs = client->Query(input, options, dkb::net::kReportText);
+      if (!rs.ok()) {
+        std::printf("error: %s\n", rs.status().ToString().c_str());
         continue;
       }
-      last = std::move(*outcome);
-      have_last = true;
-      std::printf("%s", last.result.ToString().c_str());
-      std::printf("(compile %lld us, execute %lld us)\n",
-                  static_cast<long long>(last.report.compile.total_us()),
-                  static_cast<long long>(last.report.exec.t_total_us));
+      last_report = rs->report_text;
+      std::printf("%s", dkb::ResultSetToString(*rs).c_str());
+      std::printf("(compile %lld us, execute %lld us%s)\n",
+                  static_cast<long long>(rs->compile_us),
+                  static_cast<long long>(rs->exec_us),
+                  rs->from_cache ? ", cached plan" : "");
       continue;
     }
 
-    dkb::Status s = tb->Consult(input);
+    dkb::Status s = client->Consult(input);
     if (!s.ok()) {
       std::printf("error: %s\n", s.ToString().c_str());
     }

@@ -1,0 +1,17 @@
+#include "client/client.h"
+
+#include "exec/executor.h"
+
+namespace dkb {
+
+Client::~Client() = default;
+
+std::string ResultSetToString(const QueryResultSet& rs) {
+  exec::QueryResult result;
+  result.schema = rs.schema;
+  result.rows = rs.rows;
+  result.rows_affected = rs.rows_affected;
+  return result.ToString();
+}
+
+}  // namespace dkb

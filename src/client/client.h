@@ -1,0 +1,128 @@
+#ifndef DKB_CLIENT_CLIENT_H_
+#define DKB_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "testbed/options.h"
+
+namespace dkb {
+
+/// One query's answers in transport-neutral form: the schema, the rows, the
+/// paper's two headline timings (t_c / t_e), and any report renderings the
+/// caller asked for. Identical whether the query ran in-process or on a
+/// remote dkb_server — that identity is what the oracle test pins.
+using QueryResultSet = net::WireResultSet;
+
+/// Aligned ASCII table rendering (same layout as QueryResult::ToString).
+std::string ResultSetToString(const QueryResultSet& rs);
+
+/// What UpdateStoredDkb reports back through a Client: the full UpdateStats
+/// breakdown stays server-side (visible via sys views); the wire carries the
+/// two numbers every tool prints.
+struct UpdateStoredStats {
+  int64_t rules_stored = 0;
+  int64_t total_us = 0;
+};
+
+/// Server-assigned handle for a prepared statement, valid for the lifetime
+/// of the client (connection) that prepared it.
+using StatementId = uint32_t;
+
+/// Transport-independent D/KB session interface mirroring `Testbed`'s
+/// surface. Two implementations exist:
+///
+///   - InProcessClient — a thin adapter over an owned or borrowed Testbed
+///     (src/client/in_process_client.h);
+///   - RemoteClient — serializes every call over the binary wire protocol
+///     to a dkb_server (src/client/remote_client.h).
+///
+/// Tools (REPL, dkb_profile), benches, and the oracle test are written
+/// against this interface so the same workload runs unchanged on either
+/// side of the process boundary.
+///
+/// Thread safety: a Client is a session — use it from one thread at a time,
+/// open more clients for concurrency (each remote connection gets its own
+/// COW snapshot session server-side).
+class Client {
+ public:
+  virtual ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Loads a Datalog program: rules to the workspace, ground facts to the
+  /// extensional database.
+  virtual Status Consult(const std::string& program_text) = 0;
+
+  /// Adds a single rule to the workspace.
+  virtual Status AddRule(const std::string& rule_text) = 0;
+
+  /// Removes a workspace rule by structural equality.
+  virtual Status RetractRule(const std::string& rule_text) = 0;
+
+  /// Declares a base predicate with explicit column types.
+  virtual Status DefineBase(const std::string& pred,
+                            const std::vector<DataType>& types) = 0;
+
+  /// Bulk-loads facts for a base predicate.
+  virtual Status AddFacts(const std::string& pred,
+                          const std::vector<Tuple>& rows) = 0;
+
+  /// Compiles and executes one D/KB query. `report_formats` is an OR of
+  /// net::ReportFormat bits selecting which QueryReport renderings to
+  /// return alongside the rows (kReportNone for benches and oracle runs).
+  virtual Result<QueryResultSet> Query(
+      const std::string& goal_text,
+      const testbed::QueryOptions& options = testbed::QueryOptions{},
+      uint8_t report_formats = net::kReportNone) = 0;
+
+  /// Runs a batch of goals under one set of options; one round trip on the
+  /// wire. Results come back in goal order; the batch fails as a unit on
+  /// the first erroring goal.
+  virtual Result<std::vector<QueryResultSet>> QueryBatch(
+      const std::vector<std::string>& goals,
+      const testbed::QueryOptions& options = testbed::QueryOptions{},
+      uint8_t report_formats = net::kReportNone) = 0;
+
+  /// Registers a goal + options for repeated execution and returns its
+  /// statement handle.
+  virtual Result<StatementId> Prepare(
+      const std::string& goal_text,
+      const testbed::QueryOptions& options = testbed::QueryOptions{}) = 0;
+
+  /// Executes prepared statements (one or many per call; results in call
+  /// order).
+  virtual Result<std::vector<QueryResultSet>> Execute(
+      const std::vector<StatementId>& statements) = 0;
+
+  /// Runs one raw SQL statement against the DBMS under the testbed's writer
+  /// lock (sys.* views resolve server-side, so a remote client sees the
+  /// server's sys.connections, sessions, metrics, ...).
+  virtual Result<QueryResultSet> ExecuteSql(const std::string& statement) = 0;
+
+  /// Commits the workspace rules into the Stored DKB.
+  virtual Result<UpdateStoredStats> UpdateStoredDkb() = 0;
+
+  /// Drops all workspace rules.
+  virtual Status ClearWorkspace() = 0;
+
+  /// The current workspace rules, rendered back to source form.
+  virtual Result<std::vector<std::string>> ListRules() = 0;
+
+  /// True for transports that cross a process boundary (RemoteClient).
+  /// Tools use this to gate local-only niceties (session save/load, local
+  /// metrics) with a clear "unavailable over --connect" message.
+  virtual bool is_remote() const = 0;
+
+ protected:
+  Client() = default;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_CLIENT_CLIENT_H_

@@ -1,0 +1,69 @@
+#ifndef DKB_CLIENT_IN_PROCESS_CLIENT_H_
+#define DKB_CLIENT_IN_PROCESS_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "testbed/testbed.h"
+
+namespace dkb {
+
+/// dkb::Client over a Testbed in the same address space: each call is a
+/// direct method call plus the QueryOutcome -> QueryResultSet flattening.
+/// This is the reference implementation the remote transport is tested
+/// against — byte-identical results are the oracle contract.
+class InProcessClient : public Client {
+ public:
+  /// Builds a client owning a fresh testbed.
+  static Result<std::unique_ptr<InProcessClient>> Create(
+      testbed::TestbedOptions options = testbed::TestbedOptions{});
+
+  /// Wraps a testbed owned by the caller (REPL, benches), which must
+  /// outlive the client.
+  explicit InProcessClient(testbed::Testbed* testbed) : testbed_(testbed) {}
+
+  Status Consult(const std::string& program_text) override;
+  Status AddRule(const std::string& rule_text) override;
+  Status RetractRule(const std::string& rule_text) override;
+  Status DefineBase(const std::string& pred,
+                    const std::vector<DataType>& types) override;
+  Status AddFacts(const std::string& pred,
+                  const std::vector<Tuple>& rows) override;
+  Result<QueryResultSet> Query(const std::string& goal_text,
+                               const testbed::QueryOptions& options,
+                               uint8_t report_formats) override;
+  Result<std::vector<QueryResultSet>> QueryBatch(
+      const std::vector<std::string>& goals,
+      const testbed::QueryOptions& options, uint8_t report_formats) override;
+  Result<StatementId> Prepare(const std::string& goal_text,
+                              const testbed::QueryOptions& options) override;
+  Result<std::vector<QueryResultSet>> Execute(
+      const std::vector<StatementId>& statements) override;
+  Result<QueryResultSet> ExecuteSql(const std::string& statement) override;
+  Result<UpdateStoredStats> UpdateStoredDkb() override;
+  Status ClearWorkspace() override;
+  Result<std::vector<std::string>> ListRules() override;
+  bool is_remote() const override { return false; }
+
+  /// The underlying testbed, for local-only tool features (session
+  /// save/load, recorder configuration) that have no remote equivalent.
+  testbed::Testbed* testbed() { return testbed_; }
+
+ private:
+  struct PreparedStatement {
+    std::string goal;
+    testbed::QueryOptions options;
+  };
+
+  std::unique_ptr<testbed::Testbed> owned_;  // null when borrowing
+  testbed::Testbed* testbed_ = nullptr;
+  StatementId next_statement_id_ = 1;
+  std::map<StatementId, PreparedStatement> prepared_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_CLIENT_IN_PROCESS_CLIENT_H_

@@ -20,8 +20,19 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
   }
   return "Unknown";
+}
+
+ErrorCode ErrorCodeFromWire(uint16_t wire) {
+  if (wire > static_cast<uint16_t>(ErrorCode::kProtocolError)) {
+    return ErrorCode::kInternal;
+  }
+  return static_cast<ErrorCode>(wire);
 }
 
 std::string Status::ToString() const {

@@ -1,6 +1,7 @@
 #ifndef DKB_COMMON_STATUS_H_
 #define DKB_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
@@ -8,20 +9,41 @@
 namespace dkb {
 
 /// Error categories used across the testbed. Mirrors the failure surfaces of
-/// the paper's two layers: SQL/DBMS errors and Knowledge Manager errors.
-enum class StatusCode {
+/// the paper's two layers: SQL/DBMS errors and Knowledge Manager errors —
+/// plus the transport-level categories the network server introduces.
+///
+/// The numeric values are the wire representation (u16 in Error frames, see
+/// src/net/wire.h) and are therefore STABLE: never renumber or remove an
+/// entry, only append, so server-side errors round-trip to remote clients
+/// of any build with code + message intact.
+enum class ErrorCode : uint16_t {
   kOk = 0,
-  kInvalidArgument,   // malformed input (bad SQL, bad Horn clause, ...)
-  kNotFound,          // unknown table / predicate / column
-  kAlreadyExists,     // duplicate table / index name
-  kTypeError,         // type inference or type check failure
-  kSemanticError,     // undefined predicate, arity mismatch, unsafe rule
-  kInternal,          // invariant violation inside the engine
-  kUnimplemented,
+  kInvalidArgument = 1,  // malformed input (bad SQL, bad Horn clause, ...)
+  kNotFound = 2,         // unknown table / predicate / column
+  kAlreadyExists = 3,    // duplicate table / index name
+  kTypeError = 4,        // type inference or type check failure
+  kSemanticError = 5,    // undefined predicate, arity mismatch, unsafe rule
+  kInternal = 6,         // invariant violation inside the engine
+  kUnimplemented = 7,
+  kUnavailable = 8,      // connection refused / reset / server shut down
+  kProtocolError = 9,    // malformed or out-of-contract wire frame
 };
+
+/// Historical name for ErrorCode; the enumerators predate the wire protocol
+/// and both spellings are used interchangeably.
+using StatusCode = ErrorCode;
 
 /// Returns a short human-readable name for `code` (e.g. "NotFound").
 const char* StatusCodeName(StatusCode code);
+
+/// Maps a u16 read off the wire back to an ErrorCode. Values outside the
+/// known range (a newer peer) degrade to kInternal rather than failing.
+ErrorCode ErrorCodeFromWire(uint16_t wire);
+
+/// The stable numeric wire form of `code`.
+inline uint16_t ErrorCodeToWire(ErrorCode code) {
+  return static_cast<uint16_t>(code);
+}
 
 /// Status carries success or an error code plus message. The library does not
 /// throw; every fallible public entry point returns Status or Result<T>.
@@ -53,6 +75,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,28 @@
+#include "net/convert.h"
+
+#include <utility>
+
+namespace dkb::net {
+
+WireResultSet ResultSetFromOutcome(testbed::QueryOutcome&& outcome,
+                                   uint8_t report_formats) {
+  WireResultSet rs;
+  rs.schema = std::move(outcome.result.schema);
+  rs.rows = std::move(outcome.result.rows);
+  rs.rows_affected = outcome.result.rows_affected;
+  rs.compile_us = outcome.report.compile.total_us();
+  rs.exec_us = outcome.report.exec.t_total_us;
+  rs.from_cache = outcome.report.from_cache;
+  if (report_formats & kReportText) {
+    rs.report_text = outcome.report.ExplainText();
+  }
+  if (report_formats & kReportJson) {
+    rs.report_json = outcome.report.ToJson();
+  }
+  if (report_formats & kReportChrome) {
+    rs.report_chrome = outcome.report.ChromeTrace();
+  }
+  return rs;
+}
+
+}  // namespace dkb::net

@@ -1,0 +1,20 @@
+#ifndef DKB_NET_CONVERT_H_
+#define DKB_NET_CONVERT_H_
+
+#include <cstdint>
+
+#include "net/wire.h"
+#include "testbed/testbed.h"
+
+namespace dkb::net {
+
+/// Flattens a QueryOutcome into the transport-neutral result-set form,
+/// rendering the QueryReport into whichever string formats `report_formats`
+/// (OR of ReportFormat bits) asks for. The span tree itself never crosses
+/// the wire — the side that ran the query renders it.
+WireResultSet ResultSetFromOutcome(testbed::QueryOutcome&& outcome,
+                                   uint8_t report_formats);
+
+}  // namespace dkb::net
+
+#endif  // DKB_NET_CONVERT_H_

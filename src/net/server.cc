@@ -1,0 +1,499 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+#include "datalog/parser.h"
+#include "net/convert.h"
+#include "testbed/session.h"
+
+namespace dkb::net {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " +
+         std::error_code(errno, std::generic_category()).message();
+}
+
+std::string FormatPeer(const sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {0};
+  if (inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) {
+    return "unknown";
+  }
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+/// Everything a connection accumulates beyond its registry counters: the
+/// COW session opened by Hello and the prepared-statement table. Owned by
+/// the connection's thread; never shared.
+struct Server::ConnState {
+  std::unique_ptr<testbed::Session> session;
+  bool hello_done = false;
+
+  struct PreparedStatement {
+    std::string goal;
+    testbed::QueryOptions options;
+    uint8_t report_formats = kReportNone;
+  };
+  uint32_t next_statement_id = 1;
+  std::map<uint32_t, PreparedStatement> prepared;
+};
+
+Server::~Server() { Stop(); }
+
+Status Server::Start(testbed::Testbed* testbed, const ServerOptions& options) {
+  if (started_) return Status::Internal("server already started");
+  testbed_ = testbed;
+  options_ = options;
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable(ErrnoMessage("socket"));
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::Unavailable(ErrnoMessage("bind"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, options_.backlog) < 0) {
+    Status status = Status::Unavailable(ErrnoMessage("listen"));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  started_ = true;
+  testbed_->SetConnectionsSource([this]() { return Connections(); });
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Kick every live connection out of its blocking read; each thread then
+  // unwinds, unregisters, and decrements the active count.
+  {
+    MutexLock lock(conns_mu_);
+    for (auto& [id, conn] : conns_) shutdown(conn->fd, SHUT_RDWR);
+  }
+  {
+    MutexLock lock(active_mu_);
+    while (active_threads_ > 0) active_cv_.Wait(lock);
+  }
+  testbed_->SetConnectionsSource(nullptr);
+  started_ = false;
+}
+
+std::vector<testbed::Testbed::ConnectionInfo> Server::Connections() const {
+  MutexLock lock(conns_mu_);
+  std::vector<testbed::Testbed::ConnectionInfo> out;
+  out.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) {
+    testbed::Testbed::ConnectionInfo info;
+    info.connection_id = conn->id;
+    info.peer = conn->peer;
+    info.session_id = conn->session_id.load(std::memory_order_relaxed);
+    info.frames_received =
+        conn->frames_received.load(std::memory_order_relaxed);
+    info.bytes_in = conn->bytes_in.load(std::memory_order_relaxed);
+    info.bytes_out = conn->bytes_out.load(std::memory_order_relaxed);
+    info.queries = conn->queries.load(std::memory_order_relaxed);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int ready = poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
+
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    int fd = accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                    &peer_len);
+    if (fd < 0) continue;
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->peer = FormatPeer(peer);
+    {
+      MutexLock lock(conns_mu_);
+      conns_[conn->id] = conn;
+    }
+    {
+      MutexLock lock(active_mu_);
+      ++active_threads_;
+    }
+    std::thread([this, conn]() {
+      Serve(conn);
+      MutexLock lock(active_mu_);
+      --active_threads_;
+      active_cv_.NotifyAll();
+    }).detach();
+  }
+}
+
+bool Server::SendAll(Connection* conn, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = send(conn->fd, data.data() + off, data.size() - off,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  conn->bytes_out.fetch_add(static_cast<int64_t>(data.size()),
+                            std::memory_order_relaxed);
+  return true;
+}
+
+void Server::Serve(std::shared_ptr<Connection> conn) {
+  ConnState state;
+  FrameDecoder decoder(options_.max_frame_len);
+  std::vector<char> buf(64 * 1024);
+  bool open = true;
+
+  while (open && !stop_.load(std::memory_order_acquire)) {
+    ssize_t n = read(conn->fd, buf.data(), buf.size());
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: peer is gone
+    conn->bytes_in.fetch_add(n, std::memory_order_relaxed);
+    decoder.Append(buf.data(), static_cast<size_t>(n));
+
+    Frame frame;
+    for (;;) {
+      FrameDecoder::Next next = decoder.Pop(&frame);
+      if (next == FrameDecoder::Next::kNeedMore) break;
+      if (next == FrameDecoder::Next::kError) {
+        // The length prefix can no longer be trusted; report and close.
+        SendAll(conn.get(),
+                EncodeFrame(MsgType::kError, 0,
+                            EncodeErrorPayload(decoder.error())));
+        open = false;
+        break;
+      }
+      conn->frames_received.fetch_add(1, std::memory_order_relaxed);
+      bool close_conn = false;
+      std::string response =
+          HandleRequest(conn.get(), &state, frame, &close_conn);
+      if (!SendAll(conn.get(), response) || close_conn) {
+        open = false;
+        break;
+      }
+    }
+  }
+
+  {
+    MutexLock lock(conns_mu_);
+    conns_.erase(conn->id);
+  }
+  close(conn->fd);
+}
+
+std::string Server::HandleRequest(Connection* conn, ConnState* state,
+                                  const Frame& frame, bool* close_conn) {
+  const uint32_t id = frame.request_id;
+  auto error = [id](const Status& status) {
+    return EncodeFrame(MsgType::kError, id, EncodeErrorPayload(status));
+  };
+  auto ok = [id]() { return EncodeFrame(MsgType::kOk, id, ""); };
+
+  if (!IsRequestType(static_cast<uint8_t>(frame.type))) {
+    return error(Status::ProtocolError(
+        "unknown request type " +
+        std::to_string(static_cast<unsigned>(frame.type))));
+  }
+
+  WireReader r(frame.payload);
+
+  if (!state->hello_done) {
+    if (frame.type != MsgType::kHello) {
+      *close_conn = true;
+      return error(Status::ProtocolError(
+          "first frame on a connection must be Hello"));
+    }
+    uint32_t version = 0;
+    if (!r.U32(&version) || !r.Done()) {
+      *close_conn = true;
+      return error(Status::ProtocolError("malformed Hello payload"));
+    }
+    if (version != kProtocolVersion) {
+      *close_conn = true;
+      return error(Status::ProtocolError(
+          "protocol version mismatch: client " + std::to_string(version) +
+          ", server " + std::to_string(kProtocolVersion)));
+    }
+    auto session = testbed_->OpenSession();
+    if (!session.ok()) {
+      *close_conn = true;
+      return error(session.status());
+    }
+    state->session = std::move(*session);
+    state->hello_done = true;
+    conn->session_id.store(state->session->id(), std::memory_order_relaxed);
+    WireWriter w;
+    w.U32(kProtocolVersion);
+    w.U64(static_cast<uint64_t>(state->session->id()));
+    return EncodeFrame(MsgType::kHelloOk, id, w.Take());
+  }
+
+  switch (frame.type) {
+    case MsgType::kHello:
+      return error(Status::ProtocolError("duplicate Hello"));
+
+    case MsgType::kConsult: {
+      std::string program;
+      if (!r.Str(&program) || !r.Done()) {
+        return error(Status::ProtocolError("malformed Consult payload"));
+      }
+      Status status = testbed_->Consult(program);
+      return status.ok() ? ok() : error(status);
+    }
+
+    case MsgType::kAddRule:
+    case MsgType::kRetractRule: {
+      std::string rule;
+      if (!r.Str(&rule) || !r.Done()) {
+        return error(Status::ProtocolError("malformed rule payload"));
+      }
+      Status status = frame.type == MsgType::kAddRule
+                          ? testbed_->AddRule(rule)
+                          : testbed_->RetractRule(rule);
+      return status.ok() ? ok() : error(status);
+    }
+
+    case MsgType::kDefineBase: {
+      std::string pred;
+      uint16_t n = 0;
+      if (!r.Str(&pred) || !r.U16(&n)) {
+        return error(Status::ProtocolError("malformed DefineBase payload"));
+      }
+      km::PredicateTypes types;
+      types.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        uint8_t type = 0;
+        if (!r.U8(&type) ||
+            type > static_cast<uint8_t>(DataType::kVarchar) ||
+            type == static_cast<uint8_t>(DataType::kInvalid)) {
+          return error(Status::ProtocolError("bad column type byte"));
+        }
+        types.push_back(static_cast<DataType>(type));
+      }
+      if (!r.Done()) {
+        return error(Status::ProtocolError("malformed DefineBase payload"));
+      }
+      Status status = testbed_->DefineBase(pred, types);
+      return status.ok() ? ok() : error(status);
+    }
+
+    case MsgType::kAddFacts: {
+      std::string pred;
+      uint32_t nrows = 0;
+      if (!r.Str(&pred) || !r.U32(&nrows) ||
+          nrows > r.remaining() / 2) {
+        return error(Status::ProtocolError("malformed AddFacts payload"));
+      }
+      std::vector<Tuple> rows;
+      rows.reserve(nrows);
+      for (uint32_t i = 0; i < nrows; ++i) {
+        Tuple row;
+        if (!r.Row(&row)) {
+          return error(Status::ProtocolError("malformed AddFacts row"));
+        }
+        rows.push_back(std::move(row));
+      }
+      if (!r.Done()) {
+        return error(Status::ProtocolError("malformed AddFacts payload"));
+      }
+      Status status = testbed_->AddFacts(pred, rows);
+      return status.ok() ? ok() : error(status);
+    }
+
+    case MsgType::kPrepare: {
+      WireQueryOptions opts;
+      std::string goal;
+      if (!DecodeQueryOptions(&r, &opts) || !r.Str(&goal) || !r.Done()) {
+        return error(Status::ProtocolError("malformed Prepare payload"));
+      }
+      auto parsed = datalog::ParseQuery(goal);
+      if (!parsed.ok()) return error(parsed.status());
+      uint32_t stmt_id = state->next_statement_id++;
+      state->prepared[stmt_id] = ConnState::PreparedStatement{
+          goal, opts.options, opts.report_formats};
+      WireWriter w;
+      w.U32(stmt_id);
+      return EncodeFrame(MsgType::kPrepared, id, w.Take());
+    }
+
+    case MsgType::kExecute: {
+      uint32_t n = 0;
+      if (!r.U32(&n) || n > r.remaining() / 4 + 1) {
+        return error(Status::ProtocolError("malformed Execute payload"));
+      }
+      std::vector<uint32_t> stmts;
+      stmts.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t stmt_id = 0;
+        if (!r.U32(&stmt_id)) {
+          return error(Status::ProtocolError("malformed Execute payload"));
+        }
+        stmts.push_back(stmt_id);
+      }
+      if (!r.Done()) {
+        return error(Status::ProtocolError("malformed Execute payload"));
+      }
+      WireWriter w;
+      w.U32(static_cast<uint32_t>(stmts.size()));
+      for (uint32_t stmt_id : stmts) {
+        auto it = state->prepared.find(stmt_id);
+        if (it == state->prepared.end()) {
+          return error(Status::NotFound("no prepared statement with id " +
+                                        std::to_string(stmt_id)));
+        }
+        conn->queries.fetch_add(1, std::memory_order_relaxed);
+        auto outcome =
+            state->session->Query(it->second.goal, it->second.options);
+        if (!outcome.ok()) return error(outcome.status());
+        EncodeResultSet(&w, ResultSetFromOutcome(std::move(*outcome),
+                                                 it->second.report_formats));
+      }
+      return EncodeFrame(MsgType::kResultSets, id, w.Take());
+    }
+
+    case MsgType::kQuery: {
+      WireQueryOptions opts;
+      uint32_t n = 0;
+      if (!DecodeQueryOptions(&r, &opts) || !r.U32(&n) ||
+          n > r.remaining() / 4 + 1) {
+        return error(Status::ProtocolError("malformed Query payload"));
+      }
+      std::vector<std::string> goals;
+      goals.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string goal;
+        if (!r.Str(&goal)) {
+          return error(Status::ProtocolError("malformed Query payload"));
+        }
+        goals.push_back(std::move(goal));
+      }
+      if (!r.Done()) {
+        return error(Status::ProtocolError("malformed Query payload"));
+      }
+      WireWriter w;
+      w.U32(static_cast<uint32_t>(goals.size()));
+      for (const std::string& goal : goals) {
+        conn->queries.fetch_add(1, std::memory_order_relaxed);
+        auto outcome = state->session->Query(goal, opts.options);
+        if (!outcome.ok()) return error(outcome.status());
+        EncodeResultSet(&w, ResultSetFromOutcome(std::move(*outcome),
+                                                 opts.report_formats));
+      }
+      return EncodeFrame(MsgType::kResultSets, id, w.Take());
+    }
+
+    case MsgType::kSql: {
+      std::string statement;
+      if (!r.Str(&statement) || !r.Done()) {
+        return error(Status::ProtocolError("malformed Sql payload"));
+      }
+      auto result = testbed_->ExecuteSql(statement);
+      if (!result.ok()) return error(result.status());
+      WireResultSet rs;
+      rs.schema = std::move(result->schema);
+      rs.rows = std::move(result->rows);
+      rs.rows_affected = result->rows_affected;
+      WireWriter w;
+      w.U32(1);
+      EncodeResultSet(&w, rs);
+      return EncodeFrame(MsgType::kResultSets, id, w.Take());
+    }
+
+    case MsgType::kUpdateStored: {
+      if (!r.Done()) {
+        return error(Status::ProtocolError("unexpected UpdateStored payload"));
+      }
+      auto stats = testbed_->UpdateStoredDkb();
+      if (!stats.ok()) return error(stats.status());
+      WireWriter w;
+      w.I64(stats->rules_stored);
+      w.I64(stats->total_us());
+      return EncodeFrame(MsgType::kUpdated, id, w.Take());
+    }
+
+    case MsgType::kClearWorkspace: {
+      if (!r.Done()) {
+        return error(
+            Status::ProtocolError("unexpected ClearWorkspace payload"));
+      }
+      testbed_->ClearWorkspace();
+      return ok();
+    }
+
+    case MsgType::kListRules: {
+      if (!r.Done()) {
+        return error(Status::ProtocolError("unexpected ListRules payload"));
+      }
+      std::vector<std::string> rules = testbed_->ListRuleTexts();
+      WireWriter w;
+      w.U32(static_cast<uint32_t>(rules.size()));
+      for (const std::string& rule : rules) w.Str(rule);
+      return EncodeFrame(MsgType::kRuleList, id, w.Take());
+    }
+
+    case MsgType::kCloseSession: {
+      *close_conn = true;
+      return ok();
+    }
+
+    default:
+      return error(Status::ProtocolError("unhandled request type"));
+  }
+}
+
+}  // namespace dkb::net

@@ -1,0 +1,117 @@
+#ifndef DKB_NET_SERVER_H_
+#define DKB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "net/wire.h"
+#include "testbed/testbed.h"
+
+namespace dkb::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read the result from port()
+  int backlog = 256;
+  uint32_t max_frame_len = kDefaultMaxFrameLen;
+};
+
+/// The dkb_server engine: a TCP accept loop (poll with a stop-flag
+/// timeout) handing each connection to its own thread, which speaks the
+/// length-prefixed protocol of net/wire.h and multiplexes onto one shared
+/// Testbed.
+///
+/// Concurrency model per connection:
+///   - Hello opens a COW Session (testbed/session.h); queries run against
+///     that private snapshot, concurrently with every other connection.
+///   - Mutating requests (Consult, AddRule, DefineBase, AddFacts, Sql,
+///     UpdateStored, ClearWorkspace) go through the Testbed's writer-locked
+///     entry points and bump the epoch, so other connections' snapshots
+///     refresh on their next query.
+///
+/// Pipelining: a connection's frames are processed strictly in arrival
+/// order and each produces exactly one response frame carrying the
+/// request's id, so clients may keep many requests in flight and match
+/// responses by request_id.
+///
+/// While started, the server installs its connection registry as the
+/// testbed's sys.connections source.
+class Server {
+ public:
+  Server() = default;
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. `testbed` must outlive
+  /// Stop().
+  Status Start(testbed::Testbed* testbed,
+               const ServerOptions& options = ServerOptions{});
+
+  /// Stops accepting, shuts down every live connection, and waits for all
+  /// connection threads to drain. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves kernel-assigned port 0).
+  uint16_t port() const { return port_; }
+
+  /// Live connections, in the sys.connections row shape.
+  std::vector<testbed::Testbed::ConnectionInfo> Connections() const
+      DKB_EXCLUDES(conns_mu_);
+
+ private:
+  /// Registry entry for one live connection. Counters are atomics so the
+  /// sys.connections provider reads them without stalling the connection.
+  struct Connection {
+    int fd = -1;
+    int64_t id = 0;
+    std::string peer;
+    std::atomic<int64_t> session_id{0};
+    std::atomic<int64_t> frames_received{0};
+    std::atomic<int64_t> bytes_in{0};
+    std::atomic<int64_t> bytes_out{0};
+    std::atomic<int64_t> queries{0};
+  };
+
+  /// Per-connection protocol state, owned by the connection's thread.
+  struct ConnState;
+
+  void AcceptLoop();
+  void Serve(std::shared_ptr<Connection> conn);
+  /// Dispatches one request frame, returning the encoded response frame.
+  /// Sets *close_conn for CloseSession and fatal handshake errors.
+  std::string HandleRequest(Connection* conn, ConnState* state,
+                            const Frame& frame, bool* close_conn);
+  bool SendAll(Connection* conn, std::string_view data);
+
+  testbed::Testbed* testbed_ = nullptr;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  mutable Mutex conns_mu_;
+  std::map<int64_t, std::shared_ptr<Connection>> conns_
+      DKB_GUARDED_BY(conns_mu_);
+  std::atomic<int64_t> next_conn_id_{1};
+
+  /// Connection threads are detached; Stop() waits for this count to drain
+  /// after shutting their sockets down.
+  Mutex active_mu_;
+  CondVar active_cv_;
+  int active_threads_ DKB_GUARDED_BY(active_mu_) = 0;
+};
+
+}  // namespace dkb::net
+
+#endif  // DKB_NET_SERVER_H_

@@ -1,0 +1,328 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace dkb::net {
+
+bool IsRequestType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MsgType::kHello) &&
+         type <= static_cast<uint8_t>(MsgType::kCloseSession);
+}
+
+std::string EncodeFrame(MsgType type, uint32_t request_id,
+                        std::string_view payload) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(kFrameHeaderLen + payload.size()));
+  w.U8(static_cast<uint8_t>(type));
+  w.U32(request_id);
+  std::string out = w.Take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameDecoder::Next FrameDecoder::Pop(Frame* out) {
+  if (!error_.ok()) return Next::kError;
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t avail = buffer_.size() - pos_;
+  if (avail < 4) return Next::kNeedMore;
+  uint32_t len = 0;
+  std::memcpy(&len, buffer_.data() + pos_, 4);
+  if (len < kFrameHeaderLen) {
+    error_ = Status::ProtocolError(
+        "frame length " + std::to_string(len) + " below the " +
+        std::to_string(kFrameHeaderLen) + "-byte frame header");
+    return Next::kError;
+  }
+  if (len > max_frame_len_) {
+    error_ = Status::ProtocolError(
+        "frame length " + std::to_string(len) + " exceeds the " +
+        std::to_string(max_frame_len_) + "-byte limit");
+    return Next::kError;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return Next::kNeedMore;
+  const char* p = buffer_.data() + pos_ + 4;
+  out->type = static_cast<MsgType>(static_cast<uint8_t>(p[0]));
+  uint32_t request_id = 0;
+  std::memcpy(&request_id, p + 1, 4);
+  out->request_id = request_id;
+  out->payload.assign(p + kFrameHeaderLen, len - kFrameHeaderLen);
+  pos_ += 4 + static_cast<size_t>(len);
+  return Next::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// WireWriter
+
+void WireWriter::U16(uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  buf_.append(b, 2);
+}
+
+void WireWriter::U32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf_.append(b, 4);
+}
+
+void WireWriter::U64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void WireWriter::Val(const Value& v) {
+  if (v.is_null()) {
+    U8(0);
+  } else if (v.is_int()) {
+    U8(1);
+    I64(v.as_int());
+  } else {
+    U8(2);
+    Str(v.as_string());
+  }
+}
+
+void WireWriter::Row(const Tuple& t) {
+  U16(static_cast<uint16_t>(t.size()));
+  for (const Value& v : t) Val(v);
+}
+
+void WireWriter::Cols(const Schema& s) {
+  U16(static_cast<uint16_t>(s.num_columns()));
+  for (const Column& c : s.columns()) {
+    Str(c.name);
+    U8(static_cast<uint8_t>(c.type));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WireReader
+
+bool WireReader::Take(size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool WireReader::U16(uint16_t* v) {
+  const char* p = nullptr;
+  if (!Take(2, &p)) return false;
+  std::memcpy(v, p, 2);
+  return true;
+}
+
+bool WireReader::U32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  std::memcpy(v, p, 4);
+  return true;
+}
+
+bool WireReader::U64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  std::memcpy(v, p, 8);
+  return true;
+}
+
+bool WireReader::I64(int64_t* v) {
+  uint64_t u = 0;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool WireReader::Str(std::string* s) {
+  uint32_t n = 0;
+  if (!U32(&n)) return false;
+  const char* p = nullptr;
+  if (!Take(n, &p)) return false;
+  s->assign(p, n);
+  return true;
+}
+
+bool WireReader::Val(Value* v) {
+  uint8_t tag = 0;
+  if (!U8(&tag)) return false;
+  switch (tag) {
+    case 0:
+      *v = Value::Null();
+      return true;
+    case 1: {
+      int64_t i = 0;
+      if (!I64(&i)) return false;
+      *v = Value(i);
+      return true;
+    }
+    case 2: {
+      std::string s;
+      if (!Str(&s)) return false;
+      // Intern on arrival: remote rows behave like locally stored ones.
+      *v = Value::Interned(s);
+      return true;
+    }
+    default:
+      ok_ = false;
+      return false;
+  }
+}
+
+bool WireReader::Row(Tuple* t) {
+  uint16_t n = 0;
+  if (!U16(&n)) return false;
+  t->clear();
+  t->reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Value v;
+    if (!Val(&v)) return false;
+    t->push_back(std::move(v));
+  }
+  return true;
+}
+
+bool WireReader::Cols(Schema* s) {
+  uint16_t n = 0;
+  if (!U16(&n)) return false;
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Column c;
+    uint8_t type = 0;
+    if (!Str(&c.name) || !U8(&type)) return false;
+    if (type > static_cast<uint8_t>(DataType::kVarchar)) {
+      ok_ = false;
+      return false;
+    }
+    c.type = static_cast<DataType>(type);
+    cols.push_back(std::move(c));
+  }
+  *s = Schema(std::move(cols));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Composite payloads
+
+void EncodeQueryOptions(WireWriter* w, const WireQueryOptions& opts) {
+  const testbed::QueryOptions& o = opts.options;
+  w->U8(o.use_magic ? 1 : 0);
+  w->U8(o.supplementary ? 1 : 0);
+  w->U8(o.adaptive_magic ? 1 : 0);
+  w->U8(static_cast<uint8_t>(o.strategy));
+  w->U8(o.use_cache ? 1 : 0);
+  w->U8(static_cast<uint8_t>(o.explain));
+  w->U8(o.collect_trace ? 1 : 0);
+  w->U8(opts.report_formats);
+  w->U32(static_cast<uint32_t>(o.lfp_parallelism));
+}
+
+bool DecodeQueryOptions(WireReader* r, WireQueryOptions* opts) {
+  uint8_t use_magic = 0;
+  uint8_t supplementary = 0;
+  uint8_t adaptive = 0;
+  uint8_t strategy = 0;
+  uint8_t use_cache = 0;
+  uint8_t explain = 0;
+  uint8_t collect_trace = 0;
+  uint32_t parallelism = 0;
+  if (!r->U8(&use_magic) || !r->U8(&supplementary) || !r->U8(&adaptive) ||
+      !r->U8(&strategy) || !r->U8(&use_cache) || !r->U8(&explain) ||
+      !r->U8(&collect_trace) || !r->U8(&opts->report_formats) ||
+      !r->U32(&parallelism)) {
+    return false;
+  }
+  if (strategy > static_cast<uint8_t>(lfp::LfpStrategy::kNativeTc) ||
+      explain > static_cast<uint8_t>(testbed::ExplainMode::kAnalyze)) {
+    return false;
+  }
+  testbed::QueryOptions& o = opts->options;
+  o.use_magic = use_magic != 0;
+  o.supplementary = supplementary != 0;
+  o.adaptive_magic = adaptive != 0;
+  o.strategy = static_cast<lfp::LfpStrategy>(strategy);
+  o.use_cache = use_cache != 0;
+  o.explain = static_cast<testbed::ExplainMode>(explain);
+  o.collect_trace = collect_trace != 0;
+  o.lfp_parallelism = static_cast<int>(parallelism);
+  return true;
+}
+
+void EncodeResultSet(WireWriter* w, const WireResultSet& rs) {
+  w->Cols(rs.schema);
+  w->U32(static_cast<uint32_t>(rs.rows.size()));
+  for (const Tuple& row : rs.rows) w->Row(row);
+  w->I64(rs.rows_affected);
+  w->I64(rs.compile_us);
+  w->I64(rs.exec_us);
+  w->U8(rs.from_cache ? 1 : 0);
+  w->Str(rs.report_text);
+  w->Str(rs.report_json);
+  w->Str(rs.report_chrome);
+}
+
+bool DecodeResultSet(WireReader* r, WireResultSet* rs) {
+  uint32_t nrows = 0;
+  if (!r->Cols(&rs->schema) || !r->U32(&nrows)) return false;
+  // Each encoded row needs at least its 2-byte arity; anything claiming
+  // more rows than remaining bytes is malformed, not a huge allocation.
+  if (nrows > r->remaining() / 2) return false;
+  rs->rows.clear();
+  rs->rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    Tuple row;
+    if (!r->Row(&row)) return false;
+    rs->rows.push_back(std::move(row));
+  }
+  uint8_t from_cache = 0;
+  if (!r->I64(&rs->rows_affected) || !r->I64(&rs->compile_us) ||
+      !r->I64(&rs->exec_us) || !r->U8(&from_cache) ||
+      !r->Str(&rs->report_text) || !r->Str(&rs->report_json) ||
+      !r->Str(&rs->report_chrome)) {
+    return false;
+  }
+  rs->from_cache = from_cache != 0;
+  return true;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  WireWriter w;
+  w.U16(ErrorCodeToWire(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  WireReader r(payload);
+  uint16_t wire = 0;
+  std::string message;
+  if (!r.U16(&wire) || !r.Str(&message) || !r.Done()) {
+    return Status::ProtocolError("malformed Error frame payload");
+  }
+  ErrorCode code = ErrorCodeFromWire(wire);
+  if (code == ErrorCode::kOk) code = ErrorCode::kInternal;
+  return Status(code, std::move(message));
+}
+
+}  // namespace dkb::net

@@ -1,0 +1,204 @@
+#ifndef DKB_NET_WIRE_H_
+#define DKB_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "testbed/options.h"
+
+namespace dkb::net {
+
+/// Protocol version carried by Hello. Bump on any incompatible change to
+/// the frame format or a payload encoding.
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Frame layout (all integers little-endian):
+///
+///   u32 len        bytes that FOLLOW the length field (type + request_id
+///                  + payload); valid frames satisfy kFrameHeaderLen <= len
+///   u8  type       MsgType
+///   u32 request_id client-chosen; the response echoes it, which is what
+///                  lets pipelined requests match their replies
+///   payload        len - kFrameHeaderLen bytes, encoding per type
+constexpr size_t kFrameHeaderLen = 5;  // type + request_id
+
+/// Hard ceiling a peer may impose on `len`. The default server/client limit
+/// (16 MiB) comfortably fits the paper workloads' largest fact batches.
+constexpr uint32_t kDefaultMaxFrameLen = 16u * 1024 * 1024;
+
+/// Message types. Requests have the high bit clear, responses set it; the
+/// values are wire-stable (append only, never renumber).
+enum class MsgType : uint8_t {
+  // Requests (client -> server).
+  kHello = 0x01,          // u32 protocol_version
+  kConsult = 0x02,        // str program_text
+  kAddRule = 0x03,        // str rule_text
+  kRetractRule = 0x04,    // str rule_text
+  kDefineBase = 0x05,     // str pred, u16 n, n x u8 DataType
+  kAddFacts = 0x06,       // str pred, u32 nrows, nrows x tuple
+  kPrepare = 0x07,        // query options, str goal
+  kExecute = 0x08,        // u32 n, n x u32 statement_id
+  kQuery = 0x09,          // query options, u32 n, n x str goal
+  kSql = 0x0A,            // str statement
+  kUpdateStored = 0x0B,   // (empty)
+  kClearWorkspace = 0x0C, // (empty)
+  kListRules = 0x0D,      // (empty)
+  kCloseSession = 0x0E,   // (empty); server replies kOk then closes
+
+  // Responses (server -> client).
+  kHelloOk = 0x81,     // u32 protocol_version, u64 session_id
+  kOk = 0x82,          // (empty)
+  kResultSets = 0x83,  // u32 n, n x result set
+  kPrepared = 0x84,    // u32 statement_id
+  kRuleList = 0x85,    // u32 n, n x str
+  kUpdated = 0x86,     // i64 rules_stored, i64 total_us
+  kError = 0xFF,       // u16 ErrorCode, str message
+};
+
+/// True for the type values a client may send (the request half of MsgType).
+bool IsRequestType(uint8_t type);
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  uint32_t request_id = 0;
+  std::string payload;
+};
+
+/// Renders a complete frame (length prefix included) ready for the socket.
+std::string EncodeFrame(MsgType type, uint32_t request_id,
+                        std::string_view payload);
+
+/// Incremental frame decoder: feed bytes as they arrive (in any split),
+/// pull complete frames out. Framing violations (len below the header size
+/// or above `max_frame_len`) are sticky errors — once the length prefix
+/// cannot be trusted the stream has no recoverable frame boundary.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_frame_len = kDefaultMaxFrameLen)
+      : max_frame_len_(max_frame_len) {}
+
+  void Append(const char* data, size_t n) { buffer_.append(data, n); }
+
+  enum class Next { kFrame, kNeedMore, kError };
+
+  /// Decodes the next complete frame into `out`. kNeedMore when the buffer
+  /// holds only a partial frame; kError (with `error()` set) on a framing
+  /// violation.
+  Next Pop(Frame* out);
+
+  const Status& error() const { return error_; }
+
+ private:
+  uint32_t max_frame_len_;
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix of buffer_
+  Status error_;
+};
+
+// ---------------------------------------------------------------------------
+// Payload encoding. Primitives are little-endian fixed width; strings are
+// u32 length + bytes; values are 1-byte tagged.
+
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Str(std::string_view s);
+  void Val(const Value& v);
+  void Row(const Tuple& t);
+  void Cols(const Schema& s);
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a payload. Every accessor returns false once
+/// the payload is exhausted or malformed; callers finish with a single
+/// Status check via Done()/error().
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool Str(std::string* s);
+  bool Val(Value* v);
+  bool Row(Tuple* t);
+  bool Cols(Schema* s);
+
+  bool ok() const { return ok_; }
+  /// True when every byte was consumed and no read failed.
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Composite payloads shared by client and server.
+
+/// Which QueryReport renderings a query response should carry. The server
+/// renders them (it owns the trace spans); remote clients receive strings.
+enum ReportFormat : uint8_t {
+  kReportNone = 0,
+  kReportText = 1,
+  kReportJson = 2,
+  kReportChrome = 4,
+};
+
+/// The per-query knobs that cross the wire (QueryOptions minus local-only
+/// concerns) plus the requested report renderings.
+struct WireQueryOptions {
+  testbed::QueryOptions options;
+  uint8_t report_formats = kReportNone;
+};
+
+void EncodeQueryOptions(WireWriter* w, const WireQueryOptions& opts);
+bool DecodeQueryOptions(WireReader* r, WireQueryOptions* opts);
+
+/// One query's answers plus the timing summary, in transport-neutral form.
+/// (Defined here rather than in client.h so the codec does not depend on
+/// the client library; dkb::Client re-exports it as QueryResultSet.)
+struct WireResultSet {
+  Schema schema;
+  std::vector<Tuple> rows;
+  int64_t rows_affected = 0;
+  int64_t compile_us = 0;
+  int64_t exec_us = 0;
+  bool from_cache = false;
+  std::string report_text;    // filled iff kReportText requested
+  std::string report_json;    // filled iff kReportJson requested
+  std::string report_chrome;  // filled iff kReportChrome requested
+};
+
+void EncodeResultSet(WireWriter* w, const WireResultSet& rs);
+bool DecodeResultSet(WireReader* r, WireResultSet* rs);
+
+/// Error frames: u16 ErrorCode + message. Decode returns the round-tripped
+/// Status (never OK — an OK code in an Error frame decodes as kInternal).
+std::string EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(std::string_view payload);
+
+}  // namespace dkb::net
+
+#endif  // DKB_NET_WIRE_H_

@@ -80,6 +80,18 @@ Schema SessionsSchema() {
   });
 }
 
+Schema ConnectionsSchema() {
+  return Schema({
+      {"connection_id", DataType::kInteger},
+      {"peer", DataType::kVarchar},
+      {"session_id", DataType::kInteger},
+      {"frames_received", DataType::kInteger},
+      {"bytes_in", DataType::kInteger},
+      {"bytes_out", DataType::kInteger},
+      {"queries", DataType::kInteger},
+  });
+}
+
 Schema SettingsSchema() {
   return Schema({
       {"name", DataType::kVarchar},
@@ -162,6 +174,17 @@ Result<std::shared_ptr<const Table>> SessionsProvider(Testbed* tb) {
   return Materialize("sys.sessions", SessionsSchema(), std::move(rows));
 }
 
+Result<std::shared_ptr<const Table>> ConnectionsProvider(Testbed* tb) {
+  std::vector<Tuple> rows;
+  for (const Testbed::ConnectionInfo& c : tb->ConnectionsSnapshot()) {
+    rows.push_back(Tuple{IntVal(c.connection_id), Value(c.peer),
+                         IntVal(c.session_id), IntVal(c.frames_received),
+                         IntVal(c.bytes_in), IntVal(c.bytes_out),
+                         IntVal(c.queries)});
+  }
+  return Materialize("sys.connections", ConnectionsSchema(), std::move(rows));
+}
+
 Result<std::shared_ptr<const Table>> SettingsProvider(Testbed* tb) {
   const TestbedOptions& opts = tb->options();
   const QueryOptions defaults;
@@ -210,6 +233,9 @@ const std::vector<SystemViewDef>& SystemViewDefs() {
            "live snapshot of the global metrics registry"},
           {"sys.sessions", SessionsSchema(),
            "open concurrent sessions and snapshot staleness"},
+          {"sys.connections", ConnectionsSchema(),
+           "live network connections (empty unless a dkb_server is "
+           "attached)"},
           {"sys.settings", SettingsSchema(),
            "effective testbed and query-default configuration"},
       };
@@ -229,6 +255,9 @@ Status RegisterSystemViews(Database* db, Testbed* testbed) {
   DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
       "sys.sessions", SessionsSchema(),
       [testbed]() { return SessionsProvider(testbed); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.connections", ConnectionsSchema(),
+      [testbed]() { return ConnectionsProvider(testbed); }));
   DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
       "sys.settings", SettingsSchema(),
       [testbed]() { return SettingsProvider(testbed); }));

@@ -345,6 +345,35 @@ void Testbed::UnregisterSession(int64_t session_id) {
   sessions_.erase(session_id);
 }
 
+Result<QueryResult> Testbed::ExecuteSql(const std::string& statement) {
+  // Exclusive: arbitrary SQL may be DDL/DML, and even read-only statements
+  // may scan sys.* virtual tables whose providers expect the writer-side
+  // protocol of a running query.
+  WriterLock lock(mu_);
+  return db_.Execute(statement);
+}
+
+std::vector<std::string> Testbed::ListRuleTexts() const {
+  ReaderLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(workspace_.rules().size());
+  for (const datalog::Rule& rule : workspace_.rules()) {
+    out.push_back(rule.ToString());
+  }
+  return out;
+}
+
+void Testbed::SetConnectionsSource(ConnectionsSource source) {
+  MutexLock lock(connections_mu_);
+  connections_source_ = std::move(source);
+}
+
+std::vector<Testbed::ConnectionInfo> Testbed::ConnectionsSnapshot() const {
+  MutexLock lock(connections_mu_);
+  if (!connections_source_) return {};
+  return connections_source_();
+}
+
 std::vector<Testbed::SessionInfo> Testbed::SessionSnapshot() const {
   MutexLock lock(sessions_mu_);
   std::vector<SessionInfo> out;

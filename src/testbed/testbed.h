@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -96,6 +97,17 @@ class Testbed {
   /// Commits the Workspace rules into the Stored DKB (paper §4.3).
   Result<km::UpdateStats> UpdateStoredDkb() DKB_EXCLUDES(mu_);
 
+  /// Runs one raw SQL statement under the writer lock. This is the safe
+  /// SQL entry point for concurrent callers (the network server, tools):
+  /// the bare db() accessor bypasses the reader-writer protocol and is for
+  /// single-threaded use only.
+  Result<QueryResult> ExecuteSql(const std::string& statement)
+      DKB_EXCLUDES(mu_);
+
+  /// The current workspace rules rendered back to source form, under the
+  /// reader lock (safe against concurrent AddRule/RetractRule).
+  std::vector<std::string> ListRuleTexts() const DKB_EXCLUDES(mu_);
+
   /// Persists the whole session — the DBMS state (facts, stored rules,
   /// dictionaries, compiled rule storage) plus the workspace rules — to a
   /// snapshot file.
@@ -129,6 +141,31 @@ class Testbed {
   };
   std::vector<SessionInfo> SessionSnapshot() const
       DKB_EXCLUDES(sessions_mu_);
+
+  /// One row of sys.connections: a live network connection as reported by
+  /// the server's connection registry (testbed/sys_views.cc renders these).
+  /// Defined here rather than in src/net/ so the view can exist — empty —
+  /// when no server is attached, without testbed depending on net.
+  struct ConnectionInfo {
+    int64_t connection_id = 0;
+    std::string peer;        // "addr:port" of the remote end
+    int64_t session_id = 0;  // the COW Session serving this connection
+    int64_t frames_received = 0;
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+    int64_t queries = 0;
+  };
+  using ConnectionsSource = std::function<std::vector<ConnectionInfo>()>;
+
+  /// Installs (or, with nullptr, removes) the provider behind
+  /// sys.connections. The server installs its registry on Start and removes
+  /// it on Stop; with none installed the view is empty.
+  void SetConnectionsSource(ConnectionsSource source)
+      DKB_EXCLUDES(connections_mu_);
+
+  /// Snapshot of the installed connections source (empty without one).
+  std::vector<ConnectionInfo> ConnectionsSnapshot() const
+      DKB_EXCLUDES(connections_mu_);
 
   Database& db() { return db_; }
   km::Workspace& workspace() { return workspace_; }
@@ -199,6 +236,13 @@ class Testbed {
   std::unique_ptr<km::StoredDkb> stored_;
   QueryCache cache_;
   FlightRecorder recorder_;
+  /// Guards the connections-source hook only. A sys.connections scan may
+  /// run under mu_ (queries resolve virtual tables), so the order is mu_
+  /// before connections_mu_; the source callback must therefore never call
+  /// back into Testbed entry points that take mu_.
+  mutable Mutex connections_mu_;
+  ConnectionsSource connections_source_ DKB_GUARDED_BY(connections_mu_);
+
   /// Guards the open-session registry only; independent of mu_ so
   /// sys.sessions never contends with running queries.
   mutable Mutex sessions_mu_;

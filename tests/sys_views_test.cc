@@ -59,6 +59,9 @@ TEST(SysViewsTest, SchemasMatchTheGolden) {
       {"sys.metrics", {"name", "kind", "value", "sum", "max", "p50", "p99"}},
       {"sys.sessions",
        {"session_id", "epoch", "testbed_epoch", "snapshot_age", "queries"}},
+      {"sys.connections",
+       {"connection_id", "peer", "session_id", "frames_received", "bytes_in",
+        "bytes_out", "queries"}},
       {"sys.settings", {"name", "value"}},
   };
 
@@ -267,6 +270,41 @@ TEST(SysViewsTest, SessionsViewTracksOpenSessions) {
   s1->reset();
   s2->reset();
   auto after = Sql(tb.get(), "SELECT * FROM sys.sessions");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->rows.empty());
+}
+
+TEST(SysViewsTest, ConnectionsViewReflectsInstalledSource) {
+  auto tb = MakeTestbed();
+  // No server attached: the view exists and is empty.
+  auto empty = Sql(tb.get(), "SELECT * FROM sys.connections");
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_TRUE(empty->rows.empty());
+
+  // A server installs its registry as the source (here: a stub).
+  tb->SetConnectionsSource([]() {
+    Testbed::ConnectionInfo c;
+    c.connection_id = 7;
+    c.peer = "127.0.0.1:50000";
+    c.session_id = 3;
+    c.frames_received = 12;
+    c.bytes_in = 340;
+    c.bytes_out = 1200;
+    c.queries = 5;
+    return std::vector<Testbed::ConnectionInfo>{c};
+  });
+  auto rows = Sql(tb.get(),
+                  "SELECT connection_id, peer, queries FROM sys.connections "
+                  "WHERE bytes_out > 1000");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].as_int(), 7);
+  EXPECT_EQ(rows->rows[0][1].as_string(), "127.0.0.1:50000");
+  EXPECT_EQ(rows->rows[0][2].as_int(), 5);
+
+  // Server shutdown removes the source; the view empties again.
+  tb->SetConnectionsSource(nullptr);
+  auto after = Sql(tb.get(), "SELECT * FROM sys.connections");
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after->rows.empty());
 }

@@ -11,6 +11,9 @@
 //   $ dkb_profile --format chrome -o trace.json program.dkb
 //   (load trace.json in chrome://tracing or Perfetto)
 //
+//   $ dkb_profile --connect 127.0.0.1:7070 program.dkb
+//   (same run, but against a dkb_server; the server executes and renders)
+//
 // Rules and facts are consulted into a fresh testbed; every `?-` query in
 // the file (plus any --query goals) runs with tracing enabled, so the
 // report carries the full span tree: per-phase compilation, per-node LFP
@@ -18,22 +21,25 @@
 //
 // Exit status: 0 success; 1 a query failed; 2 usage or parse failure.
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "client/client.h"
+#include "client/in_process_client.h"
+#include "client/remote_client.h"
 #include "common/metrics.h"
 #include "datalog/ast.h"
 #include "datalog/parser.h"
-#include "testbed/testbed.h"
 
 namespace {
 
 using dkb::testbed::ExplainMode;
 using dkb::testbed::QueryOptions;
-using dkb::testbed::Testbed;
 
 enum class Format { kText, kJson, kChrome };
 
@@ -50,6 +56,7 @@ struct CliOptions {
   std::string output_path;
   std::vector<std::string> extra_queries;
   std::string program_path;
+  std::string connect;  // empty = in-process
 };
 
 int Usage() {
@@ -59,7 +66,9 @@ int Usage() {
       << "                   [--sys VIEW]...  (dump sys.* views afterwards)\n"
       << "                   [--magic] [--supplementary] [--adaptive]\n"
       << "                   [--strategy naive|semi-naive|native|native-tc]\n"
-      << "                   [--parallelism N] <program.dkb>\n";
+      << "                   [--parallelism N]\n"
+      << "                   [--connect host:port]  (run against dkb_server)\n"
+      << "                   <program.dkb>\n";
   return 2;
 }
 
@@ -118,6 +127,8 @@ bool ParseCli(int argc, char** argv, CliOptions* cli) {
     } else if (arg == "--parallelism") {
       if (!next(&value)) return false;
       cli->parallelism = std::atoi(value.c_str());
+    } else if (arg == "--connect") {
+      if (!next(&cli->connect)) return false;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       std::exit(0);
@@ -204,13 +215,29 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  auto tb = Testbed::Create();
-  if (!tb.ok()) {
-    std::cerr << "testbed init failed: " << tb.status().ToString() << "\n";
-    return 1;
+  // One transport-independent client: in-process by default, remote with
+  // --connect. Everything below this point is identical either way.
+  std::unique_ptr<dkb::Client> client;
+  if (cli.connect.empty()) {
+    auto local = dkb::InProcessClient::Create();
+    if (!local.ok()) {
+      std::cerr << "testbed init failed: " << local.status().ToString()
+                << "\n";
+      return 1;
+    }
+    client = std::move(*local);
+  } else {
+    auto remote = dkb::RemoteClient::Connect(cli.connect);
+    if (!remote.ok()) {
+      std::cerr << "connect " << cli.connect << " failed: "
+                << remote.status().ToString() << "\n";
+      return 1;
+    }
+    client = std::move(*remote);
   }
+
   if (!consult_text.empty()) {
-    dkb::Status consulted = (*tb)->Consult(consult_text);
+    dkb::Status consulted = client->Consult(consult_text);
     if (!consulted.ok()) {
       std::cerr << cli.program_path
                 << ": consult failed: " << consulted.ToString() << "\n";
@@ -218,24 +245,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Ask the executing side (which owns the trace spans) to render exactly
+  // the format we will print.
+  uint8_t report_formats = dkb::net::kReportText;
+  if (cli.format == Format::kJson) report_formats = dkb::net::kReportJson;
+  if (cli.format == Format::kChrome) report_formats = dkb::net::kReportChrome;
+
   std::vector<std::string> rendered;
   for (const dkb::datalog::Atom& goal : goals) {
-    auto outcome = (*tb)->Query(goal, options);
-    if (!outcome.ok()) {
+    auto rs = client->Query(goal.ToString(), options, report_formats);
+    if (!rs.ok()) {
       std::cerr << "query " << goal.ToString()
-                << " failed: " << outcome.status().ToString() << "\n";
+                << " failed: " << rs.status().ToString() << "\n";
       return 1;
     }
-    const dkb::testbed::QueryReport& report = outcome->report;
     switch (cli.format) {
       case Format::kText:
-        rendered.push_back(report.ExplainText());
+        rendered.push_back(rs->report_text);
         break;
       case Format::kJson:
-        rendered.push_back(report.ToJson());
+        rendered.push_back(rs->report_json);
         break;
       case Format::kChrome:
-        rendered.push_back(report.ChromeTrace());
+        rendered.push_back(rs->report_chrome);
         break;
     }
   }
@@ -275,12 +307,12 @@ int main(int argc, char** argv) {
   // --sys: dump the requested system views through the normal SQL path,
   // after the profiled queries so sys.query_log shows them.
   for (const std::string& view : cli.sys_views) {
-    auto rows = (*tb)->db().Execute("SELECT * FROM " + view);
+    auto rows = client->ExecuteSql("SELECT * FROM " + view);
     if (!rows.ok()) {
       std::cerr << view << ": " << rows.status().ToString() << "\n";
       return 1;
     }
-    out += "\n" + view + ":\n" + rows->ToString();
+    out += "\n" + view + ":\n" + dkb::ResultSetToString(*rows);
   }
 
   if (cli.output_path.empty()) {
