@@ -50,6 +50,7 @@ const char* const kPaperBenches[] = {
     "bench_table8_update_breakdown",
     "bench_concurrency",
     "bench_net",
+    "bench_shard",
 };
 
 struct CsvTable {
@@ -212,6 +213,18 @@ int RunSuite(const std::string& self_path, const std::string& out_path) {
       return 1;
     }
     json.AddRaw("net", net);
+  }
+
+  // And bench_shard's shards=1 vs shards=4 comparison.
+  std::string shard = ReadFileOrEmpty("BENCH_shard.json");
+  if (!shard.empty()) {
+    std::string error;
+    if (!JsonValidator::Validate(shard, &error)) {
+      std::fprintf(stderr, "FATAL: BENCH_shard.json invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    json.AddRaw("shard", shard);
   }
 
   // Schema gate: the merged file must parse and carry the current schema

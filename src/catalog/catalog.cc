@@ -12,7 +12,13 @@ bool IsSystemTableName(const std::string& name) {
   return StartsWith(AsciiLower(name), "sys.");
 }
 
-Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+Result<ScanSource*> Catalog::CreateTable(const std::string& name,
+                                         Schema schema) {
+  return CreateTable(name, std::move(schema), default_shards_);
+}
+
+Result<ScanSource*> Catalog::CreateTable(const std::string& name,
+                                         Schema schema, size_t shard_count) {
   if (IsSystemTableName(name)) {
     return Status::InvalidArgument("schema 'sys' is reserved for system views");
   }
@@ -21,8 +27,14 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
-  auto table = std::make_unique<Table>(name, std::move(schema));
-  Table* raw = table.get();
+  std::unique_ptr<ScanSource> table;
+  if (shard_count > 1) {
+    table = std::make_unique<ShardedTable>(name, std::move(schema),
+                                           shard_count);
+  } else {
+    table = std::make_unique<Table>(name, std::move(schema));
+  }
+  ScanSource* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
   return raw;
 }
@@ -37,7 +49,7 @@ Status Catalog::DropTable(const std::string& name) {
   return Status::OK();
 }
 
-Result<Table*> Catalog::GetTable(const std::string& name) const {
+Result<ScanSource*> Catalog::GetSource(const std::string& name) const {
   ReaderLock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
@@ -91,13 +103,14 @@ Result<Schema> Catalog::VirtualTableSchema(const std::string& name) const {
   return it->second.schema;
 }
 
-Result<ScanSource> Catalog::ResolveScanSource(const std::string& name) const {
+Result<ResolvedSource> Catalog::ResolveScanSource(
+    const std::string& name) const {
   VirtualTableProvider provider;
   {
     ReaderLock lock(mu_);
     auto it = tables_.find(Key(name));
     if (it != tables_.end()) {
-      return ScanSource{it->second.get(), nullptr};
+      return ResolvedSource{it->second.get(), nullptr};
     }
     auto vit = virtuals_.find(Key(name));
     if (vit == virtuals_.end()) {
@@ -108,8 +121,8 @@ Result<ScanSource> Catalog::ResolveScanSource(const std::string& name) const {
   // Materialize outside the catalog lock: providers read recorder/session
   // state guarded by their own mutexes.
   DKB_ASSIGN_OR_RETURN(std::shared_ptr<const Table> snapshot, provider());
-  ScanSource source;
-  source.table = snapshot.get();
+  ResolvedSource source;
+  source.source = snapshot.get();
   source.owned = std::move(snapshot);
   return source;
 }
@@ -118,7 +131,7 @@ Status Catalog::CreateIndex(const std::string& table_name,
                             const std::string& index_name,
                             const std::vector<std::string>& column_names,
                             bool ordered) {
-  DKB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  DKB_ASSIGN_OR_RETURN(ScanSource * table, GetSource(table_name));
   std::vector<size_t> cols;
   cols.reserve(column_names.size());
   for (const std::string& cname : column_names) {
@@ -129,13 +142,7 @@ Status Catalog::CreateIndex(const std::string& table_name,
     }
     cols.push_back(*idx);
   }
-  std::unique_ptr<Index> index;
-  if (ordered) {
-    index = std::make_unique<OrderedIndex>(index_name, std::move(cols));
-  } else {
-    index = std::make_unique<HashIndex>(index_name, std::move(cols));
-  }
-  return table->AddIndex(std::move(index));
+  return table->AddIndexSpec(index_name, cols, ordered);
 }
 
 std::vector<std::string> Catalog::TableNames() const {

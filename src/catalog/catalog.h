@@ -9,6 +9,8 @@
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "storage/scan_source.h"
+#include "storage/sharded_table.h"
 #include "storage/table.h"
 
 namespace dkb {
@@ -19,15 +21,19 @@ namespace dkb {
 using VirtualTableProvider =
     std::function<Result<std::shared_ptr<const Table>>()>;
 
-/// What a FROM-list name resolves to: a stored table (raw pointer, owned by
+/// What a FROM-list name resolves to: a stored source (raw pointer, owned by
 /// the catalog) or a virtual-table snapshot (`owned` keeps it alive for the
 /// duration of the plan).
-struct ScanSource {
-  const Table* table = nullptr;
-  std::shared_ptr<const Table> owned;  // non-null only for virtual tables
+struct ResolvedSource {
+  const ScanSource* source = nullptr;
+  std::shared_ptr<const ScanSource> owned;  // non-null only for virtual tables
 };
 
 /// Catalog of tables and their indexes, keyed by case-insensitive name.
+/// Stored entries are ScanSources: a plain Table, or a ShardedTable when the
+/// catalog-wide default shard count is > 1 (set once at testbed startup, so
+/// base tables and the LFP's `#` temporaries all shard identically and stay
+/// aligned for per-shard set operations).
 ///
 /// Table names beginning with '#' are session-temporary by convention; the
 /// LFP run time library creates and drops them each iteration exactly as the
@@ -35,7 +41,7 @@ struct ScanSource {
 ///
 /// The name map is guarded by a reader-writer lock so concurrent sessions can
 /// resolve tables while another session creates or drops its own temporaries.
-/// The lock covers only the map — Table contents are protected by the
+/// The lock covers only the map — table contents are protected by the
 /// session-level reader-writer protocol (writers are serialized by Testbed).
 class Catalog {
  public:
@@ -44,16 +50,28 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  /// Creates an empty table. Fails with AlreadyExists on name collision and
-  /// with InvalidArgument for names in the reserved `sys.` schema.
-  Result<Table*> CreateTable(const std::string& name, Schema schema)
+  /// Default shard count for tables created from here on (1 = plain Table).
+  /// Set once at startup, before any table exists; not thread-safe against
+  /// concurrent CreateTable.
+  void SetDefaultShards(size_t n) { default_shards_ = n == 0 ? 1 : n; }
+  size_t default_shards() const { return default_shards_; }
+
+  /// Creates an empty table with the catalog's default shard count. Fails
+  /// with AlreadyExists on name collision and with InvalidArgument for names
+  /// in the reserved `sys.` schema.
+  Result<ScanSource*> CreateTable(const std::string& name, Schema schema)
       DKB_EXCLUDES(mu_);
+
+  /// Creates a table with an explicit shard count (snapshot load restoring
+  /// a foreign layout).
+  Result<ScanSource*> CreateTable(const std::string& name, Schema schema,
+                                  size_t shard_count) DKB_EXCLUDES(mu_);
 
   /// Registers a read-only virtual table (a system view): its fixed schema
   /// plus a provider that materializes a snapshot on demand. Virtual tables
   /// live in their own namespace-by-convention (`sys.<name>`) and are only
-  /// reachable through ResolveScanSource — never through GetTable, and never
-  /// serialized or cloned with the stored tables.
+  /// reachable through ResolveScanSource — never through GetSource, and
+  /// never serialized or cloned with the stored tables.
   Status RegisterVirtualTable(const std::string& name, Schema schema,
                               VirtualTableProvider provider)
       DKB_EXCLUDES(mu_);
@@ -69,18 +87,20 @@ class Catalog {
 
   /// Resolves a FROM-list name: stored tables win, then virtual tables
   /// (whose provider runs here, materializing a fresh snapshot).
-  Result<ScanSource> ResolveScanSource(const std::string& name) const
+  Result<ResolvedSource> ResolveScanSource(const std::string& name) const
       DKB_EXCLUDES(mu_);
 
   /// Drops a table and its indexes. Fails with NotFound if absent.
   Status DropTable(const std::string& name) DKB_EXCLUDES(mu_);
 
-  /// Looks up a table; NotFound if absent.
-  Result<Table*> GetTable(const std::string& name) const DKB_EXCLUDES(mu_);
+  /// Looks up a stored source; NotFound if absent.
+  Result<ScanSource*> GetSource(const std::string& name) const
+      DKB_EXCLUDES(mu_);
 
   bool HasTable(const std::string& name) const DKB_EXCLUDES(mu_);
 
-  /// Creates an index named `index_name` over `column_names` of `table_name`.
+  /// Creates an index named `index_name` over `column_names` of `table_name`
+  /// — on every shard, so index availability is uniform across the grid.
   /// `ordered` selects OrderedIndex over HashIndex.
   Status CreateIndex(const std::string& table_name,
                      const std::string& index_name,
@@ -103,14 +123,16 @@ class Catalog {
     VirtualTableProvider provider;
   };
 
-  /// Guards the name maps only (see the class comment): Table* handed out
-  /// by GetTable/ResolveScanSource deliberately escape the lock — table
-  /// *contents* are protected by the session-level reader-writer protocol,
-  /// and entries live until DropTable, which the protocol serializes.
+  /// Guards the name maps only (see the class comment): ScanSource* handed
+  /// out by GetSource/ResolveScanSource deliberately escape the lock —
+  /// table *contents* are protected by the session-level reader-writer
+  /// protocol, and entries live until DropTable, which the protocol
+  /// serializes.
   mutable SharedMutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_
+  std::unordered_map<std::string, std::unique_ptr<ScanSource>> tables_
       DKB_GUARDED_BY(mu_);
   std::unordered_map<std::string, VirtualEntry> virtuals_ DKB_GUARDED_BY(mu_);
+  size_t default_shards_ = 1;
 };
 
 /// True for names in the reserved system schema ("sys." prefix,

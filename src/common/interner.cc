@@ -5,15 +5,18 @@
 namespace dkb {
 
 uint32_t StringDict::Intern(std::string_view s) {
+  Segment& seg = segments_[SegmentOf(std::hash<std::string_view>{}(s))];
   {
-    ReaderLock lock(mu_);
-    auto it = ids_.find(s);
-    if (it != ids_.end()) return it->second;
+    ReaderLock lock(seg.mu);
+    auto it = seg.ids.find(s);
+    if (it != seg.ids.end()) return it->second;
   }
-  WriterLock lock(mu_);
-  auto it = ids_.find(s);
-  if (it != ids_.end()) return it->second;
+  WriterLock lock(seg.mu);
+  auto it = seg.ids.find(s);
+  if (it != seg.ids.end()) return it->second;
 
+  // Allocation is cross-segment state; all else is per-segment.
+  MutexLock alloc(alloc_mu_);
   const uint32_t id = size_.load(std::memory_order_relaxed);
   if (id >= kMaxChunks * kChunkSize) {
     // Dictionary full (≈67M distinct strings): keep the process alive by
@@ -30,8 +33,10 @@ uint32_t StringDict::Intern(std::string_view s) {
   }
   EntryRec& entry = slab[id & (kChunkSize - 1)];
   entry.str.assign(s.data(), s.size());
+  // The contract is std::hash<std::string> agreement (see HashOf); hash the
+  // owned string rather than assuming string/string_view hashes coincide.
   entry.hash = std::hash<std::string>{}(entry.str);
-  ids_.emplace(std::string_view(entry.str), id);
+  seg.ids.emplace(std::string_view(entry.str), id);
   // Publish the entry: readers that see size_ > id observe a complete slot.
   size_.store(id + 1, std::memory_order_release);
 
@@ -39,6 +44,15 @@ uint32_t StringDict::Intern(std::string_view s) {
       metrics::GlobalMetrics().gauge("dkb.common.interner_size");
   gauge.Set(static_cast<int64_t>(id) + 1);
   return id;
+}
+
+std::array<size_t, StringDict::kSegments> StringDict::SegmentSizes() const {
+  std::array<size_t, kSegments> sizes{};
+  for (size_t i = 0; i < kSegments; ++i) {
+    ReaderLock lock(segments_[i].mu);
+    sizes[i] = segments_[i].ids.size();
+  }
+  return sizes;
 }
 
 StringDict& GlobalStringDict() {

@@ -23,23 +23,30 @@ namespace dkb {
 /// agrees with hashing the same string un-interned — hash containers can mix
 /// both representations freely.
 ///
-/// Thread safety: Intern takes a shared lock on the hit path and an
-/// exclusive lock to insert; Get/HashOf are lock-free. Entries live in
-/// fixed-size chunks whose slots are fully constructed before the entry
-/// count is published (release store), so a reader that obtained an id —
-/// necessarily after its publication — always observes a complete entry via
-/// the acquire load in Get.
+/// Thread safety: the dedup map is segmented by content hash into
+/// kSegments independently locked shards — Intern takes a shared lock on
+/// its segment for the hit path and an exclusive one to insert, so
+/// concurrent interning of distinct strings contends only on the short
+/// id-allocation critical section (alloc_mu_). Get/HashOf are lock-free.
+/// Entries live in fixed-size chunks whose slots are fully constructed
+/// before the entry count is published (release store), so a reader that
+/// obtained an id — necessarily after its publication — always observes a
+/// complete entry via the acquire load in Get.
 class StringDict {
  public:
   /// Sentinel for "not interned"; never returned by Intern.
   static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+  /// Dedup-map segments (lock shards). Power of two so segment selection is
+  /// a mask of the content hash.
+  static constexpr size_t kSegments = 16;
 
   StringDict() = default;
   StringDict(const StringDict&) = delete;
   StringDict& operator=(const StringDict&) = delete;
 
   /// Returns the id for `s`, interning it on first sight.
-  uint32_t Intern(std::string_view s) DKB_EXCLUDES(mu_);
+  uint32_t Intern(std::string_view s);
 
   /// Content of an interned string; the reference is stable for the
   /// process lifetime. Requires a valid id previously returned by Intern.
@@ -50,6 +57,11 @@ class StringDict {
 
   /// Number of distinct strings interned so far.
   size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Distinct strings per dedup segment (sys.shards reports one row each).
+  /// Each segment is read under its own lock; the array as a whole is not a
+  /// consistent snapshot.
+  std::array<size_t, kSegments> SegmentSizes() const;
 
  private:
   struct EntryRec {
@@ -69,14 +81,27 @@ class StringDict {
         [id & (kChunkSize - 1)];
   }
 
-  mutable SharedMutex mu_;
-  // Dedup map; keys view into chunk-owned strings (stable addresses).
-  std::unordered_map<std::string_view, uint32_t> ids_ DKB_GUARDED_BY(mu_);
+  struct Segment {
+    mutable SharedMutex mu;
+    // Dedup map; keys view into chunk-owned strings (stable addresses).
+    std::unordered_map<std::string_view, uint32_t> ids DKB_GUARDED_BY(mu);
+  };
+
+  static size_t SegmentOf(size_t content_hash) {
+    // The low bits feed unordered_map bucketing inside the segment; use
+    // higher bits for segment selection so the two don't correlate.
+    return (content_hash >> 7) & (kSegments - 1);
+  }
+
+  std::array<Segment, kSegments> segments_;
+  // Serializes id allocation and chunk publication across segments.
+  // Acquired after a segment lock, never the other way around.
+  Mutex alloc_mu_;
   // Lock-free read path: chunk pointers and the entry count are published
-  // with release stores under the exclusive lock and read with acquire
-  // loads anywhere (see Entry above). They are deliberately NOT guarded by
-  // mu_ — the atomics themselves carry the synchronization, and Get/HashOf
-  // must stay lock-free for the executor's hot paths.
+  // with release stores under alloc_mu_ and read with acquire loads
+  // anywhere (see Entry above). They are deliberately NOT guarded by a
+  // mutex — the atomics themselves carry the synchronization, and
+  // Get/HashOf must stay lock-free for the executor's hot paths.
   std::array<std::atomic<EntryRec*>, kMaxChunks> chunks_ = {};
   std::atomic<uint32_t> size_{0};
 };

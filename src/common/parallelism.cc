@@ -1,0 +1,27 @@
+#include "common/parallelism.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace dkb {
+
+size_t ParallelismPolicy::ResolvedThreads() const {
+  if (threads > 0) return static_cast<size_t>(threads);
+  // Read once per call, before any dependent worker exists; nothing in the
+  // process calls setenv.
+  if (const char* env = std::getenv("DKB_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
+    return static_cast<size_t>(std::max(0, std::atoi(env)));
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+ParallelismPolicy& GlobalParallelismPolicy() {
+  // Leaked on purpose: read by the thread pool's initializer and by
+  // operators at arbitrary shutdown order.
+  static ParallelismPolicy* policy = new ParallelismPolicy();
+  return *policy;
+}
+
+}  // namespace dkb

@@ -1,8 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <memory>
+
+#include "common/parallelism.h"
 
 namespace dkb {
 
@@ -122,18 +123,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 }
 
 ThreadPool& GlobalThreadPool() {
-  static ThreadPool* pool = [] {
-    size_t n = 0;
-    // Read once at pool construction, before any worker exists; nothing in
-    // the process calls setenv.
-    if (const char* env = std::getenv("DKB_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
-      n = static_cast<size_t>(std::max(0, std::atoi(env)));
-    } else {
-      unsigned hw = std::thread::hardware_concurrency();
-      n = hw > 1 ? hw - 1 : 0;
-    }
-    return new ThreadPool(n);
-  }();
+  // Sized once from the global ParallelismPolicy (which folds in the legacy
+  // DKB_THREADS environment variable); later policy changes don't resize.
+  static ThreadPool* pool =
+      new ThreadPool(GlobalParallelismPolicy().ResolvedThreads());
   return *pool;
 }
 

@@ -4,7 +4,7 @@
 
 namespace dkb::exec {
 
-Status Scope::AddTable(std::string name, const Table* table) {
+Status Scope::AddTable(std::string name, const ScanSource* table) {
   for (const auto& b : bindings_) {
     if (EqualsIgnoreCase(b.name, name)) {
       return Status::InvalidArgument("duplicate table name/alias '" + name +

@@ -15,9 +15,9 @@ namespace dkb::exec {
 
 /// One FROM-list entry resolved against the catalog.
 struct TableBinding {
-  std::string name;    // effective (alias or table) name
-  const Table* table;  // resolved table
-  size_t offset;       // first slot of this table's columns in the joined row
+  std::string name;         // effective (alias or table) name
+  const ScanSource* table;  // resolved storage source (Table or ShardedTable)
+  size_t offset;  // first slot of this table's columns in the joined row
 };
 
 /// Name-resolution scope for a single SELECT core: the FROM-list tables in
@@ -25,7 +25,7 @@ struct TableBinding {
 /// (conceptual) fully-joined row.
 class Scope {
  public:
-  Status AddTable(std::string name, const Table* table);
+  Status AddTable(std::string name, const ScanSource* table);
 
   const std::vector<TableBinding>& bindings() const { return bindings_; }
   size_t total_columns() const { return total_columns_; }

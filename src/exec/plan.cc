@@ -8,11 +8,6 @@
 
 namespace dkb::exec {
 
-ParallelTuning& GetParallelTuning() {
-  static ParallelTuning tuning;
-  return tuning;
-}
-
 void PlanNode::EnableProfiling() {
   if (profile_ == nullptr) profile_ = std::make_unique<Profile>();
   // Children() exposes const pointers for EXPLAIN rendering; profiling
@@ -42,52 +37,92 @@ void ApplyFilterToBatch(const BoundExpr* filter, RowBatch* batch,
   batch->ComposeSelection(*scratch);
 }
 
+/// Per-shard index instance matching the shard-0 template: index definitions
+/// are uniform across shards (Catalog::CreateIndex installs on every shard),
+/// so a name lookup on shard `s` always finds the counterpart.
+const Index* ShardIndex(const ScanSource& source, size_t s,
+                        const Index* tmpl) {
+  if (s == 0) return tmpl;
+  for (const auto& idx : source.shard(s).indexes()) {
+    if (idx->name() == tmpl->name()) return idx.get();
+  }
+  return nullptr;  // unreachable under the uniform-index invariant
+}
+
+/// True when every probe of `index` can be routed to one home shard: the
+/// index key is exactly the partition column, so a key's hash decides the
+/// only shard that can hold matching rows.
+bool RoutableOnPartitionColumn(const ScanSource& source, const Index* index) {
+  return source.shard_count() > 1 && index->key_columns().size() == 1 &&
+         index->key_columns()[0] == source.partition_column();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // SeqScan
 // ---------------------------------------------------------------------------
 
-SeqScanNode::SeqScanNode(const Table* table, BoundExprPtr filter,
+SeqScanNode::SeqScanNode(const ScanSource* source, BoundExprPtr filter,
                          ExecStats* stats)
-    : table_(table), filter_(std::move(filter)), stats_(stats) {
-  set_schema(table->schema());
+    : source_(source), filter_(std::move(filter)), stats_(stats) {
+  set_schema(source->schema());
 }
 
 Status SeqScanNode::OpenImpl() {
+  shard_ = 0;
   cursor_ = 0;
   pos_ = 0;
   rows_.clear();
   materialized_ = false;
 
-  const ParallelTuning& tuning = GetParallelTuning();
-  const size_t n = table_->num_slots();
+  const ParallelismPolicy& tuning = GlobalParallelismPolicy();
+  const size_t nshards = source_->shard_count();
+  size_t total_slots = 0;
+  for (size_t sh = 0; sh < nshards; ++sh) {
+    total_slots += source_->shard(sh).num_slots();
+  }
   ThreadPool& pool = GlobalThreadPool();
-  if (n < tuning.seq_scan_min_rows || pool.num_threads() == 0) {
+  if (total_slots < tuning.seq_scan_min_rows || pool.num_threads() == 0) {
     return Status::OK();
   }
 
-  // Morsel path: each morsel batch-filters its row range into a private
-  // buffer; buffers concatenate in morsel order, preserving the serial row
-  // order.
+  // Shard × morsel grid: each cell batch-filters one row range of one shard
+  // into a private buffer; buffers concatenate in grid order (shard-major,
+  // then row order), matching the serial path exactly.
   materialized_ = true;
   const size_t morsel = std::max<size_t>(tuning.morsel_rows, 1);
-  const size_t num_morsels = (n + morsel - 1) / morsel;
-  StatAdd(stats_->morsels, static_cast<int64_t>(num_morsels));
-  CountMorsels(static_cast<int64_t>(num_morsels));
-  std::vector<std::vector<Tuple>> buffers(num_morsels);
+  struct Cell {
+    size_t shard;
+    RowId lo;
+    RowId hi;
+  };
+  std::vector<Cell> grid;
+  for (size_t sh = 0; sh < nshards; ++sh) {
+    const Table& shard = source_->shard(sh);
+    const size_t n = shard.num_slots();
+    const size_t cells = (n + morsel - 1) / morsel;
+    if (cells > 0) shard.NoteMorsels(cells);
+    for (size_t m = 0; m < cells; ++m) {
+      grid.push_back(Cell{sh, static_cast<RowId>(m * morsel),
+                          static_cast<RowId>(std::min(n, (m + 1) * morsel))});
+    }
+  }
+  StatAdd(stats_->morsels, static_cast<int64_t>(grid.size()));
+  CountMorsels(static_cast<int64_t>(grid.size()));
+  std::vector<std::vector<Tuple>> buffers(grid.size());
   std::atomic<int64_t> scanned{0};
-  pool.ParallelFor(0, num_morsels, [&](size_t m) {
-    const size_t lo = m * morsel;
-    const size_t hi = std::min(n, lo + morsel);
-    std::vector<Tuple>& buf = buffers[m];
+  pool.ParallelFor(0, grid.size(), [&](size_t g) {
+    const Cell& cell = grid[g];
+    const Table& shard = source_->shard(cell.shard);
+    std::vector<Tuple>& buf = buffers[g];
     RowBatch batch;
-    batch.Reset(table_->schema().num_columns());
+    batch.Reset(shard.schema().num_columns());
     int64_t local = 0;
-    for (RowId rid = lo; rid < hi; ++rid) {
-      if (!table_->IsLive(rid)) continue;
+    for (RowId rid = cell.lo; rid < cell.hi; ++rid) {
+      if (!shard.IsLive(rid)) continue;
       ++local;
-      batch.AppendRow(table_->Get(rid));
+      batch.AppendRow(shard.Get(rid));
     }
     std::vector<uint32_t> sel;
     ApplyFilterToBatch(filter_.get(), &batch, &sel);
@@ -116,8 +151,14 @@ Result<bool> SeqScanNode::NextBatchImpl(RowBatch* out) {
     return !out->empty();
   }
   while (true) {
-    cursor_ = table_->ScanBatch(cursor_, out);
-    if (out->physical_size() == 0) return false;
+    cursor_ = source_->ScanBatch(shard_, cursor_, out);
+    if (out->physical_size() == 0) {
+      // Shard exhausted; move to the next one.
+      if (shard_ + 1 >= source_->shard_count()) return false;
+      ++shard_;
+      cursor_ = 0;
+      continue;
+    }
     StatAdd(stats_->rows_scanned,
             static_cast<int64_t>(out->physical_size()));
     ApplyFilterToBatch(filter_.get(), out, &sel_scratch_);
@@ -135,22 +176,53 @@ void SeqScanNode::CloseImpl() {
 // IndexScan
 // ---------------------------------------------------------------------------
 
-IndexScanNode::IndexScanNode(const Table* table, const Index* index,
+IndexScanNode::IndexScanNode(const ScanSource* source, const Index* index,
                              std::vector<Tuple> keys, BoundExprPtr filter,
                              ExecStats* stats)
-    : table_(table),
+    : source_(source),
       index_(index),
+      routed_(RoutableOnPartitionColumn(*source, index)),
       keys_(std::move(keys)),
       filter_(std::move(filter)),
       stats_(stats) {
-  set_schema(table->schema());
+  set_schema(source->schema());
 }
 
 Status IndexScanNode::OpenImpl() {
   key_pos_ = 0;
+  shard_pos_ = 0;
+  buffer_shard_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;
   return Status::OK();
+}
+
+bool IndexScanNode::NextProbe() {
+  const size_t nshards = source_->shard_count();
+  while (key_pos_ < keys_.size()) {
+    if (shard_pos_ >= nshards) {
+      ++key_pos_;
+      shard_pos_ = 0;
+      continue;
+    }
+    const Tuple& key = keys_[key_pos_];
+    size_t sh = shard_pos_;
+    if (routed_) {
+      // Single-column key on the partition column: only one shard can hold
+      // matches, so skip the other probes for this key.
+      sh = source_->ShardOfValue(key[0]);
+      shard_pos_ = nshards;
+    } else {
+      ++shard_pos_;
+    }
+    buffer_.clear();
+    buffer_pos_ = 0;
+    buffer_shard_ = sh;
+    StatAdd(stats_->index_probes);
+    ShardIndex(*source_, sh, index_)->Probe(key, &buffer_);
+    return true;
+  }
+  return false;
 }
 
 Result<bool> IndexScanNode::NextBatchImpl(RowBatch* out) {
@@ -159,16 +231,13 @@ Result<bool> IndexScanNode::NextBatchImpl(RowBatch* out) {
     while (!out->full()) {
       if (buffer_pos_ < buffer_.size()) {
         RowId rid = buffer_[buffer_pos_++];
-        if (!table_->IsLive(rid)) continue;
+        const Table& shard = source_->shard(buffer_shard_);
+        if (!shard.IsLive(rid)) continue;
         StatAdd(stats_->index_rows);
-        out->AppendRow(table_->Get(rid));
+        out->AppendRow(shard.Get(rid));
         continue;
       }
-      if (key_pos_ >= keys_.size()) break;
-      buffer_.clear();
-      buffer_pos_ = 0;
-      StatAdd(stats_->index_probes);
-      index_->Probe(keys_[key_pos_++], &buffer_);
+      if (!NextProbe()) break;
     }
     if (out->physical_size() == 0) return false;
     ApplyFilterToBatch(filter_.get(), out, &sel_scratch_);
@@ -180,41 +249,58 @@ Result<bool> IndexScanNode::NextBatchImpl(RowBatch* out) {
 // IndexRangeScan
 // ---------------------------------------------------------------------------
 
-IndexRangeScanNode::IndexRangeScanNode(const Table* table,
+IndexRangeScanNode::IndexRangeScanNode(const ScanSource* source,
                                        const OrderedIndex* index,
                                        std::optional<Value> lo,
                                        std::optional<Value> hi,
                                        BoundExprPtr filter, ExecStats* stats)
-    : table_(table),
+    : source_(source),
       index_(index),
       lo_(std::move(lo)),
       hi_(std::move(hi)),
       filter_(std::move(filter)),
       stats_(stats) {
-  set_schema(table->schema());
+  set_schema(source->schema());
 }
 
-Status IndexRangeScanNode::OpenImpl() {
-  buffer_.clear();
-  buffer_pos_ = 0;
+void IndexRangeScanNode::ProbeShard() {
   Tuple lo_key;
   Tuple hi_key;
   if (lo_.has_value()) lo_key = Tuple{*lo_};
   if (hi_.has_value()) hi_key = Tuple{*hi_};
   StatAdd(stats_->index_probes);
-  index_->RangeOpt(lo_.has_value() ? &lo_key : nullptr,
-                   hi_.has_value() ? &hi_key : nullptr, &buffer_);
+  // Same index definition on every shard, so the same index kind too.
+  const auto* index = static_cast<const OrderedIndex*>(
+      ShardIndex(*source_, shard_, index_));
+  index->RangeOpt(lo_.has_value() ? &lo_key : nullptr,
+                  hi_.has_value() ? &hi_key : nullptr, &buffer_);
+}
+
+Status IndexRangeScanNode::OpenImpl() {
+  shard_ = 0;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  ProbeShard();
   return Status::OK();
 }
 
 Result<bool> IndexRangeScanNode::NextBatchImpl(RowBatch* out) {
   while (true) {
     out->Reset(output_width());
-    while (!out->full() && buffer_pos_ < buffer_.size()) {
-      RowId rid = buffer_[buffer_pos_++];
-      if (!table_->IsLive(rid)) continue;
-      StatAdd(stats_->index_rows);
-      out->AppendRow(table_->Get(rid));
+    while (!out->full()) {
+      if (buffer_pos_ < buffer_.size()) {
+        RowId rid = buffer_[buffer_pos_++];
+        const Table& shard = source_->shard(shard_);
+        if (!shard.IsLive(rid)) continue;
+        StatAdd(stats_->index_rows);
+        out->AppendRow(shard.Get(rid));
+        continue;
+      }
+      if (shard_ + 1 >= source_->shard_count()) break;
+      ++shard_;
+      buffer_.clear();
+      buffer_pos_ = 0;
+      ProbeShard();
     }
     if (out->physical_size() == 0) return false;
     ApplyFilterToBatch(filter_.get(), out, &sel_scratch_);
@@ -273,6 +359,8 @@ NestedLoopJoinNode::NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
 }
 
 Status NestedLoopJoinNode::OpenImpl() {
+  outer_batch_.Reset(0);
+  outer_pos_ = 0;
   outer_valid_ = false;
   outer_done_ = false;
   return outer_->Open();
@@ -283,11 +371,16 @@ Result<bool> NestedLoopJoinNode::NextBatchImpl(RowBatch* out) {
     out->Reset(output_width());
     while (!out->full() && !outer_done_) {
       if (!outer_valid_) {
-        DKB_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_row_));
-        if (!more) {
-          outer_done_ = true;
-          break;
+        if (outer_pos_ >= outer_batch_.size()) {
+          DKB_ASSIGN_OR_RETURN(bool more, outer_->NextBatch(&outer_batch_));
+          if (!more) {
+            outer_done_ = true;
+            break;
+          }
+          outer_pos_ = 0;
+          continue;
         }
+        outer_batch_.CopyRowTo(outer_pos_++, &outer_row_);
         outer_valid_ = true;
         DKB_RETURN_IF_ERROR(inner_->Open());
       }
@@ -361,7 +454,7 @@ Status HashJoinNode::OpenImpl() {
   };
 
   ThreadPool& pool = GlobalThreadPool();
-  const ParallelTuning& tuning = GetParallelTuning();
+  const ParallelismPolicy& tuning = GlobalParallelismPolicy();
   if (build.size() < tuning.hash_build_min_rows || pool.num_threads() == 0) {
     parts_.resize(1);
     for (Tuple& r : build) parts_[0].emplace(key_of(r), std::move(r));
@@ -436,13 +529,14 @@ void HashJoinNode::CloseImpl() {
 // IndexNLJoin
 // ---------------------------------------------------------------------------
 
-IndexNLJoinNode::IndexNLJoinNode(PlanNodePtr outer, const Table* inner,
+IndexNLJoinNode::IndexNLJoinNode(PlanNodePtr outer, const ScanSource* inner,
                                  const Index* index,
                                  std::vector<size_t> outer_key_slots,
                                  BoundExprPtr residual, ExecStats* stats)
     : outer_(std::move(outer)),
       inner_(inner),
       index_(index),
+      routed_(RoutableOnPartitionColumn(*inner, index)),
       outer_key_slots_(std::move(outer_key_slots)),
       residual_(std::move(residual)),
       stats_(stats) {
@@ -453,9 +547,31 @@ Status IndexNLJoinNode::OpenImpl() {
   outer_batch_.Reset(0);
   outer_pos_ = 0;
   outer_done_ = false;
+  // Start with the probe grid exhausted so the first iteration pulls an
+  // outer row.
+  shard_pos_ = inner_->shard_count();
+  buffer_shard_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;
   return outer_->Open();
+}
+
+bool IndexNLJoinNode::ProbeNextShard() {
+  const size_t nshards = inner_->shard_count();
+  if (shard_pos_ >= nshards) return false;
+  size_t sh = shard_pos_;
+  if (routed_) {
+    sh = inner_->ShardOfValue(key_scratch_[0]);
+    shard_pos_ = nshards;  // one probe per key
+  } else {
+    ++shard_pos_;
+  }
+  buffer_.clear();
+  buffer_pos_ = 0;
+  buffer_shard_ = sh;
+  StatAdd(stats_->index_probes);
+  ShardIndex(*inner_, sh, index_)->Probe(key_scratch_, &buffer_);
+  return true;
 }
 
 Result<bool> IndexNLJoinNode::NextBatchImpl(RowBatch* out) {
@@ -464,11 +580,13 @@ Result<bool> IndexNLJoinNode::NextBatchImpl(RowBatch* out) {
     while (!out->full()) {
       if (buffer_pos_ < buffer_.size()) {
         RowId rid = buffer_[buffer_pos_++];
-        if (!inner_->IsLive(rid)) continue;
+        const Table& shard = inner_->shard(buffer_shard_);
+        if (!shard.IsLive(rid)) continue;
         StatAdd(stats_->index_rows);
-        out->AppendConcat(outer_row_, inner_->Get(rid));
+        out->AppendConcat(outer_row_, shard.Get(rid));
         continue;
       }
+      if (ProbeNextShard()) continue;
       if (outer_pos_ >= outer_batch_.size()) {
         if (outer_done_) break;
         DKB_ASSIGN_OR_RETURN(bool more, outer_->NextBatch(&outer_batch_));
@@ -482,10 +600,9 @@ Result<bool> IndexNLJoinNode::NextBatchImpl(RowBatch* out) {
       outer_batch_.CopyRowTo(outer_pos_++, &outer_row_);
       key_scratch_.clear();
       for (size_t s : outer_key_slots_) key_scratch_.push_back(outer_row_[s]);
+      shard_pos_ = 0;
       buffer_.clear();
       buffer_pos_ = 0;
-      StatAdd(stats_->index_probes);
-      index_->Probe(key_scratch_, &buffer_);
     }
     if (out->physical_size() == 0) return false;
     ApplyFilterToBatch(residual_.get(), out, &sel_scratch_);

@@ -11,9 +11,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/parallelism.h"
 #include "common/row_batch.h"
 #include "common/status.h"
 #include "exec/expr.h"
+#include "storage/scan_source.h"
 #include "storage/table.h"
 
 namespace dkb::exec {
@@ -95,21 +97,15 @@ inline void StatAdd(std::atomic<int64_t>& counter, int64_t n = 1) {
   counter.fetch_add(n, std::memory_order_relaxed);
 }
 
-/// Morsel-parallelism thresholds. Inputs below the threshold run the serial
-/// code path (identical to the pre-parallel engine); at or above it the
-/// operator fans work out over GlobalThreadPool. Process-wide and mutable so
-/// benches and tests can force either path.
-struct ParallelTuning {
-  /// Minimum table slots before a sequential scan splits into row-range
-  /// morsels.
-  size_t seq_scan_min_rows = 8192;
-  /// Minimum build-side rows before a hash join hash-partitions its build.
-  size_t hash_build_min_rows = 8192;
-  /// Rows per scan morsel.
-  size_t morsel_rows = 4096;
-};
+/// Deprecated: the morsel thresholds moved to ParallelismPolicy
+/// (common/parallelism.h) so all parallelism knobs live in one struct. The
+/// alias and accessor delegate to the global policy for source compat.
+using ParallelTuning = ParallelismPolicy;
 
-ParallelTuning& GetParallelTuning();
+[[deprecated("use GlobalParallelismPolicy() from common/parallelism.h")]]
+inline ParallelTuning& GetParallelTuning() {
+  return GlobalParallelismPolicy();
+}
 
 /// Volcano-style physical operator, batch-at-a-time. Open() may be called
 /// repeatedly; each call resets the operator to produce its output from the
@@ -120,9 +116,8 @@ ParallelTuning& GetParallelTuning();
 /// the batch is non-empty; false means end-of-stream. Operators exchange one
 /// virtual call per batch, and predicates/projections run as vectorized
 /// kernels over whole batches, so there are no per-row virtual calls in the
-/// hot loops. The row-at-a-time Next() survives as a non-virtual adapter
-/// that drains an internal batch — for point consumers (REPL display, the
-/// nested-loop join's outer side) and source compatibility.
+/// hot loops. (The old row-at-a-time Next(Tuple*) adapter is gone: all 14
+/// operators are batch-native, and point consumers index into batches.)
 ///
 /// Open/NextBatch are wrappers over the per-operator OpenImpl/NextBatchImpl.
 /// With profiling off (the default) each wrapper costs a single predictable
@@ -149,8 +144,6 @@ class PlanNode {
   const Schema& output_schema() const { return schema_; }
 
   Status Open() {
-    adapter_batch_.Reset(0);
-    adapter_pos_ = 0;
     if (profile_ == nullptr) return OpenImpl();
     auto t0 = std::chrono::steady_clock::now();
     Status s = OpenImpl();
@@ -172,19 +165,6 @@ class PlanNode {
     return r;
   }
 
-  /// Row-at-a-time adapter over NextBatch: produces the next row into *row,
-  /// false at end-of-stream. Non-virtual; the only virtual dispatch is the
-  /// underlying once-per-batch NextBatch call.
-  Result<bool> Next(Tuple* row) {
-    if (adapter_pos_ >= adapter_batch_.size()) {
-      DKB_ASSIGN_OR_RETURN(bool more, NextBatch(&adapter_batch_));
-      adapter_pos_ = 0;
-      if (!more) return false;
-    }
-    adapter_batch_.CopyRowTo(adapter_pos_++, row);
-    return true;
-  }
-
   void Close() { CloseImpl(); }
 
   /// Allocates a Profile for this operator and every descendant; the
@@ -198,7 +178,7 @@ class PlanNode {
   /// plan: scan operators reference snapshots by raw pointer, so the
   /// planner pins each snapshot to the root node to keep it alive for the
   /// plan's lifetime.
-  void PinSource(std::shared_ptr<const Table> source) {
+  void PinSource(std::shared_ptr<const ScanSource> source) {
     pinned_sources_.push_back(std::move(source));
   }
 
@@ -232,34 +212,37 @@ class PlanNode {
 
   Schema schema_;
   std::unique_ptr<Profile> profile_;
-  std::vector<std::shared_ptr<const Table>> pinned_sources_;
-  // Next(Tuple*) adapter state; reset by Open().
-  RowBatch adapter_batch_;
-  size_t adapter_pos_ = 0;
+  std::vector<std::shared_ptr<const ScanSource>> pinned_sources_;
 };
 
 using PlanNodePtr = std::unique_ptr<PlanNode>;
 
-/// Full-table scan with optional pushed-down filter, batched straight off
-/// Table::ScanBatch with the filter applied as a selection vector.
+/// Full-table scan over a ScanSource with optional pushed-down filter,
+/// batched straight off ScanSource::ScanBatch with the filter applied as a
+/// selection vector. Shards scan in order, so output order is deterministic
+/// for a given shard count.
 ///
-/// Tables with at least ParallelTuning::seq_scan_min_rows slots are scanned
-/// as row-range morsels on GlobalThreadPool at Open time; each morsel
-/// filters its range vectorized into a private buffer and buffers
-/// concatenate in row order, so results are identical to the serial path.
+/// Sources with at least ParallelismPolicy::seq_scan_min_rows total slots
+/// are scanned as a shard × morsel work grid on GlobalThreadPool at Open
+/// time; each grid cell filters its row range of one shard vectorized into
+/// a private buffer, and buffers concatenate in grid order, so results are
+/// identical to the serial path.
 class SeqScanNode : public PlanNode {
  public:
-  SeqScanNode(const Table* table, BoundExprPtr filter, ExecStats* stats);
+  SeqScanNode(const ScanSource* source, BoundExprPtr filter, ExecStats* stats);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   void CloseImpl() override;
-  std::string Name() const override { return "SeqScan(" + table_->name() + ")"; }
+  std::string Name() const override {
+    return "SeqScan(" + source_->name() + ")";
+  }
 
  private:
-  const Table* table_;
+  const ScanSource* source_;
   BoundExprPtr filter_;  // may be null
   ExecStats* stats_;
+  size_t shard_ = 0;
   RowId cursor_ = 0;
   bool materialized_ = false;     // parallel path: rows_ holds the output
   std::vector<Tuple> rows_;
@@ -269,25 +252,37 @@ class SeqScanNode : public PlanNode {
 
 /// Index lookup for one or more literal keys (supports `col = lit` and
 /// `col IN (...)` access paths), with optional residual filter.
+///
+/// Index definitions are uniform across shards, so the node re-resolves the
+/// shard-0 template index per shard and probes each key against every
+/// shard — except single-column indexes on the partition column, where the
+/// key's hash routes the probe to its one home shard.
 class IndexScanNode : public PlanNode {
  public:
-  IndexScanNode(const Table* table, const Index* index,
+  IndexScanNode(const ScanSource* source, const Index* index,
                 std::vector<Tuple> keys, BoundExprPtr filter,
                 ExecStats* stats);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Name() const override {
-    return "IndexScan(" + table_->name() + "." + index_->name() + ")";
+    return "IndexScan(" + source_->name() + "." + index_->name() + ")";
   }
 
  private:
-  const Table* table_;
-  const Index* index_;
+  /// Probes keys_[key_pos_] into buffer_, advancing the (key, shard) grid.
+  /// Returns false when all probes are done.
+  bool NextProbe();
+
+  const ScanSource* source_;
+  const Index* index_;  // shard-0 template (name/columns)
+  bool routed_;         // single-column index on the partition column
   std::vector<Tuple> keys_;
   BoundExprPtr filter_;
   ExecStats* stats_;
   size_t key_pos_ = 0;
+  size_t shard_pos_ = 0;       // next shard to probe for the current key
+  size_t buffer_shard_ = 0;    // shard buffer_ row ids belong to
   std::vector<RowId> buffer_;
   size_t buffer_pos_ = 0;
   std::vector<uint32_t> sel_scratch_;
@@ -298,23 +293,27 @@ class IndexScanNode : public PlanNode {
 /// applied as part of the residual filter, so exclusive bounds stay exact.
 class IndexRangeScanNode : public PlanNode {
  public:
-  IndexRangeScanNode(const Table* table, const OrderedIndex* index,
+  IndexRangeScanNode(const ScanSource* source, const OrderedIndex* index,
                      std::optional<Value> lo, std::optional<Value> hi,
                      BoundExprPtr filter, ExecStats* stats);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Name() const override {
-    return "IndexRangeScan(" + table_->name() + "." + index_->name() + ")";
+    return "IndexRangeScan(" + source_->name() + "." + index_->name() + ")";
   }
 
  private:
-  const Table* table_;
-  const OrderedIndex* index_;
+  /// Runs the range probe against shard_, refilling buffer_.
+  void ProbeShard();
+
+  const ScanSource* source_;
+  const OrderedIndex* index_;  // shard-0 template
   std::optional<Value> lo_;
   std::optional<Value> hi_;
   BoundExprPtr filter_;
   ExecStats* stats_;
+  size_t shard_ = 0;           // shard buffer_ row ids belong to
   std::vector<RowId> buffer_;
   size_t buffer_pos_ = 0;
   std::vector<uint32_t> sel_scratch_;
@@ -364,8 +363,9 @@ class ProjectNode : public PlanNode {
   std::vector<uint32_t> idx_scratch_;
 };
 
-/// Tuple-nested-loop join; inner (right) child is re-Opened per outer row
-/// and drained batch-at-a-time. Output row = outer columns ++ inner columns.
+/// Nested-loop join; the outer side is drained batch-at-a-time and the
+/// inner (right) child is re-Opened per outer row. Output row = outer
+/// columns ++ inner columns.
 class NestedLoopJoinNode : public PlanNode {
  public:
   NestedLoopJoinNode(PlanNodePtr outer, PlanNodePtr inner,
@@ -385,6 +385,8 @@ class NestedLoopJoinNode : public PlanNode {
   PlanNodePtr inner_;
   BoundExprPtr predicate_;  // evaluated over combined row; may be null
   ExecStats* stats_;
+  RowBatch outer_batch_;
+  size_t outer_pos_ = 0;
   Tuple outer_row_;
   bool outer_valid_ = false;
   bool outer_done_ = false;
@@ -395,7 +397,7 @@ class NestedLoopJoinNode : public PlanNode {
 /// Hash equi-join: builds a hash table over the right child, probes with
 /// left-child batches. Output row = left columns ++ right columns.
 ///
-/// Builds of at least ParallelTuning::hash_build_min_rows rows are
+/// Builds of at least ParallelismPolicy::hash_build_min_rows rows are
 /// hash-partitioned: key hashes are computed in parallel, then each of P
 /// partitions fills its own table concurrently (every row lands in exactly
 /// one partition, chosen by hash % P, so no partition sees another's keys).
@@ -435,13 +437,15 @@ class HashJoinNode : public PlanNode {
   std::vector<uint32_t> sel_scratch_;
 };
 
-/// Index nested-loop join: probes an index of the inner base table with key
-/// values taken from outer-row slots. Output = outer ++ inner columns.
+/// Index nested-loop join: probes an index of the inner base source with
+/// key values taken from outer-row slots. Output = outer ++ inner columns.
+/// Probes fan out across shards like IndexScanNode's, with the same
+/// partition-column routing shortcut.
 class IndexNLJoinNode : public PlanNode {
  public:
-  IndexNLJoinNode(PlanNodePtr outer, const Table* inner, const Index* index,
-                  std::vector<size_t> outer_key_slots, BoundExprPtr residual,
-                  ExecStats* stats);
+  IndexNLJoinNode(PlanNodePtr outer, const ScanSource* inner,
+                  const Index* index, std::vector<size_t> outer_key_slots,
+                  BoundExprPtr residual, ExecStats* stats);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
@@ -455,9 +459,13 @@ class IndexNLJoinNode : public PlanNode {
   }
 
  private:
+  /// Probes key_scratch_ against the next shard; false when exhausted.
+  bool ProbeNextShard();
+
   PlanNodePtr outer_;
-  const Table* inner_;
-  const Index* index_;
+  const ScanSource* inner_;
+  const Index* index_;  // shard-0 template
+  bool routed_;         // single-column index on the partition column
   std::vector<size_t> outer_key_slots_;  // aligned with index key columns
   BoundExprPtr residual_;
   ExecStats* stats_;
@@ -466,6 +474,8 @@ class IndexNLJoinNode : public PlanNode {
   bool outer_done_ = false;
   Tuple outer_row_;
   Tuple key_scratch_;
+  size_t shard_pos_ = 0;     // next shard to probe for the current key
+  size_t buffer_shard_ = 0;  // shard buffer_ row ids belong to
   std::vector<RowId> buffer_;
   size_t buffer_pos_ = 0;
   std::vector<uint32_t> sel_scratch_;

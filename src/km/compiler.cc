@@ -42,8 +42,8 @@ Result<double> EstimateSelectivity(const Atom& query,
   for (const std::string& pred : base_preds) {
     auto it = base_types.find(pred);
     if (it == base_types.end() || it->second.size() != 2) continue;
-    DKB_ASSIGN_OR_RETURN(Table * table,
-                         stored->db()->catalog().GetTable(EdbTableName(pred)));
+    DKB_ASSIGN_OR_RETURN(ScanSource * table,
+                         stored->db()->catalog().GetSource(EdbTableName(pred)));
     d_tot += static_cast<int64_t>(table->num_tuples());
     table->Scan([&forward, &backward](RowId, const Tuple& row) {
       forward[row[0]].push_back(row[1]);
@@ -204,7 +204,7 @@ Result<CompiledQuery> QueryCompiler::Compile(const Atom& query,
     input.goal = &query;
     input.base_predicates = base_preds;
     for (const std::string& pred : base_preds) {
-      auto table = stored_->db()->catalog().GetTable(EdbTableName(pred));
+      auto table = stored_->db()->catalog().GetSource(EdbTableName(pred));
       if (table.ok()) {
         input.base_cardinalities[pred] =
             static_cast<int64_t>((*table)->num_tuples());

@@ -121,8 +121,8 @@ Status StoredDkb::InsertFacts(const std::string& pred,
   if (!HasBasePredicate(pred)) {
     return Status::NotFound("base predicate " + pred + " is not defined");
   }
-  DKB_ASSIGN_OR_RETURN(Table * table,
-                       db_->catalog().GetTable(EdbTableName(pred)));
+  DKB_ASSIGN_OR_RETURN(ScanSource * table,
+                       db_->catalog().GetSource(EdbTableName(pred)));
   RowBatch batch;
   batch.Reset(table->schema().num_columns());
   for (const Tuple& t : tuples) {
@@ -140,8 +140,8 @@ Status StoredDkb::ClearFacts(const std::string& pred) {
   if (!HasBasePredicate(pred)) {
     return Status::NotFound("base predicate " + pred + " is not defined");
   }
-  DKB_ASSIGN_OR_RETURN(Table * table,
-                       db_->catalog().GetTable(EdbTableName(pred)));
+  DKB_ASSIGN_OR_RETURN(ScanSource * table,
+                       db_->catalog().GetSource(EdbTableName(pred)));
   table->Clear();
   return Status::OK();
 }

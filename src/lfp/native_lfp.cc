@@ -249,8 +249,8 @@ class NativeExecutor {
     if (binding_it == program_.bindings.end()) {
       return Status::Internal("no binding for " + pred);
     }
-    DKB_ASSIGN_OR_RETURN(Table * table,
-                         db_->catalog().GetTable(binding_it->second.table));
+    DKB_ASSIGN_OR_RETURN(ScanSource * table,
+                         db_->catalog().GetSource(binding_it->second.table));
     auto rel = std::make_unique<NativeRelation>();
     table->Scan([&rel](RowId, const Tuple& row) { rel->Insert(row); });
     NativeRelation* raw = rel.get();
@@ -428,7 +428,8 @@ class NativeExecutor {
     for (const km::ProgramNode& node : program_.nodes) {
       for (const std::string& p : node.predicates) {
         const km::PredicateBinding& b = program_.bindings.at(p);
-        DKB_ASSIGN_OR_RETURN(Table * table, db_->catalog().GetTable(b.table));
+        DKB_ASSIGN_OR_RETURN(ScanSource * table,
+                             db_->catalog().GetSource(b.table));
         batch.Reset(table->schema().num_columns());
         for (const Tuple& t : relations_.at(p)->rows()) {
           batch.AppendRow(t);

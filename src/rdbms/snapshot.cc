@@ -94,7 +94,7 @@ std::string SerializeDatabase(const Database& db) {
   std::vector<std::string> names = db.catalog().TableNames();
   std::sort(names.begin(), names.end());
   for (const std::string& name : names) {
-    const Table* table = *db.catalog().GetTable(name);
+    const ScanSource* table = *db.catalog().GetSource(name);
     out += "TABLE " + name + "\n";
     out += "SCHEMA ";
     for (size_t c = 0; c < table->schema().num_columns(); ++c) {
@@ -104,7 +104,14 @@ std::string SerializeDatabase(const Database& db) {
       out += DataTypeName(table->schema().column(c).type);
     }
     out += "\n";
-    for (const auto& index : table->indexes()) {
+    if (table->shard_count() > 1) {
+      // Physical layout marker; absent for unsharded tables so pre-sharding
+      // snapshots and goldens parse unchanged.
+      out += "SHARDS " + std::to_string(table->shard_count()) + " " +
+             std::to_string(table->partition_column()) + "\n";
+    }
+    // Index definitions are uniform across shards; shard 0 is the template.
+    for (const auto& index : table->shard(0).indexes()) {
       out += "INDEX " + index->name() + " ";
       out += index->kind() == IndexKind::kOrdered ? "ordered" : "hash";
       for (size_t i = 0; i < index->key_columns().size(); ++i) {
@@ -137,7 +144,7 @@ Status DeserializeDatabase(Database* db, const std::string& text) {
   if (!std::getline(in, line) || line != "DKBSNAP 1") {
     return Status::InvalidArgument("bad snapshot header");
   }
-  Table* table = nullptr;
+  ScanSource* table = nullptr;
   RowBatch pending;
   auto flush = [&]() -> Status {
     if (table == nullptr || pending.empty()) return Status::OK();
@@ -145,7 +152,19 @@ Status DeserializeDatabase(Database* db, const std::string& text) {
     pending.Reset(table->schema().num_columns());
     return s;
   };
-  while (std::getline(in, line)) {
+  // One-line pushback so the TABLE branch can peek for an optional SHARDS
+  // line between SCHEMA and the INDEX/ROW stream.
+  std::string carry;
+  bool has_carry = false;
+  auto next_line = [&](std::string* l) -> bool {
+    if (has_carry) {
+      *l = std::move(carry);
+      has_carry = false;
+      return true;
+    }
+    return static_cast<bool>(std::getline(in, *l));
+  };
+  while (next_line(&line)) {
     if (line == "END") {
       DKB_RETURN_IF_ERROR(flush());
       return Status::OK();
@@ -173,8 +192,25 @@ Status DeserializeDatabase(Database* db, const std::string& text) {
                                               : DataType::kVarchar;
         columns.push_back(Column{parts[0], type});
       }
-      DKB_ASSIGN_OR_RETURN(table,
-                           db->catalog().CreateTable(name, Schema(columns)));
+      // Restore the recorded physical layout exactly: an explicit SHARDS
+      // line wins; otherwise the table loads unsharded, as it was saved.
+      size_t shard_count = 1;
+      std::string peek;
+      if (std::getline(in, peek)) {
+        if (StartsWith(peek, "SHARDS ")) {
+          std::vector<std::string> parts = StrSplit(peek.substr(7), ' ');
+          if (parts.empty() || parts.size() > 2) {
+            return Status::InvalidArgument("bad SHARDS line '" + peek + "'");
+          }
+          shard_count = static_cast<size_t>(std::stoul(parts[0]));
+        } else {
+          carry = std::move(peek);
+          has_carry = true;
+        }
+      }
+      DKB_ASSIGN_OR_RETURN(
+          table, db->catalog().CreateTable(name, Schema(columns),
+                                           shard_count));
       pending.Reset(table->schema().num_columns());
       continue;
     }

@@ -1,0 +1,110 @@
+#ifndef DKB_STORAGE_SCAN_SOURCE_H_
+#define DKB_STORAGE_SCAN_SOURCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace dkb {
+
+class Table;
+
+/// The storage abstraction every scan and mutation goes through: a named,
+/// schema'd collection of rows partitioned into `shard_count()` independent
+/// `Table` shards. `Table` itself is the single-shard case, `ShardedTable`
+/// the hash-partitioned case, and `sys.*` virtual providers materialize
+/// single-shard snapshots — the executor addresses all three uniformly as
+/// a shard × morsel work grid and never special-cases concrete storage.
+///
+/// Invariants every implementation maintains:
+///  - `ShardOf` is a pure function of the tuple (hash of the key column),
+///    so identical tuples always land in the same shard. Per-shard set
+///    operations (LFP's DiffInto) are therefore exact when two sources
+///    share a shard count.
+///  - All shards share one schema and identical index definitions
+///    (AddIndexSpec applies to every shard).
+///  - RowIds are shard-local; (shard, RowId) addresses a row.
+///
+/// Thread safety: externally synchronized like Table (see table.h), with
+/// one refinement the sharded LFP path relies on: two threads may mutate
+/// *different* shards concurrently, because shards share no state.
+class ScanSource {
+ public:
+  virtual ~ScanSource() = default;
+
+  ScanSource() = default;
+  ScanSource(const ScanSource&) = delete;
+  ScanSource& operator=(const ScanSource&) = delete;
+
+  virtual const std::string& name() const = 0;
+  virtual const Schema& schema() const = 0;
+
+  /// Number of hash partitions; ≥ 1 and fixed for the source's lifetime.
+  virtual size_t shard_count() const = 0;
+
+  /// Shard `s` as a plain Table; requires s < shard_count().
+  virtual const Table& shard(size_t s) const = 0;
+  virtual Table& shard(size_t s) = 0;
+
+  /// The column whose value decides a row's home shard (0 by convention).
+  virtual size_t partition_column() const { return 0; }
+
+  /// Home shard of a partition-key value; a pure function of the value, so
+  /// re-appending a scanned row reproduces the layout, and index probes on
+  /// the partition column can be routed to a single shard.
+  virtual size_t ShardOfValue(const Value&) const { return 0; }
+
+  /// Home shard of a full row (rows too short to carry the partition column
+  /// route to shard 0).
+  size_t ShardOf(const Tuple& tuple) const {
+    const size_t pc = partition_column();
+    return pc < tuple.size() ? ShardOfValue(tuple[pc]) : 0;
+  }
+
+  /// Live tuples across all shards.
+  virtual size_t num_tuples() const;
+
+  /// Clears every shard (index definitions survive, contents reset).
+  virtual void Clear();
+
+  /// Batch scan of one shard: fills `out` with up to RowBatch::kCapacity
+  /// live rows starting at slot `cursor` of shard `s`, returning the cursor
+  /// for the next call. An empty result batch means that shard is done.
+  RowId ScanBatch(size_t s, RowId cursor, RowBatch* out) const;
+
+  /// Appends every visible row of `batch`, routing each row to its home
+  /// shard. This is the hash-repartitioning ("delta exchange") primitive:
+  /// appending rows scanned from a differently-sharded source re-shards
+  /// them here.
+  Status AppendBatch(const RowBatch& batch);
+
+  /// Validated single-row insert, routed by ShardOf. The returned RowId is
+  /// local to the row's home shard.
+  Result<RowId> Insert(const Tuple& tuple);
+  Result<RowId> Insert(Tuple&& tuple);
+
+  /// Creates the index on every shard (same name/columns/kind per shard).
+  Status AddIndexSpec(const std::string& index_name,
+                      const std::vector<size_t>& key_columns, bool ordered);
+
+  /// Index on shard 0 matching `key_columns`, or nullptr. Because index
+  /// definitions are uniform across shards, the planner can use shard 0 as
+  /// the template and execution re-resolves per shard by the same columns.
+  const Index* FindIndexOn(const std::vector<size_t>& key_columns) const;
+
+  /// Invokes fn(rid, tuple) for every live row, shard-major (shard 0's rows
+  /// in slot order, then shard 1's, ...). RowIds are shard-local. Defined in
+  /// table.h, where Table is complete.
+  template <typename Fn>
+  void Scan(Fn&& fn) const;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_STORAGE_SCAN_SOURCE_H_

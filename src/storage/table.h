@@ -1,19 +1,22 @@
 #ifndef DKB_STORAGE_TABLE_H_
 #define DKB_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/index.h"
+#include "storage/scan_source.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 
 namespace dkb {
 
 /// Heap table: slotted in-memory store with tombstone deletes and attached
-/// secondary indexes that are maintained on every mutation.
+/// secondary indexes that are maintained on every mutation. The
+/// single-shard ScanSource — every shard of a ShardedTable is one of these.
 ///
 /// Row ids are stable for the lifetime of the table (slots are never
 /// compacted), which lets indexes reference rows directly.
@@ -25,19 +28,21 @@ namespace dkb {
 /// (writers mutate tables; sessions read private clones); morsel workers
 /// only ever read, via ScanBatch over an immutable slot prefix. See
 /// DESIGN.md "Concurrency invariants & static analysis".
-class Table {
+class Table : public ScanSource {
  public:
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
-  Table(const Table&) = delete;
-  Table& operator=(const Table&) = delete;
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
 
-  const std::string& name() const { return name_; }
-  const Schema& schema() const { return schema_; }
+  /// ScanSource: a Table is its own single shard.
+  size_t shard_count() const override { return 1; }
+  const Table& shard(size_t) const override { return *this; }
+  Table& shard(size_t) override { return *this; }
 
   /// Number of live (non-deleted) tuples.
-  size_t num_tuples() const { return live_count_; }
+  size_t num_tuples() const override { return live_count_; }
   /// Total slots including tombstones; valid RowIds are < num_slots().
   size_t num_slots() const { return rows_.size(); }
 
@@ -66,7 +71,23 @@ class Table {
   bool Delete(RowId rid);
 
   /// Removes every live tuple (indexes cleared too).
-  void Clear();
+  void Clear() override;
+
+  /// Rough resident footprint: slots plus inline value storage. Interned
+  /// VARCHAR payloads live in the global dictionary and are not counted.
+  size_t ApproxBytes() const {
+    return rows_.size() *
+           (sizeof(Slot) + schema_.num_columns() * sizeof(Value));
+  }
+
+  /// Executor hook: scan morsels dispatched against this shard, for
+  /// sys.shards. Relaxed counter — a statistic, not a synchronization.
+  void NoteMorsels(uint64_t n) const {
+    morsels_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t morsels_dispatched() const {
+    return morsels_.load(std::memory_order_relaxed);
+  }
 
   bool IsLive(RowId rid) const {
     return rid < rows_.size() && !rows_[rid].deleted;
@@ -109,7 +130,15 @@ class Table {
   std::vector<Slot> rows_;
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
+  mutable std::atomic<uint64_t> morsels_{0};
 };
+
+// Defined here, where Table is complete: the generic Scan walks shards in
+// order, dispatching statically to Table::Scan per shard.
+template <typename Fn>
+void ScanSource::Scan(Fn&& fn) const {
+  for (size_t s = 0; s < shard_count(); ++s) shard(s).Scan(fn);
+}
 
 }  // namespace dkb
 

@@ -30,6 +30,7 @@ struct QueryLogEntry {
   int64_t iterations = 0;  // summed over all cliques
   int64_t total_us = 0;
   int64_t batches = 0;     // row batches drained at plan roots (DBMS delta)
+  int64_t shards = 1;      // catalog default shard count when the query ran
   std::vector<PhaseTiming> phases;  // Table-4 then Table-5 order
 
   struct LfpIteration {

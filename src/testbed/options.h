@@ -1,6 +1,10 @@
 #ifndef DKB_TESTBED_OPTIONS_H_
 #define DKB_TESTBED_OPTIONS_H_
 
+#include <cstddef>
+#include <optional>
+
+#include "common/parallelism.h"
 #include "km/stored_dkb.h"
 #include "lfp/evaluator.h"
 
@@ -19,6 +23,12 @@ struct TestbedOptions {
   int64_t slow_query_threshold_us = -1;
   /// Slow-query records as one-line JSON instead of key=value text.
   bool slow_query_log_json = false;
+  /// Shards per stored table (1 = plain Table, the classic layout). Applied
+  /// as the catalog's default shard count before any table is created, so
+  /// base tables and the LFP's `#` temporaries partition identically and
+  /// stay aligned for per-shard set operations. Snapshot loads restore each
+  /// table's own recorded layout regardless of this value.
+  size_t shards = 1;
 
   /// Rule storage without the compiled form (paper Fig 15's ablation).
   static TestbedOptions SourceOnlyRules() {
@@ -42,6 +52,10 @@ struct TestbedOptions {
   TestbedOptions& WithSlowQueryThreshold(int64_t micros, bool json = false) {
     slow_query_threshold_us = micros;
     slow_query_log_json = json;
+    return *this;
+  }
+  TestbedOptions& WithShards(size_t n) {
+    shards = n == 0 ? 1 : n;
     return *this;
   }
 };
@@ -78,7 +92,14 @@ struct QueryOptions {
   /// concurrently: 1 = serial (the default), 0 = size to the global worker
   /// pool, N > 1 = at most N at a time. Only mutually independent cliques
   /// run together, so answers are identical to a serial run.
+  /// Deprecated in favour of `policy` (WithPolicy); kept as a delegate so
+  /// existing call sites compile — EffectivePolicy() folds it in when no
+  /// explicit policy is set.
   int lfp_parallelism = 1;
+  /// Full parallelism override for this query. When set it wins over both
+  /// the process-wide GlobalParallelismPolicy() and the legacy
+  /// lfp_parallelism field above.
+  std::optional<ParallelismPolicy> policy;
   /// EXPLAIN / EXPLAIN ANALYZE behaviour (see ExplainMode).
   ExplainMode explain = ExplainMode::kNone;
   /// Collect the hierarchical span tree into QueryReport::trace without
@@ -125,6 +146,19 @@ struct QueryOptions {
   QueryOptions& WithParallelism(int n) {
     lfp_parallelism = n;
     return *this;
+  }
+  QueryOptions& WithPolicy(ParallelismPolicy p) {
+    policy = p;
+    return *this;
+  }
+  /// The parallelism knobs this query runs with: the explicit per-query
+  /// policy when set, otherwise the process-wide policy with the legacy
+  /// lfp_parallelism field layered on top.
+  ParallelismPolicy EffectivePolicy() const {
+    if (policy.has_value()) return *policy;
+    ParallelismPolicy p = GlobalParallelismPolicy();
+    p.lfp_parallelism = lfp_parallelism;
+    return p;
   }
   QueryOptions& WithExplain(ExplainMode mode) {
     explain = mode;

@@ -16,6 +16,10 @@ Status Session::Refresh() {
   uint64_t current = testbed_->epoch();
   if (db_ != nullptr && current == epoch()) return Status::OK();
   auto db = std::make_unique<Database>();
+  // Stored tables restore their own recorded shard layout through the clone;
+  // the default matters for the LFP `#` temporaries this session will create,
+  // which must shard identically to stay aligned with the base tables.
+  db->catalog().SetDefaultShards(options_.shards);
   DKB_RETURN_IF_ERROR(CloneDatabase(testbed_->db_, db.get()));
   auto stored = std::make_unique<km::StoredDkb>(db.get(), options_.stored);
   DKB_RETURN_IF_ERROR(stored->RestoreFromDatabase());

@@ -58,6 +58,9 @@ Testbed::Testbed(TestbedOptions options)
     : options_(options),
       stored_(std::make_unique<km::StoredDkb>(&db_, options.stored)),
       recorder_(options.flight_recorder_capacity) {
+  // Before any table exists: base tables and LFP temporaries created later
+  // all inherit this count, keeping every stored source aligned.
+  db_.catalog().SetDefaultShards(options.shards);
   if (options.slow_query_threshold_us >= 0) {
     SlowQueryLogOptions slow;
     slow.threshold_us = options.slow_query_threshold_us;
@@ -238,7 +241,8 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
   report.plan.query = goal.ToString();
   report.plan.strategy = lfp::StrategyName(options.strategy);
   report.plan.magic_applied = report.compile.magic_applied;
-  report.plan.parallelism = options.lfp_parallelism;
+  report.plan.parallelism = options.EffectivePolicy().lfp_parallelism;
+  report.plan.shards = static_cast<int64_t>(db->catalog().default_shards());
   report.plan.rules_relevant = report.compile.rules_relevant;
   report.plan.rules_pruned = report.compile.rules_pruned;
   for (const km::ProgramNode& node : outcome.compiled.program.nodes) {
@@ -265,7 +269,7 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
 
   lfp::EvalOptions eopts;
   eopts.strategy = options.strategy;
-  eopts.parallelism = options.lfp_parallelism;
+  eopts.parallelism = options.EffectivePolicy().lfp_parallelism;
   eopts.query_id = report.query_id;
   {
     trace::ScopedSpan exec_span(root, "execute");

@@ -1,6 +1,6 @@
 // Operator-level unit tests for the physical executor: each PlanNode is
-// constructed directly and driven through Open/Next/Close, independent of
-// the SQL frontend and planner.
+// constructed directly and driven through Open/NextBatch/Close, independent
+// of the SQL frontend and planner.
 
 #include <gtest/gtest.h>
 
@@ -19,24 +19,26 @@ class ExecPlanTest : public ::testing::Test {
     Schema schema({{"k", DataType::kInteger}, {"v", DataType::kVarchar}});
     auto created = catalog_.CreateTable("t", schema);
     ASSERT_TRUE(created.ok());
-    table_ = *created;
+    table_ = &(*created)->shard(0);
     for (int64_t i = 0; i < 10; ++i) {
       table_->InsertUnchecked(
           {Value(i), Value(std::string(1, static_cast<char>('a' + i % 3)))});
     }
   }
 
-  /// Drains an operator into a vector.
+  /// Drains an operator into a vector, batch at a time.
   std::vector<Tuple> Drain(PlanNode* node) {
     std::vector<Tuple> out;
     Status s = node->Open();
     EXPECT_TRUE(s.ok()) << s.ToString();
-    Tuple row;
+    RowBatch batch;
     while (true) {
-      auto more = node->Next(&row);
+      auto more = node->NextBatch(&batch);
       EXPECT_TRUE(more.ok()) << more.status().ToString();
       if (!more.ok() || !*more) break;
-      out.push_back(row);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out.push_back(batch.MaterializeTuple(i));
+      }
     }
     node->Close();
     return out;

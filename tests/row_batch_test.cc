@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/parallelism.h"
 #include "common/row_batch.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
@@ -260,12 +261,12 @@ TEST(ParallelBatchTest, MorselScanMatchesSerialOrder) {
   auto created =
       catalog.CreateTable("big", Schema({{"k", DataType::kInteger}}));
   ASSERT_TRUE(created.ok());
-  Table* table = *created;
+  Table* table = &(*created)->shard(0);
   const int64_t n = 20000;
   for (int64_t i = 0; i < n; ++i) table->InsertUnchecked({Value(i)});
 
-  exec::ParallelTuning& tuning = exec::GetParallelTuning();
-  const exec::ParallelTuning saved = tuning;
+  ParallelismPolicy& tuning = GlobalParallelismPolicy();
+  const ParallelismPolicy saved = tuning;
   tuning.seq_scan_min_rows = 1;
   tuning.morsel_rows = 512;
 

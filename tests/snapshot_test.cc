@@ -49,7 +49,7 @@ TEST(SnapshotTest, DatabaseRoundTrip) {
 TEST(SnapshotTest, EscapingSurvivesHostileStrings) {
   Database db;
   ASSERT_TRUE(db.ExecuteAll("CREATE TABLE t (s VARCHAR)").ok());
-  Table* table = *db.catalog().GetTable("t");
+  Table* table = &(*db.catalog().GetSource("t"))->shard(0);
   std::string hostile = "tab\tnewline\nback\\slash END\nROW S";
   table->InsertUnchecked({Value(hostile)});
   Database restored;

@@ -198,7 +198,7 @@ TEST(CatalogTest, CreateGetDrop) {
   ASSERT_TRUE(cat.CreateTable("t", TwoColSchema()).ok());
   EXPECT_TRUE(cat.HasTable("t"));
   EXPECT_TRUE(cat.HasTable("T"));  // case-insensitive
-  auto t = cat.GetTable("t");
+  auto t = cat.GetSource("t");
   ASSERT_TRUE(t.ok());
   EXPECT_EQ((*t)->name(), "t");
   ASSERT_TRUE(cat.DropTable("T").ok());

@@ -42,9 +42,10 @@ void RaiseFdLimit(rlim_t want) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [-p|--port PORT] [--host ADDR]\n"
+               "usage: %s [-p|--port PORT] [--host ADDR] [--shards N]\n"
                "  -p, --port PORT   listen port (default 7070)\n"
-               "      --host ADDR   bind address (default 127.0.0.1)\n",
+               "      --host ADDR   bind address (default 127.0.0.1)\n"
+               "      --shards N    shards per stored table (default 1)\n",
                argv0);
   return 2;
 }
@@ -54,12 +55,15 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   dkb::net::ServerOptions options;
   options.port = 7070;
+  size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if ((arg == "-p" || arg == "--port") && i + 1 < argc) {
       options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--host" && i + 1 < argc) {
       options.bind_address = argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<size_t>(std::atoi(argv[++i]));
     } else {
       return Usage(argv[0]);
     }
@@ -67,7 +71,8 @@ int main(int argc, char** argv) {
 
   RaiseFdLimit(8192);
 
-  auto testbed = dkb::testbed::Testbed::Create();
+  auto testbed = dkb::testbed::Testbed::Create(
+      dkb::testbed::TestbedOptions{}.WithShards(shards));
   if (!testbed.ok()) {
     std::fprintf(stderr, "testbed init failed: %s\n",
                  testbed.status().ToString().c_str());
