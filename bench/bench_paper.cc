@@ -158,6 +158,9 @@ int RunSuite(const std::string& self_path, const std::string& out_path) {
   for (const char* name : kPaperBenches) {
     std::string command = bin_dir + "/" + name;
     if (SmokeMode()) command += " --smoke";
+    // The network bench also measures trace-propagation overhead so the
+    // merged JSON always carries the traced-vs-untraced sustain pair.
+    if (std::string(name) == "bench_net") command += " --trace";
     command += " 2>&1";
     std::printf("[bench_paper] running %s ...\n", name);
     std::fflush(stdout);

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <system_error>
 #include <utility>
@@ -25,10 +26,26 @@ std::string ErrnoMessage(const char* what) {
          std::error_code(errno, std::generic_category()).message();
 }
 
+/// Process-unique trace ids: a splitmix64 walk over a counter seeded from
+/// the pid, so ids from concurrently tracing clients rarely collide and a
+/// zero id (= "no trace") is never produced.
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> counter{
+      static_cast<uint64_t>(getpid()) << 32};
+  uint64_t x = counter.fetch_add(0x9e3779b97f4a7c15ull,
+                                 std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x | 1;
+}
+
 }  // namespace
 
-Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
-    const std::string& host_port, uint32_t max_frame_len) {
+Result<int> RemoteClient::DialTcp(const std::string& host_port) {
   size_t colon = host_port.rfind(':');
   if (colon == std::string::npos || colon == 0 ||
       colon + 1 == host_port.size()) {
@@ -66,7 +83,12 @@ Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
   if (fd < 0) return last;
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
 
+Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
+    const std::string& host_port, uint32_t max_frame_len) {
+  DKB_ASSIGN_OR_RETURN(int fd, DialTcp(host_port));
   std::unique_ptr<RemoteClient> client(new RemoteClient(fd, max_frame_len));
   WireWriter hello;
   hello.U32(net::kProtocolVersion);
@@ -85,10 +107,14 @@ Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(
 RemoteClient::~RemoteClient() {
   if (fd_ >= 0) {
     // Best effort: tell the server we are leaving so it can drop the
-    // session promptly; the close() is what actually matters.
-    std::string frame =
-        net::EncodeFrame(MsgType::kCloseSession, next_request_id_++, "");
-    (void)send(fd_, frame.data(), frame.size(), MSG_NOSIGNAL);
+    // session promptly; the close() is what actually matters. Sessionless
+    // connections (FetchStats) never did the Hello handshake, so a
+    // CloseSession would only count as a protocol error server-side.
+    if (session_id_ != 0) {
+      std::string frame =
+          net::EncodeFrame(MsgType::kCloseSession, next_request_id_++, "");
+      (void)send(fd_, frame.data(), frame.size(), MSG_NOSIGNAL);
+    }
     close(fd_);
   }
 }
@@ -200,6 +226,12 @@ std::string RemoteClient::EncodeQueryPayload(
   net::WireQueryOptions opts;
   opts.options = options;
   opts.report_formats = report_formats;
+  // Sampling is driven by the caller's tracing intent: collect_trace or
+  // EXPLAIN ANALYZE means "I want the span tree back", so start a
+  // distributed trace and ask the server to build one.
+  opts.sampled = options.collect_trace ||
+                 options.explain == testbed::ExplainMode::kAnalyze;
+  if (opts.sampled) opts.trace_id = NextTraceId();
   net::EncodeQueryOptions(&w, opts);
   w.U32(static_cast<uint32_t>(goals.size()));
   for (const std::string& goal : goals) w.Str(goal);
@@ -222,6 +254,9 @@ Result<std::vector<QueryResultSet>> RemoteClient::DecodeResultSets(
                                    std::to_string(i));
     }
     out.push_back(std::move(rs));
+  }
+  if (!net::DecodeTraceSection(&r, &out)) {
+    return Status::ProtocolError("malformed trace section");
   }
   if (!r.Done()) {
     return Status::ProtocolError("trailing bytes after result sets");
@@ -286,6 +321,11 @@ Result<StatementId> RemoteClient::Prepare(
   WireWriter w;
   net::WireQueryOptions opts;
   opts.options = options;
+  // Execute runs under the options fixed at Prepare time, so the trace
+  // context is stamped here: every Execute of this statement reuses it.
+  opts.sampled = options.collect_trace ||
+                 options.explain == testbed::ExplainMode::kAnalyze;
+  if (opts.sampled) opts.trace_id = NextTraceId();
   net::EncodeQueryOptions(&w, opts);
   w.Str(goal_text);
   DKB_ASSIGN_OR_RETURN(Frame frame,
@@ -331,6 +371,30 @@ Result<UpdateStoredStats> RemoteClient::UpdateStoredDkb() {
 
 Status RemoteClient::ClearWorkspace() {
   return Call(MsgType::kClearWorkspace, "", MsgType::kOk).status();
+}
+
+Result<net::StatsReply> RemoteClient::FetchServerStats(uint8_t sections) {
+  DKB_ASSIGN_OR_RETURN(Frame frame,
+                       Call(MsgType::kStats,
+                            net::EncodeStatsRequest(sections),
+                            MsgType::kStatsOk));
+  WireReader r(frame.payload);
+  net::StatsReply reply;
+  if (!net::DecodeStatsReply(&r, &reply)) {
+    return Status::ProtocolError("malformed StatsOk payload");
+  }
+  return reply;
+}
+
+Result<net::StatsReply> RemoteClient::FetchStats(const std::string& host_port,
+                                                 uint8_t sections,
+                                                 uint32_t max_frame_len) {
+  DKB_ASSIGN_OR_RETURN(int fd, DialTcp(host_port));
+  // No Hello: kStats is the one sessionless request, so the poller never
+  // costs the server a COW session (and the destructor, seeing no session
+  // id, skips the CloseSession courtesy frame).
+  std::unique_ptr<RemoteClient> client(new RemoteClient(fd, max_frame_len));
+  return client->FetchServerStats(sections);
 }
 
 Result<std::vector<std::string>> RemoteClient::ListRules() {

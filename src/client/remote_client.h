@@ -59,6 +59,19 @@ class RemoteClient : public Client {
   /// server's sys.sessions / sys.connections / sys.query_log).
   int64_t session_id() const { return session_id_; }
 
+  /// Fetches the server's live telemetry (kStats) over this connection.
+  /// `sections` is an OR of net::kStatsServer / kStatsConnections /
+  /// kStatsPrometheus.
+  Result<net::StatsReply> FetchServerStats(
+      uint8_t sections = net::kStatsAll);
+
+  /// One-shot sessionless stats fetch: dials host:port, sends kStats
+  /// without a Hello handshake (so the server never opens a COW session),
+  /// and returns the reply. This is dkb_top's poll path.
+  static Result<net::StatsReply> FetchStats(
+      const std::string& host_port, uint8_t sections = net::kStatsAll,
+      uint32_t max_frame_len = net::kDefaultMaxFrameLen);
+
   // -- Pipelining ----------------------------------------------------------
 
   /// Fires one Query frame (a whole batch of goals) without waiting for
@@ -78,6 +91,10 @@ class RemoteClient : public Client {
   explicit RemoteClient(int fd, uint32_t max_frame_len)
       : fd_(fd), decoder_(max_frame_len) {}
 
+  /// Resolves "host:port" and returns a connected TCP socket (TCP_NODELAY
+  /// set). Shared by Connect and the sessionless FetchStats.
+  static Result<int> DialTcp(const std::string& host_port);
+
   /// Writes one request frame.
   Status SendFrame(net::MsgType type, uint32_t request_id,
                    std::string_view payload);
@@ -88,6 +105,9 @@ class RemoteClient : public Client {
   Result<net::Frame> Call(net::MsgType type, std::string_view payload,
                           net::MsgType expected);
 
+  /// Encodes a kQuery payload, stamping a fresh client-generated trace id
+  /// and the sampling flag (on when the options ask for a trace) so the
+  /// server knows to build and return the net.*-wrapped span tree.
   static std::string EncodeQueryPayload(
       const std::vector<std::string>& goals,
       const testbed::QueryOptions& options, uint8_t report_formats);

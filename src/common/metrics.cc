@@ -1,6 +1,8 @@
 #include "common/metrics.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "common/str_util.h"
 
@@ -152,11 +154,139 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   return out;
 }
 
+namespace {
+
+// `dkb.query.total_us` -> `dkb_query_total_us`: Prometheus metric names
+// allow [a-zA-Z0-9_:] only.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    // Each summary stat is its own single-sample gauge family, so every
+    // sample line sits under a TYPE line whose family name matches it.
+    const std::string p = PromName(name);
+    const std::pair<const char*, int64_t> stats[] = {
+        {"_count", h->count()},
+        {"_sum", h->sum()},
+        {"_max", h->max()},
+        {"_p50", h->ApproxQuantile(0.5)},
+        {"_p99", h->ApproxQuantile(0.99)},
+    };
+    for (const auto& [suffix, value] : stats) {
+      out += "# TYPE " + p + suffix + " gauge\n";
+      out += p + suffix + " " + std::to_string(value) + "\n";
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+bool IsMetricNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || (c >= '0' && c <= '9');
+}
+
+bool Fail(std::string* error, size_t lineno, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(lineno) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  size_t pos = 0;
+  size_t lineno = 0;
+  size_t samples = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" and "# HELP <name> <text>" comments are
+      // meaningful; anything else after '#' is a free-form comment.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          return Fail(error, lineno, "TYPE line missing metric type");
+        }
+        const std::string type = rest.substr(sp + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return Fail(error, lineno, "unknown metric type '" + type + "'");
+        }
+      }
+      continue;
+    }
+    // Sample line: <name>[{labels}] <value>[ <timestamp>]
+    size_t i = 0;
+    if (!IsMetricNameStart(line[0])) {
+      return Fail(error, lineno, "invalid metric name start");
+    }
+    while (i < line.size() && IsMetricNameChar(line[i])) ++i;
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string::npos) {
+        return Fail(error, lineno, "unterminated label set");
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return Fail(error, lineno, "expected space before value");
+    }
+    const std::string value = line.substr(i + 1, line.find(' ', i + 1) - i - 1);
+    if (value.empty()) return Fail(error, lineno, "missing value");
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    const bool numeric = end != nullptr && *end == '\0';
+    if (!numeric && value != "NaN" && value != "+Inf" && value != "-Inf") {
+      return Fail(error, lineno, "non-numeric value '" + value + "'");
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    return Fail(error, lineno, "no metric samples in exposition");
+  }
+  return true;
 }
 
 MetricsRegistry& GlobalMetrics() {

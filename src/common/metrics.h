@@ -106,6 +106,15 @@ class MetricsRegistry {
   /// loads, so a snapshot taken under concurrent writers is approximate.
   std::vector<MetricSample> Snapshot() const DKB_EXCLUDES(mu_);
 
+  /// Prometheus text exposition (version 0.0.4) of every registered
+  /// metric. Dots in metric names become underscores (`dkb.query.count` →
+  /// `dkb_query_count`); counters and gauges emit one sample each,
+  /// histograms emit `_count`/`_sum`/`_max`/`_p50`/`_p99` summary samples.
+  /// Each family is preceded by `# TYPE` (histograms export as gauges of
+  /// their summary values, which is what pull-based scrapers expect for
+  /// pre-aggregated quantiles).
+  std::string RenderPrometheus() const DKB_EXCLUDES(mu_);
+
   /// Zeroes every metric (tests and bench warmup isolation); the set of
   /// registered names is unchanged.
   void ResetAll() DKB_EXCLUDES(mu_);
@@ -125,6 +134,14 @@ class MetricsRegistry {
 
 /// The process-wide registry every layer reports into.
 MetricsRegistry& GlobalMetrics();
+
+/// Checks that `text` is well-formed Prometheus text exposition: every
+/// non-comment line is `<name>[{labels}] <value>`, names match
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, values parse as numbers, and every `# TYPE`
+/// names a valid metric type. On failure returns false and, when `error`
+/// is non-null, stores a line-numbered description. Used by the CI smoke
+/// step and dkb_top --check to validate the live /metrics payload.
+bool ValidatePrometheusText(const std::string& text, std::string* error);
 
 /// Test helper: zeroes every global metric on construction and again on
 /// destruction, so a test body observes only its own activity and leaves

@@ -74,100 +74,109 @@ uint32_t TraceContext::CurrentThreadId() {
   return id;
 }
 
+SpanNode SnapshotSpan(const TraceSpan& span, int64_t base_us) {
+  SpanNode node;
+  node.name = span.name();
+  node.start_us = base_us + span.start_us();
+  node.end_us = base_us + span.end_us();
+  node.tid = span.tid();
+  node.tags = span.tags();
+  const std::vector<const TraceSpan*> children = span.children();
+  node.children.reserve(children.size());
+  for (const TraceSpan* child : children) {
+    node.children.push_back(SnapshotSpan(*child, base_us));
+  }
+  return node;
+}
+
 namespace {
 
-void RenderTextRec(const TraceSpan& span, int depth, std::string* out) {
+void RenderTagsJson(const std::vector<TraceTag>& tags, std::string* out) {
+  for (size_t i = 0; i < tags.size(); ++i) {
+    const TraceTag& tag = tags[i];
+    if (i > 0) *out += ", ";
+    *out += "\"" + JsonEscape(tag.key) + "\": ";
+    if (tag.is_number) {
+      *out += tag.value;
+    } else {
+      *out += "\"" + JsonEscape(tag.value) + "\"";
+    }
+  }
+}
+
+void RenderTextRec(const SpanNode& span, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%lld us",
                 static_cast<long long>(span.duration_us()));
-  *out += span.name() + "  " + buf;
-  for (const TraceTag& tag : span.tags()) {
+  *out += span.name + "  " + buf;
+  for (const TraceTag& tag : span.tags) {
     *out += "  " + tag.key + "=" + tag.value;
   }
   *out += "\n";
-  for (const auto& child : span.children()) {
-    RenderTextRec(*child, depth + 1, out);
+  for (const SpanNode& child : span.children) {
+    RenderTextRec(child, depth + 1, out);
   }
 }
 
-void RenderJsonRec(const TraceSpan& span, std::string* out) {
-  *out += "{\"name\": \"" + JsonEscape(span.name()) + "\"";
-  *out += ", \"start_us\": " + std::to_string(span.start_us());
+void RenderJsonRec(const SpanNode& span, std::string* out) {
+  *out += "{\"name\": \"" + JsonEscape(span.name) + "\"";
+  *out += ", \"start_us\": " + std::to_string(span.start_us);
   *out += ", \"dur_us\": " + std::to_string(span.duration_us());
-  *out += ", \"tid\": " + std::to_string(span.tid());
-  if (!span.tags().empty()) {
+  *out += ", \"tid\": " + std::to_string(span.tid);
+  if (!span.tags.empty()) {
     *out += ", \"tags\": {";
-    for (size_t i = 0; i < span.tags().size(); ++i) {
-      const TraceTag& tag = span.tags()[i];
-      if (i > 0) *out += ", ";
-      *out += "\"" + JsonEscape(tag.key) + "\": ";
-      if (tag.is_number) {
-        *out += tag.value;
-      } else {
-        *out += "\"" + JsonEscape(tag.value) + "\"";
-      }
-    }
+    RenderTagsJson(span.tags, out);
     *out += "}";
   }
-  const std::vector<const TraceSpan*> children = span.children();
-  if (!children.empty()) {
+  if (!span.children.empty()) {
     *out += ", \"children\": [";
-    for (size_t i = 0; i < children.size(); ++i) {
+    for (size_t i = 0; i < span.children.size(); ++i) {
       if (i > 0) *out += ", ";
-      RenderJsonRec(*children[i], out);
+      RenderJsonRec(span.children[i], out);
     }
     *out += "]";
   }
   *out += "}";
 }
 
-void RenderChromeRec(const TraceSpan& span, bool* first, std::string* out) {
+void RenderChromeRec(const SpanNode& span, bool* first, std::string* out) {
   if (!*first) *out += ",\n";
   *first = false;
   *out += "    {\"ph\": \"X\", \"pid\": 1, \"tid\": " +
-          std::to_string(span.tid()) + ", \"name\": \"" +
-          JsonEscape(span.name()) + "\", \"ts\": " +
-          std::to_string(span.start_us()) + ", \"dur\": " +
+          std::to_string(span.tid) + ", \"name\": \"" +
+          JsonEscape(span.name) + "\", \"ts\": " +
+          std::to_string(span.start_us) + ", \"dur\": " +
           std::to_string(span.duration_us());
-  if (!span.tags().empty()) {
+  if (!span.tags.empty()) {
     *out += ", \"args\": {";
-    for (size_t i = 0; i < span.tags().size(); ++i) {
-      const TraceTag& tag = span.tags()[i];
-      if (i > 0) *out += ", ";
-      *out += "\"" + JsonEscape(tag.key) + "\": ";
-      if (tag.is_number) {
-        *out += tag.value;
-      } else {
-        *out += "\"" + JsonEscape(tag.value) + "\"";
-      }
-    }
+    RenderTagsJson(span.tags, out);
     *out += "}";
   }
   *out += "}";
-  for (const auto& child : span.children()) {
-    RenderChromeRec(*child, first, out);
+  for (const SpanNode& child : span.children) {
+    RenderChromeRec(child, first, out);
   }
 }
 
 }  // namespace
 
-std::string TraceContext::RenderText() const {
+std::string RenderText(const SpanNode& node) {
   std::string out;
-  RenderTextRec(*root_, 0, &out);
+  RenderTextRec(node, 0, &out);
   return out;
 }
 
-std::string TraceContext::RenderJson() const {
+std::string RenderJson(const SpanNode& node) {
   std::string out;
-  RenderJsonRec(*root_, &out);
+  RenderJsonRec(node, &out);
   return out;
 }
 
-std::string TraceContext::RenderChromeTrace() const {
+std::string RenderChromeTrace(const SpanNode& node) {
   std::string out = "{\"traceEvents\": [\n";
   bool first = true;
-  RenderChromeRec(*root_, &first, &out);
+  RenderChromeRec(node, &first, &out);
   out += "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
   return out;
 }

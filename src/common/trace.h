@@ -92,6 +92,35 @@ class TraceSpan {
   std::vector<std::unique_ptr<TraceSpan>> children_ DKB_GUARDED_BY(mu_);
 };
 
+/// A span tree as plain values: what a TraceSpan tree looks like once
+/// execution has settled. SpanNode is the unit the wire protocol encodes
+/// (src/net/wire.h) and the renderers below consume, so a tree snapshotted
+/// on a server, shipped over TCP, and rendered by a remote client produces
+/// byte-identical output to rendering the live tree in-process.
+struct SpanNode {
+  std::string name;
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  uint32_t tid = 0;
+  std::vector<TraceTag> tags;
+  std::vector<SpanNode> children;
+
+  int64_t duration_us() const { return end_us - start_us; }
+};
+
+/// Deep-copies a settled TraceSpan tree into plain values. `base_us` is
+/// added to every start/end offset, which lets a caller graft a subtree
+/// recorded on its own timeline (a fresh TraceContext) into an enclosing
+/// tree: pass the enclosing timeline's offset at the moment the subtree's
+/// context was created.
+SpanNode SnapshotSpan(const TraceSpan& span, int64_t base_us = 0);
+
+/// Renderers over the value tree; TraceContext::Render* delegate here, so
+/// these are the single source of truth for all three formats.
+std::string RenderText(const SpanNode& node);
+std::string RenderJson(const SpanNode& node);
+std::string RenderChromeTrace(const SpanNode& node);
+
 /// Owns one span tree and the steady-clock epoch its offsets are measured
 /// from. A null TraceContext* (tracing disabled, the default) costs a
 /// single pointer test at every instrumentation site.
@@ -108,6 +137,11 @@ class TraceContext {
   /// Microseconds since this context was created (steady clock).
   int64_t NowUs() const;
 
+  /// The steady-clock instant all of this context's offsets are measured
+  /// from. Lets an enclosing timeline (the server's per-request spans)
+  /// compute the base offset for grafting this tree via SnapshotSpan.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
   /// Starts a parentless span on this context's timeline; attach it later
   /// with TraceSpan::Adopt.
   std::unique_ptr<TraceSpan> Detach(std::string name) const {
@@ -119,15 +153,20 @@ class TraceContext {
   static uint32_t CurrentThreadId();
 
   /// Indented tree rendering: name, duration, tags.
-  std::string RenderText() const;
+  std::string RenderText() const { return trace::RenderText(Snapshot()); }
 
   /// Nested-object JSON: {"name": ..., "start_us": ..., "dur_us": ...,
   /// "tid": ..., "tags": {...}, "children": [...]}.
-  std::string RenderJson() const;
+  std::string RenderJson() const { return trace::RenderJson(Snapshot()); }
 
   /// Chrome trace-event JSON (load in chrome://tracing or Perfetto):
   /// {"traceEvents": [{"ph": "X", "name": ..., "ts": ..., "dur": ...}]}.
-  std::string RenderChromeTrace() const;
+  std::string RenderChromeTrace() const {
+    return trace::RenderChromeTrace(Snapshot());
+  }
+
+  /// Value-tree copy of the whole trace (see SnapshotSpan).
+  SpanNode Snapshot() const { return SnapshotSpan(*root_); }
 
  private:
   std::chrono::steady_clock::time_point epoch_;

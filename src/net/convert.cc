@@ -1,5 +1,6 @@
 #include "net/convert.h"
 
+#include <memory>
 #include <utility>
 
 namespace dkb::net {
@@ -21,6 +22,10 @@ WireResultSet ResultSetFromOutcome(testbed::QueryOutcome&& outcome,
   }
   if (report_formats & kReportChrome) {
     rs.report_chrome = outcome.report.ChromeTrace();
+  }
+  if (outcome.report.trace != nullptr) {
+    rs.trace = std::make_shared<trace::SpanNode>(
+        outcome.report.trace->Snapshot());
   }
   return rs;
 }

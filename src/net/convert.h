@@ -10,8 +10,11 @@ namespace dkb::net {
 
 /// Flattens a QueryOutcome into the transport-neutral result-set form,
 /// rendering the QueryReport into whichever string formats `report_formats`
-/// (OR of ReportFormat bits) asks for. The span tree itself never crosses
-/// the wire — the side that ran the query renders it.
+/// (OR of ReportFormat bits) asks for. When the query was traced, the span
+/// tree is snapshotted into WireResultSet::trace as plain values, so it can
+/// cross the wire (protocol v2) and be rendered by either side. The server
+/// replaces this raw engine tree with one wrapped in its net.* request
+/// spans before encoding (see Server::RunQueries).
 WireResultSet ResultSetFromOutcome(testbed::QueryOutcome&& outcome,
                                    uint8_t report_formats);
 

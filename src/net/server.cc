@@ -8,9 +8,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <deque>
 #include <system_error>
 #include <utility>
 
+#include "common/trace.h"
 #include "datalog/parser.h"
 #include "net/convert.h"
 #include "testbed/session.h"
@@ -32,7 +36,84 @@ std::string FormatPeer(const sockaddr_in& addr) {
   return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
 }
 
+int64_t UsBetween(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+/// A value-tree span on the request timeline (offsets from frame arrival).
+trace::SpanNode MakeSpan(std::string name, int64_t start_us, int64_t end_us) {
+  trace::SpanNode node;
+  node.name = std::move(name);
+  node.start_us = start_us;
+  node.end_us = end_us;
+  node.tid = trace::TraceContext::CurrentThreadId();
+  return node;
+}
+
+metrics::MetricSample HistogramSample(const std::string& name,
+                                      const metrics::Histogram& h) {
+  metrics::MetricSample s;
+  s.name = name;
+  s.kind = "histogram";
+  s.value = h.count();
+  s.sum = h.sum();
+  s.max = h.max();
+  s.p50 = h.ApproxQuantile(0.5);
+  s.p99 = h.ApproxQuantile(0.99);
+  return s;
+}
+
+metrics::MetricSample CounterSample(const std::string& name, int64_t value) {
+  metrics::MetricSample s;
+  s.name = name;
+  s.kind = "counter";
+  s.value = value;
+  return s;
+}
+
+metrics::MetricSample GaugeSample(const std::string& name, int64_t value) {
+  metrics::MetricSample s;
+  s.name = name;
+  s.kind = "gauge";
+  s.value = value;
+  return s;
+}
+
+/// One line for the network-layer slow-request log, mirroring the flight
+/// recorder's slow-query record shape.
+std::string FormatSlowRequest(int64_t conn_id, const std::string& peer,
+                              MsgType type, int64_t total_us,
+                              int64_t queue_us, size_t request_bytes,
+                              size_t response_bytes, bool json) {
+  if (json) {
+    std::string out = "{\"slow_request\": true";
+    out += ", \"connection_id\": " + std::to_string(conn_id);
+    out += ", \"peer\": \"" + std::string(peer) + "\"";
+    out += ", \"type\": \"" + std::string(MsgTypeName(type)) + "\"";
+    out += ", \"total_us\": " + std::to_string(total_us);
+    out += ", \"queue_us\": " + std::to_string(queue_us);
+    out += ", \"bytes_received\": " + std::to_string(request_bytes);
+    out += ", \"bytes_sent\": " + std::to_string(response_bytes) + "}";
+    return out;
+  }
+  std::string out = "[dkb slow request]";
+  out += " conn=" + std::to_string(conn_id);
+  out += " peer=" + peer;
+  out += std::string(" type=") + MsgTypeName(type);
+  out += " total_us=" + std::to_string(total_us);
+  out += " queue_us=" + std::to_string(queue_us);
+  out += " bytes_received=" + std::to_string(request_bytes);
+  out += " bytes_sent=" + std::to_string(response_bytes);
+  return out;
+}
+
 }  // namespace
+
+int64_t Server::RequestContext::SinceArrivalUs() const {
+  return UsBetween(arrival, std::chrono::steady_clock::now());
+}
 
 /// Everything a connection accumulates beyond its registry counters: the
 /// COW session opened by Hello and the prepared-statement table. Owned by
@@ -94,7 +175,9 @@ Status Server::Start(testbed::Testbed* testbed, const ServerOptions& options) {
 
   stop_.store(false, std::memory_order_release);
   started_ = true;
+  stats_.started_at = std::chrono::steady_clock::now();
   testbed_->SetConnectionsSource([this]() { return Connections(); });
+  testbed_->SetServerStatsSource([this]() { return StatsSnapshot(); });
   accept_thread_ = std::thread([this]() { AcceptLoop(); });
   return Status::OK();
 }
@@ -118,10 +201,12 @@ void Server::Stop() {
     while (active_threads_ > 0) active_cv_.Wait(lock);
   }
   testbed_->SetConnectionsSource(nullptr);
+  testbed_->SetServerStatsSource(nullptr);
   started_ = false;
 }
 
 std::vector<testbed::Testbed::ConnectionInfo> Server::Connections() const {
+  const auto now = std::chrono::steady_clock::now();
   MutexLock lock(conns_mu_);
   std::vector<testbed::Testbed::ConnectionInfo> out;
   out.reserve(conns_.size());
@@ -135,7 +220,48 @@ std::vector<testbed::Testbed::ConnectionInfo> Server::Connections() const {
     info.bytes_in = conn->bytes_in.load(std::memory_order_relaxed);
     info.bytes_out = conn->bytes_out.load(std::memory_order_relaxed);
     info.queries = conn->queries.load(std::memory_order_relaxed);
+    info.requests = conn->requests.load(std::memory_order_relaxed);
+    info.errors = conn->errors.load(std::memory_order_relaxed);
+    info.age_us = UsBetween(conn->accepted_at, now);
     out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<metrics::MetricSample> Server::StatsSnapshot() const {
+  const auto now = std::chrono::steady_clock::now();
+  int64_t active = 0;
+  {
+    MutexLock lock(conns_mu_);
+    active = static_cast<int64_t>(conns_.size());
+  }
+  auto relaxed = [](const std::atomic<int64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  std::vector<metrics::MetricSample> out;
+  out.push_back(GaugeSample("uptime_us", UsBetween(stats_.started_at, now)));
+  out.push_back(
+      CounterSample("connections.accepted", relaxed(stats_.accepted)));
+  out.push_back(GaugeSample("connections.active", active));
+  out.push_back(
+      CounterSample("connections.errored", relaxed(stats_.errored)));
+  out.push_back(CounterSample("frame_cap_rejections",
+                              relaxed(stats_.frame_cap_rejections)));
+  out.push_back(
+      CounterSample("malformed_frames", relaxed(stats_.malformed_frames)));
+  out.push_back(CounterSample("bytes_in", relaxed(stats_.bytes_in)));
+  out.push_back(CounterSample("bytes_out", relaxed(stats_.bytes_out)));
+  out.push_back(HistogramSample("queue_us", stats_.queue_us));
+  out.push_back(HistogramSample("decode_us", stats_.decode_us));
+  out.push_back(HistogramSample("execute_us", stats_.execute_us));
+  out.push_back(HistogramSample("encode_us", stats_.encode_us));
+  for (size_t i = 0; i < Stats::kTypeSlots; ++i) {
+    if (stats_.requests[i].value() == 0) continue;
+    const char* name = MsgTypeName(static_cast<MsgType>(i));
+    out.push_back(CounterSample(std::string("requests.") + name,
+                                stats_.requests[i].value()));
+    out.push_back(HistogramSample(std::string("request_us.") + name,
+                                  stats_.request_us[i]));
   }
   return out;
 }
@@ -160,6 +286,8 @@ void Server::AcceptLoop() {
     conn->fd = fd;
     conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     conn->peer = FormatPeer(peer);
+    conn->accepted_at = std::chrono::steady_clock::now();
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
     {
       MutexLock lock(conns_mu_);
       conns_[conn->id] = conn;
@@ -190,6 +318,8 @@ bool Server::SendAll(Connection* conn, std::string_view data) {
   }
   conn->bytes_out.fetch_add(static_cast<int64_t>(data.size()),
                             std::memory_order_relaxed);
+  stats_.bytes_out.fetch_add(static_cast<int64_t>(data.size()),
+                             std::memory_order_relaxed);
   return true;
 }
 
@@ -197,21 +327,47 @@ void Server::Serve(std::shared_ptr<Connection> conn) {
   ConnState state;
   FrameDecoder decoder(options_.max_frame_len);
   std::vector<char> buf(64 * 1024);
+  // Complete frames waiting behind the one being handled. Frames are
+  // timestamped the moment they are fully received, so queue_us measures
+  // real pipeline backlog (time parked here), not just loop overhead.
+  struct PendingFrame {
+    Frame frame;
+    std::chrono::steady_clock::time_point arrival;
+  };
+  std::deque<PendingFrame> pending;
   bool open = true;
+
+  // Hot-path handles into the global registry (lookup once per connection,
+  // not per request).
+  metrics::MetricsRegistry& global = metrics::GlobalMetrics();
+  metrics::Counter& g_requests = global.counter("dkb.server.requests");
+  metrics::Histogram& g_queue = global.histogram("dkb.server.queue_us");
+  metrics::Histogram& g_decode = global.histogram("dkb.server.decode_us");
+  metrics::Histogram& g_execute = global.histogram("dkb.server.execute_us");
+  metrics::Histogram& g_encode = global.histogram("dkb.server.encode_us");
+  metrics::Histogram& g_request = global.histogram("dkb.server.request_us");
 
   while (open && !stop_.load(std::memory_order_acquire)) {
     ssize_t n = read(conn->fd, buf.data(), buf.size());
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF or error: peer is gone
     conn->bytes_in.fetch_add(n, std::memory_order_relaxed);
+    stats_.bytes_in.fetch_add(n, std::memory_order_relaxed);
     decoder.Append(buf.data(), static_cast<size_t>(n));
 
-    Frame frame;
     for (;;) {
+      Frame frame;
       FrameDecoder::Next next = decoder.Pop(&frame);
       if (next == FrameDecoder::Next::kNeedMore) break;
       if (next == FrameDecoder::Next::kError) {
         // The length prefix can no longer be trusted; report and close.
+        if (decoder.error_kind() == FrameDecoder::ErrorKind::kOverCap) {
+          stats_.frame_cap_rejections.fetch_add(1,
+                                                std::memory_order_relaxed);
+        } else {
+          stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+        }
+        conn->errors.fetch_add(1, std::memory_order_relaxed);
         SendAll(conn.get(),
                 EncodeFrame(MsgType::kError, 0,
                             EncodeErrorPayload(decoder.error())));
@@ -219,16 +375,76 @@ void Server::Serve(std::shared_ptr<Connection> conn) {
         break;
       }
       conn->frames_received.fetch_add(1, std::memory_order_relaxed);
+      pending.push_back(
+          PendingFrame{std::move(frame), std::chrono::steady_clock::now()});
+    }
+
+    while (open && !pending.empty()) {
+      PendingFrame pf = std::move(pending.front());
+      pending.pop_front();
+      RequestContext rctx;
+      rctx.arrival = pf.arrival;
+      rctx.queue_us = rctx.SinceArrivalUs();
+      conn->requests.fetch_add(1, std::memory_order_relaxed);
+      g_requests.Add(1);
+      stats_.queue_us.Observe(rctx.queue_us);
+      g_queue.Observe(rctx.queue_us);
+
       bool close_conn = false;
       std::string response =
-          HandleRequest(conn.get(), &state, frame, &close_conn);
-      if (!SendAll(conn.get(), response) || close_conn) {
-        open = false;
-        break;
+          HandleRequest(conn.get(), &state, pf.frame, &rctx, &close_conn);
+      const bool is_error =
+          response.size() > 4 &&
+          static_cast<uint8_t>(response[4]) ==
+              static_cast<uint8_t>(MsgType::kError);
+      if (is_error) conn->errors.fetch_add(1, std::memory_order_relaxed);
+      const bool sent = SendAll(conn.get(), response);
+      const int64_t total_us = rctx.SinceArrivalUs();
+
+      if (rctx.decode_us >= 0) {
+        stats_.decode_us.Observe(rctx.decode_us);
+        g_decode.Observe(rctx.decode_us);
       }
+      if (rctx.execute_us >= 0) {
+        stats_.execute_us.Observe(rctx.execute_us);
+        g_execute.Observe(rctx.execute_us);
+      }
+      if (rctx.encode_us >= 0) {
+        stats_.encode_us.Observe(rctx.encode_us);
+        g_encode.Observe(rctx.encode_us);
+      }
+      g_request.Observe(total_us);
+      const auto type_slot = static_cast<size_t>(pf.frame.type);
+      if (type_slot < Stats::kTypeSlots) {
+        stats_.requests[type_slot].Add(1);
+        stats_.request_us[type_slot].Observe(total_us);
+      }
+
+      if (options_.slow_request_us >= 0 &&
+          total_us > options_.slow_request_us) {
+        const testbed::SlowQueryLogOptions slow =
+            testbed_->recorder().slow_query_log();
+        const std::string record = FormatSlowRequest(
+            conn->id, conn->peer, pf.frame.type, total_us, rctx.queue_us,
+            pf.frame.payload.size() + kFrameHeaderLen + 4, response.size(),
+            slow.json);
+        metrics::GlobalMetrics()
+            .counter("dkb.server.slow_requests")
+            .Add(1);
+        if (slow.sink) {
+          slow.sink(record);
+        } else {
+          std::fprintf(stderr, "%s\n", record.c_str());
+        }
+      }
+
+      if (!sent || close_conn) open = false;
     }
   }
 
+  if (conn->errors.load(std::memory_order_relaxed) > 0) {
+    stats_.errored.fetch_add(1, std::memory_order_relaxed);
+  }
   {
     MutexLock lock(conns_mu_);
     conns_.erase(conn->id);
@@ -236,10 +452,160 @@ void Server::Serve(std::shared_ptr<Connection> conn) {
   close(conn->fd);
 }
 
+std::string Server::RunQueries(
+    Connection* conn, ConnState* state, uint32_t request_id,
+    std::vector<QuerySpec>& specs, RequestContext* rctx,
+    size_t request_payload_bytes,
+    const std::function<std::string(const Status&)>& error) {
+  // Per-goal execution metadata kept alongside the result sets so the
+  // encode loop below can build each goal's span tree.
+  struct GoalMeta {
+    bool sampled = false;
+    bool has_engine = false;
+    trace::SpanNode engine;
+    int64_t query_id = 0;
+    int64_t exec_start = 0;
+    int64_t exec_end = 0;
+  };
+  std::vector<WireResultSet> sets;
+  std::vector<GoalMeta> metas;
+  sets.reserve(specs.size());
+  metas.reserve(specs.size());
+
+  for (QuerySpec& spec : specs) {
+    GoalMeta meta;
+    meta.sampled =
+        spec.opts.sampled || spec.opts.options.collect_trace ||
+        spec.opts.options.explain == testbed::ExplainMode::kAnalyze;
+    testbed::QueryOptions qopts = spec.opts.options;
+    // A sampled request turns on engine tracing even when the caller's
+    // options alone would not have (the wire sampling flag is the
+    // distributed-trace opt-in).
+    if (meta.sampled) qopts.collect_trace = true;
+    conn->queries.fetch_add(1, std::memory_order_relaxed);
+    meta.exec_start = rctx->SinceArrivalUs();
+    auto outcome = state->session->Query(spec.goal, qopts);
+    if (!outcome.ok()) return error(outcome.status());
+    meta.exec_end = rctx->SinceArrivalUs();
+    meta.query_id = outcome->report.query_id;
+    if (meta.sampled && outcome->report.trace != nullptr) {
+      // Re-base the engine tree's offsets from its own epoch onto the
+      // request timeline (frame arrival = 0) before grafting it under
+      // net.execute.
+      const int64_t base =
+          UsBetween(rctx->arrival, outcome->report.trace->epoch());
+      meta.engine =
+          trace::SnapshotSpan(*outcome->report.trace->root(), base);
+      meta.has_engine = true;
+      // The conversion below would snapshot the tree a second time for
+      // rs.trace, which is replaced by the wrapped net.* tree anyway; drop
+      // the context first unless a pre-rendered report still needs it.
+      if (spec.opts.report_formats == kReportNone) {
+        outcome->report.trace.reset();
+      }
+    }
+    // ResultSetFromOutcome attaches the raw engine tree (in-process
+    // semantics); the wrapped net.* tree built below replaces it.
+    sets.push_back(ResultSetFromOutcome(std::move(*outcome),
+                                        spec.opts.report_formats));
+    metas.push_back(std::move(meta));
+  }
+  int64_t exec_total = 0;
+  for (const GoalMeta& meta : metas) {
+    exec_total += meta.exec_end - meta.exec_start;
+  }
+  rctx->execute_us = exec_total;
+
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(sets.size()));
+  const int64_t encode_start = rctx->SinceArrivalUs();
+  for (size_t i = 0; i < sets.size(); ++i) {
+    const int64_t enc_start = rctx->SinceArrivalUs();
+    EncodeResultSet(&w, sets[i]);
+    const int64_t enc_end = rctx->SinceArrivalUs();
+    GoalMeta& meta = metas[i];
+    if (!meta.sampled) {
+      sets[i].trace = nullptr;
+      continue;
+    }
+    trace::SpanNode root = MakeSpan("net.request", 0, 0);
+    root.tags.push_back({"request_id", std::to_string(request_id),
+                         /*is_number=*/true});
+    root.tags.push_back({"connection_id", std::to_string(conn->id),
+                         /*is_number=*/true});
+    if (specs[i].opts.trace_id != 0) {
+      root.tags.push_back({"trace_id", std::to_string(specs[i].opts.trace_id),
+                           /*is_number=*/true});
+    }
+    if (specs[i].opts.parent_span_id != 0) {
+      root.tags.push_back(
+          {"parent_span_id", std::to_string(specs[i].opts.parent_span_id),
+           /*is_number=*/true});
+    }
+    root.children.push_back(MakeSpan("net.queue", 0, rctx->queue_us));
+    root.children.push_back(MakeSpan(
+        "net.decode", rctx->queue_us, rctx->queue_us + rctx->decode_us));
+    trace::SpanNode exec =
+        MakeSpan("net.execute", meta.exec_start, meta.exec_end);
+    if (meta.has_engine) exec.children.push_back(std::move(meta.engine));
+    root.children.push_back(std::move(exec));
+    root.children.push_back(MakeSpan("net.encode", enc_start, enc_end));
+    // The root closes here — everything after (trace serialization, the
+    // send) cannot observe itself.
+    root.end_us = rctx->SinceArrivalUs();
+    sets[i].trace = std::make_shared<trace::SpanNode>(std::move(root));
+  }
+  rctx->encode_us = rctx->SinceArrivalUs() - encode_start;
+  EncodeTraceSection(&w, sets);
+
+  std::string response = EncodeFrame(MsgType::kResultSets, request_id,
+                                     w.Take());
+  const int64_t request_bytes =
+      static_cast<int64_t>(request_payload_bytes + kFrameHeaderLen + 4);
+  for (const GoalMeta& meta : metas) {
+    testbed_->recorder().AnnotateBytes(
+        meta.query_id, static_cast<int64_t>(response.size()), request_bytes);
+  }
+  return response;
+}
+
+std::string Server::BuildStatsReply(uint32_t request_id,
+                                    uint8_t sections) const {
+  StatsReply reply;
+  reply.sections = sections;
+  if ((sections & kStatsServer) != 0) reply.server = StatsSnapshot();
+  if ((sections & kStatsConnections) != 0) {
+    for (testbed::Testbed::ConnectionInfo& ci : Connections()) {
+      WireConnectionRow row;
+      row.connection_id = ci.connection_id;
+      row.peer = std::move(ci.peer);
+      row.session_id = ci.session_id;
+      row.frames_received = ci.frames_received;
+      row.bytes_in = ci.bytes_in;
+      row.bytes_out = ci.bytes_out;
+      row.queries = ci.queries;
+      row.requests = ci.requests;
+      row.errors = ci.errors;
+      row.age_us = ci.age_us;
+      reply.connections.push_back(std::move(row));
+    }
+  }
+  if ((sections & kStatsPrometheus) != 0) {
+    reply.prometheus = metrics::GlobalMetrics().RenderPrometheus();
+  }
+  WireWriter w;
+  EncodeStatsReply(&w, reply);
+  return EncodeFrame(MsgType::kStatsOk, request_id, w.Take());
+}
+
 std::string Server::HandleRequest(Connection* conn, ConnState* state,
-                                  const Frame& frame, bool* close_conn) {
+                                  const Frame& frame, RequestContext* rctx,
+                                  bool* close_conn) {
   const uint32_t id = frame.request_id;
-  auto error = [id](const Status& status) {
+  auto error = [this, id](const Status& status) {
+    if (status.code() == ErrorCode::kProtocolError) {
+      stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    }
     return EncodeFrame(MsgType::kError, id, EncodeErrorPayload(status));
   };
   auto ok = [id]() { return EncodeFrame(MsgType::kOk, id, ""); };
@@ -251,6 +617,16 @@ std::string Server::HandleRequest(Connection* conn, ConnState* state,
   }
 
   WireReader r(frame.payload);
+
+  // Stats is sessionless: answered before (or without) Hello, so monitors
+  // like dkb_top never open a COW session or change engine state.
+  if (frame.type == MsgType::kStats) {
+    uint8_t sections = 0;
+    if (!DecodeStatsRequest(frame.payload, &sections)) {
+      return error(Status::ProtocolError("malformed Stats payload"));
+    }
+    return BuildStatsReply(id, sections);
+  }
 
   if (!state->hello_done) {
     if (frame.type != MsgType::kHello) {
@@ -388,22 +764,25 @@ std::string Server::HandleRequest(Connection* conn, ConnState* state,
       if (!r.Done()) {
         return error(Status::ProtocolError("malformed Execute payload"));
       }
-      WireWriter w;
-      w.U32(static_cast<uint32_t>(stmts.size()));
+      rctx->decode_us = rctx->SinceArrivalUs() - rctx->queue_us;
+      std::vector<QuerySpec> specs;
+      specs.reserve(stmts.size());
       for (uint32_t stmt_id : stmts) {
         auto it = state->prepared.find(stmt_id);
         if (it == state->prepared.end()) {
           return error(Status::NotFound("no prepared statement with id " +
                                         std::to_string(stmt_id)));
         }
-        conn->queries.fetch_add(1, std::memory_order_relaxed);
-        auto outcome =
-            state->session->Query(it->second.goal, it->second.options);
-        if (!outcome.ok()) return error(outcome.status());
-        EncodeResultSet(&w, ResultSetFromOutcome(std::move(*outcome),
-                                                 it->second.report_formats));
+        // Prepared statements carry no per-execution trace context; an
+        // Execute is traced only when its options asked for a trace at
+        // Prepare time.
+        WireQueryOptions opts;
+        opts.options = it->second.options;
+        opts.report_formats = it->second.report_formats;
+        specs.push_back(QuerySpec{it->second.goal, opts});
       }
-      return EncodeFrame(MsgType::kResultSets, id, w.Take());
+      return RunQueries(conn, state, id, specs, rctx,
+                        frame.payload.size(), error);
     }
 
     case MsgType::kQuery: {
@@ -425,16 +804,14 @@ std::string Server::HandleRequest(Connection* conn, ConnState* state,
       if (!r.Done()) {
         return error(Status::ProtocolError("malformed Query payload"));
       }
-      WireWriter w;
-      w.U32(static_cast<uint32_t>(goals.size()));
-      for (const std::string& goal : goals) {
-        conn->queries.fetch_add(1, std::memory_order_relaxed);
-        auto outcome = state->session->Query(goal, opts.options);
-        if (!outcome.ok()) return error(outcome.status());
-        EncodeResultSet(&w, ResultSetFromOutcome(std::move(*outcome),
-                                                 opts.report_formats));
+      rctx->decode_us = rctx->SinceArrivalUs() - rctx->queue_us;
+      std::vector<QuerySpec> specs;
+      specs.reserve(goals.size());
+      for (std::string& goal : goals) {
+        specs.push_back(QuerySpec{std::move(goal), opts});
       }
-      return EncodeFrame(MsgType::kResultSets, id, w.Take());
+      return RunQueries(conn, state, id, specs, rctx,
+                        frame.payload.size(), error);
     }
 
     case MsgType::kSql: {
@@ -442,15 +819,21 @@ std::string Server::HandleRequest(Connection* conn, ConnState* state,
       if (!r.Str(&statement) || !r.Done()) {
         return error(Status::ProtocolError("malformed Sql payload"));
       }
+      rctx->decode_us = rctx->SinceArrivalUs() - rctx->queue_us;
+      const int64_t exec_start = rctx->SinceArrivalUs();
       auto result = testbed_->ExecuteSql(statement);
       if (!result.ok()) return error(result.status());
+      rctx->execute_us = rctx->SinceArrivalUs() - exec_start;
       WireResultSet rs;
       rs.schema = std::move(result->schema);
       rs.rows = std::move(result->rows);
       rs.rows_affected = result->rows_affected;
+      const int64_t encode_start = rctx->SinceArrivalUs();
       WireWriter w;
       w.U32(1);
       EncodeResultSet(&w, rs);
+      rctx->encode_us = rctx->SinceArrivalUs() - encode_start;
+      w.U32(0);  // trace section: SQL statements carry no span tree
       return EncodeFrame(MsgType::kResultSets, id, w.Take());
     }
 

@@ -79,6 +79,9 @@ RowId Table::ScanBatch(RowId cursor, RowBatch* out) const {
     if (!slot.deleted) out->AppendRow(slot.tuple);
     ++cursor;
   }
+  if (!out->empty()) {
+    scan_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
   return cursor;
 }
 

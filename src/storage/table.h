@@ -89,6 +89,12 @@ class Table : public ScanSource {
     return morsels_.load(std::memory_order_relaxed);
   }
 
+  /// Non-empty batches ScanBatch has produced from this shard (same relaxed
+  /// statistics-only discipline as the morsel counter), for sys.shards.
+  uint64_t scan_batches() const {
+    return scan_batches_.load(std::memory_order_relaxed);
+  }
+
   bool IsLive(RowId rid) const {
     return rid < rows_.size() && !rows_[rid].deleted;
   }
@@ -131,6 +137,7 @@ class Table : public ScanSource {
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
   mutable std::atomic<uint64_t> morsels_{0};
+  mutable std::atomic<uint64_t> scan_batches_{0};
 };
 
 // Defined here, where Table is complete: the generic Scan walks shards in

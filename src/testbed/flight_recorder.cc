@@ -50,7 +50,7 @@ QueryLogEntry FlightRecorder::MakeEntry(const QueryReport& report,
       entry.lfp_iterations.push_back(std::move(it));
     }
   }
-  if (report.trace != nullptr) entry.trace_json = report.ChromeTrace();
+  entry.trace = report.trace;
   return entry;
 }
 
@@ -86,6 +86,20 @@ void FlightRecorder::Record(QueryLogEntry entry) {
     slow_opts.sink(record);
   } else {
     std::fprintf(stderr, "%s\n", record.c_str());
+  }
+}
+
+void FlightRecorder::AnnotateBytes(int64_t query_id, int64_t bytes_sent,
+                                   int64_t bytes_received) {
+  MutexLock lock(mu_);
+  // Scan newest-first: the entry being annotated almost always is the one
+  // just recorded at the back of the ring.
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->query_id == query_id) {
+      it->bytes_sent = bytes_sent;
+      it->bytes_received = bytes_received;
+      return;
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,13 @@ struct QueryLogEntry {
   int64_t total_us = 0;
   int64_t batches = 0;     // row batches drained at plan roots (DBMS delta)
   int64_t shards = 1;      // catalog default shard count when the query ran
+  /// Wire traffic attributed to this query, annotated after the fact by the
+  /// network server (AnnotateBytes); both stay 0 for in-process queries.
+  /// For a batched request the whole request/response frame is attributed
+  /// to each query in the batch (the frame is the unit that crossed the
+  /// wire).
+  int64_t bytes_sent = 0;      // response frame bytes (server -> client)
+  int64_t bytes_received = 0;  // request frame bytes (client -> server)
   std::vector<PhaseTiming> phases;  // Table-4 then Table-5 order
 
   struct LfpIteration {
@@ -41,8 +49,11 @@ struct QueryLogEntry {
   };
   std::vector<LfpIteration> lfp_iterations;
 
-  /// Chrome trace-event JSON; empty unless the query ran with tracing.
-  std::string trace_json;
+  /// The query's settled trace context; null unless the query ran with
+  /// tracing. Shared with QueryReport::trace (no per-query tree copy or
+  /// string rendering on the record path) — sys.query_log snapshots and
+  /// renders it on read. The context is immutable once the query returns.
+  std::shared_ptr<const trace::TraceContext> trace;
 };
 
 /// Slow-query log configuration. Disabled by default; when a recorded
@@ -58,8 +69,8 @@ struct SlowQueryLogOptions {
 
 /// Always-on ring buffer of the last N completed queries (the testbed's
 /// flight recorder). Memory is bounded: the ring holds at most `capacity`
-/// entries and per-query span trees are retained only as their rendered
-/// Chrome-trace JSON, not as live TraceContext objects.
+/// entries; traced entries share the query's settled TraceContext rather
+/// than copying the span tree.
 ///
 /// Thread safety: Record/Snapshot/SetCapacity take a short mutex;
 /// NextQueryId is a lone atomic increment. Queries from concurrent sessions
@@ -84,6 +95,12 @@ class FlightRecorder {
   /// testbed recording hook and tests).
   static QueryLogEntry MakeEntry(const QueryReport& report, int64_t query_id,
                                  int64_t session_id, int64_t rows_out);
+
+  /// Fills in the wire-traffic columns of an already-recorded entry (the
+  /// network server learns the response size only after the query has been
+  /// recorded). No-op when the entry has rotated out of the ring.
+  void AnnotateBytes(int64_t query_id, int64_t bytes_sent,
+                     int64_t bytes_received) DKB_EXCLUDES(mu_);
 
   /// Oldest-first copy of the ring.
   std::vector<QueryLogEntry> Snapshot() const DKB_EXCLUDES(mu_);

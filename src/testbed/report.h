@@ -63,8 +63,11 @@ struct QueryReport {
   exec::ExecStatsSnapshot db_delta;  // DBMS counter deltas for this query
   PlanSummary plan;
   /// Span tree; non-null only when the query ran with tracing
-  /// (QueryOptions::collect_trace or ExplainMode::kAnalyze).
-  std::unique_ptr<trace::TraceContext> trace;
+  /// (QueryOptions::collect_trace or ExplainMode::kAnalyze). Shared, not
+  /// unique: the flight recorder's query-log entry keeps a reference to
+  /// the same settled context instead of deep-copying the tree on every
+  /// traced query.
+  std::shared_ptr<trace::TraceContext> trace;
 
   /// Compilation then execution phases in table order (t_setup ... t_comp,
   /// t_temp, t_rhs, t_term, t_final). Execution entries are present only

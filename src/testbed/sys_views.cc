@@ -9,6 +9,7 @@
 
 #include "common/interner.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "testbed/flight_recorder.h"
 #include "testbed/testbed.h"
 
@@ -47,6 +48,8 @@ Schema QueryLogSchema() {
       {"t_final_us", DataType::kInteger},
       {"batches", DataType::kInteger},
       {"shards", DataType::kInteger},
+      {"bytes_sent", DataType::kInteger},
+      {"bytes_received", DataType::kInteger},
       {"trace", DataType::kVarchar},
   });
 }
@@ -92,8 +95,13 @@ Schema ConnectionsSchema() {
       {"bytes_in", DataType::kInteger},
       {"bytes_out", DataType::kInteger},
       {"queries", DataType::kInteger},
+      {"requests", DataType::kInteger},
+      {"errors", DataType::kInteger},
+      {"age_us", DataType::kInteger},
   });
 }
+
+Schema ServerSchema() { return MetricsSchema(); }
 
 Schema ShardsSchema() {
   return Schema({
@@ -103,6 +111,7 @@ Schema ShardsSchema() {
       {"rows", DataType::kInteger},
       {"bytes", DataType::kInteger},
       {"morsels", DataType::kInteger},
+      {"scan_batches", DataType::kInteger},
   });
 }
 
@@ -148,7 +157,9 @@ Result<std::shared_ptr<const Table>> QueryLogProvider(Testbed* tb) {
         us("t_extract"), us("t_read"), us("t_analyze"), us("t_opt"),
         us("t_eol"), us("t_sem"), us("t_gen"), us("t_comp"), us("t_temp"),
         us("t_rhs"), us("t_term"), us("t_final"), IntVal(e.batches),
-        IntVal(e.shards), Value(e.trace_json)});
+        IntVal(e.shards), IntVal(e.bytes_sent), IntVal(e.bytes_received),
+        Value(e.trace == nullptr ? std::string()
+                                 : e.trace->RenderChromeTrace())});
   }
   return Materialize("sys.query_log", QueryLogSchema(), std::move(rows));
 }
@@ -194,9 +205,20 @@ Result<std::shared_ptr<const Table>> ConnectionsProvider(Testbed* tb) {
     rows.push_back(Tuple{IntVal(c.connection_id), Value(c.peer),
                          IntVal(c.session_id), IntVal(c.frames_received),
                          IntVal(c.bytes_in), IntVal(c.bytes_out),
-                         IntVal(c.queries)});
+                         IntVal(c.queries), IntVal(c.requests),
+                         IntVal(c.errors), IntVal(c.age_us)});
   }
   return Materialize("sys.connections", ConnectionsSchema(), std::move(rows));
+}
+
+Result<std::shared_ptr<const Table>> ServerProvider(Testbed* tb) {
+  std::vector<Tuple> rows;
+  for (const metrics::MetricSample& s : tb->ServerStatsSnapshot()) {
+    rows.push_back(Tuple{Value(s.name), Value(s.kind), IntVal(s.value),
+                         IntVal(s.sum), IntVal(s.max), IntVal(s.p50),
+                         IntVal(s.p99)});
+  }
+  return Materialize("sys.server", ServerSchema(), std::move(rows));
 }
 
 Result<std::shared_ptr<const Table>> ShardsProvider(Testbed* tb) {
@@ -218,7 +240,8 @@ Result<std::shared_ptr<const Table>> ShardsProvider(Testbed* tb) {
           Value(src.name()), Value("table"), IntVal(static_cast<int64_t>(s)),
           IntVal(static_cast<int64_t>(shard.num_tuples())),
           IntVal(static_cast<int64_t>(shard.ApproxBytes())),
-          IntVal(static_cast<int64_t>(shard.morsels_dispatched()))});
+          IntVal(static_cast<int64_t>(shard.morsels_dispatched())),
+          IntVal(static_cast<int64_t>(shard.scan_batches()))});
     }
   }
   const auto segments = GlobalStringDict().SegmentSizes();
@@ -226,7 +249,7 @@ Result<std::shared_ptr<const Table>> ShardsProvider(Testbed* tb) {
     rows.push_back(Tuple{Value("<interner>"), Value("interner"),
                          IntVal(static_cast<int64_t>(i)),
                          IntVal(static_cast<int64_t>(segments[i])), IntVal(0),
-                         IntVal(0)});
+                         IntVal(0), IntVal(0)});
   }
   return Materialize("sys.shards", ShardsSchema(), std::move(rows));
 }
@@ -285,6 +308,9 @@ const std::vector<SystemViewDef>& SystemViewDefs() {
           {"sys.connections", ConnectionsSchema(),
            "live network connections (empty unless a dkb_server is "
            "attached)"},
+          {"sys.server", ServerSchema(),
+           "server request-lifecycle telemetry (empty unless a dkb_server "
+           "is attached)"},
           {"sys.settings", SettingsSchema(),
            "effective testbed and query-default configuration"},
       };
@@ -310,6 +336,9 @@ Status RegisterSystemViews(Database* db, Testbed* testbed) {
   DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
       "sys.connections", ConnectionsSchema(),
       [testbed]() { return ConnectionsProvider(testbed); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.server", ServerSchema(),
+      [testbed]() { return ServerProvider(testbed); }));
   DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
       "sys.settings", SettingsSchema(),
       [testbed]() { return SettingsProvider(testbed); }));

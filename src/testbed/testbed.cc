@@ -199,7 +199,7 @@ Result<QueryOutcome> Testbed::QueryImpl(Database* db,
   trace::TraceSpan* root = nullptr;
   if (tracing) {
     report.trace =
-        std::make_unique<trace::TraceContext>("query:" + goal.ToString());
+        std::make_shared<trace::TraceContext>("query:" + goal.ToString());
     root = report.trace->root();
   }
   WallTimer total;
@@ -376,6 +376,17 @@ std::vector<Testbed::ConnectionInfo> Testbed::ConnectionsSnapshot() const {
   MutexLock lock(connections_mu_);
   if (!connections_source_) return {};
   return connections_source_();
+}
+
+void Testbed::SetServerStatsSource(ServerStatsSource source) {
+  MutexLock lock(connections_mu_);
+  server_stats_source_ = std::move(source);
+}
+
+std::vector<metrics::MetricSample> Testbed::ServerStatsSnapshot() const {
+  MutexLock lock(connections_mu_);
+  if (!server_stats_source_) return {};
+  return server_stats_source_();
 }
 
 std::vector<Testbed::SessionInfo> Testbed::SessionSnapshot() const {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/sync.h"
 
 #include "km/compiler.h"
@@ -154,6 +155,9 @@ class Testbed {
     int64_t bytes_in = 0;
     int64_t bytes_out = 0;
     int64_t queries = 0;
+    int64_t requests = 0;  // request frames dispatched (>= queries)
+    int64_t errors = 0;    // requests answered with an Error frame
+    int64_t age_us = 0;    // microseconds since the connection was accepted
   };
   using ConnectionsSource = std::function<std::vector<ConnectionInfo>()>;
 
@@ -165,6 +169,20 @@ class Testbed {
 
   /// Snapshot of the installed connections source (empty without one).
   std::vector<ConnectionInfo> ConnectionsSnapshot() const
+      DKB_EXCLUDES(connections_mu_);
+
+  /// Provider behind sys.server: the attached server's request-lifecycle
+  /// statistics in the sys.metrics row shape (name/kind/value/sum/max/
+  /// p50/p99). Same install/remove discipline and locking constraints as
+  /// the connections source: the callback must never re-enter Testbed
+  /// entry points that take mu_.
+  using ServerStatsSource =
+      std::function<std::vector<metrics::MetricSample>()>;
+  void SetServerStatsSource(ServerStatsSource source)
+      DKB_EXCLUDES(connections_mu_);
+
+  /// Snapshot of the installed server-stats source (empty without one).
+  std::vector<metrics::MetricSample> ServerStatsSnapshot() const
       DKB_EXCLUDES(connections_mu_);
 
   Database& db() { return db_; }
@@ -242,6 +260,7 @@ class Testbed {
   /// back into Testbed entry points that take mu_.
   mutable Mutex connections_mu_;
   ConnectionsSource connections_source_ DKB_GUARDED_BY(connections_mu_);
+  ServerStatsSource server_stats_source_ DKB_GUARDED_BY(connections_mu_);
 
   /// Guards the open-session registry only; independent of mu_ so
   /// sys.sessions never contends with running queries.

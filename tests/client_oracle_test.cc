@@ -7,6 +7,7 @@
 // test at an externally started dkb_server via DKB_ORACLE_CONNECT so the
 // real binary (process boundary included) is what gets pinned.
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "client/client.h"
+#include "common/trace.h"
 #include "client/in_process_client.h"
 #include "client/remote_client.h"
 #include "datalog/ast.h"
@@ -195,6 +197,96 @@ TEST_F(ClientOracleTest, BatchAndPreparedAgreeWithSequentialQueries) {
   ASSERT_EQ(remote_exec->size(), 1u);
   EXPECT_EQ(CanonicalBytes((*local_exec)[0]),
             CanonicalBytes((*remote_exec)[0]));
+}
+
+/// Ordered structural skeleton of a span tree: names and nesting, no
+/// offsets/tids/tag values (legitimately run-dependent).
+std::string TreeSkeleton(const trace::SpanNode& node, int depth = 0) {
+  std::string out(static_cast<size_t>(depth) * 2, ' ');
+  out += node.name + "\n";
+  for (const trace::SpanNode& child : node.children) {
+    out += TreeSkeleton(child, depth + 1);
+  }
+  return out;
+}
+
+/// Order-insensitive skeleton for trees built by pool threads, where
+/// sibling attach order is scheduling-dependent.
+std::string CanonicalSkeleton(const trace::SpanNode& node) {
+  std::vector<std::string> kids;
+  for (const trace::SpanNode& child : node.children) {
+    kids.push_back(CanonicalSkeleton(child));
+  }
+  std::sort(kids.begin(), kids.end());
+  std::string out = node.name + "(";
+  for (const std::string& k : kids) out += k + ",";
+  out += ")";
+  return out;
+}
+
+/// The engine's root span beneath the server's net.* wrapper; an
+/// in-process tree IS the engine root.
+const trace::SpanNode* FindEngineRoot(const trace::SpanNode& node) {
+  if (node.name.rfind("query:", 0) == 0) return &node;
+  for (const trace::SpanNode& child : node.children) {
+    if (const trace::SpanNode* found = FindEngineRoot(child)) return found;
+  }
+  return nullptr;
+}
+
+TEST_F(ClientOracleTest, TraceTreesMatchStructurallyAcrossTransports) {
+  std::string text =
+      ReadFileOrDie(std::string(DKB_EXAMPLES_DIR) + "/ancestor.dkb");
+  auto program = datalog::ParseProgram(text);
+  ASSERT_TRUE(program.ok());
+  std::string consult_text;
+  for (const datalog::Rule& rule : program->rules) {
+    consult_text += rule.ToString() + "\n";
+  }
+  for (const datalog::Rule& fact : program->facts) {
+    consult_text += fact.ToString() + "\n";
+  }
+  ConsultBoth(consult_text, "ancestor.dkb");
+
+  for (const auto& [label, options] : OptionMatrix()) {
+    SCOPED_TRACE(label);
+    testbed::QueryOptions traced = options;
+    traced.collect_trace = true;
+    auto a = local_->Query("ancestor(adam, W)", traced, net::kReportNone);
+    auto b = remote_->Query("ancestor(adam, W)", traced, net::kReportNone);
+    ASSERT_TRUE(a.ok()) << "in-process: " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << "remote: " << b.status().ToString();
+    ASSERT_NE(a->trace, nullptr) << "in-process result lost its span tree";
+    ASSERT_NE(b->trace, nullptr) << "remote result lost its span tree";
+
+    // The remote tree is the server's request-lifecycle wrapper; the
+    // engine tree hangs beneath net.execute.
+    EXPECT_EQ(a->trace->name.rfind("query:", 0), 0u) << a->trace->name;
+    EXPECT_EQ(b->trace->name, "net.request");
+    std::vector<std::string> wrapper_names;
+    for (const trace::SpanNode& child : b->trace->children) {
+      wrapper_names.push_back(child.name);
+    }
+    EXPECT_EQ(wrapper_names,
+              (std::vector<std::string>{"net.queue", "net.decode",
+                                        "net.execute", "net.encode"}));
+
+    const trace::SpanNode* engine_a = FindEngineRoot(*a->trace);
+    const trace::SpanNode* engine_b = FindEngineRoot(*b->trace);
+    ASSERT_NE(engine_a, nullptr);
+    ASSERT_NE(engine_b, nullptr) << "engine tree missing under net.execute";
+    if (label == "parallel4") {
+      // Pool threads attach sibling spans in scheduling order.
+      EXPECT_EQ(CanonicalSkeleton(*engine_a), CanonicalSkeleton(*engine_b));
+    } else {
+      EXPECT_EQ(TreeSkeleton(*engine_a), TreeSkeleton(*engine_b));
+    }
+  }
+
+  // Untraced queries ship no trees on either transport.
+  auto plain = remote_->Query("ancestor(adam, W)", {}, net::kReportNone);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->trace, nullptr);
 }
 
 TEST_F(ClientOracleTest, ReportRenderingsMatchAcrossTransports) {

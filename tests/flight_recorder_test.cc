@@ -144,7 +144,19 @@ TEST(FlightRecorderTest, MakeEntryFlattensReportAndIterations) {
   EXPECT_EQ(entry.lfp_iterations[0].delta_rows, 4);
   EXPECT_EQ(entry.lfp_iterations[2].iter, 3);
   EXPECT_EQ(entry.lfp_iterations[2].delta_rows, 0);
-  EXPECT_TRUE(entry.trace_json.empty());
+  EXPECT_EQ(entry.trace, nullptr);
+}
+
+TEST(FlightRecorderTest, TracedEntrySharesTheReportContext) {
+  QueryReport report;
+  report.plan.query = "anc(a, X)";
+  report.trace = std::make_shared<trace::TraceContext>("query:anc(a, X)");
+  report.trace->root()->End();
+  QueryLogEntry entry =
+      FlightRecorder::MakeEntry(report, /*query_id=*/1, /*session_id=*/0,
+                                /*rows_out=*/0);
+  // No per-query deep copy: the entry references the settled context.
+  EXPECT_EQ(entry.trace.get(), report.trace.get());
 }
 
 }  // namespace

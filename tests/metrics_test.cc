@@ -120,6 +120,49 @@ TEST(MetricsTest, GlobalRegistryIsStable) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(MetricsTest, RenderPrometheusCoversAllKindsAndSanitizesNames) {
+  MetricsRegistry registry;
+  registry.counter("dkb.test.count").Add(2);
+  registry.gauge("dkb.test.gauge").Set(9);
+  registry.histogram("dkb.test.hist").Observe(64);
+  std::string text = registry.RenderPrometheus();
+  // Dots become underscores; every sample sits under its own TYPE line.
+  EXPECT_NE(text.find("# TYPE dkb_test_count counter\ndkb_test_count 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE dkb_test_gauge gauge\ndkb_test_gauge 9\n"),
+            std::string::npos)
+      << text;
+  // Histograms render as five single-sample gauge families.
+  for (const char* suffix : {"_count", "_sum", "_max", "_p50", "_p99"}) {
+    EXPECT_NE(text.find(std::string("# TYPE dkb_test_hist") + suffix),
+              std::string::npos)
+        << suffix;
+  }
+  EXPECT_NE(text.find("dkb_test_hist_count 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("dkb_test_hist_sum 64\n"), std::string::npos) << text;
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+}
+
+TEST(MetricsTest, ValidatePrometheusTextRejectsMalformedInput) {
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(
+      "# free-form comment\n# TYPE x counter\nx 1\n", &error))
+      << error;
+  // An exposition with no samples at all is a scrape bug, not "vacuously
+  // valid".
+  EXPECT_FALSE(ValidatePrometheusText("", &error));
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE x counter\n", &error));
+  // Bad metric type.
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE x flavour\nx 1\n", &error));
+  EXPECT_NE(error.find("flavour"), std::string::npos) << error;
+  // Sample name must start with [a-zA-Z_:].
+  EXPECT_FALSE(ValidatePrometheusText("9metric 1\n", &error));
+  // Sample line needs a value.
+  EXPECT_FALSE(ValidatePrometheusText("lonely_name\n", &error));
+}
+
 TEST(MetricsTest, StructuredSnapshotCoversAllKinds) {
   MetricsRegistry registry;
   registry.counter("snap.count").Add(3);

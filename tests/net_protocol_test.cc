@@ -101,8 +101,9 @@ TEST(FrameDecoderTest, OversizedFrameIsError) {
 TEST(FrameDecoderTest, RequestTypeRange) {
   EXPECT_TRUE(IsRequestType(0x01));
   EXPECT_TRUE(IsRequestType(0x0E));
+  EXPECT_TRUE(IsRequestType(0x0F));  // kStats (v2)
   EXPECT_FALSE(IsRequestType(0x00));
-  EXPECT_FALSE(IsRequestType(0x0F));
+  EXPECT_FALSE(IsRequestType(0x10));
   EXPECT_FALSE(IsRequestType(0x81));
   EXPECT_FALSE(IsRequestType(0xFF));
 }
@@ -204,6 +205,178 @@ TEST(WireCodecTest, MalformedErrorPayloadIsProtocolError) {
   w.U16(0);  // kOk
   w.Str("fine");
   EXPECT_EQ(DecodeErrorPayload(w.str()).code(), ErrorCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Trace and stats codecs (protocol v2).
+
+void ExpectSameTree(const trace::SpanNode& a, const trace::SpanNode& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.start_us, b.start_us);
+  EXPECT_EQ(a.end_us, b.end_us);
+  EXPECT_EQ(a.tid, b.tid);
+  ASSERT_EQ(a.tags.size(), b.tags.size()) << a.name;
+  for (size_t i = 0; i < a.tags.size(); ++i) {
+    EXPECT_EQ(a.tags[i].key, b.tags[i].key);
+    EXPECT_EQ(a.tags[i].value, b.tags[i].value);
+    EXPECT_EQ(a.tags[i].is_number, b.tags[i].is_number);
+  }
+  ASSERT_EQ(a.children.size(), b.children.size()) << a.name;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    ExpectSameTree(a.children[i], b.children[i]);
+  }
+}
+
+trace::SpanNode MakeSampleTree() {
+  trace::SpanNode root;
+  root.name = "net.request";
+  root.start_us = 0;
+  root.end_us = 1500;
+  root.tid = 7;
+  root.tags = {{"request_id", "3", true}, {"peer", "127.0.0.1:9", false}};
+  trace::SpanNode execute;
+  execute.name = "net.execute";
+  execute.start_us = 10;
+  execute.end_us = 1400;
+  trace::SpanNode engine;
+  engine.name = "query:anc(a, X)";
+  engine.start_us = 12;
+  engine.end_us = 1390;
+  engine.tags = {{"iter", "4", true}};
+  execute.children.push_back(engine);
+  root.children.push_back(std::move(execute));
+  trace::SpanNode encode;
+  encode.name = "net.encode";
+  encode.start_us = 1400;
+  encode.end_us = 1500;
+  root.children.push_back(std::move(encode));
+  return root;
+}
+
+TEST(WireCodecTest, SpanNodeRoundTrip) {
+  trace::SpanNode in = MakeSampleTree();
+  WireWriter w;
+  EncodeSpanNode(&w, in);
+  WireReader r(w.str());
+  trace::SpanNode out;
+  ASSERT_TRUE(DecodeSpanNode(&r, &out));
+  EXPECT_TRUE(r.Done());
+  ExpectSameTree(in, out);
+  // Snapshot-equivalence: the decoded tree renders byte-identically, which
+  // is what makes remote and local profiling output interchangeable.
+  EXPECT_EQ(trace::RenderChromeTrace(in), trace::RenderChromeTrace(out));
+  EXPECT_EQ(trace::RenderText(in), trace::RenderText(out));
+}
+
+TEST(WireCodecTest, TruncatedSpanNodeFailsCleanly) {
+  WireWriter w;
+  EncodeSpanNode(&w, MakeSampleTree());
+  std::string bytes = w.Take();
+  for (size_t len : {bytes.size() - 1, bytes.size() / 2, size_t{3}}) {
+    WireReader r(std::string_view(bytes).substr(0, len));
+    trace::SpanNode out;
+    EXPECT_FALSE(DecodeSpanNode(&r, &out)) << "len=" << len;
+  }
+}
+
+TEST(WireCodecTest, TraceSectionSkipsUnsampledSets) {
+  std::vector<WireResultSet> sets(3);
+  sets[1].trace = std::make_shared<trace::SpanNode>(MakeSampleTree());
+  WireWriter w;
+  EncodeTraceSection(&w, sets);
+
+  std::vector<WireResultSet> out(3);
+  WireReader r(w.str());
+  ASSERT_TRUE(DecodeTraceSection(&r, &out));
+  EXPECT_EQ(out[0].trace, nullptr);
+  ASSERT_NE(out[1].trace, nullptr);
+  EXPECT_EQ(out[2].trace, nullptr);
+  ExpectSameTree(*sets[1].trace, *out[1].trace);
+}
+
+TEST(WireCodecTest, EmptyTraceSectionIsBackwardCompatible) {
+  // A v2 response with no sampled queries and a v1-style response with no
+  // trailing section at all both decode to "no traces".
+  std::vector<WireResultSet> sets(2);
+  WireWriter w;
+  EncodeTraceSection(&w, sets);
+  std::vector<WireResultSet> out(2);
+  WireReader r(w.str());
+  ASSERT_TRUE(DecodeTraceSection(&r, &out));
+  EXPECT_EQ(out[0].trace, nullptr);
+
+  WireReader empty("");
+  std::vector<WireResultSet> out2(2);
+  EXPECT_TRUE(DecodeTraceSection(&empty, &out2));
+}
+
+TEST(WireCodecTest, StatsRequestValidation) {
+  uint8_t sections = 0;
+  EXPECT_TRUE(DecodeStatsRequest(EncodeStatsRequest(kStatsAll), &sections));
+  EXPECT_EQ(sections, kStatsAll);
+  EXPECT_TRUE(DecodeStatsRequest(EncodeStatsRequest(kStatsServer), &sections));
+  EXPECT_EQ(sections, kStatsServer);
+  // Zero sections, unknown bits, and trailing bytes are all malformed.
+  EXPECT_FALSE(DecodeStatsRequest(EncodeStatsRequest(0), &sections));
+  EXPECT_FALSE(DecodeStatsRequest(EncodeStatsRequest(0xF8), &sections));
+  EXPECT_FALSE(DecodeStatsRequest(std::string_view("\x01\x00", 2), &sections));
+}
+
+TEST(WireCodecTest, StatsReplyRoundTrip) {
+  StatsReply in;
+  in.sections = kStatsAll;
+  metrics::MetricSample sample;
+  sample.name = "dkb.server.uptime_us";
+  sample.kind = "counter";
+  sample.value = 123456;
+  in.server.push_back(sample);
+  WireConnectionRow conn;
+  conn.connection_id = 42;
+  conn.peer = "127.0.0.1:50000";
+  conn.session_id = 7;
+  conn.frames_received = 10;
+  conn.bytes_in = 200;
+  conn.bytes_out = 4000;
+  conn.queries = 5;
+  conn.requests = 9;
+  conn.errors = 1;
+  conn.age_us = 999;
+  in.connections.push_back(conn);
+  in.prometheus = "# TYPE dkb_server_uptime_us gauge\n";
+
+  WireWriter w;
+  EncodeStatsReply(&w, in);
+  WireReader r(w.str());
+  StatsReply out;
+  ASSERT_TRUE(DecodeStatsReply(&r, &out));
+  EXPECT_EQ(out.sections, kStatsAll);
+  ASSERT_EQ(out.server.size(), 1u);
+  EXPECT_EQ(out.server[0].name, "dkb.server.uptime_us");
+  EXPECT_EQ(out.server[0].value, 123456);
+  ASSERT_EQ(out.connections.size(), 1u);
+  EXPECT_EQ(out.connections[0].connection_id, 42);
+  EXPECT_EQ(out.connections[0].peer, "127.0.0.1:50000");
+  EXPECT_EQ(out.connections[0].requests, 9);
+  EXPECT_EQ(out.connections[0].errors, 1);
+  EXPECT_EQ(out.connections[0].age_us, 999);
+  EXPECT_EQ(out.prometheus, in.prometheus);
+}
+
+TEST(WireCodecTest, StatsReplyHonorsSectionMask) {
+  StatsReply in;
+  in.sections = kStatsPrometheus;
+  in.prometheus = "# TYPE x gauge\nx 1\n";
+  // Unrequested sections are not encoded even if populated.
+  in.connections.resize(3);
+  WireWriter w;
+  EncodeStatsReply(&w, in);
+  WireReader r(w.str());
+  StatsReply out;
+  ASSERT_TRUE(DecodeStatsReply(&r, &out));
+  EXPECT_TRUE(r.Done());
+  EXPECT_EQ(out.sections, kStatsPrometheus);
+  EXPECT_TRUE(out.connections.empty());
+  EXPECT_EQ(out.prometheus, in.prometheus);
 }
 
 // ---------------------------------------------------------------------------
@@ -333,6 +506,66 @@ TEST_F(NetServerTest, WrongProtocolVersionIsRejected) {
   ASSERT_TRUE(conn.ReadFrame(&frame));
   EXPECT_EQ(frame.type, MsgType::kError);
   EXPECT_TRUE(conn.ReadUntilEof());
+}
+
+TEST_F(NetServerTest, V1ClientGetsCleanVersionMismatchError) {
+  // The v2 trace context rides inside existing payloads, so a v1 Hello
+  // still parses; the version check is what rejects it — with a real
+  // Error frame naming both versions, not a slammed connection.
+  RawConn conn(server_.port());
+  ASSERT_TRUE(conn.connected());
+  WireWriter w;
+  w.U32(1);
+  conn.SendFrame(MsgType::kHello, 1, w.str());
+  Frame frame;
+  ASSERT_TRUE(conn.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, MsgType::kError);
+  EXPECT_EQ(frame.request_id, 1u);
+  Status status = DecodeErrorPayload(frame.payload);
+  EXPECT_EQ(status.code(), ErrorCode::kProtocolError);
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+  EXPECT_TRUE(conn.ReadUntilEof());
+}
+
+TEST_F(NetServerTest, StatsAnswersWithoutHello) {
+  // kStats is the monitoring surface: no handshake, no session. dkb_top
+  // and scrapers must be able to poll a server without perturbing it.
+  RawConn conn(server_.port());
+  ASSERT_TRUE(conn.connected());
+  conn.SendFrame(MsgType::kStats, 5, EncodeStatsRequest(kStatsAll));
+  Frame frame;
+  ASSERT_TRUE(conn.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, MsgType::kStatsOk);
+  EXPECT_EQ(frame.request_id, 5u);
+  WireReader r(frame.payload);
+  StatsReply reply;
+  ASSERT_TRUE(DecodeStatsReply(&r, &reply));
+  EXPECT_EQ(reply.sections, kStatsAll);
+  // The server section always carries the lifecycle counters.
+  bool saw_uptime = false;
+  for (const metrics::MetricSample& s : reply.server) {
+    if (s.name == "uptime_us") {
+      EXPECT_GT(s.value, 0);
+      saw_uptime = true;
+    }
+  }
+  EXPECT_TRUE(saw_uptime);
+  // This very connection is in the registry (sessionless, session_id 0).
+  ASSERT_FALSE(reply.connections.empty());
+  EXPECT_FALSE(reply.prometheus.empty());
+  std::string prom_error;
+  EXPECT_TRUE(metrics::ValidatePrometheusText(reply.prometheus, &prom_error))
+      << prom_error;
+}
+
+TEST_F(NetServerTest, RemoteClientFetchesStatsSessionless) {
+  auto stats = RemoteClient::FetchStats(target_, kStatsServer);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->sections, kStatsServer);
+  EXPECT_FALSE(stats->server.empty());
+  // No Hello was sent, so no COW session was ever opened.
+  EXPECT_TRUE(tb_->SessionSnapshot().empty());
 }
 
 TEST_F(NetServerTest, UnknownTypeByteKeepsConnectionUsable) {

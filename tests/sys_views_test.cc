@@ -53,16 +53,18 @@ TEST(SysViewsTest, SchemasMatchTheGolden) {
         "t_setup_us", "t_extract_us", "t_read_us", "t_analyze_us",
         "t_opt_us", "t_eol_us", "t_sem_us", "t_gen_us", "t_comp_us",
         "t_temp_us", "t_rhs_us", "t_term_us", "t_final_us", "batches",
-        "shards", "trace"}},
+        "shards", "bytes_sent", "bytes_received", "trace"}},
       {"sys.lfp_iterations",
        {"query_id", "node", "is_clique", "iter", "delta_rows"}},
       {"sys.metrics", {"name", "kind", "value", "sum", "max", "p50", "p99"}},
       {"sys.sessions",
        {"session_id", "epoch", "testbed_epoch", "snapshot_age", "queries"}},
-      {"sys.shards", {"name", "kind", "shard", "rows", "bytes", "morsels"}},
+      {"sys.shards",
+       {"name", "kind", "shard", "rows", "bytes", "morsels", "scan_batches"}},
       {"sys.connections",
        {"connection_id", "peer", "session_id", "frames_received", "bytes_in",
-        "bytes_out", "queries"}},
+        "bytes_out", "queries", "requests", "errors", "age_us"}},
+      {"sys.server", {"name", "kind", "value", "sum", "max", "p50", "p99"}},
       {"sys.settings", {"name", "value"}},
   };
 
@@ -88,6 +90,15 @@ TEST(SysViewsTest, SchemasMatchTheGolden) {
           << goldens[v].view << "." << goldens[v].columns[c];
     }
   }
+}
+
+TEST(SysViewsTest, ServerViewIsEmptyWithoutANetworkServer) {
+  // sys.server surfaces the wire server's request-lifecycle stats; a bare
+  // in-process testbed has none, and the view answers (not errors) empty.
+  auto tb = MakeTestbed();
+  auto rows = Sql(tb.get(), "SELECT * FROM sys.server");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE(rows->rows.empty());
 }
 
 TEST(SysViewsTest, QueryLogRecordsCompletedQueries) {

@@ -44,6 +44,25 @@ TEST(TraceSpanTest, BuildsTree) {
   EXPECT_LE(a->start_us(), a->end_us());
 }
 
+TEST(TraceSpanTest, SnapshotRebasesOffsetsForGrafting) {
+  trace::TraceContext ctx("engine");
+  trace::TraceSpan* child = ctx.root()->AddChild("compile");
+  child->End();
+  ctx.root()->End();
+
+  // A server grafts the engine tree into its own request timeline by
+  // passing the enclosing offset; every start/end shifts by that base and
+  // structure survives unchanged.
+  trace::SpanNode plain = trace::SnapshotSpan(*ctx.root());
+  trace::SpanNode shifted = trace::SnapshotSpan(*ctx.root(), 250);
+  ASSERT_EQ(shifted.children.size(), plain.children.size());
+  EXPECT_EQ(shifted.name, plain.name);
+  EXPECT_EQ(shifted.start_us, plain.start_us + 250);
+  EXPECT_EQ(shifted.end_us, plain.end_us + 250);
+  EXPECT_EQ(shifted.children[0].start_us, plain.children[0].start_us + 250);
+  EXPECT_EQ(shifted.children[0].end_us, plain.children[0].end_us + 250);
+}
+
 TEST(TraceSpanTest, EndIsIdempotent) {
   trace::TraceContext ctx("root");
   trace::TraceSpan* s = ctx.root()->AddChild("s");

@@ -33,6 +33,7 @@
 #include "client/in_process_client.h"
 #include "client/remote_client.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "datalog/ast.h"
 #include "datalog/parser.h"
 
@@ -245,8 +246,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Ask the executing side (which owns the trace spans) to render exactly
-  // the format we will print.
+  // The executing side renders the full QueryReport (plan, phase table,
+  // span tree) in the format we will print. Since protocol v2 the span
+  // tree itself also comes back as values (rs->trace) — for the pure
+  // trace formats (chrome) we render that locally, which over --connect
+  // includes the server's net.* request spans around the engine hierarchy.
   uint8_t report_formats = dkb::net::kReportText;
   if (cli.format == Format::kJson) report_formats = dkb::net::kReportJson;
   if (cli.format == Format::kChrome) report_formats = dkb::net::kReportChrome;
@@ -267,7 +271,9 @@ int main(int argc, char** argv) {
         rendered.push_back(rs->report_json);
         break;
       case Format::kChrome:
-        rendered.push_back(rs->report_chrome);
+        rendered.push_back(rs->trace != nullptr
+                               ? dkb::trace::RenderChromeTrace(*rs->trace)
+                               : rs->report_chrome);
         break;
     }
   }

@@ -41,12 +41,16 @@ void RaiseFdLimit(rlim_t want) {
 }
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [-p|--port PORT] [--host ADDR] [--shards N]\n"
-               "  -p, --port PORT   listen port (default 7070)\n"
-               "      --host ADDR   bind address (default 127.0.0.1)\n"
-               "      --shards N    shards per stored table (default 1)\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [-p|--port PORT] [--host ADDR] [--shards N]\n"
+      "          [--slow-request-us N]\n"
+      "  -p, --port PORT         listen port (default 7070)\n"
+      "      --host ADDR         bind address (default 127.0.0.1)\n"
+      "      --shards N          shards per stored table (default 1)\n"
+      "      --slow-request-us N log requests slower than N us (default "
+      "off)\n",
+      argv0);
   return 2;
 }
 
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
       options.bind_address = argv[++i];
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--slow-request-us" && i + 1 < argc) {
+      options.slow_request_us = std::atoll(argv[++i]);
     } else {
       return Usage(argv[0]);
     }

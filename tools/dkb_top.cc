@@ -1,0 +1,161 @@
+// dkb_top — live telemetry of a running dkb_server.
+//
+//   dkb_top 127.0.0.1:7070             # refresh every 2s until Ctrl-C
+//   dkb_top --once 127.0.0.1:7070      # one snapshot, then exit (CI)
+//   dkb_top --interval 5 HOST:PORT     # custom refresh period (seconds)
+//   dkb_top --metrics HOST:PORT        # dump Prometheus exposition, exit
+//   dkb_top --check HOST:PORT          # validate the exposition, exit 0/1
+//
+// Polls the sessionless kStats wire message (src/net/wire.h), so watching
+// a server never opens a COW session or perturbs sys.sessions. Each poll
+// is its own short-lived connection; a poll failure prints the error and
+// keeps polling (the server may be restarting).
+//
+// Exit status: 0 success; 1 fetch/validate failure (in --once/--metrics/
+// --check modes); 2 usage.
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/remote_client.h"
+#include "common/metrics.h"
+#include "net/wire.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--once] [--interval SECONDS] [--metrics] "
+               "[--check] HOST:PORT\n"
+               "      --once            print one snapshot and exit\n"
+               "      --interval N      refresh period in seconds "
+               "(default 2)\n"
+               "      --metrics         print the Prometheus text "
+               "exposition and exit\n"
+               "      --check           fetch + validate the exposition; "
+               "exit 0 iff valid\n",
+               argv0);
+  return 2;
+}
+
+/// One sys.metrics-shaped row: histograms show count/p50/p99/max, counters
+/// and gauges just the value.
+void PrintSample(const dkb::metrics::MetricSample& s) {
+  if (s.kind == "histogram") {
+    std::printf("  %-36s count=%-8lld p50=%-8lld p99=%-8lld max=%lld\n",
+                s.name.c_str(), static_cast<long long>(s.value),
+                static_cast<long long>(s.p50),
+                static_cast<long long>(s.p99),
+                static_cast<long long>(s.max));
+  } else {
+    std::printf("  %-36s %lld\n", s.name.c_str(),
+                static_cast<long long>(s.value));
+  }
+}
+
+void PrintSnapshot(const dkb::net::StatsReply& reply) {
+  std::printf("server:\n");
+  for (const dkb::metrics::MetricSample& s : reply.server) PrintSample(s);
+  std::printf("connections (%zu):\n", reply.connections.size());
+  std::printf("  %-6s %-21s %-10s %-8s %-8s %-10s %-10s %-6s %s\n", "conn",
+              "peer", "session", "requests", "queries", "bytes_in",
+              "bytes_out", "errors", "age_s");
+  for (const dkb::net::WireConnectionRow& c : reply.connections) {
+    std::printf("  %-6lld %-21s %-10lld %-8lld %-8lld %-10lld %-10lld "
+                "%-6lld %.1f\n",
+                static_cast<long long>(c.connection_id), c.peer.c_str(),
+                static_cast<long long>(c.session_id),
+                static_cast<long long>(c.requests),
+                static_cast<long long>(c.queries),
+                static_cast<long long>(c.bytes_in),
+                static_cast<long long>(c.bytes_out),
+                static_cast<long long>(c.errors),
+                static_cast<double>(c.age_us) / 1e6);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  bool metrics = false;
+  bool check = false;
+  int interval_s = 2;
+  std::string host_port;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_s = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (host_port.empty()) {
+      host_port = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (host_port.empty()) return Usage(argv[0]);
+
+  if (metrics || check) {
+    auto reply = dkb::RemoteClient::FetchStats(host_port,
+                                               dkb::net::kStatsPrometheus);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "fetch %s failed: %s\n", host_port.c_str(),
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    if (check) {
+      std::string error;
+      if (!dkb::metrics::ValidatePrometheusText(reply->prometheus, &error)) {
+        std::fprintf(stderr, "invalid exposition: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("ok: %zu bytes of valid exposition\n",
+                  reply->prometheus.size());
+      return 0;
+    }
+    std::fputs(reply->prometheus.c_str(), stdout);
+    return 0;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  for (;;) {
+    auto reply = dkb::RemoteClient::FetchStats(
+        host_port, dkb::net::kStatsServer | dkb::net::kStatsConnections);
+    if (reply.ok()) {
+      if (!once) std::printf("\x1b[H\x1b[2J");  // clear on live refresh
+      std::printf("dkb_top — %s\n", host_port.c_str());
+      PrintSnapshot(*reply);
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr, "fetch %s failed: %s\n", host_port.c_str(),
+                   reply.status().ToString().c_str());
+      if (once) return 1;
+    }
+    if (once) return 0;
+    for (int waited = 0; waited < interval_s * 10 && g_stop == 0; ++waited) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_stop != 0) return 0;
+  }
+}
