@@ -51,6 +51,7 @@ const char* const kPaperBenches[] = {
     "bench_concurrency",
     "bench_net",
     "bench_shard",
+    "bench_wal",
 };
 
 struct CsvTable {
@@ -228,6 +229,18 @@ int RunSuite(const std::string& self_path, const std::string& out_path) {
       return 1;
     }
     json.AddRaw("shard", shard);
+  }
+
+  // And bench_wal's durable-commit latency and session-open costs.
+  std::string wal = ReadFileOrEmpty("BENCH_wal.json");
+  if (!wal.empty()) {
+    std::string error;
+    if (!JsonValidator::Validate(wal, &error)) {
+      std::fprintf(stderr, "FATAL: BENCH_wal.json invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    json.AddRaw("wal", wal);
   }
 
   // Schema gate: the merged file must parse and carry the current schema

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "storage/epoch.h"
 #include "storage/scan_source.h"
 #include "storage/sharded_table.h"
 #include "storage/table.h"
@@ -21,12 +22,16 @@ namespace dkb {
 using VirtualTableProvider =
     std::function<Result<std::shared_ptr<const Table>>()>;
 
-/// What a FROM-list name resolves to: a stored source (raw pointer, owned by
-/// the catalog) or a virtual-table snapshot (`owned` keeps it alive for the
-/// duration of the plan).
+/// What a FROM-list name resolves to: a stored source or a virtual-table
+/// snapshot. `owned` keeps the source alive for the duration of the plan
+/// (shared catalog ownership for stored tables — a concurrent DROP cannot
+/// free a table a running plan scans — and the snapshot itself for virtual
+/// tables). `read_epoch` is the epoch scans of this source must read at:
+/// kLatestEpoch outside MVCC sessions; unversioned sources ignore it.
 struct ResolvedSource {
   const ScanSource* source = nullptr;
-  std::shared_ptr<const ScanSource> owned;  // non-null only for virtual tables
+  std::shared_ptr<const ScanSource> owned;
+  Epoch read_epoch = kLatestEpoch;
 };
 
 /// Catalog of tables and their indexes, keyed by case-insensitive name.
@@ -55,6 +60,31 @@ class Catalog {
   /// concurrent CreateTable.
   void SetDefaultShards(size_t n) { default_shards_ = n == 0 ? 1 : n; }
   size_t default_shards() const { return default_shards_; }
+
+  /// MVCC: tables created from here on are attached to `epochs` and stamp
+  /// rows with commit epochs — except `#`-temporaries, which stay
+  /// unversioned (session-local scratch with physical Clear). The testbed
+  /// enables this on its base catalog before creating any stored table;
+  /// standalone Databases never do, and keep pre-MVCC behavior throughout.
+  void EnableVersioning(const EpochSource* epochs) { epochs_ = epochs; }
+
+  /// Turns this catalog into a session overlay over `base`: lookups that
+  /// miss here fall through to base's *stored* tables (never to names
+  /// starting with '#', which are strictly catalog-local). Resolved base
+  /// tables are pinned (shared ownership) until ClearPinnedBases so raw
+  /// pointers handed to the LFP survive a concurrent DROP on the base.
+  void SetBase(const Catalog* base) { base_ = base; }
+
+  /// The read epoch stamped onto resolutions of stored tables: kLatestEpoch
+  /// for base catalogs, the session's pinned epoch for overlays. Direct
+  /// scan call sites (LFP, rule compiler) fetch it from the catalog they
+  /// resolved the table through.
+  void SetReadEpoch(Epoch e) {
+    read_epoch_.store(e, std::memory_order_relaxed);
+  }
+  Epoch read_epoch() const {
+    return read_epoch_.load(std::memory_order_relaxed);
+  }
 
   /// Creates an empty table with the catalog's default shard count. Fails
   /// with AlreadyExists on name collision and with InvalidArgument for names
@@ -93,11 +123,27 @@ class Catalog {
   /// Drops a table and its indexes. Fails with NotFound if absent.
   Status DropTable(const std::string& name) DKB_EXCLUDES(mu_);
 
-  /// Looks up a stored source; NotFound if absent.
+  /// Looks up a stored source; NotFound if absent. On overlays the lookup
+  /// falls through to the base (see SetBase), pinning the hit.
   Result<ScanSource*> GetSource(const std::string& name) const
       DKB_EXCLUDES(mu_);
 
+  /// Like GetSource but hands out shared ownership; used by overlays to pin
+  /// base tables and by the checkpoint writer to hold tables steady.
+  Result<std::shared_ptr<ScanSource>> GetSourceShared(
+      const std::string& name) const DKB_EXCLUDES(mu_);
+
   bool HasTable(const std::string& name) const DKB_EXCLUDES(mu_);
+
+  /// Shared handles on all stored tables (this catalog only, no base
+  /// fall-through), unordered. The vacuum pass and the checkpoint writer
+  /// iterate this instead of holding the catalog lock across table work.
+  std::vector<std::shared_ptr<ScanSource>> SnapshotTables() const
+      DKB_EXCLUDES(mu_);
+
+  /// Drops the base-table pins accumulated since the last call (session
+  /// refresh: the new epoch must re-resolve, and dropped tables get freed).
+  void ClearPinnedBases() DKB_EXCLUDES(mu_);
 
   /// Creates an index named `index_name` over `column_names` of `table_name`
   /// — on every shard, so index availability is uniform across the grid.
@@ -110,10 +156,7 @@ class Catalog {
   /// Names of all tables, unsorted.
   std::vector<std::string> TableNames() const DKB_EXCLUDES(mu_);
 
-  size_t num_tables() const DKB_EXCLUDES(mu_) {
-    ReaderLock lock(mu_);
-    return tables_.size();
-  }
+  size_t num_tables() const DKB_EXCLUDES(mu_);
 
  private:
   static std::string Key(const std::string& name);
@@ -129,10 +172,17 @@ class Catalog {
   /// protocol, and entries live until DropTable, which the protocol
   /// serializes.
   mutable SharedMutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<ScanSource>> tables_
+  std::unordered_map<std::string, std::shared_ptr<ScanSource>> tables_
       DKB_GUARDED_BY(mu_);
+  /// Base tables resolved through this overlay since the last refresh; keeps
+  /// their raw pointers valid across a concurrent DROP on the base.
+  mutable std::unordered_map<std::string, std::shared_ptr<ScanSource>>
+      pinned_bases_ DKB_GUARDED_BY(mu_);
   std::unordered_map<std::string, VirtualEntry> virtuals_ DKB_GUARDED_BY(mu_);
   size_t default_shards_ = 1;
+  const EpochSource* epochs_ = nullptr;
+  const Catalog* base_ = nullptr;
+  std::atomic<Epoch> read_epoch_{kLatestEpoch};
 };
 
 /// True for names in the reserved system schema ("sys." prefix,

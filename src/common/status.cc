@@ -24,12 +24,14 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kProtocolError:
       return "ProtocolError";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }
 
 ErrorCode ErrorCodeFromWire(uint16_t wire) {
-  if (wire > static_cast<uint16_t>(ErrorCode::kProtocolError)) {
+  if (wire > static_cast<uint16_t>(ErrorCode::kFailedPrecondition)) {
     return ErrorCode::kInternal;
   }
   return static_cast<ErrorCode>(wire);

@@ -25,8 +25,9 @@ enum class ErrorCode : uint16_t {
   kSemanticError = 5,    // undefined predicate, arity mismatch, unsafe rule
   kInternal = 6,         // invariant violation inside the engine
   kUnimplemented = 7,
-  kUnavailable = 8,      // connection refused / reset / server shut down
-  kProtocolError = 9,    // malformed or out-of-contract wire frame
+  kUnavailable = 8,          // connection refused / reset / server shut down
+  kProtocolError = 9,        // malformed or out-of-contract wire frame
+  kFailedPrecondition = 10,  // system state rejects the op (non-empty target)
 };
 
 /// Historical name for ErrorCode; the enumerators predate the wire protocol
@@ -81,6 +82,9 @@ class Status {
   }
   static Status ProtocolError(std::string msg) {
     return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

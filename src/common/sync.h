@@ -1,6 +1,7 @@
 #ifndef DKB_COMMON_SYNC_H_
 #define DKB_COMMON_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -206,6 +207,18 @@ class CondVar {
     std::unique_lock<std::mutex> inner(lock.mu_.mu_, std::adopt_lock);
     cv_.wait(inner);
     inner.release();  // ownership stays with `lock`
+  }
+
+  /// Like Wait but gives up after `millis` milliseconds. Returns false on
+  /// timeout, true when notified (or spuriously woken) first. Same
+  /// predicate-loop discipline as Wait; periodic background threads use the
+  /// timeout as their tick.
+  bool WaitFor(MutexLock& lock, int64_t millis) {
+    std::unique_lock<std::mutex> inner(lock.mu_.mu_, std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(inner, std::chrono::milliseconds(millis));
+    inner.release();  // ownership stays with `lock`
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -4,14 +4,16 @@
 
 namespace dkb::exec {
 
-Status Scope::AddTable(std::string name, const ScanSource* table) {
+Status Scope::AddTable(std::string name, const ScanSource* table,
+                       Epoch read_epoch) {
   for (const auto& b : bindings_) {
     if (EqualsIgnoreCase(b.name, name)) {
       return Status::InvalidArgument("duplicate table name/alias '" + name +
                                      "' in FROM list");
     }
   }
-  bindings_.push_back(TableBinding{std::move(name), table, total_columns_});
+  bindings_.push_back(
+      TableBinding{std::move(name), table, total_columns_, read_epoch});
   total_columns_ += table->schema().num_columns();
   return Status::OK();
 }

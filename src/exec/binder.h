@@ -18,6 +18,7 @@ struct TableBinding {
   std::string name;         // effective (alias or table) name
   const ScanSource* table;  // resolved storage source (Table or ShardedTable)
   size_t offset;  // first slot of this table's columns in the joined row
+  Epoch read_epoch = kLatestEpoch;  // epoch scans of this table read at
 };
 
 /// Name-resolution scope for a single SELECT core: the FROM-list tables in
@@ -25,7 +26,8 @@ struct TableBinding {
 /// (conceptual) fully-joined row.
 class Scope {
  public:
-  Status AddTable(std::string name, const ScanSource* table);
+  Status AddTable(std::string name, const ScanSource* table,
+                  Epoch read_epoch = kLatestEpoch);
 
   const std::vector<TableBinding>& bindings() const { return bindings_; }
   size_t total_columns() const { return total_columns_; }

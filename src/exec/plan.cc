@@ -64,8 +64,11 @@ bool RoutableOnPartitionColumn(const ScanSource& source, const Index* index) {
 // ---------------------------------------------------------------------------
 
 SeqScanNode::SeqScanNode(const ScanSource* source, BoundExprPtr filter,
-                         ExecStats* stats)
-    : source_(source), filter_(std::move(filter)), stats_(stats) {
+                         ExecStats* stats, Epoch epoch)
+    : source_(source),
+      filter_(std::move(filter)),
+      stats_(stats),
+      epoch_(epoch) {
   set_schema(source->schema());
 }
 
@@ -120,7 +123,7 @@ Status SeqScanNode::OpenImpl() {
     batch.Reset(shard.schema().num_columns());
     int64_t local = 0;
     for (RowId rid = cell.lo; rid < cell.hi; ++rid) {
-      if (!shard.IsLive(rid)) continue;
+      if (!shard.VisibleAt(rid, epoch_)) continue;
       ++local;
       batch.AppendRow(shard.Get(rid));
     }
@@ -151,7 +154,7 @@ Result<bool> SeqScanNode::NextBatchImpl(RowBatch* out) {
     return !out->empty();
   }
   while (true) {
-    cursor_ = source_->ScanBatch(shard_, cursor_, out);
+    cursor_ = source_->ScanBatch(shard_, cursor_, out, epoch_);
     if (out->physical_size() == 0) {
       // Shard exhausted; move to the next one.
       if (shard_ + 1 >= source_->shard_count()) return false;
@@ -178,13 +181,14 @@ void SeqScanNode::CloseImpl() {
 
 IndexScanNode::IndexScanNode(const ScanSource* source, const Index* index,
                              std::vector<Tuple> keys, BoundExprPtr filter,
-                             ExecStats* stats)
+                             ExecStats* stats, Epoch epoch)
     : source_(source),
       index_(index),
       routed_(RoutableOnPartitionColumn(*source, index)),
       keys_(std::move(keys)),
       filter_(std::move(filter)),
-      stats_(stats) {
+      stats_(stats),
+      epoch_(epoch) {
   set_schema(source->schema());
 }
 
@@ -219,7 +223,8 @@ bool IndexScanNode::NextProbe() {
     buffer_pos_ = 0;
     buffer_shard_ = sh;
     StatAdd(stats_->index_probes);
-    ShardIndex(*source_, sh, index_)->Probe(key, &buffer_);
+    const Table& shard = source_->shard(sh);
+    shard.ProbeIndex(ShardIndex(*source_, sh, index_), key, &buffer_);
     return true;
   }
   return false;
@@ -232,7 +237,7 @@ Result<bool> IndexScanNode::NextBatchImpl(RowBatch* out) {
       if (buffer_pos_ < buffer_.size()) {
         RowId rid = buffer_[buffer_pos_++];
         const Table& shard = source_->shard(buffer_shard_);
-        if (!shard.IsLive(rid)) continue;
+        if (!shard.VisibleAt(rid, epoch_)) continue;
         StatAdd(stats_->index_rows);
         out->AppendRow(shard.Get(rid));
         continue;
@@ -253,13 +258,15 @@ IndexRangeScanNode::IndexRangeScanNode(const ScanSource* source,
                                        const OrderedIndex* index,
                                        std::optional<Value> lo,
                                        std::optional<Value> hi,
-                                       BoundExprPtr filter, ExecStats* stats)
+                                       BoundExprPtr filter, ExecStats* stats,
+                                       Epoch epoch)
     : source_(source),
       index_(index),
       lo_(std::move(lo)),
       hi_(std::move(hi)),
       filter_(std::move(filter)),
-      stats_(stats) {
+      stats_(stats),
+      epoch_(epoch) {
   set_schema(source->schema());
 }
 
@@ -272,8 +279,9 @@ void IndexRangeScanNode::ProbeShard() {
   // Same index definition on every shard, so the same index kind too.
   const auto* index = static_cast<const OrderedIndex*>(
       ShardIndex(*source_, shard_, index_));
-  index->RangeOpt(lo_.has_value() ? &lo_key : nullptr,
-                  hi_.has_value() ? &hi_key : nullptr, &buffer_);
+  source_->shard(shard_).ProbeIndexRange(
+      index, lo_.has_value() ? &lo_key : nullptr,
+      hi_.has_value() ? &hi_key : nullptr, &buffer_);
 }
 
 Status IndexRangeScanNode::OpenImpl() {
@@ -291,7 +299,7 @@ Result<bool> IndexRangeScanNode::NextBatchImpl(RowBatch* out) {
       if (buffer_pos_ < buffer_.size()) {
         RowId rid = buffer_[buffer_pos_++];
         const Table& shard = source_->shard(shard_);
-        if (!shard.IsLive(rid)) continue;
+        if (!shard.VisibleAt(rid, epoch_)) continue;
         StatAdd(stats_->index_rows);
         out->AppendRow(shard.Get(rid));
         continue;
@@ -532,14 +540,16 @@ void HashJoinNode::CloseImpl() {
 IndexNLJoinNode::IndexNLJoinNode(PlanNodePtr outer, const ScanSource* inner,
                                  const Index* index,
                                  std::vector<size_t> outer_key_slots,
-                                 BoundExprPtr residual, ExecStats* stats)
+                                 BoundExprPtr residual, ExecStats* stats,
+                                 Epoch epoch)
     : outer_(std::move(outer)),
       inner_(inner),
       index_(index),
       routed_(RoutableOnPartitionColumn(*inner, index)),
       outer_key_slots_(std::move(outer_key_slots)),
       residual_(std::move(residual)),
-      stats_(stats) {
+      stats_(stats),
+      epoch_(epoch) {
   set_schema(ConcatSchemas(outer_->output_schema(), inner->schema()));
 }
 
@@ -570,7 +580,8 @@ bool IndexNLJoinNode::ProbeNextShard() {
   buffer_pos_ = 0;
   buffer_shard_ = sh;
   StatAdd(stats_->index_probes);
-  ShardIndex(*inner_, sh, index_)->Probe(key_scratch_, &buffer_);
+  const Table& shard = inner_->shard(sh);
+  shard.ProbeIndex(ShardIndex(*inner_, sh, index_), key_scratch_, &buffer_);
   return true;
 }
 
@@ -581,7 +592,7 @@ Result<bool> IndexNLJoinNode::NextBatchImpl(RowBatch* out) {
       if (buffer_pos_ < buffer_.size()) {
         RowId rid = buffer_[buffer_pos_++];
         const Table& shard = inner_->shard(buffer_shard_);
-        if (!shard.IsLive(rid)) continue;
+        if (!shard.VisibleAt(rid, epoch_)) continue;
         StatAdd(stats_->index_rows);
         out->AppendConcat(outer_row_, shard.Get(rid));
         continue;

@@ -229,7 +229,8 @@ using PlanNodePtr = std::unique_ptr<PlanNode>;
 /// identical to the serial path.
 class SeqScanNode : public PlanNode {
  public:
-  SeqScanNode(const ScanSource* source, BoundExprPtr filter, ExecStats* stats);
+  SeqScanNode(const ScanSource* source, BoundExprPtr filter, ExecStats* stats,
+              Epoch epoch = kLatestEpoch);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
@@ -242,6 +243,7 @@ class SeqScanNode : public PlanNode {
   const ScanSource* source_;
   BoundExprPtr filter_;  // may be null
   ExecStats* stats_;
+  Epoch epoch_;  // read epoch for visibility checks
   size_t shard_ = 0;
   RowId cursor_ = 0;
   bool materialized_ = false;     // parallel path: rows_ holds the output
@@ -261,7 +263,7 @@ class IndexScanNode : public PlanNode {
  public:
   IndexScanNode(const ScanSource* source, const Index* index,
                 std::vector<Tuple> keys, BoundExprPtr filter,
-                ExecStats* stats);
+                ExecStats* stats, Epoch epoch = kLatestEpoch);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
@@ -280,6 +282,7 @@ class IndexScanNode : public PlanNode {
   std::vector<Tuple> keys_;
   BoundExprPtr filter_;
   ExecStats* stats_;
+  Epoch epoch_;
   size_t key_pos_ = 0;
   size_t shard_pos_ = 0;       // next shard to probe for the current key
   size_t buffer_shard_ = 0;    // shard buffer_ row ids belong to
@@ -295,7 +298,8 @@ class IndexRangeScanNode : public PlanNode {
  public:
   IndexRangeScanNode(const ScanSource* source, const OrderedIndex* index,
                      std::optional<Value> lo, std::optional<Value> hi,
-                     BoundExprPtr filter, ExecStats* stats);
+                     BoundExprPtr filter, ExecStats* stats,
+                     Epoch epoch = kLatestEpoch);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
@@ -313,6 +317,7 @@ class IndexRangeScanNode : public PlanNode {
   std::optional<Value> hi_;
   BoundExprPtr filter_;
   ExecStats* stats_;
+  Epoch epoch_;
   size_t shard_ = 0;           // shard buffer_ row ids belong to
   std::vector<RowId> buffer_;
   size_t buffer_pos_ = 0;
@@ -445,7 +450,8 @@ class IndexNLJoinNode : public PlanNode {
  public:
   IndexNLJoinNode(PlanNodePtr outer, const ScanSource* inner,
                   const Index* index, std::vector<size_t> outer_key_slots,
-                  BoundExprPtr residual, ExecStats* stats);
+                  BoundExprPtr residual, ExecStats* stats,
+                  Epoch epoch = kLatestEpoch);
 
   Status OpenImpl() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
@@ -469,6 +475,7 @@ class IndexNLJoinNode : public PlanNode {
   std::vector<size_t> outer_key_slots_;  // aligned with index key columns
   BoundExprPtr residual_;
   ExecStats* stats_;
+  Epoch epoch_;
   RowBatch outer_batch_;
   size_t outer_pos_ = 0;
   bool outer_done_ = false;

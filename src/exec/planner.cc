@@ -155,6 +155,7 @@ Result<PlanNodePtr> Planner::PlanAccessPath(
     const Scope& scope, size_t binding,
     std::vector<ConjunctInfo*> conjuncts) {
   const ScanSource* table = scope.bindings()[binding].table;
+  const Epoch epoch = scope.bindings()[binding].read_epoch;
 
   // Look for an equality/IN predicate matching a single-column index; if
   // none, a range predicate over an ordered index.
@@ -208,7 +209,7 @@ Result<PlanNodePtr> Planner::PlanAccessPath(
     }
     return PlanNodePtr(std::make_unique<IndexScanNode>(
         table, index, std::move(keys), AndCombine(std::move(residual)),
-        stats_));
+        stats_, epoch));
   }
   if (range != nullptr) {
     std::optional<Value> lo;
@@ -221,10 +222,10 @@ Result<PlanNodePtr> Planner::PlanAccessPath(
     }
     return PlanNodePtr(std::make_unique<IndexRangeScanNode>(
         table, ordered, std::move(lo), std::move(hi),
-        AndCombine(std::move(residual)), stats_));
+        AndCombine(std::move(residual)), stats_, epoch));
   }
   return PlanNodePtr(std::make_unique<SeqScanNode>(
-      table, AndCombine(std::move(residual)), stats_));
+      table, AndCombine(std::move(residual)), stats_, epoch));
 }
 
 Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
@@ -240,7 +241,8 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
     DKB_ASSIGN_OR_RETURN(ResolvedSource resolved,
                          catalog_.ResolveScanSource(ref.table));
     if (resolved.owned != nullptr) pinned_.push_back(resolved.owned);
-    DKB_RETURN_IF_ERROR(scope.AddTable(ref.EffectiveName(), resolved.source));
+    DKB_RETURN_IF_ERROR(scope.AddTable(ref.EffectiveName(), resolved.source,
+                                       resolved.read_epoch));
   }
 
   std::vector<const sql::Expr*> raw_conjuncts;
@@ -357,7 +359,7 @@ Result<PlanNodePtr> Planner::PlanCore(const sql::SelectCore& core) {
                                bind_global_residual(available));
           plan = std::make_unique<IndexNLJoinNode>(
               std::move(plan), inner, index, std::move(outer_slots),
-              std::move(residual), stats_);
+              std::move(residual), stats_, scope.bindings()[bi].read_epoch);
           continue;
         }
       }

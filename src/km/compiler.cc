@@ -45,10 +45,12 @@ Result<double> EstimateSelectivity(const Atom& query,
     DKB_ASSIGN_OR_RETURN(ScanSource * table,
                          stored->db()->catalog().GetSource(EdbTableName(pred)));
     d_tot += static_cast<int64_t>(table->num_tuples());
-    table->Scan([&forward, &backward](RowId, const Tuple& row) {
-      forward[row[0]].push_back(row[1]);
-      backward[row[1]].push_back(row[0]);
-    });
+    table->Scan(
+        [&forward, &backward](RowId, const Tuple& row) {
+          forward[row[0]].push_back(row[1]);
+          backward[row[1]].push_back(row[0]);
+        },
+        stored->db()->catalog().read_epoch());
   }
   if (d_tot == 0) return 0.0;
 

@@ -124,6 +124,9 @@ Status EvalContext::CopyTable(const std::string& dst, const std::string& src) {
   ScopedAccumulator acc(&stats_->t_temp_us);
   DKB_ASSIGN_OR_RETURN(ScanSource * d, db_->catalog().GetSource(dst));
   DKB_ASSIGN_OR_RETURN(ScanSource * s, db_->catalog().GetSource(src));
+  // Sessions read base tables at their pinned epoch; temps are unversioned
+  // (visible at every epoch), so one epoch covers both source kinds.
+  const Epoch at = db_->catalog().read_epoch();
 
   ThreadPool& pool = GlobalThreadPool();
   if (Aligned(*d, *s) && d->shard_count() > 1 && pool.num_threads() > 0) {
@@ -137,7 +140,7 @@ Status EvalContext::CopyTable(const std::string& dst, const std::string& src) {
       RowBatch batch;
       RowId cursor = 0;
       while (true) {
-        cursor = from.ScanBatch(cursor, &batch);
+        cursor = from.ScanBatch(cursor, &batch, at);
         if (batch.empty()) break;
         statuses[sh] = to.AppendBatch(batch);
         if (!statuses[sh].ok()) break;
@@ -153,7 +156,7 @@ Status EvalContext::CopyTable(const std::string& dst, const std::string& src) {
   for (size_t sh = 0; sh < s->shard_count(); ++sh) {
     RowId cursor = 0;
     while (true) {
-      cursor = s->ScanBatch(sh, cursor, &batch);
+      cursor = s->ScanBatch(sh, cursor, &batch, at);
       if (batch.empty()) break;
       DKB_RETURN_IF_ERROR(d->AppendBatch(batch));
     }
@@ -170,6 +173,7 @@ Result<int64_t> EvalContext::DiffInto(const std::string& diff,
                        db_->catalog().GetSource(new_table));
   DKB_ASSIGN_OR_RETURN(ScanSource * src_full,
                        db_->catalog().GetSource(full));
+  const Epoch at = db_->catalog().read_epoch();
 
   // One shard's diff: dedups new-rows of shard `sh` against full-rows of
   // shard `sh`, appending survivors to dst's shard `sh`.
@@ -185,7 +189,7 @@ Result<int64_t> EvalContext::DiffInto(const std::string& diff,
     RowBatch batch;
     RowId cursor = 0;
     while (true) {
-      cursor = full_shard.ScanBatch(cursor, &batch);
+      cursor = full_shard.ScanBatch(cursor, &batch, at);
       if (batch.empty()) break;
       for (size_t i = 0; i < batch.size(); ++i) {
         seen.insert(batch.MaterializeTuple(i));
@@ -196,7 +200,7 @@ Result<int64_t> EvalContext::DiffInto(const std::string& diff,
     out.Reset(dst_shard.schema().num_columns());
     cursor = 0;
     while (true) {
-      cursor = new_shard.ScanBatch(cursor, &batch);
+      cursor = new_shard.ScanBatch(cursor, &batch, at);
       if (batch.empty()) break;
       for (size_t i = 0; i < batch.size(); ++i) {
         Tuple t = batch.MaterializeTuple(i);
@@ -250,7 +254,7 @@ Result<int64_t> EvalContext::DiffInto(const std::string& diff,
   std::unordered_set<Tuple, TupleHash> seen;
   seen.reserve(src_full->num_tuples() + src_new->num_tuples());
   RowBatch batch;
-  src_full->Scan([&](RowId, const Tuple& t) { seen.insert(t); });
+  src_full->Scan([&](RowId, const Tuple& t) { seen.insert(t); }, at);
   int64_t appended = 0;
   RowBatch out;
   out.Reset(dst->schema().num_columns());
@@ -259,7 +263,7 @@ Result<int64_t> EvalContext::DiffInto(const std::string& diff,
        ++sh) {
     RowId cursor = 0;
     while (append_status.ok()) {
-      cursor = src_new->ScanBatch(sh, cursor, &batch);
+      cursor = src_new->ScanBatch(sh, cursor, &batch, at);
       if (batch.empty()) break;
       for (size_t i = 0; i < batch.size(); ++i) {
         Tuple t = batch.MaterializeTuple(i);

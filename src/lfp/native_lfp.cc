@@ -252,7 +252,8 @@ class NativeExecutor {
     DKB_ASSIGN_OR_RETURN(ScanSource * table,
                          db_->catalog().GetSource(binding_it->second.table));
     auto rel = std::make_unique<NativeRelation>();
-    table->Scan([&rel](RowId, const Tuple& row) { rel->Insert(row); });
+    table->Scan([&rel](RowId, const Tuple& row) { rel->Insert(row); },
+                db_->catalog().read_epoch());
     NativeRelation* raw = rel.get();
     relations_.emplace(pred, std::move(rel));
     return raw;

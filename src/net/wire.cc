@@ -87,173 +87,6 @@ FrameDecoder::Next FrameDecoder::Pop(Frame* out) {
 }
 
 // ---------------------------------------------------------------------------
-// WireWriter
-
-void WireWriter::U16(uint16_t v) {
-  char b[2];
-  std::memcpy(b, &v, 2);
-  buf_.append(b, 2);
-}
-
-void WireWriter::U32(uint32_t v) {
-  char b[4];
-  std::memcpy(b, &v, 4);
-  buf_.append(b, 4);
-}
-
-void WireWriter::U64(uint64_t v) {
-  char b[8];
-  std::memcpy(b, &v, 8);
-  buf_.append(b, 8);
-}
-
-void WireWriter::Str(std::string_view s) {
-  U32(static_cast<uint32_t>(s.size()));
-  buf_.append(s.data(), s.size());
-}
-
-void WireWriter::Val(const Value& v) {
-  if (v.is_null()) {
-    U8(0);
-  } else if (v.is_int()) {
-    U8(1);
-    I64(v.as_int());
-  } else {
-    U8(2);
-    Str(v.as_string());
-  }
-}
-
-void WireWriter::Row(const Tuple& t) {
-  U16(static_cast<uint16_t>(t.size()));
-  for (const Value& v : t) Val(v);
-}
-
-void WireWriter::Cols(const Schema& s) {
-  U16(static_cast<uint16_t>(s.num_columns()));
-  for (const Column& c : s.columns()) {
-    Str(c.name);
-    U8(static_cast<uint8_t>(c.type));
-  }
-}
-
-// ---------------------------------------------------------------------------
-// WireReader
-
-bool WireReader::Take(size_t n, const char** out) {
-  if (!ok_ || data_.size() - pos_ < n) {
-    ok_ = false;
-    return false;
-  }
-  *out = data_.data() + pos_;
-  pos_ += n;
-  return true;
-}
-
-bool WireReader::U8(uint8_t* v) {
-  const char* p = nullptr;
-  if (!Take(1, &p)) return false;
-  *v = static_cast<uint8_t>(*p);
-  return true;
-}
-
-bool WireReader::U16(uint16_t* v) {
-  const char* p = nullptr;
-  if (!Take(2, &p)) return false;
-  std::memcpy(v, p, 2);
-  return true;
-}
-
-bool WireReader::U32(uint32_t* v) {
-  const char* p = nullptr;
-  if (!Take(4, &p)) return false;
-  std::memcpy(v, p, 4);
-  return true;
-}
-
-bool WireReader::U64(uint64_t* v) {
-  const char* p = nullptr;
-  if (!Take(8, &p)) return false;
-  std::memcpy(v, p, 8);
-  return true;
-}
-
-bool WireReader::I64(int64_t* v) {
-  uint64_t u = 0;
-  if (!U64(&u)) return false;
-  *v = static_cast<int64_t>(u);
-  return true;
-}
-
-bool WireReader::Str(std::string* s) {
-  uint32_t n = 0;
-  if (!U32(&n)) return false;
-  const char* p = nullptr;
-  if (!Take(n, &p)) return false;
-  s->assign(p, n);
-  return true;
-}
-
-bool WireReader::Val(Value* v) {
-  uint8_t tag = 0;
-  if (!U8(&tag)) return false;
-  switch (tag) {
-    case 0:
-      *v = Value::Null();
-      return true;
-    case 1: {
-      int64_t i = 0;
-      if (!I64(&i)) return false;
-      *v = Value(i);
-      return true;
-    }
-    case 2: {
-      std::string s;
-      if (!Str(&s)) return false;
-      // Intern on arrival: remote rows behave like locally stored ones.
-      *v = Value::Interned(s);
-      return true;
-    }
-    default:
-      ok_ = false;
-      return false;
-  }
-}
-
-bool WireReader::Row(Tuple* t) {
-  uint16_t n = 0;
-  if (!U16(&n)) return false;
-  t->clear();
-  t->reserve(n);
-  for (uint16_t i = 0; i < n; ++i) {
-    Value v;
-    if (!Val(&v)) return false;
-    t->push_back(std::move(v));
-  }
-  return true;
-}
-
-bool WireReader::Cols(Schema* s) {
-  uint16_t n = 0;
-  if (!U16(&n)) return false;
-  std::vector<Column> cols;
-  cols.reserve(n);
-  for (uint16_t i = 0; i < n; ++i) {
-    Column c;
-    uint8_t type = 0;
-    if (!Str(&c.name) || !U8(&type)) return false;
-    if (type > static_cast<uint8_t>(DataType::kVarchar)) {
-      ok_ = false;
-      return false;
-    }
-    c.type = static_cast<DataType>(type);
-    cols.push_back(std::move(c));
-  }
-  *s = Schema(std::move(cols));
-  return true;
-}
-
-// ---------------------------------------------------------------------------
 // Composite payloads
 
 void EncodeQueryOptions(WireWriter* w, const WireQueryOptions& opts) {
@@ -266,7 +99,7 @@ void EncodeQueryOptions(WireWriter* w, const WireQueryOptions& opts) {
   w->U8(static_cast<uint8_t>(o.explain));
   w->U8(o.collect_trace ? 1 : 0);
   w->U8(opts.report_formats);
-  w->U32(static_cast<uint32_t>(o.lfp_parallelism));
+  w->U32(static_cast<uint32_t>(o.EffectivePolicy().lfp_parallelism));
   // Trace context (v2): propagated so the server's spans join the
   // client's trace instead of starting an anonymous one.
   w->U64(opts.trace_id);
@@ -304,7 +137,7 @@ bool DecodeQueryOptions(WireReader* r, WireQueryOptions* opts) {
   o.use_cache = use_cache != 0;
   o.explain = static_cast<testbed::ExplainMode>(explain);
   o.collect_trace = collect_trace != 0;
-  o.lfp_parallelism = static_cast<int>(parallelism);
+  o.WithParallelism(static_cast<int>(parallelism));
   return true;
 }
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "common/value.h"
+#include "storage/codec.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 #include "testbed/options.h"
@@ -126,57 +127,12 @@ class FrameDecoder {
 };
 
 // ---------------------------------------------------------------------------
-// Payload encoding. Primitives are little-endian fixed width; strings are
-// u32 length + bytes; values are 1-byte tagged.
+// Payload encoding. The byte codec itself lives in the storage layer
+// (storage/codec.h) so the WAL and checkpoint formats share it without
+// inverting the library DAG; the wire names are aliases.
 
-class WireWriter {
- public:
-  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void U16(uint16_t v);
-  void U32(uint32_t v);
-  void U64(uint64_t v);
-  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
-  void Str(std::string_view s);
-  void Val(const Value& v);
-  void Row(const Tuple& t);
-  void Cols(const Schema& s);
-
-  const std::string& str() const { return buf_; }
-  std::string Take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-/// Bounds-checked reader over a payload. Every accessor returns false once
-/// the payload is exhausted or malformed; callers finish with a single
-/// Status check via Done()/error().
-class WireReader {
- public:
-  explicit WireReader(std::string_view data) : data_(data) {}
-
-  bool U8(uint8_t* v);
-  bool U16(uint16_t* v);
-  bool U32(uint32_t* v);
-  bool U64(uint64_t* v);
-  bool I64(int64_t* v);
-  bool Str(std::string* s);
-  bool Val(Value* v);
-  bool Row(Tuple* t);
-  bool Cols(Schema* s);
-
-  bool ok() const { return ok_; }
-  /// True when every byte was consumed and no read failed.
-  bool Done() const { return ok_ && pos_ == data_.size(); }
-  size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  bool Take(size_t n, const char** out);
-
-  std::string_view data_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
+using WireWriter = ::dkb::codec::Writer;
+using WireReader = ::dkb::codec::Reader;
 
 // ---------------------------------------------------------------------------
 // Composite payloads shared by client and server.

@@ -1,0 +1,203 @@
+#include "storage/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace dkb::codec {
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void Writer::U16(uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  buf_.append(b, 2);
+}
+
+void Writer::U32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf_.append(b, 4);
+}
+
+void Writer::U64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void Writer::Val(const Value& v) {
+  if (v.is_null()) {
+    U8(0);
+  } else if (v.is_int()) {
+    U8(1);
+    I64(v.as_int());
+  } else {
+    U8(2);
+    Str(v.as_string());
+  }
+}
+
+void Writer::Row(const Tuple& t) {
+  U16(static_cast<uint16_t>(t.size()));
+  for (const Value& v : t) Val(v);
+}
+
+void Writer::Cols(const Schema& s) {
+  U16(static_cast<uint16_t>(s.num_columns()));
+  for (const Column& c : s.columns()) {
+    Str(c.name);
+    U8(static_cast<uint8_t>(c.type));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+bool Reader::Take(size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool Reader::U8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool Reader::U16(uint16_t* v) {
+  const char* p = nullptr;
+  if (!Take(2, &p)) return false;
+  std::memcpy(v, p, 2);
+  return true;
+}
+
+bool Reader::U32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  std::memcpy(v, p, 4);
+  return true;
+}
+
+bool Reader::U64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  std::memcpy(v, p, 8);
+  return true;
+}
+
+bool Reader::I64(int64_t* v) {
+  uint64_t u = 0;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool Reader::Str(std::string* s) {
+  uint32_t n = 0;
+  if (!U32(&n)) return false;
+  const char* p = nullptr;
+  if (!Take(n, &p)) return false;
+  s->assign(p, n);
+  return true;
+}
+
+bool Reader::Val(Value* v) {
+  uint8_t tag = 0;
+  if (!U8(&tag)) return false;
+  switch (tag) {
+    case 0:
+      *v = Value::Null();
+      return true;
+    case 1: {
+      int64_t i = 0;
+      if (!I64(&i)) return false;
+      *v = Value(i);
+      return true;
+    }
+    case 2: {
+      std::string s;
+      if (!Str(&s)) return false;
+      // Intern on arrival: decoded rows behave like locally stored ones.
+      *v = Value::Interned(s);
+      return true;
+    }
+    default:
+      ok_ = false;
+      return false;
+  }
+}
+
+bool Reader::Row(Tuple* t) {
+  uint16_t n = 0;
+  if (!U16(&n)) return false;
+  t->clear();
+  t->reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Value v;
+    if (!Val(&v)) return false;
+    t->push_back(std::move(v));
+  }
+  return true;
+}
+
+bool Reader::Cols(Schema* s) {
+  uint16_t n = 0;
+  if (!U16(&n)) return false;
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Column c;
+    uint8_t type = 0;
+    if (!Str(&c.name) || !U8(&type)) return false;
+    if (type > static_cast<uint8_t>(DataType::kVarchar)) {
+      ok_ = false;
+      return false;
+    }
+    c.type = static_cast<DataType>(type);
+    cols.push_back(std::move(c));
+  }
+  *s = Schema(std::move(cols));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dkb::codec

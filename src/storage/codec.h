@@ -1,0 +1,77 @@
+#ifndef DKB_STORAGE_CODEC_H_
+#define DKB_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/value.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace dkb::codec {
+
+/// Binary codec shared by the wire protocol, the WAL, and the checkpoint
+/// format. Primitives are little-endian fixed width; strings are u32 length
+/// + bytes; values are 1-byte tagged. It lives in the storage layer (below
+/// net in the library DAG) so durability code can use it; net/wire.h
+/// re-exports it as WireWriter/WireReader.
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Str(std::string_view s);
+  void Val(const Value& v);
+  void Row(const Tuple& t);
+  void Cols(const Schema& s);
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a payload. Every accessor returns false once
+/// the payload is exhausted or malformed; callers finish with a single
+/// Status check via Done()/error().
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool Str(std::string* s);
+  bool Val(Value* v);
+  bool Row(Tuple* t);
+  bool Cols(Schema* s);
+
+  bool ok() const { return ok_; }
+  /// True when every byte was consumed and no read failed.
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (the common reflected polynomial 0xEDB88320), used by the WAL
+/// record framing and the checkpoint trailer to detect torn or corrupt
+/// writes. `seed` chains incremental computations: Crc32(b, Crc32(a)) ==
+/// Crc32(a + b).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace dkb::codec
+
+#endif  // DKB_STORAGE_CODEC_H_

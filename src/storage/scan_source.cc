@@ -16,8 +16,15 @@ void ScanSource::Clear() {
   for (size_t s = 0; s < shard_count(); ++s) shard(s).Clear();
 }
 
-RowId ScanSource::ScanBatch(size_t s, RowId cursor, RowBatch* out) const {
-  return shard(s).ScanBatch(cursor, out);
+RowId ScanSource::ScanBatch(size_t s, RowId cursor, RowBatch* out,
+                            Epoch at) const {
+  return shard(s).ScanBatch(cursor, out, at);
+}
+
+void ScanSource::EnableVersioning(const EpochSource* epochs) {
+  for (size_t s = 0; s < shard_count(); ++s) {
+    shard(s).EnableVersioning(epochs);
+  }
 }
 
 Status ScanSource::AppendBatch(const RowBatch& batch) {

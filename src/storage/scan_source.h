@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/epoch.h"
 #include "storage/index.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
@@ -74,9 +75,11 @@ class ScanSource {
   virtual void Clear();
 
   /// Batch scan of one shard: fills `out` with up to RowBatch::kCapacity
-  /// live rows starting at slot `cursor` of shard `s`, returning the cursor
-  /// for the next call. An empty result batch means that shard is done.
-  RowId ScanBatch(size_t s, RowId cursor, RowBatch* out) const;
+  /// rows visible at epoch `at` starting at slot `cursor` of shard `s`,
+  /// returning the cursor for the next call. An empty result batch means
+  /// that shard is done.
+  RowId ScanBatch(size_t s, RowId cursor, RowBatch* out,
+                  Epoch at = kLatestEpoch) const;
 
   /// Appends every visible row of `batch`, routing each row to its home
   /// shard. This is the hash-repartitioning ("delta exchange") primitive:
@@ -98,11 +101,14 @@ class ScanSource {
   /// the template and execution re-resolves per shard by the same columns.
   const Index* FindIndexOn(const std::vector<size_t>& key_columns) const;
 
-  /// Invokes fn(rid, tuple) for every live row, shard-major (shard 0's rows
-  /// in slot order, then shard 1's, ...). RowIds are shard-local. Defined in
-  /// table.h, where Table is complete.
+  /// Attaches the epoch counter to every shard (see Table::EnableVersioning).
+  void EnableVersioning(const EpochSource* epochs);
+
+  /// Invokes fn(rid, tuple) for every row visible at `at`, shard-major
+  /// (shard 0's rows in slot order, then shard 1's, ...). RowIds are
+  /// shard-local. Defined in table.h, where Table is complete.
   template <typename Fn>
-  void Scan(Fn&& fn) const;
+  void Scan(Fn&& fn, Epoch at = kLatestEpoch) const;
 };
 
 }  // namespace dkb

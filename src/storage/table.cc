@@ -1,8 +1,21 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace dkb {
+
+Table::~Table() {
+  for (std::atomic<Chunk*>& cptr : dir_) {
+    Chunk* chunk = cptr.load(std::memory_order_relaxed);
+    if (chunk == nullptr) continue;
+    for (std::atomic<Segment*>& sptr : chunk->segs) {
+      delete sptr.load(std::memory_order_relaxed);
+    }
+    delete chunk;
+  }
+}
 
 Status Table::ValidateTuple(const Tuple& tuple) const {
   if (tuple.size() != schema_.num_columns()) {
@@ -22,6 +35,51 @@ Status Table::ValidateTuple(const Tuple& tuple) const {
   return Status::OK();
 }
 
+Table::Slot& Table::EnsureSlot(RowId rid) {
+  const size_t seg = rid / kSegmentRows;
+  const size_t ci = seg / kChunkSegments;
+  if (ci >= kMaxChunks) {
+    std::fprintf(stderr, "dkb: table %s exceeded %zu rows\n", name_.c_str(),
+                 kMaxChunks * kChunkSegments * kSegmentRows);
+    std::abort();
+  }
+  Chunk* chunk = dir_[ci].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    ++chunks_allocated_;
+    dir_[ci].store(chunk, std::memory_order_release);
+  }
+  std::atomic<Segment*>& sptr = chunk->segs[seg % kChunkSegments];
+  Segment* segment = sptr.load(std::memory_order_relaxed);
+  if (segment == nullptr) {
+    segment = new Segment();
+    ++segments_allocated_;
+    sptr.store(segment, std::memory_order_release);
+  }
+  return segment->slots[rid % kSegmentRows];
+}
+
+RowId Table::InsertRow(Tuple tuple) {
+  // Intern before index maintenance so index keys share the cheap
+  // representation with the stored tuple.
+  for (auto& v : tuple) v.InternInPlace();
+  const RowId rid = size_.load(std::memory_order_relaxed);
+  Slot& slot = EnsureSlot(rid);
+  slot.tuple = std::move(tuple);
+  slot.begin.store(versioned() ? epochs_->write_epoch() : 0,
+                   std::memory_order_relaxed);
+  slot.end.store(kNeverEpoch, std::memory_order_relaxed);
+  for (auto& index : indexes_) {
+    index->Insert(index->MakeKey(slot.tuple), rid);
+  }
+  // Publish: everything above (directory pointers, the slot, index entries)
+  // is sequenced before this release store, so a reader that observes the
+  // new size sees a fully initialized slot.
+  size_.store(rid + 1, std::memory_order_release);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  return rid;
+}
+
 Result<RowId> Table::Insert(const Tuple& tuple) {
   DKB_RETURN_IF_ERROR(ValidateTuple(tuple));
   return InsertUnchecked(tuple);
@@ -33,16 +91,11 @@ Result<RowId> Table::Insert(Tuple&& tuple) {
 }
 
 RowId Table::InsertUnchecked(Tuple tuple) {
-  // Intern before index maintenance so index keys share the cheap
-  // representation with the stored tuple.
-  for (auto& v : tuple) v.InternInPlace();
-  RowId rid = rows_.size();
-  for (auto& index : indexes_) {
-    index->Insert(index->MakeKey(tuple), rid);
+  if (versioned()) {
+    WriterLock lock(index_mu_);
+    return InsertRow(std::move(tuple));
   }
-  rows_.push_back(Slot{std::move(tuple), false});
-  ++live_count_;
-  return rid;
+  return InsertRow(std::move(tuple));
 }
 
 Status Table::AppendBatch(const RowBatch& batch) {
@@ -65,18 +118,24 @@ Status Table::AppendBatch(const RowBatch& batch) {
       }
     }
   }
-  rows_.reserve(rows_.size() + n);
-  for (size_t i = 0; i < n; ++i) {
-    InsertUnchecked(batch.MaterializeTuple(i));
+  if (versioned()) {
+    WriterLock lock(index_mu_);
+    for (size_t i = 0; i < n; ++i) InsertRow(batch.MaterializeTuple(i));
+    return Status::OK();
   }
+  for (size_t i = 0; i < n; ++i) InsertRow(batch.MaterializeTuple(i));
   return Status::OK();
 }
 
-RowId Table::ScanBatch(RowId cursor, RowBatch* out) const {
+RowId Table::ScanBatch(RowId cursor, RowBatch* out, Epoch at) const {
   out->Reset(schema_.num_columns());
-  while (cursor < rows_.size() && !out->full()) {
-    const Slot& slot = rows_[cursor];
-    if (!slot.deleted) out->AppendRow(slot.tuple);
+  const RowId n = num_slots();
+  while (cursor < n && !out->full()) {
+    const Slot& slot = SlotRef(cursor);
+    if (EpochVisible(slot.begin.load(std::memory_order_relaxed),
+                     slot.end.load(std::memory_order_acquire), at)) {
+      out->AppendRow(slot.tuple);
+    }
     ++cursor;
   }
   if (!out->empty()) {
@@ -87,17 +146,46 @@ RowId Table::ScanBatch(RowId cursor, RowBatch* out) const {
 
 bool Table::Delete(RowId rid) {
   if (!IsLive(rid)) return false;
-  for (auto& index : indexes_) {
-    index->Erase(index->MakeKey(rows_[rid].tuple), rid);
+  Slot& slot = SlotRef(rid);
+  if (versioned()) {
+    // Index entries stay until Vacuum: a reader pinned before this delete
+    // must still find the row through its indexes.
+    slot.end.store(epochs_->write_epoch(), std::memory_order_release);
+  } else {
+    for (auto& index : indexes_) {
+      index->Erase(index->MakeKey(slot.tuple), rid);
+    }
+    slot.end.store(0, std::memory_order_release);
   }
-  rows_[rid].deleted = true;
-  --live_count_;
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
 void Table::Clear() {
-  rows_.clear();
-  live_count_ = 0;
+  const RowId n = num_slots();
+  if (versioned()) {
+    // Mass delete, not a physical reset: pinned readers keep their view and
+    // Vacuum reclaims payloads and index entries once nobody can see them.
+    const Epoch we = epochs_->write_epoch();
+    for (RowId rid = 0; rid < n; ++rid) {
+      Slot& slot = SlotRef(rid);
+      if (slot.end.load(std::memory_order_relaxed) == kNeverEpoch) {
+        slot.end.store(we, std::memory_order_release);
+      }
+    }
+    live_count_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  // Unversioned: physical reset. Segments stay allocated so the LFP's
+  // per-iteration temp churn does not round-trip the allocator.
+  for (RowId rid = 0; rid < n; ++rid) {
+    Slot& slot = SlotRef(rid);
+    slot.tuple = Tuple{};
+    slot.begin.store(0, std::memory_order_relaxed);
+    slot.end.store(kNeverEpoch, std::memory_order_relaxed);
+  }
+  size_.store(0, std::memory_order_release);
+  live_count_.store(0, std::memory_order_relaxed);
   // Rebuild empty indexes preserving their definitions.
   for (auto& index : indexes_) {
     std::unique_ptr<Index> fresh;
@@ -111,23 +199,79 @@ void Table::Clear() {
   }
 }
 
+size_t Table::Vacuum(Epoch min_pinned) {
+  if (!versioned()) return 0;
+  WriterLock lock(index_mu_);
+  const RowId n = num_slots();
+  size_t reclaimed = 0;
+  for (RowId rid = 0; rid < n; ++rid) {
+    Slot& slot = SlotRef(rid);
+    if (slot.begin.load(std::memory_order_relaxed) == kNeverEpoch) {
+      continue;  // already reclaimed
+    }
+    const Epoch end = slot.end.load(std::memory_order_acquire);
+    if (end == kNeverEpoch || end > min_pinned) continue;
+    // Invisible at every pinned epoch and at latest: erase the deferred
+    // index entries (key extracted before the payload goes away), free the
+    // payload, and mark the slot reclaimed.
+    for (auto& index : indexes_) {
+      index->Erase(index->MakeKey(slot.tuple), rid);
+    }
+    slot.tuple = Tuple{};
+    slot.begin.store(kNeverEpoch, std::memory_order_relaxed);
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+size_t Table::ApproxBytes() const {
+  return segments_allocated_.load(std::memory_order_relaxed) *
+             sizeof(Segment) +
+         chunks_allocated_.load(std::memory_order_relaxed) * sizeof(Chunk) +
+         num_slots() * schema_.num_columns() * sizeof(Value);
+}
+
 Status Table::AddIndex(std::unique_ptr<Index> index) {
+  if (versioned()) {
+    WriterLock lock(index_mu_);
+    return AddIndexLocked(std::move(index));
+  }
+  return AddIndexLocked(std::move(index));
+}
+
+Status Table::AddIndexLocked(std::unique_ptr<Index> index) {
   for (const auto& existing : indexes_) {
     if (existing->name() == index->name()) {
       return Status::AlreadyExists("index " + index->name() +
                                    " already exists on " + name_);
     }
   }
-  for (RowId rid = 0; rid < rows_.size(); ++rid) {
-    if (!rows_[rid].deleted) {
-      index->Insert(index->MakeKey(rows_[rid].tuple), rid);
+  const RowId n = num_slots();
+  for (RowId rid = 0; rid < n; ++rid) {
+    const Slot& slot = SlotRef(rid);
+    if (versioned()) {
+      // Index every non-reclaimed slot: a dead row may still be visible to
+      // a pinned reader, who must be able to probe it.
+      if (slot.begin.load(std::memory_order_relaxed) == kNeverEpoch) continue;
+    } else {
+      if (slot.end.load(std::memory_order_relaxed) != kNeverEpoch) continue;
     }
+    index->Insert(index->MakeKey(slot.tuple), rid);
   }
   indexes_.push_back(std::move(index));
   return Status::OK();
 }
 
 const Index* Table::FindIndexOn(
+    const std::vector<size_t>& key_columns) const {
+  if (versioned()) {
+    ReaderLock lock(index_mu_);
+    return FindIndexOnLocked(key_columns);
+  }
+  return FindIndexOnLocked(key_columns);
+}
+
+const Index* Table::FindIndexOnLocked(
     const std::vector<size_t>& key_columns) const {
   std::vector<size_t> want = key_columns;
   std::sort(want.begin(), want.end());
@@ -137,6 +281,26 @@ const Index* Table::FindIndexOn(
     if (have == want) return index.get();
   }
   return nullptr;
+}
+
+void Table::ProbeIndex(const Index* index, const Tuple& key,
+                       std::vector<RowId>* out) const {
+  if (versioned()) {
+    ReaderLock lock(index_mu_);
+    index->Probe(key, out);
+    return;
+  }
+  index->Probe(key, out);
+}
+
+void Table::ProbeIndexRange(const OrderedIndex* index, const Tuple* lo,
+                            const Tuple* hi, std::vector<RowId>* out) const {
+  if (versioned()) {
+    ReaderLock lock(index_mu_);
+    index->RangeOpt(lo, hi, out);
+    return;
+  }
+  index->RangeOpt(lo, hi, out);
 }
 
 }  // namespace dkb

@@ -1,0 +1,138 @@
+#ifndef DKB_STORAGE_WAL_H_
+#define DKB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace dkb {
+
+/// Kinds of redo records. These are *logical* testbed operations, not
+/// physical page deltas: replaying the sequence through the normal write
+/// paths reproduces the exact post-crash state (the write paths are
+/// deterministic, including hash-partition layout). Values are
+/// format-stable — append only, never renumber.
+enum class WalRecordKind : uint8_t {
+  kConsult = 1,         // str program_text
+  kAddRule = 2,         // str rule_text
+  kRetractRule = 3,     // str rule_text
+  kDefineBase = 4,      // str pred, u16 n, n x u8 DataType
+  kAddFacts = 5,        // str pred, u32 nrows, nrows x Row
+  kUpdateStored = 6,    // (empty)
+  kClearWorkspace = 7,  // (empty)
+  kSql = 8,             // str statement
+};
+
+/// Write-ahead redo log.
+///
+/// On-disk format: a sequence of records, each framed as
+///
+///   u32 len      payload bytes
+///   u32 crc      CRC-32 over (lsn || kind || payload)
+///   u64 lsn      monotonically increasing, never reused within a log's life
+///   u8  kind     WalRecordKind
+///   payload      len bytes (storage/codec.h encoding per kind)
+///
+/// A torn tail (short header, short payload, or CRC mismatch) marks the end
+/// of the valid prefix: Open truncates it away, Replay stops there. Records
+/// are logged *before* the operation applies (log-before-apply); replay
+/// re-drives the same operations and ignores their errors, so an operation
+/// that half-applied before the crash converges to the same state.
+///
+/// Durability: Append assigns the LSN and stages bytes; WaitDurable(lsn)
+/// blocks until the record is written (and fsync'd, when Options::fsync).
+/// With group commit a background flusher coalesces every record staged
+/// since the last fsync into one write+fsync, so N writers waiting
+/// concurrently cost one disk flush, not N. Without group commit Append
+/// writes through synchronously.
+///
+/// Thread safety: Append calls are serialized by the caller (the testbed
+/// writer lock). WaitDurable may be called from any thread and is designed
+/// to be called *after* releasing the writer lock, so the next writer can
+/// append (and join the same fsync batch) while this one waits.
+class Wal {
+ public:
+  struct Options {
+    bool fsync = true;         // fdatasync flushed batches
+    bool group_commit = true;  // coalesce appends into batched fsyncs
+  };
+
+  /// Opens (creating if needed) the log at `path`, scans for the last valid
+  /// record, truncates any torn tail, and starts the flusher thread.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           Options options);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record and returns its LSN. Not durable until
+  /// WaitDurable(lsn) returns OK.
+  Result<uint64_t> Append(WalRecordKind kind, std::string_view payload)
+      DKB_EXCLUDES(mu_);
+
+  /// Blocks until every record with LSN <= lsn has been flushed (and
+  /// fsync'd when enabled). Returns the sticky I/O error if the log died.
+  Status WaitDurable(uint64_t lsn) DKB_EXCLUDES(mu_);
+
+  /// Empties the log after a checkpoint made its prefix redundant. LSNs
+  /// keep ascending (they are never reused), so records appended after the
+  /// truncation still sort after the checkpoint's last_lsn.
+  Status Truncate() DKB_EXCLUDES(mu_);
+
+  /// Raises the LSN counter to at least `lsn`. Called once at recovery with
+  /// the checkpoint's last_lsn, so fresh appends (into the truncated log)
+  /// still get LSNs above everything the checkpoint covers.
+  void ReserveThrough(uint64_t lsn) DKB_EXCLUDES(mu_);
+
+  uint64_t last_lsn() const DKB_EXCLUDES(mu_);
+
+  /// Total records appended and fsyncs issued since Open (sys.wal).
+  int64_t appends() const DKB_EXCLUDES(mu_);
+  int64_t fsyncs() const DKB_EXCLUDES(mu_);
+
+  /// Replays the valid prefix of the log at `path` in order, invoking fn
+  /// for every record with LSN > after_lsn. Stops cleanly at a torn or
+  /// corrupt record. A missing file replays nothing. fn's error aborts.
+  static Status Replay(
+      const std::string& path, uint64_t after_lsn,
+      const std::function<Status(uint64_t lsn, WalRecordKind kind,
+                                 std::string_view payload)>& fn);
+
+ private:
+  Wal(std::string path, int fd, Options options, uint64_t last_lsn);
+
+  void FlusherLoop();
+  /// Writes `data` at the log's tail and fsyncs if configured; returns the
+  /// first I/O failure.
+  Status WriteAndSync(std::string_view data);
+
+  const std::string path_;
+  const Options options_;
+  int fd_;
+
+  mutable Mutex mu_;
+  uint64_t last_lsn_ DKB_GUARDED_BY(mu_);
+  uint64_t appended_lsn_ DKB_GUARDED_BY(mu_);  // last staged for the flusher
+  uint64_t durable_lsn_ DKB_GUARDED_BY(mu_);
+  std::string pending_ DKB_GUARDED_BY(mu_);
+  int64_t pending_records_ DKB_GUARDED_BY(mu_) = 0;
+  int64_t appends_ DKB_GUARDED_BY(mu_) = 0;
+  int64_t fsyncs_ DKB_GUARDED_BY(mu_) = 0;
+  Status io_status_ DKB_GUARDED_BY(mu_);
+  bool stop_ DKB_GUARDED_BY(mu_) = false;
+  CondVar work_cv_;
+  CondVar durable_cv_;
+  std::thread flusher_;
+};
+
+}  // namespace dkb
+
+#endif  // DKB_STORAGE_WAL_H_

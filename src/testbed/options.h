@@ -2,7 +2,9 @@
 #define DKB_TESTBED_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string>
 
 #include "common/parallelism.h"
 #include "km/stored_dkb.h"
@@ -30,6 +32,22 @@ struct TestbedOptions {
   /// table's own recorded layout regardless of this value.
   size_t shards = 1;
 
+  /// Durability directory. Empty (the default) keeps the classic in-memory
+  /// testbed. When set, the directory holds the write-ahead log (dkb.wal)
+  /// and the newest checkpoint (dkb.ckpt): every mutating operation is
+  /// logged before it applies, Checkpoint() writes a columnar image and
+  /// truncates the log, and Create() recovers by loading the checkpoint and
+  /// replaying the WAL tail.
+  std::string wal_dir;
+  /// fdatasync WAL batches before a write returns (crash durability). Off
+  /// trades durability of the last few records for speed.
+  bool wal_fsync = true;
+  /// Coalesce concurrent commits into batched fsyncs (group commit).
+  bool wal_group_commit = true;
+  /// MVCC garbage collection tick: how often the background reclaimer frees
+  /// row versions no pinned session can see. <= 0 disables the thread.
+  int64_t vacuum_interval_ms = 100;
+
   /// Rule storage without the compiled form (paper Fig 15's ablation).
   static TestbedOptions SourceOnlyRules() {
     TestbedOptions o;
@@ -56,6 +74,22 @@ struct TestbedOptions {
   }
   TestbedOptions& WithShards(size_t n) {
     shards = n == 0 ? 1 : n;
+    return *this;
+  }
+  TestbedOptions& WithWalDir(std::string dir) {
+    wal_dir = std::move(dir);
+    return *this;
+  }
+  TestbedOptions& WithWalFsync(bool on) {
+    wal_fsync = on;
+    return *this;
+  }
+  TestbedOptions& WithWalGroupCommit(bool on) {
+    wal_group_commit = on;
+    return *this;
+  }
+  TestbedOptions& WithVacuumInterval(int64_t millis) {
+    vacuum_interval_ms = millis;
     return *this;
   }
 };
@@ -88,17 +122,9 @@ struct QueryOptions {
   /// Cached entries are invalidated when rules defining any predicate the
   /// program depends on change.
   bool use_cache = false;
-  /// Number of rule-graph cliques (SCCs) the LFP run time may evaluate
-  /// concurrently: 1 = serial (the default), 0 = size to the global worker
-  /// pool, N > 1 = at most N at a time. Only mutually independent cliques
-  /// run together, so answers are identical to a serial run.
-  /// Deprecated in favour of `policy` (WithPolicy); kept as a delegate so
-  /// existing call sites compile — EffectivePolicy() folds it in when no
-  /// explicit policy is set.
-  int lfp_parallelism = 1;
-  /// Full parallelism override for this query. When set it wins over both
-  /// the process-wide GlobalParallelismPolicy() and the legacy
-  /// lfp_parallelism field above.
+  /// Full parallelism override for this query. When set it wins over the
+  /// process-wide GlobalParallelismPolicy(). WithParallelism(n) is the
+  /// shorthand that adjusts just the LFP clique parallelism within it.
   std::optional<ParallelismPolicy> policy;
   /// EXPLAIN / EXPLAIN ANALYZE behaviour (see ExplainMode).
   ExplainMode explain = ExplainMode::kNone;
@@ -143,8 +169,12 @@ struct QueryOptions {
     use_cache = on;
     return *this;
   }
+  /// Sets the LFP clique parallelism (1 = serial, 0 = size to the global
+  /// worker pool, N > 1 = at most N concurrent cliques), materializing the
+  /// per-query policy from the process-wide one if not already set.
   QueryOptions& WithParallelism(int n) {
-    lfp_parallelism = n;
+    if (!policy.has_value()) policy = GlobalParallelismPolicy();
+    policy->lfp_parallelism = n;
     return *this;
   }
   QueryOptions& WithPolicy(ParallelismPolicy p) {
@@ -152,13 +182,10 @@ struct QueryOptions {
     return *this;
   }
   /// The parallelism knobs this query runs with: the explicit per-query
-  /// policy when set, otherwise the process-wide policy with the legacy
-  /// lfp_parallelism field layered on top.
+  /// policy when set, otherwise the process-wide policy.
   ParallelismPolicy EffectivePolicy() const {
     if (policy.has_value()) return *policy;
-    ParallelismPolicy p = GlobalParallelismPolicy();
-    p.lfp_parallelism = lfp_parallelism;
-    return p;
+    return GlobalParallelismPolicy();
   }
   QueryOptions& WithExplain(ExplainMode mode) {
     explain = mode;

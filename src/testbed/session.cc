@@ -2,7 +2,6 @@
 
 #include "common/sync.h"
 #include "datalog/parser.h"
-#include "rdbms/snapshot.h"
 
 namespace dkb::testbed {
 
@@ -15,12 +14,19 @@ Status Session::Refresh() {
   ReaderLock lock(testbed_->mu_);
   uint64_t current = testbed_->epoch();
   if (db_ != nullptr && current == epoch()) return Status::OK();
+  // A brand-new overlay per pin: scratch tables, pinned base handles, and
+  // prepared statements from the old epoch all die with the old Database,
+  // so nothing can leak a stale read epoch into the new one.
   auto db = std::make_unique<Database>();
-  // Stored tables restore their own recorded shard layout through the clone;
-  // the default matters for the LFP `#` temporaries this session will create,
-  // which must shard identically to stay aligned with the base tables.
+  // The default matters for the LFP `#` temporaries this session will
+  // create, which must shard identically to the base tables they are
+  // diffed against.
   db->catalog().SetDefaultShards(options_.shards);
-  DKB_RETURN_IF_ERROR(CloneDatabase(testbed_->db_, db.get()));
+  db->catalog().SetBase(&testbed_->db_.catalog());
+  db->catalog().SetReadEpoch(current);
+  // O(metadata): rebuilds the dictionary caches by querying the small
+  // edbrel/idbrel/rulesource relations through the overlay at the pinned
+  // epoch. No fact rows are copied.
   auto stored = std::make_unique<km::StoredDkb>(db.get(), options_.stored);
   DKB_RETURN_IF_ERROR(stored->RestoreFromDatabase());
   workspace_ = testbed_->workspace_;
@@ -41,6 +47,8 @@ Result<QueryOutcome> Session::Query(const datalog::Atom& goal,
                                     const QueryOptions& options) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   DKB_RETURN_IF_ERROR(Refresh());
+  // No testbed lock held here: all stored-table reads go through the pinned
+  // epoch, and scratch tables live in the session's own overlay.
   return Testbed::QueryImpl(db_.get(), &workspace_, stored_.get(), &cache_,
                             goal, options, &testbed_->recorder_, id_);
 }

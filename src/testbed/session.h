@@ -18,17 +18,23 @@ namespace dkb::testbed {
 /// A concurrent read-only query session over a Testbed.
 ///
 /// The paper's testbed is single-user; Session adds the multi-user story
-/// under a reader-writer protocol: any number of sessions may Query()
-/// concurrently with each other, while the testbed's mutating operations
-/// (Consult, AddFacts, UpdateStoredDkb, ...) serialize against them.
+/// with epoch-based MVCC: any number of sessions may Query() concurrently
+/// with each other *and* with the testbed's mutating operations (Consult,
+/// AddFacts, UpdateStoredDkb, ...), because a session never reads live
+/// state — it reads the shared stored tables at a pinned commit epoch.
 ///
-/// Each session owns a copy-on-write snapshot of the testbed state — a full
-/// clone of the DBMS (facts, dictionaries, rule storage) plus the workspace
-/// rules. LFP evaluation creates and drops temp tables, so a private clone
-/// is what makes concurrent queries possible at all. The clone is taken
-/// lazily: every Query() first compares the session's epoch against the
-/// testbed's (which each committed write bumps) and re-clones only when
-/// stale. Between writes, repeated queries pay nothing.
+/// Opening (and refreshing) a session is O(metadata), not O(database): the
+/// session builds an overlay Database whose catalog falls through to the
+/// testbed's for stored tables, pins the current commit epoch, and rebuilds
+/// only the small stored-DKB dictionary caches plus a copy of the workspace
+/// rules. Row versions below the pin are protected from the vacuum
+/// reclaimer by the session registry. LFP scratch tables (`#` temporaries
+/// and `idb_<pred>` results) are created in the overlay itself, which is
+/// what makes concurrent evaluation possible.
+///
+/// The pin is taken lazily: every Query() first compares the session's
+/// epoch against the testbed's (which each committed write advances) and
+/// re-pins only when stale. Between writes, repeated queries pay nothing.
 ///
 /// A Session must not outlive the Testbed that opened it. Sessions are not
 /// themselves thread-safe; use one Session per thread.
@@ -38,9 +44,9 @@ class Session {
   Session& operator=(const Session&) = delete;
   ~Session();
 
-  /// Compiles and executes a query against this session's snapshot.
-  /// Refreshes the snapshot first if the testbed has changed since the
-  /// last call. Safe to call while other sessions query concurrently.
+  /// Compiles and executes a query against this session's pinned epoch.
+  /// Re-pins first if the testbed has changed since the last call. Safe to
+  /// call while other sessions query and the testbed writes concurrently.
   Result<QueryOutcome> Query(const std::string& goal_text,
                              const QueryOptions& options = QueryOptions{});
   Result<QueryOutcome> Query(const datalog::Atom& goal,
@@ -50,8 +56,9 @@ class Session {
   /// queries under it (the testbed's own queries use session id 0).
   int64_t id() const { return id_; }
 
-  /// The testbed epoch this session's snapshot was cloned at. Atomic so
-  /// sys.sessions may observe it from other threads mid-query.
+  /// The commit epoch this session reads at. Atomic so sys.sessions and the
+  /// vacuum reclaimer may observe it from other threads mid-query; 0 means
+  /// "registered, not yet pinned", which parks the vacuum floor.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Queries this session has run (successful or not).
@@ -60,22 +67,25 @@ class Session {
   }
 
   /// This session's private precompiled-program cache (cleared whenever
-  /// the snapshot refreshes).
+  /// the pin moves).
   const QueryCache& query_cache() const { return cache_; }
 
  private:
   friend class Testbed;
   explicit Session(Testbed* testbed);
 
-  /// Re-clones the testbed state if its epoch moved past ours. Takes the
-  /// testbed's lock in shared mode, so clones never observe a half-applied
-  /// write and writers are excluded only for the duration of the copy.
+  /// Re-pins to the current commit epoch if it moved past ours: builds a
+  /// fresh overlay Database (so leftover scratch state and pinned base
+  /// handles from the old epoch are dropped wholesale), restores the
+  /// stored-DKB dictionary caches through it, and copies the workspace.
+  /// Takes the testbed's lock in shared mode for the duration of the
+  /// metadata copy only.
   Status Refresh();
 
   Testbed* testbed_;
   TestbedOptions options_;
   int64_t id_ = 0;
-  std::atomic<uint64_t> epoch_{0};  // 0 = never cloned; real epochs start at 1
+  std::atomic<uint64_t> epoch_{0};  // 0 = never pinned; real epochs start at 1
   std::atomic<int64_t> queries_{0};
   std::unique_ptr<Database> db_;
   km::Workspace workspace_;

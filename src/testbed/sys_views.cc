@@ -115,6 +115,26 @@ Schema ShardsSchema() {
   });
 }
 
+Schema WalSchema() {
+  return Schema({
+      {"enabled", DataType::kInteger},
+      {"path", DataType::kVarchar},
+      {"last_lsn", DataType::kInteger},
+      {"appends", DataType::kInteger},
+      {"fsyncs", DataType::kInteger},
+      {"fsync", DataType::kInteger},
+      {"group_commit", DataType::kInteger},
+  });
+}
+
+Schema CheckpointsSchema() {
+  return Schema({
+      {"path", DataType::kVarchar},
+      {"last_lsn", DataType::kInteger},
+      {"epoch", DataType::kInteger},
+  });
+}
+
 Schema SettingsSchema() {
   return Schema({
       {"name", DataType::kVarchar},
@@ -254,6 +274,31 @@ Result<std::shared_ptr<const Table>> ShardsProvider(Testbed* tb) {
   return Materialize("sys.shards", ShardsSchema(), std::move(rows));
 }
 
+Result<std::shared_ptr<const Table>> WalProvider(Testbed* tb) {
+  // Always one row; a disabled WAL renders as enabled=0 with empty path so
+  // `SELECT * FROM sys.wal` is a valid liveness probe either way.
+  const Testbed::WalInfo info = tb->WalSnapshot();
+  std::vector<Tuple> rows;
+  rows.push_back(Tuple{BoolVal(info.enabled), Value(info.path),
+                       IntVal(static_cast<int64_t>(info.last_lsn)),
+                       IntVal(info.appends), IntVal(info.fsyncs),
+                       BoolVal(info.fsync), BoolVal(info.group_commit)});
+  return Materialize("sys.wal", WalSchema(), std::move(rows));
+}
+
+Result<std::shared_ptr<const Table>> CheckpointsProvider(Testbed* tb) {
+  // Zero rows without a durable checkpoint on disk, one row with (peeked
+  // fresh from the file so the view survives out-of-band tampering).
+  const Testbed::CheckpointStat stat = tb->CheckpointSnapshot();
+  std::vector<Tuple> rows;
+  if (stat.exists) {
+    rows.push_back(Tuple{Value(stat.path),
+                         IntVal(static_cast<int64_t>(stat.last_lsn)),
+                         IntVal(static_cast<int64_t>(stat.epoch))});
+  }
+  return Materialize("sys.checkpoints", CheckpointsSchema(), std::move(rows));
+}
+
 Result<std::shared_ptr<const Table>> SettingsProvider(Testbed* tb) {
   const TestbedOptions& opts = tb->options();
   const QueryOptions defaults;
@@ -268,12 +313,16 @@ Result<std::shared_ptr<const Table>> SettingsProvider(Testbed* tb) {
       {"default_use_magic", defaults.use_magic ? "on" : "off"},
       {"default_use_cache", defaults.use_cache ? "on" : "off"},
       {"default_lfp_parallelism",
-       std::to_string(defaults.lfp_parallelism)},
+       std::to_string(defaults.EffectivePolicy().lfp_parallelism)},
       {"edb_first_column_index",
        opts.stored.index_edb_first_column ? "on" : "off"},
       {"compiled_rule_storage",
        opts.stored.compiled_rule_storage ? "on" : "off"},
       {"default_shards", std::to_string(opts.shards)},
+      {"wal_dir", opts.wal_dir},
+      {"wal_fsync", opts.wal_fsync ? "on" : "off"},
+      {"wal_group_commit", opts.wal_group_commit ? "on" : "off"},
+      {"vacuum_interval_ms", std::to_string(opts.vacuum_interval_ms)},
       {"flight_recorder_capacity",
        std::to_string(tb->recorder().capacity())},
       {"slow_query_threshold_us", std::to_string(slow.threshold_us)},
@@ -313,6 +362,11 @@ const std::vector<SystemViewDef>& SystemViewDefs() {
            "is attached)"},
           {"sys.settings", SettingsSchema(),
            "effective testbed and query-default configuration"},
+          {"sys.wal", WalSchema(),
+           "write-ahead-log position and flush statistics"},
+          {"sys.checkpoints", CheckpointsSchema(),
+           "the durable checkpoint image in wal_dir (empty before the "
+           "first Checkpoint())"},
       };
   return *defs;
 }
@@ -342,6 +396,11 @@ Status RegisterSystemViews(Database* db, Testbed* testbed) {
   DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
       "sys.settings", SettingsSchema(),
       [testbed]() { return SettingsProvider(testbed); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.wal", WalSchema(), [testbed]() { return WalProvider(testbed); }));
+  DKB_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      "sys.checkpoints", CheckpointsSchema(),
+      [testbed]() { return CheckpointsProvider(testbed); }));
   return Status::OK();
 }
 

@@ -1,16 +1,20 @@
 #include "testbed/testbed.h"
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include <algorithm>
-#include <fstream>
+#include <cerrno>
+#include <cstring>
 #include <functional>
 #include <map>
-#include <sstream>
+#include <utility>
 
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "datalog/parser.h"
-#include "rdbms/snapshot.h"
+#include "storage/codec.h"
 #include "testbed/session.h"
 #include "testbed/sys_views.h"
 
@@ -52,6 +56,49 @@ QueryResult TextResult(const std::string& text) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// WAL payload encoding (storage/codec.h; formats documented per record kind
+// in storage/wal.h).
+// ---------------------------------------------------------------------------
+
+std::string StrPayload(const std::string& s) {
+  codec::Writer w;
+  w.Str(s);
+  return w.Take();
+}
+
+std::string DefineBasePayload(const std::string& pred,
+                              const km::PredicateTypes& types) {
+  codec::Writer w;
+  w.Str(pred);
+  w.U16(static_cast<uint16_t>(types.size()));
+  for (DataType t : types) w.U8(static_cast<uint8_t>(t));
+  return w.Take();
+}
+
+std::string AddFactsPayload(const std::string& pred,
+                            const std::vector<Tuple>& rows) {
+  codec::Writer w;
+  w.Str(pred);
+  w.U32(static_cast<uint32_t>(rows.size()));
+  for (const Tuple& row : rows) w.Row(row);
+  return w.Take();
+}
+
+/// SELECT / EXPLAIN statements leave no durable state behind and are not
+/// logged; everything else (DDL, DML, pragmas we may grow) is.
+bool IsReadOnlySql(const std::string& statement) {
+  const size_t i = statement.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return true;
+  const std::string head = AsciiLower(statement.substr(i, 8));
+  return StartsWith(head, "select") || StartsWith(head, "explain");
+}
+
+Status MalformedWal(const char* kind) {
+  return Status::InvalidArgument(std::string("malformed WAL payload for ") +
+                                 kind + " record");
+}
+
 }  // namespace
 
 Testbed::Testbed(TestbedOptions options)
@@ -61,6 +108,9 @@ Testbed::Testbed(TestbedOptions options)
   // Before any table exists: base tables and LFP temporaries created later
   // all inherit this count, keeping every stored source aligned.
   db_.catalog().SetDefaultShards(options.shards);
+  // MVCC: every stored table the catalog creates stamps row visibility from
+  // the testbed's epoch counter ('#' temporaries stay unversioned).
+  db_.catalog().EnableVersioning(&epochs_);
   if (options.slow_query_threshold_us >= 0) {
     SlowQueryLogOptions slow;
     slow.threshold_us = options.slow_query_threshold_us;
@@ -69,51 +119,376 @@ Testbed::Testbed(TestbedOptions options)
   }
 }
 
+Testbed::~Testbed() { StopVacuum(); }
+
 Result<std::unique_ptr<Testbed>> Testbed::Create(TestbedOptions options) {
   std::unique_ptr<Testbed> testbed(new Testbed(options));
-  DKB_RETURN_IF_ERROR(testbed->stored_->Initialize());
-  DKB_RETURN_IF_ERROR(RegisterSystemViews(&testbed->db_, testbed.get()));
+  if (!options.wal_dir.empty()) {
+    DKB_RETURN_IF_ERROR(testbed->RecoverFromDisk());
+  } else {
+    DKB_RETURN_IF_ERROR(testbed->stored_->Initialize());
+    DKB_RETURN_IF_ERROR(RegisterSystemViews(&testbed->db_, testbed.get()));
+    // Initialize ran outside the logged write path; its rows carry the
+    // in-flight write epoch. Commit them so pinned sessions see the
+    // dictionary relations.
+    testbed->epochs_.Advance();
+  }
+  testbed->StartVacuum();
   return testbed;
 }
+
+// ---------------------------------------------------------------------------
+// Durability: WAL logging, recovery, checkpoints
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> Testbed::LogWal(WalRecordKind kind,
+                                 std::string_view payload) {
+  if (wal_ == nullptr || wal_replaying_.load(std::memory_order_relaxed)) {
+    return uint64_t{0};
+  }
+  return wal_->Append(kind, payload);
+}
+
+Status Testbed::WaitWal(uint64_t lsn) {
+  if (lsn == 0 || wal_ == nullptr) return Status::OK();
+  return wal_->WaitDurable(lsn);
+}
+
+Status Testbed::RecoverFromDisk() {
+  if (::mkdir(options_.wal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Unavailable("mkdir " + options_.wal_dir + ": " +
+                               std::strerror(errno));
+  }
+  ckpt_path_ = options_.wal_dir + "/dkb.ckpt";
+  wal_path_ = options_.wal_dir + "/dkb.wal";
+
+  uint64_t ckpt_lsn = 0;
+  struct stat st;
+  if (::stat(ckpt_path_.c_str(), &st) == 0) {
+    DKB_ASSIGN_OR_RETURN(CheckpointInfo info,
+                         LoadCheckpointInternal(ckpt_path_));
+    ckpt_lsn = info.last_lsn;
+  } else {
+    DKB_RETURN_IF_ERROR(stored_->Initialize());
+  }
+  DKB_RETURN_IF_ERROR(RegisterSystemViews(&db_, this));
+  // Rows materialized outside the logged write path (Initialize, checkpoint
+  // load) carry the in-flight write epoch; commit them before replay.
+  epochs_.Advance();
+
+  Wal::Options wopts;
+  wopts.fsync = options_.wal_fsync;
+  wopts.group_commit = options_.wal_group_commit;
+  DKB_ASSIGN_OR_RETURN(wal_, Wal::Open(wal_path_, wopts));
+  // LSNs are never reused: records appended after recovery must sort after
+  // everything the checkpoint already covers.
+  wal_->ReserveThrough(ckpt_lsn);
+
+  wal_replaying_.store(true, std::memory_order_release);
+  Status replayed = Wal::Replay(
+      wal_path_, ckpt_lsn,
+      [this](uint64_t /*lsn*/, WalRecordKind kind, std::string_view payload) {
+        return ApplyWalRecord(kind, payload);
+      });
+  wal_replaying_.store(false, std::memory_order_release);
+  return replayed;
+}
+
+Status Testbed::ApplyWalRecord(WalRecordKind kind, std::string_view payload) {
+  // Operation outcomes are deliberately dropped: the log is deterministic,
+  // so an op that failed (or half-applied) before the crash fails the same
+  // way here and the state still converges.
+  codec::Reader r(payload);
+  switch (kind) {
+    case WalRecordKind::kConsult: {
+      std::string text;
+      if (!r.Str(&text) || !r.Done()) return MalformedWal("consult");
+      (void)Consult(text);
+      return Status::OK();
+    }
+    case WalRecordKind::kAddRule: {
+      std::string text;
+      if (!r.Str(&text) || !r.Done()) return MalformedWal("add-rule");
+      (void)AddRule(text);
+      return Status::OK();
+    }
+    case WalRecordKind::kRetractRule: {
+      std::string text;
+      if (!r.Str(&text) || !r.Done()) return MalformedWal("retract-rule");
+      (void)RetractRule(text);
+      return Status::OK();
+    }
+    case WalRecordKind::kDefineBase: {
+      std::string pred;
+      uint16_t n = 0;
+      if (!r.Str(&pred) || !r.U16(&n)) return MalformedWal("define-base");
+      km::PredicateTypes types;
+      types.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        uint8_t t = 0;
+        if (!r.U8(&t)) return MalformedWal("define-base");
+        types.push_back(static_cast<DataType>(t));
+      }
+      if (!r.Done()) return MalformedWal("define-base");
+      (void)DefineBase(pred, types);
+      return Status::OK();
+    }
+    case WalRecordKind::kAddFacts: {
+      std::string pred;
+      uint32_t n = 0;
+      if (!r.Str(&pred) || !r.U32(&n)) return MalformedWal("add-facts");
+      std::vector<Tuple> rows;
+      rows.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Tuple row;
+        if (!r.Row(&row)) return MalformedWal("add-facts");
+        rows.push_back(std::move(row));
+      }
+      if (!r.Done()) return MalformedWal("add-facts");
+      (void)AddFacts(pred, rows);
+      return Status::OK();
+    }
+    case WalRecordKind::kUpdateStored: {
+      if (!r.Done()) return MalformedWal("update-stored");
+      (void)UpdateStoredDkb();
+      return Status::OK();
+    }
+    case WalRecordKind::kClearWorkspace: {
+      if (!r.Done()) return MalformedWal("clear-workspace");
+      ClearWorkspace();
+      return Status::OK();
+    }
+    case WalRecordKind::kSql: {
+      std::string statement;
+      if (!r.Str(&statement) || !r.Done()) return MalformedWal("sql");
+      (void)ExecuteSql(statement);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown WAL record kind " +
+                                 std::to_string(static_cast<int>(kind)));
+}
+
+Result<CheckpointInfo> Testbed::LoadCheckpointInternal(
+    const std::string& path) {
+  std::vector<std::string> rules;
+  TableFactory factory = [this](const std::string& name, const Schema& schema,
+                                size_t shard_count,
+                                size_t /*partition_column*/)
+      -> Result<ScanSource*> {
+    return db_.catalog().CreateTable(name, Schema(schema), shard_count);
+  };
+  DKB_ASSIGN_OR_RETURN(CheckpointInfo info,
+                       ReadCheckpoint(path, factory, &rules));
+  DKB_RETURN_IF_ERROR(stored_->RestoreFromDatabase());
+  for (const std::string& text : rules) {
+    DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(text));
+    DKB_RETURN_IF_ERROR(workspace_.AddRule(std::move(rule)));
+  }
+  return info;
+}
+
+Status Testbed::WriteCheckpointTo(const std::string& path) {
+  // Name-sorted order keeps images of identical states byte-identical.
+  std::vector<std::shared_ptr<ScanSource>> held =
+      db_.catalog().SnapshotTables();
+  std::sort(held.begin(), held.end(),
+            [](const std::shared_ptr<ScanSource>& a,
+               const std::shared_ptr<ScanSource>& b) {
+              return a->name() < b->name();
+            });
+  std::vector<const ScanSource*> tables;
+  tables.reserve(held.size());
+  for (const std::shared_ptr<ScanSource>& t : held) tables.push_back(t.get());
+  std::vector<std::string> rules;
+  rules.reserve(workspace_.rules().size());
+  for (const datalog::Rule& rule : workspace_.rules()) {
+    rules.push_back(rule.ToString());
+  }
+  const uint64_t last_lsn = wal_ == nullptr ? 0 : wal_->last_lsn();
+  return WriteCheckpoint(path, last_lsn, epochs_.committed(), tables, rules);
+}
+
+Status Testbed::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpointing requires TestbedOptions::wal_dir");
+  }
+  WriterLock lock(mu_);
+  DKB_RETURN_IF_ERROR(WriteCheckpointTo(ckpt_path_));
+  // The image covers every applied record; the log prefix is redundant.
+  return wal_->Truncate();
+}
+
+Status Testbed::LoadCheckpoint(const std::string& path) {
+  WriterLock lock(mu_);
+  const size_t existing = db_.catalog().num_tables();
+  if (existing > 0) {
+    return Status::FailedPrecondition(
+        "checkpoint load target must be empty; this testbed holds " +
+        std::to_string(existing) + " stored tables");
+  }
+  auto loaded = LoadCheckpointInternal(path);
+  if (!loaded.ok()) return loaded.status();
+  BumpEpoch();
+  return Status::OK();
+}
+
+Status Testbed::SaveSession(const std::string& path) {
+  // Shared suffices: writers are excluded while the image is cut, and the
+  // checkpoint encoder only reads.
+  ReaderLock lock(mu_);
+  return WriteCheckpointTo(path);
+}
+
+Result<std::unique_ptr<Testbed>> Testbed::LoadSession(
+    const std::string& path, TestbedOptions options) {
+  std::unique_ptr<Testbed> tb(new Testbed(options));
+  auto loaded = tb->LoadCheckpointInternal(path);
+  if (!loaded.ok()) return loaded.status();
+  DKB_RETURN_IF_ERROR(RegisterSystemViews(&tb->db_, tb.get()));
+  tb->epochs_.Advance();
+  tb->StartVacuum();
+  return tb;
+}
+
+Testbed::WalInfo Testbed::WalSnapshot() const {
+  WalInfo info;
+  if (wal_ == nullptr) return info;
+  info.enabled = true;
+  info.path = wal_path_;
+  info.last_lsn = wal_->last_lsn();
+  info.appends = wal_->appends();
+  info.fsyncs = wal_->fsyncs();
+  info.fsync = options_.wal_fsync;
+  info.group_commit = options_.wal_group_commit;
+  return info;
+}
+
+Testbed::CheckpointStat Testbed::CheckpointSnapshot() const {
+  CheckpointStat stat;
+  if (ckpt_path_.empty()) return stat;
+  stat.path = ckpt_path_;
+  auto info = PeekCheckpoint(ckpt_path_);
+  if (!info.ok()) return stat;
+  stat.exists = true;
+  stat.last_lsn = info->last_lsn;
+  stat.epoch = info->epoch;
+  return stat;
+}
+
+// ---------------------------------------------------------------------------
+// MVCC vacuum
+// ---------------------------------------------------------------------------
+
+void Testbed::StartVacuum() {
+  if (options_.vacuum_interval_ms <= 0) return;
+  vacuum_thread_ = std::thread([this]() { VacuumLoop(); });
+}
+
+void Testbed::StopVacuum() {
+  if (!vacuum_thread_.joinable()) return;
+  {
+    MutexLock lock(vacuum_mu_);
+    vacuum_stop_ = true;
+  }
+  vacuum_cv_.NotifyAll();
+  vacuum_thread_.join();
+}
+
+void Testbed::VacuumLoop() {
+  MutexLock lock(vacuum_mu_);
+  while (!vacuum_stop_) {
+    vacuum_cv_.WaitFor(lock, options_.vacuum_interval_ms);
+    if (vacuum_stop_) break;
+    VacuumPass();
+  }
+}
+
+void Testbed::VacuumPass() {
+  // Shared lock: Table::Vacuum must be excluded against writers. Session
+  // queries keep running — they never touch versions below their pin, and
+  // min_pinned is the floor of every open pin.
+  ReaderLock lock(mu_);
+  Epoch min_pinned = epochs_.committed();
+  {
+    MutexLock slock(sessions_mu_);
+    for (const auto& [id, session] : sessions_) {
+      const Epoch pinned = session->epoch();
+      // 0 = registered but not yet pinned: reclaim nothing this pass.
+      if (pinned < min_pinned) min_pinned = pinned;
+    }
+  }
+  if (min_pinned == 0) return;
+  int64_t reclaimed = 0;
+  for (const std::shared_ptr<ScanSource>& table :
+       db_.catalog().SnapshotTables()) {
+    for (size_t s = 0; s < table->shard_count(); ++s) {
+      reclaimed += static_cast<int64_t>(table->shard(s).Vacuum(min_pinned));
+    }
+  }
+  if (reclaimed > 0) {
+    vacuumed_rows_.fetch_add(reclaimed, std::memory_order_relaxed);
+    static metrics::Counter& counter =
+        metrics::GlobalMetrics().counter("dkb.mvcc.reclaimed_rows");
+    counter.Add(reclaimed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write operations (logged, epoch-bumped)
+// ---------------------------------------------------------------------------
 
 Status Testbed::Consult(const std::string& program_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Program program,
                        datalog::ParseProgram(program_text));
-  WriterLock lock(mu_);
-  EpochBump bump([this]() { BumpEpoch(); });
   if (!program.queries.empty()) {
     return Status::InvalidArgument(
         "consulted text contains a query; use Query() instead");
   }
-  cache_.InvalidateOn(HeadsOf(program.rules));
-  for (datalog::Rule& rule : program.rules) {
-    DKB_RETURN_IF_ERROR(workspace_.AddRule(std::move(rule)));
+  uint64_t lsn = 0;
+  Status applied;
+  {
+    WriterLock lock(mu_);
+    EpochBump bump([this]() { BumpEpoch(); });
+    DKB_ASSIGN_OR_RETURN(lsn,
+                         LogWal(WalRecordKind::kConsult,
+                                StrPayload(program_text)));
+    applied = [&]() -> Status {
+      cache_.InvalidateOn(HeadsOf(program.rules));
+      for (datalog::Rule& rule : program.rules) {
+        DKB_RETURN_IF_ERROR(workspace_.AddRule(std::move(rule)));
+      }
+      // Group facts per predicate, auto-defining base predicates.
+      std::map<std::string, std::vector<Tuple>> facts;
+      std::map<std::string, km::PredicateTypes> types;
+      for (const datalog::Rule& fact : program.facts) {
+        const datalog::Atom& head = fact.head;
+        km::PredicateTypes sig;
+        Tuple row;
+        for (const datalog::Term& t : head.args) {
+          sig.push_back(t.value.type());
+          row.push_back(t.value);
+        }
+        auto [it, inserted] = types.emplace(head.predicate, sig);
+        if (!inserted && it->second != sig) {
+          return Status::TypeError("facts for " + head.predicate +
+                                   " have inconsistent column types");
+        }
+        facts[head.predicate].push_back(std::move(row));
+      }
+      for (auto& [pred, rows] : facts) {
+        if (!stored_->HasBasePredicate(pred)) {
+          DKB_RETURN_IF_ERROR(
+              stored_->DefineBasePredicate(pred, types[pred]));
+        }
+        DKB_RETURN_IF_ERROR(stored_->InsertFacts(pred, rows));
+      }
+      return Status::OK();
+    }();
   }
-  // Group facts per predicate, auto-defining base predicates.
-  std::map<std::string, std::vector<Tuple>> facts;
-  std::map<std::string, km::PredicateTypes> types;
-  for (const datalog::Rule& fact : program.facts) {
-    const datalog::Atom& head = fact.head;
-    km::PredicateTypes sig;
-    Tuple row;
-    for (const datalog::Term& t : head.args) {
-      sig.push_back(t.value.type());
-      row.push_back(t.value);
-    }
-    auto [it, inserted] = types.emplace(head.predicate, sig);
-    if (!inserted && it->second != sig) {
-      return Status::TypeError("facts for " + head.predicate +
-                               " have inconsistent column types");
-    }
-    facts[head.predicate].push_back(std::move(row));
-  }
-  for (auto& [pred, rows] : facts) {
-    if (!stored_->HasBasePredicate(pred)) {
-      DKB_RETURN_IF_ERROR(stored_->DefineBasePredicate(pred, types[pred]));
-    }
-    DKB_RETURN_IF_ERROR(stored_->InsertFacts(pred, rows));
-  }
-  return Status::OK();
+  DKB_RETURN_IF_ERROR(WaitWal(lsn));
+  return applied;
 }
 
 std::set<std::string> Testbed::HeadsOf(
@@ -125,43 +500,124 @@ std::set<std::string> Testbed::HeadsOf(
 
 Status Testbed::AddRule(const std::string& rule_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
-  WriterLock lock(mu_);
-  EpochBump bump([this]() { BumpEpoch(); });
-  cache_.InvalidateOn({rule.head.predicate});
-  return workspace_.AddRule(std::move(rule));
+  uint64_t lsn = 0;
+  Status applied;
+  {
+    WriterLock lock(mu_);
+    EpochBump bump([this]() { BumpEpoch(); });
+    DKB_ASSIGN_OR_RETURN(
+        lsn, LogWal(WalRecordKind::kAddRule, StrPayload(rule_text)));
+    cache_.InvalidateOn({rule.head.predicate});
+    applied = workspace_.AddRule(std::move(rule));
+  }
+  DKB_RETURN_IF_ERROR(WaitWal(lsn));
+  return applied;
 }
 
 Status Testbed::RetractRule(const std::string& rule_text) {
   DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(rule_text));
-  WriterLock lock(mu_);
-  EpochBump bump([this]() { BumpEpoch(); });
-  if (!workspace_.RemoveRule(rule)) {
-    return Status::NotFound("no such workspace rule: " + rule.ToString());
+  uint64_t lsn = 0;
+  Status applied;
+  {
+    WriterLock lock(mu_);
+    EpochBump bump([this]() { BumpEpoch(); });
+    DKB_ASSIGN_OR_RETURN(
+        lsn, LogWal(WalRecordKind::kRetractRule, StrPayload(rule_text)));
+    if (!workspace_.RemoveRule(rule)) {
+      applied =
+          Status::NotFound("no such workspace rule: " + rule.ToString());
+    } else {
+      cache_.InvalidateOn({rule.head.predicate});
+      applied = Status::OK();
+    }
   }
-  cache_.InvalidateOn({rule.head.predicate});
-  return Status::OK();
+  DKB_RETURN_IF_ERROR(WaitWal(lsn));
+  return applied;
 }
 
 Status Testbed::DefineBase(const std::string& pred,
                            const km::PredicateTypes& types) {
-  WriterLock lock(mu_);
-  EpochBump bump([this]() { BumpEpoch(); });
-  return stored_->DefineBasePredicate(pred, types);
+  uint64_t lsn = 0;
+  Status applied;
+  {
+    WriterLock lock(mu_);
+    EpochBump bump([this]() { BumpEpoch(); });
+    DKB_ASSIGN_OR_RETURN(lsn, LogWal(WalRecordKind::kDefineBase,
+                                     DefineBasePayload(pred, types)));
+    applied = stored_->DefineBasePredicate(pred, types);
+  }
+  DKB_RETURN_IF_ERROR(WaitWal(lsn));
+  return applied;
 }
 
 Status Testbed::AddFacts(const std::string& pred,
                          const std::vector<Tuple>& rows) {
-  WriterLock lock(mu_);
-  EpochBump bump([this]() { BumpEpoch(); });
-  return stored_->InsertFacts(pred, rows);
+  uint64_t lsn = 0;
+  Status applied;
+  {
+    WriterLock lock(mu_);
+    EpochBump bump([this]() { BumpEpoch(); });
+    DKB_ASSIGN_OR_RETURN(
+        lsn, LogWal(WalRecordKind::kAddFacts, AddFactsPayload(pred, rows)));
+    applied = stored_->InsertFacts(pred, rows);
+  }
+  DKB_RETURN_IF_ERROR(WaitWal(lsn));
+  return applied;
 }
 
 void Testbed::ClearWorkspace() {
-  WriterLock lock(mu_);
-  EpochBump bump([this]() { BumpEpoch(); });
-  workspace_.Clear();
-  cache_.Clear();
+  uint64_t lsn = 0;
+  {
+    WriterLock lock(mu_);
+    EpochBump bump([this]() { BumpEpoch(); });
+    auto logged = LogWal(WalRecordKind::kClearWorkspace, {});
+    if (logged.ok()) lsn = *logged;
+    workspace_.Clear();
+    cache_.Clear();
+  }
+  (void)WaitWal(lsn);
 }
+
+Result<km::UpdateStats> Testbed::UpdateStoredDkb() {
+  uint64_t lsn = 0;
+  Result<km::UpdateStats> applied = Status::Internal("unreachable");
+  {
+    WriterLock lock(mu_);
+    EpochBump bump([this]() { BumpEpoch(); });
+    DKB_ASSIGN_OR_RETURN(lsn, LogWal(WalRecordKind::kUpdateStored, {}));
+    cache_.InvalidateOn(HeadsOf(workspace_.rules()));
+    km::UpdateProcessor processor(stored_.get());
+    applied = processor.Update(workspace_);
+  }
+  DKB_RETURN_IF_ERROR(WaitWal(lsn));
+  return applied;
+}
+
+Result<QueryResult> Testbed::ExecuteSql(const std::string& statement) {
+  // Exclusive: arbitrary SQL may be DDL/DML, and even read-only statements
+  // may scan sys.* virtual tables whose providers expect the writer-side
+  // protocol of a running query.
+  const bool read_only = IsReadOnlySql(statement);
+  uint64_t lsn = 0;
+  Result<QueryResult> result = Status::Internal("unreachable");
+  {
+    WriterLock lock(mu_);
+    if (!read_only) {
+      EpochBump bump([this]() { BumpEpoch(); });
+      DKB_ASSIGN_OR_RETURN(
+          lsn, LogWal(WalRecordKind::kSql, StrPayload(statement)));
+      result = db_.Execute(statement);
+    } else {
+      result = db_.Execute(statement);
+    }
+  }
+  DKB_RETURN_IF_ERROR(WaitWal(lsn));
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Queries and sessions
+// ---------------------------------------------------------------------------
 
 Result<QueryOutcome> Testbed::Query(const std::string& goal_text,
                                     const QueryOptions& options) {
@@ -172,8 +628,9 @@ Result<QueryOutcome> Testbed::Query(const std::string& goal_text,
 Result<QueryOutcome> Testbed::Query(const datalog::Atom& goal,
                                     const QueryOptions& options) {
   // Exclusive even though a query is logically a read: LFP evaluation
-  // creates and drops temp tables in db_. Concurrency comes from sessions,
-  // which run QueryImpl against private clones under the shared side.
+  // creates and drops scratch tables in db_. Concurrency comes from
+  // sessions, which run QueryImpl against epoch-pinned overlays with no
+  // testbed lock at all.
   WriterLock lock(mu_);
   return QueryImpl(&db_, &workspace_, stored_.get(), &cache_, goal, options,
                    &recorder_, /*session_id=*/0);
@@ -332,8 +789,11 @@ Result<km::CompiledQuery> Testbed::CompileImpl(km::Workspace* workspace,
 
 Result<std::unique_ptr<Session>> Testbed::OpenSession() {
   std::unique_ptr<Session> session(new Session(this));
-  DKB_RETURN_IF_ERROR(session->Refresh());
+  // Register before the first Refresh: a registered-but-unpinned session
+  // (epoch 0) parks the vacuum floor at zero, so no version it might still
+  // pin can be reclaimed during the window.
   session->id_ = RegisterSession(session.get());
+  DKB_RETURN_IF_ERROR(session->Refresh());
   return session;
 }
 
@@ -347,14 +807,6 @@ int64_t Testbed::RegisterSession(Session* session) {
 void Testbed::UnregisterSession(int64_t session_id) {
   MutexLock lock(sessions_mu_);
   sessions_.erase(session_id);
-}
-
-Result<QueryResult> Testbed::ExecuteSql(const std::string& statement) {
-  // Exclusive: arbitrary SQL may be DDL/DML, and even read-only statements
-  // may scan sys.* virtual tables whose providers expect the writer-side
-  // protocol of a running query.
-  WriterLock lock(mu_);
-  return db_.Execute(statement);
 }
 
 std::vector<std::string> Testbed::ListRuleTexts() const {
@@ -426,73 +878,6 @@ Result<std::vector<km::analysis::Diagnostic>> Testbed::LintWorkspace() {
     }
   }
   return km::analysis::AnalyzeProgram(input).diagnostics();
-}
-
-Status Testbed::SaveSession(const std::string& path) {
-  ReaderLock lock(mu_);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("cannot open " + path + " for writing");
-  }
-  out << SerializeDatabase(db_);
-  out << "WORKSPACE\n";
-  for (const datalog::Rule& rule : workspace_.rules()) {
-    out << rule.ToString() << "\n";
-  }
-  out << "ENDWORKSPACE\n";
-  out.flush();
-  if (!out) return Status::Internal("write to " + path + " failed");
-  return Status::OK();
-}
-
-Result<std::unique_ptr<Testbed>> Testbed::LoadSession(
-    const std::string& path, TestbedOptions options) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open session snapshot " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string text = buffer.str();
-
-  // Split the database snapshot (terminated by a lone "END" line) from the
-  // workspace section.
-  size_t split;
-  if (StartsWith(text, "END\n")) {
-    split = 4;
-  } else {
-    size_t marker = text.find("\nEND\n");
-    if (marker == std::string::npos) {
-      return Status::InvalidArgument("session snapshot missing END marker");
-    }
-    split = marker + 5;
-  }
-
-  std::unique_ptr<Testbed> tb(new Testbed(options));
-  DKB_RETURN_IF_ERROR(DeserializeDatabase(&tb->db_, text.substr(0, split)));
-  DKB_RETURN_IF_ERROR(tb->stored_->RestoreFromDatabase());
-  DKB_RETURN_IF_ERROR(RegisterSystemViews(&tb->db_, tb.get()));
-
-  std::istringstream rest(text.substr(split));
-  std::string line;
-  bool in_workspace = false;
-  while (std::getline(rest, line)) {
-    if (line == "WORKSPACE") {
-      in_workspace = true;
-      continue;
-    }
-    if (line == "ENDWORKSPACE") break;
-    if (!in_workspace || line.empty()) continue;
-    DKB_ASSIGN_OR_RETURN(datalog::Rule rule, datalog::ParseRule(line));
-    DKB_RETURN_IF_ERROR(tb->workspace_.AddRule(std::move(rule)));
-  }
-  return tb;
-}
-
-Result<km::UpdateStats> Testbed::UpdateStoredDkb() {
-  WriterLock lock(mu_);
-  EpochBump bump([this]() { BumpEpoch(); });
-  cache_.InvalidateOn(HeadsOf(workspace_.rules()));
-  km::UpdateProcessor processor(stored_.get());
-  return processor.Update(workspace_);
 }
 
 }  // namespace dkb::testbed

@@ -7,10 +7,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/sync.h"
+#include "storage/checkpoint.h"
+#include "storage/epoch.h"
+#include "storage/wal.h"
 
 #include "km/compiler.h"
 #include "km/stored_dkb.h"
@@ -44,9 +49,14 @@ struct QueryOutcome {
 /// library, wired together behind the session operations a user performs.
 class Testbed {
  public:
-  /// Builds a testbed with freshly initialized Stored-DKB relations.
+  /// Builds a testbed with freshly initialized Stored-DKB relations. With
+  /// TestbedOptions::wal_dir set this is also the recovery entry point:
+  /// the newest checkpoint in the directory is loaded and the WAL tail
+  /// (records past the checkpoint) is replayed before the testbed opens.
   static Result<std::unique_ptr<Testbed>> Create(
       TestbedOptions options = TestbedOptions{});
+
+  ~Testbed();
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -111,7 +121,7 @@ class Testbed {
 
   /// Persists the whole session — the DBMS state (facts, stored rules,
   /// dictionaries, compiled rule storage) plus the workspace rules — to a
-  /// snapshot file.
+  /// columnar checkpoint file (storage/checkpoint.h).
   Status SaveSession(const std::string& path) DKB_EXCLUDES(mu_);
 
   /// Restores a session saved with SaveSession. `options` must describe
@@ -119,17 +129,28 @@ class Testbed {
   static Result<std::unique_ptr<Testbed>> LoadSession(
       const std::string& path, TestbedOptions options = TestbedOptions{});
 
-  /// Opens a concurrent read-only query session holding a copy-on-write
-  /// snapshot of the current state (see testbed/session.h). Any number of
-  /// sessions may Query() in parallel; the testbed's mutating operations
-  /// take the writer side of the lock and bump the epoch, making open
-  /// sessions refresh their snapshot on their next query.
+  /// Writes a checkpoint to wal_dir/dkb.ckpt and truncates the WAL: the
+  /// durable image "moves forward" so recovery replays only records after
+  /// it. FailedPrecondition without a wal_dir.
+  Status Checkpoint() DKB_EXCLUDES(mu_);
+
+  /// Loads a checkpoint file into this testbed. The target must be empty —
+  /// a testbed that has initialized or recovered stored relations answers
+  /// FailedPrecondition (loads never merge into live state).
+  Status LoadCheckpoint(const std::string& path) DKB_EXCLUDES(mu_);
+
+  /// Opens a concurrent read-only query session pinned to the current
+  /// commit epoch (see testbed/session.h). O(metadata), not O(data): the
+  /// session overlays the shared catalog instead of cloning the database.
+  /// Any number of sessions may Query() in parallel; the testbed's mutating
+  /// operations take the writer side of the lock and advance the epoch,
+  /// making open sessions re-pin on their next query.
   Result<std::unique_ptr<Session>> OpenSession() DKB_EXCLUDES(mu_);
 
-  /// Monotonic state version: bumped by every committed write.
-  uint64_t epoch() const {
-    return epoch_.load(std::memory_order_acquire);
-  }
+  /// Monotonic state version: advanced by every committed write. Rows are
+  /// stamped with [begin, end) epochs; a session pinned at epoch E sees
+  /// exactly the rows with begin <= E < end (storage/epoch.h).
+  uint64_t epoch() const { return epochs_.committed(); }
 
   void ClearWorkspace() DKB_EXCLUDES(mu_);
 
@@ -185,6 +206,34 @@ class Testbed {
   std::vector<metrics::MetricSample> ServerStatsSnapshot() const
       DKB_EXCLUDES(connections_mu_);
 
+  /// One row of sys.wal: live write-ahead-log state. `enabled` is false
+  /// (and the rest zero) without a wal_dir.
+  struct WalInfo {
+    bool enabled = false;
+    std::string path;
+    uint64_t last_lsn = 0;
+    int64_t appends = 0;
+    int64_t fsyncs = 0;
+    bool fsync = true;
+    bool group_commit = true;
+  };
+  WalInfo WalSnapshot() const;
+
+  /// One row of sys.checkpoints: the durable checkpoint in wal_dir (peeked
+  /// from disk; `exists` false when none was written yet or no wal_dir).
+  struct CheckpointStat {
+    bool exists = false;
+    std::string path;
+    uint64_t last_lsn = 0;
+    uint64_t epoch = 0;
+  };
+  CheckpointStat CheckpointSnapshot() const;
+
+  /// Rows reclaimed by the MVCC vacuum thread since startup.
+  int64_t vacuumed_rows() const {
+    return vacuumed_rows_.load(std::memory_order_relaxed);
+  }
+
   Database& db() { return db_; }
   km::Workspace& workspace() { return workspace_; }
   km::StoredDkb& stored() { return *stored_; }
@@ -222,11 +271,41 @@ class Testbed {
                                                trace::TraceSpan* span = nullptr,
                                                int64_t query_id = 0);
 
-  /// Marks a committed write: bump under the writer lock so session clones
-  /// (shared lock) always pair an epoch with the state it describes.
-  void BumpEpoch() {
-    epoch_.fetch_add(1, std::memory_order_acq_rel);
-  }
+  /// Commits the in-flight write batch: advance under the writer lock so
+  /// session pins (shared lock) always pair an epoch with the state it
+  /// describes. Rows stamped during the batch carried write_epoch() ==
+  /// committed()+1 and become visible exactly here.
+  void BumpEpoch() { epochs_.Advance(); }
+
+  /// Appends one redo record under the writer lock; returns its LSN, or 0
+  /// when no WAL is configured or the record is itself being replayed.
+  /// Callers release the lock, then WaitWal(lsn) — so the next writer can
+  /// append into the same group-commit fsync batch while this one waits.
+  Result<uint64_t> LogWal(WalRecordKind kind, std::string_view payload)
+      DKB_REQUIRES(mu_);
+  Status WaitWal(uint64_t lsn) DKB_EXCLUDES(mu_);
+
+  /// Recovery: decodes one WAL record and re-drives the matching public
+  /// operation. Operation errors are swallowed — replay of a deterministic
+  /// log converges to the pre-crash state even through ops that failed.
+  Status ApplyWalRecord(WalRecordKind kind, std::string_view payload);
+
+  /// Create() with wal_dir: load checkpoint (or initialize fresh), open the
+  /// WAL, replay the tail.
+  Status RecoverFromDisk();
+
+  /// Reads `path` into this (empty) testbed: tables through the catalog,
+  /// stored-DKB state, workspace rules.
+  Result<CheckpointInfo> LoadCheckpointInternal(const std::string& path);
+
+  /// Writes the current state to `path`. Caller holds mu_ (shared is
+  /// enough: writers are excluded while the image is cut).
+  Status WriteCheckpointTo(const std::string& path);
+
+  void StartVacuum();
+  void StopVacuum();
+  void VacuumLoop();
+  void VacuumPass() DKB_EXCLUDES(mu_, sessions_mu_);
 
   /// Session registry behind sys.sessions. Sessions register on open and
   /// unregister in their destructor; the registry mutex is independent of
@@ -248,7 +327,9 @@ class Testbed {
   /// sys.sessions, whose provider takes sessions_mu_). The converse never
   /// happens: registry operations touch nothing under mu_.
   mutable SharedMutex mu_ DKB_ACQUIRED_BEFORE(sessions_mu_);
-  std::atomic<uint64_t> epoch_{1};
+  /// MVCC epoch counter; stored tables stamp row visibility from it (the
+  /// catalog attaches it to every non-temporary table it creates).
+  EpochSource epochs_;
   Database db_;
   km::Workspace workspace_;
   std::unique_ptr<km::StoredDkb> stored_;
@@ -267,6 +348,26 @@ class Testbed {
   mutable Mutex sessions_mu_;
   std::atomic<int64_t> next_session_id_{1};
   std::map<int64_t, Session*> sessions_ DKB_GUARDED_BY(sessions_mu_);
+
+  /// Durability (empty/null without TestbedOptions::wal_dir). wal_ is set
+  /// once during Create and never reassigned, so lock-free reads after
+  /// construction are safe; Append calls are serialized by mu_.
+  std::string wal_path_;
+  std::string ckpt_path_;
+  std::unique_ptr<Wal> wal_;
+  /// True while Create replays the log: replayed operations re-enter the
+  /// public write paths and must not re-log themselves.
+  std::atomic<bool> wal_replaying_{false};
+
+  /// Background MVCC reclaimer: frees row versions no pinned session can
+  /// see. Takes mu_ shared (Table::Vacuum must exclude writers) and
+  /// sessions_mu_ (pin scan) but never blocks session queries, which run
+  /// lock-free.
+  std::thread vacuum_thread_;
+  mutable Mutex vacuum_mu_;
+  CondVar vacuum_cv_;
+  bool vacuum_stop_ DKB_GUARDED_BY(vacuum_mu_) = false;
+  std::atomic<int64_t> vacuumed_rows_{0};
 };
 
 }  // namespace dkb::testbed

@@ -1,0 +1,213 @@
+// Epoch-based MVCC: sessions pin a commit epoch instead of cloning the
+// database, writers advance it, and a background vacuum thread reclaims row
+// versions no pinned session can still see. The concurrency tests here are
+// the TSan surface for lock-free session reads racing testbed writes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testbed/session.h"
+#include "testbed/testbed.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace dkb::testbed {
+namespace {
+
+constexpr int kVacuumMs = 5;
+
+/// Polls `cond` for up to `limit_ms`; returns whether it became true.
+bool WaitFor(const std::function<bool()>& cond, int limit_ms = 10000) {
+  for (int waited = 0; waited < limit_ms; waited += kVacuumMs) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kVacuumMs));
+  }
+  return cond();
+}
+
+std::unique_ptr<Testbed> MakeTestbed() {
+  auto tb =
+      Testbed::Create(TestbedOptions{}.WithVacuumInterval(kVacuumMs));
+  EXPECT_TRUE(tb.ok()) << tb.status().ToString();
+  Status s = (*tb)->Consult(workload::AncestorRules());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  s = (*tb)->DefineBase("parent", {DataType::kVarchar, DataType::kVarchar});
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({Value("p" + std::to_string(i)),
+                    Value("c" + std::to_string(i))});
+  }
+  s = (*tb)->AddFacts("parent", rows);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return std::move(*tb);
+}
+
+TEST(MvccTest, EveryCommittedWriteAdvancesTheEpoch) {
+  auto tb = MakeTestbed();
+  uint64_t e0 = tb->epoch();
+  ASSERT_TRUE(tb->AddFacts("parent", {{Value("x"), Value("y")}}).ok());
+  uint64_t e1 = tb->epoch();
+  EXPECT_GT(e1, e0);
+  ASSERT_TRUE(tb->AddRule("foo(X) :- parent(X, Y).").ok());
+  EXPECT_GT(tb->epoch(), e1);
+  // Mutating SQL commits an epoch too (sessions must observe raw DML).
+  uint64_t e2 = tb->epoch();
+  ASSERT_TRUE(tb->ExecuteSql("DELETE FROM edb_parent WHERE c0 = 'x'").ok());
+  EXPECT_GT(tb->epoch(), e2);
+  // Read-only SQL does not.
+  uint64_t e3 = tb->epoch();
+  ASSERT_TRUE(tb->ExecuteSql("SELECT COUNT(*) FROM edb_parent").ok());
+  EXPECT_EQ(tb->epoch(), e3);
+}
+
+TEST(MvccTest, VacuumReclaimsDeletedVersionsOnlyAfterPinsRelease) {
+  auto tb = MakeTestbed();
+
+  // Pin the pre-delete epoch with a session that has run a query.
+  auto session = tb->OpenSession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto pinq = (*session)->Query("ancestor(p3, W)");
+  ASSERT_TRUE(pinq.ok()) << pinq.status().ToString();
+  EXPECT_EQ(pinq->result.rows.size(), 1u);
+
+  // Kill all 100 fact rows. Their versions now end at the new epoch — above
+  // the session's pin, so the vacuum floor protects them.
+  auto del = tb->ExecuteSql("DELETE FROM edb_parent");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(kVacuumMs * 20));
+  int64_t while_pinned = tb->vacuumed_rows();
+
+  // Release the pin; the reclaimer must now pick up (at least) the 100 dead
+  // fact versions.
+  session->reset();
+  EXPECT_TRUE(WaitFor([&] {
+    return tb->vacuumed_rows() >= while_pinned + 100;
+  })) << "vacuumed " << tb->vacuumed_rows() << " rows, expected >= "
+      << while_pinned + 100;
+
+  // And the live answer is unaffected.
+  auto q = tb->Query("ancestor(p3, W)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->result.rows.size(), 0u);
+}
+
+TEST(MvccTest, StaleSessionPinParksTheVacuumFloor) {
+  auto tb = MakeTestbed();
+  // OpenSession pins the current epoch immediately; as long as the session
+  // does not run another query, that stale pin is the vacuum floor.
+  auto session = tb->OpenSession();
+  ASSERT_TRUE(session.ok());
+  uint64_t pinned = (*session)->epoch();
+  ASSERT_GT(pinned, 0u);
+
+  // The deleted versions end above the stale pin, so nothing is reclaimable.
+  ASSERT_TRUE(tb->ExecuteSql("DELETE FROM edb_parent").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(kVacuumMs * 20));
+  EXPECT_EQ(tb->vacuumed_rows(), 0);
+
+  // The next query on the same session re-pins to the current epoch; the
+  // dead versions fall below the floor and become reclaimable even while
+  // the session stays open.
+  ASSERT_TRUE((*session)->Query("ancestor(p3, W)").ok());
+  EXPECT_GT((*session)->epoch(), pinned);
+  EXPECT_TRUE(WaitFor([&] { return tb->vacuumed_rows() >= 100; }))
+      << "vacuumed " << tb->vacuumed_rows();
+}
+
+TEST(MvccTest, SessionOpenCostIsIndependentOfDataSize) {
+  // O(metadata) session open: opening against a 100x larger database must
+  // not be ~100x slower. Generous 10x bound keeps this robust on loaded CI
+  // machines while still catching a return to O(database) cloning.
+  auto small = Testbed::Create();
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE((*small)->Consult(workload::AncestorRules()).ok());
+  ASSERT_TRUE((*small)
+                  ->DefineBase("parent",
+                               {DataType::kVarchar, DataType::kVarchar})
+                  .ok());
+  workload::EdgeSet tiny = workload::MakeLists(2, 10);
+  ASSERT_TRUE((*small)->AddFacts("parent", tiny.ToTuples()).ok());
+
+  auto big = Testbed::Create();
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE((*big)->Consult(workload::AncestorRules()).ok());
+  ASSERT_TRUE(
+      (*big)
+          ->DefineBase("parent", {DataType::kVarchar, DataType::kVarchar})
+          .ok());
+  workload::EdgeSet huge = workload::MakeLists(200, 10);
+  ASSERT_TRUE((*big)->AddFacts("parent", huge.ToTuples()).ok());
+
+  auto time_opens = [](Testbed* tb) {
+    // Warm up allocator/caches, then time a batch of session opens. Only
+    // the open itself is timed: the pin is O(metadata), while any query the
+    // session runs afterwards is naturally O(its own working set).
+    for (int i = 0; i < 3; ++i) {
+      auto s = tb->OpenSession();
+      EXPECT_TRUE(s.ok());
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 10; ++i) {
+      auto s = tb->OpenSession();
+      EXPECT_TRUE(s.ok());
+      EXPECT_GT((*s)->epoch(), 0u);
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  int64_t small_us = time_opens(small->get());
+  int64_t big_us = time_opens(big->get());
+  EXPECT_LT(big_us, small_us * 10 + 200000)
+      << "open-only: small=" << small_us << "us big=" << big_us << "us";
+}
+
+TEST(MvccTest, ConcurrentSessionsWritersAndVacuum) {
+  auto tb = MakeTestbed();
+  constexpr int kReaders = 3;
+  constexpr int kReps = 12;
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int t = 0; t < kReaders; ++t) {
+    auto s = tb->OpenSession();
+    ASSERT_TRUE(s.ok());
+    sessions.push_back(std::move(*s));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kReps; ++i) {
+        // ancestor(p3, W) answers {c3} while the fact lives and {} after
+        // the writer deletes it — never anything else, never an error.
+        auto r = sessions[t]->Query("ancestor(p3, W)");
+        if (!r.ok() || r->result.rows.size() > 1) failures.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&]() {
+    for (int i = 0; i < 6; ++i) {
+      Status s = tb->AddFacts(
+          "parent", {{Value("w" + std::to_string(i)), Value("wc")}});
+      if (!s.ok()) failures.fetch_add(1);
+      auto del = tb->ExecuteSql("DELETE FROM edb_parent WHERE c0 = 'w" +
+                                std::to_string(i) + "'");
+      if (!del.ok()) failures.fetch_add(1);
+    }
+  });
+  for (auto& th : threads) th.join();
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace dkb::testbed

@@ -117,7 +117,7 @@ TEST(WireCodecTest, QueryOptionsRoundTrip) {
   in.options.supplementary = true;
   in.options.strategy = lfp::LfpStrategy::kNaive;
   in.options.use_cache = true;
-  in.options.lfp_parallelism = 4;
+  in.options.WithParallelism(4);
   in.report_formats = kReportText | kReportChrome;
   WireWriter w;
   EncodeQueryOptions(&w, in);
@@ -130,7 +130,7 @@ TEST(WireCodecTest, QueryOptionsRoundTrip) {
   EXPECT_TRUE(out.options.supplementary);
   EXPECT_EQ(out.options.strategy, lfp::LfpStrategy::kNaive);
   EXPECT_TRUE(out.options.use_cache);
-  EXPECT_EQ(out.options.lfp_parallelism, 4);
+  EXPECT_EQ(out.options.EffectivePolicy().lfp_parallelism, 4);
   EXPECT_EQ(out.report_formats, kReportText | kReportChrome);
 }
 

@@ -123,7 +123,9 @@ TEST(ParallelLfpTest, SameGenerationParallel) {
 
 TEST(ParallelLfpTest, ParallelismKnobDefaultsSerial) {
   QueryOptions o;
-  EXPECT_EQ(o.lfp_parallelism, 1);
+  EXPECT_EQ(o.EffectivePolicy().lfp_parallelism, 1);
+  o.WithParallelism(4);
+  EXPECT_EQ(o.EffectivePolicy().lfp_parallelism, 4);
 }
 
 }  // namespace

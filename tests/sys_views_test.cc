@@ -66,6 +66,10 @@ TEST(SysViewsTest, SchemasMatchTheGolden) {
         "bytes_out", "queries", "requests", "errors", "age_us"}},
       {"sys.server", {"name", "kind", "value", "sum", "max", "p50", "p99"}},
       {"sys.settings", {"name", "value"}},
+      {"sys.wal",
+       {"enabled", "path", "last_lsn", "appends", "fsyncs", "fsync",
+        "group_commit"}},
+      {"sys.checkpoints", {"path", "last_lsn", "epoch"}},
   };
 
   auto tb = MakeTestbed();

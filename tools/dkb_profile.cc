@@ -208,7 +208,7 @@ int main(int argc, char** argv) {
   options.use_magic = cli.use_magic;
   options.supplementary = cli.supplementary;
   options.adaptive_magic = cli.adaptive;
-  options.lfp_parallelism = cli.parallelism;
+  options.WithParallelism(cli.parallelism);
   options.explain = cli.plan_only ? ExplainMode::kPlan : ExplainMode::kNone;
   options.collect_trace = true;
   if (!ResolveStrategy(cli.strategy, &options.strategy)) {

@@ -44,10 +44,15 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [-p|--port PORT] [--host ADDR] [--shards N]\n"
+      "          [--wal-dir DIR] [--no-wal-fsync] [--no-group-commit]\n"
       "          [--slow-request-us N]\n"
       "  -p, --port PORT         listen port (default 7070)\n"
       "      --host ADDR         bind address (default 127.0.0.1)\n"
       "      --shards N          shards per stored table (default 1)\n"
+      "      --wal-dir DIR       durable state directory; recovers the\n"
+      "                          checkpoint + WAL found there on startup\n"
+      "      --no-wal-fsync      ack writes before fsync (faster, unsafe)\n"
+      "      --no-group-commit   one fsync per commit instead of batching\n"
       "      --slow-request-us N log requests slower than N us (default "
       "off)\n",
       argv0);
@@ -60,6 +65,9 @@ int main(int argc, char** argv) {
   dkb::net::ServerOptions options;
   options.port = 7070;
   size_t shards = 1;
+  std::string wal_dir;
+  bool wal_fsync = true;
+  bool group_commit = true;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if ((arg == "-p" || arg == "--port") && i + 1 < argc) {
@@ -68,6 +76,12 @@ int main(int argc, char** argv) {
       options.bind_address = argv[++i];
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--wal-dir" && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (arg == "--no-wal-fsync") {
+      wal_fsync = false;
+    } else if (arg == "--no-group-commit") {
+      group_commit = false;
     } else if (arg == "--slow-request-us" && i + 1 < argc) {
       options.slow_request_us = std::atoll(argv[++i]);
     } else {
@@ -77,12 +91,20 @@ int main(int argc, char** argv) {
 
   RaiseFdLimit(8192);
 
-  auto testbed = dkb::testbed::Testbed::Create(
-      dkb::testbed::TestbedOptions{}.WithShards(shards));
+  auto testbed = dkb::testbed::Testbed::Create(dkb::testbed::TestbedOptions{}
+                                                   .WithShards(shards)
+                                                   .WithWalDir(wal_dir)
+                                                   .WithWalFsync(wal_fsync)
+                                                   .WithWalGroupCommit(group_commit));
   if (!testbed.ok()) {
     std::fprintf(stderr, "testbed init failed: %s\n",
                  testbed.status().ToString().c_str());
     return 1;
+  }
+  if (!wal_dir.empty()) {
+    auto wal = (*testbed)->WalSnapshot();
+    std::printf("dkb_server recovered %s (last_lsn=%llu)\n", wal.path.c_str(),
+                static_cast<unsigned long long>(wal.last_lsn));
   }
 
   dkb::net::Server server;
